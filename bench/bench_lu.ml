@@ -1,0 +1,103 @@
+(* FT-LU extension benches: the Table VII/VIII capability story and the
+   overhead sweep, for the LU driver on both testbed models. Dual
+   (column + row) checksums double the verification traffic relative to
+   Cholesky's single-sided encoding — the tables quantify the price of
+   protecting both factors. *)
+
+module C = Cholesky
+open Bench_util
+
+let lu_run ?plan machine scheme n =
+  let cfg = C.Config.make ~machine ~scheme () in
+  Ftlu.Schedule_lu.run ?plan cfg ~n
+
+let capability () =
+  List.iter
+    (fun ((machine : Hetsim.Machine.t), n) ->
+      header
+        (Printf.sprintf "FT-LU capability (extension), %s, %dx%d"
+           machine.Hetsim.Machine.name n n);
+      let b = machine.Hetsim.Machine.default_block in
+      let g = n / b in
+      let mid = g / 2 in
+      let computing =
+        [
+          Fault.computing_error ~iteration:mid ~op:Fault.Gemm
+            ~block:(mid + 2, mid) ~element:(1, 1) ();
+        ]
+      in
+      let storage =
+        [
+          Fault.storage_error ~iteration:(mid + 1) ~block:(mid + 2, 1)
+            ~element:(2, 2) ();
+        ]
+      in
+      Format.printf "%-22s %12s %18s %14s@." "" "No Error" "Computing Error"
+        "Memory Error";
+      List.iter
+        (fun (label, scheme) ->
+          let t plan =
+            (lu_run ?plan machine scheme n).Ftlu.Schedule_lu.makespan
+          in
+          Format.printf "%-22s %11.4fs %17.4fs %13.4fs@." label (t None)
+            (t (Some computing)) (t (Some storage)))
+        [
+          ("Enhanced Online-ABFT", Abft.Scheme.enhanced ());
+          ("Online-ABFT", Abft.Scheme.Online);
+          ("Offline-ABFT", Abft.Scheme.Offline);
+        ])
+    machines;
+  note "same capability shape as the Cholesky Tables VII/VIII"
+
+let overhead_sweep () =
+  List.iter
+    (fun ((machine : Hetsim.Machine.t), _) ->
+      header
+        (Printf.sprintf "FT-LU overhead over plain LU (%s)"
+           machine.Hetsim.Machine.name);
+      Format.printf "%-8s %14s %14s %14s@." "n" "offline" "online" "enhanced";
+      List.iter
+        (fun n ->
+          let base = (lu_run machine Abft.Scheme.No_ft n).Ftlu.Schedule_lu.makespan in
+          let pct scheme =
+            let t = (lu_run machine scheme n).Ftlu.Schedule_lu.makespan in
+            (t -. base) /. base *. 100.
+          in
+          Format.printf "%-8d %13.2f%% %13.2f%% %13.2f%%@." n
+            (pct Abft.Scheme.Offline) (pct Abft.Scheme.Online)
+            (pct (Abft.Scheme.enhanced ())))
+        (sizes machine))
+    machines;
+  note
+    "roughly double the Cholesky overheads: LU factors both triangles \
+     and maintains checksums on both sides"
+
+let qr_overhead () =
+  List.iter
+    (fun ((machine : Hetsim.Machine.t), _) ->
+      header
+        (Printf.sprintf "FT-QR overhead over plain MGS QR (%s), m = 2n"
+           machine.Hetsim.Machine.name);
+      Format.printf "%-8s %14s %14s %14s@." "n" "offline" "online" "enhanced";
+      List.iter
+        (fun n ->
+          let t scheme =
+            (Ftqr.Schedule_qr.run (C.Config.make ~machine ~scheme ()) ~m:(2 * n)
+               ~n)
+              .Ftqr.Schedule_qr.makespan
+          in
+          let base = t Abft.Scheme.No_ft in
+          let pct scheme = (t scheme -. base) /. base *. 100. in
+          Format.printf "%-8d %13.2f%% %13.2f%% %13.2f%%@." n
+            (pct Abft.Scheme.Offline) (pct Abft.Scheme.Online)
+            (pct (Abft.Scheme.enhanced ())))
+        [ 5120; 10240; 15360 ])
+    machines;
+  note
+    "pre-read verification per block projection is the price of QR's \
+     immediately-consumed R entries"
+
+let run () =
+  capability ();
+  overhead_sweep ();
+  qr_overhead ()

@@ -1,0 +1,151 @@
+(* Bechamel microbenches of the *real* numeric kernels — one
+   Test.make per kernel class the reproduction implements: the BLAS-3
+   compute kernels, the unblocked factorization, checksum encode /
+   recalculate / verify, the four checksum-update rules, and a whole
+   small FT factorization. These measure actual OCaml execution on this
+   host (the simulated testbed times come from the tables/figures
+   benches). *)
+
+open Bechamel
+open Matrix
+
+let b = 64
+(* one MAGMA-tile-sized working set *)
+
+let tile seed = Spd.random ~seed b b
+let spd_tile seed = Spd.random_spd ~seed b
+
+let test_gemm =
+  let a = tile 1 and bm = tile 2 in
+  let c = Mat.create b b in
+  Test.make ~name:"gemm 64x64x64"
+    (Staged.stage (fun () -> Blas3.gemm ~beta:0. a bm c))
+
+let test_syrk =
+  let a = tile 3 in
+  let c = Mat.create b b in
+  Test.make ~name:"syrk 64 k=64"
+    (Staged.stage (fun () -> Blas3.syrk ~beta:0. Types.Lower a c))
+
+let test_trsm =
+  let l = Mat.tril (spd_tile 4) in
+  let rhs = tile 5 in
+  Test.make ~name:"trsm 64 rhs=64"
+    (Staged.stage (fun () ->
+         let x = Mat.copy rhs in
+         Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag l x))
+
+let test_potf2 =
+  let a = spd_tile 6 in
+  Test.make ~name:"potf2 64"
+    (Staged.stage (fun () ->
+         let x = Mat.copy a in
+         Lapack.potf2 Types.Lower x))
+
+let test_encode =
+  let a = tile 7 in
+  Test.make ~name:"checksum encode 64"
+    (Staged.stage (fun () -> ignore (Abft.Checksum.encode a)))
+
+let test_recalc =
+  let a = tile 8 in
+  let chk = Abft.Checksum.encode a in
+  Test.make ~name:"checksum recalc 64"
+    (Staged.stage (fun () -> ignore (Abft.Checksum.recompute chk a)))
+
+let test_verify_clean =
+  let a = tile 9 in
+  let chk = Abft.Checksum.encode a in
+  Test.make ~name:"verify (clean) 64"
+    (Staged.stage (fun () -> ignore (Abft.Verify.check chk a)))
+
+let test_verify_correct =
+  let a = tile 10 in
+  let chk = Abft.Checksum.encode a in
+  Test.make ~name:"verify+correct 64"
+    (Staged.stage (fun () ->
+         let x = Mat.copy a in
+         Mat.set x 10 20 (Mat.get x 10 20 +. 100.);
+         ignore (Abft.Verify.verify chk x)))
+
+let test_update_gemm =
+  let chk_b = Abft.Checksum.encode (tile 11) in
+  let chk_ld = Abft.Checksum.encode (tile 12) in
+  let lc = tile 13 in
+  Test.make ~name:"chk-update gemm rule"
+    (Staged.stage (fun () -> Abft.Update.gemm ~chk_b ~chk_ld ~lc))
+
+let test_update_potf2 =
+  let la = Mat.tril (spd_tile 14) in
+  let chk0 = Abft.Checksum.encode la in
+  Test.make ~name:"chk-update potf2 rule (Algorithm 2)"
+    (Staged.stage (fun () ->
+         let chk = Abft.Checksum.copy chk0 in
+         Abft.Update.potf2 ~chk ~la))
+
+let test_ft_factor =
+  let n = 128 in
+  let a = Spd.random_spd ~seed:15 n in
+  let cfg =
+    Cholesky.Config.make ~machine:Hetsim.Machine.testbench ~block:32 ()
+  in
+  Test.make ~name:"ft cholesky 128 (enhanced)"
+    (Staged.stage (fun () -> ignore (Cholesky.Ft.factor cfg a)))
+
+let test_schedule =
+  let cfg =
+    Cholesky.Config.make ~machine:Hetsim.Machine.tardis
+      ~scheme:(Abft.Scheme.enhanced ()) ()
+  in
+  Test.make ~name:"schedule gen 20480 (tardis)"
+    (Staged.stage (fun () -> ignore (Cholesky.Schedule.run cfg ~n:20480)))
+
+let all_tests =
+  Test.make_grouped ~name:"micro"
+    [
+      test_gemm;
+      test_syrk;
+      test_trsm;
+      test_potf2;
+      test_encode;
+      test_recalc;
+      test_verify_clean;
+      test_verify_correct;
+      test_update_gemm;
+      test_update_potf2;
+      test_ft_factor;
+      test_schedule;
+    ]
+
+let run () =
+  Format.printf "@.Bechamel microbenches (real execution on this host)@.";
+  Format.printf "---------------------------------------------------@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ instance ] all_tests in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+        else Printf.sprintf "%8.1f ns" ns
+      in
+      Format.printf "  %-42s %s / run@." name pretty)
+    rows

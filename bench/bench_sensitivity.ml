@@ -1,0 +1,80 @@
+(* Numerical-sensitivity experiments (numeric mode): where does the
+   rounding threshold stop distinguishing real faults from arithmetic
+   noise?
+
+   1. False-positive study: factor increasingly ill-conditioned SPD
+      matrices with Enhanced ABFT and *no* faults; any correction or
+      recovery the driver reports is a false positive — rounding drift
+      mistaken for an error. The paper sets the threshold informally
+      ("within rounding error"); this measures how much margin the
+      default threshold leaves.
+   2. Detectability floor: inject a single computing error of varying
+      magnitude and find the smallest delta the scheme reliably
+      corrects. Errors below the verification threshold are invisible —
+      and also harmless relative to rounding, which is the design
+      argument for threshold-based ABFT. *)
+
+open Matrix
+module C = Cholesky
+open Bench_util
+
+let false_positive_study () =
+  header "Sensitivity — false positives vs matrix conditioning (no faults)";
+  Format.printf "%-12s" "cond(A)";
+  List.iter (fun tol -> Format.printf "%18s" (Printf.sprintf "tol=%.0e" tol))
+    [ 1e-6; 1e-8; 1e-10 ];
+  Format.printf "@.";
+  let n = 96 and block = 16 in
+  List.iter
+    (fun cond ->
+      Format.printf "%-12.0e" cond;
+      List.iter
+        (fun tol ->
+          let a = Spd.random_spd_cond ~seed:7 ~cond n in
+          let cfg =
+            C.Config.make ~machine:Hetsim.Machine.testbench ~block ~tol ()
+          in
+          let r = C.Ft.factor cfg a in
+          let fp =
+            r.C.Ft.stats.C.Ft.corrections
+            + r.C.Ft.stats.C.Ft.uncorrectable_events
+          in
+          Format.printf "%18s"
+            (Printf.sprintf "%d fp%s" fp
+               (match r.C.Ft.outcome with C.Ft.Success -> "" | _ -> " (!)")))
+        [ 1e-6; 1e-8; 1e-10 ];
+      Format.printf "@.")
+    [ 1e2; 1e6; 1e10; 1e13 ];
+  note
+    "0 fp everywhere up to the precision limit means the default threshold \
+     has honest margin; ill-conditioned matrices at tight tolerances are \
+     where threshold-based ABFT runs out of road."
+
+let detectability_floor () =
+  header "Sensitivity — smallest corrected error magnitude";
+  let n = 96 and block = 16 in
+  let a = Spd.random_spd ~seed:9 n in
+  Format.printf "%-12s %14s %14s@." "delta" "corrected?" "residual";
+  List.iter
+    (fun delta ->
+      let plan =
+        [
+          Fault.computing_error ~delta ~iteration:2 ~op:Fault.Gemm ~block:(4, 2)
+            ~element:(3, 3) ();
+        ]
+      in
+      let cfg = C.Config.make ~machine:Hetsim.Machine.testbench ~block () in
+      let r = C.Ft.factor ~plan cfg a in
+      Format.printf "%-12.0e %14s %14.2e@." delta
+        (if r.C.Ft.stats.C.Ft.corrections > 0 then "yes"
+         else "below threshold")
+        r.C.Ft.residual)
+    [ 1e3; 1.; 1e-3; 1e-5; 1e-7; 1e-9; 1e-11 ];
+  note
+    "undetected deltas are those already indistinguishable from rounding at \
+     this scale — they leave the residual at working precision, so missing \
+     them is safe by construction."
+
+let run () =
+  false_positive_study ();
+  detectability_floor ()

@@ -1,0 +1,141 @@
+(* Reproduction of the paper's tables.
+
+   Table I    — verification counts per operation, Online vs Enhanced.
+   Tables II–VI — the analytic overhead model, checked against the
+                simulator's measured phase decomposition.
+   Table VII  — fault-tolerance capability on TARDIS, 20480².
+   Table VIII — same on BULLDOZER64, 30720². *)
+
+module C = Cholesky
+open Bench_util
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "Table I — blocks verified per iteration (Online vs Enhanced)";
+  let g = 16 in
+  Format.printf "grid = %d tiles/side, iteration j = %d@." g (g / 2);
+  let j = g / 2 in
+  let len = List.length in
+  Format.printf "%-10s %-22s %-26s@." "operation" "Online (post-update)"
+    "Enhanced (pre-read)";
+  Format.printf "%-10s %-22s %-26s@." "POTF2"
+    (Printf.sprintf "L: %d block" (len (C.Sets.post_potf2 ~j)))
+    (Printf.sprintf "A: %d block" (len (C.Sets.pre_potf2 ~j)));
+  Format.printf "%-10s %-22s %-26s@." "TRSM"
+    (Printf.sprintf "B: %d blocks" (len (C.Sets.post_trsm ~grid:g ~j)))
+    (Printf.sprintf "L,B: %d blocks" (len (C.Sets.pre_trsm ~grid:g ~j)));
+  Format.printf "%-10s %-22s %-26s@." "SYRK"
+    (Printf.sprintf "A: %d block" (len (C.Sets.post_syrk ~j)))
+    (Printf.sprintf "A,C: %d blocks" (len (C.Sets.pre_syrk ~j)));
+  Format.printf "%-10s %-22s %-26s@." "GEMM"
+    (Printf.sprintf "B: %d blocks" (len (C.Sets.post_gemm ~grid:g ~j)))
+    (Printf.sprintf "B,C,D: %d blocks" (len (C.Sets.pre_gemm ~grid:g ~j)));
+  paper "POTF2 O(1)->O(1), TRSM O(n)->O(n), SYRK O(1)->O(n), GEMM O(n)->O(n^2)"
+
+(* ------------------------------------------------------------------ *)
+(* Tables II–VI — analytic model vs simulation                         *)
+(* ------------------------------------------------------------------ *)
+
+let table2_6 () =
+  header "Tables II-VI — analytic overhead model (relative to n^3/3 flops)";
+  List.iter
+    (fun ((machine : Hetsim.Machine.t), n) ->
+      let b = machine.Hetsim.Machine.default_block in
+      Format.printf "@.%s: n = %d, B = %d@." machine.Hetsim.Machine.name n b;
+      Format.printf
+        "%4s %12s %12s %14s %14s %12s %12s@." "K" "encode" "update"
+        "recalc(onl)" "recalc(enh)" "overall(onl)" "overall(enh)";
+      List.iter
+        (fun k ->
+          let p = { Abft.Overhead_model.n; b; k } in
+          Format.printf "%4d %11.4f%% %11.4f%% %13.4f%% %13.4f%% %11.4f%% %11.4f%%@."
+            k
+            (Abft.Overhead_model.encode_flops p
+            /. Abft.Overhead_model.cholesky_flops p *. 100.)
+            (Abft.Overhead_model.update_relative p *. 100.)
+            (Abft.Overhead_model.recalc_relative_online p *. 100.)
+            (Abft.Overhead_model.recalc_relative_enhanced p *. 100.)
+            (Abft.Overhead_model.overall_relative_online p *. 100.)
+            (Abft.Overhead_model.overall_relative_enhanced p *. 100.))
+        [ 1; 3; 5 ];
+      let p1 = { Abft.Overhead_model.n; b; k = 1 } in
+      Format.printf "asymptotes (n->inf): online %.4f%%, enhanced %.4f%% | space overhead %.4f%% (%.1f MB)@."
+        (Abft.Overhead_model.asymptote_online p1 *. 100.)
+        (Abft.Overhead_model.asymptote_enhanced p1 *. 100.)
+        (Abft.Overhead_model.space_relative p1 *. 100.)
+        (Abft.Overhead_model.space_bytes p1 /. 1048576.);
+      (* Cross-check the model's flop ratios against the simulator's
+         measured phase times for the inline (unoptimized) schedule. *)
+      let r =
+        run ~opt1:false ~opt2:C.Config.Gpu_inline machine
+          (Abft.Scheme.enhanced ()) n
+      in
+      let e = r.C.Schedule.engine in
+      let base = baseline machine n in
+      Format.printf
+        "simulated (unopt. enhanced): recalc %.3fs (%.2f%% of base), update \
+         %.3fs (%.2f%% of base)@."
+        (Hetsim.Engine.phase_time e "chk-recalc")
+        (Hetsim.Engine.phase_time e "chk-recalc" /. base *. 100.)
+        (Hetsim.Engine.phase_time e "chk-update")
+        (Hetsim.Engine.phase_time e "chk-update" /. base *. 100.);
+      note
+        "flop-relative model predicts the shape; simulated recalc is larger \
+         because BLAS-2 kernels run at bandwidth, not peak — the very gap \
+         Optimization 1 attacks.")
+    machines;
+  paper "Table VI: online 30/n + 2/B; enhanced (24K+6)/nK + (2K+2)/BK"
+
+(* ------------------------------------------------------------------ *)
+(* Tables VII & VIII                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Faults at the paper's logical points: a computing error in a GEMM
+   output mid-run; a storage error in a factored block between its
+   post-update verification and its next read. *)
+let capability_plans (machine : Hetsim.Machine.t) n =
+  let b = machine.Hetsim.Machine.default_block in
+  let g = n / b in
+  let mid = g / 2 in
+  let computing =
+    [
+      Fault.computing_error ~iteration:mid ~op:Fault.Gemm
+        ~block:(mid + 2, mid) ~element:(1, 1) ();
+    ]
+  in
+  let storage =
+    [
+      Fault.storage_error ~iteration:(mid + 1) ~block:(mid + 2, 1)
+        ~element:(2, 2) ();
+    ]
+  in
+  (computing, storage)
+
+let capability_table name (machine : Hetsim.Machine.t) n =
+  header
+    (Printf.sprintf "%s — fault tolerance capability, %s, %dx%d" name
+       machine.Hetsim.Machine.name n n);
+  let computing, storage = capability_plans machine n in
+  Format.printf "%-22s %12s %18s %14s@." "" "No Error" "Computing Error"
+    "Memory Error";
+  List.iter
+    (fun (label, scheme) ->
+      let t plan = (run ?plan machine scheme n).C.Schedule.makespan in
+      Format.printf "%-22s %11.4fs %17.4fs %13.4fs@." label (t None)
+        (t (Some computing)) (t (Some storage)))
+    [
+      ("Enhanced Online-ABFT", Abft.Scheme.enhanced ());
+      ("Online-ABFT", Abft.Scheme.Online);
+      ("Offline-ABFT", Abft.Scheme.Offline);
+    ]
+
+let table7 () =
+  capability_table "Table VII" Hetsim.Machine.tardis 20480;
+  paper "Enhanced 10.66/10.66/10.67s; Online 10.51/10.52/22.63s; Offline 10.45/21.39/21.26s"
+
+let table8 () =
+  capability_table "Table VIII" Hetsim.Machine.bulldozer64 30720;
+  paper "Enhanced 8.85/8.93/8.91s; Online 8.65/8.70/21.42s; Offline 8.64/21.45/21.35s"

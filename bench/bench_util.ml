@@ -1,0 +1,44 @@
+(* Shared helpers for the reproduction benches: machine/size grids,
+   overhead computation, and table formatting. *)
+
+module C = Cholesky
+
+(* The paper's sweep ranges (§VII-A): 5120..23040 on tardis,
+   5120..30720 on bulldozer64, step 2560 (matching both block sizes). *)
+let sizes (machine : Hetsim.Machine.t) =
+  let top = if machine.Hetsim.Machine.name = "tardis" then 23040 else 30720 in
+  let rec go n acc = if n > top then List.rev acc else go (n + 2560) (n :: acc) in
+  go 5120 []
+
+let machines =
+  [ (Hetsim.Machine.tardis, 20480); (Hetsim.Machine.bulldozer64, 30720) ]
+
+let run ?plan ?(opt1 = true) ?(opt2 = C.Config.Auto) machine scheme n =
+  let cfg = C.Config.make ~machine ~scheme ~opt1 ~opt2 () in
+  C.Schedule.run ?plan cfg ~n
+
+(* Makespan of plain MAGMA (no FT) — the baseline every overhead is
+   relative to. Memoised: the sweeps ask for the same baselines often. *)
+let baseline_tbl : (string * int, float) Hashtbl.t = Hashtbl.create 64
+
+let baseline machine n =
+  let key = (machine.Hetsim.Machine.name, n) in
+  match Hashtbl.find_opt baseline_tbl key with
+  | Some t -> t
+  | None ->
+      let t = (run machine Abft.Scheme.No_ft n).C.Schedule.makespan in
+      Hashtbl.add baseline_tbl key t;
+      t
+
+let overhead_pct machine n makespan =
+  let base = baseline machine n in
+  (makespan -. base) /. base *. 100.
+
+let header title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let row_label = Format.printf "%-24s"
+
+let note fmt = Format.printf ("  note: " ^^ fmt ^^ "@.")
+
+let paper fmt = Format.printf ("  paper: " ^^ fmt ^^ "@.")

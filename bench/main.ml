@@ -1,0 +1,57 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section on the simulated testbeds, then runs Bechamel
+   microbenches of the real numeric kernels.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only fig14_15 table7
+     dune exec bench/main.exe -- --list
+*)
+
+let experiments =
+  [
+    ("table1", "Table I — verification counts", Bench_tables.table1);
+    ("table2_6", "Tables II-VI — analytic overhead model", Bench_tables.table2_6);
+    ("table7", "Table VII — capability, TARDIS 20480^2", Bench_tables.table7);
+    ("table8", "Table VIII — capability, BULLDOZER64 30720^2", Bench_tables.table8);
+    ("fig8_9", "Figures 8/9 — Optimization 1", Bench_figs.fig8_9);
+    ("fig10_11", "Figures 10/11 — Optimization 2", Bench_figs.fig10_11);
+    ("fig12_13", "Figures 12/13 — Optimization 3", Bench_figs.fig12_13);
+    ("fig14_15", "Figures 14/15 — overhead comparison", Bench_figs.fig14_15);
+    ("fig16_17", "Figures 16/17 — performance", Bench_figs.fig16_17);
+    ("ablations", "Ablations — redundancy, d, K-tuner, sweep, placement",
+     Bench_ablations.run);
+    ("coverage", "Coverage — fault Monte-Carlo + checkpoint comparison",
+     Bench_coverage.run);
+    ("sensitivity", "Sensitivity — thresholds vs conditioning & magnitude",
+     Bench_sensitivity.run);
+    ("lu", "FT-LU and FT-QR extensions — capability + overhead at paper scale",
+     Bench_lu.run);
+    ("hardware", "Hardware — modern GPU + parameter sensitivity",
+     Bench_hardware.run);
+    ("micro", "Bechamel microbenches (real kernels)", Bench_micro.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--list" ] ->
+      List.iter (fun (id, desc, _) -> Format.printf "%-10s %s@." id desc) experiments
+  | "--only" :: ids when ids <> [] ->
+      List.iter
+        (fun id ->
+          match List.find_opt (fun (i, _, _) -> i = id) experiments with
+          | Some (_, _, f) -> f ()
+          | None ->
+              Format.eprintf "unknown experiment %S (try --list)@." id;
+              exit 1)
+        ids
+  | [] ->
+      Format.printf
+        "Reproducing the evaluation of 'Online Algorithm-Based Fault \
+         Tolerance for Cholesky Decomposition on Heterogeneous Systems with \
+         GPUs' (IPDPS'16).@.All times are virtual (discrete-event simulation \
+         of the paper's testbeds) except the 'micro' section.@.";
+      List.iter (fun (_, _, f) -> f ()) experiments
+  | _ ->
+      Format.eprintf "usage: main.exe [--list | --only <id>...]@.";
+      exit 1

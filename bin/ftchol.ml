@@ -1,0 +1,421 @@
+(* ftchol — command-line front end for the fault-tolerant Cholesky
+   reproduction: numeric factorizations with fault injection, timing
+   simulations on the paper's testbed models, parameter sweeps, and
+   machine/plan inspection. *)
+
+open Cmdliner
+module C = Cholesky
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument converters                                          *)
+(* ------------------------------------------------------------------ *)
+
+let machine_conv =
+  let parse s =
+    match Hetsim.Machine.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine %S (try: %s)" s
+               (String.concat ", " (List.map fst Hetsim.Machine.all_presets))))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt m.Hetsim.Machine.name)
+
+let scheme_conv =
+  let parse s =
+    match Abft.Scheme.of_string s with Ok s -> Ok s | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Abft.Scheme.pp)
+
+let placement_conv =
+  let parse = function
+    | "auto" -> Ok C.Config.Auto
+    | "gpu-inline" -> Ok C.Config.Gpu_inline
+    | "gpu-stream" -> Ok C.Config.Gpu_stream
+    | "cpu" -> Ok C.Config.Cpu_offload
+    | s -> Error (`Msg (Printf.sprintf "unknown placement %S" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with
+      | C.Config.Auto -> "auto"
+      | C.Config.Gpu_inline -> "gpu-inline"
+      | C.Config.Gpu_stream -> "gpu-stream"
+      | C.Config.Cpu_offload -> "cpu")
+  in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Hetsim.Machine.tardis
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Machine preset: tardis, bulldozer64 or testbench.")
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv (Abft.Scheme.enhanced ())
+    & info [ "s"; "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Fault-tolerance scheme: none, offline, online, enhanced or \
+           enhanced-kN.")
+
+let n_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "n" ] ~docv:"N" ~doc:"Matrix order (multiple of the block size).")
+
+let block_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "b"; "block" ] ~docv:"B"
+        ~doc:"Tile size (0 = the machine's MAGMA default).")
+
+let opt1_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "opt1" ] ~docv:"BOOL"
+        ~doc:"Optimization 1: concurrent checksum recalculation.")
+
+let opt2_arg =
+  Arg.(
+    value
+    & opt placement_conv C.Config.Auto
+    & info [ "opt2" ] ~docv:"PLACEMENT"
+        ~doc:
+          "Optimization 2 placement of checksum updating: auto, gpu-inline, \
+           gpu-stream or cpu.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let faults_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "faults" ] ~docv:"COUNT" ~doc:"Number of random faults to inject.")
+
+let storage_frac_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "storage-fraction" ] ~docv:"FRAC"
+        ~doc:"Fraction of injected faults that are storage errors.")
+
+let make_cfg machine block scheme opt1 opt2 =
+  C.Config.make ~machine ~block ~scheme ~opt1 ~opt2 ()
+
+let exit_err msg =
+  Format.eprintf "ftchol: %s@." msg;
+  exit 1
+
+let random_plan_or_exit ?covered_only ~seed ~grid ~block ~count ~storage_fraction () =
+  try Fault.random_plan ?covered_only ~seed ~grid ~block ~count ~storage_fraction ()
+  with Invalid_argument msg -> exit_err msg
+
+(* ------------------------------------------------------------------ *)
+(* factor — numeric mode                                               *)
+(* ------------------------------------------------------------------ *)
+
+let factor_cmd =
+  let run machine n block scheme opt1 opt2 seed faults storage_fraction sweep
+      input =
+    let a =
+      match input with
+      | None -> None
+      | Some path -> (
+          try Some (Matrix.Mm_io.read path)
+          with Failure e -> exit_err e)
+    in
+    let n = match a with Some m -> Matrix.Mat.rows m | None -> n in
+    let cfg = make_cfg machine block scheme opt1 opt2 in
+    let b = C.Config.block_size cfg in
+    if n <= 0 || n mod b <> 0 then
+      exit_err (Printf.sprintf "n=%d must be a positive multiple of B=%d" n b);
+    let plan =
+      if faults = 0 then []
+      else
+        random_plan_or_exit ~covered_only:true ~seed ~grid:(n / b) ~block:b
+          ~count:faults ~storage_fraction ()
+    in
+    Format.printf "config: %a@." C.Config.pp cfg;
+    if plan <> [] then Format.printf "plan:@.%a@." Fault.pp plan;
+    let a =
+      match a with Some m -> m | None -> Matrix.Spd.random_spd ~seed:(seed + 1) n
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = C.Ft.factor ~plan ~final_sweep:sweep cfg a in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "%a@." C.Ft.pp_report report;
+    List.iter
+      (fun f -> Format.printf "  %a@." Injector.pp_fired f)
+      report.C.Ft.injections_fired;
+    Format.printf "wall time (real arithmetic on this host): %.3fs@." dt;
+    match report.C.Ft.outcome with C.Ft.Success -> 0 | _ -> 2
+  in
+  let term =
+    Term.(
+      const run $ machine_arg $ n_arg ~default:512 $ block_arg $ scheme_arg
+      $ opt1_arg $ opt2_arg $ seed_arg $ faults_arg $ storage_frac_arg
+      $ Arg.(
+          value & flag
+          & info [ "final-sweep" ]
+              ~doc:
+                "Enable the end-of-run verification sweep (extension beyond \
+                 the paper).")
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "input" ] ~docv:"FILE"
+              ~doc:
+                "Factor the SPD matrix in this Matrix Market file instead of \
+                 a random one (its order must be a multiple of the block)."))
+  in
+  Cmd.v
+    (Cmd.info "factor"
+       ~doc:
+         "Numerically factor a random SPD matrix with the chosen ABFT scheme, \
+          injecting faults, and report detection/correction statistics.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* simulate — timing mode                                              *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run machine n block scheme opt1 opt2 seed faults storage_fraction trace_out
+      show_gantt =
+    let cfg = make_cfg machine block scheme opt1 opt2 in
+    let b = C.Config.block_size cfg in
+    if n <= 0 || n mod b <> 0 then
+      exit_err (Printf.sprintf "n=%d must be a positive multiple of B=%d" n b);
+    let plan =
+      if faults = 0 then []
+      else
+        Fault.random_plan ~covered_only:true ~seed ~grid:(n / b) ~block:b
+          ~count:faults ~storage_fraction ()
+    in
+    let r = C.Schedule.run ~plan cfg ~n in
+    Format.printf "config: %a@." C.Config.pp cfg;
+    Format.printf "simulated time: %.4f s (%.1f GFLOPS)@." r.C.Schedule.makespan
+      r.C.Schedule.gflops;
+    Format.printf "recovery passes: %d@." r.C.Schedule.reruns;
+    Format.printf "resolved placement: %s@."
+      (match r.C.Schedule.placement with
+      | C.Config.Auto -> "auto"
+      | C.Config.Gpu_inline -> "gpu-inline"
+      | C.Config.Gpu_stream -> "gpu-stream"
+      | C.Config.Cpu_offload -> "cpu");
+    Format.printf "phase decomposition:@.";
+    List.iter
+      (fun (p, t) -> Format.printf "  %-14s %9.4f s@." p t)
+      (Hetsim.Engine.phases r.C.Schedule.engine);
+    Format.printf "resource utilization:@.";
+    List.iter
+      (fun (res, u) ->
+        Format.printf "  %-10s %5.1f%%@."
+          (Format.asprintf "%a" Hetsim.Engine.pp_resource res)
+          (u *. 100.))
+      (Hetsim.Engine.utilization r.C.Schedule.engine);
+    Format.printf "operations bound by:@.";
+    List.iter
+      (fun (b, count) ->
+        Format.printf "  %-10s %d@."
+          (Format.asprintf "%a" Hetsim.Engine.pp_binding b)
+          count)
+      (Hetsim.Engine.binding_summary r.C.Schedule.engine);
+    if show_gantt then
+      Format.printf "@.%s@." (Hetsim.Engine.gantt r.C.Schedule.engine);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Hetsim.Engine.to_chrome_trace r.C.Schedule.engine);
+        close_out oc;
+        Format.printf "chrome trace written to %s@." path);
+    0
+  in
+  let term =
+    Term.(
+      const run $ machine_arg $ n_arg ~default:20480 $ block_arg $ scheme_arg
+      $ opt1_arg $ opt2_arg $ seed_arg $ faults_arg $ storage_frac_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE"
+              ~doc:"Write a chrome://tracing JSON timeline to $(docv).")
+      $ Arg.(
+          value & flag
+          & info [ "gantt" ]
+              ~doc:"Print an ASCII Gantt chart of the simulated timeline."))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Simulate the factorization on a testbed model at any size and print \
+          the virtual time and phase decomposition.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sweep — overhead/performance tables across n                        *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run machine block sizes =
+    let sizes =
+      match sizes with
+      | [] ->
+          let b =
+            if block > 0 then block else machine.Hetsim.Machine.default_block
+          in
+          List.init 8 (fun i -> (i + 2) * 10 * b / 4 * 2)
+          |> List.map (fun n -> n - (n mod b))
+          |> List.filter (fun n -> n > 0)
+      | l -> l
+    in
+    let schemes =
+      [
+        ("magma", Abft.Scheme.No_ft);
+        ("offline", Abft.Scheme.Offline);
+        ("online", Abft.Scheme.Online);
+        ("enhanced", Abft.Scheme.enhanced ());
+      ]
+    in
+    Format.printf "%-8s" "n";
+    List.iter (fun (name, _) -> Format.printf "%14s" name) schemes;
+    Format.printf "%14s@." "cula";
+    List.iter
+      (fun n ->
+        Format.printf "%-8d" n;
+        List.iter
+          (fun (_, scheme) ->
+            let cfg = C.Config.make ~machine ~block ~scheme () in
+            let r = C.Schedule.run cfg ~n in
+            Format.printf "%9.1f GF  " r.C.Schedule.gflops)
+          schemes;
+        let cula = C.Cula_model.run ~block:(if block > 0 then block else machine.Hetsim.Machine.default_block) machine ~n in
+        Format.printf "%9.1f GF@." cula.C.Cula_model.gflops)
+      sizes;
+    0
+  in
+  let term =
+    Term.(
+      const run $ machine_arg $ block_arg
+      $ Arg.(
+          value & pos_all int []
+          & info [] ~docv:"N..." ~doc:"Matrix sizes (default: a spread)."))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Performance sweep over matrix sizes for every scheme plus CULA.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* machines / plan                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let machines_cmd =
+  let run () =
+    List.iter
+      (fun (_, m) -> Format.printf "%a@.@." Hetsim.Machine.pp m)
+      Hetsim.Machine.all_presets;
+    0
+  in
+  Cmd.v
+    (Cmd.info "machines" ~doc:"List the built-in machine presets.")
+    Term.(const run $ const ())
+
+let plan_cmd =
+  let run seed grid block count storage_fraction =
+    match Fault.random_plan ~seed ~grid ~block ~count ~storage_fraction () with
+    | plan ->
+        Format.printf "%a@." Fault.pp plan;
+        0
+    | exception Invalid_argument msg -> exit_err msg
+  in
+  let term =
+    Term.(
+      const run $ seed_arg
+      $ Arg.(value & opt int 8 & info [ "grid" ] ~docv:"G" ~doc:"Tile grid side.")
+      $ Arg.(value & opt int 64 & info [ "block" ] ~docv:"B" ~doc:"Tile size.")
+      $ Arg.(value & opt int 5 & info [ "count" ] ~docv:"N" ~doc:"Injections.")
+      $ storage_frac_arg)
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Generate and print a random fault-injection plan.")
+    term
+
+let lu_cmd =
+  let run n block scheme seed faults storage_fraction =
+    let block = if block > 0 then block else 16 in
+    if n <= 0 || n mod block <> 0 then
+      exit_err (Printf.sprintf "n=%d must be a positive multiple of B=%d" n block);
+    let plan =
+      if faults = 0 then []
+      else
+        random_plan_or_exit ~covered_only:true ~seed ~grid:(n / block) ~block
+          ~count:faults ~storage_fraction ()
+    in
+    if plan <> [] then Format.printf "plan:@.%a@." Fault.pp plan;
+    let a = Matrix.Lapack.diag_dominant ~seed:(seed + 1) n in
+    let report = Ftlu.Ft_lu.factor ~plan ~scheme ~block a in
+    Format.printf "%a@." Ftlu.Ft_lu.pp_report report;
+    List.iter
+      (fun f -> Format.printf "  %a@." Injector.pp_fired f)
+      report.Ftlu.Ft_lu.injections_fired;
+    match report.Ftlu.Ft_lu.outcome with Ftlu.Ft_lu.Success -> 0 | _ -> 2
+  in
+  let term =
+    Term.(
+      const run $ n_arg ~default:256 $ block_arg $ scheme_arg $ seed_arg
+      $ faults_arg $ storage_frac_arg)
+  in
+  Cmd.v
+    (Cmd.info "lu"
+       ~doc:
+         "Numerically run the fault-tolerant LU extension on a random \
+          diagonally dominant matrix with fault injection.")
+    term
+
+let placement_cmd =
+  let run machine n block k =
+    let b = if block > 0 then block else machine.Hetsim.Machine.default_block in
+    let d = Abft.Placement.decide machine { Abft.Overhead_model.n; b; k } in
+    Format.printf "%a@." Abft.Placement.pp_decision d;
+    0
+  in
+  let term =
+    Term.(
+      const run $ machine_arg $ n_arg ~default:20480 $ block_arg
+      $ Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Verification interval."))
+  in
+  Cmd.v
+    (Cmd.info "placement"
+       ~doc:"Show the Optimization-2 CPU/GPU placement decision for a machine.")
+    term
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let () =
+  (* cmdliner commands read the flag positionally before dispatch *)
+  setup_logs (Array.exists (fun a -> a = "-v" || a = "--verbose") Sys.argv);
+  let doc =
+    "fault-tolerant Cholesky decomposition with Enhanced Online-ABFT \
+     (IPDPS'16 reproduction)"
+  in
+  let argv =
+    Array.of_list
+      (List.filter
+         (fun a -> a <> "-v" && a <> "--verbose")
+         (Array.to_list Sys.argv))
+  in
+  exit
+    (Cmd.eval' ~argv
+       (Cmd.group (Cmd.info "ftchol" ~doc)
+          [
+            factor_cmd; simulate_cmd; sweep_cmd; machines_cmd; plan_cmd;
+            placement_cmd; lu_cmd;
+          ]))

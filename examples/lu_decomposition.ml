@@ -1,0 +1,45 @@
+(* Fault-tolerant LU decomposition (the repository's extension of the
+   paper's Enhanced scheme to a two-sided factorization): factor a
+   diagonally dominant matrix while storage errors strike both an L and
+   a U panel tile, then solve a linear system with the repaired
+   factors. Run:
+
+     dune exec examples/lu_decomposition.exe
+*)
+
+open Matrix
+
+let () =
+  let n = 128 and block = 16 in
+  Format.printf "FT-LU: %dx%d diagonally dominant matrix, %dx%d tiles@.@." n n
+    block block;
+  let a = Lapack.diag_dominant ~seed:11 n in
+
+  let plan =
+    [
+      (* L(5,1) flips after its iteration-1 factorization, caught by a
+         column checksum at its next lazy-update read; *)
+      Fault.storage_error ~bit:52 ~iteration:3 ~block:(5, 1) ~element:(4, 4) ();
+      (* U(1,6) flips too — located via the ROW checksums that the
+         two-sided encoding adds over the Cholesky scheme. *)
+      Fault.storage_error ~bit:52 ~iteration:3 ~block:(1, 6) ~element:(2, 9) ();
+    ]
+  in
+  List.iter (fun i -> Format.printf "injecting: %a@." Fault.pp_injection i) plan;
+
+  let r = Ftlu.Ft_lu.factor ~plan ~block a in
+  Format.printf "@.%a@.@." Ftlu.Ft_lu.pp_report r;
+  List.iter
+    (fun f -> Format.printf "fired: %a@." Injector.pp_fired f)
+    r.Ftlu.Ft_lu.injections_fired;
+
+  (* Use the repaired factors: solve A x = b. *)
+  let x_true = Spd.random ~seed:12 n 1 in
+  let b = Blas3.gemm_alloc a x_true in
+  let x = Mat.copy b in
+  Blas3.trsm Types.Left Types.Lower Types.No_trans Types.Unit_diag
+    r.Ftlu.Ft_lu.l x;
+  Blas3.trsm Types.Left Types.Upper Types.No_trans Types.Non_unit_diag
+    r.Ftlu.Ft_lu.u x;
+  Format.printf "@.solve with repaired factors: |x - x_true| = %.3e@."
+    (Mat.norm_fro (Mat.sub_mat x x_true))

@@ -1,0 +1,57 @@
+(* Correlated Monte-Carlo portfolio simulation — the paper's "Monte
+   Carlo simulations" motivation. The Cholesky factor of the return
+   covariance drives every sample, so a single silently corrupted
+   factor element skews the whole risk estimate. This demo compares:
+   a clean run, a run where ABFT absorbs an injected fault, and the
+   damage an *unprotected* run would have shipped. Run:
+
+     dune exec examples/monte_carlo.exe
+*)
+
+open Matrix
+
+let print_est name (est : Workloads.Montecarlo.estimate) =
+  Format.printf "%-24s mean %+.5f  stddev %.5f  VaR(95%%) %.5f@." name
+    est.Workloads.Montecarlo.mean est.Workloads.Montecarlo.stddev
+    est.Workloads.Montecarlo.var_95
+
+let () =
+  let assets = 48 and samples = 20000 in
+  Format.printf "Monte-Carlo portfolio risk: %d assets, %d samples@.@." assets
+    samples;
+  let cov = Workloads.Montecarlo.correlated_returns_cov ~assets () in
+  let weights = Vec.init assets (fun _ -> 1. /. float_of_int assets) in
+  let block = Workloads.Util.pick_block ~target:12 assets in
+
+  let clean = Workloads.Montecarlo.simulate ~cov ~weights ~samples () in
+  print_est "clean factor:" clean;
+
+  (* The same simulation with a storage error absorbed by Enhanced ABFT. *)
+  let cfg = Cholesky.Config.make ~machine:Hetsim.Machine.testbench ~block () in
+  let plan =
+    [ Fault.storage_error ~bit:62 ~iteration:1 ~block:(1, 1) ~element:(5, 5) () ]
+  in
+  let protected = Workloads.Montecarlo.simulate ~cfg ~plan ~cov ~weights ~samples () in
+  print_est "faulty, ABFT-protected:" protected;
+
+  (* What an unprotected run would have shipped: corrupt the factor the
+     same way by hand and re-estimate. *)
+  let l = Lapack.cholesky cov in
+  let corrupted = Mat.copy l in
+  Mat.set corrupted (block + 5) (block + 5)
+    (Bitflip.flip (Mat.get corrupted (block + 5) (block + 5)) 62);
+  let st = Random.State.make [| 17; samples; assets |] in
+  let returns =
+    Array.init samples (fun _ ->
+        Vec.dot weights (Blas2.gemv_alloc corrupted (Workloads.Util.gaussian_vec st assets)))
+  in
+  let mean = Array.fold_left ( +. ) 0. returns /. float_of_int samples in
+  let var =
+    Array.fold_left (fun acc r -> acc +. ((r -. mean) ** 2.)) 0. returns
+    /. float_of_int (samples - 1)
+  in
+  Format.printf "%-24s mean %+.5f  stddev %.5f   <- silent corruption@."
+    "unprotected (corrupt L):" mean (sqrt var);
+  Format.printf
+    "@.ABFT-protected estimates match the clean run exactly; the corrupted \
+     factor destroys the risk numbers.@."

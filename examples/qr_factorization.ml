@@ -1,0 +1,35 @@
+(* Fault-tolerant QR (blocked modified Gram–Schmidt) — the repository's
+   third factorization. Solves a least-squares problem through the
+   protected QR while storage errors strike the Q panels, and shows the
+   solution is unchanged. Run:
+
+     dune exec examples/qr_factorization.exe
+*)
+
+open Matrix
+
+let () =
+  let m = 240 and n = 96 in
+  Format.printf "FT-QR: %dx%d overdetermined system, 16-column panels@.@." m n;
+  let a = Spd.random ~seed:21 m n in
+  let x_true = Spd.random ~seed:22 n 1 in
+  let b = Blas3.gemm_alloc a x_true in
+
+  let plan =
+    [
+      Fault.storage_error ~bit:52 ~iteration:3 ~block:(1, 0) ~element:(100, 7) ();
+      Fault.computing_error ~delta:80. ~iteration:4 ~op:Fault.Gemm ~block:(4, 2)
+        ~element:(50, 3) ();
+    ]
+  in
+  List.iter (fun i -> Format.printf "injecting: %a@." Fault.pp_injection i) plan;
+
+  let r = Ftqr.Ft_qr.factor ~plan ~block:16 a in
+  Format.printf "@.%a@.@." Ftqr.Ft_qr.pp_report r;
+
+  (* Least squares through the factors: R x = Q^T b. *)
+  let qtb = Blas3.gemm_alloc ~transa:Types.Trans r.Ftqr.Ft_qr.q b in
+  Blas3.trsm Types.Left Types.Upper Types.No_trans Types.Non_unit_diag
+    r.Ftqr.Ft_qr.r qtb;
+  Format.printf "least-squares solution error |x - x_true| = %.3e@."
+    (Mat.norm_fro (Mat.sub_mat qtb x_true))

@@ -1,0 +1,50 @@
+(* Quickstart: factor an SPD matrix with Enhanced Online-ABFT while a
+   storage error (a bit flip in a factored, already-verified block)
+   strikes mid-run — the exact failure mode the paper's scheme was
+   built for. Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+open Matrix
+
+let () =
+  let n = 256 and block = 32 in
+  Format.printf "Enhanced Online-ABFT quickstart: %dx%d SPD matrix, %dx%d tiles@.@."
+    n n block block;
+  let a = Spd.random_spd ~seed:42 n in
+
+  (* A storage error: bit 52 of an element of tile (4,1) flips at the
+     start of iteration 5 — after that tile was factored and verified,
+     before it is next read. Classic Online-ABFT ships a wrong factor
+     here; Enhanced verifies the tile immediately before the read. *)
+  let flip =
+    Fault.storage_error ~bit:52 ~iteration:4 ~block:(6, 1) ~element:(7, 12) ()
+  in
+  Format.printf "Injecting: %a@.@." Fault.pp_injection flip;
+
+  let cfg =
+    Cholesky.Config.make ~machine:Hetsim.Machine.testbench ~block
+      ~scheme:(Abft.Scheme.enhanced ()) ()
+  in
+  let report = Cholesky.Ft.factor ~plan:[ flip ] cfg a in
+
+  Format.printf "%a@.@." Cholesky.Ft.pp_report report;
+  List.iter
+    (fun fired -> Format.printf "fired: %a@." Injector.pp_fired fired)
+    report.Cholesky.Ft.injections_fired;
+
+  (* Prove the factor is right: reconstruct L * L^T. *)
+  let l = report.Cholesky.Ft.factor in
+  let recon = Blas3.gemm_alloc ~transb:Types.Trans l l in
+  Format.printf "@.reconstruction error |LL^T - A|_F / |A|_F = %.3e@."
+    (Mat.norm_fro (Mat.sub_mat recon a) /. Mat.norm_fro a);
+
+  (* Contrast: the same fault under classic Online-ABFT. *)
+  let online_cfg = { cfg with Cholesky.Config.scheme = Abft.Scheme.Online } in
+  let online = Cholesky.Ft.factor ~plan:[ flip ] online_cfg a in
+  Format.printf
+    "@.same fault under Online-ABFT: %a (restarts: %d) — corrected inline \
+     only by Enhanced@."
+    Cholesky.Ft.pp_outcome online.Cholesky.Ft.outcome
+    online.Cholesky.Ft.stats.Cholesky.Ft.restarts

@@ -1,0 +1,62 @@
+open Matrix
+
+type t = { chk : Mat.t; weights : Mat.t }
+
+let weights ~d ~b =
+  if d < 1 || b < 1 then invalid_arg "Checksum.weights: d and b must be >= 1";
+  Mat.init b d (fun i r -> Float.pow (float_of_int (i + 1)) (float_of_int r))
+
+let encode ?(d = 2) a =
+  if Mat.rows a < 1 then invalid_arg "Checksum.encode: empty tile";
+  let v = weights ~d ~b:(Mat.rows a) in
+  let chk = Blas3.gemm_alloc ~transa:Types.Trans v a in
+  { chk; weights = v }
+
+let recompute t a =
+  if Mat.rows a <> Mat.rows t.weights || Mat.cols a <> Mat.cols t.chk then
+    invalid_arg "Checksum.recompute: tile shape mismatch";
+  Blas3.gemm_alloc ~transa:Types.Trans t.weights a
+
+let matrix t = t.chk
+let d t = Mat.rows t.chk
+let b t = Mat.cols t.chk
+let rows t = Mat.rows t.weights
+let copy t = { chk = Mat.copy t.chk; weights = t.weights }
+let corrupt t ~row ~col v = Mat.set t.chk row col v
+
+type store = { blocks : t option array array; d : int; grid : int }
+
+let encode_lower ?(d = 2) tiles =
+  let g = Tile.grid tiles in
+  {
+    blocks =
+      Array.init g (fun i ->
+          Array.init g (fun j ->
+              if i >= j then Some (encode ~d (Tile.tile tiles i j)) else None));
+    d;
+    grid = g;
+  }
+
+let get s i j =
+  if i < 0 || j < 0 || i >= s.grid || j >= s.grid || i < j then
+    invalid_arg
+      (Printf.sprintf "Checksum.get: (%d,%d) not a lower-triangle tile of %d"
+         i j s.grid);
+  match s.blocks.(i).(j) with
+  | Some t -> t
+  | None -> assert false
+
+let store_d s = s.d
+let store_grid s = s.grid
+
+let total_bytes s =
+  let acc = ref 0 in
+  Array.iter
+    (Array.iter (function
+      | Some t -> acc := !acc + (8 * d t * b t)
+      | None -> ()))
+    s.blocks;
+  !acc
+
+let copy_store s =
+  { s with blocks = Array.map (Array.map (Option.map copy)) s.blocks }

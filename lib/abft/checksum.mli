@@ -1,0 +1,83 @@
+(** Per-block weighted column checksums (the paper's §IV-A encoding).
+
+    A B×B tile [A] is encoded by [d] weighted column sums
+    [chk_r = w_rᵀ · A], one row per weight vector, stored together as a
+    d×B matrix. The paper uses [d = 2] with [w_1 = (1,…,1)] and
+    [w_2 = (1,2,…,B)]: one checksum detects an error in a column, the
+    pair locates its row (δ₂/δ₁) and its magnitude (δ₁), enabling
+    correction of one error per tile column.
+
+    The encoding is per *block*, not per matrix: MAGMA updates tiles as
+    units, and block-local checksums both localize faults (higher
+    "fault-tolerance density", §IV-A) and make every update rule a
+    small dense kernel.
+
+    Weight vectors generalise to any [d ≥ 1] as
+    [w_r(i) = (i+1)^(r-1)] (a Vandermonde family), which keeps the
+    locate-and-correct algebra of [d = 2] intact and supports the
+    ablation "one checksum detects but cannot correct". *)
+
+open Matrix
+
+type t
+(** The checksum block of one tile: a d×B matrix. Mutable — update
+    rules modify it in place, exactly like the data tiles. *)
+
+val weights : d:int -> b:int -> Mat.t
+(** [weights ~d ~b] is the B×d weight matrix [V] with
+    [V(i, r) = (i+1)^r]. @raise Invalid_argument unless
+    [1 <= d] and [1 <= b]. *)
+
+val encode : ?d:int -> Mat.t -> t
+(** [encode ~d a] computes the d×n checksum [Vᵀ·a] of an m×n tile
+    (default [d = 2]); Cholesky uses square B×B tiles, the QR
+    extension tall m×b panels — the algebra never needs squareness.
+    @raise Invalid_argument on an empty tile. *)
+
+val recompute : t -> Mat.t -> Mat.t
+(** [recompute t a] recomputes the checksum of [a] fresh (same weights
+    and shape as [t]) — the "checksum recalculation" operation that
+    Optimization 1 accelerates. Returns a new matrix; [t] is
+    unchanged. *)
+
+val matrix : t -> Mat.t
+(** The live d×B checksum matrix (aliased, not copied): update rules
+    in {!Update} mutate it. *)
+
+val d : t -> int
+(** Number of checksum rows. *)
+
+val b : t -> int
+(** Column count of the tile this checksum covers. *)
+
+val rows : t -> int
+(** Row count of the tile this checksum covers (equals {!b} for the
+    square tiles of the Cholesky drivers). *)
+
+val copy : t -> t
+
+val corrupt : t -> row:int -> col:int -> float -> unit
+(** Overwrite one stored checksum entry — test hook for exercising
+    checksum-side corruption. *)
+
+(** {1 Whole-matrix stores} *)
+
+type store
+(** Checksums for every lower-triangle tile of a tiled matrix
+    (Cholesky only maintains the lower triangle). *)
+
+val encode_lower : ?d:int -> Tile.t -> store
+(** Encode every tile [(i, j)] with [i >= j]. *)
+
+val get : store -> int -> int -> t
+(** [get s i j] for a lower-triangle tile.
+    @raise Invalid_argument if [i < j] or out of range. *)
+
+val store_d : store -> int
+val store_grid : store -> int
+
+val total_bytes : store -> int
+(** Space occupied by all checksums — the paper's [2n²/B] space
+    overhead, reported by benches. *)
+
+val copy_store : store -> store

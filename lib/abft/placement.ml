@@ -1,0 +1,77 @@
+type choice = Cpu_updates | Gpu_updates
+
+type decision = {
+  choice : choice;
+  t_pick_gpu : float;
+  t_pick_cpu : float;
+  cpu_tail_iter_s : float;
+  gpu_tail_iter_s : float;
+  cpu_viable : bool;
+}
+
+let decide (m : Hetsim.Machine.t) (p : Overhead_model.params) =
+  let gpu = m.Hetsim.Machine.gpu and cpu = m.Hetsim.Machine.cpu in
+  let p_gpu = gpu.Hetsim.Device.peak_gflops *. 1e9 in
+  let p_cpu = cpu.Hetsim.Device.peak_gflops *. 1e9 in
+  let rate = m.Hetsim.Machine.link.Hetsim.Machine.bandwidth_gbs *. 1e9 in
+  let latency = m.Hetsim.Machine.link.Hetsim.Machine.latency_s in
+  let n_cho = Overhead_model.cholesky_flops p in
+  let n_upd = Overhead_model.update_flops p in
+  let n_rec = Overhead_model.recalc_flops_enhanced p in
+  let d_upd_bytes = 8. *. Overhead_model.transfer_words_verify_enhanced p in
+  (* The paper's literal §V-B estimates. *)
+  let t_pick_gpu = (n_cho +. n_upd +. n_rec) /. p_gpu in
+  let t_pick_cpu =
+    Float.max
+      ((n_cho +. n_rec) /. p_gpu)
+      ((n_upd /. p_cpu) +. (d_upd_bytes /. rate))
+  in
+  (* Tail-iteration viability (the §V-B caveat): r rows remain, one
+     iteration's updating must fit inside that iteration's GPU time. *)
+  let b = float_of_int p.Overhead_model.b in
+  let r = 2. *. b in
+  let p_gpu_sustained =
+    p_gpu *. gpu.Hetsim.Device.gemm_efficiency
+  in
+  let gpu_tail_iter_s =
+    ((2. *. b *. r *. r) +. (b *. b *. r)) /. p_gpu_sustained
+  in
+  (* Skinny 2-row checksum GEMMs stream the LC operand once per ~4
+     flops per element: ~0.5 flops/byte, so the CPU rate is the lower
+     of its dense rate and its bandwidth-derived rate. *)
+  let cpu_eff_rate =
+    Float.min
+      (p_cpu *. cpu.Hetsim.Device.gemm_efficiency)
+      (cpu.Hetsim.Device.mem_bandwidth_gbs *. 1e9 *. 0.5)
+  in
+  let cpu_flops_iter = 4. *. b *. r in
+  let transfer_bytes_iter = 8. *. ((b *. b) +. (2. *. b *. r)) in
+  let cpu_tail_iter_s =
+    (cpu_flops_iter /. cpu_eff_rate)
+    +. (transfer_bytes_iter /. rate)
+    +. (2. *. latency)
+  in
+  let cpu_viable = cpu_tail_iter_s <= gpu_tail_iter_s in
+  let choice =
+    (* The measured answer, when the machine descriptor carries one,
+       beats the model — both options cost well under 1% of the run, so
+       the analytic margin is inside the noise the paper measured
+       through. *)
+    match m.Hetsim.Machine.measured_update_placement with
+    | Some `Cpu -> Cpu_updates
+    | Some `Gpu -> Gpu_updates
+    | None ->
+        if cpu_viable && t_pick_cpu <= t_pick_gpu then Cpu_updates
+        else Gpu_updates
+  in
+  { choice; t_pick_gpu; t_pick_cpu; cpu_tail_iter_s; gpu_tail_iter_s; cpu_viable }
+
+let choice_name = function Cpu_updates -> "cpu" | Gpu_updates -> "gpu"
+
+let pp_decision fmt d =
+  Format.fprintf fmt
+    "pick %s (T_gpu=%.4fs, T_cpu=%.4fs; tail iter: cpu %.0fus vs gpu budget \
+     %.0fus, %s)"
+    (choice_name d.choice) d.t_pick_gpu d.t_pick_cpu
+    (d.cpu_tail_iter_s *. 1e6) (d.gpu_tail_iter_s *. 1e6)
+    (if d.cpu_viable then "viable" else "not viable")

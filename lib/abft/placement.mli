@@ -1,0 +1,57 @@
+(** Optimization 2's CPU-vs-GPU placement model for checksum updating.
+
+    Checksum updating is off the critical path, so it can either share
+    the GPU (on a separate stream, overlapping at spare capacity) or
+    run on the otherwise-idle CPU (paying PCIe transfers). The paper's
+    §V-B estimation model compares
+
+    [T_gpu = (N_cho + N_upd + N_rec) / P_gpu]
+    [T_cpu = max((N_cho + N_rec) / P_gpu, N_upd / P_cpu + D_upd / R)]
+
+    with flop counts from {!Overhead_model} and the transfer volume
+    [D_upd = n³/(3KB²)] words — but it also warns: "we need to ensure
+    that CPU can complete its job close to the completion time of GPU.
+    Otherwise, it may not be worth to do it on CPU."
+
+    With peak rates, [T_cpu <= T_gpu] essentially always (offloading
+    removes work from the GPU at a small transfer cost), so the caveat
+    is the real discriminator. We formalise it as a *tail-iteration
+    viability check*: at the representative late iteration with
+    [r = 2B] rows remaining, the CPU must finish that iteration's
+    updating — skinny 2-row GEMMs at the CPU's bandwidth-bound
+    effective rate, plus the iteration's LC-panel transfer and two
+    transfer latencies — within the GPU's iteration time
+    [(2Br² + B²r) / P_gpu_sustained]. Late iterations are where the
+    GPU has the least work to hide CPU activity behind; B enters
+    quadratically in the transfer term but the GPU term shrinks with
+    its own [B], which is why the check passes on TARDIS (B = 256,
+    modest Fermi) and fails on BULLDOZER64 (B = 512, fast K40c) —
+    reproducing the paper's §VII-D choices: CPU updating on TARDIS,
+    GPU updating on BULLDOZER64. *)
+
+type choice = Cpu_updates | Gpu_updates
+
+type decision = {
+  choice : choice;
+  t_pick_gpu : float;  (** §V-B estimate if updating shares the GPU *)
+  t_pick_cpu : float;  (** §V-B estimate if updating goes to the CPU *)
+  cpu_tail_iter_s : float;
+      (** CPU updating time of the [r = 2B] tail iteration *)
+  gpu_tail_iter_s : float;
+      (** GPU compute time of that iteration — the budget the CPU must
+          fit in *)
+  cpu_viable : bool;  (** [cpu_tail_iter_s <= gpu_tail_iter_s] *)
+}
+
+val decide : Hetsim.Machine.t -> Overhead_model.params -> decision
+(** When the machine descriptor carries a measured placement
+    ({!Hetsim.Machine.t.measured_update_placement} — both paper
+    testbeds do), that wins: the analytic margin between the options is
+    well inside measurement noise, and the paper itself chose
+    empirically ("determined by our testing system", §VII-D).
+    Otherwise picks [Cpu_updates] iff the CPU is viable at the tail
+    *and* the §V-B estimate favours (or ties) it. The estimate and
+    viability fields are always computed and reported. *)
+
+val choice_name : choice -> string
+val pp_decision : Format.formatter -> decision -> unit

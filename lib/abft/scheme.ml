@@ -1,0 +1,43 @@
+type t = No_ft | Offline | Online | Enhanced of { k : int }
+
+let enhanced ?(k = 1) () =
+  if k < 1 then invalid_arg "Scheme.enhanced: k must be >= 1";
+  Enhanced { k }
+
+let name = function
+  | No_ft -> "none"
+  | Offline -> "offline"
+  | Online -> "online"
+  | Enhanced { k } -> Printf.sprintf "enhanced-k%d" k
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "none" | "no-ft" | "magma" -> Ok No_ft
+  | "offline" -> Ok Offline
+  | "online" -> Ok Online
+  | "enhanced" -> Ok (Enhanced { k = 1 })
+  | s -> (
+      let prefix = "enhanced-k" in
+      let plen = String.length prefix in
+      match
+        if String.length s > plen && String.sub s 0 plen = prefix then
+          int_of_string_opt (String.sub s plen (String.length s - plen))
+        else None
+      with
+      | Some k when k >= 1 -> Ok (Enhanced { k })
+      | _ -> Error (Printf.sprintf "unknown scheme %S" s))
+
+let corrects_computing_errors = function
+  | No_ft | Offline -> false
+  | Online | Enhanced _ -> true
+
+let corrects_storage_errors = function
+  | No_ft | Offline | Online -> false
+  | Enhanced _ -> true
+
+let verification_interval = function
+  | No_ft | Offline | Online -> 1
+  | Enhanced { k } -> k
+
+let all = [ No_ft; Offline; Online; Enhanced { k = 1 } ]
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,47 @@
+(** Fault-tolerance scheme selector.
+
+    - [No_ft] — plain MAGMA-style factorization, no checksums.
+    - [Offline] — Huang–Abraham: encode before, verify once after the
+      whole factorization. Detects, but propagated errors are not
+      correctable mid-run.
+    - [Online] — Davies–Chen style post-update verification: every
+      block is verified right after it is written. Corrects computing
+      errors; blind to storage errors that strike between a block's
+      last verification and its next read.
+    - [Enhanced { k }] — this paper: pre-read verification of every
+      input block, relaxed to every [k] iterations for GEMM/TRSM inputs
+      (Optimization 3; SYRK inputs are always verified because an
+      undetected error entering the diagonal block can destroy positive
+      definiteness). [k = 1] is full-strength. *)
+
+type t = No_ft | Offline | Online | Enhanced of { k : int }
+
+val enhanced : ?k:int -> unit -> t
+(** [enhanced ()] is [Enhanced { k = 1 }].
+    @raise Invalid_argument if [k < 1]. *)
+
+val name : t -> string
+(** Short stable identifier: ["none"], ["offline"], ["online"],
+    ["enhanced-k<k>"]. *)
+
+val of_string : string -> (t, string) result
+(** Parses {!name} output plus the aliases ["enhanced"] (k = 1) and
+    ["enhanced-kN"]. *)
+
+val corrects_computing_errors : t -> bool
+(** Whether the scheme corrects a computing error before it pollutes
+    the final result (the paper's Table VII middle column). *)
+
+val corrects_storage_errors : t -> bool
+(** Whether the scheme corrects a storage error struck between a
+    verification and the next read (Table VII right column). Only
+    [Enhanced] does. *)
+
+val verification_interval : t -> int
+(** The [K] of Optimization 3 ([1] for every scheme but [Enhanced]). *)
+
+val all : t list
+(** The four schemes with [Enhanced] at [k = 1], in presentation
+    order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+open Matrix
+
+let check_pair name chk_x chk_y lc =
+  if Checksum.d chk_x <> Checksum.d chk_y then
+    invalid_arg (name ^ ": checksum row-count mismatch");
+  if
+    Checksum.b chk_x <> Mat.rows lc
+    || Checksum.b chk_y <> Mat.rows lc
+    || Mat.rows lc <> Mat.cols lc
+  then invalid_arg (name ^ ": tile size mismatch")
+
+(* chk_a <- chk_a - chk_lc . lc^T, shared by the SYRK and GEMM rules
+   (they differ only in which operands the driver passes). *)
+let rank_update name ~chk_x ~chk_y ~lc =
+  check_pair name chk_x chk_y lc;
+  Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1. (Checksum.matrix chk_y)
+    lc (Checksum.matrix chk_x)
+
+let syrk ~chk_a ~chk_lc ~lc = rank_update "Update.syrk" ~chk_x:chk_a ~chk_y:chk_lc ~lc
+let gemm ~chk_b ~chk_ld ~lc = rank_update "Update.gemm" ~chk_x:chk_b ~chk_y:chk_ld ~lc
+
+let potf2 ~chk ~la =
+  let b = Checksum.b chk and d = Checksum.d chk in
+  if Mat.rows la <> b || Mat.cols la <> b then
+    invalid_arg "Update.potf2: tile size mismatch";
+  let c = Checksum.matrix chk in
+  for j = 0 to b - 1 do
+    let piv = Mat.get la j j in
+    for r = 0 to d - 1 do
+      let v = Mat.get c r j /. piv in
+      Mat.set c r j v;
+      for col = j + 1 to b - 1 do
+        Mat.set c r col (Mat.get c r col -. (v *. Mat.get la col j))
+      done
+    done
+  done
+
+let potf2_by_trsm ~chk ~la =
+  let b = Checksum.b chk in
+  if Mat.rows la <> b || Mat.cols la <> b then
+    invalid_arg "Update.potf2_by_trsm: tile size mismatch";
+  Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag la
+    (Checksum.matrix chk)
+
+let trsm ~chk ~la =
+  let b = Checksum.b chk in
+  if Mat.rows la <> b || Mat.cols la <> b then
+    invalid_arg "Update.trsm: tile size mismatch";
+  Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag la
+    (Checksum.matrix chk)

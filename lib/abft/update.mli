@@ -1,0 +1,37 @@
+(** Checksum-updating rules (§IV-B): one per Cholesky kernel.
+
+    Each rule transforms a tile's checksum exactly as the kernel
+    transforms the tile, so the invariant [chk = Vᵀ·tile] is preserved
+    through the whole factorization:
+
+    - SYRK  [A' = A − LC·LCᵀ]  ⇒  [chk(A') = chk(A) − chk(LC)·LCᵀ]
+    - GEMM  [B' = B − LD·LCᵀ]  ⇒  [chk(B') = chk(B) − chk(LD)·LCᵀ]
+    - POTF2 [A' → L]           ⇒  Algorithm 2 of the paper
+      (equivalently [chk(L) = chk(A')·(Lᵀ)⁻¹])
+    - TRSM  [LB = B'·(Lᵀ)⁻¹]   ⇒  [chk(LB) = chk(B')·(Lᵀ)⁻¹]
+
+    All rules mutate the first checksum argument in place and never
+    touch tile data. *)
+
+open Matrix
+
+val syrk : chk_a:Checksum.t -> chk_lc:Checksum.t -> lc:Mat.t -> unit
+(** Rank-k update of the diagonal block's checksum.
+    @raise Invalid_argument on shape or weight-count mismatch. *)
+
+val gemm : chk_b:Checksum.t -> chk_ld:Checksum.t -> lc:Mat.t -> unit
+(** Panel-update (GEMM) rule; same algebra as {!syrk} with the panel's
+    operands. *)
+
+val potf2 : chk:Checksum.t -> la:Mat.t -> unit
+(** Algorithm 2, implemented literally as the paper's per-column loop:
+    [chk[j] /= LA[j,j]; chk[j+1:] -= chk[j]·LA[j+1:,j]ᵀ] for each
+    checksum row. [la] must be the factored lower-triangular block. *)
+
+val potf2_by_trsm : chk:Checksum.t -> la:Mat.t -> unit
+(** The same transform expressed as a triangular solve
+    [chk ← chk·(laᵀ)⁻¹] — used to cross-check {!potf2} and as the
+    BLAS-3 form a production kernel would use. *)
+
+val trsm : chk:Checksum.t -> la:Mat.t -> unit
+(** Panel TRSM rule: [chk ← chk·(laᵀ)⁻¹]. *)

@@ -1,0 +1,66 @@
+(** Error detection, location and correction (the paper's §IV-C).
+
+    Given a tile and its stored checksum, [verify] recomputes the
+    checksum fresh and compares. A discrepancy [δ₁ᵢ] above the rounding
+    threshold in column [i] signals an error in that column; with two
+    checksum rows, the row index is [δ₂ᵢ/δ₁ᵢ − 1] and the corrected
+    value is the stored one minus [δ₁ᵢ]. Up to one error per column is
+    corrected; anything else (non-integral locator, out-of-range row,
+    residual mismatch after patching, or a single-row checksum) is
+    reported uncorrectable and triggers the driver's
+    recovery-by-recomputation.
+
+    The stored checksums themselves are assumed intact, as in the
+    paper (they are small and can be kept in protected memory); a
+    corrupted checksum over clean data is *detected* but the "fix"
+    would chase the checksum, so the final re-verification is what
+    keeps the contract honest: after [Corrected], tile and checksum are
+    consistent. *)
+
+open Matrix
+
+type correction = {
+  row : int;
+  col : int;
+  wrong : float;  (** value found in the tile *)
+  fixed : float;  (** value written back *)
+}
+
+type outcome =
+  | Clean  (** checksums matched everywhere *)
+  | Corrected of correction list
+      (** mismatches found, all located and patched, re-verification
+          passed *)
+  | Uncorrectable of string
+      (** mismatch found that the scheme cannot repair; the payload
+          explains why (for logs and tests) *)
+
+val default_tol : float
+(** Relative rounding threshold, [1e-8]: mismatches below
+    [tol × scale] (where scale is the largest checksum magnitude, at
+    least 1) are attributed to floating-point rounding. *)
+
+val verify : ?tol:float -> Checksum.t -> Mat.t -> outcome
+(** [verify ~tol chk tile] detects, locates and corrects in-place
+    (square tiles or rectangular panels alike).
+    With the paper's [d = 2] checksum rows, up to one error per tile
+    column is corrected. With [d >= 4] rows (an extension beyond the
+    paper), up to {e two} errors per column are corrected: the column's
+    checksum discrepancies [δ_r = Σᵢ eᵢ·(rowᵢ+1)^r] are the power sums
+    of the error locations weighted by the error magnitudes, so the two
+    locations are the roots of the quadratic [w² − s·w + p] recovered
+    from four consecutive power sums (classic Prony/BCH decoding), and
+    the magnitudes follow by elimination. Non-integral or out-of-range
+    roots fall through to [Uncorrectable].
+    @raise Invalid_argument on shape mismatch between [chk] and
+    [tile]. *)
+
+val max_correctable_per_column : d:int -> int
+(** [1] for [d] of 2 or 3, [2] for [d >= 4], [0] for [d = 1] — what
+    {!verify} can repair in one column of a tile. *)
+
+val check : ?tol:float -> Checksum.t -> Mat.t -> bool
+(** Detection only — true iff the checksums match within tolerance.
+    The tile is never modified. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,53 @@
+type result = {
+  interval_s : float;
+  checkpoint_cost_s : float;
+  expected_s : float;
+  overhead_vs_plain : float;
+}
+
+let checkpoint_cost (machine : Hetsim.Machine.t) ~n =
+  let b = float_of_int machine.Hetsim.Machine.default_block in
+  let fn = float_of_int n in
+  let bytes = 8. *. fn *. fn *. (1. +. (2. /. b)) in
+  Hetsim.Machine.transfer_time machine ~bytes:(int_of_float bytes)
+
+let young_daly_interval ~checkpoint_cost_s ~error_rate =
+  if checkpoint_cost_s <= 0. then
+    invalid_arg "Checkpoint.young_daly_interval: non-positive cost";
+  if error_rate < 0. then
+    invalid_arg "Checkpoint.young_daly_interval: negative rate";
+  if error_rate = 0. then infinity
+  else sqrt (2. *. checkpoint_cost_s /. error_rate)
+
+let plain_work (machine : Hetsim.Machine.t) ~n =
+  let cfg = Config.make ~machine ~scheme:Abft.Scheme.No_ft () in
+  (Schedule.run cfg ~n).Schedule.makespan
+
+let expected_time machine ~n ~error_rate ?interval_s () =
+  let c = checkpoint_cost machine ~n in
+  let w = plain_work machine ~n in
+  let interval_s =
+    match interval_s with
+    | Some s ->
+        if s <= 0. then invalid_arg "Checkpoint.expected_time: interval <= 0";
+        s
+    | None -> young_daly_interval ~checkpoint_cost_s:c ~error_rate
+  in
+  let restart_cost = c in
+  (* First-order Young/Daly accounting: the work itself, one checkpoint
+     per interval of work, and per expected failure half an interval of
+     rework plus the reload. An interval longer than the run degenerates
+     to "no checkpoints, restart from scratch on failure". *)
+  let tau = Float.min interval_s w in
+  let expected_s =
+    w
+    +. (if Float.is_finite interval_s && interval_s < w then w /. tau *. c
+        else 0.)
+    +. (error_rate *. w *. ((tau /. 2.) +. restart_cost))
+  in
+  {
+    interval_s;
+    checkpoint_cost_s = c;
+    expected_s;
+    overhead_vs_plain = (expected_s -. w) /. w;
+  }

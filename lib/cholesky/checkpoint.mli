@@ -1,0 +1,48 @@
+(** Periodic checkpoint/restart — the third resilience technique the
+    paper's related work composes with ABFT (Bosilca et al., "Composing
+    resilience techniques: ABFT, periodic and incremental
+    checkpointing").
+
+    A checkpoint copies the factorization state (the n×n matrix plus
+    checksums) to host memory over PCIe every [interval] outer
+    iterations; a detected failure rolls back to the last checkpoint
+    instead of to the beginning. Under a Poisson failure rate λ the
+    classic Young/Daly analysis gives the optimal interval
+    [sqrt(2·C/λ)] (in seconds of work between checkpoints, [C] the
+    checkpoint cost) and the expected run time
+
+    [E = (W / interval_s) · (C + interval_s + λ·interval_s·(interval_s/2 + R))]
+
+    approximated to first order in λ, where [W] is the fault-free work
+    time and [R] the restart (reload) cost. This module provides the
+    model for the ablation bench: at realistic soft-error rates, ABFT's
+    forward correction beats rollback by a wide margin because its
+    "recovery" is a handful of flops, not a rollback. *)
+
+type result = {
+  interval_s : float;  (** seconds of work between checkpoints *)
+  checkpoint_cost_s : float;  (** one checkpoint (PCIe copy) *)
+  expected_s : float;  (** expected total run time under the rate *)
+  overhead_vs_plain : float;  (** fraction over the fault-free time *)
+}
+
+val checkpoint_cost : Hetsim.Machine.t -> n:int -> float
+(** Copying the matrix and its checksums to the host:
+    [8·n²·(1 + 2/B)] bytes over the PCIe link. *)
+
+val young_daly_interval : checkpoint_cost_s:float -> error_rate:float -> float
+(** [sqrt (2·C/λ)]; [infinity] when [error_rate = 0].
+    @raise Invalid_argument on negative arguments or non-positive
+    checkpoint cost. *)
+
+val expected_time :
+  Hetsim.Machine.t ->
+  n:int ->
+  error_rate:float ->
+  ?interval_s:float ->
+  unit ->
+  result
+(** Expected run time of plain (no-FT) Cholesky protected by periodic
+    checkpointing at the given Poisson [error_rate] (errors/second).
+    [interval_s] defaults to the Young/Daly optimum. The fault-free
+    work time comes from the simulator's no-FT schedule. *)

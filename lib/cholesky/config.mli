@@ -1,0 +1,66 @@
+(** Driver configuration: machine, blocking, scheme, optimizations.
+
+    One record configures both execution modes (numeric and timing) so
+    that a single value describes "the experiment". *)
+
+(** Where checksum *updating* runs (the paper's Optimization 2). *)
+type placement =
+  | Auto  (** pick per {!Abft.Placement.decide} for the machine *)
+  | Gpu_inline
+      (** on the GPU main stream, serialized with compute — the
+          unoptimized baseline *)
+  | Gpu_stream  (** on a separate GPU stream (spare capacity) *)
+  | Cpu_offload  (** on the CPU, paying PCIe transfers *)
+
+type t = {
+  machine : Hetsim.Machine.t;
+  block : int;  (** tile size B; [0] means the machine default *)
+  scheme : Abft.Scheme.t;
+  opt1_concurrent_recalc : bool;
+      (** batch checksum recalculations over CUDA streams *)
+  opt2_placement : placement;
+  recalc_streams : int;
+      (** streams used when [opt1_concurrent_recalc]; [0] means the
+          GPU's [max_concurrent_kernels] *)
+  tol : float;  (** verification rounding threshold *)
+  max_restarts : int;
+      (** recovery-by-recomputation attempts before giving up *)
+}
+
+val default : t
+(** tardis, machine-default block, Enhanced (k = 1), both
+    optimizations on, [Auto] placement, {!Abft.Verify.default_tol},
+    3 restarts. *)
+
+val make :
+  ?machine:Hetsim.Machine.t ->
+  ?block:int ->
+  ?scheme:Abft.Scheme.t ->
+  ?opt1:bool ->
+  ?opt2:placement ->
+  ?recalc_streams:int ->
+  ?tol:float ->
+  ?max_restarts:int ->
+  unit ->
+  t
+
+val block_size : t -> int
+(** The effective tile size (resolving [0] to the machine default). *)
+
+val resolve_placement : t -> n:int -> placement
+(** [Auto] resolved via the placement model at problem size [n];
+    anything else returned unchanged. Never returns [Auto]. *)
+
+val effective_recalc_streams : t -> int
+(** Streams the recalculation batches use: 1 when Optimization 1 is
+    off, otherwise [recalc_streams] (or the GPU limit when 0). *)
+
+val divisor_block : ?target:int -> int -> int
+(** [divisor_block n] is the largest divisor of [n] at most [target]
+    (default 64) — the convenient tile size for numeric-mode runs on
+    workload-determined matrix orders. @raise Invalid_argument if
+    [n <= 0]. *)
+
+val validate : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

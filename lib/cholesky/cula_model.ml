@@ -1,0 +1,55 @@
+open Hetsim
+
+type result = {
+  makespan : float;
+  gflops : float;
+  engine : Engine.t;
+}
+
+let run ?(derate = 0.8) ?(block = 0) (machine : Machine.t) ~n =
+  if derate <= 0. || derate > 1. then
+    invalid_arg "Cula_model.run: derate must be in (0, 1]";
+  let b = if block > 0 then block else machine.Machine.default_block in
+  if n <= 0 || n mod b <> 0 then
+    invalid_arg "Cula_model.run: n must be a positive multiple of the block";
+  let machine =
+    {
+      machine with
+      Machine.gpu =
+        {
+          machine.Machine.gpu with
+          Device.gemm_efficiency =
+            machine.Machine.gpu.Device.gemm_efficiency *. derate;
+        };
+    }
+  in
+  let eng = Engine.create machine in
+  let g = n / b in
+  let block_bytes = 8 * b * b in
+  (* Fully synchronous loop: every step depends on the previous one, so
+     the CPU factorization and both transfers extend the critical path. *)
+  let last = ref Engine.ready in
+  for j = 0 to g - 1 do
+    if Sets.syrk_exists ~j then
+      last :=
+        Engine.submit eng ~deps:[ !last ] Engine.Gpu
+          (Kernel.Syrk { n = b; k = j * b });
+    last := Engine.transfer eng ~deps:[ !last ] ~dir:`D2h block_bytes;
+    last :=
+      Engine.submit eng ~deps:[ !last ] Engine.Cpu (Kernel.Potf2 { n = b });
+    last := Engine.transfer eng ~deps:[ !last ] ~dir:`H2d block_bytes;
+    if Sets.gemm_exists ~grid:g ~j then
+      last :=
+        Engine.submit eng ~deps:[ !last ] Engine.Gpu
+          (Kernel.Gemm { m = (g - 1 - j) * b; n = b; k = j * b });
+    if Sets.trsm_exists ~grid:g ~j then
+      last :=
+        Engine.submit eng ~deps:[ !last ] Engine.Gpu
+          (Kernel.Trsm { order = b; nrhs = (g - 1 - j) * b })
+  done;
+  let makespan = Engine.makespan eng in
+  {
+    makespan;
+    gflops = float_of_int n ** 3. /. 3. /. makespan /. 1e9;
+    engine = eng;
+  }

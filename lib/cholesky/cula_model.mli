@@ -1,0 +1,26 @@
+(** A CULA-R18-like baseline for the performance comparison
+    (Figures 16/17).
+
+    CULA is closed source; the paper uses it only as the vendor-library
+    yardstick that MAGMA (and the ABFT variants built on MAGMA) beat.
+    Two documented characteristics of that era's CULA dpotrf are
+    modelled: a fully {e synchronous} hybrid loop — the CPU
+    factorization of the diagonal block and both PCIe transfers sit on
+    the critical path instead of overlapping the trailing GEMM — and
+    kernels noticeably less tuned than MAGMA's (a flat efficiency
+    derate, default 0.8). The absolute gap is a calibration, but the
+    *ordering* the paper reports (MAGMA > ABFT variants > CULA) is
+    structural: Enhanced-ABFT costs a few percent of MAGMA, the lost
+    overlap plus kernel gap cost much more. *)
+
+type result = {
+  makespan : float;
+  gflops : float;
+  engine : Hetsim.Engine.t;
+}
+
+val run : ?derate:float -> ?block:int -> Hetsim.Machine.t -> n:int -> result
+(** [run machine ~n] simulates CULA's synchronous blocked Cholesky.
+    [block] defaults to the machine's block size, [derate] to [0.8].
+    @raise Invalid_argument if [n] is not a positive multiple of the
+    block size or [derate] is outside (0, 1]. *)

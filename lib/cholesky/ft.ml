@@ -1,0 +1,315 @@
+open Matrix
+
+let src = Logs.Src.create "ftchol.cholesky" ~doc:"FT Cholesky driver events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type outcome = Success | Silent_corruption | Gave_up of string
+
+type stats = {
+  verifications : int;
+  corrections : int;
+  uncorrectable_events : int;
+  fail_stops : int;
+  restarts : int;
+}
+
+type report = {
+  factor : Mat.t;
+  outcome : outcome;
+  residual : float;
+  stats : stats;
+  injections_fired : Injector.fired list;
+  trace : Trace_op.t list;
+}
+
+let residual_threshold = 1e-6
+
+exception Recovery of string
+(* Raised inside an attempt when the scheme detects something it cannot
+   repair; caught by the restart loop. *)
+
+type attempt_state = {
+  cfg : Config.t;
+  grid : int;
+  tiles : Tile.t;
+  store : Abft.Checksum.store option;  (* None for No_ft *)
+  injector : Injector.t;
+  mutable trace : Trace_op.t list;  (* reverse order *)
+  mutable verifications : int;
+  mutable corrections : int;
+}
+
+let emit st op = st.trace <- op :: st.trace
+
+let lookup st (i, c) =
+  if i >= 0 && c >= 0 && i < st.grid && c < st.grid && i >= c then
+    Some (Tile.tile st.tiles i c)
+  else None
+
+(* Verify the listed tiles in order, correcting in place; raise
+   Recovery on the first uncorrectable tile. *)
+let verify_blocks st ~j ~point blocks =
+  emit st (Trace_op.Verify { j; point; blocks });
+  match st.store with
+  | None -> ()
+  | Some store ->
+      List.iter
+        (fun (i, c) ->
+          st.verifications <- st.verifications + 1;
+          let chk = Abft.Checksum.get store i c in
+          match Abft.Verify.verify ~tol:st.cfg.Config.tol chk (Tile.tile st.tiles i c) with
+          | Abft.Verify.Clean -> ()
+          | Abft.Verify.Corrected fixes ->
+              Log.info (fun m ->
+                  m "iteration %d: corrected %d element(s) in block (%d,%d)" j
+                    (List.length fixes) i c);
+              st.corrections <- st.corrections + List.length fixes
+          | Abft.Verify.Uncorrectable msg ->
+              Log.warn (fun m ->
+                  m "iteration %d: uncorrectable at block (%d,%d): %s" j i c
+                    msg);
+              raise (Recovery (Printf.sprintf "block (%d,%d): %s" i c msg)))
+        blocks
+
+(* One attempt of the full factorization over fresh tiles. Returns unit;
+   errors surface as Recovery. *)
+let run_attempt st =
+  let g = st.grid in
+  let scheme = st.cfg.Config.scheme in
+  let enhanced = match scheme with Abft.Scheme.Enhanced _ -> true | _ -> false in
+  let online = scheme = Abft.Scheme.Online in
+  let with_ft = st.store <> None in
+  let kk = Abft.Scheme.verification_interval scheme in
+  let tile = Tile.tile st.tiles in
+  let chk i c =
+    match st.store with Some s -> Abft.Checksum.get s i c | None -> assert false
+  in
+  if with_ft then emit st Trace_op.Encode;
+  for j = 0 to g - 1 do
+    emit st (Trace_op.Iteration_start j);
+    Injector.fire_storage st.injector ~iteration:j ~lookup:(lookup st);
+    let gate = Sets.k_gate ~k:kk ~j in
+    (* ---- SYRK: diagonal block rank-k update ---- *)
+    if Sets.syrk_exists ~j then begin
+      if enhanced then verify_blocks st ~j ~point:Trace_op.Pre_syrk (Sets.pre_syrk ~j);
+      let diag = tile j j in
+      for c = 0 to j - 1 do
+        let lc = tile j c in
+        Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1. lc lc diag
+      done;
+      emit st (Trace_op.Syrk j);
+      Injector.fire_compute st.injector ~iteration:j ~op:Fault.Syrk ~block:(j, j) diag;
+      if with_ft then begin
+        for c = 0 to j - 1 do
+          Abft.Update.syrk ~chk_a:(chk j j) ~chk_lc:(chk j c) ~lc:(tile j c)
+        done;
+        emit st (Trace_op.Chk_syrk j)
+      end;
+      if online then verify_blocks st ~j ~point:Trace_op.Post_syrk (Sets.post_syrk ~j)
+    end;
+    (* ---- diagonal block to host (logical only in numeric mode).
+       Enhanced verifies it first: the transfer is a read. ---- *)
+    if enhanced then verify_blocks st ~j ~point:Trace_op.Pre_potf2 (Sets.pre_potf2 ~j);
+    emit st (Trace_op.D2h_diag j);
+    (* ---- GEMM: trailing panel update ---- *)
+    if Sets.gemm_exists ~grid:g ~j then begin
+      if enhanced && gate then
+        verify_blocks st ~j ~point:Trace_op.Pre_gemm (Sets.pre_gemm ~grid:g ~j);
+      for i = j + 1 to g - 1 do
+        let b = tile i j in
+        for c = 0 to j - 1 do
+          Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1. (tile i c)
+            (tile j c) b
+        done
+      done;
+      emit st (Trace_op.Gemm j);
+      for i = j + 1 to g - 1 do
+        Injector.fire_compute st.injector ~iteration:j ~op:Fault.Gemm
+          ~block:(i, j) (tile i j)
+      done;
+      if with_ft then begin
+        for i = j + 1 to g - 1 do
+          for c = 0 to j - 1 do
+            Abft.Update.gemm ~chk_b:(chk i j) ~chk_ld:(chk i c) ~lc:(tile j c)
+          done
+        done;
+        emit st (Trace_op.Chk_gemm j)
+      end;
+      if online then
+        verify_blocks st ~j ~point:Trace_op.Post_gemm (Sets.post_gemm ~grid:g ~j)
+    end;
+    (* ---- POTF2 on the (host-side) diagonal block ---- *)
+    let diag = tile j j in
+    (try Lapack.potf2 Types.Lower diag
+     with Lapack.Not_positive_definite k ->
+       raise
+         (Recovery
+            (Printf.sprintf "fail-stop: potf2 lost positive definiteness at \
+                             iteration %d, column %d" j k)));
+    emit st (Trace_op.Potf2 j);
+    Injector.fire_compute st.injector ~iteration:j ~op:Fault.Potf2 ~block:(j, j) diag;
+    if with_ft then begin
+      Abft.Update.potf2 ~chk:(chk j j) ~la:diag;
+      emit st (Trace_op.Chk_potf2 j)
+    end;
+    if online then verify_blocks st ~j ~point:Trace_op.Post_potf2 (Sets.post_potf2 ~j);
+    (* ---- factored block back to device ---- *)
+    emit st (Trace_op.H2d_diag j);
+    (* ---- TRSM: panel solve against the factored diagonal ---- *)
+    if Sets.trsm_exists ~grid:g ~j then begin
+      if enhanced && gate then
+        verify_blocks st ~j ~point:Trace_op.Pre_trsm (Sets.pre_trsm ~grid:g ~j);
+      let la = tile j j in
+      for i = j + 1 to g - 1 do
+        Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag la
+          (tile i j)
+      done;
+      emit st (Trace_op.Trsm j);
+      for i = j + 1 to g - 1 do
+        Injector.fire_compute st.injector ~iteration:j ~op:Fault.Trsm
+          ~block:(i, j) (tile i j)
+      done;
+      if with_ft then begin
+        for i = j + 1 to g - 1 do
+          Abft.Update.trsm ~chk:(chk i j) ~la
+        done;
+        emit st (Trace_op.Chk_trsm j)
+      end;
+      if online then
+        verify_blocks st ~j ~point:Trace_op.Post_trsm (Sets.post_trsm ~grid:g ~j)
+    end
+  done
+
+(* Offline-ABFT's end-of-run verification is detect-only: once an error
+   has propagated through later updates, the per-block "corrections" the
+   locator suggests chase entangled checksums and can silently patch the
+   data to a wrong-but-consistent state. The paper is explicit that
+   correcting at the end is "impossible or very expensive" — detected
+   means recompute. The [final_sweep] extension (beyond the paper) *does*
+   correct: it is meant for schemes that already corrected propagation
+   inline (Online/Enhanced), where a residual mismatch is a lone
+   un-reread storage flip. *)
+let final_verification st ~sweep =
+  let offline = st.cfg.Config.scheme = Abft.Scheme.Offline in
+  if st.store <> None && (offline || sweep) then begin
+    let blocks = Sets.all_lower ~grid:st.grid in
+    emit st (Trace_op.Final_verify blocks);
+    match st.store with
+    | None -> ()
+    | Some store ->
+        List.iter
+          (fun (i, c) ->
+            st.verifications <- st.verifications + 1;
+            let chk = Abft.Checksum.get store i c in
+            let tile = Tile.tile st.tiles i c in
+            if offline then begin
+              if not (Abft.Verify.check ~tol:st.cfg.Config.tol chk tile) then
+                raise
+                  (Recovery
+                     (Printf.sprintf
+                        "final verify (%d,%d): mismatch at end of run" i c))
+            end
+            else
+              match Abft.Verify.verify ~tol:st.cfg.Config.tol chk tile with
+              | Abft.Verify.Clean -> ()
+              | Abft.Verify.Corrected fixes ->
+                  st.corrections <- st.corrections + List.length fixes
+              | Abft.Verify.Uncorrectable msg ->
+                  raise
+                    (Recovery (Printf.sprintf "final sweep (%d,%d): %s" i c msg)))
+          blocks
+  end
+
+let lower_of_tiles tiles = Mat.tril (Tile.to_mat tiles)
+
+let residual_of ~input l =
+  let recon = Blas3.gemm_alloc ~transb:Types.Trans l l in
+  Mat.norm_fro (Mat.sub_mat recon input) /. Float.max 1. (Mat.norm_fro input)
+
+let factor ?(plan = []) ?(final_sweep = false) cfg a =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Ft.factor: " ^ e));
+  let n = Mat.rows a in
+  let b = Config.block_size cfg in
+  if Mat.cols a <> n then invalid_arg "Ft.factor: input not square";
+  if n <= 0 || n mod b <> 0 then
+    invalid_arg
+      (Printf.sprintf "Ft.factor: order %d must be a positive multiple of the \
+                       block size %d" n b);
+  let injector = Injector.create plan in
+  let uncorrectable_events = ref 0 in
+  let fail_stops = ref 0 in
+  let rec attempt k =
+    let tiles = Tile.of_mat ~block:b a in
+    let store =
+      match cfg.Config.scheme with
+      | Abft.Scheme.No_ft -> None
+      | _ -> Some (Abft.Checksum.encode_lower tiles)
+    in
+    let st =
+      {
+        cfg;
+        grid = n / b;
+        tiles;
+        store;
+        injector;
+        trace = [];
+        verifications = 0;
+        corrections = 0;
+      }
+    in
+    match
+      run_attempt st;
+      final_verification st ~sweep:final_sweep;
+      ()
+    with
+    | () -> (k, st, None)
+    | exception Recovery msg ->
+        Log.warn (fun m -> m "attempt %d failed (%s); recovering by recomputation" k msg);
+        incr uncorrectable_events;
+        if
+          String.length msg >= 9 && String.sub msg 0 9 = "fail-stop"
+        then incr fail_stops;
+        (* Discard this attempt's state; retry on pristine data
+           (transient injections do not re-fire). *)
+        if k < cfg.Config.max_restarts then attempt (k + 1)
+        else (k, st, Some msg)
+  in
+  let restarts, st, failure = attempt 0 in
+  let l = lower_of_tiles st.tiles in
+  let residual = residual_of ~input:a l in
+  let outcome =
+    match failure with
+    | Some msg -> Gave_up msg
+    | None -> if residual <= residual_threshold then Success else Silent_corruption
+  in
+  {
+    factor = l;
+    outcome;
+    residual;
+    stats =
+      {
+        verifications = st.verifications;
+        corrections = st.corrections;
+        uncorrectable_events = !uncorrectable_events;
+        fail_stops = !fail_stops;
+        restarts;
+      };
+    injections_fired = Injector.fired injector;
+    trace = List.rev st.trace;
+  }
+
+let pp_outcome fmt = function
+  | Success -> Format.pp_print_string fmt "success"
+  | Silent_corruption -> Format.pp_print_string fmt "silent corruption"
+  | Gave_up msg -> Format.fprintf fmt "gave up: %s" msg
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>outcome: %a@,residual: %.3e@,verifications: %d, corrections: %d, \
+     restarts: %d, uncorrectable: %d, fail-stops: %d@,injections fired: %d@]"
+    pp_outcome r.outcome r.residual r.stats.verifications r.stats.corrections
+    r.stats.restarts r.stats.uncorrectable_events r.stats.fail_stops
+    (List.length r.injections_fired)

@@ -1,0 +1,65 @@
+(** The numeric fault-tolerant Cholesky driver.
+
+    Runs the MAGMA-ordered blocked factorization on real data —
+    per iteration: SYRK on the diagonal block, GEMM on the trailing
+    panel, POTF2 of the diagonal block (the step MAGMA places on the
+    CPU), TRSM of the panel — with the configured ABFT scheme woven in:
+    checksum encoding up front, the {!Abft.Update} rule after every
+    kernel, and verification at the scheme's points (post-update for
+    Online, pre-read for Enhanced, end-of-run for Offline).
+
+    Fault injection is physical: the plan's bit flips and wrong values
+    are written into the live tiles at their scheduled logical points,
+    and detection/correction runs the real checksum machinery. When an
+    uncorrectable situation arises — a verification that cannot locate
+    the error, or a fail-stop (positive-definiteness lost in POTF2) —
+    the driver restarts from the pristine input, exactly the paper's
+    recovery-by-recomputation (injections are transient and do not
+    re-fire).
+
+    The driver also emits the logical {!Trace_op} trace that the
+    timing-mode {!Schedule} generator must reproduce. *)
+
+open Matrix
+
+type outcome =
+  | Success  (** factor returned and residual at working precision *)
+  | Silent_corruption
+      (** the run completed believing it succeeded, but the factor is
+          wrong — e.g. Online-ABFT after a storage error (the paper's
+          motivating failure) *)
+  | Gave_up of string
+      (** [max_restarts] exceeded; payload is the last failure *)
+
+type stats = {
+  verifications : int;  (** tile verifications performed *)
+  corrections : int;  (** elements located and patched *)
+  uncorrectable_events : int;  (** verifications that triggered recovery *)
+  fail_stops : int;  (** positive-definiteness losses in POTF2 *)
+  restarts : int;
+}
+
+type report = {
+  factor : Mat.t;  (** lower-triangular result (last attempt's) *)
+  outcome : outcome;
+  residual : float;  (** ‖L·Lᵀ − A‖_F / ‖A‖_F against the pristine input *)
+  stats : stats;
+  injections_fired : Injector.fired list;
+  trace : Trace_op.t list;  (** logical trace of the {e last} attempt *)
+}
+
+val factor : ?plan:Fault.t -> ?final_sweep:bool -> Config.t -> Mat.t -> report
+(** [factor ~plan cfg a] factors SPD [a] (not modified). [~final_sweep]
+    (default false) adds an end-of-run verification sweep to every
+    FT scheme — an extension beyond the paper that lets even
+    Online-ABFT catch (and often repair) residual storage errors;
+    off by default to stay faithful.
+    @raise Invalid_argument if [a] is not square, its order is not a
+    positive multiple of the block size, or the config is invalid. *)
+
+val residual_threshold : float
+(** Residual above which a completed run is classified
+    {!Silent_corruption} ([1e-6]). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_report : Format.formatter -> report -> unit

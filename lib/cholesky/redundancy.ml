@@ -1,0 +1,37 @@
+open Hetsim
+
+type result = {
+  makespan : float;
+  gflops : float;
+  overhead_vs_plain : float;
+}
+
+let plain_makespan machine ~n =
+  let cfg = Config.make ~machine ~scheme:Abft.Scheme.No_ft () in
+  (Schedule.run cfg ~n).Schedule.makespan
+
+(* An O(n^2) elementwise compare (or majority vote) pass over the
+   factor, bandwidth-bound on the GPU. *)
+let compare_pass (machine : Machine.t) ~n =
+  let bytes = 2 * 8 * n * n in
+  float_of_int bytes /. (machine.Machine.gpu.Device.mem_bandwidth_gbs *. 1e9)
+
+let dmr ?(faulty = false) machine ~n =
+  let one = plain_makespan machine ~n in
+  let runs = if faulty then 3. else 2. in
+  let compares = if faulty then 2. else 1. in
+  let makespan = (runs *. one) +. (compares *. compare_pass machine ~n) in
+  {
+    makespan;
+    gflops = float_of_int n ** 3. /. 3. /. makespan /. 1e9;
+    overhead_vs_plain = (makespan -. one) /. one;
+  }
+
+let tmr machine ~n =
+  let one = plain_makespan machine ~n in
+  let makespan = (3. *. one) +. compare_pass machine ~n in
+  {
+    makespan;
+    gflops = float_of_int n ** 3. /. 3. /. makespan /. 1e9;
+    overhead_vs_plain = (makespan -. one) /. one;
+  }

@@ -1,0 +1,25 @@
+(** Modular-redundancy baselines — the general-purpose alternatives the
+    paper's introduction compares ABFT against.
+
+    DMR runs the computation twice and compares (detects, cannot
+    correct: a mismatch forces a third run); TMR runs it three times
+    and votes (corrects one faulty replica). Both add a full O(n²)
+    compare/vote pass per replica pair. On a single heterogeneous node
+    the replicas serialize on the GPU, so the overheads are the
+    textbook ~100% / ~200% — which is the point of the comparison:
+    ABFT's checksums buy the same single-error protection for a few
+    percent. *)
+
+type result = {
+  makespan : float;
+  gflops : float;
+  overhead_vs_plain : float;  (** fraction, e.g. [1.0] = +100% *)
+}
+
+val dmr : ?faulty:bool -> Hetsim.Machine.t -> n:int -> result
+(** Duplicate + compare. [~faulty:true] charges the third (re-)run a
+    detected mismatch forces. *)
+
+val tmr : Hetsim.Machine.t -> n:int -> result
+(** Triplicate + vote; a single faulty replica is outvoted at no extra
+    cost, so the result does not depend on fault presence. *)

@@ -1,0 +1,31 @@
+let syrk_exists ~j = j >= 1
+let gemm_exists ~grid ~j = j >= 1 && j < grid - 1
+let trsm_exists ~grid ~j = j < grid - 1
+let k_gate ~k ~j = j mod k = 0
+let pre_syrk ~j = (j, j) :: List.init j (fun c -> (j, c))
+
+let pre_gemm ~grid ~j =
+  let panel = List.init (grid - 1 - j) (fun d -> (j + 1 + d, j)) in
+  let factored =
+    List.concat_map
+      (fun d ->
+        let i = j + 1 + d in
+        List.init j (fun c -> (i, c)))
+      (List.init (grid - 1 - j) Fun.id)
+  in
+  panel @ factored
+
+let pre_potf2 ~j = [ (j, j) ]
+
+let pre_trsm ~grid ~j =
+  (j, j) :: List.init (grid - 1 - j) (fun d -> (j + 1 + d, j))
+
+let post_syrk ~j = [ (j, j) ]
+let post_gemm ~grid ~j = List.init (grid - 1 - j) (fun d -> (j + 1 + d, j))
+let post_potf2 ~j = [ (j, j) ]
+let post_trsm ~grid ~j = List.init (grid - 1 - j) (fun d -> (j + 1 + d, j))
+
+let all_lower ~grid =
+  List.concat_map
+    (fun c -> List.init (grid - c) (fun d -> (c + d, c)))
+    (List.init grid Fun.id)

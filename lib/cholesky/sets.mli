@@ -1,0 +1,51 @@
+(** Verification sets and kernel-existence predicates, shared by the
+    numeric driver and the timing-mode schedule generator.
+
+    Both modes must verify exactly the same tiles in exactly the same
+    order for their logical traces to be comparable, so the sets are
+    defined once here. Block coordinates are (row, col) over the lower
+    triangle of a [grid × grid] tiling; iteration [j] factors block
+    column [j].
+
+    The sets implement the paper's Table I:
+    - SYRK reads the diagonal block and the row panel [L(j, 0..j-1)] —
+      Enhanced verifies those *every* iteration (errors entering the
+      diagonal can destroy positive definiteness, §V-C).
+    - GEMM reads the trailing panel blocks [A(i, j)], the factored
+      blocks [L(i, c)] below row [j], and the row panel [L(j, c)]; the
+      row panel is already covered by the SYRK set in the same
+      iteration, so it is deduplicated away. K-gated (Optimization 3).
+    - POTF2 reads the diagonal block (always verified).
+    - TRSM reads the factored diagonal [L(j,j)] and the panel
+      [A(i, j)]. K-gated. *)
+
+val syrk_exists : j:int -> bool
+(** There is a rank-k update at iteration [j] iff [j >= 1]. *)
+
+val gemm_exists : grid:int -> j:int -> bool
+(** Rows below and columns to the left: [1 <= j < grid - 1]. *)
+
+val trsm_exists : grid:int -> j:int -> bool
+(** Rows below: [j < grid - 1]. *)
+
+val k_gate : k:int -> j:int -> bool
+(** Whether the K-gated verifications run at iteration [j]:
+    [j mod k = 0]. *)
+
+val pre_syrk : j:int -> (int * int) list
+(** [(j,j); (j,0); …; (j,j-1)]. *)
+
+val pre_gemm : grid:int -> j:int -> (int * int) list
+(** Panel blocks [(i,j)] for [i > j], then factored blocks [(i,c)] for
+    [i > j], [c < j], row-major. *)
+
+val pre_potf2 : j:int -> (int * int) list
+val pre_trsm : grid:int -> j:int -> (int * int) list
+val post_syrk : j:int -> (int * int) list
+val post_gemm : grid:int -> j:int -> (int * int) list
+val post_potf2 : j:int -> (int * int) list
+val post_trsm : grid:int -> j:int -> (int * int) list
+
+val all_lower : grid:int -> (int * int) list
+(** Every lower-triangle tile, column-major — the Offline-ABFT final
+    verification set. *)

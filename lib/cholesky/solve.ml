@@ -1,0 +1,60 @@
+open Matrix
+
+type t = { a : Mat.t; l : Mat.t; ft_report : Ft.report }
+
+type refine_stats = { iterations : int; final_residual : float }
+
+let factorize ?plan ?cfg a =
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None ->
+        Config.make ~machine:Hetsim.Machine.testbench
+          ~block:(Config.divisor_block (Mat.rows a))
+          ()
+  in
+  let ft_report = Ft.factor ?plan cfg a in
+  (match ft_report.Ft.outcome with
+  | Ft.Success -> ()
+  | o ->
+      failwith
+        (Format.asprintf "Solve.factorize: factorization failed: %a"
+           Ft.pp_outcome o));
+  { a = Mat.copy a; l = ft_report.Ft.factor; ft_report }
+
+let report t = t.ft_report
+
+let relative_residual t ~x ~b =
+  let r = Mat.sub_mat (Blas3.gemm_alloc t.a x) b in
+  let scale = Float.max 1e-300 (Mat.norm_inf t.a *. Mat.norm_inf x) in
+  Mat.norm_inf r /. scale
+
+let solve ?(refine = 2) t b =
+  if Mat.rows b <> Mat.rows t.a then
+    invalid_arg "Solve.solve: right-hand side has wrong height";
+  if refine < 0 then invalid_arg "Solve.solve: refine must be >= 0";
+  let x = Mat.copy b in
+  Lapack.potrs Types.Lower t.l x;
+  let eps_goal = 1e-14 in
+  let rec go i =
+    let res = relative_residual t ~x ~b in
+    if i >= refine || res <= eps_goal then { iterations = i; final_residual = res }
+    else begin
+      (* r = b - A x; solve A d = r; x += d *)
+      let r = Mat.sub_mat b (Blas3.gemm_alloc t.a x) in
+      Lapack.potrs Types.Lower t.l r;
+      for j = 0 to Mat.cols x - 1 do
+        for i' = 0 to Mat.rows x - 1 do
+          Mat.set x i' j (Mat.get x i' j +. Mat.get r i' j)
+        done
+      done;
+      go (i + 1)
+    end
+  in
+  let stats = go 0 in
+  (x, stats)
+
+let solve_vec ?refine t b =
+  let bm = Mat.init (Array.length b) 1 (fun i _ -> b.(i)) in
+  let x, stats = solve ?refine t bm in
+  (Mat.col x 0, stats)

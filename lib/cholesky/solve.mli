@@ -1,0 +1,42 @@
+(** High-level fault-tolerant SPD solver: factor once with the
+    configured ABFT scheme, solve any number of right-hand sides, and
+    optionally polish each solution with iterative refinement.
+
+    This is the API a downstream user actually wants — the paper's
+    motivation is "solving linear equations arising from least squares,
+    optimization, Monte Carlo, Kalman filters", and those users call
+    [posv], not [potrf]. Iterative refinement (residual → correction →
+    update, at working precision) both tightens the solution and acts
+    as an independent end-to-end acceptance check on the factor: a
+    corrupted factor cannot pass the refinement residual test, so
+    refinement doubles as a last line of defence behind ABFT. *)
+
+open Matrix
+
+type t
+(** A factorized SPD system, ready to solve. *)
+
+type refine_stats = {
+  iterations : int;  (** refinement steps actually taken *)
+  final_residual : float;  (** ‖A·x − b‖_∞ / (‖A‖_∞·‖x‖_∞) after the last *)
+}
+
+val factorize : ?plan:Fault.t -> ?cfg:Config.t -> Mat.t -> t
+(** [factorize a] factors SPD [a] with {!Ft.factor} (default config:
+    Enhanced on the testbench machine with a block dividing the order).
+    The input matrix is retained (unmodified) for refinement residuals.
+    @raise Failure if the factorization outcome is not [Success].
+    @raise Invalid_argument as {!Ft.factor}. *)
+
+val report : t -> Ft.report
+(** The underlying factorization report (corrections, restarts, …). *)
+
+val solve : ?refine:int -> t -> Mat.t -> Mat.t * refine_stats
+(** [solve ~refine t b] returns the solution of [A·X = b] (fresh) after
+    at most [refine] refinement steps (default 2; 0 disables).
+    Refinement stops early once the componentwise relative residual
+    reaches working precision.
+    @raise Invalid_argument on shape mismatch. *)
+
+val solve_vec : ?refine:int -> t -> Vec.t -> Vec.t * refine_stats
+(** Single right-hand-side convenience wrapper. *)

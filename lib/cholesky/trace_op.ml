@@ -1,0 +1,73 @@
+type verify_point =
+  | Pre_syrk
+  | Pre_gemm
+  | Pre_potf2
+  | Pre_trsm
+  | Post_syrk
+  | Post_gemm
+  | Post_potf2
+  | Post_trsm
+
+type t =
+  | Encode
+  | Iteration_start of int
+  | Verify of { j : int; point : verify_point; blocks : (int * int) list }
+  | Syrk of int
+  | Chk_syrk of int
+  | D2h_diag of int
+  | Gemm of int
+  | Chk_gemm of int
+  | Potf2 of int
+  | Chk_potf2 of int
+  | H2d_diag of int
+  | Trsm of int
+  | Chk_trsm of int
+  | Final_verify of (int * int) list
+  | Restart
+
+let equal a b = a = b
+
+let diff a b =
+  let rec go i a b =
+    match (a, b) with
+    | [], [] -> None
+    | x :: a', y :: b' -> if x = y then go (i + 1) a' b' else Some (i, Some x, Some y)
+    | x :: _, [] -> Some (i, Some x, None)
+    | [], y :: _ -> Some (i, None, Some y)
+  in
+  go 0 a b
+
+let point_name = function
+  | Pre_syrk -> "pre-syrk"
+  | Pre_gemm -> "pre-gemm"
+  | Pre_potf2 -> "pre-potf2"
+  | Pre_trsm -> "pre-trsm"
+  | Post_syrk -> "post-syrk"
+  | Post_gemm -> "post-gemm"
+  | Post_potf2 -> "post-potf2"
+  | Post_trsm -> "post-trsm"
+
+let pp fmt = function
+  | Encode -> Format.pp_print_string fmt "encode"
+  | Iteration_start j -> Format.fprintf fmt "iter %d" j
+  | Verify { j; point; blocks } ->
+      Format.fprintf fmt "verify[%d] %s {%s}" j (point_name point)
+        (String.concat ","
+           (List.map (fun (i, c) -> Printf.sprintf "(%d,%d)" i c) blocks))
+  | Syrk j -> Format.fprintf fmt "syrk %d" j
+  | Chk_syrk j -> Format.fprintf fmt "chk-syrk %d" j
+  | D2h_diag j -> Format.fprintf fmt "d2h %d" j
+  | Gemm j -> Format.fprintf fmt "gemm %d" j
+  | Chk_gemm j -> Format.fprintf fmt "chk-gemm %d" j
+  | Potf2 j -> Format.fprintf fmt "potf2 %d" j
+  | Chk_potf2 j -> Format.fprintf fmt "chk-potf2 %d" j
+  | H2d_diag j -> Format.fprintf fmt "h2d %d" j
+  | Trsm j -> Format.fprintf fmt "trsm %d" j
+  | Chk_trsm j -> Format.fprintf fmt "chk-trsm %d" j
+  | Final_verify blocks -> Format.fprintf fmt "final-verify (%d blocks)" (List.length blocks)
+  | Restart -> Format.pp_print_string fmt "restart"
+
+let pp_trace fmt ops =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp)
+    ops

@@ -1,0 +1,45 @@
+(** The logical operation trace shared by the two execution modes.
+
+    The numeric driver ({!Ft}) and the timing-mode schedule generator
+    ({!Schedule}) both emit this coarse per-iteration trace. A test
+    asserts the two traces are equal for the same configuration, which
+    is what entitles the timing results (produced at paper-scale sizes
+    the numeric mode cannot reach) to speak for the algorithm the
+    numeric mode actually runs and validates. *)
+
+type verify_point =
+  | Pre_syrk
+  | Pre_gemm
+  | Pre_potf2
+  | Pre_trsm
+  | Post_syrk
+  | Post_gemm
+  | Post_potf2
+  | Post_trsm
+
+type t =
+  | Encode  (** initial checksum encoding of every lower tile *)
+  | Iteration_start of int
+  | Verify of { j : int; point : verify_point; blocks : (int * int) list }
+      (** a verification pass over the listed tiles *)
+  | Syrk of int  (** rank-k update of the diagonal block, iteration j *)
+  | Chk_syrk of int  (** its checksum update *)
+  | D2h_diag of int  (** diagonal block to host *)
+  | Gemm of int  (** trailing-panel update *)
+  | Chk_gemm of int
+  | Potf2 of int  (** CPU factorization of the diagonal block *)
+  | Chk_potf2 of int
+  | H2d_diag of int  (** factored block back to device *)
+  | Trsm of int  (** panel solve *)
+  | Chk_trsm of int
+  | Final_verify of (int * int) list  (** Offline-ABFT end-of-run check *)
+  | Restart  (** recovery by recomputation begins *)
+
+val equal : t list -> t list -> bool
+
+val diff : t list -> t list -> (int * t option * t option) option
+(** First position where the traces disagree, with the two entries
+    ([None] = trace exhausted); [None] if equal. Test diagnostics. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_trace : Format.formatter -> t list -> unit

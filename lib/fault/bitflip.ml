@@ -1,0 +1,22 @@
+let check bit =
+  if bit < 0 || bit > 63 then
+    invalid_arg (Printf.sprintf "Bitflip.flip: bit %d out of [0,63]" bit)
+
+let flip x bit =
+  check bit;
+  Int64.float_of_bits (Int64.logxor (Int64.bits_of_float x) (Int64.shift_left 1L bit))
+
+let is_flipped a b bit =
+  check bit;
+  Int64.logxor (Int64.bits_of_float a) (Int64.bits_of_float b)
+  = Int64.shift_left 1L bit
+
+let flipped_bits a b =
+  let x = Int64.logxor (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  List.filter
+    (fun i -> Int64.logand (Int64.shift_right_logical x i) 1L = 1L)
+    (List.init 64 Fun.id)
+
+let severity x bit =
+  let y = flip x bit in
+  if Float.is_nan y || Float.is_nan x then infinity else abs_float (y -. x)

@@ -1,0 +1,27 @@
+(** IEEE-754 bit manipulation for storage-error injection.
+
+    A storage error in the paper is a flipped bit in a resident
+    [double]. Flipping through the Int64 representation reproduces the
+    real failure mode exactly, including the pathological cases (sign
+    flips, exponent flips that produce huge magnitudes, NaN/Inf
+    patterns) that can break positive definiteness and fail-stop the
+    factorization. *)
+
+val flip : float -> int -> float
+(** [flip x bit] returns [x] with bit [bit] of its IEEE-754
+    representation inverted. Bit 0 is the least significant mantissa
+    bit; bit 52–62 are the exponent; bit 63 is the sign.
+    @raise Invalid_argument unless [0 <= bit < 64]. *)
+
+val is_flipped : float -> float -> int -> bool
+(** [is_flipped a b bit] is true when [a] and [b] differ exactly in the
+    given bit. *)
+
+val flipped_bits : float -> float -> int list
+(** The positions at which the two representations differ (empty iff
+    bit-identical). *)
+
+val severity : float -> int -> float
+(** [severity x bit] is [|flip x bit - x|] — the magnitude of the
+    induced error, used by tests to pick "large" vs "small" storage
+    errors. NaN-producing flips report [infinity]. *)

@@ -1,0 +1,120 @@
+type op = Syrk | Gemm | Trsm | Potf2
+type window = In_storage | In_computation of op
+
+type kind =
+  | Bit_flip of { bit : int }
+  | Value_offset of { delta : float }
+  | Value_set of { value : float }
+
+type injection = {
+  iteration : int;
+  window : window;
+  block : int * int;
+  element : int * int;
+  kind : kind;
+}
+
+type t = injection list
+
+let apply_kind kind v =
+  match kind with
+  | Bit_flip { bit } -> Bitflip.flip v bit
+  | Value_offset { delta } -> v +. delta
+  | Value_set { value } -> value
+
+let computing_error ?(delta = 1e3) ~iteration ~op ~block ~element () =
+  { iteration; window = In_computation op; block; element; kind = Value_offset { delta } }
+
+let storage_error ?(bit = 40) ~iteration ~block ~element () =
+  { iteration; window = In_storage; block; element; kind = Bit_flip { bit } }
+
+let random_plan ?(covered_only = false) ~seed ~grid ~block ~count
+    ~storage_fraction () =
+  if grid < 1 || block < 1 || count < 0 then
+    invalid_arg "Fault.random_plan: bad dimensions";
+  if storage_fraction < 0. || storage_fraction > 1. then
+    invalid_arg "Fault.random_plan: storage_fraction out of [0,1]";
+  let st = Random.State.make [| seed; grid; block; count |] in
+  let int_in lo hi = lo + Random.State.int st (hi - lo + 1) in
+  let element () = (Random.State.int st block, Random.State.int st block) in
+  let lower_tri_block () =
+    (* Uniform over the lower triangle of the block grid. *)
+    let rec draw () =
+      let i = Random.State.int st grid and c = Random.State.int st grid in
+      if i >= c then (i, c) else draw ()
+    in
+    draw ()
+  in
+  let storage () =
+    let ((i, c) as blk) = lower_tri_block () in
+    let hi = if covered_only then max i c else grid - 1 in
+    {
+      iteration = int_in c hi;
+      window = In_storage;
+      block = blk;
+      element = element ();
+      kind = Bit_flip { bit = int_in 30 52 };
+    }
+  in
+  let computing () =
+    let j = Random.State.int st grid in
+    let candidates =
+      (if covered_only then [] else [ Potf2 ])
+      @ (if j >= 1 then [ Syrk ] else if covered_only then [] else [])
+      @ (if j < grid - 1 then [ Trsm ] else [])
+      @ (if j >= 1 && j < grid - 1 then [ Gemm ] else [])
+    in
+    match candidates with
+    | [] ->
+        (* grid = 1 with covered_only: fall back to a covered storage
+           flip; a 1x1 grid has no covered computing window. *)
+        storage ()
+    | candidates ->
+        let op =
+          List.nth candidates (Random.State.int st (List.length candidates))
+        in
+        let blk =
+          match op with
+          | Syrk | Potf2 -> (j, j)
+          | Gemm | Trsm -> (int_in (j + 1) (grid - 1), j)
+        in
+        {
+          iteration = j;
+          window = In_computation op;
+          block = blk;
+          element = element ();
+          kind = Value_offset { delta = 1. +. Random.State.float st 1e4 };
+        }
+  in
+  List.init count (fun _ ->
+      if Random.State.float st 1. < storage_fraction then storage ()
+      else computing ())
+
+let op_name = function
+  | Syrk -> "syrk"
+  | Gemm -> "gemm"
+  | Trsm -> "trsm"
+  | Potf2 -> "potf2"
+
+let pp_injection fmt inj =
+  let w =
+    match inj.window with
+    | In_storage -> "storage"
+    | In_computation op -> "compute:" ^ op_name op
+  in
+  let k =
+    match inj.kind with
+    | Bit_flip { bit } -> Printf.sprintf "bit %d" bit
+    | Value_offset { delta } -> Printf.sprintf "+%g" delta
+    | Value_set { value } -> Printf.sprintf "=%g" value
+  in
+  let bi, bj = inj.block and ei, ej = inj.element in
+  Format.fprintf fmt "it=%d %s block(%d,%d) elem(%d,%d) %s" inj.iteration w bi
+    bj ei ej k
+
+let pp fmt plan =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_injection)
+    plan
+
+let to_string plan = Format.asprintf "%a" pp plan

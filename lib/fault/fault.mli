@@ -1,0 +1,83 @@
+(** Fault descriptions and injection plans.
+
+    A plan is a list of {!injection}s, each firing at most once at a
+    well-defined logical point of the factorization. The two windows
+    mirror the paper's taxonomy:
+
+    - {{!window}[In_computation op]} — a *computing error*: one element
+      of [op]'s freshly written output block is wrong (the "1+1=3"
+      class). Post-update verification (Online-ABFT) catches these.
+    - {{!window}[In_storage]} — a *storage error*: a bit of a block
+      flips while the block sits in memory between its last
+      verification and its next access. Only pre-read verification
+      (Enhanced Online-ABFT) catches these before they are consumed.
+
+    Plans are data: deterministic, serializable to a compact string
+    form, and independent of the execution mode (the numeric driver
+    physically applies them; the timing driver uses them to decide
+    which recovery penalties occur). *)
+
+type op = Syrk | Gemm | Trsm | Potf2
+
+type window =
+  | In_storage
+      (** fired at the start of the target iteration, before any
+          verification, emulating decay while resident *)
+  | In_computation of op
+      (** fired immediately after [op] writes the target block in the
+          target iteration *)
+
+type kind =
+  | Bit_flip of { bit : int }  (** storage-style corruption *)
+  | Value_offset of { delta : float }  (** computing-style wrong result *)
+  | Value_set of { value : float }  (** hard override, for tests *)
+
+type injection = {
+  iteration : int;  (** outer iteration (block column) at which to fire *)
+  window : window;
+  block : int * int;  (** target tile, block coordinates (row, col) *)
+  element : int * int;  (** element within the tile *)
+  kind : kind;
+}
+
+type t = injection list
+
+val apply_kind : kind -> float -> float
+(** The corrupted value a [kind] produces from a stored value. *)
+
+val computing_error :
+  ?delta:float -> iteration:int -> op:op -> block:int * int -> element:int * int -> unit -> injection
+(** A single computing error (default [delta = 1e3]). *)
+
+val storage_error :
+  ?bit:int -> iteration:int -> block:int * int -> element:int * int -> unit -> injection
+(** A single storage bit-flip (default [bit = 40], a mid-exponent
+    mantissa bit large enough to matter). *)
+
+val random_plan :
+  ?covered_only:bool ->
+  seed:int ->
+  grid:int ->
+  block:int ->
+  count:int ->
+  storage_fraction:float ->
+  unit ->
+  t
+(** [random_plan ~seed ~grid ~block ~count ~storage_fraction] draws
+    [count] injections over a [grid × grid] tile matrix of [block]-size
+    tiles: iteration uniform in the iterations during which the target
+    block is still live, target block uniform over the lower triangle,
+    element uniform in the tile, window storage with probability
+    [storage_fraction] else computing (op chosen to match where the
+    block is written at that iteration). Deterministic in [seed].
+
+    [~covered_only:true] (default [false]) restricts draws to the
+    windows the Enhanced scheme actually covers — the injections the
+    paper's experiments use: no [Potf2]-output computing errors (the
+    checksum update consumes the corrupted factor, detect-only) and no
+    storage flips after the target block's last read
+    ([iteration <= max row col], after which nothing re-reads it). *)
+
+val pp_injection : Format.formatter -> injection -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,56 @@
+open Matrix
+
+type fired = {
+  injection : Fault.injection;
+  old_value : float;
+  new_value : float;
+}
+
+type t = {
+  mutable pending : Fault.t;
+  mutable log : fired list;  (* reverse firing order *)
+}
+
+let create plan = { pending = plan; log = [] }
+
+let corrupt t (inj : Fault.injection) tile =
+  let ei, ej = inj.Fault.element in
+  let old_value = Mat.get tile ei ej in
+  let new_value = Fault.apply_kind inj.Fault.kind old_value in
+  Mat.set tile ei ej new_value;
+  t.log <- { injection = inj; old_value; new_value } :: t.log
+
+let partition_fire t select apply =
+  let fire, keep = List.partition select t.pending in
+  (* Remove an injection from pending only if it actually applied. *)
+  let unapplied = List.filter (fun inj -> not (apply inj)) fire in
+  t.pending <- unapplied @ keep
+
+let fire_storage t ~iteration ~lookup =
+  partition_fire t
+    (fun inj ->
+      inj.Fault.window = Fault.In_storage && inj.Fault.iteration = iteration)
+    (fun inj ->
+      match lookup inj.Fault.block with
+      | None -> false
+      | Some tile ->
+          corrupt t inj tile;
+          true)
+
+let fire_compute t ~iteration ~op ~block tile =
+  partition_fire t
+    (fun inj ->
+      inj.Fault.window = Fault.In_computation op
+      && inj.Fault.iteration = iteration
+      && inj.Fault.block = block)
+    (fun inj ->
+      corrupt t inj tile;
+      true)
+
+let fired t = List.rev t.log
+let fired_count t = List.length t.log
+let pending t = t.pending
+
+let pp_fired fmt f =
+  Format.fprintf fmt "%a : %.17g -> %.17g" Fault.pp_injection f.injection
+    f.old_value f.new_value

@@ -1,0 +1,43 @@
+(** Stateful application of a fault plan to live tiles.
+
+    The numeric Cholesky drivers announce logical points of the
+    factorization; the injector fires the plan's matching injections by
+    physically corrupting the tile data, and keeps an audit log of what
+    it changed (block, element, old and new value). Each injection
+    fires at most once — faults in the paper's experiments are
+    transient, so they do not re-fire during a recovery re-run. *)
+
+type fired = {
+  injection : Fault.injection;
+  old_value : float;
+  new_value : float;
+}
+
+type t
+
+val create : Fault.t -> t
+
+val fire_storage :
+  t -> iteration:int -> lookup:(int * int -> Matrix.Mat.t option) -> unit
+(** [fire_storage t ~iteration ~lookup] applies every still-pending
+    [In_storage] injection scheduled for [iteration]. [lookup] maps
+    block coordinates to the live tile ([None] if the driver holds no
+    such block, in which case the injection stays pending and is
+    reported by {!pending}). *)
+
+val fire_compute :
+  t -> iteration:int -> op:Fault.op -> block:int * int -> Matrix.Mat.t -> unit
+(** [fire_compute t ~iteration ~op ~block tile] applies every pending
+    [In_computation op] injection matching this (iteration, op, block)
+    to the freshly updated [tile]. *)
+
+val fired : t -> fired list
+(** Audit log, in firing order. *)
+
+val fired_count : t -> int
+
+val pending : t -> Fault.t
+(** Injections that have not fired (yet, or ever — e.g. scheduled past
+    the last iteration). *)
+
+val pp_fired : Format.formatter -> fired -> unit

@@ -1,0 +1,49 @@
+(* Time of one BLAS-2 kernel given the aggregate bandwidth utilisation
+   achieved by [concurrent] kernels in flight. Summing this quantity
+   over all kernels of a batch yields the batch makespan, because the
+   aggregate bandwidth is shared: each kernel's share-of-time equals its
+   share of the total traffic. *)
+let blas2_time ~concurrent (d : Device.t) kernel =
+  let fl = Kernel.flops kernel in
+  let by = float_of_int (Kernel.bytes kernel) in
+  let util = Device.aggregate_blas2_util d ~concurrent in
+  let bw_time = by /. (d.mem_bandwidth_gbs *. 1e9 *. util) in
+  let compute_time = fl /. (d.peak_gflops *. 1e9) in
+  Float.max bw_time compute_time
+
+let duration (d : Device.t) kernel =
+  let launch = d.kernel_launch_overhead_s in
+  match Kernel.shape kernel with
+  | Kernel.Blas3 ->
+      let rate = Device.gflops_sustained d ~k:(Kernel.inner_dim kernel) in
+      (Kernel.flops kernel /. (rate *. 1e9)) +. launch
+  | Kernel.Blas2 -> blas2_time ~concurrent:1 d kernel +. launch
+  | Kernel.Trivial -> (Kernel.flops kernel /. (d.peak_gflops *. 1e9)) +. launch
+  | Kernel.Copy ->
+      invalid_arg "Cost_model.duration: Memcpy is costed by the link"
+
+let batch_duration (d : Device.t) ~streams kernels =
+  if streams < 1 then invalid_arg "Cost_model.batch_duration: streams < 1";
+  List.iter
+    (fun k ->
+      if Kernel.shape k <> Kernel.Blas2 then
+        invalid_arg "Cost_model.batch_duration: only BLAS-2 kernels batch")
+    kernels;
+  let m = List.length kernels in
+  if m = 0 then 0.
+  else begin
+    let width = min streams (min m d.max_concurrent_kernels) in
+    let traffic_time =
+      List.fold_left
+        (fun acc k -> acc +. blas2_time ~concurrent:width d k)
+        0. kernels
+    in
+    traffic_time
+    +. (float_of_int m *. d.kernel_launch_overhead_s /. float_of_int width)
+  end
+
+let background_duration (d : Device.t) kernel =
+  let frac = Float.max 1e-3 d.spare_stream_fraction in
+  match Kernel.shape kernel with
+  | Kernel.Copy -> invalid_arg "Cost_model.background_duration: Memcpy"
+  | _ -> duration d kernel /. frac

@@ -1,0 +1,36 @@
+(** Duration model: kernel descriptor × device → seconds.
+
+    - BLAS-3 kernels run at the device's sustained rate for their inner
+      dimension ({!Device.gflops_sustained}), i.e. compute-bound with a
+      ramp-up for skinny shapes.
+    - BLAS-2 kernels are bound by whichever is slower of peak compute
+      and memory bandwidth at the achievable utilisation; a lone kernel
+      only reaches [blas2_single_util] of the bandwidth, while a batch
+      spread over CUDA streams reaches
+      {!Device.aggregate_blas2_util} — this is where CUDA concurrent
+      kernel execution (the paper's Optimization 1) acts.
+    - [Trivial] kernels cost their (tiny) flops at peak plus launch.
+    - [Memcpy] must be costed by the link ({!Machine.transfer_time}),
+      not here; passing one raises [Invalid_argument]. *)
+
+val duration : Device.t -> Kernel.t -> float
+(** [duration d k] in seconds, including one kernel-launch overhead.
+    BLAS-2 kernels are costed at single-kernel utilisation.
+    @raise Invalid_argument on [Memcpy]. *)
+
+val batch_duration : Device.t -> streams:int -> Kernel.t list -> float
+(** [batch_duration d ~streams ks] is the makespan of a batch of
+    independent BLAS-2 kernels issued round-robin over [streams] CUDA
+    streams: total traffic over the aggregate bandwidth achieved by the
+    concurrent width [min streams (min |ks| max_concurrent_kernels)],
+    plus launch overheads amortised across that width. With
+    [streams = 1] this degrades exactly to the serial sum of
+    {!duration}s. A batch containing a non-BLAS-2 kernel raises
+    [Invalid_argument] — only checksum recalculation is batched in this
+    system. *)
+
+val background_duration : Device.t -> Kernel.t -> float
+(** Duration of a kernel running on a spare/background stream while the
+    main stream is busy: the kernel sees only
+    [spare_stream_fraction] of the device throughput (Optimization 2,
+    GPU placement). *)

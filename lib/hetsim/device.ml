@@ -1,0 +1,61 @@
+type kind = Cpu | Gpu
+
+type t = {
+  name : string;
+  kind : kind;
+  peak_gflops : float;
+  gemm_efficiency : float;
+  gemm_half_k : float;
+  mem_bandwidth_gbs : float;
+  blas2_single_util : float;
+  max_concurrent_kernels : int;
+  concurrency_effectiveness : float;
+  kernel_launch_overhead_s : float;
+  spare_stream_fraction : float;
+  mem_bytes : int;
+}
+
+let gflops_sustained d ~k =
+  let k = float_of_int (max k 1) in
+  d.peak_gflops *. d.gemm_efficiency *. (k /. (k +. d.gemm_half_k))
+
+let aggregate_blas2_util d ~concurrent =
+  let p = max 1 (min concurrent d.max_concurrent_kernels) in
+  let util =
+    d.blas2_single_util
+    *. (1. +. (float_of_int (p - 1) *. d.concurrency_effectiveness))
+  in
+  Float.min 1. util
+
+let validate d =
+  let frac name v =
+    if v < 0. || v > 1. then Error (Printf.sprintf "%s: %s out of [0,1]" d.name name)
+    else Ok ()
+  in
+  let pos name v =
+    if v <= 0. then Error (Printf.sprintf "%s: %s must be positive" d.name name)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = pos "peak_gflops" d.peak_gflops in
+  let* () = frac "gemm_efficiency" d.gemm_efficiency in
+  let* () = pos "mem_bandwidth_gbs" d.mem_bandwidth_gbs in
+  let* () = frac "blas2_single_util" d.blas2_single_util in
+  let* () = frac "concurrency_effectiveness" d.concurrency_effectiveness in
+  let* () = frac "spare_stream_fraction" d.spare_stream_fraction in
+  let* () =
+    if d.max_concurrent_kernels < 1 then
+      Error (d.name ^ ": max_concurrent_kernels must be >= 1")
+    else Ok ()
+  in
+  if d.kernel_launch_overhead_s < 0. then
+    Error (d.name ^ ": kernel_launch_overhead_s must be >= 0")
+  else Ok ()
+
+let pp fmt d =
+  Format.fprintf fmt
+    "%s (%s): %.0f GF peak, eff %.2f, BW %.0f GB/s, %d ck x %.2f"
+    d.name
+    (match d.kind with Cpu -> "CPU" | Gpu -> "GPU")
+    d.peak_gflops d.gemm_efficiency d.mem_bandwidth_gbs
+    d.max_concurrent_kernels d.concurrency_effectiveness

@@ -1,0 +1,57 @@
+(** Device performance descriptors.
+
+    A device is characterised by the handful of parameters the paper's
+    reasoning depends on: dense (BLAS-3) throughput, memory bandwidth
+    (which bounds BLAS-2 work such as checksum recalculation), kernel
+    launch overhead, and how well the device overlaps concurrent
+    kernels (CUDA "concurrent kernel execution", much stronger on
+    Kepler/Hyper-Q than on Fermi — the machine-dependence behind the
+    paper's Optimization 1 results). *)
+
+type kind = Cpu | Gpu
+
+type t = {
+  name : string;
+  kind : kind;
+  peak_gflops : float;
+      (** double-precision peak for dense BLAS-3 work *)
+  gemm_efficiency : float;
+      (** fraction of peak reached by a saturating GEMM *)
+  gemm_half_k : float;
+      (** inner dimension at which GEMM reaches half of
+          [gemm_efficiency]; models the ramp-up for skinny shapes *)
+  mem_bandwidth_gbs : float;
+      (** device memory bandwidth, bounds BLAS-2 kernels *)
+  blas2_single_util : float;
+      (** fraction of bandwidth one lone small BLAS-2 kernel achieves *)
+  max_concurrent_kernels : int;
+      (** hardware limit on resident concurrent kernels
+          (16 on Fermi, 32 on Kepler) *)
+  concurrency_effectiveness : float;
+      (** in [0,1]: how much each extra concurrent kernel adds to
+          aggregate utilisation (Fermi low, Kepler/Hyper-Q high) *)
+  kernel_launch_overhead_s : float;
+      (** fixed cost to launch one kernel *)
+  spare_stream_fraction : float;
+      (** fraction of throughput available to a background stream while
+          the main stream is busy (Optimization 2 on-GPU placement) *)
+  mem_bytes : int;  (** device memory capacity *)
+}
+
+val gflops_sustained : t -> k:int -> float
+(** [gflops_sustained d ~k] is the sustained BLAS-3 rate for inner
+    dimension [k] (GFLOPS):
+    [peak * gemm_efficiency * k / (k + gemm_half_k)]. *)
+
+val aggregate_blas2_util : t -> concurrent:int -> float
+(** [aggregate_blas2_util d ~concurrent] is the fraction of memory
+    bandwidth achieved by [concurrent] independent BLAS-2 kernels in
+    flight: [min 1 (single * (1 + (p-1) * effectiveness))] where [p] is
+    capped by [max_concurrent_kernels]. With [concurrent = 1] this is
+    just [blas2_single_util]. *)
+
+val validate : t -> (unit, string) result
+(** Sanity-check the parameter ranges (fractions in [0,1], positive
+    rates); returns [Error msg] naming the first bad field. *)
+
+val pp : Format.formatter -> t -> unit

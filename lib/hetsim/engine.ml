@@ -1,0 +1,253 @@
+type resource = Cpu | Gpu | Gpu_spare | Link_h2d | Link_d2h
+
+type event = float
+(* An event is just its completion time: the engine schedules eagerly
+   in issue order, so the finish time is known at submission. *)
+
+type stream = { mutable last : float }
+
+type binding =
+  | Bound_by_deps
+  | Bound_by_resource
+  | Bound_by_stream
+  | Started_free
+
+type record = {
+  label : string;
+  phase : string;
+  resource : resource option;
+  start : float;
+  finish : float;
+  binding : binding;
+}
+
+type t = {
+  machine : Machine.t;
+  mutable free : (resource * float ref) list;
+  mutable makespan : float;
+  mutable ops : record list;  (* reverse issue order *)
+  mutable count : int;
+}
+
+let create machine =
+  {
+    machine;
+    free =
+      [
+        (Cpu, ref 0.);
+        (Gpu, ref 0.);
+        (Gpu_spare, ref 0.);
+        (Link_h2d, ref 0.);
+        (Link_d2h, ref 0.);
+      ];
+    makespan = 0.;
+    ops = [];
+    count = 0;
+  }
+
+let machine t = t.machine
+let ready : event = 0.
+let new_stream _t = { last = 0. }
+
+let deps_time deps = List.fold_left Float.max 0. deps
+
+let record t ~label ~phase ~resource ~start ~finish ~binding =
+  t.ops <- { label; phase; resource; start; finish; binding } :: t.ops;
+  t.count <- t.count + 1;
+  if finish > t.makespan then t.makespan <- finish
+
+(* Schedule a duration on a resource: start at the latest of deps,
+   resource availability and stream order; advance both clocks. *)
+let schedule t ?stream ~deps ~phase ~label resource dur : event =
+  let avail = List.assoc resource t.free in
+  let stream_last = match stream with None -> 0. | Some s -> s.last in
+  let dep_t = deps_time deps in
+  let start = Float.max dep_t (Float.max !avail stream_last) in
+  let binding =
+    if start <= 0. then Started_free
+    else if start = !avail && !avail >= dep_t && !avail >= stream_last then
+      Bound_by_resource
+    else if start = dep_t && dep_t >= stream_last then Bound_by_deps
+    else Bound_by_stream
+  in
+  let finish = start +. dur in
+  avail := finish;
+  (match stream with None -> () | Some s -> s.last <- finish);
+  record t ~label ~phase ~resource:(Some resource) ~start ~finish ~binding;
+  finish
+
+let device_of t = function
+  | Cpu -> t.machine.Machine.cpu
+  | Gpu | Gpu_spare -> t.machine.Machine.gpu
+  | Link_h2d | Link_d2h ->
+      invalid_arg "Engine: link carries only Memcpy operations"
+
+let submit t ?stream ?(deps = []) ?(phase = "compute") resource kernel : event =
+  match (resource, Kernel.shape kernel) with
+  | (Link_h2d | Link_d2h), _ ->
+      invalid_arg "Engine.submit: use Engine.transfer for link operations"
+  | _, Kernel.Copy ->
+      invalid_arg "Engine.submit: Memcpy must go through Engine.transfer"
+  | (Cpu | Gpu), _ ->
+      let dur = Cost_model.duration (device_of t resource) kernel in
+      schedule t ?stream ~deps ~phase ~label:(Kernel.label kernel) resource dur
+  | Gpu_spare, _ ->
+      let dur = Cost_model.background_duration (device_of t resource) kernel in
+      schedule t ?stream ~deps ~phase ~label:(Kernel.label kernel) resource dur
+
+let submit_batch t ?(deps = []) ?(phase = "compute") ~streams kernels : event =
+  match kernels with
+  | [] -> deps_time deps
+  | ks ->
+      let dur = Cost_model.batch_duration t.machine.Machine.gpu ~streams ks in
+      let label =
+        Printf.sprintf "batch[%d kernels, %d streams]" (List.length ks) streams
+      in
+      schedule t ~deps ~phase ~label Gpu dur
+
+let submit_background t ?(deps = []) ?(phase = "compute") kernel : event =
+  let dur = Cost_model.background_duration t.machine.Machine.gpu kernel in
+  schedule t ~deps ~phase ~label:("bg " ^ Kernel.label kernel) Gpu_spare dur
+
+let transfer t ?(deps = []) ?(phase = "transfer") ~dir bytes : event =
+  let resource = match dir with `H2d -> Link_h2d | `D2h -> Link_d2h in
+  let dur = Machine.transfer_time t.machine ~bytes in
+  let label =
+    Printf.sprintf "%s %dB" (match dir with `H2d -> "h2d" | `D2h -> "d2h") bytes
+  in
+  schedule t ~deps ~phase ~label resource dur
+
+let join _t events : event = deps_time events
+
+let delay t ?(deps = []) ?(phase = "penalty") dur : event =
+  let start = deps_time deps in
+  let finish = start +. dur in
+  let binding = if start <= 0. then Started_free else Bound_by_deps in
+  record t ~label:"delay" ~phase ~resource:None ~start ~finish ~binding;
+  finish
+
+let time_of _t (e : event) = e
+let makespan t = t.makespan
+
+let busy_time t resource =
+  List.fold_left
+    (fun acc r ->
+      if r.resource = Some resource then acc +. (r.finish -. r.start) else acc)
+    0. t.ops
+
+let phase_time t phase =
+  List.fold_left
+    (fun acc r -> if r.phase = phase then acc +. (r.finish -. r.start) else acc)
+    0. t.ops
+
+let phases t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let prev = Option.value (Hashtbl.find_opt tbl r.phase) ~default:0. in
+      Hashtbl.replace tbl r.phase (prev +. (r.finish -. r.start)))
+    t.ops;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let op_count t = t.count
+let records t = List.rev t.ops
+
+let resource_name = function
+  | Cpu -> "cpu"
+  | Gpu -> "gpu"
+  | Gpu_spare -> "gpu-spare"
+  | Link_h2d -> "h2d"
+  | Link_d2h -> "d2h"
+
+let pp_resource fmt r = Format.pp_print_string fmt (resource_name r)
+
+let all_resources = [ Cpu; Gpu; Gpu_spare; Link_h2d; Link_d2h ]
+
+let utilization t =
+  let ms = t.makespan in
+  List.map
+    (fun r -> (r, if ms <= 0. then 0. else busy_time t r /. ms))
+    all_resources
+
+let binding_name = function
+  | Bound_by_deps -> "deps"
+  | Bound_by_resource -> "resource"
+  | Bound_by_stream -> "stream"
+  | Started_free -> "free"
+
+let pp_binding fmt b = Format.pp_print_string fmt (binding_name b)
+
+let binding_summary t =
+  let count b =
+    List.fold_left (fun acc r -> if r.binding = b then acc + 1 else acc) 0 t.ops
+  in
+  List.map
+    (fun b -> (b, count b))
+    [ Bound_by_deps; Bound_by_resource; Bound_by_stream; Started_free ]
+
+let gantt ?(width = 100) ?(max_ops = 2000) t =
+  let buf = Buffer.create 1024 in
+  let ms = t.makespan in
+  if ms <= 0. then Buffer.add_string buf "(empty timeline)\n"
+  else begin
+    let col time =
+      min (width - 1) (int_of_float (time /. ms *. float_of_int width))
+    in
+    List.iter
+      (fun res ->
+        let ops = List.filter (fun r -> r.resource = Some res) (records t) in
+        Buffer.add_string buf (Printf.sprintf "%-9s |" (resource_name res));
+        if List.length ops > max_ops then
+          Buffer.add_string buf
+            (Printf.sprintf " %d ops, busy %.1f%% (too many to draw)"
+               (List.length ops)
+               (busy_time t res /. ms *. 100.))
+        else begin
+          let lane = Bytes.make width ' ' in
+          List.iter
+            (fun r ->
+              let c0 = col r.start and c1 = col r.finish in
+              let glyph =
+                if String.length r.phase > 0 then
+                  (* distinguish checksum phases from compute at a glance *)
+                  if r.phase = "compute" then '#'
+                  else if r.phase = "transfer" then '-'
+                  else Char.lowercase_ascii r.phase.[String.length r.phase - 1]
+                else '#'
+              in
+              for c = c0 to max c0 c1 do
+                if c < width then Bytes.set lane c glyph
+              done)
+            ops;
+          Buffer.add_string buf (Bytes.to_string lane)
+        end;
+        Buffer.add_char buf '\n')
+      all_resources;
+    Buffer.add_string buf
+      (Printf.sprintf "%-9s 0%s%.4fs\n" "" (String.make (width - 8) ' ') ms)
+  end;
+  Buffer.contents buf
+
+let to_chrome_trace t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  List.iter
+    (fun r ->
+      if not !first then Buffer.add_string buf ",";
+      first := false;
+      let tid = match r.resource with
+        | None -> "virtual"
+        | Some res -> resource_name res
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":"%s"}|}
+           (String.map (function '"' -> '\'' | c -> c) r.label)
+           r.phase (r.start *. 1e6)
+           ((r.finish -. r.start) *. 1e6)
+           tid))
+    (records t);
+  Buffer.add_string buf "]";
+  Buffer.contents buf

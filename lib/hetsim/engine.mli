@@ -1,0 +1,152 @@
+(** Discrete-event execution engine with CUDA-stream semantics.
+
+    A driver issues operations in program order; each returns an
+    {!event}. Each operation names a {!resource}, an optional
+    {!stream}, and a list of dependency events. The virtual start time
+    of an operation is the maximum of: its dependencies' finish times,
+    the previous finish time on its resource (resources execute one
+    operation at a time, FIFO in issue order — GPU BLAS-3 kernels
+    saturate the device, so this mirrors hardware), and the previous
+    finish time on its stream (CUDA streams are in-order queues).
+
+    Five resources model the heterogeneous node: the CPU, the GPU main
+    execution engine, a GPU background/spare channel (carries
+    Optimization-2 checksum updates at [spare_stream_fraction]
+    throughput without blocking the main engine), and the two
+    directions of the PCIe link. Concurrent BLAS-2 batches
+    (Optimization 1) are a single engine operation whose duration comes
+    from {!Cost_model.batch_duration}.
+
+    Every operation is attributed to a [phase] string ("compute",
+    "chk-recalc", …); {!phase_time} aggregates durations per phase so
+    benches can decompose overhead exactly the way the paper's figures
+    do. *)
+
+type t
+
+type resource = Cpu | Gpu | Gpu_spare | Link_h2d | Link_d2h
+
+type event
+(** A completion timestamp; totally ordered by time. *)
+
+type stream
+(** An in-order queue. Operations without an explicit stream serialize
+    only through their resource and dependencies. *)
+
+val create : Machine.t -> t
+val machine : t -> Machine.t
+
+val ready : event
+(** The event that is complete at time 0; useful as an initial
+    dependency. *)
+
+val new_stream : t -> stream
+
+(** {1 Issuing operations} *)
+
+val submit :
+  t ->
+  ?stream:stream ->
+  ?deps:event list ->
+  ?phase:string ->
+  resource ->
+  Kernel.t ->
+  event
+(** [submit t ~stream ~deps ~phase r k] schedules kernel [k] on
+    resource [r]. Default phase is ["compute"].
+    @raise Invalid_argument if a [Memcpy] is submitted to a non-link
+    resource, a non-[Memcpy] to a link, or a GPU-shaped kernel to the
+    CPU of a machine that has none. *)
+
+val submit_batch :
+  t ->
+  ?deps:event list ->
+  ?phase:string ->
+  streams:int ->
+  Kernel.t list ->
+  event
+(** [submit_batch t ~streams ks] schedules a concurrent BLAS-2 batch on
+    the GPU main engine (Optimization 1). The batch occupies the engine
+    for {!Cost_model.batch_duration}. An empty batch completes
+    immediately at its dependencies' ready time. *)
+
+val submit_background : t -> ?deps:event list -> ?phase:string -> Kernel.t -> event
+(** Schedule on the GPU spare channel at
+    {!Cost_model.background_duration} (Optimization 2, GPU placement). *)
+
+val transfer :
+  t -> ?deps:event list -> ?phase:string -> dir:[ `H2d | `D2h ] -> int -> event
+(** [transfer t ~dir bytes] schedules a PCIe copy. *)
+
+val join : t -> event list -> event
+(** An event complete when all of the given events are (no resource,
+    no duration). [join t []] is {!ready}. *)
+
+val delay : t -> ?deps:event list -> ?phase:string -> float -> event
+(** A pure time cost attached to no resource — used for modelled
+    penalties such as a recovery restart. *)
+
+(** {1 Interrogation} *)
+
+val time_of : t -> event -> float
+val makespan : t -> float
+(** Latest finish time over all operations issued so far. *)
+
+val busy_time : t -> resource -> float
+(** Total occupied time of a resource. *)
+
+val phase_time : t -> string -> float
+(** Summed durations of all operations attributed to a phase. *)
+
+val phases : t -> (string * float) list
+(** All phases with their summed durations, largest first. *)
+
+val op_count : t -> int
+
+type binding =
+  | Bound_by_deps  (** waited on its dependencies *)
+  | Bound_by_resource  (** waited for the resource to free up *)
+  | Bound_by_stream  (** waited for stream order *)
+  | Started_free  (** started at time 0: nothing delayed it *)
+
+type record = {
+  label : string;
+  phase : string;
+  resource : resource option;  (** [None] for joins/delays *)
+  start : float;
+  finish : float;
+  binding : binding;
+      (** which constraint determined the start time (ties resolve to
+          [Bound_by_resource], then [Bound_by_deps]) — the raw material
+          of bottleneck analysis *)
+}
+
+val records : t -> record list
+(** All operations in issue order. *)
+
+val to_chrome_trace : t -> string
+(** Serialize the timeline as a Chrome [chrome://tracing] /
+    Perfetto-compatible JSON array. *)
+
+(** {1 Analysis} *)
+
+val utilization : t -> (resource * float) list
+(** Busy fraction of each resource over the makespan (0 when nothing
+    ran). *)
+
+val binding_summary : t -> (binding * int) list
+(** How many operations were bound by each constraint class — e.g. a
+    schedule whose GPU ops are mostly [Bound_by_resource] is
+    GPU-throughput-limited, while [Bound_by_deps] dominance points at
+    serialization on the dependency graph. *)
+
+val gantt : ?width:int -> ?max_ops:int -> t -> string
+(** An ASCII Gantt chart: one lane per resource, time left to right
+    over [width] columns (default 100), each operation drawn as a span
+    of its phase's initial. Intended for eyeballing small schedules in
+    a terminal; lanes with more than [max_ops] (default 2000)
+    operations are summarized instead of drawn. *)
+
+val pp_binding : Format.formatter -> binding -> unit
+
+val pp_resource : Format.formatter -> resource -> unit

@@ -1,0 +1,68 @@
+type t =
+  | Gemm of { m : int; n : int; k : int }
+  | Syrk of { n : int; k : int }
+  | Trsm of { order : int; nrhs : int }
+  | Potf2 of { n : int }
+  | Gemv of { m : int; n : int }
+  | Checksum_recalc of { b : int; nchk : int }
+  | Checksum_compare of { b : int; nchk : int }
+  | Checksum_correct
+  | Memcpy of { bytes : int }
+  | Host_flops of float
+
+type shape = Blas3 | Blas2 | Copy | Trivial
+
+let shape = function
+  | Gemm _ | Syrk _ | Trsm _ | Potf2 _ -> Blas3
+  | Gemv _ | Checksum_recalc _ -> Blas2
+  | Memcpy _ -> Copy
+  | Checksum_compare _ | Checksum_correct | Host_flops _ -> Trivial
+
+let flops = function
+  | Gemm { m; n; k } -> 2. *. float m *. float n *. float k
+  | Syrk { n; k } -> float n *. float (n + 1) *. float k
+  | Trsm { order; nrhs } -> float order *. float order *. float nrhs
+  | Potf2 { n } -> float n *. float n *. float n /. 3.
+  | Gemv { m; n } -> 2. *. float m *. float n
+  | Checksum_recalc { b; nchk } -> 2. *. float nchk *. float b *. float b
+  | Checksum_compare { b; nchk } -> float nchk *. float b
+  | Checksum_correct -> 4.
+  | Memcpy _ -> 0.
+  | Host_flops f -> f
+
+let bytes = function
+  | Gemm { m; n; k } -> 8 * ((m * k) + (k * n) + (m * n))
+  | Syrk { n; k } -> 8 * ((n * k) + (n * n / 2))
+  | Trsm { order; nrhs } -> 8 * ((order * order / 2) + (order * nrhs))
+  | Potf2 { n } -> 8 * n * n
+  | Gemv { m; n } -> 8 * ((m * n) + m + n)
+  | Checksum_recalc { b; nchk } ->
+      (* One fused pass over the tile computes all [nchk] weighted row
+         sums (a (nchk x b) x (b x b) product reads the tile once), so
+         traffic is the tile plus the small checksum vectors. *)
+      (8 * b * b) + (8 * 2 * nchk * b)
+  | Checksum_compare { b; nchk } -> 8 * 2 * nchk * b
+  | Checksum_correct -> 32
+  | Memcpy { bytes } -> bytes
+  | Host_flops _ -> 0
+
+let inner_dim = function
+  | Gemm { k; _ } | Syrk { k; _ } -> max k 1
+  | Trsm { order; _ } | Potf2 { n = order } -> order
+  | Gemv _ | Checksum_recalc _ | Checksum_compare _ | Checksum_correct
+  | Memcpy _ | Host_flops _ ->
+      1
+
+let label = function
+  | Gemm { m; n; k } -> Printf.sprintf "gemm %dx%dx%d" m n k
+  | Syrk { n; k } -> Printf.sprintf "syrk %d k=%d" n k
+  | Trsm { order; nrhs } -> Printf.sprintf "trsm %d nrhs=%d" order nrhs
+  | Potf2 { n } -> Printf.sprintf "potf2 %d" n
+  | Gemv { m; n } -> Printf.sprintf "gemv %dx%d" m n
+  | Checksum_recalc { b; nchk } -> Printf.sprintf "chk-recalc b=%d d=%d" b nchk
+  | Checksum_compare { b; nchk } -> Printf.sprintf "chk-compare b=%d d=%d" b nchk
+  | Checksum_correct -> "chk-correct"
+  | Memcpy { bytes } -> Printf.sprintf "memcpy %dB" bytes
+  | Host_flops f -> Printf.sprintf "host %.0f flops" f
+
+let pp fmt k = Format.pp_print_string fmt (label k)

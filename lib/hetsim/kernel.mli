@@ -1,0 +1,54 @@
+(** Kernel descriptors: the unit of simulated work.
+
+    Every operation the Cholesky drivers issue — compute kernels,
+    checksum maintenance, memory copies — is described by one of these
+    constructors, from which {!Cost_model} derives a duration on a
+    given device. Flop counts follow the standard dense-LA conventions
+    (and the paper's Section VI accounting). *)
+
+type t =
+  | Gemm of { m : int; n : int; k : int }
+      (** C(m×n) += A(m×k) · B(k×n): [2mnk] flops *)
+  | Syrk of { n : int; k : int }
+      (** C(n×n, one triangle) += A(n×k) · Aᵀ: [n(n+1)k] flops *)
+  | Trsm of { order : int; nrhs : int }
+      (** triangular solve of order [order] against [nrhs] right-hand
+          sides: [order² · nrhs] flops *)
+  | Potf2 of { n : int }
+      (** unblocked Cholesky of an n×n block: [n³/3] flops *)
+  | Gemv of { m : int; n : int }
+      (** y += A(m×n) · x: [2mn] flops, bandwidth-bound *)
+  | Checksum_recalc of { b : int; nchk : int }
+      (** recompute [nchk] weighted column sums of a B×B block:
+          [2·nchk·b²] flops in one fused bandwidth-bound pass over the
+          tile *)
+  | Checksum_compare of { b : int; nchk : int }
+      (** subtract stored from recomputed checksums and scan for an
+          element above threshold: O(nchk·b), bandwidth-trivial *)
+  | Checksum_correct
+      (** patch one located element: O(1) *)
+  | Memcpy of { bytes : int }
+      (** host↔device copy; costed by the link, not a device *)
+  | Host_flops of float
+      (** generic CPU-side work given directly in flops *)
+
+type shape = Blas3 | Blas2 | Copy | Trivial
+(** Cost-model class of a kernel. *)
+
+val shape : t -> shape
+
+val flops : t -> float
+(** Floating-point operation count. [Memcpy] has 0. *)
+
+val bytes : t -> int
+(** Bytes of memory traffic the kernel generates (used for the
+    bandwidth bound of [Blas2] kernels and for [Memcpy] sizing). *)
+
+val inner_dim : t -> int
+(** The dimension that governs BLAS-3 pipeline efficiency (the [k] of
+    GEMM/SYRK, the order of TRSM/POTF2); 1 for non-BLAS-3 kernels. *)
+
+val label : t -> string
+(** Short name for traces, e.g. ["gemm 512x512x1024"]. *)
+
+val pp : Format.formatter -> t -> unit

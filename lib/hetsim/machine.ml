@@ -1,0 +1,184 @@
+type link = { bandwidth_gbs : float; latency_s : float }
+
+type t = {
+  name : string;
+  cpu : Device.t;
+  gpu : Device.t;
+  link : link;
+  default_block : int;
+  measured_update_placement : [ `Cpu | `Gpu ] option;
+}
+
+let opteron_6272 ~sockets =
+  {
+    Device.name = Printf.sprintf "%dx Opteron 6272" sockets;
+    kind = Device.Cpu;
+    (* 8 Bulldozer modules/socket x 8 DP flops/cycle x 2.1 GHz. *)
+    peak_gflops = float_of_int sockets *. 134.4;
+    gemm_efficiency = 0.60;
+    gemm_half_k = 32.;
+    mem_bandwidth_gbs = 25. *. float_of_int sockets;
+    blas2_single_util = 0.8;
+    max_concurrent_kernels = 1;
+    concurrency_effectiveness = 0.;
+    kernel_launch_overhead_s = 1e-6;
+    spare_stream_fraction = 1.0;
+    (* the CPU is idle most of the MAGMA run *)
+    mem_bytes = 64 * 1024 * 1024 * 1024;
+  }
+
+let tesla_m2075 =
+  {
+    Device.name = "Tesla M2075 (Fermi)";
+    kind = Device.Gpu;
+    peak_gflops = 515.;
+    gemm_efficiency = 0.55;
+    gemm_half_k = 64.;
+    mem_bandwidth_gbs = 150.;
+    blas2_single_util = 0.65;
+    max_concurrent_kernels = 16;
+    concurrency_effectiveness = 0.025;
+    kernel_launch_overhead_s = 3e-6;
+    spare_stream_fraction = 0.10;
+    mem_bytes = 6 * 1024 * 1024 * 1024;
+  }
+
+let tesla_k40c =
+  {
+    Device.name = "Tesla K40c (Kepler)";
+    kind = Device.Gpu;
+    peak_gflops = 1430.;
+    gemm_efficiency = 0.79;
+    gemm_half_k = 64.;
+    mem_bandwidth_gbs = 288.;
+    blas2_single_util = 0.30;
+    max_concurrent_kernels = 32;
+    concurrency_effectiveness = 0.09;
+    kernel_launch_overhead_s = 5e-6;
+    spare_stream_fraction = 0.30;
+    mem_bytes = 12 * 1024 * 1024 * 1024;
+  }
+
+let tardis =
+  {
+    name = "tardis";
+    cpu = opteron_6272 ~sockets:2;
+    gpu = tesla_m2075;
+    link = { bandwidth_gbs = 6.; latency_s = 10e-6 };
+    default_block = 256;
+    measured_update_placement = Some `Cpu;
+  }
+
+let bulldozer64 =
+  {
+    name = "bulldozer64";
+    cpu = opteron_6272 ~sockets:4;
+    gpu = tesla_k40c;
+    link = { bandwidth_gbs = 10.; latency_s = 8e-6 };
+    default_block = 512;
+    measured_update_placement = Some `Gpu;
+  }
+
+let testbench =
+  {
+    name = "testbench";
+    cpu =
+      {
+        Device.name = "test CPU";
+        kind = Device.Cpu;
+        peak_gflops = 100.;
+        gemm_efficiency = 1.0;
+        gemm_half_k = 0.;
+        mem_bandwidth_gbs = 100.;
+        blas2_single_util = 1.0;
+        max_concurrent_kernels = 1;
+        concurrency_effectiveness = 0.;
+        kernel_launch_overhead_s = 0.;
+        spare_stream_fraction = 1.0;
+        mem_bytes = 1 lsl 34;
+      };
+    gpu =
+      {
+        Device.name = "test GPU";
+        kind = Device.Gpu;
+        peak_gflops = 1000.;
+        gemm_efficiency = 1.0;
+        gemm_half_k = 0.;
+        mem_bandwidth_gbs = 100.;
+        blas2_single_util = 0.25;
+        max_concurrent_kernels = 8;
+        concurrency_effectiveness = 1.0;
+        kernel_launch_overhead_s = 0.;
+        spare_stream_fraction = 0.5;
+        mem_bytes = 1 lsl 34;
+      };
+    link = { bandwidth_gbs = 10.; latency_s = 0. };
+    default_block = 64;
+    measured_update_placement = None;
+  }
+
+(* A modern reference point, far beyond the paper's testbeds: an
+   NVIDIA A100-class device (9.7 DP TFLOPS, 1.5 TB/s HBM2e, huge
+   concurrent-kernel capacity) behind PCIe 4.0, paired with a
+   32-core EPYC-class host. Used by the hardware-sensitivity
+   experiment to ask how the paper's overheads would look today. *)
+let epyc_7543 =
+  {
+    Device.name = "32-core EPYC 7543";
+    kind = Device.Cpu;
+    peak_gflops = 1433.6;
+    gemm_efficiency = 0.85;
+    gemm_half_k = 32.;
+    mem_bandwidth_gbs = 200.;
+    blas2_single_util = 0.8;
+    max_concurrent_kernels = 1;
+    concurrency_effectiveness = 0.;
+    kernel_launch_overhead_s = 1e-6;
+    spare_stream_fraction = 1.0;
+    mem_bytes = 256 * 1024 * 1024 * 1024;
+  }
+
+let a100_like =
+  {
+    Device.name = "A100-class (Ampere)";
+    kind = Device.Gpu;
+    peak_gflops = 9700.;
+    gemm_efficiency = 0.90;
+    gemm_half_k = 128.;
+    mem_bandwidth_gbs = 1555.;
+    blas2_single_util = 0.20;
+    max_concurrent_kernels = 128;
+    concurrency_effectiveness = 0.25;
+    kernel_launch_overhead_s = 3e-6;
+    spare_stream_fraction = 0.50;
+    mem_bytes = 40 * 1024 * 1024 * 1024;
+  }
+
+let modern =
+  {
+    name = "modern";
+    cpu = epyc_7543;
+    gpu = a100_like;
+    link = { bandwidth_gbs = 25.; latency_s = 5e-6 };
+    default_block = 512;
+    measured_update_placement = Some `Gpu;
+  }
+
+let transfer_time m ~bytes =
+  m.link.latency_s +. (float_of_int bytes /. (m.link.bandwidth_gbs *. 1e9))
+
+let all_presets =
+  [
+    ("tardis", tardis);
+    ("bulldozer64", bulldozer64);
+    ("modern", modern);
+    ("testbench", testbench);
+  ]
+
+let find name =
+  List.assoc_opt (String.lowercase_ascii name) all_presets
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>machine %s:@,  cpu: %a@,  gpu: %a@,  link: %.1f GB/s, %.1f us@,  block: %d@]"
+    m.name Device.pp m.cpu Device.pp m.gpu m.link.bandwidth_gbs
+    (m.link.latency_s *. 1e6) m.default_block

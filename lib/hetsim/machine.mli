@@ -1,0 +1,64 @@
+(** Whole-machine descriptors: one CPU, one GPU, a PCIe-like link.
+
+    Two presets mirror the paper's testbeds:
+
+    - {!tardis}: 2× 16-core AMD Opteron 6272 @ 2.1 GHz + NVIDIA Tesla
+      M2075 (Fermi, 6 GB, 515 DP GFLOPS, 150 GB/s, weak concurrent
+      kernel execution, PCIe 2.0). MAGMA block size 256.
+    - {!bulldozer64}: 4× 16-core Opteron 6272 + Tesla K40c (Kepler,
+      12 GB, 1430 DP GFLOPS, 288 GB/s, Hyper-Q, PCIe 3.0). MAGMA block
+      size 512.
+
+    The numbers are public spec-sheet values; the efficiency and
+    concurrency fractions are calibrated so the simulated plain-MAGMA
+    Cholesky matches the paper's reported absolute times (§VII) within
+    a few percent, see EXPERIMENTS.md. *)
+
+type link = {
+  bandwidth_gbs : float;  (** sustained host↔device copy bandwidth *)
+  latency_s : float;  (** per-transfer fixed cost *)
+}
+
+type t = {
+  name : string;
+  cpu : Device.t;
+  gpu : Device.t;
+  link : link;
+  default_block : int;  (** MAGMA's block size for this GPU *)
+  measured_update_placement : [ `Cpu | `Gpu ] option;
+      (** Where checksum updating ran fastest on this system, as
+          determined empirically — the paper's §VII-D reports CPU on
+          TARDIS and GPU on BULLDOZER64 ("determined by our testing
+          system"). The analytic §V-B model alone cannot separate the
+          two (both options cost well under 1% of the run on either
+          testbed), so presets carry the measured answer and
+          [Abft.Placement.decide] falls back to the model when this is
+          [None] (custom machines). *)
+}
+
+val tardis : t
+val bulldozer64 : t
+
+val modern : t
+(** A machine a decade past the paper: A100-class GPU (9.7 DP TFLOPS,
+    1.55 TB/s, 128-deep concurrent kernels) + 32-core EPYC host +
+    PCIe 4.0, block 512. For asking how the paper's trade-offs age —
+    compute grew ~7x over the K40c while PCIe grew ~2.5x, so the CPU
+    placement ages badly while bandwidth-bound verification ages well. *)
+
+val testbench : t
+(** A small, fast, deliberately round-numbered machine for unit tests
+    (1 TFLOP GPU at efficiency 1.0, 100 GFLOPS CPU, 10 GB/s link, zero
+    launch overhead) so expected durations can be computed by hand. *)
+
+val transfer_time : t -> bytes:int -> float
+(** [transfer_time m ~bytes] is the link time for one transfer:
+    [latency + bytes / bandwidth]. *)
+
+val all_presets : (string * t) list
+(** Name → machine, for CLI lookup. *)
+
+val find : string -> t option
+(** Case-insensitive preset lookup. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+open Matrix
+
+type t = { col : Abft.Checksum.t; row : Abft.Checksum.t }
+
+let encode ?(d = 2) tile =
+  {
+    col = Abft.Checksum.encode ~d tile;
+    row = Abft.Checksum.encode ~d (Mat.transpose tile);
+  }
+
+let col t = t.col
+let row t = t.row
+let verify_col ?tol t tile = Abft.Verify.verify ?tol t.col tile
+
+let verify_row ?tol t tile =
+  let tt = Mat.transpose tile in
+  match Abft.Verify.verify ?tol t.row tt with
+  | Abft.Verify.Clean -> Abft.Verify.Clean
+  | Abft.Verify.Uncorrectable _ as u -> u
+  | Abft.Verify.Corrected fixes ->
+      (* Write the patched elements back, swapping coordinates. *)
+      let fixes' =
+        List.map
+          (fun (f : Abft.Verify.correction) ->
+            Mat.set tile f.Abft.Verify.col f.Abft.Verify.row f.Abft.Verify.fixed;
+            {
+              f with
+              Abft.Verify.row = f.Abft.Verify.col;
+              Abft.Verify.col = f.Abft.Verify.row;
+            })
+          fixes
+      in
+      Abft.Verify.Corrected fixes'
+
+let verify_both ?tol t tile =
+  match verify_col ?tol t tile with
+  | Abft.Verify.Uncorrectable _ as u -> u
+  | col_outcome -> (
+      match verify_row ?tol t tile with
+      | Abft.Verify.Uncorrectable _ as u -> u
+      | row_outcome -> (
+          match (col_outcome, row_outcome) with
+          | Abft.Verify.Clean, Abft.Verify.Clean -> Abft.Verify.Clean
+          | Abft.Verify.Corrected a, Abft.Verify.Corrected b ->
+              Abft.Verify.Corrected (a @ b)
+          | (Abft.Verify.Corrected _ as c), Abft.Verify.Clean
+          | Abft.Verify.Clean, (Abft.Verify.Corrected _ as c) ->
+              c
+          | _ -> assert false))
+
+let gemm ~c ~l_chk ~u_chk ~l ~u =
+  (* colchk(C) -= colchk(L) . U *)
+  Blas3.gemm ~alpha:(-1.) ~beta:1. (Abft.Checksum.matrix l_chk.col) u
+    (Abft.Checksum.matrix c.col);
+  (* rowchk(C)_rep -= rowchk(U)_rep . L^T   (from C^T -= U^T L^T) *)
+  Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1.
+    (Abft.Checksum.matrix u_chk.row) l
+    (Abft.Checksum.matrix c.row)
+
+let getf2 t ~lu_packed =
+  let u = Mat.triu lu_packed in
+  let l = Mat.tril ~diag:Types.Unit_diag lu_packed in
+  (* chk(L) = chk(A) . U^-1 *)
+  Blas3.trsm Types.Right Types.Upper Types.No_trans Types.Non_unit_diag u
+    (Abft.Checksum.matrix t.col);
+  (* rowchk(U)_rep = rowchk(A)_rep . (L^T)^-1   (from U^T = A^T (L^T)^-1) *)
+  Blas3.trsm Types.Right Types.Lower Types.Trans Types.Unit_diag l
+    (Abft.Checksum.matrix t.row)
+
+let col_panel t ~u_diag =
+  Blas3.trsm Types.Right Types.Upper Types.No_trans Types.Non_unit_diag u_diag
+    (Abft.Checksum.matrix t.col)
+
+let row_panel t ~l_diag =
+  Blas3.trsm Types.Right Types.Lower Types.Trans Types.Unit_diag l_diag
+    (Abft.Checksum.matrix t.row)
+
+let copy t =
+  { col = Abft.Checksum.copy t.col; row = Abft.Checksum.copy t.row }

@@ -1,0 +1,65 @@
+(** Dual (column + row) checksums for one tile — the encoding FT-LU
+    needs.
+
+    Cholesky only ever reads and writes the lower triangle, so column
+    checksums suffice. LU is two-sided: the L panel wants *column*
+    checksums (an error is located by its row index), the U panel wants
+    *row* checksums (located by its column index), and trailing tiles
+    must maintain both so either factor's update can be verified. A row
+    checksum of [A] is simply a column checksum of [Aᵀ], which lets the
+    whole {!Abft.Verify} machinery be reused through a transpose.
+
+    Update rules, mirroring {!Abft.Update} on both sides:
+    - trailing GEMM [C -= L·U]:
+      [colchk(C) -= colchk(L)·U] and [rowchk(C) -= L·rowchk(U)]
+    - GETF2 [A → L\U]:
+      [colchk(L) = colchk(A)·U⁻¹] and [rowchk(U) = L⁻¹·rowchk(A)]
+    - column-panel TRSM [L = A·U₁₁⁻¹]: [colchk(L) = colchk(A)·U₁₁⁻¹]
+    - row-panel TRSM [U = L₁₁⁻¹·A]: [rowchk(U) = L₁₁⁻¹·rowchk(A)] *)
+
+open Matrix
+
+type t
+(** Column and row checksums of one tile, mutable. *)
+
+val encode : ?d:int -> Mat.t -> t
+(** Encode both sides of a square tile (default [d = 2]). *)
+
+val col : t -> Abft.Checksum.t
+(** The column-checksum half (live). *)
+
+val row : t -> Abft.Checksum.t
+(** The row-checksum half, represented as a column checksum of the
+    tile's transpose (live). *)
+
+(** {1 Verification} *)
+
+val verify_col : ?tol:float -> t -> Mat.t -> Abft.Verify.outcome
+(** Verify and correct the tile against its column checksums —
+    corrections land in the tile. *)
+
+val verify_row : ?tol:float -> t -> Mat.t -> Abft.Verify.outcome
+(** Verify and correct against the row checksums: the tile is checked
+    transposed, and any corrections are written back untransposed. The
+    reported corrections' [(row, col)] are in tile coordinates. *)
+
+val verify_both : ?tol:float -> t -> Mat.t -> Abft.Verify.outcome
+(** Column verification, then row verification; the combined
+    corrections (or the first uncorrectable outcome). *)
+
+(** {1 Update rules} *)
+
+val gemm : c:t -> l_chk:t -> u_chk:t -> l:Mat.t -> u:Mat.t -> unit
+(** Trailing update [C -= L·U] on both checksum sides. *)
+
+val getf2 : t -> lu_packed:Mat.t -> unit
+(** Diagonal-tile factorization: the column side becomes [chk(L)], the
+    row side becomes [chk(U)]. *)
+
+val col_panel : t -> u_diag:Mat.t -> unit
+(** Column-panel solve against the factored diagonal's [U]. *)
+
+val row_panel : t -> l_diag:Mat.t -> unit
+(** Row-panel solve against the factored diagonal's [L]. *)
+
+val copy : t -> t

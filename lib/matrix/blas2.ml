@@ -1,0 +1,136 @@
+open Types
+
+let gemv ?(trans = No_trans) ?(alpha = 1.) ?(beta = 0.) a x y =
+  let m = Mat.rows a and n = Mat.cols a in
+  let xr, yr = match trans with No_trans -> (n, m) | Trans -> (m, n) in
+  if Array.length x <> xr || Array.length y <> yr then
+    Mat.dim_error "gemv" "a=%dx%d x=%d y=%d trans=%a" m n (Array.length x)
+      (Array.length y) pp_trans trans;
+  (match beta with
+  | 0. -> Vec.fill y 0.
+  | 1. -> ()
+  | b -> Vec.scal b y);
+  match trans with
+  | No_trans ->
+      (* y += alpha * A x : accumulate column by column (stride-1 over the
+         column-major storage). *)
+      for j = 0 to n - 1 do
+        let s = alpha *. Array.unsafe_get x j in
+        if s <> 0. then
+          for i = 0 to m - 1 do
+            Array.unsafe_set y i
+              (Array.unsafe_get y i +. (s *. Mat.unsafe_get a i j))
+          done
+      done
+  | Trans ->
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        for i = 0 to m - 1 do
+          acc := !acc +. (Mat.unsafe_get a i j *. Array.unsafe_get x i)
+        done;
+        Array.unsafe_set y j (Array.unsafe_get y j +. (alpha *. !acc))
+      done
+
+let gemv_alloc ?(trans = No_trans) ?(alpha = 1.) a x =
+  let y =
+    Vec.create (match trans with No_trans -> Mat.rows a | Trans -> Mat.cols a)
+  in
+  gemv ~trans ~alpha ~beta:0. a x y;
+  y
+
+let ger ?(alpha = 1.) x y a =
+  let m = Mat.rows a and n = Mat.cols a in
+  if Array.length x <> m || Array.length y <> n then
+    Mat.dim_error "ger" "a=%dx%d x=%d y=%d" m n (Array.length x)
+      (Array.length y);
+  for j = 0 to n - 1 do
+    let s = alpha *. Array.unsafe_get y j in
+    if s <> 0. then
+      for i = 0 to m - 1 do
+        Mat.unsafe_set a i j (Mat.unsafe_get a i j +. (s *. Array.unsafe_get x i))
+      done
+  done
+
+let syr ?(alpha = 1.) uplo x a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n || Array.length x <> n then
+    Mat.dim_error "syr" "a=%dx%d x=%d" n (Mat.cols a) (Array.length x);
+  for j = 0 to n - 1 do
+    let s = alpha *. Array.unsafe_get x j in
+    if s <> 0. then begin
+      let lo, hi = match uplo with Lower -> (j, n - 1) | Upper -> (0, j) in
+      for i = lo to hi do
+        Mat.unsafe_set a i j (Mat.unsafe_get a i j +. (s *. Array.unsafe_get x i))
+      done
+    end
+  done
+
+(* Effective orientation of the triangle actually traversed: transposing a
+   lower-triangular solve is an upper-triangular solve over the transposed
+   accesses. We implement the four cases directly on [get a i j] or
+   [get a j i]. *)
+let trsv uplo trans diag a x =
+  let n = Mat.rows a in
+  if Mat.cols a <> n || Array.length x <> n then
+    Mat.dim_error "trsv" "a=%dx%d x=%d" n (Mat.cols a) (Array.length x);
+  let coef i j =
+    match trans with No_trans -> Mat.unsafe_get a i j | Trans -> Mat.unsafe_get a j i
+  in
+  let lower =
+    match (uplo, trans) with
+    | Lower, No_trans | Upper, Trans -> true
+    | Upper, No_trans | Lower, Trans -> false
+  in
+  let solve_pivot i acc =
+    let rhs = Array.unsafe_get x i -. acc in
+    match diag with
+    | Unit_diag -> rhs
+    | Non_unit_diag ->
+        let d = coef i i in
+        if d = 0. then failwith "trsv: zero pivot";
+        rhs /. d
+  in
+  if lower then
+    for i = 0 to n - 1 do
+      let acc = ref 0. in
+      for j = 0 to i - 1 do
+        acc := !acc +. (coef i j *. Array.unsafe_get x j)
+      done;
+      Array.unsafe_set x i (solve_pivot i !acc)
+    done
+  else
+    for i = n - 1 downto 0 do
+      let acc = ref 0. in
+      for j = i + 1 to n - 1 do
+        acc := !acc +. (coef i j *. Array.unsafe_get x j)
+      done;
+      Array.unsafe_set x i (solve_pivot i !acc)
+    done
+
+let trmv uplo trans diag a x =
+  let n = Mat.rows a in
+  if Mat.cols a <> n || Array.length x <> n then
+    Mat.dim_error "trmv" "a=%dx%d x=%d" n (Mat.cols a) (Array.length x);
+  let coef i j =
+    match trans with No_trans -> Mat.unsafe_get a i j | Trans -> Mat.unsafe_get a j i
+  in
+  let lower =
+    match (uplo, trans) with
+    | Lower, No_trans | Upper, Trans -> true
+    | Upper, No_trans | Lower, Trans -> false
+  in
+  let y = Vec.create n in
+  for i = 0 to n - 1 do
+    let lo, hi = if lower then (0, i) else (i, n - 1) in
+    let acc = ref 0. in
+    for j = lo to hi do
+      let c =
+        if j = i then
+          match diag with Unit_diag -> 1. | Non_unit_diag -> coef i i
+        else coef i j
+      in
+      acc := !acc +. (c *. Array.unsafe_get x j)
+    done;
+    y.(i) <- !acc
+  done;
+  Array.blit y 0 x 0 n

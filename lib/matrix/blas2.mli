@@ -1,0 +1,38 @@
+(** BLAS level-2 kernels (matrix–vector).
+
+    These are the operations whose low GPU efficiency motivates the
+    paper's Optimization 1: checksum recalculation is a batch of
+    independent [gemv]-shaped products that a GPU runs poorly one at a
+    time. The numeric definitions here are the reference semantics; the
+    simulated device cost of each kernel lives in [Hetsim.Cost_model]. *)
+
+open Types
+
+val gemv :
+  ?trans:trans -> ?alpha:float -> ?beta:float -> Mat.t -> Vec.t -> Vec.t -> unit
+(** [gemv ~trans ~alpha ~beta a x y] computes
+    [y <- alpha * op(a) * x + beta * y] in place, where [op] is identity
+    or transpose. Defaults: [trans = No_trans], [alpha = 1.],
+    [beta = 0.].
+    @raise Mat.Dimension_mismatch on incompatible shapes. *)
+
+val gemv_alloc : ?trans:trans -> ?alpha:float -> Mat.t -> Vec.t -> Vec.t
+(** Allocating convenience wrapper: returns [alpha * op(a) * x]. *)
+
+val ger : ?alpha:float -> Vec.t -> Vec.t -> Mat.t -> unit
+(** [ger ~alpha x y a] computes the rank-1 update
+    [a <- a + alpha * x * yᵀ] in place. Default [alpha = 1.]. *)
+
+val syr : ?alpha:float -> uplo -> Vec.t -> Mat.t -> unit
+(** [syr ~alpha uplo x a] computes the symmetric rank-1 update
+    [a <- a + alpha * x * xᵀ], touching only the [uplo] triangle. *)
+
+val trsv : uplo -> trans -> diag -> Mat.t -> Vec.t -> unit
+(** [trsv uplo trans diag a x] solves [op(a) * z = x] for [z] in place
+    in [x], with [a] triangular as described by [uplo]/[diag].
+    @raise Mat.Dimension_mismatch on incompatible shapes.
+    @raise Failure if a zero pivot is met with [Non_unit_diag]. *)
+
+val trmv : uplo -> trans -> diag -> Mat.t -> Vec.t -> unit
+(** [trmv uplo trans diag a x] computes [x <- op(a) * x] with [a]
+    triangular. *)

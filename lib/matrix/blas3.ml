@@ -1,0 +1,131 @@
+open Types
+
+(* op(a) dimensions without materializing the transpose. *)
+let op_dims trans a =
+  match trans with
+  | No_trans -> (Mat.rows a, Mat.cols a)
+  | Trans -> (Mat.cols a, Mat.rows a)
+
+let op_get trans a i j =
+  match trans with No_trans -> Mat.unsafe_get a i j | Trans -> Mat.unsafe_get a j i
+
+let scale_in_place beta c =
+  match beta with
+  | 1. -> ()
+  | 0. ->
+      for j = 0 to Mat.cols c - 1 do
+        for i = 0 to Mat.rows c - 1 do
+          Mat.unsafe_set c i j 0.
+        done
+      done
+  | b ->
+      for j = 0 to Mat.cols c - 1 do
+        for i = 0 to Mat.rows c - 1 do
+          Mat.unsafe_set c i j (b *. Mat.unsafe_get c i j)
+        done
+      done
+
+let gemm ?(transa = No_trans) ?(transb = No_trans) ?(alpha = 1.) ?(beta = 0.) a
+    b c =
+  let m, k = op_dims transa a in
+  let kb, n = op_dims transb b in
+  if k <> kb || Mat.rows c <> m || Mat.cols c <> n then
+    Mat.dim_error "gemm" "op(a)=%dx%d op(b)=%dx%d c=%dx%d" m k kb n (Mat.rows c)
+      (Mat.cols c);
+  scale_in_place beta c;
+  (* Loop order j-l-i keeps the innermost loop stride-1 in both [c] and
+     (for transa = No_trans) [a]. *)
+  for j = 0 to n - 1 do
+    for l = 0 to k - 1 do
+      let s = alpha *. op_get transb b l j in
+      if s <> 0. then
+        for i = 0 to m - 1 do
+          Mat.unsafe_set c i j (Mat.unsafe_get c i j +. (s *. op_get transa a i l))
+        done
+    done
+  done
+
+let gemm_alloc ?(transa = No_trans) ?(transb = No_trans) ?(alpha = 1.) a b =
+  let m, _ = op_dims transa a in
+  let _, n = op_dims transb b in
+  let c = Mat.create m n in
+  gemm ~transa ~transb ~alpha ~beta:0. a b c;
+  c
+
+let syrk ?(trans = No_trans) ?(alpha = 1.) ?(beta = 0.) uplo a c =
+  let n, k = op_dims trans a in
+  if Mat.rows c <> n || Mat.cols c <> n then
+    Mat.dim_error "syrk" "op(a)=%dx%d c=%dx%d" n k (Mat.rows c) (Mat.cols c);
+  for j = 0 to n - 1 do
+    let lo, hi = match uplo with Lower -> (j, n - 1) | Upper -> (0, j) in
+    for i = lo to hi do
+      let acc = ref 0. in
+      for l = 0 to k - 1 do
+        acc := !acc +. (op_get trans a i l *. op_get trans a j l)
+      done;
+      let prev = match beta with 0. -> 0. | b -> b *. Mat.unsafe_get c i j in
+      Mat.unsafe_set c i j (prev +. (alpha *. !acc))
+    done
+  done
+
+let check_trsm_shapes name side a b =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then Mat.dim_error name "a not square: %dx%d" n (Mat.cols a);
+  let need = match side with Left -> Mat.rows b | Right -> Mat.cols b in
+  if need <> n then
+    Mat.dim_error name "a=%dx%d b=%dx%d side=%a" n n (Mat.rows b) (Mat.cols b)
+      pp_side side
+
+(* trsm is reduced to a trsv per column (Left) or per row (Right): clear,
+   and exactly the dataflow the checksum update for TRSM relies on. *)
+let trsm ?(alpha = 1.) side uplo trans diag a b =
+  check_trsm_shapes "trsm" side a b;
+  if alpha <> 1. then scale_in_place alpha b;
+  match side with
+  | Left ->
+      for j = 0 to Mat.cols b - 1 do
+        let x = Mat.col b j in
+        Blas2.trsv uplo trans diag a x;
+        Mat.set_col b j x
+      done
+  | Right ->
+      (* X * op(a) = b  ⇔  op(a)ᵀ * Xᵀ = bᵀ: solve a transposed trsv per
+         row of b. *)
+      for i = 0 to Mat.rows b - 1 do
+        let x = Mat.row b i in
+        Blas2.trsv uplo (flip_trans trans) diag a x;
+        Mat.set_row b i x
+      done
+
+let trmm ?(alpha = 1.) side uplo trans diag a b =
+  check_trsm_shapes "trmm" side a b;
+  (match side with
+  | Left ->
+      for j = 0 to Mat.cols b - 1 do
+        let x = Mat.col b j in
+        Blas2.trmv uplo trans diag a x;
+        Mat.set_col b j x
+      done
+  | Right ->
+      for i = 0 to Mat.rows b - 1 do
+        let x = Mat.row b i in
+        Blas2.trmv uplo (flip_trans trans) diag a x;
+        Mat.set_row b i x
+      done);
+  if alpha <> 1. then scale_in_place alpha b
+
+let symm ?(alpha = 1.) ?(beta = 0.) side uplo a b c =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then Mat.dim_error "symm" "a not square: %dx%d" n (Mat.cols a);
+  let full = Mat.symmetrize_from uplo a in
+  match side with
+  | Left ->
+      if Mat.rows b <> n || Mat.rows c <> n || Mat.cols c <> Mat.cols b then
+        Mat.dim_error "symm" "a=%dx%d b=%dx%d c=%dx%d" n n (Mat.rows b)
+          (Mat.cols b) (Mat.rows c) (Mat.cols c);
+      gemm ~alpha ~beta full b c
+  | Right ->
+      if Mat.cols b <> n || Mat.cols c <> n || Mat.rows c <> Mat.rows b then
+        Mat.dim_error "symm" "a=%dx%d b=%dx%d c=%dx%d" n n (Mat.rows b)
+          (Mat.cols b) (Mat.rows c) (Mat.cols c);
+      gemm ~alpha ~beta b full c

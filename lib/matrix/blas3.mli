@@ -1,0 +1,55 @@
+(** BLAS level-3 kernels (matrix–matrix).
+
+    These carry essentially all the flops of blocked Cholesky: GEMM
+    updates the trailing panel, SYRK the diagonal block, TRSM solves the
+    panel against the factored diagonal block. MAGMA runs all three on
+    the GPU; the paper's checksum-update rules are expressed in terms of
+    these same kernels applied to the (2 × B) checksum blocks. *)
+
+open Types
+
+val gemm :
+  ?transa:trans ->
+  ?transb:trans ->
+  ?alpha:float ->
+  ?beta:float ->
+  Mat.t ->
+  Mat.t ->
+  Mat.t ->
+  unit
+(** [gemm ~transa ~transb ~alpha ~beta a b c] computes
+    [c <- alpha * op(a) * op(b) + beta * c] in place. Defaults:
+    [No_trans], [alpha = 1.], [beta = 0.].
+    @raise Mat.Dimension_mismatch on incompatible shapes. *)
+
+val gemm_alloc :
+  ?transa:trans -> ?transb:trans -> ?alpha:float -> Mat.t -> Mat.t -> Mat.t
+(** Allocating wrapper: returns [alpha * op(a) * op(b)]. *)
+
+val syrk :
+  ?trans:trans -> ?alpha:float -> ?beta:float -> uplo -> Mat.t -> Mat.t -> unit
+(** [syrk ~trans ~alpha ~beta uplo a c] computes the symmetric rank-k
+    update [c <- alpha * a * aᵀ + beta * c] ([trans = No_trans]) or
+    [c <- alpha * aᵀ * a + beta * c] ([trans = Trans]), writing only the
+    [uplo] triangle of [c]. Defaults: [No_trans], [alpha = 1.],
+    [beta = 0.]. *)
+
+val trsm :
+  ?alpha:float -> side -> uplo -> trans -> diag -> Mat.t -> Mat.t -> unit
+(** [trsm ~alpha side uplo trans diag a b] solves the triangular system
+    - [side = Left]:  [op(a) * X = alpha * b]
+    - [side = Right]: [X * op(a) = alpha * b]
+    overwriting [b] with the solution [X]. Default [alpha = 1.].
+    @raise Failure on a zero pivot with [Non_unit_diag]. *)
+
+val trmm :
+  ?alpha:float -> side -> uplo -> trans -> diag -> Mat.t -> Mat.t -> unit
+(** [trmm ~alpha side uplo trans diag a b] computes
+    [b <- alpha * op(a) * b] ([Left]) or [b <- alpha * b * op(a)]
+    ([Right]) with [a] triangular. *)
+
+val symm : ?alpha:float -> ?beta:float -> side -> uplo -> Mat.t -> Mat.t -> Mat.t -> unit
+(** [symm ~alpha ~beta side uplo a b c] computes
+    [c <- alpha * A * b + beta * c] ([Left]) or
+    [c <- alpha * b * A + beta * c] ([Right]) where [A] is the symmetric
+    matrix stored in the [uplo] triangle of [a]. *)

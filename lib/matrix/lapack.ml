@@ -1,0 +1,197 @@
+open Types
+
+exception Not_positive_definite of int
+
+let check_square name a =
+  if Mat.rows a <> Mat.cols a then
+    Mat.dim_error name "not square: %dx%d" (Mat.rows a) (Mat.cols a)
+
+let zero_opposite uplo a =
+  let n = Mat.rows a in
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let above = i < j in
+      let kill =
+        match uplo with Lower -> above | Upper -> (not above) && i <> j
+      in
+      if kill then Mat.unsafe_set a i j 0.
+    done
+  done
+
+(* Unblocked lower Cholesky, column by column ("left-looking within the
+   column"): pivot, scale, then rank-1 update of the remaining columns. *)
+let potf2_lower a =
+  let n = Mat.rows a in
+  for j = 0 to n - 1 do
+    let d = ref (Mat.unsafe_get a j j) in
+    for k = 0 to j - 1 do
+      let v = Mat.unsafe_get a j k in
+      d := !d -. (v *. v)
+    done;
+    if (not (Float.is_finite !d)) || !d <= 0. then
+      raise (Not_positive_definite j);
+    let piv = sqrt !d in
+    Mat.unsafe_set a j j piv;
+    for i = j + 1 to n - 1 do
+      let acc = ref (Mat.unsafe_get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Mat.unsafe_get a i k *. Mat.unsafe_get a j k)
+      done;
+      Mat.unsafe_set a i j (!acc /. piv)
+    done
+  done
+
+let potf2 uplo a =
+  check_square "potf2" a;
+  (match uplo with
+  | Lower -> potf2_lower a
+  | Upper ->
+      (* Factor the transpose as lower, then transpose back: keeps a
+         single well-tested kernel. *)
+      let at = Mat.transpose a in
+      potf2_lower at;
+      let n = Mat.rows a in
+      for j = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          Mat.unsafe_set a i j (Mat.unsafe_get at j i)
+        done
+      done);
+  zero_opposite uplo a
+
+let potrf ?(block = 64) uplo a =
+  check_square "potrf" a;
+  if block <= 0 then invalid_arg "potrf: block size must be positive";
+  let n = Mat.rows a in
+  (match uplo with
+  | Upper ->
+      (* Rare in this code base; fall back to the unblocked kernel. *)
+      potf2 Upper a
+  | Lower ->
+      let j = ref 0 in
+      while !j < n do
+        let jb = min block (n - !j) in
+        (* Diagonal block: A[j,j] -= L[j,0:j] * L[j,0:j]^T, then factor. *)
+        let diag = Mat.sub a ~row:!j ~col:!j ~rows:jb ~cols:jb in
+        if !j > 0 then begin
+          let panel_row = Mat.sub a ~row:!j ~col:0 ~rows:jb ~cols:!j in
+          Blas3.syrk ~alpha:(-1.) ~beta:1. Lower panel_row diag
+        end;
+        (try potf2_lower diag
+         with Not_positive_definite k -> raise (Not_positive_definite (!j + k)));
+        Mat.blit ~src:diag ~dst:a ~row:!j ~col:!j;
+        let below = n - !j - jb in
+        if below > 0 then begin
+          let sub_panel = Mat.sub a ~row:(!j + jb) ~col:!j ~rows:below ~cols:jb in
+          if !j > 0 then begin
+            let left_below = Mat.sub a ~row:(!j + jb) ~col:0 ~rows:below ~cols:!j in
+            let left_diag = Mat.sub a ~row:!j ~col:0 ~rows:jb ~cols:!j in
+            Blas3.gemm ~transb:Trans ~alpha:(-1.) ~beta:1. left_below left_diag
+              sub_panel
+          end;
+          Blas3.trsm Right Lower Trans Non_unit_diag diag sub_panel;
+          Mat.blit ~src:sub_panel ~dst:a ~row:(!j + jb) ~col:!j
+        end;
+        j := !j + jb
+      done;
+      zero_opposite Lower a)
+
+let trtrs uplo trans diag a b = Blas3.trsm Left uplo trans diag a b
+
+let potrs uplo l b =
+  check_square "potrs" l;
+  if Mat.rows b <> Mat.rows l then
+    Mat.dim_error "potrs" "l=%dx%d b=%dx%d" (Mat.rows l) (Mat.cols l)
+      (Mat.rows b) (Mat.cols b);
+  match uplo with
+  | Lower ->
+      trtrs Lower No_trans Non_unit_diag l b;
+      trtrs Lower Trans Non_unit_diag l b
+  | Upper ->
+      trtrs Upper Trans Non_unit_diag l b;
+      trtrs Upper No_trans Non_unit_diag l b
+
+let cholesky a =
+  let l = Mat.copy a in
+  potf2 Lower l;
+  l
+
+let solve_spd a b =
+  let l = cholesky a in
+  let x = Mat.copy b in
+  potrs Lower l x;
+  x
+
+let log_det_spd a =
+  let l = cholesky a in
+  let acc = ref 0. in
+  for i = 0 to Mat.rows l - 1 do
+    acc := !acc +. log (Mat.get l i i)
+  done;
+  2. *. !acc
+
+exception Singular_pivot of int
+
+let getf2 a =
+  check_square "getf2" a;
+  let n = Mat.rows a in
+  for j = 0 to n - 1 do
+    let piv = Mat.unsafe_get a j j in
+    if (not (Float.is_finite piv)) || abs_float piv < 1e-12 then
+      raise (Singular_pivot j);
+    for i = j + 1 to n - 1 do
+      let lij = Mat.unsafe_get a i j /. piv in
+      Mat.unsafe_set a i j lij;
+      for c = j + 1 to n - 1 do
+        Mat.unsafe_set a i c
+          (Mat.unsafe_get a i c -. (lij *. Mat.unsafe_get a j c))
+      done
+    done
+  done
+
+let getrf ?(block = 64) a =
+  check_square "getrf" a;
+  if block <= 0 then invalid_arg "getrf: block size must be positive";
+  let n = Mat.rows a in
+  let j = ref 0 in
+  while !j < n do
+    let jb = min block (n - !j) in
+    let diag = Mat.sub a ~row:!j ~col:!j ~rows:jb ~cols:jb in
+    (try getf2 diag
+     with Singular_pivot k -> raise (Singular_pivot (!j + k)));
+    Mat.blit ~src:diag ~dst:a ~row:!j ~col:!j;
+    let below = n - !j - jb in
+    if below > 0 then begin
+      (* Column panel: L21 = A21 U11^-1 *)
+      let col_panel = Mat.sub a ~row:(!j + jb) ~col:!j ~rows:below ~cols:jb in
+      Blas3.trsm Types.Right Types.Upper Types.No_trans Types.Non_unit_diag
+        diag col_panel;
+      Mat.blit ~src:col_panel ~dst:a ~row:(!j + jb) ~col:!j;
+      (* Row panel: U12 = L11^-1 A12 *)
+      let row_panel = Mat.sub a ~row:!j ~col:(!j + jb) ~rows:jb ~cols:below in
+      Blas3.trsm Types.Left Types.Lower Types.No_trans Types.Unit_diag diag
+        row_panel;
+      Mat.blit ~src:row_panel ~dst:a ~row:!j ~col:(!j + jb);
+      (* Trailing update: A22 -= L21 U12 *)
+      let trailing = Mat.sub a ~row:(!j + jb) ~col:(!j + jb) ~rows:below ~cols:below in
+      Blas3.gemm ~alpha:(-1.) ~beta:1. col_panel row_panel trailing;
+      Mat.blit ~src:trailing ~dst:a ~row:(!j + jb) ~col:(!j + jb)
+    end;
+    j := !j + jb
+  done
+
+let getrs lu b =
+  check_square "getrs" lu;
+  if Mat.rows b <> Mat.rows lu then
+    Mat.dim_error "getrs" "lu=%dx%d b=%dx%d" (Mat.rows lu) (Mat.cols lu)
+      (Mat.rows b) (Mat.cols b);
+  Blas3.trsm Types.Left Types.Lower Types.No_trans Types.Unit_diag lu b;
+  Blas3.trsm Types.Left Types.Upper Types.No_trans Types.Non_unit_diag lu b
+
+let lu_unpack packed =
+  (Mat.tril ~diag:Types.Unit_diag packed, Mat.triu packed)
+
+let diag_dominant ?(seed = 42) n =
+  let m = Spd.random ~seed n n in
+  Mat.mapi
+    (fun i j v -> if i = j then (float_of_int n *. 2.) +. abs_float v else v)
+    m

@@ -1,0 +1,81 @@
+(** LAPACK-style factorizations: the Cholesky family.
+
+    [potf2] is the unblocked kernel MAGMA runs on the CPU for each
+    diagonal block; [potrf] is the blocked right-looking factorization
+    used as the host-only reference against which the simulated hybrid
+    driver is validated. *)
+
+open Types
+
+exception Not_positive_definite of int
+(** Raised when a non-positive pivot is met; the payload is the 0-based
+    index of the failing column. This is exactly the fail-stop the paper
+    warns about: a storage error in a diagonal block can break positive
+    definiteness and kill the whole factorization. *)
+
+val potf2 : uplo -> Mat.t -> unit
+(** [potf2 uplo a] factors the square matrix [a] in place, unblocked:
+    on return the [uplo] triangle holds the Cholesky factor ([Lower]:
+    [a = L·Lᵀ]; [Upper]: [a = Uᵀ·U]). The opposite triangle is zeroed so
+    the result is directly usable as a triangular operand.
+    @raise Not_positive_definite if a pivot is [<= 0] or NaN. *)
+
+val potrf : ?block:int -> uplo -> Mat.t -> unit
+(** [potrf ~block uplo a] blocked factorization in place (default block
+    size 64), same contract as {!potf2}. Dispatches SYRK/GEMM/TRSM on
+    the trailing matrix exactly like the hybrid driver, so it doubles
+    as the oracle for the driver's numeric output. *)
+
+val potrs : uplo -> Mat.t -> Mat.t -> unit
+(** [potrs uplo l b] solves [A·X = b] in place in [b], given the
+    Cholesky factor [l] produced by {!potf2}/{!potrf} with the same
+    [uplo]. *)
+
+val trtrs : uplo -> trans -> diag -> Mat.t -> Mat.t -> unit
+(** [trtrs uplo trans diag a b] solves [op(a)·X = b] in place in [b]
+    with [a] triangular — a thin wrapper over {!Blas3.trsm}. *)
+
+val cholesky : Mat.t -> Mat.t
+(** [cholesky a] is the fresh lower Cholesky factor of [a] (input
+    unmodified). @raise Not_positive_definite as {!potf2}. *)
+
+val solve_spd : Mat.t -> Mat.t -> Mat.t
+(** [solve_spd a b] solves [A·X = b] for symmetric positive definite
+    [a] via Cholesky; returns a fresh [X]. *)
+
+val log_det_spd : Mat.t -> float
+(** [log_det_spd a] is [log det A] computed stably from the Cholesky
+    factor (2·Σ log lᵢᵢ). Used by the Gaussian-process workload. *)
+
+(** {1 LU factorization (no pivoting)}
+
+    Used by the FT-LU extension. Pivoting is omitted — rows cannot be
+    swapped without breaking the per-tile checksum relationship — so
+    these kernels require a diagonally dominant (or otherwise stably
+    factorable) input, which the generators in {!Spd} provide. *)
+
+exception Singular_pivot of int
+(** Raised when a pivot's magnitude falls below the stability threshold;
+    payload is the 0-based column. *)
+
+val getf2 : Mat.t -> unit
+(** [getf2 a] factors square [a] in place into [L\U] packed form: the
+    strict lower triangle holds the unit-lower factor [L] (implicit
+    unit diagonal), the upper triangle holds [U], and [a = L·U].
+    @raise Singular_pivot as above. *)
+
+val getrf : ?block:int -> Mat.t -> unit
+(** Blocked right-looking variant of {!getf2} (default block 64); same
+    contract. *)
+
+val getrs : Mat.t -> Mat.t -> unit
+(** [getrs lu b] solves [A·X = b] in place in [b] given the packed
+    [L\U] from {!getf2}/{!getrf}. *)
+
+val lu_unpack : Mat.t -> Mat.t * Mat.t
+(** [lu_unpack packed] is [(l, u)] with [l] unit-lower and [u] upper,
+    fresh copies. *)
+
+val diag_dominant : ?seed:int -> int -> Mat.t
+(** A random diagonally dominant matrix — safely LU-factorable without
+    pivoting. *)

@@ -1,0 +1,157 @@
+let fail fmt = Printf.ksprintf failwith fmt
+
+type format_kind = Array | Coordinate
+type symmetry = General | Symmetric
+
+let parse_header line =
+  match
+    String.split_on_char ' ' (String.lowercase_ascii (String.trim line))
+    |> List.filter (fun s -> s <> "")
+  with
+  | [ "%%matrixmarket"; "matrix"; fmt; field; sym ] ->
+      let fmt =
+        match fmt with
+        | "array" -> Array
+        | "coordinate" -> Coordinate
+        | f -> fail "MatrixMarket: unsupported format %S" f
+      in
+      (match field with
+      | "real" | "integer" -> ()
+      | f -> fail "MatrixMarket: unsupported field %S (only real/integer)" f);
+      let sym =
+        match sym with
+        | "general" -> General
+        | "symmetric" -> Symmetric
+        | s -> fail "MatrixMarket: unsupported symmetry %S" s
+      in
+      (fmt, sym)
+  | _ -> fail "MatrixMarket: malformed header %S" line
+
+let data_lines lines =
+  List.filter
+    (fun l ->
+      let l = String.trim l in
+      String.length l > 0 && l.[0] <> '%')
+    lines
+
+let floats_of_line line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.filter (fun s -> s <> "")
+
+let read_string text =
+  match String.split_on_char '\n' text with
+  | [] -> fail "MatrixMarket: empty input"
+  | header :: rest -> (
+      let fmt, sym = parse_header header in
+      match data_lines rest with
+      | [] -> fail "MatrixMarket: missing size line"
+      | size_line :: entries -> (
+          let ints =
+            try List.map int_of_string (floats_of_line size_line)
+            with _ -> fail "MatrixMarket: bad size line %S" size_line
+          in
+          match (fmt, ints) with
+          | Array, [ rows; cols ] ->
+              let m = Mat.create rows cols in
+              let expected =
+                match sym with
+                | General -> rows * cols
+                | Symmetric ->
+                    if rows <> cols then
+                      fail "MatrixMarket: symmetric matrix must be square";
+                    rows * (rows + 1) / 2
+              in
+              let values =
+                List.concat_map floats_of_line entries
+                |> List.map (fun s ->
+                       try float_of_string s
+                       with _ -> fail "MatrixMarket: bad value %S" s)
+              in
+              if List.length values <> expected then
+                fail "MatrixMarket: expected %d values, found %d" expected
+                  (List.length values);
+              (* column-major order; symmetric stores the lower triangle *)
+              let vs = ref values in
+              let next () =
+                match !vs with
+                | v :: tl ->
+                    vs := tl;
+                    v
+                | [] -> assert false
+              in
+              (match sym with
+              | General ->
+                  for j = 0 to cols - 1 do
+                    for i = 0 to rows - 1 do
+                      Mat.set m i j (next ())
+                    done
+                  done
+              | Symmetric ->
+                  for j = 0 to cols - 1 do
+                    for i = j to rows - 1 do
+                      let v = next () in
+                      Mat.set m i j v;
+                      Mat.set m j i v
+                    done
+                  done);
+              m
+          | Coordinate, [ rows; cols; nnz ] ->
+              let m = Mat.create rows cols in
+              if List.length entries <> nnz then
+                fail "MatrixMarket: expected %d entries, found %d" nnz
+                  (List.length entries);
+              List.iter
+                (fun line ->
+                  match floats_of_line line with
+                  | [ i; j; v ] -> (
+                      try
+                        let i = int_of_string i - 1 and j = int_of_string j - 1 in
+                        let v = float_of_string v in
+                        if i < 0 || i >= rows || j < 0 || j >= cols then
+                          fail "MatrixMarket: entry (%d,%d) out of range" (i + 1)
+                            (j + 1);
+                        Mat.set m i j v;
+                        if sym = Symmetric && i <> j then Mat.set m j i v
+                      with Failure _ as e -> raise e)
+                  | _ -> fail "MatrixMarket: bad coordinate line %S" line)
+                entries;
+              m
+          | Array, _ -> fail "MatrixMarket: array size line needs 2 integers"
+          | Coordinate, _ ->
+              fail "MatrixMarket: coordinate size line needs 3 integers"))
+
+let read path =
+  let ic = try open_in path with Sys_error e -> fail "MatrixMarket: %s" e in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  read_string text
+
+let to_string ?(symmetric = false) m =
+  let buf = Buffer.create 4096 in
+  let rows = Mat.rows m and cols = Mat.cols m in
+  if symmetric then begin
+    if rows <> cols then invalid_arg "Mm_io.to_string: symmetric needs square";
+    Buffer.add_string buf "%%MatrixMarket matrix array real symmetric\n";
+    Buffer.add_string buf (Printf.sprintf "%d %d\n" rows cols);
+    for j = 0 to cols - 1 do
+      for i = j to rows - 1 do
+        Buffer.add_string buf (Printf.sprintf "%.17g\n" (Mat.get m i j))
+      done
+    done
+  end
+  else begin
+    Buffer.add_string buf "%%MatrixMarket matrix array real general\n";
+    Buffer.add_string buf (Printf.sprintf "%d %d\n" rows cols);
+    for j = 0 to cols - 1 do
+      for i = 0 to rows - 1 do
+        Buffer.add_string buf (Printf.sprintf "%.17g\n" (Mat.get m i j))
+      done
+    done
+  end;
+  Buffer.contents buf
+
+let write ?symmetric m path =
+  let oc = open_out path in
+  output_string oc (to_string ?symmetric m);
+  close_out oc

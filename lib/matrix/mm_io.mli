@@ -1,0 +1,26 @@
+(** Matrix Market I/O — lets the CLI factor user-supplied matrices.
+
+    Supports the common real subset of the NIST Matrix Market format:
+    [array] (dense, column-major) and [coordinate] (sparse triplets,
+    densified on read), with [general] or [symmetric] symmetry.
+    Comments ([%…]) and blank lines are skipped. Writing always emits
+    [array real general] (or [symmetric], storing the lower triangle,
+    when requested). *)
+
+val read : string -> Mat.t
+(** [read path] parses a Matrix Market file.
+    @raise Failure with a descriptive message on malformed input,
+    unsupported qualifiers ([complex], [pattern], [skew-symmetric],
+    [hermitian]) or I/O errors. *)
+
+val write : ?symmetric:bool -> Mat.t -> string -> unit
+(** [write m path] writes [m]. With [~symmetric:true] only the lower
+    triangle is stored under the [symmetric] qualifier ([m] must be
+    square; symmetry of values is the caller's claim and is not
+    checked). *)
+
+val read_string : string -> Mat.t
+(** Parse from an in-memory string — the testable core of {!read}. *)
+
+val to_string : ?symmetric:bool -> Mat.t -> string
+(** Render to a string — the testable core of {!write}. *)

@@ -1,0 +1,63 @@
+let random ?(seed = 42) ?(lo = -1.) ?(hi = 1.) m n =
+  let st = Random.State.make [| seed; m; n |] in
+  Mat.init m n (fun _ _ -> lo +. ((hi -. lo) *. Random.State.float st 1.))
+
+let random_spd ?(seed = 42) ?shift n =
+  let shift = match shift with Some s -> s | None -> float_of_int n in
+  let m = random ~seed n n in
+  let c = Mat.create n n in
+  Blas3.syrk Types.Lower m c;
+  let c = Mat.symmetrize_from Types.Lower c in
+  Mat.mapi (fun i j v -> if i = j then v +. shift else v) c
+
+let diag d =
+  let n = Array.length d in
+  Mat.init n n (fun i j -> if i = j then d.(i) else 0.)
+
+let random_orthogonal ?(seed = 42) n =
+  let m = random ~seed:(seed + 7) n n in
+  (* Modified Gram–Schmidt on the columns. *)
+  let q = Mat.copy m in
+  for j = 0 to n - 1 do
+    let v = Mat.col q j in
+    for k = 0 to j - 1 do
+      let u = Mat.col q k in
+      let r = Vec.dot u v in
+      Vec.axpy (-.r) u v
+    done;
+    let nrm = Vec.nrm2 v in
+    (* A degenerate column (probability ~0 for random input) falls back
+       to a unit basis vector re-orthogonalized implicitly by later
+       columns; assert instead of papering over it. *)
+    assert (nrm > 1e-12);
+    Vec.scal (1. /. nrm) v;
+    Mat.set_col q j v
+  done;
+  q
+
+let random_spd_cond ?(seed = 42) ~cond n =
+  if cond < 1. then invalid_arg "random_spd_cond: cond must be >= 1";
+  let q = random_orthogonal ~seed n in
+  let eigs =
+    Vec.init n (fun i ->
+        if n = 1 then 1.
+        else
+          let t = float_of_int i /. float_of_int (n - 1) in
+          exp (-.t *. log cond))
+  in
+  let qd = Blas3.gemm_alloc q (diag eigs) in
+  Blas3.gemm_alloc ~transb:Types.Trans qd q
+
+let hilbert n = Mat.init n n (fun i j -> 1. /. float_of_int (i + j + 1))
+
+let tridiag_laplacian n =
+  Mat.init n n (fun i j ->
+      if i = j then 2. else if abs (i - j) = 1 then -1. else 0.)
+
+let kalman_covariance ?(seed = 42) n =
+  let st = Random.State.make [| seed; n; 97 |] in
+  let noise = Array.init n (fun _ -> 0.1 +. Random.State.float st 0.4) in
+  Mat.init n n (fun i j ->
+      let d = abs (i - j) in
+      let corr = exp (-.float_of_int d /. 8.) in
+      if i = j then 1. +. noise.(i) else corr)

@@ -1,0 +1,40 @@
+(** Generators for test and benchmark matrices.
+
+    Everything is deterministic given [seed], so fault-injection
+    experiments and property tests are reproducible run to run. *)
+
+val random : ?seed:int -> ?lo:float -> ?hi:float -> int -> int -> Mat.t
+(** [random ~seed ~lo ~hi m n] has i.i.d. uniform entries in
+    [[lo, hi)] (defaults [-1., 1.]). *)
+
+val random_spd : ?seed:int -> ?shift:float -> int -> Mat.t
+(** [random_spd ~seed ~shift n] is a symmetric positive definite matrix
+    built as [M·Mᵀ + shift·I] with [M] uniform in [[-1,1)]. The default
+    [shift = float n] makes the matrix comfortably well conditioned —
+    the same style of input the paper's experiments use. *)
+
+val random_spd_cond : ?seed:int -> cond:float -> int -> Mat.t
+(** [random_spd_cond ~seed ~cond n] is SPD with 2-norm condition number
+    approximately [cond]: eigenvalues log-spaced in [[1/cond, 1]]
+    conjugated by a random orthogonal matrix (from QR of a random
+    matrix). @raise Invalid_argument if [cond < 1.]. *)
+
+val random_orthogonal : ?seed:int -> int -> Mat.t
+(** A Haar-ish random orthogonal matrix via Gram–Schmidt on a random
+    square matrix. *)
+
+val diag : Vec.t -> Mat.t
+(** [diag d] is the diagonal matrix with diagonal [d]. *)
+
+val hilbert : int -> Mat.t
+(** The Hilbert matrix [1/(i+j+1)] — SPD but catastrophically
+    ill-conditioned; used to exercise verification thresholds. *)
+
+val tridiag_laplacian : int -> Mat.t
+(** The 1-D Laplacian [tridiag(-1, 2, -1)]: a structured SPD matrix
+    with known Cholesky factor behaviour. *)
+
+val kalman_covariance : ?seed:int -> int -> Mat.t
+(** A covariance-shaped SPD matrix (correlation decaying with index
+    distance plus diagonal noise), as produced by Kalman-filter style
+    workloads. *)

@@ -1,0 +1,22 @@
+type trans = No_trans | Trans
+type uplo = Upper | Lower
+type side = Left | Right
+type diag = Unit_diag | Non_unit_diag
+
+let flip_trans = function No_trans -> Trans | Trans -> No_trans
+
+let pp_trans fmt = function
+  | No_trans -> Format.pp_print_string fmt "N"
+  | Trans -> Format.pp_print_string fmt "T"
+
+let pp_uplo fmt = function
+  | Upper -> Format.pp_print_string fmt "U"
+  | Lower -> Format.pp_print_string fmt "L"
+
+let pp_side fmt = function
+  | Left -> Format.pp_print_string fmt "L"
+  | Right -> Format.pp_print_string fmt "R"
+
+let pp_diag fmt = function
+  | Unit_diag -> Format.pp_print_string fmt "U"
+  | Non_unit_diag -> Format.pp_print_string fmt "N"

@@ -1,0 +1,29 @@
+(** Shared enumerations for BLAS-style matrix operations.
+
+    Mirrors the conventional BLAS/LAPACK character flags ([N]/[T],
+    [U]/[L], [L]/[R], [U]/[N]) as OCaml variants so that misuse is a
+    type error rather than a silent wrong answer. *)
+
+type trans =
+  | No_trans  (** use the operand as stored *)
+  | Trans  (** use the transpose of the operand *)
+
+type uplo =
+  | Upper  (** only the upper triangle is referenced/valid *)
+  | Lower  (** only the lower triangle is referenced/valid *)
+
+type side =
+  | Left  (** the triangular operand multiplies from the left *)
+  | Right  (** the triangular operand multiplies from the right *)
+
+type diag =
+  | Unit_diag  (** the triangular operand has an implicit unit diagonal *)
+  | Non_unit_diag  (** the diagonal entries are stored explicitly *)
+
+val flip_trans : trans -> trans
+(** [flip_trans t] is [Trans] iff [t] is [No_trans]. *)
+
+val pp_trans : Format.formatter -> trans -> unit
+val pp_uplo : Format.formatter -> uplo -> unit
+val pp_side : Format.formatter -> side -> unit
+val pp_diag : Format.formatter -> diag -> unit

@@ -1,0 +1,16 @@
+(* Thin wrapper: since Abft.Checksum/Verify were generalized to
+   rectangular tiles, a panel checksum IS a checksum — this module only
+   keeps the QR-flavoured names and the panel-shape validation. *)
+
+open Matrix
+
+type t = Abft.Checksum.t
+
+let encode ?(d = 2) p =
+  if Mat.rows p < 1 then invalid_arg "Panelchk.encode: empty panel";
+  Abft.Checksum.encode ~d p
+
+let matrix = Abft.Checksum.matrix
+let copy = Abft.Checksum.copy
+let check ?tol t p = Abft.Verify.check ?tol t p
+let verify ?tol t p = Abft.Verify.verify ?tol t p

@@ -1,0 +1,28 @@
+(** Column checksums for rectangular panels (m×b, m ≥ b).
+
+    QR works on tall column panels rather than square tiles; since
+    {!Abft.Checksum} and {!Abft.Verify} operate on any m×n tile, this
+    module is a thin delegation layer that keeps QR-flavoured names
+    (and gets every Verify improvement — per-row thresholds, two-error
+    decoding at d ≥ 4, anchored Inf/NaN reconstruction — for free). *)
+
+open Matrix
+
+type t = Abft.Checksum.t
+(** Mutable checksum block (d×b) of one m×b panel. *)
+
+val encode : ?d:int -> Mat.t -> t
+(** [encode p] for a panel with [rows p >= 1] (default [d = 2]). *)
+
+val matrix : t -> Mat.t
+(** The live d×b checksum matrix (update rules mutate it). *)
+
+val check : ?tol:float -> t -> Mat.t -> bool
+(** Detection only. @raise Invalid_argument on shape mismatch. *)
+
+val verify : ?tol:float -> t -> Mat.t -> Abft.Verify.outcome
+(** Detect, locate and correct in place — up to one error per panel
+    column, plus anchored reconstruction of a single overwhelming
+    (Inf/NaN/huge) element per column. *)
+
+val copy : t -> t

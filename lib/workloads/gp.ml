@@ -1,0 +1,71 @@
+open Matrix
+
+type t = {
+  x : Vec.t;
+  alpha : Vec.t;  (* (K + s2 I)^-1 y *)
+  l : Mat.t;  (* Cholesky factor of the noisy kernel matrix *)
+  lengthscale : float;
+  signal : float;
+  report : Cholesky.Ft.report;
+  log_ml : float;
+}
+
+let kern ~lengthscale ~signal a b =
+  let d = (a -. b) /. lengthscale in
+  signal *. signal *. exp (-0.5 *. d *. d)
+
+let fit ?cfg ?plan ?(lengthscale = 1.) ?(signal = 1.) ?(noise = 0.1) ~x ~y () =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Gp.fit: empty data";
+  if Array.length y <> n then invalid_arg "Gp.fit: x/y length mismatch";
+  let k =
+    Mat.init n n (fun i j ->
+        kern ~lengthscale ~signal x.(i) x.(j)
+        +. if i = j then noise *. noise else 0.)
+  in
+  let report = Util.ft_cholesky ?cfg ?plan k in
+  let l = report.Cholesky.Ft.factor in
+  let ymat = Mat.init n 1 (fun i _ -> y.(i)) in
+  let alpha_mat = Util.spd_solve_with_factor l ymat in
+  let alpha = Mat.col alpha_mat 0 in
+  (* log ML = -1/2 y^T alpha - sum log l_ii - n/2 log 2pi *)
+  let logdet_half = ref 0. in
+  for i = 0 to n - 1 do
+    logdet_half := !logdet_half +. log (Mat.get l i i)
+  done;
+  let log_ml =
+    (-0.5 *. Vec.dot y alpha)
+    -. !logdet_half
+    -. (float_of_int n /. 2. *. log (2. *. Float.pi))
+  in
+  { x; alpha; l; lengthscale; signal; report; log_ml }
+
+let predict t xs =
+  let n = Array.length t.x in
+  let means =
+    Array.map
+      (fun xstar ->
+        let kv =
+          Vec.init n (fun i ->
+              kern ~lengthscale:t.lengthscale ~signal:t.signal t.x.(i) xstar)
+        in
+        Vec.dot kv t.alpha)
+      xs
+  in
+  let variances =
+    Array.map
+      (fun xstar ->
+        let kv =
+          Array.init n (fun i ->
+              kern ~lengthscale:t.lengthscale ~signal:t.signal t.x.(i) xstar)
+        in
+        (* v = inv(L) k_star; var = k(xstar, xstar) - v'v *)
+        Blas2.trsv Types.Lower Types.No_trans Types.Non_unit_diag t.l kv;
+        let prior = kern ~lengthscale:t.lengthscale ~signal:t.signal xstar xstar in
+        Float.max 0. (prior -. Vec.dot kv kv))
+      xs
+  in
+  (means, variances)
+
+let log_marginal_likelihood t = t.log_ml
+let factorization t = t.report

@@ -1,0 +1,35 @@
+(** Gaussian-process regression — a "non-linear optimization /
+    least-squares" style consumer of Cholesky (the kernel matrix solve
+    dominates GP training cost, and it must be SPD).
+
+    Squared-exponential kernel; the noisy kernel matrix
+    [K + σ²I] is factored with the fault-tolerant driver; predictions
+    and the log marginal likelihood come from the factor. *)
+
+open Matrix
+
+type t
+(** A fitted GP model. *)
+
+val fit :
+  ?cfg:Cholesky.Config.t ->
+  ?plan:Fault.t ->
+  ?lengthscale:float ->
+  ?signal:float ->
+  ?noise:float ->
+  x:Vec.t ->
+  y:Vec.t ->
+  unit ->
+  t
+(** [fit ~x ~y ()] trains on 1-D inputs. Defaults:
+    [lengthscale = 1.], [signal = 1.], [noise = 0.1].
+    @raise Invalid_argument on length mismatch or empty data.
+    @raise Failure if the factorization does not succeed. *)
+
+val predict : t -> Vec.t -> Vec.t * Vec.t
+(** [predict t xs] is [(means, variances)] at the test inputs. *)
+
+val log_marginal_likelihood : t -> float
+
+val factorization : t -> Cholesky.Ft.report
+(** The FT driver report of the training factorization. *)

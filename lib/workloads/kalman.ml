@@ -1,0 +1,80 @@
+open Matrix
+
+type model = { f : Mat.t; h : Mat.t; q : Mat.t; r : Mat.t }
+
+type track = {
+  estimates : Mat.t list;
+  truth : Mat.t list;
+  rmse : float;
+  factorizations : int;
+  corrections : int;
+}
+
+let constant_velocity ?(dt = 1.) ?(q = 0.01) ?(r = 0.25) ~dim () =
+  if dim < 1 then invalid_arg "Kalman.constant_velocity: dim must be >= 1";
+  let n = 2 * dim in
+  let f =
+    Mat.init n n (fun i j ->
+        if i = j then 1. else if j = i + dim then dt else 0.)
+  in
+  let h = Mat.init dim n (fun i j -> if i = j then 1. else 0.) in
+  let q_mat = Mat.init n n (fun i j -> if i = j then q else 0.) in
+  let r_mat = Mat.init dim dim (fun i j -> if i = j then r else 0.) in
+  { f; h; q = q_mat; r = r_mat }
+
+let run ?(seed = 3) ?cfg ?plan_at model ~steps =
+  let st = Random.State.make [| seed; steps |] in
+  let n = Mat.rows model.f and m = Mat.rows model.h in
+  let q_chol = Lapack.cholesky model.q in
+  let r_chol = Lapack.cholesky model.r in
+  let corrections = ref 0 and factorizations = ref 0 in
+  let x_true = ref (Util.gaussian_mat st n 1) in
+  let x_est = ref (Mat.create n 1) in
+  let p = ref (Mat.scalar n 10.) in
+  let truth = ref [] and estimates = ref [] in
+  let sq_err = ref 0. in
+  for step = 0 to steps - 1 do
+    (* Simulate truth and a measurement. *)
+    let w = Blas3.gemm_alloc q_chol (Util.gaussian_mat st n 1) in
+    x_true := Mat.add (Blas3.gemm_alloc model.f !x_true) w;
+    let v = Blas3.gemm_alloc r_chol (Util.gaussian_mat st m 1) in
+    let z = Mat.add (Blas3.gemm_alloc model.h !x_true) v in
+    (* Predict. *)
+    let x_pred = Blas3.gemm_alloc model.f !x_est in
+    let fp = Blas3.gemm_alloc model.f !p in
+    let p_pred = Mat.add (Blas3.gemm_alloc ~transb:Types.Trans fp model.f) model.q in
+    (* Innovation covariance S = H P H^T + R, factored fault-tolerantly. *)
+    let hp = Blas3.gemm_alloc model.h p_pred in
+    let s = Mat.add (Blas3.gemm_alloc ~transb:Types.Trans hp model.h) model.r in
+    let plan =
+      match plan_at with
+      | Some (at, plan) when at = step -> plan
+      | _ -> []
+    in
+    let report = Util.ft_cholesky ?cfg ~plan s in
+    incr factorizations;
+    corrections := !corrections + report.Cholesky.Ft.stats.Cholesky.Ft.corrections;
+    (* Gain K = P H^T S^-1, via the factor: solve S Kt = H P. *)
+    let kt = Util.spd_solve_with_factor report.Cholesky.Ft.factor hp in
+    let k = Mat.transpose kt in
+    (* Update. *)
+    let innov = Mat.sub_mat z (Blas3.gemm_alloc model.h x_pred) in
+    x_est := Mat.add x_pred (Blas3.gemm_alloc k innov);
+    let kh = Blas3.gemm_alloc k model.h in
+    let eye_kh = Mat.sub_mat (Mat.identity n) kh in
+    p := Blas3.gemm_alloc eye_kh p_pred;
+    truth := Mat.copy !x_true :: !truth;
+    estimates := Mat.copy !x_est :: !estimates;
+    (* position error only (first m state components) *)
+    for i = 0 to m - 1 do
+      let d = Mat.get !x_est i 0 -. Mat.get !x_true i 0 in
+      sq_err := !sq_err +. (d *. d)
+    done
+  done;
+  {
+    estimates = List.rev !estimates;
+    truth = List.rev !truth;
+    rmse = sqrt (!sq_err /. float_of_int (steps * m));
+    factorizations = !factorizations;
+    corrections = !corrections;
+  }

@@ -1,0 +1,43 @@
+(** A linear Kalman filter whose measurement update solves against the
+    innovation covariance with the fault-tolerant Cholesky — the
+    paper's "Kalman filters" motivation.
+
+    The model is a constant-velocity tracker in [dim] spatial
+    dimensions (state = positions ++ velocities) with position-only
+    measurements. Each update factors the innovation covariance
+    [S = H·P·Hᵀ + R] (SPD, order [dim·obs_blocks]) through
+    {!Util.ft_cholesky}; faults can be injected into any chosen
+    update's factorization. *)
+
+open Matrix
+
+type model = {
+  f : Mat.t;  (** state transition *)
+  h : Mat.t;  (** observation *)
+  q : Mat.t;  (** process noise covariance *)
+  r : Mat.t;  (** measurement noise covariance *)
+}
+
+type track = {
+  estimates : Mat.t list;  (** filtered state means, oldest first *)
+  truth : Mat.t list;  (** simulated true states *)
+  rmse : float;  (** position RMSE of the filtered track *)
+  factorizations : int;  (** Cholesky factorizations performed *)
+  corrections : int;  (** ABFT corrections absorbed across them *)
+}
+
+val constant_velocity : ?dt:float -> ?q:float -> ?r:float -> dim:int -> unit -> model
+(** Standard constant-velocity model: state order [2·dim].
+    @raise Invalid_argument if [dim < 1]. *)
+
+val run :
+  ?seed:int ->
+  ?cfg:Cholesky.Config.t ->
+  ?plan_at:int * Fault.t ->
+  model ->
+  steps:int ->
+  track
+(** [run model ~steps] simulates a trajectory and filters it.
+    [plan_at = (step, plan)] injects the plan into the factorization
+    performed at that step (0-based).
+    @raise Failure if a factorization does not succeed. *)

@@ -1,0 +1,30 @@
+open Matrix
+
+type solution = {
+  x : Mat.t;
+  residual_norm : float;
+  factorization : Cholesky.Ft.report;
+}
+
+let solve ?cfg ?plan ~a ~b () =
+  let m = Mat.rows a and n = Mat.cols a in
+  if Mat.rows b <> m then
+    invalid_arg
+      (Printf.sprintf "Lstsq.solve: a is %dx%d but b has %d rows" m n
+         (Mat.rows b));
+  if m < n then invalid_arg "Lstsq.solve: need rows >= cols";
+  let gram = Blas3.gemm_alloc ~transa:Types.Trans a a in
+  let rhs = Blas3.gemm_alloc ~transa:Types.Trans a b in
+  let factorization = Util.ft_cholesky ?cfg ?plan gram in
+  let x = Util.spd_solve_with_factor factorization.Cholesky.Ft.factor rhs in
+  let fit = Blas3.gemm_alloc a x in
+  let residual_norm = Mat.norm_fro (Mat.sub_mat fit b) in
+  { x; residual_norm; factorization }
+
+let synthetic_problem ?(seed = 11) ?(noise = 1e-3) ~rows ~cols () =
+  let st = Random.State.make [| seed; rows; cols |] in
+  let a = Util.gaussian_mat st rows cols in
+  let x_true = Util.gaussian_mat st cols 1 in
+  let b = Blas3.gemm_alloc a x_true in
+  let b = Mat.mapi (fun _ _ v -> v +. (noise *. Util.gaussian st)) b in
+  (a, b, x_true)

@@ -1,0 +1,46 @@
+open Matrix
+
+type estimate = {
+  mean : float;
+  stddev : float;
+  var_95 : float;
+  samples : int;
+  factorization : Cholesky.Ft.report;
+}
+
+let correlated_returns_cov ?(seed = 5) ~assets () =
+  let st = Random.State.make [| seed; assets |] in
+  let sectors = max 1 (assets / 8) in
+  let sector_of = Array.init assets (fun _ -> Random.State.int st sectors) in
+  let vol = Array.init assets (fun _ -> 0.1 +. Random.State.float st 0.3) in
+  Mat.init assets assets (fun i j ->
+      let corr =
+        if i = j then 1.
+        else if sector_of.(i) = sector_of.(j) then 0.6
+        else 0.15
+      in
+      corr *. vol.(i) *. vol.(j))
+
+let simulate ?(seed = 17) ?cfg ?plan ~cov ~weights ~samples () =
+  let n = Mat.rows cov in
+  if Array.length weights <> n then
+    invalid_arg "Montecarlo.simulate: weights length mismatch";
+  if samples <= 0 then invalid_arg "Montecarlo.simulate: samples <= 0";
+  let factorization = Util.ft_cholesky ?cfg ?plan cov in
+  let l = factorization.Cholesky.Ft.factor in
+  let st = Random.State.make [| seed; samples; n |] in
+  let returns = Array.make samples 0. in
+  for s = 0 to samples - 1 do
+    let z = Util.gaussian_vec st n in
+    let x = Blas2.gemv_alloc l z in
+    returns.(s) <- Vec.dot weights x
+  done;
+  let mean = Array.fold_left ( +. ) 0. returns /. float_of_int samples in
+  let var =
+    Array.fold_left (fun acc r -> acc +. ((r -. mean) ** 2.)) 0. returns
+    /. float_of_int (max 1 (samples - 1))
+  in
+  let sorted = Array.copy returns in
+  Array.sort compare sorted;
+  let var_95 = -.sorted.(max 0 (samples / 20 - 1)) in
+  { mean; stddev = sqrt var; var_95; samples; factorization }

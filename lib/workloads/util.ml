@@ -1,0 +1,38 @@
+open Matrix
+
+let pick_block ?target n =
+  try Cholesky.Config.divisor_block ?target n
+  with Invalid_argument _ -> invalid_arg "Util.pick_block: n must be positive"
+
+let gaussian st =
+  let rec u () =
+    let x = Random.State.float st 1. in
+    if x > 0. then x else u ()
+  in
+  sqrt (-2. *. log (u ())) *. cos (2. *. Float.pi *. Random.State.float st 1.)
+
+let gaussian_vec st n = Vec.init n (fun _ -> gaussian st)
+let gaussian_mat st m n = Mat.init m n (fun _ _ -> gaussian st)
+
+let spd_solve_with_factor l b =
+  let x = Mat.copy b in
+  Lapack.potrs Types.Lower l x;
+  x
+
+let ft_cholesky ?cfg ?(plan = []) a =
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None ->
+        Cholesky.Config.make ~machine:Hetsim.Machine.testbench
+          ~block:(pick_block (Mat.rows a))
+          ()
+  in
+  let report = Cholesky.Ft.factor ~plan cfg a in
+  (match report.Cholesky.Ft.outcome with
+  | Cholesky.Ft.Success -> ()
+  | o ->
+      failwith
+        (Format.asprintf "ft_cholesky: factorization did not succeed: %a"
+           Cholesky.Ft.pp_outcome o));
+  report

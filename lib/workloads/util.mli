@@ -1,0 +1,26 @@
+(** Small shared helpers for the workload layer. *)
+
+open Matrix
+
+val pick_block : ?target:int -> int -> int
+(** [pick_block n] is the largest divisor of [n] that is at most
+    [target] (default 64) — a convenient tile size for numeric-mode
+    factorizations of workload-determined matrix orders.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val gaussian : Random.State.t -> float
+(** One standard normal draw (Box–Muller). *)
+
+val gaussian_vec : Random.State.t -> int -> Vec.t
+val gaussian_mat : Random.State.t -> int -> int -> Mat.t
+
+val spd_solve_with_factor : Mat.t -> Mat.t -> Mat.t
+(** [spd_solve_with_factor l b] solves [A·X = b] given the lower
+    Cholesky factor [l] of [A]; fresh result. *)
+
+val ft_cholesky : ?cfg:Cholesky.Config.t -> ?plan:Fault.t -> Mat.t -> Cholesky.Ft.report
+(** Factor an SPD matrix with the fault-tolerant driver, defaulting to
+    the Enhanced scheme on the testbench machine with a block size that
+    divides the order ({!pick_block}).
+    @raise Failure if the driver reports anything but [Success] — the
+    workloads treat an unrecovered factorization as fatal. *)

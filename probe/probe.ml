@@ -1,0 +1,111 @@
+open Matrix
+open Types
+let rand_mat st m n = Mat.init m n (fun _ _ -> Random.State.float st 2.0 -. 1.0)
+let naive_mm a b = (* plain *) 
+  let m = Mat.rows a and k = Mat.cols a and n = Mat.cols b in
+  assert (Mat.rows b = k);
+  Mat.init m n (fun i j -> let s = ref 0. in for l = 0 to k-1 do s := !s +. Mat.get a i l *. Mat.get b l j done; !s)
+let tr = Mat.transpose
+let opm t a = match t with No_trans -> a | Trans -> tr a
+let max_diff a b = Mat.norm_max (Mat.sub_mat a b)
+let () =
+  let st = Random.State.make [|1|] in
+  let worst = ref 0. in
+  for _ = 1 to 200 do
+    let m = 1 + Random.State.int st 6 and n = 1 + Random.State.int st 6 and k = 1 + Random.State.int st 6 in
+    let ta = if Random.State.bool st then Trans else No_trans in
+    let tb = if Random.State.bool st then Trans else No_trans in
+    let alpha = Random.State.float st 2. -. 1. and beta = Random.State.float st 2. -. 1. in
+    let a = (match ta with No_trans -> rand_mat st m k | Trans -> rand_mat st k m) in
+    let b = (match tb with No_trans -> rand_mat st k n | Trans -> rand_mat st n k) in
+    let c = rand_mat st m n in
+    let expect = Mat.add (Mat.scale beta c) (Mat.scale alpha (naive_mm (opm ta a) (opm tb b))) in
+    let got = Mat.copy c in
+    Blas3.gemm ~transa:ta ~transb:tb ~alpha ~beta a b got;
+    worst := Float.max !worst (max_diff expect got)
+  done;
+  Printf.printf "gemm worst %g\n" !worst;
+  (* syrk both uplos/trans *)
+  let worst = ref 0. in
+  for _ = 1 to 200 do
+    let n = 1 + Random.State.int st 6 and k = 1 + Random.State.int st 6 in
+    let t = if Random.State.bool st then Trans else No_trans in
+    let uplo = if Random.State.bool st then Lower else Upper in
+    let alpha = Random.State.float st 2. -. 1. and beta = Random.State.float st 2. -. 1. in
+    let a = (match t with No_trans -> rand_mat st n k | Trans -> rand_mat st k n) in
+    let c = rand_mat st n n in
+    let full = Mat.add (Mat.scale beta c) (Mat.scale alpha (naive_mm (opm t a) (tr (opm t a)))) in
+    let got = Mat.copy c in
+    Blas3.syrk ~trans:t ~alpha ~beta uplo a got;
+    (* compare only the written triangle *)
+    let d = ref 0. in
+    for i = 0 to n-1 do for j = 0 to n-1 do
+      let inl = match uplo with Lower -> i >= j | Upper -> i <= j in
+      if inl then d := Float.max !d (abs_float (Mat.get got i j -. Mat.get full i j))
+      else if Mat.get got i j <> Mat.get c i j then (Printf.printf "syrk touched opposite triangle!\n"; exit 1)
+    done done;
+    worst := Float.max !worst !d
+  done;
+  Printf.printf "syrk worst %g\n" !worst;
+  (* trsm/trmm all combos *)
+  let worst = ref 0. in
+  for _ = 1 to 400 do
+    let n = 1 + Random.State.int st 5 and m = 1 + Random.State.int st 5 in
+    let side = if Random.State.bool st then Left else Right in
+    let uplo = if Random.State.bool st then Lower else Upper in
+    let t = if Random.State.bool st then Trans else No_trans in
+    let dg = if Random.State.bool st then Unit_diag else Non_unit_diag in
+    let na = match side with Left -> m | Right -> n in
+    let a0 = rand_mat st na na in
+    let a = Mat.mapi (fun i j v -> if i = j then v +. 3. else v) a0 in
+    let b = rand_mat st m n in
+    let alpha = Random.State.float st 2. -. 1. in
+    let x = Mat.copy b in
+    Blas3.trsm ~alpha side uplo t dg a x;
+    (* residual: op(tri(a)) * x = alpha b (Left) or x * op(tri(a)) = alpha b *)
+    let tri = (match uplo with Lower -> Mat.tril ~diag:dg a | Upper -> Mat.triu ~diag:dg a) in
+    let opa = opm t tri in
+    let lhs = match side with Left -> naive_mm opa x | Right -> naive_mm x opa in
+    worst := Float.max !worst (max_diff lhs (Mat.scale alpha b))
+  done;
+  Printf.printf "trsm worst %g\n" !worst;
+  let worst = ref 0. in
+  for _ = 1 to 400 do
+    let n = 1 + Random.State.int st 5 and m = 1 + Random.State.int st 5 in
+    let side = if Random.State.bool st then Left else Right in
+    let uplo = if Random.State.bool st then Lower else Upper in
+    let t = if Random.State.bool st then Trans else No_trans in
+    let dg = if Random.State.bool st then Unit_diag else Non_unit_diag in
+    let na = match side with Left -> m | Right -> n in
+    let a = rand_mat st na na in
+    let b = rand_mat st m n in
+    let alpha = Random.State.float st 2. -. 1. in
+    let x = Mat.copy b in
+    Blas3.trmm ~alpha side uplo t dg a x;
+    let tri = (match uplo with Lower -> Mat.tril ~diag:dg a | Upper -> Mat.triu ~diag:dg a) in
+    let opa = opm t tri in
+    let expect = Mat.scale alpha (match side with Left -> naive_mm opa b | Right -> naive_mm b opa) in
+    worst := Float.max !worst (max_diff expect x)
+  done;
+  Printf.printf "trmm worst %g\n" !worst;
+  (* gemv both trans *)
+  let worst = ref 0. in
+  for _ = 1 to 300 do
+    let m = 1 + Random.State.int st 6 and n = 1 + Random.State.int st 6 in
+    let t = if Random.State.bool st then Trans else No_trans in
+    let a = rand_mat st m n in
+    let xl = match t with No_trans -> n | Trans -> m in
+    let yl = match t with No_trans -> m | Trans -> n in
+    let x = Array.init xl (fun _ -> Random.State.float st 2. -. 1.) in
+    let y = Array.init yl (fun _ -> Random.State.float st 2. -. 1.) in
+    let alpha = Random.State.float st 2. -. 1. and beta = Random.State.float st 2. -. 1. in
+    let xm = Mat.init xl 1 (fun i _ -> x.(i)) in
+    let ym = Mat.init yl 1 (fun i _ -> y.(i)) in
+    let expect = Mat.add (Mat.scale beta ym) (Mat.scale alpha (naive_mm (opm t a) xm)) in
+    let got = Array.copy y in
+    Blas2.gemv ~trans:t ~alpha ~beta a x got;
+    let d = ref 0. in
+    Array.iteri (fun i v -> d := Float.max !d (abs_float (v -. Mat.get expect i 0))) got;
+    worst := Float.max !worst !d
+  done;
+  Printf.printf "gemv worst %g\n" !worst

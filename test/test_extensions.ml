@@ -1,0 +1,249 @@
+(* Tests for the extension modules: the K auto-tuner and the DMR/TMR
+   redundancy baselines. *)
+
+module C = Cholesky
+
+let check_float = Alcotest.check (Alcotest.float 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Ktuner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let linear_cost k = 1.0 /. float_of_int k
+(* a toy verification cost: 1s at K=1, 1/k thereafter *)
+
+let test_ktuner_zero_rate_prefers_large_k () =
+  let e =
+    Abft.Ktuner.optimal_k ~base_s:10. ~verify_cost_s:linear_cost ~error_rate:0.
+      ()
+  in
+  Alcotest.(check int) "k = k_max" 16 e.Abft.Ktuner.k
+
+let test_ktuner_high_rate_prefers_k1 () =
+  let e =
+    Abft.Ktuner.optimal_k ~base_s:10. ~verify_cost_s:linear_cost ~error_rate:10.
+      ()
+  in
+  Alcotest.(check int) "k = 1" 1 e.Abft.Ktuner.k
+
+let test_ktuner_monotone_in_rate () =
+  (* The optimal K never increases as the failure rate grows. *)
+  let k_at rate =
+    (Abft.Ktuner.optimal_k ~base_s:10. ~verify_cost_s:linear_cost
+       ~error_rate:rate ())
+      .Abft.Ktuner.k
+  in
+  let rates = [ 0.; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. ] in
+  let ks = List.map k_at rates in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "non-increasing" true (non_increasing ks)
+
+let test_ktuner_expected_time_formula () =
+  let e =
+    Abft.Ktuner.expected_time ~base_s:10. ~verify_cost_s:linear_cost
+      ~error_rate:0.01 2
+  in
+  check_float "fault-free" 10.5 e.Abft.Ktuner.fault_free_s;
+  (* E = T (1 + rate * T * (k-1)/k * r) = 10.5 * (1 + 0.01*10.5*0.5) *)
+  check_float "expected" (10.5 *. (1. +. (0.01 *. 10.5 *. 0.5)))
+    e.Abft.Ktuner.expected_s
+
+let test_ktuner_k1_never_pays_recovery () =
+  let e =
+    Abft.Ktuner.expected_time ~base_s:10. ~verify_cost_s:linear_cost
+      ~error_rate:100. 1
+  in
+  check_float "no slip at k=1" e.Abft.Ktuner.fault_free_s e.Abft.Ktuner.expected_s
+
+let test_ktuner_validation () =
+  Alcotest.(check bool) "bad k" true
+    (try
+       ignore
+         (Abft.Ktuner.expected_time ~base_s:1. ~verify_cost_s:linear_cost
+            ~error_rate:0. 0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad rate" true
+    (try
+       ignore
+         (Abft.Ktuner.expected_time ~base_s:1. ~verify_cost_s:linear_cost
+            ~error_rate:(-1.) 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ktuner_cost_model_decreases_in_k () =
+  let cost =
+    Abft.Ktuner.verify_cost_model ~machine:Hetsim.Machine.tardis ~n:20480
+      ~b:256 ~streams:16
+  in
+  Alcotest.(check bool) "k=1 > k=3" true (cost 1 > cost 3);
+  Alcotest.(check bool) "k=3 > k=5" true (cost 3 > cost 5);
+  Alcotest.(check bool) "positive" true (cost 16 > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Redundancy                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_dmr_overhead () =
+  let r = C.Redundancy.dmr Hetsim.Machine.tardis ~n:8192 in
+  Alcotest.(check bool) "about +100%" true
+    (r.C.Redundancy.overhead_vs_plain > 0.99
+    && r.C.Redundancy.overhead_vs_plain < 1.1)
+
+let test_dmr_faulty_costs_third_run () =
+  let clean = C.Redundancy.dmr Hetsim.Machine.tardis ~n:8192 in
+  let faulty = C.Redundancy.dmr ~faulty:true Hetsim.Machine.tardis ~n:8192 in
+  Alcotest.(check bool) "about 1.5x of dmr" true
+    (faulty.C.Redundancy.makespan /. clean.C.Redundancy.makespan > 1.45)
+
+let test_tmr_overhead () =
+  let r = C.Redundancy.tmr Hetsim.Machine.bulldozer64 ~n:8192 in
+  Alcotest.(check bool) "about +200%" true
+    (r.C.Redundancy.overhead_vs_plain > 1.99
+    && r.C.Redundancy.overhead_vs_plain < 2.1)
+
+let test_abft_beats_redundancy () =
+  (* The paper's core economic argument. *)
+  let machine = Hetsim.Machine.tardis and n = 8192 in
+  let enhanced =
+    (C.Schedule.run (C.Config.make ~machine ~scheme:(Abft.Scheme.enhanced ()) ()) ~n)
+      .C.Schedule.makespan
+  in
+  let dmr = (C.Redundancy.dmr machine ~n).C.Redundancy.makespan in
+  let tmr = (C.Redundancy.tmr machine ~n).C.Redundancy.makespan in
+  Alcotest.(check bool) "enhanced < dmr" true (enhanced < dmr);
+  Alcotest.(check bool) "dmr < tmr" true (dmr < tmr)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_cost_scales () =
+  let c1 = C.Checkpoint.checkpoint_cost Hetsim.Machine.tardis ~n:4096 in
+  let c2 = C.Checkpoint.checkpoint_cost Hetsim.Machine.tardis ~n:8192 in
+  Alcotest.(check bool) "4x bytes ~ 4x time" true
+    (c2 /. c1 > 3.9 && c2 /. c1 < 4.1)
+
+let test_young_daly () =
+  (* sqrt(2 C / lambda) *)
+  check_float "interval" (sqrt (2. *. 4. /. 0.01))
+    (C.Checkpoint.young_daly_interval ~checkpoint_cost_s:4. ~error_rate:0.01);
+  Alcotest.(check bool) "zero rate -> infinite interval" true
+    (C.Checkpoint.young_daly_interval ~checkpoint_cost_s:4. ~error_rate:0.
+    = infinity);
+  Alcotest.(check bool) "bad cost" true
+    (try
+       ignore (C.Checkpoint.young_daly_interval ~checkpoint_cost_s:0. ~error_rate:1.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_checkpoint_expected_time_zero_rate () =
+  let r =
+    C.Checkpoint.expected_time Hetsim.Machine.tardis ~n:4096 ~error_rate:0. ()
+  in
+  check_float "no overhead without failures" 0. r.C.Checkpoint.overhead_vs_plain
+
+let test_checkpoint_expected_grows_with_rate () =
+  let at rate =
+    (C.Checkpoint.expected_time Hetsim.Machine.tardis ~n:8192 ~error_rate:rate ())
+      .C.Checkpoint.expected_s
+  in
+  Alcotest.(check bool) "monotone" true (at 0.001 < at 0.01 && at 0.01 < at 0.1)
+
+let test_checkpoint_optimal_beats_bad_interval () =
+  let rate = 0.01 in
+  let opt =
+    C.Checkpoint.expected_time Hetsim.Machine.tardis ~n:8192 ~error_rate:rate ()
+  in
+  let bad =
+    C.Checkpoint.expected_time Hetsim.Machine.tardis ~n:8192 ~error_rate:rate
+      ~interval_s:(opt.C.Checkpoint.interval_s /. 20.) ()
+  in
+  Alcotest.(check bool) "young/daly better" true
+    (opt.C.Checkpoint.expected_s < bad.C.Checkpoint.expected_s)
+
+let test_abft_beats_checkpointing_at_high_rate () =
+  (* The composition argument: once failures are frequent relative to
+     the run length, forward correction dominates rollback (for runs
+     much shorter than the MTBF, checkpointing is trivially cheap —
+     also verified below). *)
+  let machine = Hetsim.Machine.tardis and n = 8192 in
+  let enhanced =
+    (C.Schedule.run (C.Config.make ~machine ~scheme:(Abft.Scheme.enhanced ()) ()) ~n)
+      .C.Schedule.makespan
+  in
+  let ckpt_at rate =
+    (C.Checkpoint.expected_time machine ~n ~error_rate:rate ())
+      .C.Checkpoint.expected_s
+  in
+  Alcotest.(check bool) "abft wins at 1 err/s" true (enhanced < ckpt_at 1.);
+  Alcotest.(check bool) "rollback wins when failures are rare" true
+    (ckpt_at 1e-6 < enhanced)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_ktuner_optimum_is_minimum =
+  QCheck.Test.make ~name:"optimal_k really minimises expected time" ~count:100
+    QCheck.(pair (float_range 0. 1.) (float_range 0.1 10.))
+    (fun (rate, scale) ->
+      let cost k = scale /. float_of_int k in
+      let best =
+        Abft.Ktuner.optimal_k ~base_s:10. ~verify_cost_s:cost ~error_rate:rate ()
+      in
+      List.for_all
+        (fun k ->
+          (Abft.Ktuner.expected_time ~base_s:10. ~verify_cost_s:cost
+             ~error_rate:rate k)
+            .Abft.Ktuner.expected_s
+          >= best.Abft.Ktuner.expected_s -. 1e-12)
+        (List.init 16 (fun i -> i + 1)))
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_ktuner_optimum_is_minimum ]
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "ktuner",
+        [
+          Alcotest.test_case "zero rate -> large K" `Quick
+            test_ktuner_zero_rate_prefers_large_k;
+          Alcotest.test_case "high rate -> K=1" `Quick
+            test_ktuner_high_rate_prefers_k1;
+          Alcotest.test_case "monotone in rate" `Quick test_ktuner_monotone_in_rate;
+          Alcotest.test_case "expected-time formula" `Quick
+            test_ktuner_expected_time_formula;
+          Alcotest.test_case "k=1 pays no recovery" `Quick
+            test_ktuner_k1_never_pays_recovery;
+          Alcotest.test_case "validation" `Quick test_ktuner_validation;
+          Alcotest.test_case "cost model decreasing" `Quick
+            test_ktuner_cost_model_decreases_in_k;
+        ] );
+      ( "redundancy",
+        [
+          Alcotest.test_case "dmr ~ +100%" `Quick test_dmr_overhead;
+          Alcotest.test_case "dmr faulty pays third run" `Quick
+            test_dmr_faulty_costs_third_run;
+          Alcotest.test_case "tmr ~ +200%" `Quick test_tmr_overhead;
+          Alcotest.test_case "abft beats redundancy" `Quick
+            test_abft_beats_redundancy;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "cost scales" `Quick test_checkpoint_cost_scales;
+          Alcotest.test_case "young/daly" `Quick test_young_daly;
+          Alcotest.test_case "zero rate" `Quick
+            test_checkpoint_expected_time_zero_rate;
+          Alcotest.test_case "grows with rate" `Quick
+            test_checkpoint_expected_grows_with_rate;
+          Alcotest.test_case "optimal interval" `Quick
+            test_checkpoint_optimal_beats_bad_interval;
+          Alcotest.test_case "abft beats rollback" `Quick
+            test_abft_beats_checkpointing_at_high_rate;
+        ] );
+      ("properties", props);
+    ]

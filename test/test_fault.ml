@@ -1,0 +1,298 @@
+(* Tests for the fault-injection framework: bit flips, plans, and the
+   stateful injector. *)
+
+open Matrix
+
+let check_float = Alcotest.check (Alcotest.float 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Bitflip                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_flip_involution () =
+  let x = 3.14159 in
+  List.iter
+    (fun bit ->
+      let y = Bitflip.flip x bit in
+      Alcotest.(check bool) "changed" false (x = y);
+      check_float "flip twice restores" x (Bitflip.flip y bit))
+    [ 0; 13; 40; 52; 62 ]
+
+let test_flip_sign_bit () =
+  check_float "sign" (-2.5) (Bitflip.flip 2.5 63)
+
+let test_flip_exponent_halves () =
+  (* Bit 52 is the lowest exponent bit; 1.0 stores exponent 1023, so
+     clearing that bit halves the value. *)
+  check_float "exponent" 0.5 (Bitflip.flip 1. 52);
+  check_float "and back up" 1. (Bitflip.flip 0.5 52)
+
+let test_flip_out_of_range () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Bitflip.flip 1. 64);
+       false
+     with Invalid_argument _ -> true)
+
+let test_is_flipped () =
+  let x = 7.25 in
+  Alcotest.(check bool) "yes" true (Bitflip.is_flipped x (Bitflip.flip x 17) 17);
+  Alcotest.(check bool) "wrong bit" false
+    (Bitflip.is_flipped x (Bitflip.flip x 17) 18);
+  Alcotest.(check bool) "same value" false (Bitflip.is_flipped x x 17)
+
+let test_flipped_bits () =
+  let x = 1.0 in
+  let y = Bitflip.flip (Bitflip.flip x 3) 40 in
+  Alcotest.(check (list int)) "both bits" [ 3; 40 ] (Bitflip.flipped_bits x y);
+  Alcotest.(check (list int)) "identical" [] (Bitflip.flipped_bits x x)
+
+let test_severity_ordering () =
+  (* Exponent-field flips are (much) larger than low-mantissa flips. *)
+  Alcotest.(check bool) "exp > mantissa" true
+    (Bitflip.severity 1.5 60 > Bitflip.severity 1.5 2)
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_apply_kind () =
+  check_float "offset" 11. (Fault.apply_kind (Fault.Value_offset { delta = 10. }) 1.);
+  check_float "set" 99. (Fault.apply_kind (Fault.Value_set { value = 99. }) 1.);
+  check_float "bitflip sign" (-1.)
+    (Fault.apply_kind (Fault.Bit_flip { bit = 63 }) 1.)
+
+let test_constructors () =
+  let c =
+    Fault.computing_error ~iteration:2 ~op:Fault.Gemm ~block:(3, 2)
+      ~element:(1, 1) ()
+  in
+  Alcotest.(check bool) "window" true (c.Fault.window = Fault.In_computation Fault.Gemm);
+  let s = Fault.storage_error ~iteration:1 ~block:(1, 0) ~element:(0, 0) () in
+  Alcotest.(check bool) "storage window" true (s.Fault.window = Fault.In_storage)
+
+let test_random_plan_valid () =
+  let grid = 6 and block = 8 in
+  let plan =
+    Fault.random_plan ~seed:1 ~grid ~block ~count:200 ~storage_fraction:0.5 ()
+  in
+  Alcotest.(check int) "count" 200 (List.length plan);
+  List.iter
+    (fun inj ->
+      let bi, bj = inj.Fault.block and ei, ej = inj.Fault.element in
+      Alcotest.(check bool) "lower triangle" true (bi >= bj);
+      Alcotest.(check bool) "block range" true (bi < grid && bj >= 0);
+      Alcotest.(check bool) "element range" true
+        (ei >= 0 && ei < block && ej >= 0 && ej < block);
+      Alcotest.(check bool) "iteration range" true
+        (inj.Fault.iteration >= 0 && inj.Fault.iteration < grid);
+      match inj.Fault.window with
+      | Fault.In_storage ->
+          (* must fire no earlier than the block's column comes alive *)
+          Alcotest.(check bool) "storage timing" true (inj.Fault.iteration >= bj)
+      | Fault.In_computation op -> (
+          match op with
+          | Fault.Syrk | Fault.Potf2 ->
+              Alcotest.(check bool) "diag target" true (bi = bj && bj = inj.Fault.iteration)
+          | Fault.Gemm | Fault.Trsm ->
+              Alcotest.(check bool) "panel target" true
+                (bj = inj.Fault.iteration && bi > bj)))
+    plan
+
+let test_random_plan_deterministic () =
+  let p1 = Fault.random_plan ~seed:7 ~grid:4 ~block:4 ~count:20 ~storage_fraction:0.3 () in
+  let p2 = Fault.random_plan ~seed:7 ~grid:4 ~block:4 ~count:20 ~storage_fraction:0.3 () in
+  Alcotest.(check string) "same" (Fault.to_string p1) (Fault.to_string p2);
+  let p3 = Fault.random_plan ~seed:8 ~grid:4 ~block:4 ~count:20 ~storage_fraction:0.3 () in
+  Alcotest.(check bool) "different seed differs" false
+    (Fault.to_string p1 = Fault.to_string p3)
+
+let test_random_plan_fractions () =
+  let all_storage =
+    Fault.random_plan ~seed:2 ~grid:4 ~block:4 ~count:50 ~storage_fraction:1. ()
+  in
+  Alcotest.(check bool) "all storage" true
+    (List.for_all (fun i -> i.Fault.window = Fault.In_storage) all_storage);
+  let none_storage =
+    Fault.random_plan ~seed:2 ~grid:4 ~block:4 ~count:50 ~storage_fraction:0. ()
+  in
+  Alcotest.(check bool) "none storage" true
+    (List.for_all (fun i -> i.Fault.window <> Fault.In_storage) none_storage)
+
+let test_random_plan_grid_one () =
+  let plan = Fault.random_plan ~seed:3 ~grid:1 ~block:4 ~count:10 ~storage_fraction:0.5 () in
+  List.iter
+    (fun inj ->
+      Alcotest.(check bool) "only block (0,0)" true (inj.Fault.block = (0, 0));
+      match inj.Fault.window with
+      | Fault.In_computation op ->
+          Alcotest.(check bool) "only potf2 possible" true (op = Fault.Potf2)
+      | Fault.In_storage -> ())
+    plan
+
+let test_random_plan_bad_args () =
+  Alcotest.(check bool) "bad fraction" true
+    (try
+       ignore (Fault.random_plan ~seed:1 ~grid:2 ~block:2 ~count:1 ~storage_fraction:2. ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Injector                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tile_store grid block =
+  Array.init grid (fun _ -> Array.init grid (fun _ -> Mat.create block block))
+
+let lookup store (i, j) =
+  if i < Array.length store && j < Array.length store.(0) then Some store.(i).(j)
+  else None
+
+let test_injector_storage_fires_once () =
+  let store = tile_store 3 4 in
+  let inj =
+    Injector.create [ Fault.storage_error ~iteration:1 ~block:(2, 1) ~element:(3, 3) () ]
+  in
+  Injector.fire_storage inj ~iteration:0 ~lookup:(lookup store);
+  Alcotest.(check int) "not yet" 0 (Injector.fired_count inj);
+  Injector.fire_storage inj ~iteration:1 ~lookup:(lookup store);
+  Alcotest.(check int) "fired" 1 (Injector.fired_count inj);
+  Alcotest.(check bool) "tile corrupted" true (Mat.get store.(2).(1) 3 3 <> 0.);
+  (* Firing the same iteration again must not re-apply. *)
+  let before = Mat.get store.(2).(1) 3 3 in
+  Injector.fire_storage inj ~iteration:1 ~lookup:(lookup store);
+  check_float "idempotent" before (Mat.get store.(2).(1) 3 3);
+  Alcotest.(check int) "no pending" 0 (List.length (Injector.pending inj))
+
+let test_injector_compute_matches_op_and_block () =
+  let store = tile_store 3 4 in
+  let inj =
+    Injector.create
+      [
+        Fault.computing_error ~delta:5. ~iteration:1 ~op:Fault.Gemm ~block:(2, 1)
+          ~element:(0, 0) ();
+      ]
+  in
+  (* Wrong op: no fire. *)
+  Injector.fire_compute inj ~iteration:1 ~op:Fault.Trsm ~block:(2, 1) store.(2).(1);
+  Alcotest.(check int) "wrong op" 0 (Injector.fired_count inj);
+  (* Wrong block: no fire. *)
+  Injector.fire_compute inj ~iteration:1 ~op:Fault.Gemm ~block:(1, 1) store.(1).(1);
+  Alcotest.(check int) "wrong block" 0 (Injector.fired_count inj);
+  (* Match. *)
+  Injector.fire_compute inj ~iteration:1 ~op:Fault.Gemm ~block:(2, 1) store.(2).(1);
+  Alcotest.(check int) "fired" 1 (Injector.fired_count inj);
+  check_float "delta applied" 5. (Mat.get store.(2).(1) 0 0)
+
+let test_injector_missing_block_stays_pending () =
+  let store = tile_store 2 4 in
+  let inj =
+    Injector.create [ Fault.storage_error ~iteration:0 ~block:(9, 9) ~element:(0, 0) () ]
+  in
+  Injector.fire_storage inj ~iteration:0 ~lookup:(lookup store);
+  Alcotest.(check int) "still pending" 1 (List.length (Injector.pending inj))
+
+let test_injector_audit_log () =
+  let store = tile_store 2 4 in
+  Mat.set store.(1).(0) 2 2 42.;
+  let inj =
+    Injector.create
+      [
+        {
+          Fault.iteration = 0;
+          window = Fault.In_storage;
+          block = (1, 0);
+          element = (2, 2);
+          kind = Fault.Value_set { value = -1. };
+        };
+      ]
+  in
+  Injector.fire_storage inj ~iteration:0 ~lookup:(lookup store);
+  match Injector.fired inj with
+  | [ f ] ->
+      check_float "old" 42. f.Injector.old_value;
+      check_float "new" (-1.) f.Injector.new_value
+  | _ -> Alcotest.fail "expected exactly one log entry"
+
+let test_injector_multiple_same_iteration () =
+  let store = tile_store 3 4 in
+  let inj =
+    Injector.create
+      [
+        Fault.storage_error ~iteration:1 ~block:(1, 0) ~element:(0, 0) ();
+        Fault.storage_error ~iteration:1 ~block:(2, 0) ~element:(1, 1) ();
+        Fault.storage_error ~iteration:2 ~block:(2, 2) ~element:(2, 2) ();
+      ]
+  in
+  Injector.fire_storage inj ~iteration:1 ~lookup:(lookup store);
+  Alcotest.(check int) "two fired" 2 (Injector.fired_count inj);
+  Alcotest.(check int) "one left" 1 (List.length (Injector.pending inj))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_flip_involution =
+  QCheck.Test.make ~name:"bit flip is an involution" ~count:500
+    QCheck.(pair (float_range (-1e6) 1e6) (int_range 0 63))
+    (fun (x, bit) ->
+      let y = Bitflip.flip x bit in
+      let z = Bitflip.flip y bit in
+      Int64.bits_of_float z = Int64.bits_of_float x)
+
+let prop_flip_changes_representation =
+  QCheck.Test.make ~name:"bit flip changes the representation" ~count:500
+    QCheck.(pair (float_range (-1e6) 1e6) (int_range 0 63))
+    (fun (x, bit) ->
+      Int64.bits_of_float (Bitflip.flip x bit) <> Int64.bits_of_float x)
+
+let prop_plan_size =
+  QCheck.Test.make ~name:"plan always has requested size" ~count:100
+    QCheck.(triple (int_range 0 50) (int_range 1 8) small_nat)
+    (fun (count, grid, seed) ->
+      List.length
+        (Fault.random_plan ~seed ~grid ~block:4 ~count ~storage_fraction:0.5 ())
+      = count)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_flip_involution; prop_flip_changes_representation; prop_plan_size ]
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "bitflip",
+        [
+          Alcotest.test_case "involution" `Quick test_flip_involution;
+          Alcotest.test_case "sign bit" `Quick test_flip_sign_bit;
+          Alcotest.test_case "exponent bit" `Quick test_flip_exponent_halves;
+          Alcotest.test_case "out of range" `Quick test_flip_out_of_range;
+          Alcotest.test_case "is_flipped" `Quick test_is_flipped;
+          Alcotest.test_case "flipped_bits" `Quick test_flipped_bits;
+          Alcotest.test_case "severity" `Quick test_severity_ordering;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "apply_kind" `Quick test_apply_kind;
+          Alcotest.test_case "constructors" `Quick test_constructors;
+          Alcotest.test_case "random plan valid" `Quick test_random_plan_valid;
+          Alcotest.test_case "deterministic" `Quick
+            test_random_plan_deterministic;
+          Alcotest.test_case "fractions" `Quick test_random_plan_fractions;
+          Alcotest.test_case "grid=1" `Quick test_random_plan_grid_one;
+          Alcotest.test_case "bad args" `Quick test_random_plan_bad_args;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "storage fires once" `Quick
+            test_injector_storage_fires_once;
+          Alcotest.test_case "compute matches op+block" `Quick
+            test_injector_compute_matches_op_and_block;
+          Alcotest.test_case "missing block pending" `Quick
+            test_injector_missing_block_stays_pending;
+          Alcotest.test_case "audit log" `Quick test_injector_audit_log;
+          Alcotest.test_case "multiple per iteration" `Quick
+            test_injector_multiple_same_iteration;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,478 @@
+(* Tests for the heterogeneous-system simulator. The [testbench]
+   machine has deliberately round numbers (GPU 1 TFLOP at efficiency 1,
+   CPU 100 GFLOPS, link 10 GB/s, zero latency/launch overhead), so every
+   expected duration below is computed by hand. *)
+
+open Hetsim
+
+let check_float = Alcotest.check (Alcotest.float 1e-12)
+let m = Machine.testbench
+
+(* ------------------------------------------------------------------ *)
+(* Devices and machines                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_presets_valid () =
+  List.iter
+    (fun (name, mach) ->
+      let check d =
+        match Device.validate d with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s: %s" name e
+      in
+      check mach.Machine.cpu;
+      check mach.Machine.gpu)
+    Machine.all_presets
+
+let test_machine_find () =
+  Alcotest.(check bool) "tardis" true (Machine.find "TARDIS" <> None);
+  Alcotest.(check bool) "unknown" true (Machine.find "cray" = None)
+
+let test_paper_block_sizes () =
+  (* MAGMA: 256 on Fermi, 512 on Kepler — §VII-A. *)
+  Alcotest.(check int) "fermi" 256 Machine.tardis.Machine.default_block;
+  Alcotest.(check int) "kepler" 512 Machine.bulldozer64.Machine.default_block
+
+let test_gflops_sustained () =
+  let d = m.Machine.gpu in
+  (* half_k = 0 so the sustained rate equals peak at any k. *)
+  check_float "sustained" 1000. (Device.gflops_sustained d ~k:1);
+  let fermi = Machine.tardis.Machine.gpu in
+  let small = Device.gflops_sustained fermi ~k:16 in
+  let large = Device.gflops_sustained fermi ~k:4096 in
+  Alcotest.(check bool) "ramp up" true (small < large);
+  Alcotest.(check bool) "below peak" true
+    (large < fermi.Device.peak_gflops)
+
+let test_aggregate_util () =
+  let d = m.Machine.gpu in
+  (* single 0.25, effectiveness 1.0: util(p) = min(1, 0.25p). *)
+  check_float "p=1" 0.25 (Device.aggregate_blas2_util d ~concurrent:1);
+  check_float "p=2" 0.5 (Device.aggregate_blas2_util d ~concurrent:2);
+  check_float "p=4" 1.0 (Device.aggregate_blas2_util d ~concurrent:4);
+  check_float "saturates" 1.0 (Device.aggregate_blas2_util d ~concurrent:8);
+  (* capped at max_concurrent_kernels = 8 *)
+  check_float "capped" 1.0 (Device.aggregate_blas2_util d ~concurrent:100)
+
+let test_transfer_time () =
+  check_float "1 GB at 10GB/s" 0.1 (Machine.transfer_time m ~bytes:1_000_000_000);
+  let t = Machine.transfer_time Machine.tardis ~bytes:0 in
+  check_float "latency only" 10e-6 t
+
+(* ------------------------------------------------------------------ *)
+(* Kernel descriptors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernel_flops () =
+  check_float "gemm" 2e9 (Kernel.flops (Kernel.Gemm { m = 1000; n = 1000; k = 1000 }));
+  check_float "trsm" (256. *. 256. *. 512.)
+    (Kernel.flops (Kernel.Trsm { order = 256; nrhs = 512 }));
+  check_float "potf2" (64. ** 3. /. 3.) (Kernel.flops (Kernel.Potf2 { n = 64 }));
+  check_float "recalc" (4. *. 256. *. 256.)
+    (Kernel.flops (Kernel.Checksum_recalc { b = 256; nchk = 2 }));
+  check_float "memcpy" 0. (Kernel.flops (Kernel.Memcpy { bytes = 100 }))
+
+let test_kernel_shape () =
+  Alcotest.(check bool) "gemm blas3" true
+    (Kernel.shape (Kernel.Gemm { m = 1; n = 1; k = 1 }) = Kernel.Blas3);
+  Alcotest.(check bool) "recalc blas2" true
+    (Kernel.shape (Kernel.Checksum_recalc { b = 4; nchk = 2 }) = Kernel.Blas2);
+  Alcotest.(check bool) "compare trivial" true
+    (Kernel.shape (Kernel.Checksum_compare { b = 4; nchk = 2 }) = Kernel.Trivial)
+
+let test_kernel_syrk_flops () =
+  (* n(n+1)k: the triangle of the full 2n²k gemm count. *)
+  check_float "syrk" (100. *. 101. *. 50.)
+    (Kernel.flops (Kernel.Syrk { n = 100; k = 50 }))
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_blas3_duration () =
+  let d = m.Machine.gpu in
+  check_float "gemm 2e9 flops at 1 TFLOP" 2e-3
+    (Cost_model.duration d (Kernel.Gemm { m = 1000; n = 1000; k = 1000 }))
+
+let test_blas2_duration_bandwidth_bound () =
+  let d = m.Machine.gpu in
+  (* One fused pass over the 1000x1000 tile at 25 GB/s effective
+     (0.25 util of 100 GB/s). *)
+  let k = Kernel.Checksum_recalc { b = 1000; nchk = 2 } in
+  let bytes = float_of_int (Kernel.bytes k) in
+  check_float "tile read once" (8e6 +. (8. *. 2. *. 2. *. 1000.)) bytes;
+  check_float "bw bound" (bytes /. 25e9) (Cost_model.duration d k)
+
+let test_memcpy_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Cost_model.duration m.Machine.gpu (Kernel.Memcpy { bytes = 8 }));
+       false
+     with Invalid_argument _ -> true)
+
+let test_batch_speedup () =
+  let d = m.Machine.gpu in
+  let k = Kernel.Checksum_recalc { b = 1000; nchk = 2 } in
+  let ks = List.init 8 (fun _ -> k) in
+  let bytes = float_of_int (Kernel.bytes k) in
+  let serial = Cost_model.batch_duration d ~streams:1 ks in
+  let conc = Cost_model.batch_duration d ~streams:4 ks in
+  (* serial: 8 kernels at 25 GB/s; concurrent (width 4, util 1.0): the
+     same traffic at the full 100 GB/s — a 4x speedup. *)
+  check_float "serial" (8. *. bytes /. 25e9) serial;
+  check_float "concurrent" (8. *. bytes /. 100e9) conc;
+  check_float "4x" 4. (serial /. conc)
+
+let test_batch_serial_equals_sum () =
+  let d = m.Machine.gpu in
+  let ks = List.init 5 (fun i -> Kernel.Checksum_recalc { b = 100 + i; nchk = 2 }) in
+  let serial = Cost_model.batch_duration d ~streams:1 ks in
+  let sum = List.fold_left (fun a k -> a +. Cost_model.duration d k) 0. ks in
+  check_float "degenerates to sum" sum serial
+
+let test_batch_rejects_blas3 () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Cost_model.batch_duration m.Machine.gpu ~streams:2
+            [ Kernel.Gemm { m = 8; n = 8; k = 8 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_background_duration () =
+  let d = m.Machine.gpu in
+  (* spare fraction 0.5 => twice the foreground duration. *)
+  let k = Kernel.Gemm { m = 1000; n = 1000; k = 1000 } in
+  check_float "slowed by spare fraction" 4e-3 (Cost_model.background_duration d k)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gemm_1ms = Kernel.Gemm { m = 1000; n = 1000; k = 500 }
+(* 1e9 flops -> 1 ms on the testbench GPU. *)
+
+let test_engine_single_op () =
+  let e = Engine.create m in
+  let ev = Engine.submit e Engine.Gpu gemm_1ms in
+  check_float "finish" 1e-3 (Engine.time_of e ev);
+  check_float "makespan" 1e-3 (Engine.makespan e)
+
+let test_engine_resource_serialization () =
+  let e = Engine.create m in
+  let _ = Engine.submit e Engine.Gpu gemm_1ms in
+  let ev = Engine.submit e Engine.Gpu gemm_1ms in
+  check_float "serialized" 2e-3 (Engine.time_of e ev)
+
+let test_engine_cpu_gpu_overlap () =
+  let e = Engine.create m in
+  let g = Engine.submit e Engine.Gpu gemm_1ms in
+  (* 1e8 flops on 100 GFLOPS CPU -> 1 ms, overlapping the GPU. *)
+  let c = Engine.submit e Engine.Cpu (Kernel.Host_flops 1e8) in
+  check_float "gpu" 1e-3 (Engine.time_of e g);
+  check_float "cpu" 1e-3 (Engine.time_of e c);
+  check_float "overlap" 1e-3 (Engine.makespan e)
+
+let test_engine_dependency () =
+  let e = Engine.create m in
+  let c = Engine.submit e Engine.Cpu (Kernel.Host_flops 1e8) in
+  let g = Engine.submit e ~deps:[ c ] Engine.Gpu gemm_1ms in
+  check_float "chained" 2e-3 (Engine.time_of e g)
+
+let test_engine_stream_order () =
+  let e = Engine.create m in
+  let s = Engine.new_stream e in
+  (* Two CPU ops on one stream serialize even without deps; resource
+     would serialize them anyway, so use distinct resources to see the
+     stream effect. *)
+  let a = Engine.submit e ~stream:s Engine.Gpu gemm_1ms in
+  let b = Engine.submit e ~stream:s Engine.Cpu (Kernel.Host_flops 1e8) in
+  check_float "a" 1e-3 (Engine.time_of e a);
+  check_float "stream serializes" 2e-3 (Engine.time_of e b)
+
+let test_engine_transfer () =
+  let e = Engine.create m in
+  let h2d = Engine.transfer e ~dir:`H2d 1_000_000_000 in
+  check_float "h2d 1GB" 0.1 (Engine.time_of e h2d);
+  (* The two link directions are independent resources. *)
+  let d2h = Engine.transfer e ~dir:`D2h 1_000_000_000 in
+  check_float "full duplex" 0.1 (Engine.time_of e d2h);
+  check_float "makespan" 0.1 (Engine.makespan e)
+
+let test_engine_join_delay () =
+  let e = Engine.create m in
+  let a = Engine.submit e Engine.Gpu gemm_1ms in
+  let b = Engine.submit e Engine.Cpu (Kernel.Host_flops 2e8) in
+  let j = Engine.join e [ a; b ] in
+  check_float "join" 2e-3 (Engine.time_of e j);
+  let d = Engine.delay e ~deps:[ j ] 5e-3 in
+  check_float "delay" 7e-3 (Engine.time_of e d);
+  check_float "ready" 0. (Engine.time_of e Engine.ready)
+
+let test_engine_background_does_not_block () =
+  let e = Engine.create m in
+  let bg = Engine.submit_background e gemm_1ms in
+  let fg = Engine.submit e Engine.Gpu gemm_1ms in
+  check_float "fg unaffected" 1e-3 (Engine.time_of e fg);
+  check_float "bg at half speed" 2e-3 (Engine.time_of e bg)
+
+let test_engine_batch () =
+  let e = Engine.create m in
+  let k = Kernel.Checksum_recalc { b = 1000; nchk = 2 } in
+  let ks = List.init 8 (fun _ -> k) in
+  let ev = Engine.submit_batch e ~streams:4 ks in
+  check_float "batch"
+    (8. *. float_of_int (Kernel.bytes k) /. 100e9)
+    (Engine.time_of e ev);
+  let empty = Engine.submit_batch e ~streams:4 [] in
+  check_float "empty batch immediate" 0. (Engine.time_of e empty)
+
+let test_engine_phase_accounting () =
+  let e = Engine.create m in
+  let _ = Engine.submit e ~phase:"compute" Engine.Gpu gemm_1ms in
+  let _ = Engine.submit e ~phase:"chk-recalc" Engine.Gpu gemm_1ms in
+  let _ = Engine.submit e ~phase:"chk-recalc" Engine.Cpu (Kernel.Host_flops 1e8) in
+  check_float "compute" 1e-3 (Engine.phase_time e "compute");
+  check_float "recalc" 2e-3 (Engine.phase_time e "chk-recalc");
+  check_float "absent" 0. (Engine.phase_time e "nope");
+  Alcotest.(check int) "op count" 3 (Engine.op_count e);
+  match Engine.phases e with
+  | (top, t) :: _ ->
+      Alcotest.(check string) "largest phase" "chk-recalc" top;
+      check_float "largest time" 2e-3 t
+  | [] -> Alcotest.fail "no phases"
+
+let test_engine_busy_time () =
+  let e = Engine.create m in
+  let _ = Engine.submit e Engine.Gpu gemm_1ms in
+  let _ = Engine.submit e Engine.Gpu gemm_1ms in
+  let _ = Engine.submit e Engine.Cpu (Kernel.Host_flops 1e8) in
+  check_float "gpu busy" 2e-3 (Engine.busy_time e Engine.Gpu);
+  check_float "cpu busy" 1e-3 (Engine.busy_time e Engine.Cpu);
+  check_float "spare idle" 0. (Engine.busy_time e Engine.Gpu_spare)
+
+let test_engine_records_ordered () =
+  let e = Engine.create m in
+  let _ = Engine.submit e ~phase:"a" Engine.Gpu gemm_1ms in
+  let _ = Engine.submit e ~phase:"b" Engine.Cpu (Kernel.Host_flops 1e8) in
+  match Engine.records e with
+  | [ r1; r2 ] ->
+      Alcotest.(check string) "first" "a" r1.Engine.phase;
+      Alcotest.(check string) "second" "b" r2.Engine.phase
+  | l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+
+let test_engine_memcpy_guard () =
+  let e = Engine.create m in
+  Alcotest.(check bool) "memcpy via submit" true
+    (try
+       ignore (Engine.submit e Engine.Gpu (Kernel.Memcpy { bytes = 8 }));
+       false
+     with Invalid_argument _ -> true)
+
+let test_chrome_trace () =
+  let e = Engine.create m in
+  let _ = Engine.submit e Engine.Gpu gemm_1ms in
+  let s = Engine.to_chrome_trace e in
+  Alcotest.(check bool) "array" true
+    (String.length s > 2 && s.[0] = '[' && s.[String.length s - 1] = ']');
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has name field" true (contains s "\"name\"")
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_utilization () =
+  let e = Engine.create m in
+  let _ = Engine.submit e Engine.Gpu gemm_1ms in
+  let _ = Engine.submit e Engine.Gpu gemm_1ms in
+  (* makespan 2 ms, gpu busy 2 ms -> 100%; cpu idle -> 0%. *)
+  let u = Engine.utilization e in
+  check_float "gpu full" 1.0 (List.assoc Engine.Gpu u);
+  check_float "cpu idle" 0.0 (List.assoc Engine.Cpu u);
+  (* an overlapping CPU op halves nothing: still 2ms makespan *)
+  let _ = Engine.submit e Engine.Cpu (Kernel.Host_flops 1e8) in
+  let u = Engine.utilization e in
+  check_float "cpu half" 0.5 (List.assoc Engine.Cpu u)
+
+let test_utilization_empty () =
+  let e = Engine.create m in
+  List.iter (fun (_, u) -> check_float "zero" 0. u) (Engine.utilization e)
+
+let test_binding_summary () =
+  let e = Engine.create m in
+  (* op 1: starts at 0 -> free *)
+  let a = Engine.submit e Engine.Gpu gemm_1ms in
+  (* op 2: same resource, no deps -> resource-bound *)
+  let _ = Engine.submit e Engine.Gpu gemm_1ms in
+  (* op 3: cpu, depends on op 1 -> deps-bound *)
+  let _ = Engine.submit e ~deps:[ a ] Engine.Cpu (Kernel.Host_flops 1e8) in
+  let summary = Engine.binding_summary e in
+  Alcotest.(check int) "free" 1 (List.assoc Engine.Started_free summary);
+  Alcotest.(check int) "resource" 1 (List.assoc Engine.Bound_by_resource summary);
+  Alcotest.(check int) "deps" 1 (List.assoc Engine.Bound_by_deps summary)
+
+let test_binding_stream () =
+  let e = Engine.create m in
+  let s = Engine.new_stream e in
+  let _ = Engine.submit e ~stream:s Engine.Gpu gemm_1ms in
+  let _ = Engine.submit e ~stream:s Engine.Cpu (Kernel.Host_flops 1e8) in
+  (* second op waits only on the stream *)
+  Alcotest.(check int) "stream" 1
+    (List.assoc Engine.Bound_by_stream (Engine.binding_summary e))
+
+let test_gantt_renders () =
+  let e = Engine.create m in
+  let _ = Engine.submit e ~phase:"compute" Engine.Gpu gemm_1ms in
+  let _ = Engine.submit e ~phase:"transfer" Engine.Gpu gemm_1ms in
+  let g = Engine.gantt ~width:40 e in
+  Alcotest.(check bool) "has gpu lane" true
+    (String.length g > 0
+    && List.exists
+         (fun line -> String.length line >= 3 && String.sub line 0 3 = "gpu")
+         (String.split_on_char '\n' g));
+  Alcotest.(check bool) "draws compute glyph" true (String.contains g '#');
+  Alcotest.(check bool) "draws transfer glyph" true (String.contains g '-')
+
+let test_gantt_empty () =
+  let e = Engine.create m in
+  Alcotest.(check string) "empty" "(empty timeline)\n" (Engine.gantt e)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_kernel =
+  QCheck.make
+    QCheck.Gen.(
+      oneof
+        [
+          (int_range 1 512 >>= fun m ->
+           int_range 1 512 >>= fun n ->
+           int_range 1 512 >|= fun k -> Kernel.Gemm { m; n; k });
+          (int_range 1 512 >>= fun n ->
+           int_range 1 512 >|= fun k -> Kernel.Syrk { n; k });
+          (int_range 1 512 >|= fun n -> Kernel.Potf2 { n });
+          (int_range 1 512 >>= fun b ->
+           int_range 1 3 >|= fun nchk -> Kernel.Checksum_recalc { b; nchk });
+        ])
+    ~print:Kernel.label
+
+let prop_duration_positive =
+  QCheck.Test.make ~name:"durations are positive and finite" ~count:200
+    arb_kernel (fun k ->
+      let d = Cost_model.duration Machine.tardis.Machine.gpu k in
+      d > 0. && Float.is_finite d)
+
+let prop_batch_no_slower_than_serial =
+  QCheck.Test.make ~name:"batching never slows a batch down" ~count:100
+    QCheck.(pair (int_range 1 30) (int_range 1 16))
+    (fun (nk, streams) ->
+      let ks =
+        List.init nk (fun i -> Kernel.Checksum_recalc { b = 64 + i; nchk = 2 })
+      in
+      let d = Machine.bulldozer64.Machine.gpu in
+      Cost_model.batch_duration d ~streams ks
+      <= Cost_model.batch_duration d ~streams:1 ks +. 1e-12)
+
+let prop_makespan_monotonic =
+  QCheck.Test.make ~name:"makespan grows monotonically" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (int_range 1 200))
+    (fun sizes ->
+      let e = Engine.create Machine.testbench in
+      let ok = ref true in
+      let prev = ref 0. in
+      List.iter
+        (fun n ->
+          let _ = Engine.submit e Engine.Gpu (Kernel.Gemm { m = n; n; k = n }) in
+          let ms = Engine.makespan e in
+          if ms < !prev then ok := false;
+          prev := ms)
+        sizes;
+      !ok)
+
+let prop_deps_respected =
+  QCheck.Test.make ~name:"an op never starts before its deps" ~count:50
+    QCheck.(int_range 1 100)
+    (fun n ->
+      let e = Engine.create Machine.testbench in
+      let a = Engine.submit e Engine.Cpu (Kernel.Host_flops (float n *. 1e7)) in
+      let b = Engine.submit e ~deps:[ a ] Engine.Gpu (Kernel.Gemm { m = n; n; k = n }) in
+      Engine.time_of e b >= Engine.time_of e a)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_duration_positive;
+      prop_batch_no_slower_than_serial;
+      prop_makespan_monotonic;
+      prop_deps_respected;
+    ]
+
+let () =
+  Alcotest.run "hetsim"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "presets validate" `Quick test_presets_valid;
+          Alcotest.test_case "find" `Quick test_machine_find;
+          Alcotest.test_case "paper block sizes" `Quick test_paper_block_sizes;
+          Alcotest.test_case "sustained gflops" `Quick test_gflops_sustained;
+          Alcotest.test_case "aggregate util" `Quick test_aggregate_util;
+          Alcotest.test_case "transfer time" `Quick test_transfer_time;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "flop counts" `Quick test_kernel_flops;
+          Alcotest.test_case "shapes" `Quick test_kernel_shape;
+          Alcotest.test_case "syrk flops" `Quick test_kernel_syrk_flops;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "blas3" `Quick test_blas3_duration;
+          Alcotest.test_case "blas2 bw bound" `Quick
+            test_blas2_duration_bandwidth_bound;
+          Alcotest.test_case "memcpy rejected" `Quick test_memcpy_rejected;
+          Alcotest.test_case "batch speedup" `Quick test_batch_speedup;
+          Alcotest.test_case "batch serial = sum" `Quick
+            test_batch_serial_equals_sum;
+          Alcotest.test_case "batch rejects blas3" `Quick
+            test_batch_rejects_blas3;
+          Alcotest.test_case "background" `Quick test_background_duration;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "single op" `Quick test_engine_single_op;
+          Alcotest.test_case "resource serialization" `Quick
+            test_engine_resource_serialization;
+          Alcotest.test_case "cpu/gpu overlap" `Quick test_engine_cpu_gpu_overlap;
+          Alcotest.test_case "dependency" `Quick test_engine_dependency;
+          Alcotest.test_case "stream order" `Quick test_engine_stream_order;
+          Alcotest.test_case "transfer" `Quick test_engine_transfer;
+          Alcotest.test_case "join/delay" `Quick test_engine_join_delay;
+          Alcotest.test_case "background no block" `Quick
+            test_engine_background_does_not_block;
+          Alcotest.test_case "batch" `Quick test_engine_batch;
+          Alcotest.test_case "phase accounting" `Quick
+            test_engine_phase_accounting;
+          Alcotest.test_case "busy time" `Quick test_engine_busy_time;
+          Alcotest.test_case "records ordered" `Quick
+            test_engine_records_ordered;
+          Alcotest.test_case "memcpy guard" `Quick test_engine_memcpy_guard;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "utilization" `Quick test_utilization;
+          Alcotest.test_case "utilization empty" `Quick test_utilization_empty;
+          Alcotest.test_case "binding summary" `Quick test_binding_summary;
+          Alcotest.test_case "binding stream" `Quick test_binding_stream;
+          Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
+          Alcotest.test_case "gantt empty" `Quick test_gantt_empty;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,230 @@
+(* Tests for the application workloads: least squares, Kalman, Monte
+   Carlo, Gaussian-process regression — each exercising the public
+   fault-tolerant Cholesky API, with and without injected faults. *)
+
+open Matrix
+
+(* A config whose tile grid is at least 3x3 for an n-order matrix, and
+   a storage flip in a mid-matrix tile early enough to be re-read. *)
+let fault_cfg_and_plan n =
+  let block = Workloads.Util.pick_block ~target:(max 1 (n / 3)) n in
+  let cfg = Cholesky.Config.make ~machine:Hetsim.Machine.testbench ~block () in
+  let plan =
+    [ Fault.storage_error ~bit:52 ~iteration:1 ~block:(2, 0) ~element:(0, 0) () ]
+  in
+  (cfg, plan)
+
+(* ------------------------------------------------------------------ *)
+(* Util                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pick_block () =
+  Alcotest.(check int) "48 -> 48's largest divisor <= 64" 48
+    (Workloads.Util.pick_block 48);
+  Alcotest.(check int) "100 -> 50" 50 (Workloads.Util.pick_block 100);
+  Alcotest.(check int) "prime -> 1" 1 (Workloads.Util.pick_block 97);
+  Alcotest.(check int) "target respected" 8
+    (Workloads.Util.pick_block ~target:8 64)
+
+let test_gaussian_moments () =
+  let st = Random.State.make [| 9 |] in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Workloads.Util.gaussian st) in
+  let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs /. float_of_int n
+  in
+  Alcotest.(check bool) "mean ~ 0" true (abs_float mean < 0.05);
+  Alcotest.(check bool) "var ~ 1" true (abs_float (var -. 1.) < 0.05)
+
+let test_ft_cholesky_helper () =
+  let a = Spd.random_spd ~seed:2 40 in
+  let r = Workloads.Util.ft_cholesky a in
+  Alcotest.(check bool) "factored" true (r.Cholesky.Ft.residual < 1e-10)
+
+(* ------------------------------------------------------------------ *)
+(* Least squares                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_lstsq_recovers_truth () =
+  let a, b, x_true = Workloads.Lstsq.synthetic_problem ~rows:120 ~cols:24 () in
+  let sol = Workloads.Lstsq.solve ~a ~b () in
+  Alcotest.(check bool) "x ~ x_true" true
+    (Mat.approx_equal ~tol:1e-2 x_true sol.Workloads.Lstsq.x);
+  Alcotest.(check bool) "residual small" true
+    (sol.Workloads.Lstsq.residual_norm < 1.)
+
+let test_lstsq_with_fault () =
+  let a, b, x_true = Workloads.Lstsq.synthetic_problem ~rows:120 ~cols:24 () in
+  let cfg, plan = fault_cfg_and_plan 24 in
+  let sol = Workloads.Lstsq.solve ~cfg ~plan ~a ~b () in
+  Alcotest.(check bool) "fault fired" true
+    (List.length
+       sol.Workloads.Lstsq.factorization.Cholesky.Ft.injections_fired > 0);
+  Alcotest.(check bool) "x ~ x_true despite fault" true
+    (Mat.approx_equal ~tol:1e-2 x_true sol.Workloads.Lstsq.x)
+
+let test_lstsq_shape_guard () =
+  let a = Spd.random ~seed:1 10 4 and b = Spd.random ~seed:2 9 1 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Workloads.Lstsq.solve ~a ~b ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Kalman                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_kalman_tracks () =
+  let model = Workloads.Kalman.constant_velocity ~dim:8 () in
+  let track = Workloads.Kalman.run model ~steps:40 in
+  Alcotest.(check int) "estimates per step" 40
+    (List.length track.Workloads.Kalman.estimates);
+  Alcotest.(check int) "factorizations per step" 40
+    track.Workloads.Kalman.factorizations;
+  (* Filtered RMSE must beat the raw measurement noise (r = 0.25 ->
+     sigma = 0.5). *)
+  Alcotest.(check bool) "rmse below measurement noise" true
+    (track.Workloads.Kalman.rmse < 0.5)
+
+let test_kalman_with_fault () =
+  let model = Workloads.Kalman.constant_velocity ~dim:8 () in
+  let cfg, _ = fault_cfg_and_plan 8 in
+  let clean = Workloads.Kalman.run model ~cfg ~steps:30 in
+  let cfg, plan = fault_cfg_and_plan 8 in
+  let faulty = Workloads.Kalman.run model ~cfg ~plan_at:(10, plan) ~steps:30 in
+  (* The fault was absorbed: same trajectory estimates as a clean run. *)
+  Alcotest.(check bool) "identical estimates" true
+    (List.for_all2
+       (fun a b -> Mat.approx_equal ~tol:1e-9 a b)
+       clean.Workloads.Kalman.estimates faulty.Workloads.Kalman.estimates)
+
+let test_kalman_validation () =
+  Alcotest.(check bool) "dim 0 rejected" true
+    (try
+       ignore (Workloads.Kalman.constant_velocity ~dim:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Monte Carlo                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_montecarlo_estimates () =
+  let cov = Workloads.Montecarlo.correlated_returns_cov ~assets:24 () in
+  let weights = Vec.init 24 (fun _ -> 1. /. 24.) in
+  let est = Workloads.Montecarlo.simulate ~cov ~weights ~samples:4000 () in
+  (* Zero-mean returns: sample mean near zero, var_95 positive and of
+     the order of 1.65 sigma. *)
+  Alcotest.(check bool) "mean near 0" true
+    (abs_float est.Workloads.Montecarlo.mean
+    < 3. *. est.Workloads.Montecarlo.stddev /. sqrt 4000.);
+  Alcotest.(check bool) "var_95 plausible" true
+    (est.Workloads.Montecarlo.var_95 > est.Workloads.Montecarlo.stddev
+    && est.Workloads.Montecarlo.var_95 < 2.5 *. est.Workloads.Montecarlo.stddev)
+
+let test_montecarlo_fault_invariant () =
+  let cov = Workloads.Montecarlo.correlated_returns_cov ~assets:24 () in
+  let weights = Vec.init 24 (fun _ -> 1. /. 24.) in
+  let clean = Workloads.Montecarlo.simulate ~cov ~weights ~samples:500 () in
+  let cfg, plan = fault_cfg_and_plan 24 in
+  let faulty =
+    Workloads.Montecarlo.simulate ~cfg ~plan ~cov ~weights ~samples:500 ()
+  in
+  (* Same seed, fault absorbed: bitwise-identical sampling. *)
+  Alcotest.(check (float 1e-12)) "mean identical"
+    clean.Workloads.Montecarlo.mean faulty.Workloads.Montecarlo.mean
+
+let test_montecarlo_cov_is_spd () =
+  let cov = Workloads.Montecarlo.correlated_returns_cov ~assets:32 () in
+  ignore (Lapack.cholesky cov)
+
+(* ------------------------------------------------------------------ *)
+(* Gaussian process                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_gp_interpolates () =
+  let n = 30 in
+  let x = Vec.init n (fun i -> float_of_int i /. 3.) in
+  let y = Array.map sin x in
+  let gp = Workloads.Gp.fit ~noise:0.01 ~x ~y () in
+  let test_x = [| 2.15; 5.05; 8.33 |] in
+  let means, vars = Workloads.Gp.predict gp test_x in
+  Array.iteri
+    (fun i xstar ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mean near sin at %.2f" xstar)
+        true
+        (abs_float (means.(i) -. sin xstar) < 0.05))
+    test_x;
+  Alcotest.(check bool) "variance small inside data" true
+    (Array.for_all (fun v -> v < 0.05) vars)
+
+let test_gp_variance_grows_offdata () =
+  let n = 20 in
+  let x = Vec.init n (fun i -> float_of_int i /. 2.) in
+  let y = Array.map cos x in
+  let gp = Workloads.Gp.fit ~x ~y () in
+  let _, vars = Workloads.Gp.predict gp [| 5.; 50. |] in
+  Alcotest.(check bool) "extrapolation more uncertain" true (vars.(1) > vars.(0))
+
+let test_gp_log_ml_finite () =
+  let x = Vec.init 16 float_of_int in
+  let y = Array.map (fun v -> 0.1 *. v) x in
+  let gp = Workloads.Gp.fit ~x ~y () in
+  Alcotest.(check bool) "finite" true
+    (Float.is_finite (Workloads.Gp.log_marginal_likelihood gp))
+
+let test_gp_with_fault () =
+  let n = 24 in
+  let x = Vec.init n (fun i -> float_of_int i /. 3.) in
+  let y = Array.map sin x in
+  let clean = Workloads.Gp.fit ~noise:0.01 ~x ~y () in
+  let cfg, plan = fault_cfg_and_plan n in
+  let faulty = Workloads.Gp.fit ~cfg ~plan ~noise:0.01 ~x ~y () in
+  let m1, _ = Workloads.Gp.predict clean [| 4.4 |] in
+  let m2, _ = Workloads.Gp.predict faulty [| 4.4 |] in
+  Alcotest.(check (float 1e-9)) "same prediction" m1.(0) m2.(0);
+  Alcotest.(check bool) "fault really fired" true
+    (List.length
+       (Workloads.Gp.factorization faulty).Cholesky.Ft.injections_fired
+    > 0)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "util",
+        [
+          Alcotest.test_case "pick_block" `Quick test_pick_block;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "ft_cholesky helper" `Quick test_ft_cholesky_helper;
+        ] );
+      ( "lstsq",
+        [
+          Alcotest.test_case "recovers truth" `Quick test_lstsq_recovers_truth;
+          Alcotest.test_case "with fault" `Quick test_lstsq_with_fault;
+          Alcotest.test_case "shape guard" `Quick test_lstsq_shape_guard;
+        ] );
+      ( "kalman",
+        [
+          Alcotest.test_case "tracks" `Quick test_kalman_tracks;
+          Alcotest.test_case "with fault" `Quick test_kalman_with_fault;
+          Alcotest.test_case "validation" `Quick test_kalman_validation;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "estimates" `Quick test_montecarlo_estimates;
+          Alcotest.test_case "fault invariant" `Quick
+            test_montecarlo_fault_invariant;
+          Alcotest.test_case "cov is SPD" `Quick test_montecarlo_cov_is_spd;
+        ] );
+      ( "gp",
+        [
+          Alcotest.test_case "interpolates" `Quick test_gp_interpolates;
+          Alcotest.test_case "variance off data" `Quick
+            test_gp_variance_grows_offdata;
+          Alcotest.test_case "log ml finite" `Quick test_gp_log_ml_finite;
+          Alcotest.test_case "with fault" `Quick test_gp_with_fault;
+        ] );
+    ]
