@@ -29,7 +29,7 @@ let fig8_9 () =
       let cell n i =
         let opt1 = i = 1 in
         let r = run ~opt1 machine enhanced n in
-        pct (overhead_pct machine n r.C.Schedule.makespan)
+        pct (overhead_pct ~opt1 machine n r.C.Schedule.makespan)
       in
       print_sweep "Figures 8/9 — Optimization 1 (concurrent recalculation)"
         [ "before opt1"; "after opt1" ] cell machine)
@@ -45,7 +45,7 @@ let fig10_11 () =
       let cell n i =
         let opt2 = if i = 0 then C.Config.Gpu_inline else C.Config.Auto in
         let r = run ~opt2 machine enhanced n in
-        pct (overhead_pct machine n r.C.Schedule.makespan)
+        pct (overhead_pct ~opt2 machine n r.C.Schedule.makespan)
       in
       print_sweep "Figures 10/11 — Optimization 2 (checksum-update placement)"
         [ "before opt2"; "after opt2" ] cell machine)

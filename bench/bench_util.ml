@@ -1,5 +1,6 @@
 (* Shared helpers for the reproduction benches: machine/size grids,
-   overhead computation, and table formatting. *)
+   overhead computation, table formatting, and the machine-readable
+   results sink behind `--json`. *)
 
 module C = Cholesky
 
@@ -13,25 +14,126 @@ let sizes (machine : Hetsim.Machine.t) =
 let machines =
   [ (Hetsim.Machine.tardis, 20480); (Hetsim.Machine.bulldozer64, 30720) ]
 
-let run ?plan ?(opt1 = true) ?(opt2 = C.Config.Auto) machine scheme n =
-  let cfg = C.Config.make ~machine ~scheme ~opt1 ~opt2 () in
-  C.Schedule.run ?plan cfg ~n
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (`--json out.json`)                        *)
+(*                                                                     *)
+(* Every simulated run that goes through [run] (and anything a bench   *)
+(* reports explicitly via [record]) accumulates one row; [write_json]  *)
+(* dumps them at exit. Schema documented in EXPERIMENTS.md.            *)
+(* ------------------------------------------------------------------ *)
+
+let current_experiment = ref ""
+let json_requested = ref false
+
+type json_row = {
+  experiment : string;
+  name : string;
+  size : int;
+  metrics : (string * float) list;
+}
+
+let rows : json_row list ref = ref []
+let rows_mutex = Mutex.create ()
+
+let record ~name ~size metrics =
+  if !json_requested then begin
+    Mutex.lock rows_mutex;
+    rows :=
+      { experiment = !current_experiment; name; size; metrics } :: !rows;
+    Mutex.unlock rows_mutex
+  end
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && abs_float f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let write_json path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema_version\": 1,\n  \"results\": [";
+  List.iteri
+    (fun i r ->
+      out "%s\n    { \"experiment\": \"%s\", \"name\": \"%s\", \"size\": %d, \
+           \"metrics\": {"
+        (if i = 0 then "" else ",")
+        (json_escape r.experiment) (json_escape r.name) r.size;
+      List.iteri
+        (fun k (key, v) ->
+          out "%s\"%s\": %s"
+            (if k = 0 then " " else ", ")
+            (json_escape key) (json_float v))
+        r.metrics;
+      out " } }")
+    (List.rev !rows);
+  out "\n  ]\n}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Simulated runs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run ?plan ?(opt1 = true) ?(opt2 = C.Config.Auto) ?(block = 0) machine
+    scheme n =
+  let cfg = C.Config.make ~machine ~scheme ~block ~opt1 ~opt2 () in
+  let r = C.Schedule.run ?plan cfg ~n in
+  record
+    ~name:
+      (Printf.sprintf "%s/%s" machine.Hetsim.Machine.name
+         (Abft.Scheme.name scheme))
+    ~size:n
+    [
+      ("makespan_s", r.C.Schedule.makespan);
+      ("gflops", r.C.Schedule.gflops);
+      ("reruns", float_of_int r.C.Schedule.reruns);
+    ];
+  r
 
 (* Makespan of plain MAGMA (no FT) — the baseline every overhead is
-   relative to. Memoised: the sweeps ask for the same baselines often. *)
-let baseline_tbl : (string * int, float) Hashtbl.t = Hashtbl.create 64
+   relative to. Memoised on the *full* configuration (machine, size,
+   optimization flags, block size): a sweep that varies opt1/opt2 or
+   the tile size must not read a baseline computed under different
+   settings. The machine record participates structurally, so two
+   machines differing in any rate hash to different keys even under
+   one name. *)
+let baseline_tbl
+    : (Hetsim.Machine.t * int * bool * C.Config.placement * int, float)
+      Hashtbl.t =
+  Hashtbl.create 64
 
-let baseline machine n =
-  let key = (machine.Hetsim.Machine.name, n) in
-  match Hashtbl.find_opt baseline_tbl key with
+let baseline ?(opt1 = true) ?(opt2 = C.Config.Auto) ?(block = 0) machine n =
+  let key = (machine, n, opt1, opt2, block) in
+  Mutex.lock rows_mutex;
+  let hit = Hashtbl.find_opt baseline_tbl key in
+  Mutex.unlock rows_mutex;
+  match hit with
   | Some t -> t
   | None ->
-      let t = (run machine Abft.Scheme.No_ft n).C.Schedule.makespan in
-      Hashtbl.add baseline_tbl key t;
+      let t =
+        (run ~opt1 ~opt2 ~block machine Abft.Scheme.No_ft n)
+          .C.Schedule.makespan
+      in
+      Mutex.lock rows_mutex;
+      Hashtbl.replace baseline_tbl key t;
+      Mutex.unlock rows_mutex;
       t
 
-let overhead_pct machine n makespan =
-  let base = baseline machine n in
+let overhead_pct ?opt1 ?opt2 ?block machine n makespan =
+  let base = baseline ?opt1 ?opt2 ?block machine n in
   (makespan -. base) /. base *. 100.
 
 let header title =

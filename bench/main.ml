@@ -4,6 +4,7 @@
 
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- --only fig14_15 table7
+     dune exec bench/main.exe -- --json out.json --only table7
      dune exec bench/main.exe -- --list
 *)
 
@@ -28,19 +29,42 @@ let experiments =
      Bench_lu.run);
     ("hardware", "Hardware — modern GPU + parameter sensitivity",
      Bench_hardware.run);
+    ("parallel", "Parallel kernels — domain-pool BLAS-3 + batched verification",
+     Bench_parallel.run);
     ("micro", "Bechamel microbenches (real kernels)", Bench_micro.run);
   ]
 
+let run_experiment (id, _, f) =
+  Bench_util.current_experiment := id;
+  f ();
+  Bench_util.current_experiment := ""
+
+let usage () =
+  Format.eprintf "usage: main.exe [--json <path>] [--list | --only <id>...]@.";
+  exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  (* Peel off `--json <path>` wherever it appears. *)
+  let json_path = ref None in
+  let rec strip = function
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        strip rest
+    | [ "--json" ] -> usage ()
+    | a :: rest -> a :: strip rest
+    | [] -> []
+  in
+  let args = strip args in
+  Bench_util.json_requested := !json_path <> None;
+  (match args with
   | [ "--list" ] ->
       List.iter (fun (id, desc, _) -> Format.printf "%-10s %s@." id desc) experiments
   | "--only" :: ids when ids <> [] ->
       List.iter
         (fun id ->
           match List.find_opt (fun (i, _, _) -> i = id) experiments with
-          | Some (_, _, f) -> f ()
+          | Some e -> run_experiment e
           | None ->
               Format.eprintf "unknown experiment %S (try --list)@." id;
               exit 1)
@@ -50,8 +74,12 @@ let () =
         "Reproducing the evaluation of 'Online Algorithm-Based Fault \
          Tolerance for Cholesky Decomposition on Heterogeneous Systems with \
          GPUs' (IPDPS'16).@.All times are virtual (discrete-event simulation \
-         of the paper's testbeds) except the 'micro' section.@.";
-      List.iter (fun (_, _, f) -> f ()) experiments
-  | _ ->
-      Format.eprintf "usage: main.exe [--list | --only <id>...]@.";
-      exit 1
+         of the paper's testbeds) except the 'parallel' and 'micro' \
+         sections.@.";
+      List.iter run_experiment experiments
+  | _ -> usage ());
+  match !json_path with
+  | Some path ->
+      Bench_util.write_json path;
+      Format.printf "@.wrote %s@." path
+  | None -> ()

@@ -1,4 +1,5 @@
 open Matrix
+module Pool = Parallel.Pool
 
 type t = { chk : Mat.t; weights : Mat.t }
 
@@ -6,16 +7,16 @@ let weights ~d ~b =
   if d < 1 || b < 1 then invalid_arg "Checksum.weights: d and b must be >= 1";
   Mat.init b d (fun i r -> Float.pow (float_of_int (i + 1)) (float_of_int r))
 
-let encode ?(d = 2) a =
+let encode ?pool ?(d = 2) a =
   if Mat.rows a < 1 then invalid_arg "Checksum.encode: empty tile";
   let v = weights ~d ~b:(Mat.rows a) in
-  let chk = Blas3.gemm_alloc ~transa:Types.Trans v a in
+  let chk = Blas3.gemm_alloc ?pool ~transa:Types.Trans v a in
   { chk; weights = v }
 
-let recompute t a =
+let recompute ?pool t a =
   if Mat.rows a <> Mat.rows t.weights || Mat.cols a <> Mat.cols t.chk then
     invalid_arg "Checksum.recompute: tile shape mismatch";
-  Blas3.gemm_alloc ~transa:Types.Trans t.weights a
+  Blas3.gemm_alloc ?pool ~transa:Types.Trans t.weights a
 
 let matrix t = t.chk
 let d t = Mat.rows t.chk
@@ -26,16 +27,37 @@ let corrupt t ~row ~col v = Mat.set t.chk row col v
 
 type store = { blocks : t option array array; d : int; grid : int }
 
-let encode_lower ?(d = 2) tiles =
+(* Initial whole-matrix encoding: every lower-triangle tile is an
+   independent v^T * A_block product, so the batch fans out across the
+   pool exactly like the paper's N-stream checksum recalculation
+   (Optimization 1). Each task writes its own slot — determinism is
+   structural. *)
+let encode_lower ?pool ?(d = 2) tiles =
   let g = Tile.grid tiles in
-  {
-    blocks =
-      Array.init g (fun i ->
-          Array.init g (fun j ->
-              if i >= j then Some (encode ~d (Tile.tile tiles i j)) else None));
-    d;
-    grid = g;
-  }
+  let blocks = Array.init g (fun _ -> Array.make g None) in
+  let coords = ref [] in
+  for i = g - 1 downto 0 do
+    for j = i downto 0 do
+      coords := (i, j) :: !coords
+    done
+  done;
+  let coords = Array.of_list !coords in
+  let encode_at k =
+    let i, j = coords.(k) in
+    blocks.(i).(j) <- Some (encode ~d (Tile.tile tiles i j))
+  in
+  let n = Array.length coords in
+  (match pool with
+  | Some p -> Pool.parallel_for ~chunk:1 p ~lo:0 ~hi:n encode_at
+  | None ->
+      let p = Pool.default () in
+      if Pool.size p > 1 && n > 1 then
+        Pool.parallel_for ~chunk:1 p ~lo:0 ~hi:n encode_at
+      else
+        for k = 0 to n - 1 do
+          encode_at k
+        done);
+  { blocks; d; grid = g }
 
 let get s i j =
   if i < 0 || j < 0 || i >= s.grid || j >= s.grid || i < j then

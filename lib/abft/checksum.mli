@@ -28,13 +28,15 @@ val weights : d:int -> b:int -> Mat.t
     [V(i, r) = (i+1)^r]. @raise Invalid_argument unless
     [1 <= d] and [1 <= b]. *)
 
-val encode : ?d:int -> Mat.t -> t
+val encode : ?pool:Parallel.Pool.t -> ?d:int -> Mat.t -> t
 (** [encode ~d a] computes the d×n checksum [Vᵀ·a] of an m×n tile
     (default [d = 2]); Cholesky uses square B×B tiles, the QR
     extension tall m×b panels — the algebra never needs squareness.
+    [pool] is forwarded to the underlying GEMM (only engaged for tiles
+    large enough to benefit).
     @raise Invalid_argument on an empty tile. *)
 
-val recompute : t -> Mat.t -> Mat.t
+val recompute : ?pool:Parallel.Pool.t -> t -> Mat.t -> Mat.t
 (** [recompute t a] recomputes the checksum of [a] fresh (same weights
     and shape as [t]) — the "checksum recalculation" operation that
     Optimization 1 accelerates. Returns a new matrix; [t] is
@@ -66,8 +68,12 @@ type store
 (** Checksums for every lower-triangle tile of a tiled matrix
     (Cholesky only maintains the lower triangle). *)
 
-val encode_lower : ?d:int -> Tile.t -> store
-(** Encode every tile [(i, j)] with [i >= j]. *)
+val encode_lower : ?pool:Parallel.Pool.t -> ?d:int -> Tile.t -> store
+(** Encode every tile [(i, j)] with [i >= j]. The per-tile encodes are
+    independent and fan out across [pool] (default: the shared
+    {!Parallel.Pool.default} pool when it has more than one lane) —
+    the host-side analogue of the paper's N concurrent recalculation
+    streams. *)
 
 val get : store -> int -> int -> t
 (** [get s i j] for a lower-triangle tile.

@@ -146,11 +146,11 @@ let double_fit ~b ~thr delta i =
     end
   end
 
-let verify ?(tol = default_tol) chk tile =
+let verify ?pool ?(tol = default_tol) chk tile =
   let stored = Checksum.matrix chk in
   if Mat.cols stored <> Mat.cols tile || Checksum.rows chk <> Mat.rows tile
   then invalid_arg "Verify.verify: checksum/tile shape mismatch";
-  let fresh = Checksum.recompute chk tile in
+  let fresh = Checksum.recompute ?pool chk tile in
   let delta = Mat.sub_mat fresh stored in
   let thr = row_thresholds ~tol stored fresh in
   match bad_columns ~thr delta with
@@ -216,7 +216,7 @@ let verify ?(tol = default_tol) chk tile =
         | Some msg -> Uncorrectable msg
         | None ->
             (* Re-verify: patching must have restored consistency. *)
-            let fresh' = Checksum.recompute chk tile in
+            let fresh' = Checksum.recompute ?pool chk tile in
             let delta' = Mat.sub_mat fresh' stored in
             let thr' = row_thresholds ~tol stored fresh' in
             if bad_columns ~thr:thr' delta' = [] then Corrected fixes
@@ -225,12 +225,36 @@ let verify ?(tol = default_tol) chk tile =
                 "residual mismatch after correction (uncorrectable pattern)"
       end
 
-let check ?(tol = default_tol) chk tile =
+let check ?pool ?(tol = default_tol) chk tile =
   let stored = Checksum.matrix chk in
-  let fresh = Checksum.recompute chk tile in
+  let fresh = Checksum.recompute ?pool chk tile in
   let delta = Mat.sub_mat fresh stored in
   let thr = row_thresholds ~tol stored fresh in
   bad_columns ~thr delta = []
+
+(* A batch of independent tile verifications fanned out across the
+   pool — the host-side realization of the paper's Optimization 1,
+   which issues the per-block checksum recalculations on N concurrent
+   streams instead of serially. Each task owns exactly one tile
+   (recompute, locate, patch in place), so outcomes and any in-place
+   corrections are identical to running [verify] sequentially, in any
+   pool configuration. *)
+let verify_batch ?pool ?(tol = default_tol) jobs =
+  let n = Array.length jobs in
+  let out = Array.make n Clean in
+  let run_one k =
+    let chk, tile = jobs.(k) in
+    out.(k) <- verify ~tol chk tile
+  in
+  let module Pool = Parallel.Pool in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  if Pool.size pool > 1 && n > 1 then
+    Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:n run_one
+  else
+    for k = 0 to n - 1 do
+      run_one k
+    done;
+  out
 
 let pp_outcome fmt = function
   | Clean -> Format.pp_print_string fmt "clean"

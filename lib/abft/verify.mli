@@ -40,7 +40,7 @@ val default_tol : float
     [tol × scale] (where scale is the largest checksum magnitude, at
     least 1) are attributed to floating-point rounding. *)
 
-val verify : ?tol:float -> Checksum.t -> Mat.t -> outcome
+val verify : ?pool:Parallel.Pool.t -> ?tol:float -> Checksum.t -> Mat.t -> outcome
 (** [verify ~tol chk tile] detects, locates and corrects in-place
     (square tiles or rectangular panels alike).
     With the paper's [d = 2] checksum rows, up to one error per tile
@@ -59,8 +59,21 @@ val max_correctable_per_column : d:int -> int
 (** [1] for [d] of 2 or 3, [2] for [d >= 4], [0] for [d = 1] — what
     {!verify} can repair in one column of a tile. *)
 
-val check : ?tol:float -> Checksum.t -> Mat.t -> bool
+val check : ?pool:Parallel.Pool.t -> ?tol:float -> Checksum.t -> Mat.t -> bool
 (** Detection only — true iff the checksums match within tolerance.
     The tile is never modified. *)
+
+val verify_batch :
+  ?pool:Parallel.Pool.t ->
+  ?tol:float ->
+  (Checksum.t * Mat.t) array ->
+  outcome array
+(** [verify_batch jobs] runs {!verify} on every (checksum, tile) pair
+    and returns the outcomes in order. Independent tiles fan out
+    across the pool (default {!Parallel.Pool.default}) exactly like
+    the paper's N-stream concurrent checksum recalculation
+    (Optimization 1); corrections are applied in place per tile, and
+    results are identical to a sequential sweep for every pool
+    size. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,4 +1,5 @@
 open Matrix
+module Pool = Parallel.Pool
 
 let src = Logs.Src.create "ftchol.cholesky" ~doc:"FT Cholesky driver events"
 
@@ -35,6 +36,7 @@ type attempt_state = {
   tiles : Tile.t;
   store : Abft.Checksum.store option;  (* None for No_ft *)
   injector : Injector.t;
+  pool : Pool.t;
   mutable trace : Trace_op.t list;  (* reverse order *)
   mutable verifications : int;
   mutable corrections : int;
@@ -42,23 +44,46 @@ type attempt_state = {
 
 let emit st op = st.trace <- op :: st.trace
 
+(* Fan the row blocks of one iteration phase across the pool. Each
+   index owns its own tile (and checksum block), so the fan-out is
+   race-free and — because no work item is ever split — bitwise
+   deterministic for every pool size. *)
+let par_for st ~lo ~hi f =
+  if Pool.size st.pool > 1 && hi - lo > 1 then
+    Pool.parallel_for ~chunk:1 st.pool ~lo ~hi f
+  else
+    for i = lo to hi - 1 do
+      f i
+    done
+
 let lookup st (i, c) =
   if i >= 0 && c >= 0 && i < st.grid && c < st.grid && i >= c then
     Some (Tile.tile st.tiles i c)
   else None
 
-(* Verify the listed tiles in order, correcting in place; raise
-   Recovery on the first uncorrectable tile. *)
+(* Verify the listed tiles, correcting in place; raise Recovery on the
+   first uncorrectable tile. The independent per-tile verifications fan
+   out across the pool (the paper's Optimization 1 on real cores);
+   outcomes are then folded in block order, so counters and the choice
+   of "first" uncorrectable block match a sequential sweep exactly. *)
 let verify_blocks st ~j ~point blocks =
   emit st (Trace_op.Verify { j; point; blocks });
   match st.store with
   | None -> ()
   | Some store ->
-      List.iter
-        (fun (i, c) ->
+      let blocks_arr = Array.of_list blocks in
+      let jobs =
+        Array.map
+          (fun (i, c) -> (Abft.Checksum.get store i c, Tile.tile st.tiles i c))
+          blocks_arr
+      in
+      let outcomes =
+        Abft.Verify.verify_batch ~pool:st.pool ~tol:st.cfg.Config.tol jobs
+      in
+      Array.iteri
+        (fun k (i, c) ->
           st.verifications <- st.verifications + 1;
-          let chk = Abft.Checksum.get store i c in
-          match Abft.Verify.verify ~tol:st.cfg.Config.tol chk (Tile.tile st.tiles i c) with
+          match outcomes.(k) with
           | Abft.Verify.Clean -> ()
           | Abft.Verify.Corrected fixes ->
               Log.info (fun m ->
@@ -70,7 +95,7 @@ let verify_blocks st ~j ~point blocks =
                   m "iteration %d: uncorrectable at block (%d,%d): %s" j i c
                     msg);
               raise (Recovery (Printf.sprintf "block (%d,%d): %s" i c msg)))
-        blocks
+        blocks_arr
 
 (* One attempt of the full factorization over fresh tiles. Returns unit;
    errors surface as Recovery. *)
@@ -94,9 +119,12 @@ let run_attempt st =
     if Sets.syrk_exists ~j then begin
       if enhanced then verify_blocks st ~j ~point:Trace_op.Pre_syrk (Sets.pre_syrk ~j);
       let diag = tile j j in
+      (* accumulates into one diagonal block: c order is load-bearing,
+         parallelism lives inside the (pool-aware) kernel *)
       for c = 0 to j - 1 do
         let lc = tile j c in
-        Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1. lc lc diag
+        Blas3.gemm ~pool:st.pool ~transb:Types.Trans ~alpha:(-1.) ~beta:1. lc
+          lc diag
       done;
       emit st (Trace_op.Syrk j);
       Injector.fire_compute st.injector ~iteration:j ~op:Fault.Syrk ~block:(j, j) diag;
@@ -116,24 +144,25 @@ let run_attempt st =
     if Sets.gemm_exists ~grid:g ~j then begin
       if enhanced && gate then
         verify_blocks st ~j ~point:Trace_op.Pre_gemm (Sets.pre_gemm ~grid:g ~j);
-      for i = j + 1 to g - 1 do
-        let b = tile i j in
-        for c = 0 to j - 1 do
-          Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1. (tile i c)
-            (tile j c) b
-        done
-      done;
+      (* each row block i updates only tile (i, j): independent *)
+      par_for st ~lo:(j + 1) ~hi:g (fun i ->
+          let b = tile i j in
+          for c = 0 to j - 1 do
+            Blas3.gemm ~pool:st.pool ~transb:Types.Trans ~alpha:(-1.) ~beta:1.
+              (tile i c) (tile j c) b
+          done);
       emit st (Trace_op.Gemm j);
       for i = j + 1 to g - 1 do
         Injector.fire_compute st.injector ~iteration:j ~op:Fault.Gemm
           ~block:(i, j) (tile i j)
       done;
       if with_ft then begin
-        for i = j + 1 to g - 1 do
-          for c = 0 to j - 1 do
-            Abft.Update.gemm ~chk_b:(chk i j) ~chk_ld:(chk i c) ~lc:(tile j c)
-          done
-        done;
+        (* row block i touches only checksum (i, j): independent *)
+        par_for st ~lo:(j + 1) ~hi:g (fun i ->
+            for c = 0 to j - 1 do
+              Abft.Update.gemm ~chk_b:(chk i j) ~chk_ld:(chk i c)
+                ~lc:(tile j c)
+            done);
         emit st (Trace_op.Chk_gemm j)
       end;
       if online then
@@ -161,19 +190,18 @@ let run_attempt st =
       if enhanced && gate then
         verify_blocks st ~j ~point:Trace_op.Pre_trsm (Sets.pre_trsm ~grid:g ~j);
       let la = tile j j in
-      for i = j + 1 to g - 1 do
-        Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag la
-          (tile i j)
-      done;
+      (* independent panel solves against the shared factored diagonal *)
+      par_for st ~lo:(j + 1) ~hi:g (fun i ->
+          Blas3.trsm ~pool:st.pool Types.Right Types.Lower Types.Trans
+            Types.Non_unit_diag la (tile i j));
       emit st (Trace_op.Trsm j);
       for i = j + 1 to g - 1 do
         Injector.fire_compute st.injector ~iteration:j ~op:Fault.Trsm
           ~block:(i, j) (tile i j)
       done;
       if with_ft then begin
-        for i = j + 1 to g - 1 do
-          Abft.Update.trsm ~chk:(chk i j) ~la
-        done;
+        par_for st ~lo:(j + 1) ~hi:g (fun i ->
+            Abft.Update.trsm ~chk:(chk i j) ~la);
         emit st (Trace_op.Chk_trsm j)
       end;
       if online then
@@ -198,27 +226,52 @@ let final_verification st ~sweep =
     match st.store with
     | None -> ()
     | Some store ->
-        List.iter
-          (fun (i, c) ->
-            st.verifications <- st.verifications + 1;
-            let chk = Abft.Checksum.get store i c in
-            let tile = Tile.tile st.tiles i c in
-            if offline then begin
-              if not (Abft.Verify.check ~tol:st.cfg.Config.tol chk tile) then
+        let blocks_arr = Array.of_list blocks in
+        let jobs =
+          Array.map
+            (fun (i, c) ->
+              (Abft.Checksum.get store i c, Tile.tile st.tiles i c))
+            blocks_arr
+        in
+        if offline then begin
+          (* detect-only: read-only checks fan out, results fold in
+             block order so the reported first mismatch is stable *)
+          let ok = Array.make (Array.length jobs) true in
+          let run_one k =
+            let chk, tile = jobs.(k) in
+            ok.(k) <- Abft.Verify.check ~tol:st.cfg.Config.tol chk tile
+          in
+          if Pool.size st.pool > 1 && Array.length jobs > 1 then
+            Pool.parallel_for ~chunk:1 st.pool ~lo:0
+              ~hi:(Array.length jobs) run_one
+          else Array.iteri (fun k _ -> run_one k) jobs;
+          Array.iteri
+            (fun k (i, c) ->
+              st.verifications <- st.verifications + 1;
+              if not ok.(k) then
                 raise
                   (Recovery
                      (Printf.sprintf
-                        "final verify (%d,%d): mismatch at end of run" i c))
-            end
-            else
-              match Abft.Verify.verify ~tol:st.cfg.Config.tol chk tile with
+                        "final verify (%d,%d): mismatch at end of run" i c)))
+            blocks_arr
+        end
+        else begin
+          let outcomes =
+            Abft.Verify.verify_batch ~pool:st.pool ~tol:st.cfg.Config.tol jobs
+          in
+          Array.iteri
+            (fun k (i, c) ->
+              st.verifications <- st.verifications + 1;
+              match outcomes.(k) with
               | Abft.Verify.Clean -> ()
               | Abft.Verify.Corrected fixes ->
                   st.corrections <- st.corrections + List.length fixes
               | Abft.Verify.Uncorrectable msg ->
                   raise
-                    (Recovery (Printf.sprintf "final sweep (%d,%d): %s" i c msg)))
-          blocks
+                    (Recovery
+                       (Printf.sprintf "final sweep (%d,%d): %s" i c msg)))
+            blocks_arr
+        end
   end
 
 let lower_of_tiles tiles = Mat.tril (Tile.to_mat tiles)
@@ -227,10 +280,11 @@ let residual_of ~input l =
   let recon = Blas3.gemm_alloc ~transb:Types.Trans l l in
   Mat.norm_fro (Mat.sub_mat recon input) /. Float.max 1. (Mat.norm_fro input)
 
-let factor ?(plan = []) ?(final_sweep = false) cfg a =
+let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error e -> invalid_arg ("Ft.factor: " ^ e));
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   let n = Mat.rows a in
   let b = Config.block_size cfg in
   if Mat.cols a <> n then invalid_arg "Ft.factor: input not square";
@@ -246,7 +300,7 @@ let factor ?(plan = []) ?(final_sweep = false) cfg a =
     let store =
       match cfg.Config.scheme with
       | Abft.Scheme.No_ft -> None
-      | _ -> Some (Abft.Checksum.encode_lower tiles)
+      | _ -> Some (Abft.Checksum.encode_lower ~pool tiles)
     in
     let st =
       {
@@ -255,6 +309,7 @@ let factor ?(plan = []) ?(final_sweep = false) cfg a =
         tiles;
         store;
         injector;
+        pool;
         trace = [];
         verifications = 0;
         corrections = 0;

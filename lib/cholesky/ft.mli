@@ -48,12 +48,27 @@ type report = {
   trace : Trace_op.t list;  (** logical trace of the {e last} attempt *)
 }
 
-val factor : ?plan:Fault.t -> ?final_sweep:bool -> Config.t -> Mat.t -> report
+val factor :
+  ?pool:Parallel.Pool.t ->
+  ?plan:Fault.t ->
+  ?final_sweep:bool ->
+  Config.t ->
+  Mat.t ->
+  report
 (** [factor ~plan cfg a] factors SPD [a] (not modified). [~final_sweep]
     (default false) adds an end-of-run verification sweep to every
     FT scheme — an extension beyond the paper that lets even
     Online-ABFT catch (and often repair) residual storage errors;
     off by default to stay faithful.
+
+    [pool] (default {!Parallel.Pool.default}, sized by [ABFT_DOMAINS])
+    carries the real-core parallelism: row blocks of the trailing GEMM,
+    the panel TRSMs, the checksum updates, and the per-tile
+    verification sweeps all fan out across it, mirroring the paper's
+    N-stream Optimization 1. The factor is bitwise identical for every
+    pool size (no work item is ever split, and per-element reduction
+    order is fixed), so fault-detection thresholds behave the same
+    under any [ABFT_DOMAINS].
     @raise Invalid_argument if [a] is not square, its order is not a
     positive multiple of the block size, or the config is invalid. *)
 

@@ -4,6 +4,7 @@ exception Recovery of string
 
 type state = {
   grid : int;
+  pool : Parallel.Pool.t;
   tol : float;
   tiles : Tile.t;
   store : Abft.Checksum.store option;
@@ -64,8 +65,8 @@ let run_attempt st ~scheme =
       end;
       for i = j + 1 to g - 1 do
         let t = tile i j in
-        Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag diag
-          t;
+        Blas3.trsm ~pool:st.pool Types.Right Types.Lower Types.Trans
+          Types.Non_unit_diag diag t;
         Injector.fire_compute st.injector ~iteration:j ~op:Fault.Trsm
           ~block:(i, j) t;
         if with_ft then Abft.Update.trsm ~chk:(chk st i j) ~la:diag;
@@ -87,8 +88,8 @@ let run_attempt st ~scheme =
       for c = j + 1 to g - 1 do
         for i = c to g - 1 do
           let t = tile i c in
-          Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1. (tile i j)
-            (tile c j) t;
+          Blas3.gemm ~pool:st.pool ~transb:Types.Trans ~alpha:(-1.)
+            ~beta:1. (tile i j) (tile c j) t;
           if with_ft then begin
             if i = c then
               Abft.Update.syrk ~chk_a:(chk st i c) ~chk_lc:(chk st i j)
@@ -117,7 +118,7 @@ let final_verification st ~scheme =
         then raise (Recovery (Printf.sprintf "final verify (%d,%d): mismatch" i c)))
       (Sets.all_lower ~grid:st.grid)
 
-let factor ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
+let factor ?pool ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
     ?(tol = Abft.Verify.default_tol) ?(max_restarts = 3) a =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Right_looking.factor: input not square";
@@ -127,6 +128,7 @@ let factor ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
       (Printf.sprintf
          "Right_looking.factor: order %d must be a positive multiple of %d" n
          block);
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let injector = Injector.create plan in
   let uncorrectable_events = ref 0 and fail_stops = ref 0 in
   let rec attempt k =
@@ -134,11 +136,12 @@ let factor ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
     let store =
       match scheme with
       | Abft.Scheme.No_ft -> None
-      | _ -> Some (Abft.Checksum.encode_lower tiles)
+      | _ -> Some (Abft.Checksum.encode_lower ~pool tiles)
     in
     let st =
       {
         grid = n / block;
+        pool;
         tol;
         tiles;
         store;

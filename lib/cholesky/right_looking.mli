@@ -21,6 +21,7 @@
 open Matrix
 
 val factor :
+  ?pool:Parallel.Pool.t ->
   ?plan:Fault.t ->
   ?scheme:Abft.Scheme.t ->
   ?block:int ->

@@ -322,7 +322,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
     | _ -> assert false)
   end
 
-let run ?(plan = []) ?(d = 2) cfg ~n =
+let run ?pool:_ ?(plan = []) ?(d = 2) cfg ~n =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error e -> invalid_arg ("Schedule.run: " ^ e));
@@ -373,3 +373,25 @@ let run ?(plan = []) ?(d = 2) cfg ~n =
     engine = eng;
     placement;
   }
+
+(* A batch of independent simulations — a parameter sweep — fanned out
+   across the pool. Each run builds its own engine and state, so runs
+   share nothing mutable; results come back in input order. *)
+let run_many ?pool ?(d = 2) jobs =
+  let module Pool = Parallel.Pool in
+  let jobs = Array.of_list jobs in
+  let nj = Array.length jobs in
+  let out = Array.make nj None in
+  let run_one k =
+    let cfg, n = jobs.(k) in
+    out.(k) <- Some (run ~d cfg ~n)
+  in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  if Pool.size pool > 1 && nj > 1 then
+    Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:nj run_one
+  else
+    for k = 0 to nj - 1 do
+      run_one k
+    done;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) out)

@@ -42,11 +42,23 @@ type result = {
   placement : Config.placement;  (** resolved, never [Auto] *)
 }
 
-val run : ?plan:Fault.t -> ?d:int -> Config.t -> n:int -> result
+val run :
+  ?pool:Parallel.Pool.t -> ?plan:Fault.t -> ?d:int -> Config.t -> n:int -> result
 (** [run ~plan cfg ~n] simulates the factorization of an n×n matrix.
-    [~d] is the checksum row count (default 2).
+    [~d] is the checksum row count (default 2). [pool] is accepted for
+    call-site uniformity with {!Ft.factor} but unused: one simulation
+    is a single sequential sweep of a virtual clock (the concurrency it
+    models — streams, engines — is virtual). Use {!run_many} to spread
+    a sweep of independent simulations across real cores.
     @raise Invalid_argument if [n] is not a positive multiple of the
     block size. *)
+
+val run_many :
+  ?pool:Parallel.Pool.t -> ?d:int -> (Config.t * int) list -> result list
+(** [run_many jobs] simulates every [(cfg, n)] job and returns results
+    in order. Independent simulations fan out across [pool] (default
+    {!Parallel.Pool.default}) — this is how the bench sweeps use real
+    cores: many virtual machines, one per domain. *)
 
 val uncorrected : Abft.Scheme.t -> Fault.t -> Fault.t
 (** The injections of a plan that the scheme does {e not} correct in

@@ -1,4 +1,5 @@
 open Types
+module Pool = Parallel.Pool
 
 (* op(a) dimensions without materializing the transpose. *)
 let op_dims trans a =
@@ -25,8 +26,16 @@ let scale_in_place beta c =
         done
       done
 
-let gemm ?(transa = No_trans) ?(transb = No_trans) ?(alpha = 1.) ?(beta = 0.) a
-    b c =
+(* ------------------------------------------------------------------ *)
+(* Seed reference kernels (naive triple loops).                        *)
+(*                                                                     *)
+(* Kept verbatim: they are the fallback for tiny operands, the         *)
+(* reference the tiled kernels are property-tested against, and the    *)
+(* baseline bench_parallel reports speedups over.                      *)
+(* ------------------------------------------------------------------ *)
+
+let gemm_naive ?(transa = No_trans) ?(transb = No_trans) ?(alpha = 1.)
+    ?(beta = 0.) a b c =
   let m, k = op_dims transa a in
   let kb, n = op_dims transb b in
   if k <> kb || Mat.rows c <> m || Mat.cols c <> n then
@@ -45,14 +54,7 @@ let gemm ?(transa = No_trans) ?(transb = No_trans) ?(alpha = 1.) ?(beta = 0.) a
     done
   done
 
-let gemm_alloc ?(transa = No_trans) ?(transb = No_trans) ?(alpha = 1.) a b =
-  let m, _ = op_dims transa a in
-  let _, n = op_dims transb b in
-  let c = Mat.create m n in
-  gemm ~transa ~transb ~alpha ~beta:0. a b c;
-  c
-
-let syrk ?(trans = No_trans) ?(alpha = 1.) ?(beta = 0.) uplo a c =
+let syrk_naive ?(trans = No_trans) ?(alpha = 1.) ?(beta = 0.) uplo a c =
   let n, k = op_dims trans a in
   if Mat.rows c <> n || Mat.cols c <> n then
     Mat.dim_error "syrk" "op(a)=%dx%d c=%dx%d" n k (Mat.rows c) (Mat.cols c);
@@ -76,9 +78,9 @@ let check_trsm_shapes name side a b =
     Mat.dim_error name "a=%dx%d b=%dx%d side=%a" n n (Mat.rows b) (Mat.cols b)
       pp_side side
 
-(* trsm is reduced to a trsv per column (Left) or per row (Right): clear,
+(* trsm reduced to a trsv per column (Left) or per row (Right): clear,
    and exactly the dataflow the checksum update for TRSM relies on. *)
-let trsm ?(alpha = 1.) side uplo trans diag a b =
+let trsm_naive ?(alpha = 1.) side uplo trans diag a b =
   check_trsm_shapes "trsm" side a b;
   if alpha <> 1. then scale_in_place alpha b;
   match side with
@@ -97,6 +99,307 @@ let trsm ?(alpha = 1.) side uplo trans diag a b =
         Mat.set_row b i x
       done
 
+(* ------------------------------------------------------------------ *)
+(* Cache-blocked tiled kernels with column-panel parallelism.          *)
+(*                                                                     *)
+(* Determinism contract: every element of the output is computed by    *)
+(* exactly one pool task, and its reduction order over the inner       *)
+(* dimension is fixed by the loop structure alone (ascending l),       *)
+(* independent of panel boundaries — so results are bitwise identical  *)
+(* for every pool size, which keeps the ABFT rounding thresholds       *)
+(* valid across ABFT_DOMAINS settings.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let kc = 64 (* inner-dimension block *)
+let mc = 128 (* row block: one c/a strip of the micro-kernel *)
+let jb = 16 (* column-panel width = one unit of parallel work *)
+
+(* Below [seq_cutoff] flops-ish the seed loops win (no blocking setup);
+   above [par_cutoff] the batch is worth fanning out across domains. *)
+let seq_cutoff = 32_768
+let par_cutoff = 2_000_000
+
+(* Fan a column range out across the pool in fixed-width panels. The
+   panel grid depends only on [n], never on the pool, and tasks claim
+   panels dynamically so triangular workloads balance. *)
+let over_panels pool ~parallel ~n body =
+  if not parallel then body 0 n
+  else begin
+    let npanels = (n + jb - 1) / jb in
+    Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:npanels (fun p ->
+        body (p * jb) (min n ((p * jb) + jb)))
+  end
+
+(* c <- c + alpha * a * B over columns [j0, j1), a m×k untransposed,
+   B supplied by [bget l j]. Stride-1 saxpy inner loop, blocked so one
+   kc×mc block of [a] is reused across the whole panel. *)
+let gemm_panel_n ~alpha ad cd ~m ~k ~bget j0 j1 =
+  let nlb = (k + kc - 1) / kc in
+  let nib = (m + mc - 1) / mc in
+  for lb = 0 to nlb - 1 do
+    let l0 = lb * kc and l1 = min k ((lb * kc) + kc) in
+    for ib = 0 to nib - 1 do
+      let i0 = ib * mc and i1 = min m ((ib * mc) + mc) in
+      for j = j0 to j1 - 1 do
+        let cof = j * m in
+        for l = l0 to l1 - 1 do
+          let s = alpha *. bget l j in
+          if s <> 0. then begin
+            let aof = l * m in
+            for i = i0 to i1 - 1 do
+              Array.unsafe_set cd (cof + i)
+                (Array.unsafe_get cd (cof + i)
+                +. (s *. Array.unsafe_get ad (aof + i)))
+            done
+          end
+        done
+      done
+    done
+  done
+
+(* c <- c + alpha * aᵀ * b over columns [j0, j1), a physical k×m,
+   b physical k×n untransposed: stride-1 dot products; the b panel
+   stays in cache across the whole i sweep. *)
+let gemm_panel_tn ~alpha ad bd cd ~m ~k j0 j1 =
+  for i = 0 to m - 1 do
+    let aof = i * k in
+    for j = j0 to j1 - 1 do
+      let bof = j * k in
+      let acc = ref 0. in
+      for l = 0 to k - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get ad (aof + l) *. Array.unsafe_get bd (bof + l))
+      done;
+      let ci = (j * m) + i in
+      Array.unsafe_set cd ci (Array.unsafe_get cd ci +. (alpha *. !acc))
+    done
+  done
+
+let resolve_pool ~work = function
+  | Some p -> if work >= par_cutoff && Pool.size p > 1 then Some p else None
+  | None ->
+      if work >= par_cutoff then begin
+        let p = Pool.default () in
+        if Pool.size p > 1 then Some p else None
+      end
+      else None
+
+let gemm ?pool ?(transa = No_trans) ?(transb = No_trans) ?(alpha = 1.)
+    ?(beta = 0.) a b c =
+  let m, k = op_dims transa a in
+  let kb, n = op_dims transb b in
+  if k <> kb || Mat.rows c <> m || Mat.cols c <> n then
+    Mat.dim_error "gemm" "op(a)=%dx%d op(b)=%dx%d c=%dx%d" m k kb n (Mat.rows c)
+      (Mat.cols c);
+  let work = m * n * k in
+  if work < seq_cutoff || (transa = Trans && transb = Trans) then
+    gemm_naive ~transa ~transb ~alpha ~beta a b c
+  else begin
+    scale_in_place beta c;
+    let ad = a.Mat.data and bd = b.Mat.data and cd = c.Mat.data in
+    let pool = resolve_pool ~work pool in
+    let parallel = pool <> None in
+    let run body =
+      match pool with
+      | Some p -> over_panels p ~parallel ~n body
+      | None -> body 0 n
+    in
+    match transa with
+    | No_trans ->
+        let bget =
+          match transb with
+          | No_trans -> fun l j -> Array.unsafe_get bd ((j * k) + l)
+          | Trans -> fun l j -> Array.unsafe_get bd ((l * n) + j)
+        in
+        run (gemm_panel_n ~alpha ad cd ~m ~k ~bget)
+    | Trans ->
+        (* transb = Trans was dispatched to the naive path above. *)
+        run (gemm_panel_tn ~alpha ad bd cd ~m ~k)
+  end
+
+let gemm_alloc ?pool ?(transa = No_trans) ?(transb = No_trans) ?(alpha = 1.) a b
+    =
+  let m, _ = op_dims transa a in
+  let _, n = op_dims transb b in
+  let c = Mat.create m n in
+  gemm ?pool ~transa ~transb ~alpha ~beta:0. a b c;
+  c
+
+(* Scale the [uplo]-triangle segment of column [j] — syrk must leave
+   the opposite strict triangle untouched. *)
+let syrk_prescale ~beta cd ~n uplo j =
+  let lo, hi = match uplo with Lower -> (j, n - 1) | Upper -> (0, j) in
+  let cof = j * n in
+  match beta with
+  | 1. -> ()
+  | 0. ->
+      for i = lo to hi do
+        Array.unsafe_set cd (cof + i) 0.
+      done
+  | b ->
+      for i = lo to hi do
+        Array.unsafe_set cd (cof + i) (b *. Array.unsafe_get cd (cof + i))
+      done
+
+let syrk ?pool ?(trans = No_trans) ?(alpha = 1.) ?(beta = 0.) uplo a c =
+  let n, k = op_dims trans a in
+  if Mat.rows c <> n || Mat.cols c <> n then
+    Mat.dim_error "syrk" "op(a)=%dx%d c=%dx%d" n k (Mat.rows c) (Mat.cols c);
+  let work = n * n * k / 2 in
+  if work < seq_cutoff then syrk_naive ~trans ~alpha ~beta uplo a c
+  else begin
+    let ad = a.Mat.data and cd = c.Mat.data in
+    let pool = resolve_pool ~work pool in
+    let run body =
+      match pool with
+      | Some p -> over_panels p ~parallel:true ~n body
+      | None -> body 0 n
+    in
+    match trans with
+    | No_trans ->
+        (* Saxpy form: c(:,j) += (alpha·a(j,l)) · a(:,l), stride-1, one
+           kc-block of [a]'s columns reused across the panel. *)
+        run (fun j0 j1 ->
+            for j = j0 to j1 - 1 do
+              syrk_prescale ~beta cd ~n uplo j
+            done;
+            let nlb = (k + kc - 1) / kc in
+            for lb = 0 to nlb - 1 do
+              let l0 = lb * kc and l1 = min k ((lb * kc) + kc) in
+              for j = j0 to j1 - 1 do
+                let lo, hi =
+                  match uplo with Lower -> (j, n - 1) | Upper -> (0, j)
+                in
+                let cof = j * n in
+                for l = l0 to l1 - 1 do
+                  let s = alpha *. Array.unsafe_get ad ((l * n) + j) in
+                  if s <> 0. then begin
+                    let aof = l * n in
+                    for i = lo to hi do
+                      Array.unsafe_set cd (cof + i)
+                        (Array.unsafe_get cd (cof + i)
+                        +. (s *. Array.unsafe_get ad (aof + i)))
+                    done
+                  end
+                done
+              done
+            done)
+    | Trans ->
+        (* Dot form over a's stride-1 columns; accumulation order
+           matches the seed kernel exactly. *)
+        run (fun j0 j1 ->
+            for j = j0 to j1 - 1 do
+              let lo, hi =
+                match uplo with Lower -> (j, n - 1) | Upper -> (0, j)
+              in
+              let bof = j * k in
+              for i = lo to hi do
+                let aof = i * k in
+                let acc = ref 0. in
+                for l = 0 to k - 1 do
+                  acc :=
+                    !acc
+                    +. (Array.unsafe_get ad (aof + l)
+                       *. Array.unsafe_get ad (bof + l))
+                done;
+                let ci = (j * n) + i in
+                let prev =
+                  match beta with
+                  | 0. -> 0.
+                  | b -> b *. Array.unsafe_get cd ci
+                in
+                Array.unsafe_set cd ci (prev +. (alpha *. !acc))
+              done
+            done)
+  end
+
+(* Right-side solve X · op(A) = B as a forward/backward column sweep:
+   column j of X is B(:,j) minus saxpy contributions of the already
+   solved columns, then a divide by the diagonal. All accesses are
+   stride-1 down b's columns (the seed extracted strided rows), and
+   rows of B are independent, so the sweep parallelizes by row block
+   with per-element operation order unchanged. *)
+let trsm_right_blocked ~diag a b =
+  let n = Mat.rows a and m = Mat.rows b in
+  let ad = a.Mat.data and bd = b.Mat.data in
+  (* op(A)[c][j]; [trans] decides the access, [uplo] only the sweep
+     direction (structural zeros are never read). *)
+  fun ~trans ~upper_op ~r0 ~r1 ->
+    let coef c j =
+      match trans with
+      | No_trans -> Array.unsafe_get ad ((j * n) + c)
+      | Trans -> Array.unsafe_get ad ((c * n) + j)
+    in
+    let solve_col j c_lo c_hi =
+      let cof = j * m in
+      for c = c_lo to c_hi do
+        if c <> j then begin
+          let s = coef c j in
+          if s <> 0. then begin
+            let xof = c * m in
+            for i = r0 to r1 - 1 do
+              Array.unsafe_set bd (cof + i)
+                (Array.unsafe_get bd (cof + i)
+                -. (s *. Array.unsafe_get bd (xof + i)))
+            done
+          end
+        end
+      done;
+      match diag with
+      | Unit_diag -> ()
+      | Non_unit_diag ->
+          let d = coef j j in
+          if d = 0. then failwith "trsm: zero pivot";
+          for i = r0 to r1 - 1 do
+            Array.unsafe_set bd (cof + i) (Array.unsafe_get bd (cof + i) /. d)
+          done
+    in
+    if upper_op then
+      for j = 0 to n - 1 do
+        solve_col j 0 (j - 1)
+      done
+    else
+      for j = n - 1 downto 0 do
+        solve_col j (j + 1) (n - 1)
+      done
+
+let trsm ?pool ?(alpha = 1.) side uplo trans diag a b =
+  check_trsm_shapes "trsm" side a b;
+  let n = Mat.rows a in
+  let m, ncols = (Mat.rows b, Mat.cols b) in
+  let work = m * ncols * n / 2 in
+  if work < seq_cutoff then trsm_naive ~alpha side uplo trans diag a b
+  else begin
+    if alpha <> 1. then scale_in_place alpha b;
+    let pool = resolve_pool ~work pool in
+    match side with
+    | Left ->
+        (* Columns of b are independent triangular solves. *)
+        let solve_cols j0 j1 =
+          for j = j0 to j1 - 1 do
+            let x = Mat.col b j in
+            Blas2.trsv uplo trans diag a x;
+            Mat.set_col b j x
+          done
+        in
+        (match pool with
+        | Some p -> Pool.parallel_chunks p ~lo:0 ~hi:ncols (fun ~lo ~hi -> solve_cols lo hi)
+        | None -> solve_cols 0 ncols)
+    | Right ->
+        let upper_op =
+          match (uplo, trans) with
+          | Lower, Trans | Upper, No_trans -> true
+          | Lower, No_trans | Upper, Trans -> false
+        in
+        let sweep = trsm_right_blocked ~diag a b in
+        (match pool with
+        | Some p ->
+            Pool.parallel_chunks p ~lo:0 ~hi:m (fun ~lo ~hi ->
+                sweep ~trans ~upper_op ~r0:lo ~r1:hi)
+        | None -> sweep ~trans ~upper_op ~r0:0 ~r1:m)
+  end
+
 let trmm ?(alpha = 1.) side uplo trans diag a b =
   check_trsm_shapes "trmm" side a b;
   (match side with
@@ -114,7 +417,7 @@ let trmm ?(alpha = 1.) side uplo trans diag a b =
       done);
   if alpha <> 1. then scale_in_place alpha b
 
-let symm ?(alpha = 1.) ?(beta = 0.) side uplo a b c =
+let symm ?pool ?(alpha = 1.) ?(beta = 0.) side uplo a b c =
   let n = Mat.rows a in
   if Mat.cols a <> n then Mat.dim_error "symm" "a not square: %dx%d" n (Mat.cols a);
   let full = Mat.symmetrize_from uplo a in
@@ -123,9 +426,9 @@ let symm ?(alpha = 1.) ?(beta = 0.) side uplo a b c =
       if Mat.rows b <> n || Mat.rows c <> n || Mat.cols c <> Mat.cols b then
         Mat.dim_error "symm" "a=%dx%d b=%dx%d c=%dx%d" n n (Mat.rows b)
           (Mat.cols b) (Mat.rows c) (Mat.cols c);
-      gemm ~alpha ~beta full b c
+      gemm ?pool ~alpha ~beta full b c
   | Right ->
       if Mat.cols b <> n || Mat.cols c <> n || Mat.rows c <> Mat.rows b then
         Mat.dim_error "symm" "a=%dx%d b=%dx%d c=%dx%d" n n (Mat.rows b)
           (Mat.cols b) (Mat.rows c) (Mat.cols c);
-      gemm ~alpha ~beta b full c
+      gemm ?pool ~alpha ~beta b full c

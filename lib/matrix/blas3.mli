@@ -4,11 +4,25 @@
     updates the trailing panel, SYRK the diagonal block, TRSM solves the
     panel against the factored diagonal block. MAGMA runs all three on
     the GPU; the paper's checksum-update rules are expressed in terms of
-    these same kernels applied to the (2 × B) checksum blocks. *)
+    these same kernels applied to the (2 × B) checksum blocks.
+
+    The main entry points ([gemm], [syrk], [trsm]) are cache-blocked
+    tiled kernels that optionally fan column panels out across a
+    {!Parallel.Pool.t} (defaulting to {!Parallel.Pool.default} for
+    operands large enough to benefit). They fall back to the original
+    naive triple loops ([gemm_naive] …) for tiny operands.
+
+    {b Determinism.} For every kernel, the reduction order per output
+    element is fixed by the operand shapes alone — panel boundaries and
+    pool size never change it — so results are bitwise identical across
+    [ABFT_DOMAINS] settings. Tiled and naive kernels may round
+    differently from each other (blocked accumulation), but each is
+    individually deterministic. *)
 
 open Types
 
 val gemm :
+  ?pool:Parallel.Pool.t ->
   ?transa:trans ->
   ?transb:trans ->
   ?alpha:float ->
@@ -19,15 +33,30 @@ val gemm :
   unit
 (** [gemm ~transa ~transb ~alpha ~beta a b c] computes
     [c <- alpha * op(a) * op(b) + beta * c] in place. Defaults:
-    [No_trans], [alpha = 1.], [beta = 0.].
+    [No_trans], [alpha = 1.], [beta = 0.]. Large products are
+    cache-blocked and, when a pool with more than one lane is available,
+    parallelized over fixed-width column panels.
     @raise Mat.Dimension_mismatch on incompatible shapes. *)
 
 val gemm_alloc :
-  ?transa:trans -> ?transb:trans -> ?alpha:float -> Mat.t -> Mat.t -> Mat.t
+  ?pool:Parallel.Pool.t ->
+  ?transa:trans ->
+  ?transb:trans ->
+  ?alpha:float ->
+  Mat.t ->
+  Mat.t ->
+  Mat.t
 (** Allocating wrapper: returns [alpha * op(a) * op(b)]. *)
 
 val syrk :
-  ?trans:trans -> ?alpha:float -> ?beta:float -> uplo -> Mat.t -> Mat.t -> unit
+  ?pool:Parallel.Pool.t ->
+  ?trans:trans ->
+  ?alpha:float ->
+  ?beta:float ->
+  uplo ->
+  Mat.t ->
+  Mat.t ->
+  unit
 (** [syrk ~trans ~alpha ~beta uplo a c] computes the symmetric rank-k
     update [c <- alpha * a * aᵀ + beta * c] ([trans = No_trans]) or
     [c <- alpha * aᵀ * a + beta * c] ([trans = Trans]), writing only the
@@ -35,11 +64,22 @@ val syrk :
     [beta = 0.]. *)
 
 val trsm :
-  ?alpha:float -> side -> uplo -> trans -> diag -> Mat.t -> Mat.t -> unit
+  ?pool:Parallel.Pool.t ->
+  ?alpha:float ->
+  side ->
+  uplo ->
+  trans ->
+  diag ->
+  Mat.t ->
+  Mat.t ->
+  unit
 (** [trsm ~alpha side uplo trans diag a b] solves the triangular system
     - [side = Left]:  [op(a) * X = alpha * b]
     - [side = Right]: [X * op(a) = alpha * b]
     overwriting [b] with the solution [X]. Default [alpha = 1.].
+    Large solves run blocked ([Right]: a stride-1 column sweep
+    parallelized over row blocks; [Left]: independent per-column solves
+    across the pool).
     @raise Failure on a zero pivot with [Non_unit_diag]. *)
 
 val trmm :
@@ -48,8 +88,40 @@ val trmm :
     [b <- alpha * op(a) * b] ([Left]) or [b <- alpha * b * op(a)]
     ([Right]) with [a] triangular. *)
 
-val symm : ?alpha:float -> ?beta:float -> side -> uplo -> Mat.t -> Mat.t -> Mat.t -> unit
+val symm :
+  ?pool:Parallel.Pool.t ->
+  ?alpha:float ->
+  ?beta:float ->
+  side ->
+  uplo ->
+  Mat.t ->
+  Mat.t ->
+  Mat.t ->
+  unit
 (** [symm ~alpha ~beta side uplo a b c] computes
     [c <- alpha * A * b + beta * c] ([Left]) or
     [c <- alpha * b * A + beta * c] ([Right]) where [A] is the symmetric
     matrix stored in the [uplo] triangle of [a]. *)
+
+(** {1 Seed reference kernels}
+
+    The original naive triple-loop implementations, kept as the
+    fallback for tiny operands, as the property-test reference for the
+    tiled kernels, and as the baseline [bench_parallel] measures
+    speedups against. *)
+
+val gemm_naive :
+  ?transa:trans ->
+  ?transb:trans ->
+  ?alpha:float ->
+  ?beta:float ->
+  Mat.t ->
+  Mat.t ->
+  Mat.t ->
+  unit
+
+val syrk_naive :
+  ?trans:trans -> ?alpha:float -> ?beta:float -> uplo -> Mat.t -> Mat.t -> unit
+
+val trsm_naive :
+  ?alpha:float -> side -> uplo -> trans -> diag -> Mat.t -> Mat.t -> unit

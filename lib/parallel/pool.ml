@@ -1,0 +1,223 @@
+(* A fixed-size domain pool: the real-core analogue of the paper's N
+   CUDA streams (Optimization 1). One pool is created up front and
+   reused for every batch of independent work items — fanning a batch
+   out across the pool costs two lock round-trips, not N domain spawns.
+
+   Design constraints, in order:
+   - determinism: the pool never splits a work item, so any numeric
+     kernel that keeps a fixed reduction order per item produces
+     bitwise-identical results for every pool size (the ABFT rounding
+     thresholds rely on this);
+   - reentrancy: a task that (transitively) calls back into the pool
+     runs the nested batch inline on its own domain instead of
+     deadlocking on the single job slot;
+   - zero dependencies: Domain + Mutex/Condition + Atomic from the
+     OCaml 5 stdlib only. *)
+
+type job = {
+  run : int -> unit;
+  ntasks : int;
+  next : int Atomic.t;  (* next task index to claim *)
+  mutable completed : int;  (* guarded by the pool mutex *)
+  mutable err : exn option;  (* first exception raised by a task *)
+}
+
+type t = {
+  lanes : int;  (* worker domains + the submitting caller *)
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work : Condition.t;  (* signalled when a job is posted / on shutdown *)
+  finished : Condition.t;  (* signalled when a job's last task completes *)
+  mutable job : job option;  (* the single in-flight job *)
+  mutable gen : int;  (* bumped per job so sleeping workers wake once *)
+  mutable stopped : bool;
+}
+
+(* True while the current domain is executing pool tasks: nested
+   parallel_* calls from inside a task run inline. *)
+let draining : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let drain pool (j : job) =
+  let outer = Domain.DLS.get draining in
+  Domain.DLS.set draining true;
+  let rec loop () =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i < j.ntasks then begin
+      (try j.run i
+       with e ->
+         Mutex.lock pool.m;
+         if j.err = None then j.err <- Some e;
+         Mutex.unlock pool.m);
+      Mutex.lock pool.m;
+      j.completed <- j.completed + 1;
+      if j.completed = j.ntasks then Condition.broadcast pool.finished;
+      Mutex.unlock pool.m;
+      loop ()
+    end
+  in
+  loop ();
+  Domain.DLS.set draining outer
+
+let worker pool =
+  let rec wait last_gen =
+    Mutex.lock pool.m;
+    while (not pool.stopped) && pool.gen = last_gen do
+      Condition.wait pool.work pool.m
+    done;
+    if pool.stopped then Mutex.unlock pool.m
+    else begin
+      let gen = pool.gen in
+      (* The job may already be done and cleared by the time a slow
+         waker gets here — that's just a stale generation, not an
+         error. Re-arm on the new generation. *)
+      let j = pool.job in
+      Mutex.unlock pool.m;
+      (match j with Some j -> drain pool j | None -> ());
+      wait gen
+    end
+  in
+  wait 0
+
+let create ?domains () =
+  let lanes =
+    match domains with
+    | None -> Domain.recommended_domain_count ()
+    | Some d when d >= 1 -> d
+    | Some d -> invalid_arg (Printf.sprintf "Pool.create: domains %d < 1" d)
+  in
+  let pool =
+    {
+      lanes;
+      workers = [||];
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      gen = 0;
+      stopped = false;
+    }
+  in
+  pool.workers <- Array.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size t = t.lanes
+
+let shutdown t =
+  Mutex.lock t.m;
+  let was = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  if not was then Array.iter Domain.join t.workers
+
+(* Run [run 0 .. run (ntasks-1)] across the pool; the caller
+   participates. Tasks are claimed dynamically (atomic counter), so
+   uneven task costs balance. Re-raises the first task exception after
+   the whole batch has drained. *)
+let run_tasks t ~ntasks run =
+  if ntasks = 1 then run 0
+  else if ntasks > 1 then begin
+    if t.lanes = 1 || Domain.DLS.get draining then
+      for i = 0 to ntasks - 1 do
+        run i
+      done
+    else begin
+      Mutex.lock t.m;
+      if t.stopped then begin
+        Mutex.unlock t.m;
+        invalid_arg "Pool: used after shutdown"
+      end;
+      match t.job with
+      | Some _ ->
+          (* Another domain is already using this pool: degrade to
+             inline rather than queueing (the pool has one job slot). *)
+          Mutex.unlock t.m;
+          for i = 0 to ntasks - 1 do
+            run i
+          done
+      | None ->
+          let j =
+            { run; ntasks; next = Atomic.make 0; completed = 0; err = None }
+          in
+          t.job <- Some j;
+          t.gen <- t.gen + 1;
+          Condition.broadcast t.work;
+          Mutex.unlock t.m;
+          drain t j;
+          Mutex.lock t.m;
+          while j.completed < ntasks do
+            Condition.wait t.finished t.m
+          done;
+          t.job <- None;
+          Mutex.unlock t.m;
+          (match j.err with Some e -> raise e | None -> ())
+    end
+  end
+
+(* Iterate [f lo .. f (hi-1)]. [chunk] consecutive indices form one
+   task (default: ~4 tasks per lane, at least 1 index each) — chunking
+   amortizes the per-task atomic claim without affecting results, since
+   every index still runs exactly once, in ascending order within its
+   chunk. *)
+let parallel_for ?chunk t ~lo ~hi f =
+  let n = hi - lo in
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some c -> invalid_arg (Printf.sprintf "Pool.parallel_for: chunk %d < 1" c)
+      | None -> max 1 (n / (4 * t.lanes))
+    in
+    let ntasks = (n + chunk - 1) / chunk in
+    run_tasks t ~ntasks (fun c ->
+        let first = lo + (c * chunk) in
+        let last = min hi (first + chunk) - 1 in
+        for i = first to last do
+          f i
+        done)
+  end
+
+(* Split [lo, hi) into at most [size t] near-equal contiguous ranges
+   and run [f ~lo ~hi] on each — for kernels that want whole panels
+   (e.g. a column-panel GEMM) rather than single indices. *)
+let parallel_chunks t ~lo ~hi f =
+  let n = hi - lo in
+  if n > 0 then begin
+    let pieces = min t.lanes n in
+    let base = n / pieces and rem = n mod pieces in
+    run_tasks t ~ntasks:pieces (fun c ->
+        let extra = min c rem in
+        let first = lo + (c * base) + extra in
+        let len = base + if c < rem then 1 else 0 in
+        f ~lo:first ~hi:(first + len))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide default pool                                       *)
+(* ------------------------------------------------------------------ *)
+
+let env_var = "ABFT_DOMAINS"
+
+let default_lanes () =
+  match Sys.getenv_opt env_var with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let default_mutex = Mutex.create ()
+let default_pool : t option ref = ref None
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create ~domains:(default_lanes ()) () in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_mutex;
+  p

@@ -1,0 +1,77 @@
+(** A reusable fixed-size domain pool — the real-core analogue of the
+    paper's N concurrent CUDA streams (Optimization 1).
+
+    The paper makes checksum recalculation cheap by issuing the
+    independent [vᵀ·A_block] kernels concurrently on N streams; on the
+    host side the same batch structure fans out across OCaml 5 domains.
+    One pool is created per process (or per driver) and reused for
+    every batch, so domains are spawned once, not per kernel.
+
+    {b Determinism.} The pool distributes whole work items and never
+    splits one, so a kernel that fixes its reduction order per item
+    produces bitwise-identical results for every pool size — the
+    property the ABFT rounding thresholds depend on, and the reason
+    [ABFT_DOMAINS=1] and [ABFT_DOMAINS=8] factorizations agree to the
+    last bit.
+
+    {b Reentrancy.} A task that calls back into the pool (e.g. a
+    parallel tile sweep whose per-tile kernel is itself pool-aware)
+    runs the nested batch inline on its own domain — nesting is safe
+    and free, never a deadlock.
+
+    Built on [Domain], [Mutex]/[Condition] and [Atomic] only; no
+    dependencies outside the OCaml 5 stdlib. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] starts a pool with [domains] total lanes of
+    parallelism: [domains - 1] worker domains plus the calling domain,
+    which participates in every batch it submits. Defaults to
+    {!Domain.recommended_domain_count}.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val size : t -> int
+(** Total lanes (workers + caller). A pool of size 1 spawns no domains
+    and runs everything inline. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent. Submitting to a pool after
+    shutdown raises [Invalid_argument]. *)
+
+val parallel_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi f] runs [f i] for every [lo <= i < hi]
+    across the pool. [chunk] consecutive indices form one dynamically
+    claimed task (default ≈ 4 tasks per lane), balancing uneven costs —
+    e.g. the triangle-shaped columns of a SYRK. Returns when all
+    indices have run; if tasks raised, re-raises one of the exceptions
+    (the first recorded) after the batch has fully drained.
+    @raise Invalid_argument if [chunk < 1]. *)
+
+val parallel_chunks : t -> lo:int -> hi:int -> (lo:int -> hi:int -> unit) -> unit
+(** [parallel_chunks t ~lo ~hi f] splits [lo, hi) into at most
+    [size t] near-equal contiguous ranges and runs [f ~lo ~hi] on each
+    ([hi] exclusive) — for kernels that process whole panels. Same
+    completion and exception contract as {!parallel_for}. *)
+
+val run_tasks : t -> ntasks:int -> (int -> unit) -> unit
+(** The primitive under both iterators: run tasks [0 .. ntasks-1],
+    caller participating, dynamic claiming, exceptions re-raised after
+    the drain. *)
+
+(** {1 The process-wide default pool} *)
+
+val default : unit -> t
+(** The shared default pool, created on first use and never shut down.
+    Sized by the [ABFT_DOMAINS] environment variable when set to a
+    positive integer, otherwise {!Domain.recommended_domain_count}.
+    Every pool-aware kernel falls back to this pool when no explicit
+    [?pool] is given, so [ABFT_DOMAINS=1] forces the whole process
+    sequential without code changes. *)
+
+val default_lanes : unit -> int
+(** The lane count {!default} would use (reads the environment on
+    every call; the default pool itself is created once). *)
+
+val env_var : string
+(** ["ABFT_DOMAINS"]. *)

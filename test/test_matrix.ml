@@ -612,6 +612,120 @@ let prop_norm_triangle =
       Mat.norm_fro (Mat.add a b)
       <= Mat.norm_fro a +. Mat.norm_fro b +. 1e-9)
 
+(* ---- tiled/parallel kernels vs the naive reference ----------------
+
+   Shapes deliberately straddle the blocking parameters (jb = 16,
+   kc = 64, mc = 128) and the naive-fallback cutoff, including sizes
+   not divisible by any tile edge; alpha/beta hit the special-cased 0
+   and 1. A second family checks bitwise pool-size invariance on
+   operands big enough to engage the parallel path. *)
+
+let gen_trans = QCheck.Gen.oneofl [ Types.No_trans; Types.Trans ]
+let gen_uplo = QCheck.Gen.oneofl [ Types.Lower; Types.Upper ]
+
+let gen_coef = QCheck.Gen.oneofl [ 0.; 1.; -0.5 ]
+(* 0 and 1 are special-cased in every kernel *)
+
+let blocky_dim = QCheck.Gen.oneofl [ 1; 7; 16; 17; 48; 63; 64; 65; 97; 130 ]
+
+let prop_gemm_tiled_matches_naive =
+  QCheck.Test.make ~name:"tiled gemm = naive gemm" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         triple blocky_dim blocky_dim blocky_dim >>= fun (m, n, k) ->
+         pair (pair gen_trans gen_trans) (pair gen_coef gen_coef)
+         >>= fun ((ta, tb), (alpha, beta)) ->
+         let am, an = match ta with Types.No_trans -> (m, k) | _ -> (k, m) in
+         let bm, bn = match tb with Types.No_trans -> (k, n) | _ -> (n, k) in
+         triple (gen_mat am an) (gen_mat bm bn) (gen_mat m n)
+         >|= fun (a, b, c0) -> (ta, tb, alpha, beta, a, b, c0)))
+    (fun (ta, tb, alpha, beta, a, b, c0) ->
+      let c_naive = Mat.copy c0 and c_tiled = Mat.copy c0 in
+      Blas3.gemm_naive ~transa:ta ~transb:tb ~alpha ~beta a b c_naive;
+      Blas3.gemm ~transa:ta ~transb:tb ~alpha ~beta a b c_tiled;
+      Mat.approx_equal ~tol:1e-8 c_naive c_tiled)
+
+let prop_syrk_tiled_matches_naive =
+  QCheck.Test.make ~name:"tiled syrk = naive syrk" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         pair blocky_dim blocky_dim >>= fun (n, k) ->
+         pair (pair gen_uplo gen_trans) (pair gen_coef gen_coef)
+         >>= fun ((uplo, trans), (alpha, beta)) ->
+         let am, an = match trans with Types.No_trans -> (n, k) | _ -> (k, n) in
+         pair (gen_mat am an) (gen_mat n n)
+         >|= fun (a, c0) -> (uplo, trans, alpha, beta, a, c0)))
+    (fun (uplo, trans, alpha, beta, a, c0) ->
+      let c_naive = Mat.copy c0 and c_tiled = Mat.copy c0 in
+      Blas3.syrk_naive ~trans ~alpha ~beta uplo a c_naive;
+      Blas3.syrk ~trans ~alpha ~beta uplo a c_tiled;
+      (* full-matrix compare also proves the opposite strict triangle
+         was left untouched *)
+      Mat.approx_equal ~tol:1e-8 c_naive c_tiled)
+
+(* Well-conditioned triangular operand: unit-scale diagonal, small
+   off-diagonal, so solves stay at working precision for any sweep
+   order. *)
+let gen_tri n =
+  QCheck.Gen.(
+    gen_mat n n >|= fun a ->
+    Mat.init n n (fun i j ->
+        if i = j then 1.5 +. (0.1 *. Mat.get a i j)
+        else Mat.get a i j /. float_of_int n))
+
+let prop_trsm_tiled_matches_naive =
+  QCheck.Test.make ~name:"tiled trsm = naive trsm" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         oneofl [ 1; 5; 16; 33; 64; 80 ] >>= fun n ->
+         oneofl [ 1; 17; 64; 96; 130 ] >>= fun other ->
+         pair (pair (oneofl [ Types.Left; Types.Right ]) gen_uplo)
+           (pair gen_trans (oneofl [ Types.Unit_diag; Types.Non_unit_diag ]))
+         >>= fun ((side, uplo), (trans, diag)) ->
+         let bm, bn =
+           match side with Types.Left -> (n, other) | Types.Right -> (other, n)
+         in
+         pair (gen_tri n) (gen_mat bm bn)
+         >|= fun (a, b0) -> (side, uplo, trans, diag, a, b0)))
+    (fun (side, uplo, trans, diag, a, b0) ->
+      let b_naive = Mat.copy b0 and b_tiled = Mat.copy b0 in
+      Blas3.trsm_naive side uplo trans diag a b_naive;
+      Blas3.trsm side uplo trans diag a b_tiled;
+      Mat.approx_equal ~tol:1e-6 b_naive b_tiled)
+
+let pool3 = lazy (Parallel.Pool.create ~domains:3 ())
+let pool1 = lazy (Parallel.Pool.create ~domains:1 ())
+
+let prop_pool_size_bitwise_invariance =
+  QCheck.Test.make ~name:"kernels bitwise-identical across pool sizes"
+    ~count:6
+    (QCheck.make
+       QCheck.Gen.(
+         (* big enough that the parallel path engages for all three
+            kernels (work >= 2e6 even with the triangular half) *)
+         pair (int_range 160 200) (int_range 0 1000) >>= fun (n, seed) ->
+         return (n, seed)))
+    (fun (n, seed) ->
+      ignore seed;
+      let a = Mat.init n n (fun i j -> sin (float_of_int ((i * n) + j)))
+      and b = Mat.init n n (fun i j -> cos (float_of_int ((j * n) + i))) in
+      let c1 = Mat.create n n and c3 = Mat.create n n in
+      Blas3.gemm ~pool:(Lazy.force pool1) ~transb:Types.Trans a b c1;
+      Blas3.gemm ~pool:(Lazy.force pool3) ~transb:Types.Trans a b c3;
+      let s1 = Mat.create n n and s3 = Mat.create n n in
+      Blas3.syrk ~pool:(Lazy.force pool1) Types.Lower a s1;
+      Blas3.syrk ~pool:(Lazy.force pool3) Types.Lower a s3;
+      let tri =
+        Mat.init n n (fun i j ->
+            if i = j then 2. else sin (float_of_int (i + (3 * j))) /. 8.)
+      in
+      let x1 = Mat.copy b and x3 = Mat.copy b in
+      Blas3.trsm ~pool:(Lazy.force pool1) Types.Right Types.Lower Types.Trans
+        Types.Non_unit_diag tri x1;
+      Blas3.trsm ~pool:(Lazy.force pool3) Types.Right Types.Lower Types.Trans
+        Types.Non_unit_diag tri x3;
+      Mat.equal c1 c3 && Mat.equal s1 s3 && Mat.equal x1 x3)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -623,6 +737,10 @@ let props =
       prop_checksum_linearity;
       prop_tile_roundtrip;
       prop_norm_triangle;
+      prop_gemm_tiled_matches_naive;
+      prop_syrk_tiled_matches_naive;
+      prop_trsm_tiled_matches_naive;
+      prop_pool_size_bitwise_invariance;
     ]
 
 let () =

@@ -1,0 +1,261 @@
+(* Tests for the domain pool (lib/parallel) and for the end-to-end
+   determinism contract: the FT Cholesky drivers must produce
+   bitwise-identical factors for every pool size. *)
+
+open Matrix
+module Pool = Parallel.Pool
+module C = Cholesky
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_size () =
+  let p = Pool.create ~domains:3 () in
+  Alcotest.(check int) "size" 3 (Pool.size p);
+  Pool.shutdown p;
+  let p1 = Pool.create ~domains:1 () in
+  Alcotest.(check int) "size 1" 1 (Pool.size p1);
+  Pool.shutdown p1;
+  Alcotest.check_raises "domains 0 rejected"
+    (Invalid_argument "Pool.create: domains 0 < 1") (fun () ->
+      ignore (Pool.create ~domains:0 ()))
+
+let test_parallel_for_covers () =
+  let p = Pool.create ~domains:4 () in
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  (* each index owned by exactly one task: no atomics needed *)
+  Pool.parallel_for p ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "each index exactly once" true
+    (Array.for_all (fun c -> c = 1) hits);
+  (* empty and singleton ranges *)
+  Pool.parallel_for p ~lo:5 ~hi:5 (fun _ -> Alcotest.fail "empty range ran");
+  let got = ref (-1) in
+  Pool.parallel_for p ~lo:7 ~hi:8 (fun i -> got := i);
+  Alcotest.(check int) "singleton" 7 !got;
+  Pool.shutdown p
+
+let test_parallel_for_reuse () =
+  (* one pool, many batches — the whole point of pooling domains *)
+  let p = Pool.create ~domains:3 () in
+  let total = ref 0 in
+  let m = Mutex.create () in
+  for _ = 1 to 50 do
+    Pool.parallel_for p ~lo:0 ~hi:20 (fun i ->
+        Mutex.lock m;
+        total := !total + i;
+        Mutex.unlock m)
+  done;
+  Alcotest.(check int) "50 batches of 0+..+19" (50 * 190) !total;
+  Pool.shutdown p
+
+let test_parallel_chunks_partition () =
+  let p = Pool.create ~domains:4 () in
+  let n = 103 in
+  let hits = Array.make n 0 in
+  Pool.parallel_chunks p ~lo:0 ~hi:n (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Alcotest.(check bool) "chunks partition the range" true
+    (Array.for_all (fun c -> c = 1) hits);
+  (* fewer items than lanes: chunks must not overlap or go empty *)
+  let small = Array.make 2 0 in
+  Pool.parallel_chunks p ~lo:0 ~hi:2 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        small.(i) <- small.(i) + 1
+      done);
+  Alcotest.(check bool) "2 items over 4 lanes" true
+    (Array.for_all (fun c -> c = 1) small);
+  Pool.shutdown p
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let p = Pool.create ~domains:3 () in
+  let raised =
+    try
+      Pool.parallel_for p ~lo:0 ~hi:100 (fun i ->
+          if i = 41 then raise (Boom i));
+      false
+    with Boom 41 -> true
+  in
+  Alcotest.(check bool) "exception surfaced" true raised;
+  (* the batch drained fully and the pool still works *)
+  let count = ref 0 in
+  let m = Mutex.create () in
+  Pool.parallel_for p ~lo:0 ~hi:32 (fun _ ->
+      Mutex.lock m;
+      incr count;
+      Mutex.unlock m);
+  Alcotest.(check int) "pool usable after exception" 32 !count;
+  Pool.shutdown p
+
+let test_shutdown () =
+  let p = Pool.create ~domains:3 () in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool: used after shutdown") (fun () ->
+      Pool.parallel_for p ~lo:0 ~hi:10 (fun _ -> ()))
+
+let test_nested_runs_inline () =
+  let p = Pool.create ~domains:3 () in
+  let n = 8 in
+  let sums = Array.make n 0 in
+  Pool.parallel_for ~chunk:1 p ~lo:0 ~hi:n (fun i ->
+      (* nested batch from inside a task: must run inline, not deadlock *)
+      Pool.parallel_for p ~lo:0 ~hi:10 (fun j -> sums.(i) <- sums.(i) + j));
+  Alcotest.(check bool) "nested sums" true (Array.for_all (( = ) 45) sums);
+  Pool.shutdown p
+
+let test_chunk_validation () =
+  let p = Pool.create ~domains:2 () in
+  Alcotest.check_raises "chunk 0 rejected"
+    (Invalid_argument "Pool.parallel_for: chunk 0 < 1") (fun () ->
+      Pool.parallel_for ~chunk:0 p ~lo:0 ~hi:10 (fun _ -> ()));
+  Pool.shutdown p
+
+let test_default_lanes_env () =
+  let old = Sys.getenv_opt Pool.env_var in
+  let restore () =
+    Unix.putenv Pool.env_var (Option.value old ~default:"")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv Pool.env_var "3";
+      Alcotest.(check int) "ABFT_DOMAINS=3" 3 (Pool.default_lanes ());
+      Unix.putenv Pool.env_var "1";
+      Alcotest.(check int) "ABFT_DOMAINS=1" 1 (Pool.default_lanes ());
+      Unix.putenv Pool.env_var "0";
+      Alcotest.(check bool) "0 falls back" true (Pool.default_lanes () >= 1);
+      Unix.putenv Pool.env_var "banana";
+      Alcotest.(check bool) "garbage falls back" true
+        (Pool.default_lanes () >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism: the acceptance contract                     *)
+(* ------------------------------------------------------------------ *)
+
+let bitwise_equal x y =
+  Mat.rows x = Mat.rows y
+  && Mat.cols x = Mat.cols y
+  &&
+  let ok = ref true in
+  for j = 0 to Mat.cols x - 1 do
+    for i = 0 to Mat.rows x - 1 do
+      if
+        Int64.bits_of_float (Mat.get x i j)
+        <> Int64.bits_of_float (Mat.get y i j)
+      then ok := false
+    done
+  done;
+  !ok
+
+let test_ft_factor_pool_invariant () =
+  (* modest size: the tile kernels stay below their parallel cutoff,
+     but the driver-level fan-outs (trailing updates, checksum updates,
+     verification batches) all engage — and must be bitwise invariant. *)
+  let n = 96 in
+  let a = Spd.random_spd ~seed:42 n in
+  let cfg =
+    C.Config.make ~machine:Hetsim.Machine.testbench ~block:16
+      ~scheme:(Abft.Scheme.enhanced ()) ()
+  in
+  let p1 = Pool.create ~domains:1 () in
+  let p4 = Pool.create ~domains:4 () in
+  let r1 = C.Ft.factor ~pool:p1 cfg a in
+  let r4 = C.Ft.factor ~pool:p4 cfg a in
+  Alcotest.(check bool) "1-domain run succeeds" true
+    (r1.C.Ft.outcome = C.Ft.Success);
+  Alcotest.(check bool) "4-domain run succeeds" true
+    (r4.C.Ft.outcome = C.Ft.Success);
+  Alcotest.(check bool) "factors bitwise identical" true
+    (bitwise_equal r1.C.Ft.factor r4.C.Ft.factor);
+  (* and with faults: corrections must also be pool-size invariant *)
+  let plan =
+    [
+      Fault.computing_error ~delta:5e3 ~iteration:1 ~op:Fault.Gemm
+        ~block:(3, 1) ~element:(2, 4) ();
+    ]
+  in
+  let f1 = C.Ft.factor ~pool:p1 ~plan cfg a in
+  let f4 = C.Ft.factor ~pool:p4 ~plan cfg a in
+  Alcotest.(check bool) "faulty factors bitwise identical" true
+    (bitwise_equal f1.C.Ft.factor f4.C.Ft.factor);
+  Alcotest.(check int) "same corrections" f1.C.Ft.stats.C.Ft.corrections
+    f4.C.Ft.stats.C.Ft.corrections;
+  Pool.shutdown p1;
+  Pool.shutdown p4
+
+let test_verify_batch_matches_sequential () =
+  let n = 64 in
+  let a = Spd.random_spd ~seed:7 n in
+  let tiles = Tile.of_mat ~block:16 a in
+  let store = Abft.Checksum.encode_lower tiles in
+  let g = Tile.grid tiles in
+  let jobs = ref [] in
+  for i = g - 1 downto 0 do
+    for c = i downto 0 do
+      jobs := (Abft.Checksum.get store i c, Mat.copy (Tile.tile tiles i c)) :: !jobs
+    done
+  done;
+  let jobs = Array.of_list !jobs in
+  (* flip one element in two different tiles *)
+  let _, t0 = jobs.(0) in
+  Mat.set t0 3 5 (Mat.get t0 3 5 +. 100.);
+  let _, t2 = jobs.(2) in
+  Mat.set t2 1 1 (Mat.get t2 1 1 -. 50.);
+  let seq_jobs = Array.map (fun (c, t) -> (c, Mat.copy t)) jobs in
+  let p = Pool.create ~domains:4 () in
+  let batch = Abft.Verify.verify_batch ~pool:p jobs in
+  let seq = Array.map (fun (c, t) -> Abft.Verify.verify c t) seq_jobs in
+  Alcotest.(check int) "same length" (Array.length seq) (Array.length batch);
+  Array.iteri
+    (fun k o ->
+      let same =
+        match (o, batch.(k)) with
+        | Abft.Verify.Clean, Abft.Verify.Clean -> true
+        | Abft.Verify.Corrected a, Abft.Verify.Corrected b ->
+            List.length a = List.length b
+        | Abft.Verify.Uncorrectable _, Abft.Verify.Uncorrectable _ -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) (Printf.sprintf "outcome %d matches" k) true same;
+      Alcotest.(check bool)
+        (Printf.sprintf "tile %d patched identically" k)
+        true
+        (bitwise_equal (snd seq_jobs.(k)) (snd jobs.(k))))
+    seq;
+  Pool.shutdown p
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create/size" `Quick test_create_size;
+          Alcotest.test_case "parallel_for coverage" `Quick
+            test_parallel_for_covers;
+          Alcotest.test_case "reuse across batches" `Quick
+            test_parallel_for_reuse;
+          Alcotest.test_case "parallel_chunks partition" `Quick
+            test_parallel_chunks_partition;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+          Alcotest.test_case "nested batches inline" `Quick
+            test_nested_runs_inline;
+          Alcotest.test_case "chunk validation" `Quick test_chunk_validation;
+          Alcotest.test_case "ABFT_DOMAINS parsing" `Quick
+            test_default_lanes_env;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "ft factor pool-size invariant" `Quick
+            test_ft_factor_pool_invariant;
+          Alcotest.test_case "verify_batch = sequential verify" `Quick
+            test_verify_batch_matches_sequential;
+        ] );
+    ]
