@@ -1,0 +1,81 @@
+(* abftlint — static checker for the project invariants the ABFT layer
+   depends on. See lib/analysis for the rule implementations and
+   DESIGN.md §"The analysis layer" for the catalogue. *)
+
+let list_rules () =
+  List.iter
+    (fun (r : Analysis.Rules.t) ->
+      Printf.printf "%s  %s\n    %s\n" r.id r.title r.rationale)
+    Analysis.Rules.all
+
+let split_commas s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let run paths json rules_csv list_only quiet =
+  if list_only then begin
+    list_rules ();
+    0
+  end
+  else
+    match Analysis.Rules.select (split_commas rules_csv) with
+    | Error id ->
+        Printf.eprintf "abftlint: unknown rule %S (try --list-rules)\n" id;
+        2
+    | Ok rules ->
+        let paths = if paths = [] then [ "lib"; "bin" ] else paths in
+        let report = Analysis.Driver.run ~rules paths in
+        (match json with
+        | None -> ()
+        | Some "-" -> print_endline (Analysis.Driver.json_report report)
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc (Analysis.Driver.json_report report);
+                output_char oc '\n'));
+        if not quiet then print_string (Analysis.Driver.human_report report);
+        Analysis.Driver.exit_code report
+
+open Cmdliner
+
+let paths_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"PATH"
+         ~doc:"Files or directories to lint (default: lib bin).")
+
+let json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Also write a machine-readable JSON report to $(docv) ('-' for \
+               stdout).")
+
+let rules_arg =
+  Arg.(value & opt string "" & info [ "rules" ] ~docv:"IDS"
+         ~doc:"Comma-separated rule ids to run (default: all).")
+
+let list_arg =
+  Arg.(value & flag & info [ "list-rules" ]
+         ~doc:"Print the rule catalogue and exit.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ]
+         ~doc:"Suppress the human-readable report.")
+
+let cmd =
+  let doc =
+    "static analysis for the ABFT project invariants (R1 parallel-write \
+     discipline, R2 verify-before-read, R3 banned constructs)"
+  in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"no blocking findings (waived-only is clean)";
+      Cmd.Exit.info 1 ~doc:"blocking findings reported";
+      Cmd.Exit.info 2 ~doc:"usage, file or parse errors";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "abftlint" ~doc ~exits ~version:Analysis.Driver.version)
+    Term.(const run $ paths_arg $ json_arg $ rules_arg $ list_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,155 @@
+open Ppxlib
+
+let rec path_parts (li : Longident.t) =
+  match li with
+  | Lident s -> [ s ]
+  | Ldot (p, s) -> path_parts p @ [ s ]
+  | Lapply (_, _) -> []
+
+let path_last li =
+  match List.rev (path_parts li) with [] -> "" | last :: _ -> last
+
+let path_string li = String.concat "." (path_parts li)
+
+let ident_path (e : expression) =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some txt | _ -> None
+
+(* The variable at the root of an access path. [x.(i).(j)] parses as
+   [Array.get (Array.get x i) j], so for a get-like application we
+   recurse into the first positional argument. [!x] is [( ! ) x]. *)
+let rec head_ident (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident s; _ } -> Some s
+  | Pexp_ident { txt; _ } -> Some (path_last txt)
+  | Pexp_field (e, _) -> head_ident e
+  | Pexp_apply (f, args) -> (
+      let name = match ident_path f with Some p -> path_last p | None -> "" in
+      match name with
+      | "get" | "unsafe_get" | "!" -> (
+          match
+            List.find_opt (fun (lbl, _) -> lbl = Nolabel) args
+          with
+          | Some (_, a) -> head_ident a
+          | None -> None)
+      | _ -> None)
+  | _ -> None
+
+let waiver_attr name (attrs : attributes) =
+  let payload_string (p : payload) =
+    match p with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ( {
+                    pexp_desc = Pexp_constant (Pconst_string (s, _, _));
+                    _;
+                  },
+                  _ );
+            _;
+          };
+        ] ->
+        Some s
+    | _ -> None
+  in
+  match List.find_opt (fun (a : attribute) -> a.attr_name.txt = name) attrs with
+  | None -> None
+  | Some a -> Some (payload_string a.attr_payload)
+
+let float_lit (e : expression) =
+  let rec strip (e : expression) =
+    match e.pexp_desc with
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Lident ("~-." | "~-"); _ }; _ },
+          [ (Nolabel, a) ] ) ->
+        strip a
+    | _ -> e
+  in
+  match (strip e).pexp_desc with
+  | Pexp_constant (Pconst_float (s, _)) -> Some s
+  | _ -> None
+
+let mentions_any pred (e : expression) =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt = Lident s; _ } when pred s -> found := true
+        | _ -> ());
+        if not !found then super#expression e
+    end
+  in
+  it#expression e;
+  !found
+
+let pattern_names (p : pattern) =
+  let acc = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! pattern p =
+        (match p.ppat_desc with
+        | Ppat_var v -> acc := v.txt :: !acc
+        | Ppat_alias (_, v) -> acc := v.txt :: !acc
+        | _ -> ());
+        super#pattern p
+    end
+  in
+  it#pattern p;
+  !acc
+
+let add_bound_names tbl (e : expression) =
+  let add s = Hashtbl.replace tbl s () in
+  let add_pat p = List.iter add (pattern_names p) in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_function (params, _, _) ->
+            List.iter
+              (fun (p : function_param) ->
+                match p.pparam_desc with
+                | Pparam_val (_, _, pat) -> add_pat pat
+                | Pparam_newtype _ -> ())
+              params
+        | Pexp_let (_, vbs, _) -> List.iter (fun vb -> add_pat vb.pvb_pat) vbs
+        | Pexp_for (pat, _, _, _, _) -> add_pat pat
+        | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+            List.iter (fun c -> add_pat c.pc_lhs) cases
+        | _ -> ());
+        super#expression e
+
+      method! case c =
+        add_pat c.pc_lhs;
+        super#case c
+    end
+  in
+  it#expression e
+
+let bound_names e =
+  let tbl = Hashtbl.create 16 in
+  add_bound_names tbl e;
+  tbl
+
+let param_names (e : expression) =
+  match e.pexp_desc with
+  | Pexp_function (params, _, _) ->
+      List.concat_map
+        (fun (p : function_param) ->
+          match p.pparam_desc with
+          | Pparam_val (_, _, pat) -> pattern_names pat
+          | Pparam_newtype _ -> [])
+        params
+  | _ -> []
+
+let fun_body (e : expression) =
+  match e.pexp_desc with
+  | Pexp_function (_, _, Pfunction_body b) -> b
+  | _ -> e

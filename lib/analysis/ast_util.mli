@@ -1,0 +1,52 @@
+(** Small parsetree helpers shared by the rule implementations. *)
+
+open Ppxlib
+
+val path_parts : Longident.t -> string list
+(** [path_parts (Ldot (Lident "Pool", "parallel_for"))] is
+    [["Pool"; "parallel_for"]]. [Lapply] contributes nothing. *)
+
+val path_last : Longident.t -> string
+(** Last component of the path (["parallel_for"] above); [""] for a
+    pure [Lapply]. *)
+
+val path_string : Longident.t -> string
+(** Dotted rendering of the path. *)
+
+val ident_path : expression -> Longident.t option
+(** The identifier an expression denotes, if it is a bare identifier. *)
+
+val head_ident : expression -> string option
+(** The root variable an access path hangs off: [x] for [x], [x.f],
+    [x.(i)], [x.(i).(j)], [!x] — used to decide whether a write target
+    is closure-local. *)
+
+val waiver_attr : string -> attributes -> string option option
+(** [waiver_attr name attrs] is [None] when no [@name] attribute is
+    present, [Some reason] when it is ([reason] is the optional string
+    payload, as in [[@abft.waive "why"]]). *)
+
+val float_lit : expression -> string option
+(** The textual value of a float constant ([Some "0."] for [0.]),
+    looking through a unary minus. *)
+
+val mentions_any : (string -> bool) -> expression -> bool
+(** Does the expression reference an identifier satisfying the
+    predicate anywhere inside? *)
+
+val bound_names : expression -> (string, unit) Hashtbl.t
+(** Every name bound anywhere within the expression: function
+    parameters, [let] patterns, [for] indices, [match]/[function] case
+    patterns. An over-approximation of "locally bound" that ignores
+    scoping order — used for the R1 disjoint-write allowlist, where
+    over-approximating keeps false positives down. *)
+
+val add_bound_names : (string, unit) Hashtbl.t -> expression -> unit
+(** [bound_names], accumulating into an existing table. *)
+
+val param_names : expression -> string list
+(** The parameter names of a (possibly curried) [fun] chain. *)
+
+val fun_body : expression -> expression
+(** The body after stripping the leading [fun] chain (the expression
+    itself if it is not a function). *)

@@ -1,0 +1,125 @@
+type report = {
+  findings : Finding.t list;
+  errors : (string * string) list;
+  files_checked : int;
+}
+
+let version = "1.0"
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  Ppxlib.Parse.implementation lexbuf
+
+let run_rules rules ~file str =
+  List.concat_map (fun (r : Rules.t) -> r.Rules.check ~file str) rules
+
+let lint_string ?(rules = Rules.all) ~file source =
+  run_rules rules ~file (parse ~file source)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?(rules = Rules.all) path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | source -> (
+      match parse ~file:path source with
+      | str -> Ok (run_rules rules ~file:path str)
+      | exception exn -> (
+          match Ppxlib.Location.Error.of_exn exn with
+          | Some err -> Error (Ppxlib.Location.Error.message err)
+          | None -> Error (Printexc.to_string exn)))
+
+(* Directories that never hold project sources. *)
+let skip_dir name =
+  String.length name > 0
+  && (name.[0] = '_' || name.[0] = '.')
+
+let collect_ml_files paths =
+  let files = ref [] in
+  let errors = ref [] in
+  let rec walk ~explicit path =
+    if not (Sys.file_exists path) then
+      errors := (path, "no such file or directory") :: !errors
+    else if Sys.is_directory path then
+      match Sys.readdir path with
+      | entries ->
+          Array.sort String.compare entries;
+          Array.iter
+            (fun entry ->
+              if not (skip_dir entry) then
+                walk ~explicit:false (Filename.concat path entry))
+            entries
+      | exception Sys_error e -> errors := (path, e) :: !errors
+    else if explicit || Filename.check_suffix path ".ml" then
+      files := path :: !files
+  in
+  List.iter (walk ~explicit:true) paths;
+  (List.rev !files, List.rev !errors)
+
+let run ?(rules = Rules.all) paths =
+  let files, path_errors = collect_ml_files paths in
+  let findings = ref [] in
+  let errors = ref (List.rev path_errors) in
+  List.iter
+    (fun file ->
+      match lint_file ~rules file with
+      | Ok fs -> findings := List.rev_append fs !findings
+      | Error e -> errors := (file, e) :: !errors)
+    files;
+  {
+    findings = List.sort Finding.order !findings;
+    errors = List.rev !errors;
+    files_checked = List.length files;
+  }
+
+let blocking r = List.filter Finding.is_blocking r.findings
+
+let human_report r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (file, msg) ->
+      Buffer.add_string buf (Printf.sprintf "%s: error: %s\n" file msg))
+    r.errors;
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Finding.to_human f);
+      Buffer.add_char buf '\n')
+    r.findings;
+  let nblock = List.length (blocking r) in
+  let nwaived = List.length r.findings - nblock in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "abftlint: %d file%s checked, %d blocking finding%s, %d waived, %d \
+        error%s\n"
+       r.files_checked
+       (if r.files_checked = 1 then "" else "s")
+       nblock
+       (if nblock = 1 then "" else "s")
+       nwaived (List.length r.errors)
+       (if List.length r.errors = 1 then "" else "s"));
+  Buffer.contents buf
+
+let json_report r =
+  (* Reuse the finding serializer; errors ride along so CI archives one
+     self-contained artifact. *)
+  let body = Finding.report_json ~tool_version:version r.findings in
+  let errors =
+    String.concat ","
+      (List.map
+         (fun (file, msg) ->
+           Printf.sprintf "{\"file\":\"%s\",\"message\":\"%s\"}"
+             (Finding.json_escape file) (Finding.json_escape msg))
+         r.errors)
+  in
+  (* body ends with "]}"; splice the extra fields before the close. *)
+  String.sub body 0 (String.length body - 1)
+  ^ Printf.sprintf ",\"files_checked\":%d,\"errors\":[%s]}" r.files_checked
+      errors
+
+let exit_code r =
+  if r.errors <> [] then 2 else if blocking r <> [] then 1 else 0

@@ -1,0 +1,32 @@
+(** File discovery, parsing and rule execution for `abftlint`. *)
+
+type report = {
+  findings : Finding.t list;  (** sorted by file/line/col/rule *)
+  errors : (string * string) list;  (** file, message — unreadable/unparsable *)
+  files_checked : int;
+}
+
+val version : string
+
+val lint_string :
+  ?rules:Rules.t list -> file:string -> string -> Finding.t list
+(** Lint source text directly (the unit tests' entry point).
+    @raise Failure on a syntax error. *)
+
+val lint_file : ?rules:Rules.t list -> string -> (Finding.t list, string) result
+
+val collect_ml_files : string list -> string list * (string * string) list
+(** Expand paths: a file is taken as-is, a directory is walked
+    recursively for [.ml] files, skipping [_build]-style and hidden
+    directories. Returns (files, errors-for-missing-paths). *)
+
+val run : ?rules:Rules.t list -> string list -> report
+(** Lint all [.ml] files reachable from the given paths. *)
+
+val human_report : report -> string
+
+val json_report : report -> string
+
+val exit_code : report -> int
+(** 0 clean (waived-only findings are clean), 1 blocking findings,
+    2 file/parse errors. *)

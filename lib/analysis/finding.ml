@@ -1,0 +1,91 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  waived : bool;
+  waiver_reason : string option;
+}
+
+let make ~rule ~(loc : Ppxlib.Location.t) ?(waived = false) ?waiver_reason
+    message =
+  let p = loc.loc_start in
+  {
+    rule;
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    message;
+    waived;
+    waiver_reason;
+  }
+
+let order a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let is_blocking t = not t.waived
+
+let to_human t =
+  let waiver =
+    if not t.waived then ""
+    else
+      match t.waiver_reason with
+      | Some r -> Printf.sprintf " (waived: %s)" r
+      | None -> " (waived)"
+  in
+  Printf.sprintf "%s:%d:%d: [%s] %s%s" t.file t.line t.col t.rule t.message
+    waiver
+
+(* Minimal JSON string escaping: the messages we emit are ASCII, but
+   file paths and waiver reasons are arbitrary. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let reason =
+    match t.waiver_reason with
+    | Some r -> Printf.sprintf ",\"waiver_reason\":\"%s\"" (json_escape r)
+    | None -> ""
+  in
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\",\"waived\":%b%s}"
+    (json_escape t.rule) (json_escape t.file) t.line t.col
+    (json_escape t.message) t.waived reason
+
+let report_json ~tool_version findings =
+  let blocking = List.filter is_blocking findings in
+  let waived = List.length findings - List.length blocking in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"tool\":\"abftlint\",\"version\":\"%s\",\"blocking\":%d,\"waived\":%d,\"findings\":["
+       (json_escape tool_version)
+       (List.length blocking) waived);
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (to_json f))
+    findings;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

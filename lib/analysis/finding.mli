@@ -1,0 +1,39 @@
+(** A single linter finding: one rule violation (or waived violation)
+    anchored to a source location. *)
+
+type t = {
+  rule : string;  (** rule id, e.g. ["R1"] *)
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports *)
+  message : string;
+  waived : bool;  (** carried an [@abft.*] waiver attribute *)
+  waiver_reason : string option;  (** payload of the waiver, if any *)
+}
+
+val make :
+  rule:string ->
+  loc:Ppxlib.Location.t ->
+  ?waived:bool ->
+  ?waiver_reason:string ->
+  string ->
+  t
+(** [make ~rule ~loc msg] anchors [msg] at the start of [loc]. *)
+
+val order : t -> t -> int
+(** Sort key: file, line, column, rule. *)
+
+val is_blocking : t -> bool
+(** A finding blocks (non-zero exit) unless it is waived. *)
+
+val to_human : t -> string
+(** One [file:line:col: [rule] message] line (plus waiver note). *)
+
+val to_json : t -> string
+(** The finding as one JSON object (no trailing newline). *)
+
+val report_json : tool_version:string -> t list -> string
+(** Machine-readable report: counts plus the full finding list. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)

@@ -1,0 +1,207 @@
+(* R1 — no mutation of captured state inside parallel closures.
+
+   Work items fanned out by [Pool.parallel_for] / [parallel_chunks] /
+   [run_tasks] (and the drivers' [par_for] wrapper) execute
+   concurrently. A closure passed to one of these sinks must not write
+   state it captured from the enclosing scope — [r := ...], [incr],
+   [x.field <- ...], [a.(i) <- ...], [Mat.set m i j v] — because two
+   items racing on the same cell is exactly the silent-corruption
+   failure mode ABFT exists to catch, this time planted in the
+   fault-tolerance layer itself.
+
+   Allowlisted disjoint-write idiom: a write is permitted when its
+   target is bound inside the work item, or when the write is indexed
+   by a name bound inside the work item (typically the item index:
+   [out.(k) <- ...] with [k] the closure parameter). Each item then
+   owns its slice, so the fan-out is race-free — and the dynamic
+   tile-race detector ([ABFT_RACECHECK=1]) cross-checks the claim at
+   run time for block writes routed through kernels.
+
+   Waive a deliberate exception with [[@abft.waive "reason"]] on the
+   write (or on the whole closure). *)
+
+open Ppxlib
+
+let rule_id = "R1"
+
+let sink_names = [ "parallel_for"; "parallel_chunks"; "run_tasks"; "par_for" ]
+
+(* Mutating calls by last path component: target is the first
+   positional argument unless a ~dst label is present (blit). *)
+let mutator_names =
+  [ "set"; "unsafe_set"; "set_col"; "set_row"; "set_slice"; "blit"; "fill" ]
+
+let is_sink (f : expression) =
+  match Ast_util.ident_path f with
+  | Some p -> List.mem (Ast_util.path_last p) sink_names
+  | None -> false
+
+let check ~file:_ (str : structure) =
+  let findings = ref [] in
+  let waived_or_add ~loc ~attrs ~closure_attrs msg =
+    let waiver =
+      match Ast_util.waiver_attr "abft.waive" attrs with
+      | Some r -> Some r
+      | None -> Ast_util.waiver_attr "abft.waive" closure_attrs
+    in
+    let f =
+      match waiver with
+      | None -> Finding.make ~rule:rule_id ~loc msg
+      | Some reason ->
+          Finding.make ~rule:rule_id ~loc ~waived:true ?waiver_reason:reason
+            msg
+    in
+    findings := f :: !findings
+  in
+  (* Local [let f x = ...] lambdas seen so far, so a sink argument that
+     is a plain identifier ([Pool.parallel_for pool ... run_one]) can be
+     resolved to its body. Scoping is approximated: last binding of a
+     name wins, which is exact for the straight-line code this rule
+     targets. *)
+  let local_funs : (string, expression) Hashtbl.t = Hashtbl.create 16 in
+  let record_local_funs (vbs : value_binding list) =
+    List.iter
+      (fun vb ->
+        match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+        | Ppat_var v, Pexp_function (_, _, _) ->
+            Hashtbl.replace local_funs v.txt vb.pvb_expr
+        | _ -> ())
+      vbs
+  in
+  (* Check the body of one work-item closure. [local] accumulates every
+     name bound within the item (params, lets, loop indices): writes
+     rooted at — or indexed by — such a name are the allowlisted
+     disjoint idiom. *)
+  let check_closure (closure : expression) =
+    let local = Hashtbl.create 16 in
+    List.iter (fun n -> Hashtbl.replace local n ()) (Ast_util.param_names closure);
+    Ast_util.add_bound_names local (Ast_util.fun_body closure);
+    let is_local n = Hashtbl.mem local n in
+    let target_allowed target indices =
+      (match Ast_util.head_ident target with
+      | Some n -> is_local n
+      | None -> false)
+      || List.exists (Ast_util.mentions_any is_local) indices
+    in
+    let describe target =
+      match Ast_util.head_ident target with
+      | Some n -> Printf.sprintf "captured `%s`" n
+      | None -> "a captured value"
+    in
+    let body_it =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+          | Pexp_setfield (target, field, _) ->
+              if not (target_allowed target []) then
+                waived_or_add ~loc:e.pexp_loc ~attrs:e.pexp_attributes
+                  ~closure_attrs:closure.pexp_attributes
+                  (Printf.sprintf
+                     "mutable field write `%s.%s <- ...` on %s inside a \
+                      parallel work item; write only item-owned state or \
+                      index by the item binding"
+                     (Option.value (Ast_util.head_ident target) ~default:"_")
+                     (Ast_util.path_last field.txt)
+                     (describe target))
+          | Pexp_apply (f, args) -> (
+              match Ast_util.ident_path f with
+              | None -> ()
+              | Some p -> (
+                  let name = Ast_util.path_last p in
+                  let positional =
+                    List.filter_map
+                      (fun (lbl, a) -> if lbl = Nolabel then Some a else None)
+                      args
+                  in
+                  match (name, positional) with
+                  | ":=", target :: _ ->
+                      if not (target_allowed target []) then
+                        waived_or_add ~loc:e.pexp_loc ~attrs:e.pexp_attributes
+                          ~closure_attrs:closure.pexp_attributes
+                          (Printf.sprintf
+                             "`:=` on %s inside a parallel work item races \
+                              across items; accumulate into item-owned slots \
+                              and fold after the batch"
+                             (describe target))
+                  | ("incr" | "decr"), target :: _ ->
+                      if not (target_allowed target []) then
+                        waived_or_add ~loc:e.pexp_loc ~attrs:e.pexp_attributes
+                          ~closure_attrs:closure.pexp_attributes
+                          (Printf.sprintf "`%s` on %s inside a parallel work \
+                                           item races across items"
+                             name (describe target))
+                  | mname, _ when List.mem mname mutator_names ->
+                      let target_and_indices =
+                        match
+                          List.find_opt (fun (lbl, _) -> lbl = Labelled "dst") args
+                        with
+                        | Some (_, dst) -> Some (dst, List.map snd args)
+                        | None -> (
+                            match positional with
+                            | t :: idx -> Some (t, idx)
+                            | [] -> None)
+                      in
+                      (match target_and_indices with
+                      | None -> ()
+                      | Some (target, indices) ->
+                      if not (target_allowed target indices) then
+                        waived_or_add ~loc:e.pexp_loc ~attrs:e.pexp_attributes
+                          ~closure_attrs:closure.pexp_attributes
+                          (Printf.sprintf
+                             "`%s` writes %s inside a parallel work item \
+                              without indexing by an item-local binding; \
+                              items must write disjoint slices"
+                             (Ast_util.path_string p) (describe target)))
+                  | _ -> ()))
+          | _ -> ());
+          super#expression e
+      end
+    in
+    body_it#expression (Ast_util.fun_body closure)
+  in
+  (* Arguments of a sink application that denote work-item closures. *)
+  let closures_of_sink (args : (arg_label * expression) list) =
+    List.filter_map
+      (fun ((_, a) : arg_label * expression) ->
+        match a.pexp_desc with
+        | Pexp_function (_, _, _) -> Some a
+        | Pexp_ident { txt = Lident n; _ } -> Hashtbl.find_opt local_funs n
+        | _ -> None)
+      args
+  in
+  let it =
+    object (self)
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        match e.pexp_desc with
+        | Pexp_let (_, vbs, body) ->
+            record_local_funs vbs;
+            List.iter (fun vb -> self#expression vb.pvb_expr) vbs;
+            self#expression body
+        | Pexp_apply (f, args) when is_sink f ->
+            (* Analyze the work-item closures with the full write
+               discipline; nested sinks inside them run inline on the
+               same item and are covered by the same closure scan, so
+               don't re-enter them here. *)
+            List.iter check_closure (closures_of_sink args);
+            self#expression f;
+            List.iter
+              (fun (_, a) ->
+                match a.pexp_desc with
+                | Pexp_function (_, _, _) -> ()
+                | _ -> self#expression a)
+              args
+        | _ -> super#expression e
+
+      method! structure_item item =
+        (match item.pstr_desc with
+        | Pstr_value (_, vbs) -> record_local_funs vbs
+        | _ -> ());
+        super#structure_item item
+    end
+  in
+  it#structure str;
+  List.rev !findings

@@ -1,0 +1,106 @@
+(* R3 — banned constructs.
+
+   The fault-tolerance layer's own correctness depends on a handful of
+   language-level disciplines:
+
+   - no catch-all [try ... with _ ->] (or a bare variable pattern): a
+     wildcard handler can swallow a [Verify] failure or the drivers'
+     [Recovery] control exception and turn a detected error into silent
+     corruption;
+   - no polymorphic [=]/[==]/[!=] against float literals and no bare
+     [compare]: polymorphic equality on floats is NaN-hostile and on
+     matrix/record types compares representation, not value — use
+     [Float.equal]/[Float.compare] (exception: [<>] against the [0.]
+     and [1.] literals, the BLAS sparsity/identity fast-path idiom,
+     which only skips work and never gates a correctness decision);
+   - no [Obj.magic];
+   - no [List.hd]/[List.nth] in library code: partial, and O(n) access
+     hides quadratic sweeps in hot paths.
+
+   Waive a deliberate use by attaching [[@abft.waive "reason"]] to the
+   offending expression. *)
+
+open Ppxlib
+
+let rule_id = "R3"
+
+let fast_path_floats = [ "0."; "0.0"; "1."; "1.0" ]
+
+let banned_idents =
+  [
+    ("Obj.magic", "Obj.magic defeats the type system; model the data instead");
+    ("List.hd", "List.hd is partial; match on the list or use arrays");
+    ("List.nth", "List.nth is partial and O(n); use an array");
+    ( "compare",
+      "bare polymorphic compare; use Float.compare / Int.compare / \
+       String.compare" );
+    ( "Stdlib.compare",
+      "polymorphic compare; use Float.compare / Int.compare / String.compare"
+    );
+  ]
+
+let check ~file:_ (str : structure) =
+  let findings = ref [] in
+  let add ~loc ?waived ?waiver_reason msg =
+    findings :=
+      Finding.make ~rule:rule_id ~loc ?waived ?waiver_reason msg :: !findings
+  in
+  let waiver attrs = Ast_util.waiver_attr "abft.waive" attrs in
+  let flag ~loc ~attrs msg =
+    match waiver attrs with
+    | None -> add ~loc msg
+    | Some reason -> add ~loc ~waived:true ?waiver_reason:reason msg
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_try (_, cases) ->
+            List.iter
+              (fun c ->
+                let catch_all =
+                  match c.pc_lhs.ppat_desc with
+                  | Ppat_any | Ppat_var _ -> c.pc_guard = None
+                  | _ -> false
+                in
+                if catch_all then
+                  flag ~loc:c.pc_lhs.ppat_loc ~attrs:e.pexp_attributes
+                    "catch-all exception handler can swallow Verify/Recovery \
+                     failures; match the specific exceptions")
+              cases
+        | Pexp_ident { txt; loc } ->
+            let path = Ast_util.path_string txt in
+            List.iter
+              (fun (banned, why) ->
+                if path = banned then
+                  flag ~loc ~attrs:e.pexp_attributes
+                    (Printf.sprintf "banned construct %s: %s" banned why))
+              banned_idents
+        | Pexp_apply
+            ( { pexp_desc = Pexp_ident { txt = Lident op; _ }; _ },
+              [ (_, a); (_, b) ] )
+          when op = "=" || op = "==" || op = "!=" || op = "<>" -> (
+            let lit =
+              match Ast_util.float_lit a with
+              | Some l -> Some l
+              | None -> Ast_util.float_lit b
+            in
+            match lit with
+            | Some l when op = "<>" && List.mem l fast_path_floats ->
+                (* sparsity/identity fast path: allowed idiom *)
+                ()
+            | Some l ->
+                flag ~loc:e.pexp_loc ~attrs:e.pexp_attributes
+                  (Printf.sprintf
+                     "polymorphic %s against float literal %s; use \
+                      Float.equal or an explicit <,<=,>,>= comparison"
+                     op l)
+            | None -> ())
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#structure str;
+  List.rev !findings

@@ -1,0 +1,56 @@
+type t = {
+  id : string;
+  title : string;
+  rationale : string;
+  check : file:string -> Ppxlib.Parsetree.structure -> Finding.t list;
+}
+
+let all =
+  [
+    {
+      id = "R1";
+      title = "no mutation of captured state in parallel closures";
+      rationale =
+        "closures passed to Pool.parallel_for/parallel_chunks/run_tasks (and \
+         the drivers' par_for) run concurrently; writes to captured state \
+         race unless each item writes a slice indexed by an item-local \
+         binding (the disjoint-write idiom). Waive with [@abft.waive].";
+      check = R1_parallel_writes.check;
+    };
+    {
+      id = "R2";
+      title = "verify-before-read in the FT drivers";
+      rationale =
+        "every Blas3.gemm/syrk/trsm call in lib/cholesky/ft.ml and \
+         lib/qr/ft_qr.ml must be preceded, in the same top-level function, \
+         by a verification call — the Enhanced Online-ABFT invariant. Waive \
+         a deliberately unverified read with [@abft.unverified \"reason\"].";
+      check = R2_verify_before_read.check;
+    };
+    {
+      id = "R3";
+      title = "banned constructs";
+      rationale =
+        "catch-all exception handlers, Obj.magic, List.hd/List.nth, \
+         polymorphic =/compare on float literals: each has silently broken \
+         an ABFT implementation before. Waive with [@abft.waive \"reason\"].";
+      check = R3_banned.check;
+    };
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun r -> r.id = id) all
+
+let select ids =
+  match ids with
+  | [] -> Ok all
+  | ids ->
+      let rec resolve acc = function
+        | [] -> Ok (List.rev acc)
+        | id :: rest -> (
+            match find id with
+            | Some r -> resolve (r :: acc) rest
+            | None -> Error id)
+      in
+      resolve [] ids

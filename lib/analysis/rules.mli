@@ -1,0 +1,18 @@
+(** The rule registry: every project invariant `abftlint` enforces. *)
+
+type t = {
+  id : string;  (** "R1", "R2", "R3" *)
+  title : string;
+  rationale : string;
+  check : file:string -> Ppxlib.Parsetree.structure -> Finding.t list;
+}
+
+val all : t list
+(** Every registered rule, in id order. *)
+
+val find : string -> t option
+(** Look a rule up by (case-insensitive) id. *)
+
+val select : string list -> (t list, string) result
+(** Resolve a list of ids ([[]] means all); [Error] names the first
+    unknown id. *)

@@ -16,7 +16,7 @@ let young_daly_interval ~checkpoint_cost_s ~error_rate =
     invalid_arg "Checkpoint.young_daly_interval: non-positive cost";
   if error_rate < 0. then
     invalid_arg "Checkpoint.young_daly_interval: negative rate";
-  if error_rate = 0. then infinity
+  if Float.equal error_rate 0. then infinity
   else sqrt (2. *. checkpoint_cost_s /. error_rate)
 
 let plain_work (machine : Hetsim.Machine.t) ~n =

@@ -61,6 +61,23 @@ let lookup st (i, c) =
     Some (Tile.tile st.tiles i c)
   else None
 
+(* ABFT_RACECHECK instrumentation: claim the element rectangle of tile
+   (i, c) — or its checksum block — before a parallel work item writes
+   it. The fan-outs below are row-block disjoint by construction; the
+   claims let the pool prove it on every run instead of trusting the
+   comment. Free when racecheck is off. *)
+let declare_tile st i c =
+  if Pool.racecheck_enabled st.pool then begin
+    let b = Config.block_size st.cfg in
+    Pool.declare_write st.pool ~tag:"tile"
+      ~rows:(i * b, ((i + 1) * b) - 1)
+      ~cols:(c * b, ((c + 1) * b) - 1)
+  end
+
+let declare_chk st i c =
+  if Pool.racecheck_enabled st.pool then
+    Pool.declare_write st.pool ~tag:"chk" ~rows:(i, i) ~cols:(c, c)
+
 (* Verify the listed tiles, correcting in place; raise Recovery on the
    first uncorrectable tile. The independent per-tile verifications fan
    out across the pool (the paper's Optimization 1 on real cores);
@@ -146,6 +163,7 @@ let run_attempt st =
         verify_blocks st ~j ~point:Trace_op.Pre_gemm (Sets.pre_gemm ~grid:g ~j);
       (* each row block i updates only tile (i, j): independent *)
       par_for st ~lo:(j + 1) ~hi:g (fun i ->
+          declare_tile st i j;
           let b = tile i j in
           for c = 0 to j - 1 do
             Blas3.gemm ~pool:st.pool ~transb:Types.Trans ~alpha:(-1.) ~beta:1.
@@ -159,6 +177,7 @@ let run_attempt st =
       if with_ft then begin
         (* row block i touches only checksum (i, j): independent *)
         par_for st ~lo:(j + 1) ~hi:g (fun i ->
+            declare_chk st i j;
             for c = 0 to j - 1 do
               Abft.Update.gemm ~chk_b:(chk i j) ~chk_ld:(chk i c)
                 ~lc:(tile j c)
@@ -192,6 +211,7 @@ let run_attempt st =
       let la = tile j j in
       (* independent panel solves against the shared factored diagonal *)
       par_for st ~lo:(j + 1) ~hi:g (fun i ->
+          declare_tile st i j;
           Blas3.trsm ~pool:st.pool Types.Right Types.Lower Types.Trans
             Types.Non_unit_diag la (tile i j));
       emit st (Trace_op.Trsm j);
@@ -201,6 +221,7 @@ let run_attempt st =
       done;
       if with_ft then begin
         par_for st ~lo:(j + 1) ~hi:g (fun i ->
+            declare_chk st i j;
             Abft.Update.trsm ~chk:(chk i j) ~la);
         emit st (Trace_op.Chk_trsm j)
       end;
@@ -277,7 +298,12 @@ let final_verification st ~sweep =
 let lower_of_tiles tiles = Mat.tril (Tile.to_mat tiles)
 
 let residual_of ~input l =
-  let recon = Blas3.gemm_alloc ~transb:Types.Trans l l in
+  let recon =
+    (Blas3.gemm_alloc ~transb:Types.Trans l l
+    [@abft.unverified
+      "residual check on the finished factor: it runs after the scheme's own \
+       verification and exists to second-guess it, so it must read L as-is"])
+  in
   Mat.norm_fro (Mat.sub_mat recon input) /. Float.max 1. (Mat.norm_fro input)
 
 let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =

@@ -71,7 +71,8 @@ let random_plan ?(covered_only = false) ~seed ~grid ~block ~count
         storage ()
     | candidates ->
         let op =
-          List.nth candidates (Random.State.int st (List.length candidates))
+          let candidates = Array.of_list candidates in
+          candidates.(Random.State.int st (Array.length candidates))
         in
         let blk =
           match op with

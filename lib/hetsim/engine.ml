@@ -148,7 +148,7 @@ let phases t =
       Hashtbl.replace tbl r.phase (prev +. (r.finish -. r.start)))
     t.ops;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
 
 let op_count t = t.count
 let records t = List.rev t.ops

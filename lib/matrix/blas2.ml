@@ -87,7 +87,7 @@ let trsv uplo trans diag a x =
     | Unit_diag -> rhs
     | Non_unit_diag ->
         let d = coef i i in
-        if d = 0. then failwith "trsv: zero pivot";
+        if Float.equal d 0. then failwith "trsv: zero pivot";
         rhs /. d
   in
   if lower then

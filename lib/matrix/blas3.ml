@@ -350,7 +350,7 @@ let trsm_right_blocked ~diag a b =
       | Unit_diag -> ()
       | Non_unit_diag ->
           let d = coef j j in
-          if d = 0. then failwith "trsm: zero pivot";
+          if Float.equal d 0. then failwith "trsm: zero pivot";
           for i = r0 to r1 - 1 do
             Array.unsafe_set bd (cof + i) (Array.unsafe_get bd (cof + i) /. d)
           done

@@ -48,7 +48,7 @@ let read_string text =
       | size_line :: entries -> (
           let ints =
             try List.map int_of_string (floats_of_line size_line)
-            with _ -> fail "MatrixMarket: bad size line %S" size_line
+            with Failure _ -> fail "MatrixMarket: bad size line %S" size_line
           in
           match (fmt, ints) with
           | Array, [ rows; cols ] ->
@@ -65,7 +65,7 @@ let read_string text =
                 List.concat_map floats_of_line entries
                 |> List.map (fun s ->
                        try float_of_string s
-                       with _ -> fail "MatrixMarket: bad value %S" s)
+                       with Failure _ -> fail "MatrixMarket: bad value %S" s)
               in
               if List.length values <> expected then
                 fail "MatrixMarket: expected %d values, found %d" expected

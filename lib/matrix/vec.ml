@@ -44,7 +44,7 @@ let nrm2 x =
       let a = abs_float (Array.unsafe_get x i) in
       if a > !amax then amax := a
     done;
-    if !amax = 0. then 0.
+    if Float.equal !amax 0. then 0.
     else begin
       let scale = !amax in
       let acc = ref 0. in

@@ -22,6 +22,11 @@ type job = {
   mutable err : exn option;  (* first exception raised by a task *)
 }
 
+(* One declared write rectangle (inclusive element ranges) from the
+   opt-in tile-race detector; [tag] names the logical array so claims
+   on different matrices never clash. *)
+type claim = { tag : string; rows : int * int; cols : int * int }
+
 type t = {
   lanes : int;  (* worker domains + the submitting caller *)
   mutable workers : unit Domain.t array;
@@ -31,11 +36,83 @@ type t = {
   mutable job : job option;  (* the single in-flight job *)
   mutable gen : int;  (* bumped per job so sleeping workers wake once *)
   mutable stopped : bool;
+  racecheck : bool;  (* ABFT_RACECHECK instrumentation on for this pool *)
+  claims_m : Mutex.t;  (* guards [claims]; never held with [m] *)
+  claims : (int, claim list) Hashtbl.t;  (* in-flight task id -> claims *)
 }
+
+exception Race of string
 
 (* True while the current domain is executing pool tasks: nested
    parallel_* calls from inside a task run inline. *)
 let draining : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* The (pool, task index) the current domain is executing, for claim
+   attribution under ABFT_RACECHECK. Nested inline batches keep the
+   outer token: their writes belong to the outer work item. *)
+let current_task : (t * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let ranges_overlap (a0, a1) (b0, b1) = a0 <= b1 && b0 <= a1
+
+let pp_claim c =
+  let r0, r1 = c.rows and c0, c1 = c.cols in
+  Printf.sprintf "%s[%d..%d, %d..%d]" c.tag r0 r1 c0 c1
+
+(* Register a write rectangle for the current work item and assert it
+   is disjoint from every rectangle declared by the other in-flight
+   items of [t]. Free (one boolean test) when racecheck is off. *)
+let declare_write t ~tag ~rows ~cols =
+  if t.racecheck then begin
+    match Domain.DLS.get current_task with
+    | Some (owner, id) when owner == t ->
+        let mine = { tag; rows; cols } in
+        Mutex.lock t.claims_m;
+        let clash = ref None in
+        Hashtbl.iter
+          (fun id' cs ->
+            if id' <> id && !clash = None then
+              match
+                List.find_opt
+                  (fun c ->
+                    c.tag = tag
+                    && ranges_overlap c.rows rows
+                    && ranges_overlap c.cols cols)
+                  cs
+              with
+              | Some c -> clash := Some (id', c)
+              | None -> ())
+          t.claims;
+        (match !clash with
+        | None ->
+            let prev =
+              match Hashtbl.find_opt t.claims id with
+              | Some cs -> cs
+              | None -> []
+            in
+            Hashtbl.replace t.claims id (mine :: prev);
+            Mutex.unlock t.claims_m
+        | Some (id', c) ->
+            Mutex.unlock t.claims_m;
+            raise
+              (Race
+                 (Printf.sprintf
+                    "tile race: work item %d declares write %s overlapping \
+                     %s already claimed by in-flight item %d"
+                    id (pp_claim mine) (pp_claim c) id')))
+    | _ ->
+        (* Not inside a task of this pool (sequential section, degraded
+           inline batch, or a different pool's item): nothing to race
+           against at this granularity. *)
+        ()
+  end
+
+let clear_claims pool i =
+  if pool.racecheck then begin
+    Mutex.lock pool.claims_m;
+    Hashtbl.remove pool.claims i;
+    Mutex.unlock pool.claims_m
+  end
 
 let drain pool (j : job) =
   let outer = Domain.DLS.get draining in
@@ -43,11 +120,20 @@ let drain pool (j : job) =
   let rec loop () =
     let i = Atomic.fetch_and_add j.next 1 in
     if i < j.ntasks then begin
+      let token = Domain.DLS.get current_task in
+      if pool.racecheck then Domain.DLS.set current_task (Some (pool, i));
       (try j.run i
        with e ->
          Mutex.lock pool.m;
          if j.err = None then j.err <- Some e;
-         Mutex.unlock pool.m);
+         Mutex.unlock pool.m)
+      [@abft.waive
+        "exception trampoline, not a swallow: the first task exception is \
+         recorded and re-raised by run_tasks after the batch drains"];
+      if pool.racecheck then begin
+        Domain.DLS.set current_task token;
+        clear_claims pool i
+      end;
       Mutex.lock pool.m;
       j.completed <- j.completed + 1;
       if j.completed = j.ntasks then Condition.broadcast pool.finished;
@@ -78,12 +164,22 @@ let worker pool =
   in
   wait 0
 
-let create ?domains () =
+let racecheck_env_var = "ABFT_RACECHECK"
+
+let env_racecheck () =
+  match Sys.getenv_opt racecheck_env_var with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | Some _ | None -> false
+
+let create ?domains ?racecheck () =
   let lanes =
     match domains with
     | None -> Domain.recommended_domain_count ()
     | Some d when d >= 1 -> d
     | Some d -> invalid_arg (Printf.sprintf "Pool.create: domains %d < 1" d)
+  in
+  let racecheck =
+    match racecheck with Some b -> b | None -> env_racecheck ()
   in
   let pool =
     {
@@ -95,12 +191,16 @@ let create ?domains () =
       job = None;
       gen = 0;
       stopped = false;
+      racecheck;
+      claims_m = Mutex.create ();
+      claims = Hashtbl.create 64;
     }
   in
   pool.workers <- Array.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
   pool
 
 let size t = t.lanes
+let racecheck_enabled t = t.racecheck
 
 let shutdown t =
   Mutex.lock t.m;

@@ -24,11 +24,15 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?racecheck:bool -> unit -> t
 (** [create ~domains ()] starts a pool with [domains] total lanes of
     parallelism: [domains - 1] worker domains plus the calling domain,
     which participates in every batch it submits. Defaults to
     {!Domain.recommended_domain_count}.
+
+    [racecheck] opts the pool into the dynamic tile-race detector (see
+    {!declare_write}); it defaults to the [ABFT_RACECHECK] environment
+    variable ([1]/[true]/[on]/[yes] enable it).
     @raise Invalid_argument if [domains < 1]. *)
 
 val size : t -> int
@@ -58,6 +62,40 @@ val run_tasks : t -> ntasks:int -> (int -> unit) -> unit
 (** The primitive under both iterators: run tasks [0 .. ntasks-1],
     caller participating, dynamic claiming, exceptions re-raised after
     the drain. *)
+
+(** {1 Dynamic tile-race detection}
+
+    The static rule R1 (abftlint) proves closures don't write captured
+    scalars; block writes routed through kernels are claimed at run
+    time instead. With racecheck on, each work item calls
+    {!declare_write} for every tile range it is about to write and the
+    pool asserts pairwise disjointness across in-flight items —
+    overlapping claims mean two concurrent items could write the same
+    element, the exact silent-corruption mode ABFT must not introduce
+    itself. With racecheck off (the default) the declarations cost one
+    boolean test and allocate nothing further. *)
+
+exception Race of string
+(** Raised (out of {!run_tasks}, after the batch drains) when two
+    in-flight work items declare overlapping write rectangles on the
+    same tag. *)
+
+val declare_write :
+  t -> tag:string -> rows:int * int -> cols:int * int -> unit
+(** [declare_write t ~tag ~rows:(r0, r1) ~cols:(c0, c1)] claims the
+    inclusive element rectangle [r0..r1 × c0..c1] of the logical array
+    [tag] for the calling work item. No-op when the pool was created
+    without [racecheck], or when the caller is not executing a task of
+    [t] (a sequential section cannot race). Claims are released when
+    the work item finishes.
+    @raise Race on overlap with another in-flight item's claim. *)
+
+val racecheck_enabled : t -> bool
+(** Whether this pool was created with racecheck on — guard any
+    non-trivial range computation at instrumentation sites. *)
+
+val racecheck_env_var : string
+(** ["ABFT_RACECHECK"]. *)
 
 (** {1 The process-wide default pool} *)
 

@@ -199,12 +199,24 @@ let factor ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
   let q = Mat.create m n in
   Array.iteri (fun j p -> Mat.blit ~src:p ~dst:q ~row:0 ~col:(j * st.block)) st.panels;
   let residual =
-    Mat.norm_fro (Mat.sub_mat (Blas3.gemm_alloc q st.r) a)
+    Mat.norm_fro
+      (Mat.sub_mat
+         (Blas3.gemm_alloc q st.r
+         [@abft.unverified
+           "residual check on the finished Q·R: runs after the scheme's own \
+            verification to second-guess it, so it must read the factors \
+            as-is"])
+         a)
     /. Float.max 1. (Mat.norm_fro a)
   in
   let orthogonality =
     Mat.norm_fro
-      (Mat.sub_mat (Blas3.gemm_alloc ~transa:Types.Trans q q) (Mat.identity n))
+      (Mat.sub_mat
+         (Blas3.gemm_alloc ~transa:Types.Trans q q
+         [@abft.unverified
+           "orthogonality check on the finished Q: same post-verification \
+            read as the residual"])
+         (Mat.identity n))
   in
   let outcome =
     match failure with

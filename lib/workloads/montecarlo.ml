@@ -41,6 +41,6 @@ let simulate ?(seed = 17) ?cfg ?plan ~cov ~weights ~samples () =
     /. float_of_int (max 1 (samples - 1))
   in
   let sorted = Array.copy returns in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let var_95 = -.sorted.(max 0 (samples / 20 - 1)) in
   { mean; stddev = sqrt var; var_95; samples; factorization }

@@ -1,0 +1,3 @@
+(* Deliberately unparsable: the driver must report a parse error for
+   this file (exit 2), not crash. *)
+let f x = match x with

@@ -1,0 +1,33 @@
+(* Clean fixture: idioms the linter must accept, including the
+   disjoint-write allowlist, the <> sparsity fast path, and waivers. *)
+
+let scale_rows pool a =
+  (* writes indexed by the item's own induction variable: disjoint *)
+  Pool.parallel_for pool ~lo:0 ~hi:(Array.length a) (fun i ->
+      a.(i) <- a.(i) *. 2.)
+
+let fill_chunks pool dst =
+  Pool.parallel_chunks pool ~lo:0 ~hi:(Array.length dst) (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        dst.(i) <- float_of_int i
+      done)
+
+let local_accum pool a =
+  (* mutable state created inside the work item is private to it *)
+  Pool.parallel_for pool ~lo:0 ~hi:(Array.length a) (fun i ->
+      let acc = ref 0. in
+      for _k = 0 to 3 do
+        acc := !acc +. a.(i)
+      done;
+      a.(i) <- !acc)
+
+let sparse_axpy alpha x y =
+  (* <> against the 0. literal is the allowlisted sparsity fast path *)
+  if alpha <> 0. then Array.iteri (fun i xi -> y.(i) <- y.(i) +. (alpha *. xi)) x
+
+let close_enough a b = Float.compare a b = 0
+
+let waived_global_flag pool n flag =
+  Pool.parallel_for pool ~lo:0 ~hi:n (fun _i ->
+      (flag := true)
+      [@abft.waive "idempotent monotone flag: every writer stores true"])

@@ -1,0 +1,34 @@
+(* R1 fixture: every construct here must be flagged — a closure handed
+   to the pool writing state captured from the enclosing scope. *)
+
+let sum_badly pool a =
+  let total = ref 0. in
+  Pool.parallel_for pool ~lo:0 ~hi:(Array.length a) (fun i ->
+      (* captured ref := inside a pool closure *)
+      total := !total +. a.(i));
+  !total
+
+let count_badly pool a =
+  let hits = Array.make 1 0 in
+  Pool.parallel_for pool ~lo:0 ~hi:(Array.length a) (fun _i ->
+      (* captured array, constant index: same slot from every item *)
+      hits.(0) <- hits.(0) + 1);
+  hits.(0)
+
+type acc = { mutable best : float }
+
+let max_badly pool a =
+  let acc = { best = neg_infinity } in
+  Pool.parallel_chunks pool ~lo:0 ~hi:(Array.length a) (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        (* captured mutable record field *)
+        if a.(i) > acc.best then acc.best <- a.(i)
+      done);
+  acc.best
+
+let incr_badly pool n =
+  let seen = ref 0 in
+  let work _i = incr seen in
+  (* named closure resolved through the local let-binding *)
+  Pool.parallel_for pool ~lo:0 ~hi:n work;
+  !seen

@@ -1,0 +1,16 @@
+(* R2 fixture: named ft.ml so the verify-before-read rule is in scope.
+   Every BLAS-3 read below lacks a dominating Verify call and carries
+   no [@abft.unverified] waiver — each must be flagged. *)
+
+let trailing_update st j i =
+  (* GEMM reads tiles that were never verified in this function *)
+  Blas3.gemm ~alpha:(-1.) ~beta:1. (tile st i j) (tile st j j) (tile st i j)
+
+let panel_solve st j i =
+  Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag
+    (tile st j j) (tile st i j)
+
+let verified_then_read st j i =
+  (* the verify dominates: this one must NOT be flagged *)
+  verify_block st (i, j);
+  Blas3.syrk ~alpha:(-1.) ~beta:1. (tile st i j) (tile st i i)

@@ -1,0 +1,25 @@
+(* R3 fixture: banned constructs, one per binding — all flagged. *)
+
+let swallow_everything f x =
+  (* catch-all try...with can hide Verify/Recovery failures *)
+  try f x with _ -> 0.
+
+let reinterpret (x : int) : float =
+  (* Obj.magic *)
+  Obj.magic x
+
+let first_residual residuals =
+  (* partial List.hd in lib code *)
+  List.hd residuals
+
+let nth_residual residuals i =
+  (* partial List.nth in lib code *)
+  List.nth residuals i
+
+let is_zero x =
+  (* polymorphic = against a float literal *)
+  x = 0.
+
+let same_tol a b =
+  (* polymorphic compare on floats *)
+  compare a b = 0

@@ -1,0 +1,330 @@
+(* Tests for lib/analysis (the abftlint rules and driver): each rule
+   fires on its fixture, stays quiet on the allowlisted idioms, and
+   honours the waiver attributes; the driver's exit-code and JSON
+   contracts hold. *)
+
+module A = Analysis
+
+let lint ?rules ?(file = "test.ml") src = A.Driver.lint_string ?rules ~file src
+
+let rule id =
+  match A.Rules.find id with
+  | Some r -> r
+  | None -> Alcotest.failf "rule %s not registered" id
+
+let blocking fs = List.filter A.Finding.is_blocking fs
+let with_rule id fs = List.filter (fun f -> f.A.Finding.rule = id) fs
+
+let check_count name n fs = Alcotest.(check int) name n (List.length fs)
+
+(* ------------------------------------------------------------------ *)
+(* R1: no shared mutable writes in pool closures                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_r1_captured_ref () =
+  let fs =
+    lint ~rules:[ rule "R1" ]
+      {|let f pool a =
+  let total = ref 0. in
+  Pool.parallel_for pool ~lo:0 ~hi:10 (fun i -> total := !total +. a.(i));
+  !total|}
+  in
+  check_count "one finding" 1 (blocking fs);
+  let f = List.hd (blocking fs) [@abft.waive "count checked on previous line"] in
+  Alcotest.(check string) "rule" "R1" f.A.Finding.rule;
+  Alcotest.(check int) "line" 3 f.A.Finding.line
+
+let test_r1_disjoint_index_ok () =
+  (* writes indexed by the item binding are the allowlisted idiom *)
+  let fs =
+    lint ~rules:[ rule "R1" ]
+      {|let f pool a =
+  Pool.parallel_for pool ~lo:0 ~hi:10 (fun i -> a.(i) <- a.(i) *. 2.)|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r1_item_local_ok () =
+  (* state created inside the work item is private to it *)
+  let fs =
+    lint ~rules:[ rule "R1" ]
+      {|let f pool a =
+  Pool.parallel_for pool ~lo:0 ~hi:10 (fun i ->
+      let acc = ref 0. in
+      acc := !acc +. a.(i);
+      a.(i) <- !acc)|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r1_constant_index_flagged () =
+  let fs =
+    lint ~rules:[ rule "R1" ]
+      {|let f pool hits =
+  Pool.parallel_for pool ~lo:0 ~hi:10 (fun _i -> hits.(0) <- 1)|}
+  in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r1_named_closure () =
+  (* the closure reaches the sink through a let binding *)
+  let fs =
+    lint ~rules:[ rule "R1" ]
+      {|let f pool =
+  let seen = ref 0 in
+  let work _i = incr seen in
+  Pool.parallel_for pool ~lo:0 ~hi:10 work|}
+  in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r1_waiver () =
+  let fs =
+    lint ~rules:[ rule "R1" ]
+      {|let f pool flag =
+  Pool.parallel_for pool ~lo:0 ~hi:10 (fun _i ->
+      (flag := true) [@abft.waive "monotone flag"])|}
+  in
+  check_count "finding still reported" 1 fs;
+  check_count "but not blocking" 0 (blocking fs);
+  let f = List.hd fs [@abft.waive "count checked on previous line"] in
+  Alcotest.(check (option string))
+    "reason" (Some "monotone flag") f.A.Finding.waiver_reason
+
+let test_r1_setfield () =
+  let fs =
+    lint ~rules:[ rule "R1" ]
+      {|type acc = { mutable best : float }
+let f pool a =
+  let acc = { best = 0. } in
+  Pool.parallel_chunks pool ~lo:0 ~hi:10 (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        if a.(i) > acc.best then acc.best <- a.(i)
+      done)|}
+  in
+  check_count "one finding" 1 (blocking fs)
+
+(* ------------------------------------------------------------------ *)
+(* R2: verify-before-read in FT drivers                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_r2_unverified_read () =
+  let fs =
+    lint ~rules:[ rule "R2" ] ~file:"lib/cholesky/ft.ml"
+      {|let update st a b c = Blas3.gemm ~alpha:(-1.) ~beta:1. a b c|}
+  in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r2_dominated_read_ok () =
+  let fs =
+    lint ~rules:[ rule "R2" ] ~file:"lib/cholesky/ft.ml"
+      {|let update st a b c =
+  verify_block st;
+  Blas3.gemm ~alpha:(-1.) ~beta:1. a b c|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r2_out_of_scope_file () =
+  (* the rule only patrols the FT drivers *)
+  let fs =
+    lint ~rules:[ rule "R2" ] ~file:"lib/matrix/blas3.ml"
+      {|let update a b c = Blas3.gemm a b c|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r2_waiver () =
+  let fs =
+    lint ~rules:[ rule "R2" ] ~file:"lib/qr/ft_qr.ml"
+      {|let residual q r a =
+  Mat.norm_fro
+    (Mat.sub_mat (Blas3.gemm_alloc q r [@abft.unverified "post-check"]) a)|}
+  in
+  check_count "reported" 1 fs;
+  check_count "not blocking" 0 (blocking fs)
+
+(* ------------------------------------------------------------------ *)
+(* R3: banned constructs                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_r3_catch_all () =
+  let fs = lint ~rules:[ rule "R3" ] {|let f g x = try g x with _ -> 0.|} in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r3_specific_handler_ok () =
+  let fs =
+    lint ~rules:[ rule "R3" ]
+      {|let f g x = try g x with Failure _ -> 0. | Not_found -> 1.|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r3_banned_idents () =
+  let fs =
+    lint ~rules:[ rule "R3" ]
+      {|let a x = Obj.magic x
+let b l = List.hd l
+let c l i = List.nth l i
+let d x y = compare x y|}
+  in
+  check_count "four findings" 4 (blocking fs)
+
+let test_r3_float_eq () =
+  let fs = lint ~rules:[ rule "R3" ] {|let is_zero x = x = 0.|} in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r3_float_neq_fast_path_ok () =
+  (* <> against 0./1. literals is the BLAS sparsity fast path *)
+  let fs =
+    lint ~rules:[ rule "R3" ]
+      {|let f alpha beta = if alpha <> 0. && beta <> 1. then Some alpha else None|}
+  in
+  check_count "no findings" 0 fs;
+  let fs2 = lint ~rules:[ rule "R3" ] {|let g x = x <> 0.5|} in
+  check_count "other literals flagged" 1 (blocking fs2)
+
+let test_r3_typed_compare_ok () =
+  let fs =
+    lint ~rules:[ rule "R3" ]
+      {|let f a b = Float.compare a b
+let g a b = Float.equal a b
+let h x = Float.equal x 0.|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r3_waiver () =
+  let fs =
+    lint ~rules:[ rule "R3" ]
+      {|let f g x = (try g x with _ -> 0.) [@abft.waive "total by design"]|}
+  in
+  check_count "reported" 1 fs;
+  check_count "not blocking" 0 (blocking fs)
+
+(* ------------------------------------------------------------------ *)
+(* Driver: fixtures, exit codes, JSON                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixtures are copied next to the test binary by the (source_tree
+   fixtures) dep, so anchor paths there — works under both `dune
+   runtest` (cwd = test dir) and `dune exec` (cwd = project root). *)
+let fixture p =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "fixtures/lint")
+    p
+
+let test_fixtures_fire () =
+  (* every bad fixture must produce blocking findings for its rule *)
+  let expect file rule_id =
+    match A.Driver.lint_file (fixture file) with
+    | Error e -> Alcotest.failf "%s: %s" file e
+    | Ok fs ->
+        let hits = blocking (with_rule rule_id fs) in
+        if hits = [] then
+          Alcotest.failf "%s: no blocking %s findings" file rule_id
+  in
+  expect "r1_bad.ml" "R1";
+  expect "r2/ft.ml" "R2";
+  expect "r3_bad.ml" "R3"
+
+let test_fixture_counts () =
+  let count file rule_id =
+    match A.Driver.lint_file (fixture file) with
+    | Error e -> Alcotest.failf "%s: %s" file e
+    | Ok fs -> List.length (blocking (with_rule rule_id fs))
+  in
+  Alcotest.(check int) "r1_bad findings" 4 (count "r1_bad.ml" "R1");
+  Alcotest.(check int) "r2 findings" 2 (count "r2/ft.ml" "R2");
+  Alcotest.(check int) "r3_bad findings" 6 (count "r3_bad.ml" "R3")
+
+let test_clean_fixture () =
+  match A.Driver.lint_file (fixture "clean.ml") with
+  | Error e -> Alcotest.fail e
+  | Ok fs ->
+      check_count "no blocking findings" 0 (blocking fs);
+      check_count "the waived flag write is still reported" 1 fs
+
+let test_run_exit_codes () =
+  let bad = A.Driver.run [ fixture "r3_bad.ml" ] in
+  Alcotest.(check int) "blocking findings exit 1" 1 (A.Driver.exit_code bad);
+  let clean = A.Driver.run [ fixture "clean.ml" ] in
+  Alcotest.(check int) "clean exits 0" 0 (A.Driver.exit_code clean);
+  let missing = A.Driver.run [ "no/such/path.ml" ] in
+  Alcotest.(check int) "missing path exits 2" 2 (A.Driver.exit_code missing)
+
+let test_rule_selection () =
+  (match A.Rules.select [ "r1"; "R3" ] with
+  | Ok rs ->
+      Alcotest.(check (list string))
+        "case-insensitive ids" [ "R1"; "R3" ]
+        (List.map (fun r -> r.A.Rules.id) rs)
+  | Error e -> Alcotest.fail e);
+  match A.Rules.select [ "R9" ] with
+  | Ok _ -> Alcotest.fail "unknown rule accepted"
+  | Error _ -> ()
+
+let test_json_report () =
+  let r = A.Driver.run [ fixture "r3_bad.ml" ] in
+  let json = A.Driver.json_report r in
+  let has needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true (go 0)
+  in
+  has {|"tool":"abftlint"|};
+  has {|"rule":"R3"|};
+  has {|"blocking":6|};
+  has {|"files_checked":1|}
+
+let test_json_escape () =
+  Alcotest.(check string)
+    "quotes and backslashes" {|a\"b\\c|}
+    (A.Finding.json_escape {|a"b\c|});
+  Alcotest.(check string) "newline" {|x\ny|} (A.Finding.json_escape "x\ny")
+
+let test_syntax_error_reported () =
+  let r = A.Driver.run [ fixture "../broken/unparsable.ml" ] in
+  Alcotest.(check int) "parse error exits 2" 2 (A.Driver.exit_code r);
+  Alcotest.(check int) "error recorded" 1 (List.length r.A.Driver.errors)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "r1",
+        [
+          Alcotest.test_case "captured ref flagged" `Quick test_r1_captured_ref;
+          Alcotest.test_case "disjoint index ok" `Quick test_r1_disjoint_index_ok;
+          Alcotest.test_case "item-local state ok" `Quick test_r1_item_local_ok;
+          Alcotest.test_case "constant index flagged" `Quick
+            test_r1_constant_index_flagged;
+          Alcotest.test_case "named closure resolved" `Quick
+            test_r1_named_closure;
+          Alcotest.test_case "waiver downgrades" `Quick test_r1_waiver;
+          Alcotest.test_case "mutable field flagged" `Quick test_r1_setfield;
+        ] );
+      ( "r2",
+        [
+          Alcotest.test_case "unverified read flagged" `Quick
+            test_r2_unverified_read;
+          Alcotest.test_case "dominated read ok" `Quick test_r2_dominated_read_ok;
+          Alcotest.test_case "out-of-scope file ok" `Quick
+            test_r2_out_of_scope_file;
+          Alcotest.test_case "waiver downgrades" `Quick test_r2_waiver;
+        ] );
+      ( "r3",
+        [
+          Alcotest.test_case "catch-all flagged" `Quick test_r3_catch_all;
+          Alcotest.test_case "specific handler ok" `Quick
+            test_r3_specific_handler_ok;
+          Alcotest.test_case "banned idents" `Quick test_r3_banned_idents;
+          Alcotest.test_case "float = flagged" `Quick test_r3_float_eq;
+          Alcotest.test_case "<> fast path ok" `Quick
+            test_r3_float_neq_fast_path_ok;
+          Alcotest.test_case "typed compare ok" `Quick test_r3_typed_compare_ok;
+          Alcotest.test_case "waiver downgrades" `Quick test_r3_waiver;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "fixtures fire" `Quick test_fixtures_fire;
+          Alcotest.test_case "fixture counts" `Quick test_fixture_counts;
+          Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+          Alcotest.test_case "exit codes" `Quick test_run_exit_codes;
+          Alcotest.test_case "rule selection" `Quick test_rule_selection;
+          Alcotest.test_case "json report" `Quick test_json_report;
+          Alcotest.test_case "json escape" `Quick test_json_escape;
+          Alcotest.test_case "syntax error" `Quick test_syntax_error_reported;
+        ] );
+    ]

@@ -230,6 +230,159 @@ let test_verify_batch_matches_sequential () =
     seq;
   Pool.shutdown p
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic tile-race detection (ABFT_RACECHECK)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A two-party rendezvous keeps both work items in flight while their
+   claims are compared — no sleeps, no timing assumptions. A party
+   that Races calls [abort] so the waiter wakes instead of deadlocking. *)
+type rendezvous = {
+  rm : Mutex.t;
+  rc : Condition.t;
+  mutable arrived : int;
+  mutable aborted : bool;
+}
+
+let rendezvous () =
+  { rm = Mutex.create (); rc = Condition.create (); arrived = 0; aborted = false }
+
+let meet r ~parties =
+  Mutex.lock r.rm;
+  r.arrived <- r.arrived + 1;
+  Condition.broadcast r.rc;
+  while r.arrived < parties && not r.aborted do
+    Condition.wait r.rc r.rm
+  done;
+  Mutex.unlock r.rm
+
+let abort r =
+  Mutex.lock r.rm;
+  r.aborted <- true;
+  Condition.broadcast r.rc;
+  Mutex.unlock r.rm
+
+let test_race_overlap_detected () =
+  (* two in-flight items claim overlapping rectangles on one tag: the
+     second declaration must raise Pool.Race, and run_tasks must
+     re-raise it after the batch drains *)
+  let p = Pool.create ~domains:4 ~racecheck:true () in
+  Alcotest.(check bool) "racecheck on" true (Pool.racecheck_enabled p);
+  let r = rendezvous () in
+  let raced =
+    try
+      Pool.run_tasks p ~ntasks:2 (fun _i ->
+          try
+            Pool.declare_write p ~tag:"tile" ~rows:(0, 31) ~cols:(0, 15);
+            meet r ~parties:2
+          with e ->
+            abort r;
+            raise e);
+      false
+    with Pool.Race _ -> true
+  in
+  Alcotest.(check bool) "overlap raised Race" true raced;
+  Pool.shutdown p
+
+let test_race_disjoint_ok () =
+  (* row-block-disjoint claims — the FT driver's idiom — never race *)
+  let p = Pool.create ~domains:4 ~racecheck:true () in
+  let n = 64 in
+  let hits = Array.make n 0 in
+  Pool.parallel_for ~chunk:1 p ~lo:0 ~hi:n (fun i ->
+      Pool.declare_write p ~tag:"tile" ~rows:(i * 16, (i * 16) + 15)
+        ~cols:(0, 15);
+      hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "all ran" true (Array.for_all (( = ) 1) hits);
+  Pool.shutdown p
+
+let test_race_different_tags_ok () =
+  (* identical rectangles on different tags (tile vs chk) are distinct
+     arrays and must not clash, even while both items are in flight *)
+  let p = Pool.create ~domains:4 ~racecheck:true () in
+  let r = rendezvous () in
+  Pool.run_tasks p ~ntasks:2 (fun i ->
+      try
+        Pool.declare_write p
+          ~tag:(if i = 0 then "tile" else "chk")
+          ~rows:(0, 31) ~cols:(0, 31);
+        meet r ~parties:2
+      with e ->
+        abort r;
+        raise e);
+  Alcotest.(check bool) "no race across tags" true (not r.aborted);
+  Pool.shutdown p
+
+let test_race_claims_released () =
+  (* claims die with their work item: back-to-back batches writing the
+     same rectangle are sequential, not a race *)
+  let p = Pool.create ~domains:4 ~racecheck:true () in
+  for _round = 1 to 3 do
+    Pool.run_tasks p ~ntasks:2 (fun i ->
+        Pool.declare_write p ~tag:"tile"
+          ~rows:(i * 8, (i * 8) + 7)
+          ~cols:(0, 7))
+  done;
+  Pool.shutdown p
+
+let test_racecheck_off_noop () =
+  (* without racecheck every declaration is a no-op: overlapping claims
+     pass, and a declaration outside any task is harmless either way.
+     racecheck:false is explicit so the suite also passes when the CI
+     leg exports ABFT_RACECHECK=1. *)
+  let p = Pool.create ~domains:2 ~racecheck:false () in
+  Alcotest.(check bool) "explicitly off" false (Pool.racecheck_enabled p);
+  Pool.run_tasks p ~ntasks:4 (fun _i ->
+      Pool.declare_write p ~tag:"tile" ~rows:(0, 7) ~cols:(0, 7));
+  Pool.shutdown p;
+  let pr = Pool.create ~domains:1 ~racecheck:true () in
+  (* sequential section of a racecheck pool: nothing to race against *)
+  Pool.declare_write pr ~tag:"tile" ~rows:(0, 7) ~cols:(0, 7);
+  Pool.declare_write pr ~tag:"tile" ~rows:(0, 7) ~cols:(0, 7);
+  Pool.shutdown pr
+
+let test_racecheck_env () =
+  let old = Sys.getenv_opt Pool.racecheck_env_var in
+  let restore () =
+    Unix.putenv Pool.racecheck_env_var (Option.value old ~default:"")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv Pool.racecheck_env_var "1";
+      let p = Pool.create ~domains:1 () in
+      Alcotest.(check bool) "ABFT_RACECHECK=1" true (Pool.racecheck_enabled p);
+      Pool.shutdown p;
+      Unix.putenv Pool.racecheck_env_var "no";
+      let p' = Pool.create ~domains:1 () in
+      Alcotest.(check bool) "unrecognized value off" false
+        (Pool.racecheck_enabled p');
+      Pool.shutdown p';
+      (* an explicit argument beats the environment *)
+      Unix.putenv Pool.racecheck_env_var "1";
+      let p'' = Pool.create ~domains:1 ~racecheck:false () in
+      Alcotest.(check bool) "explicit wins" false (Pool.racecheck_enabled p'');
+      Pool.shutdown p'')
+
+let test_ft_factor_racecheck_clean () =
+  (* the instrumented FT driver's fan-outs claim disjoint blocks: a
+     full factorization under racecheck must succeed unchanged *)
+  let n = 96 in
+  let a = Spd.random_spd ~seed:7 n in
+  let cfg =
+    C.Config.make ~machine:Hetsim.Machine.testbench ~block:16
+      ~scheme:(Abft.Scheme.enhanced ()) ()
+  in
+  let p = Pool.create ~domains:4 ~racecheck:true () in
+  let r = C.Ft.factor ~pool:p cfg a in
+  Alcotest.(check bool) "racecheck run succeeds" true
+    (r.C.Ft.outcome = C.Ft.Success);
+  (* and it changes nothing numerically *)
+  let p0 = Pool.create ~domains:4 () in
+  let r0 = C.Ft.factor ~pool:p0 cfg a in
+  Alcotest.(check bool) "bitwise identical to unchecked run" true
+    (bitwise_equal r.C.Ft.factor r0.C.Ft.factor);
+  Pool.shutdown p;
+  Pool.shutdown p0
+
 let () =
   Alcotest.run "parallel"
     [
@@ -257,5 +410,19 @@ let () =
             test_ft_factor_pool_invariant;
           Alcotest.test_case "verify_batch = sequential verify" `Quick
             test_verify_batch_matches_sequential;
+        ] );
+      ( "racecheck",
+        [
+          Alcotest.test_case "overlap detected" `Quick
+            test_race_overlap_detected;
+          Alcotest.test_case "disjoint claims pass" `Quick test_race_disjoint_ok;
+          Alcotest.test_case "tags are distinct arrays" `Quick
+            test_race_different_tags_ok;
+          Alcotest.test_case "claims released per item" `Quick
+            test_race_claims_released;
+          Alcotest.test_case "off is a no-op" `Quick test_racecheck_off_noop;
+          Alcotest.test_case "ABFT_RACECHECK parsing" `Quick test_racecheck_env;
+          Alcotest.test_case "ft factor clean under racecheck" `Quick
+            test_ft_factor_racecheck_clean;
         ] );
     ]
