@@ -1,0 +1,297 @@
+(* ftsoak — seeded randomized multi-fault soak harness.
+
+   Enumerates campaigns (family × scheme × grid × pool size), generates
+   a deterministic per-case fault plan via Campaign.plan, runs each
+   through the numeric Ft.factor recovery ladder, and reports an
+   outcome histogram with per-rung statistics. Exit code is non-zero
+   iff any campaign ended in silent corruption — the property the CI
+   soak job enforces. *)
+
+open Cmdliner
+module C = Cholesky
+
+let exit_err msg =
+  Format.eprintf "ftsoak: %s@." msg;
+  exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Argument converters                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let machine_conv =
+  let parse s =
+    match Hetsim.Machine.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine %S (try: %s)" s
+               (String.concat ", " (List.map fst Hetsim.Machine.all_presets))))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt m.Hetsim.Machine.name)
+
+let scheme_conv =
+  let parse s =
+    match Abft.Scheme.of_string s with Ok s -> Ok s | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Abft.Scheme.pp)
+
+let family_conv =
+  let parse s =
+    match Campaign.family_of_string s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt f -> Format.pp_print_string fmt (Campaign.family_name f))
+
+(* ------------------------------------------------------------------ *)
+(* Arguments                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let campaigns_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "campaigns" ] ~docv:"N"
+        ~doc:"Total number of campaigns to run (spread round-robin over the \
+              case matrix).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Hetsim.Machine.testbench
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Machine preset used for the driver config (and the Young/Daly \
+              snapshot interval when $(b,--snapshot-interval) is -1).")
+
+let schemes_arg =
+  Arg.(
+    value
+    & opt (list scheme_conv) [ Abft.Scheme.Online; Abft.Scheme.enhanced () ]
+    & info [ "schemes" ] ~docv:"S,.."
+        ~doc:"Comma-separated schemes to soak (families containing storage \
+              faults only pair with enhanced).")
+
+let grids_arg =
+  Arg.(
+    value
+    & opt (list int) [ 4; 6 ]
+    & info [ "grids" ] ~docv:"G,.." ~doc:"Tile-grid sides to soak.")
+
+let block_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "b"; "block" ] ~docv:"B" ~doc:"Tile size for every campaign.")
+
+let pools_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2 ]
+    & info [ "pools" ] ~docv:"P,.."
+        ~doc:"Domain-pool sizes; each distinct size is created once and \
+              reused.")
+
+let faults_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "faults" ] ~docv:"COUNT"
+        ~doc:"Injections per campaign for the randomized families (burst is \
+              always 2).")
+
+let families_arg =
+  Arg.(
+    value
+    & opt (list family_conv) Campaign.all_families
+    & info [ "families" ] ~docv:"F,.."
+        ~doc:"Fault families to soak: mixed, burst, storage-heavy, \
+              compute-heavy, checksum-storm, anchor.")
+
+let snapshot_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "snapshot-interval" ] ~docv:"ITERS"
+        ~doc:"Iterations between verified snapshots (0 disables the rollback \
+              rung; -1 picks the Young/Daly interval per grid).")
+
+let max_rollbacks_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-rollbacks" ] ~docv:"N"
+        ~doc:"Snapshot rollbacks per attempt before escalating to restart.")
+
+let max_restarts_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-restarts" ] ~docv:"N"
+        ~doc:"Full restarts before the ladder gives up.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the full per-campaign JSON report to $(docv).")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose" ] ~doc:"Print a line per campaign as it runs.")
+
+(* ------------------------------------------------------------------ *)
+(* Case enumeration and execution                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance property is about the *ladder*, not about scheme
+   limitations the paper already documents: Online-ABFT inherently
+   misses storage errors (its motivating failure), so storage-bearing
+   families pair only with Enhanced-style schemes. *)
+let compatible family scheme =
+  if not (Campaign.needs_enhanced family) then true
+  else match scheme with Abft.Scheme.Enhanced _ -> true | _ -> false
+
+let enumerate ~campaigns ~seed ~families ~schemes ~grids ~pools ~block ~faults =
+  let cells =
+    List.concat_map
+      (fun family ->
+        List.concat_map
+          (fun scheme ->
+            if not (compatible family scheme) then []
+            else
+              List.concat_map
+                (fun grid ->
+                  (* the burst pattern needs grid >= 4 *)
+                  if family = Campaign.Burst && grid < 4 then []
+                  else
+                    List.map (fun domains -> (family, scheme, grid, domains))
+                      pools)
+                grids)
+          schemes)
+      families
+  in
+  if cells = [] then exit_err "no (family, scheme, grid, pool) cases selected";
+  let cells = Array.of_list cells in
+  List.init campaigns (fun id ->
+      let family, scheme, grid, domains = cells.(id mod Array.length cells) in
+      (* derived per-case seed: distinct per id, reproducible from the
+         master seed alone *)
+      let case_seed = seed + (7919 * id) in
+      let plan =
+        Campaign.plan family ~seed:case_seed ~grid ~block ~count:faults
+      in
+      {
+        Campaign.id;
+        family;
+        scheme = Abft.Scheme.name scheme;
+        grid;
+        block;
+        domains;
+        seed = case_seed;
+        plan;
+      },
+      scheme)
+
+let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
+    (case, scheme) =
+  let n = case.Campaign.grid * case.Campaign.block in
+  let snap =
+    if snapshot_interval >= 0 then snapshot_interval
+    else
+      C.Checkpoint.snapshot_interval_iters machine ~n ~grid:case.Campaign.grid
+        ~expected_faults:(float_of_int (List.length case.Campaign.plan))
+  in
+  let cfg =
+    C.Config.make ~machine ~block:case.Campaign.block ~scheme ~max_restarts
+      ~max_rollbacks ~snapshot_interval:snap ()
+  in
+  let a = Matrix.Spd.random_spd ~seed:(case.Campaign.seed + 1) n in
+  let report = C.Ft.factor ~pool ~plan:case.Campaign.plan cfg a in
+  let st = report.C.Ft.stats in
+  let outcome =
+    match report.C.Ft.outcome with
+    | C.Ft.Success -> Campaign.Success
+    | C.Ft.Silent_corruption -> Campaign.Silent_corruption
+    | C.Ft.Gave_up reason -> Campaign.Gave_up (C.Recovery.describe reason)
+  in
+  {
+    Campaign.case;
+    outcome;
+    residual = report.C.Ft.residual;
+    verifications = st.C.Ft.verifications;
+    corrections = st.C.Ft.corrections;
+    reconstructions = st.C.Ft.reconstructions;
+    checksum_repairs = st.C.Ft.checksum_repairs;
+    rollbacks = st.C.Ft.rollbacks;
+    snapshots = st.C.Ft.snapshots;
+    restarts = st.C.Ft.restarts;
+    fired = List.length report.C.Ft.injections_fired;
+  }
+
+let soak campaigns seed machine schemes grids block pools faults families
+    snapshot_interval max_rollbacks max_restarts json verbose =
+  if campaigns < 1 then exit_err "--campaigns must be >= 1";
+  if block < 2 then exit_err "--block must be >= 2";
+  if List.exists (fun g -> g < 2) grids then exit_err "--grids must all be >= 2";
+  if List.exists (fun p -> p < 1) pools then exit_err "--pools must all be >= 1";
+  let cases =
+    try
+      enumerate ~campaigns ~seed ~families ~schemes ~grids ~pools ~block ~faults
+    with Invalid_argument msg -> exit_err msg
+  in
+  let distinct_pools = List.sort_uniq Int.compare pools in
+  let pool_for =
+    let pairs =
+      List.map
+        (fun d -> (d, Parallel.Pool.create ~domains:d ()))
+        distinct_pools
+    in
+    fun d -> List.assoc d pairs
+  in
+  let results =
+    List.map
+      (fun ((case, _) as c) ->
+        let r =
+          run_case ~machine
+            ~pool:(pool_for case.Campaign.domains)
+            ~snapshot_interval ~max_rollbacks ~max_restarts c
+        in
+        if verbose then
+          Format.printf "%4d %-40s %-17s resid %.2e@." case.Campaign.id
+            (Campaign.case_name case)
+            (match r.Campaign.outcome with
+            | Campaign.Gave_up why -> "gave-up: " ^ why
+            | o -> Campaign.outcome_name o)
+            r.Campaign.residual;
+        r)
+      cases
+  in
+  List.iter (fun d -> Parallel.Pool.shutdown (pool_for d)) distinct_pools;
+  let agg = Campaign.aggregate results in
+  Format.printf "%a@." Campaign.pp_aggregate agg;
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Campaign.to_json ~seed results);
+      close_out oc;
+      Format.printf "json report written to %s@." path);
+  if agg.Campaign.silent_corruptions > 0 then begin
+    Format.eprintf "ftsoak: %d campaign(s) ended in SILENT CORRUPTION@."
+      agg.Campaign.silent_corruptions;
+    3
+  end
+  else 0
+
+let () =
+  let term =
+    Term.(
+      const soak $ campaigns_arg $ seed_arg $ machine_arg $ schemes_arg
+      $ grids_arg $ block_arg $ pools_arg $ faults_arg $ families_arg
+      $ snapshot_arg $ max_rollbacks_arg $ max_restarts_arg $ json_arg
+      $ verbose_arg)
+  in
+  let doc =
+    "seeded multi-fault soak campaigns through the Cholesky recovery ladder"
+  in
+  exit (Cmd.eval' (Cmd.v (Cmd.info "ftsoak" ~doc) term))

@@ -1,7 +1,12 @@
 open Matrix
 module Pool = Parallel.Pool
 
-type t = { chk : Mat.t; weights : Mat.t }
+(* [chk] is the primary copy the update rules and verifications read;
+   [shadow] is an independently maintained duplicate. The two copies
+   receive bitwise-identical update sequences, so any disagreement
+   proves one copy was corrupted in place — and the fresh recalculation
+   from the tile says which (see Verify's cross-check). *)
+type t = { chk : Mat.t; shadow : Mat.t; weights : Mat.t }
 
 let weights ~d ~b =
   if d < 1 || b < 1 then invalid_arg "Checksum.weights: d and b must be >= 1";
@@ -11,7 +16,7 @@ let encode ?pool ?(d = 2) a =
   if Mat.rows a < 1 then invalid_arg "Checksum.encode: empty tile";
   let v = weights ~d ~b:(Mat.rows a) in
   let chk = Blas3.gemm_alloc ?pool ~transa:Types.Trans v a in
-  { chk; weights = v }
+  { chk; shadow = Mat.copy chk; weights = v }
 
 let recompute ?pool t a =
   if Mat.rows a <> Mat.rows t.weights || Mat.cols a <> Mat.cols t.chk then
@@ -19,11 +24,65 @@ let recompute ?pool t a =
   Blas3.gemm_alloc ?pool ~transa:Types.Trans t.weights a
 
 let matrix t = t.chk
+let shadow t = t.shadow
 let d t = Mat.rows t.chk
 let b t = Mat.cols t.chk
+
 let rows t = Mat.rows t.weights
-let copy t = { chk = Mat.copy t.chk; weights = t.weights }
+
+let copy t =
+  { chk = Mat.copy t.chk; shadow = Mat.copy t.shadow; weights = t.weights }
+
 let corrupt t ~row ~col v = Mat.set t.chk row col v
+
+let blit_into ~src ~dst =
+  for r = 0 to Mat.rows src - 1 do
+    for c = 0 to Mat.cols src - 1 do
+      Mat.set dst r c (Mat.get src r c)
+    done
+  done
+
+let restore ~src ~dst =
+  if Mat.rows src.chk <> Mat.rows dst.chk || Mat.cols src.chk <> Mat.cols dst.chk
+  then invalid_arg "Checksum.restore: shape mismatch";
+  blit_into ~src:src.chk ~dst:dst.chk;
+  blit_into ~src:src.shadow ~dst:dst.shadow
+
+(* Bitwise agreement of the two copies: [Int64.bits_of_float] compares
+   the exact representation (a NaN produced by a flip still differs),
+   where a float [=] would both trip lint rule R3 and miss NaNs. *)
+let copies_agree t =
+  let ok = ref true in
+  let dd = Mat.rows t.chk and bb = Mat.cols t.chk in
+  for r = 0 to dd - 1 do
+    for c = 0 to bb - 1 do
+      if
+        not
+          (Int64.equal
+             (Int64.bits_of_float (Mat.get t.chk r c))
+             (Int64.bits_of_float (Mat.get t.shadow r c)))
+      then ok := false
+    done
+  done;
+  !ok
+
+let copies_differing t =
+  let n = ref 0 in
+  let dd = Mat.rows t.chk and bb = Mat.cols t.chk in
+  for r = 0 to dd - 1 do
+    for c = 0 to bb - 1 do
+      if
+        not
+          (Int64.equal
+             (Int64.bits_of_float (Mat.get t.chk r c))
+             (Int64.bits_of_float (Mat.get t.shadow r c)))
+      then incr n
+    done
+  done;
+  !n
+
+let promote_shadow t = blit_into ~src:t.shadow ~dst:t.chk
+let resync_shadow t = blit_into ~src:t.chk ~dst:t.shadow
 
 type store = { blocks : t option array array; d : int; grid : int }
 
@@ -75,10 +134,23 @@ let total_bytes s =
   let acc = ref 0 in
   Array.iter
     (Array.iter (function
-      | Some t -> acc := !acc + (8 * d t * b t)
+      (* primary + shadow: the duplicate encoding doubles the space *)
+      | Some t -> acc := !acc + (2 * 8 * d t * b t)
       | None -> ()))
     s.blocks;
   !acc
 
 let copy_store s =
   { s with blocks = Array.map (Array.map (Option.map copy)) s.blocks }
+
+let restore_store ~src ~dst =
+  if src.grid <> dst.grid || src.d <> dst.d then
+    invalid_arg "Checksum.restore_store: store shape mismatch";
+  for i = 0 to src.grid - 1 do
+    for j = 0 to i do
+      match (src.blocks.(i).(j), dst.blocks.(i).(j)) with
+      | Some s, Some d -> restore ~src:s ~dst:d
+      | None, None -> ()
+      | _ -> invalid_arg "Checksum.restore_store: block population mismatch"
+    done
+  done

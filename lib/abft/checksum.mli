@@ -15,7 +15,16 @@
     Weight vectors generalise to any [d ≥ 1] as
     [w_r(i) = (i+1)^(r-1)] (a Vandermonde family), which keeps the
     locate-and-correct algebra of [d = 2] intact and supports the
-    ablation "one checksum detects but cannot correct". *)
+    ablation "one checksum detects but cannot correct".
+
+    {b Self-protection.} Checksums live in the same fallible memory as
+    the data they guard. Each block therefore stores {e two} copies —
+    a primary and a shadow — that receive identical update sequences.
+    Verification first cross-checks the copies bitwise: if they
+    disagree, some replica was corrupted in place ([In_checksum] /
+    [In_update] faults), and the verifier repairs the bad copy from a
+    fresh recalculation instead of "correcting" clean tile data
+    against a lying checksum. *)
 
 open Matrix
 
@@ -43,8 +52,14 @@ val recompute : ?pool:Parallel.Pool.t -> t -> Mat.t -> Mat.t
     unchanged. *)
 
 val matrix : t -> Mat.t
-(** The live d×B checksum matrix (aliased, not copied): update rules
-    in {!Update} mutate it. *)
+(** The live {e primary} d×B checksum matrix (aliased, not copied):
+    update rules in {!Update} mutate it (and its shadow, through
+    {!shadow}). *)
+
+val shadow : t -> Mat.t
+(** The live shadow copy (aliased). Update rules apply every change to
+    both copies; the injector only ever hits the primary, so a copy
+    disagreement always means in-place corruption. *)
 
 val d : t -> int
 (** Number of checksum rows. *)
@@ -58,9 +73,29 @@ val rows : t -> int
 
 val copy : t -> t
 
+val restore : src:t -> dst:t -> unit
+(** Copy both replicas of [src] into [dst] in place (snapshot
+    rollback). @raise Invalid_argument on shape mismatch. *)
+
 val corrupt : t -> row:int -> col:int -> float -> unit
-(** Overwrite one stored checksum entry — test hook for exercising
-    checksum-side corruption. *)
+(** Overwrite one stored {e primary} checksum entry — test hook for
+    exercising checksum-side corruption. The shadow is untouched, so
+    the next verification sees the copies disagree. *)
+
+val copies_agree : t -> bool
+(** Bitwise agreement of primary and shadow (exact representation
+    compare, so NaN-producing flips still register). *)
+
+val copies_differing : t -> int
+(** Number of cells where the two copies disagree bitwise. *)
+
+val promote_shadow : t -> unit
+(** Overwrite the primary with the shadow (heal a corrupted
+    primary). *)
+
+val resync_shadow : t -> unit
+(** Overwrite the shadow with the primary (heal a corrupted
+    shadow). *)
 
 (** {1 Whole-matrix stores} *)
 
@@ -83,7 +118,12 @@ val store_d : store -> int
 val store_grid : store -> int
 
 val total_bytes : store -> int
-(** Space occupied by all checksums — the paper's [2n²/B] space
-    overhead, reported by benches. *)
+(** Space occupied by all checksums, both replicas included — twice
+    the paper's [2n²/B] single-copy overhead, reported by benches. *)
 
 val copy_store : store -> store
+
+val restore_store : src:store -> dst:store -> unit
+(** Restore every block of [dst] from [src] in place (both replicas),
+    preserving aliases held by drivers. @raise Invalid_argument on
+    shape or population mismatch. *)

@@ -9,21 +9,26 @@ let check_pair name chk_x chk_y lc =
     || Mat.rows lc <> Mat.cols lc
   then invalid_arg (name ^ ": tile size mismatch")
 
+(* Every rule applies the same arithmetic to the primary and the
+   shadow replica, each chain reading its own copy of the operand
+   checksums. The two chains are bitwise-identical deterministic
+   computations, so on a clean run primary = shadow exactly; any
+   disagreement at verify time proves in-place corruption of one
+   replica (In_checksum / In_update faults). *)
+
 (* chk_a <- chk_a - chk_lc . lc^T, shared by the SYRK and GEMM rules
    (they differ only in which operands the driver passes). *)
 let rank_update name ~chk_x ~chk_y ~lc =
   check_pair name chk_x chk_y lc;
   Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1. (Checksum.matrix chk_y)
-    lc (Checksum.matrix chk_x)
+    lc (Checksum.matrix chk_x);
+  Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1. (Checksum.shadow chk_y)
+    lc (Checksum.shadow chk_x)
 
 let syrk ~chk_a ~chk_lc ~lc = rank_update "Update.syrk" ~chk_x:chk_a ~chk_y:chk_lc ~lc
 let gemm ~chk_b ~chk_ld ~lc = rank_update "Update.gemm" ~chk_x:chk_b ~chk_y:chk_ld ~lc
 
-let potf2 ~chk ~la =
-  let b = Checksum.b chk and d = Checksum.d chk in
-  if Mat.rows la <> b || Mat.cols la <> b then
-    invalid_arg "Update.potf2: tile size mismatch";
-  let c = Checksum.matrix chk in
+let potf2_one c ~la ~b ~d =
   for j = 0 to b - 1 do
     let piv = Mat.get la j j in
     for r = 0 to d - 1 do
@@ -35,16 +40,27 @@ let potf2 ~chk ~la =
     done
   done
 
+let potf2 ~chk ~la =
+  let b = Checksum.b chk and d = Checksum.d chk in
+  if Mat.rows la <> b || Mat.cols la <> b then
+    invalid_arg "Update.potf2: tile size mismatch";
+  potf2_one (Checksum.matrix chk) ~la ~b ~d;
+  potf2_one (Checksum.shadow chk) ~la ~b ~d
+
 let potf2_by_trsm ~chk ~la =
   let b = Checksum.b chk in
   if Mat.rows la <> b || Mat.cols la <> b then
     invalid_arg "Update.potf2_by_trsm: tile size mismatch";
   Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag la
-    (Checksum.matrix chk)
+    (Checksum.matrix chk);
+  Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag la
+    (Checksum.shadow chk)
 
 let trsm ~chk ~la =
   let b = Checksum.b chk in
   if Mat.rows la <> b || Mat.cols la <> b then
     invalid_arg "Update.trsm: tile size mismatch";
   Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag la
-    (Checksum.matrix chk)
+    (Checksum.matrix chk);
+  Blas3.trsm Types.Right Types.Lower Types.Trans Types.Non_unit_diag la
+    (Checksum.shadow chk)

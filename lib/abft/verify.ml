@@ -1,10 +1,19 @@
 open Matrix
 
-type correction = { row : int; col : int; wrong : float; fixed : float }
+type source = Located | Reconstructed
+
+type correction = {
+  row : int;
+  col : int;
+  wrong : float;
+  fixed : float;
+  source : source;
+}
 
 type outcome =
   | Clean
   | Corrected of correction list
+  | Checksum_repaired of { cells : int; corrections : correction list }
   | Uncorrectable of string
 
 let default_tol = 1e-8
@@ -135,7 +144,7 @@ let double_fit ~b ~thr delta i =
         if
           (not (ok_root w1 ((s +. sq) /. 2.)))
           || (not (ok_root w2 ((s -. sq) /. 2.)))
-          || w1 = w2
+          || Int.equal (int_of_float w1) (int_of_float w2)
         then Error "locator roots are not two distinct row indices"
         else begin
           let e2 = (m1 -. (w1 *. m0)) /. (w2 -. w1) in
@@ -146,10 +155,11 @@ let double_fit ~b ~thr delta i =
     end
   end
 
-let verify ?pool ?(tol = default_tol) chk tile =
+(* Locate-and-patch against the (already trusted) primary copy.
+   Factored out so the cross-check below can retry it with either
+   replica promoted to primary. *)
+let verify_core ?pool ~tol chk tile =
   let stored = Checksum.matrix chk in
-  if Mat.cols stored <> Mat.cols tile || Checksum.rows chk <> Mat.rows tile
-  then invalid_arg "Verify.verify: checksum/tile shape mismatch";
   let fresh = Checksum.recompute ?pool chk tile in
   let delta = Mat.sub_mat fresh stored in
   let thr = row_thresholds ~tol stored fresh in
@@ -164,13 +174,13 @@ let verify ?pool ?(tol = default_tol) chk tile =
         let failure = ref None in
         (* write the corrected value directly: for non-finite wrongs,
            wrong - magnitude would be NaN *)
-        let apply_value i row fixed acc =
+        let apply_value i row fixed source acc =
           let wrong = Mat.get tile row i in
           Mat.set tile row i fixed;
-          { row; col = i; wrong; fixed } :: acc
+          { row; col = i; wrong; fixed; source } :: acc
         in
         let apply i row magnitude acc =
-          apply_value i row (Mat.get tile row i -. magnitude) acc
+          apply_value i row (Mat.get tile row i -. magnitude) Located acc
         in
         let column_has_anchor i =
           let bad = ref false in
@@ -186,7 +196,7 @@ let verify ?pool ?(tol = default_tol) chk tile =
               | Some _ -> acc
               | None when column_has_anchor i -> (
                   match anchored_fit ~stored tile i with
-                  | Ok (row, truth) -> apply_value i row truth acc
+                  | Ok (row, truth) -> apply_value i row truth Reconstructed acc
                   | Error msg ->
                       failure := Some (Printf.sprintf "column %d: %s" i msg);
                       acc)
@@ -225,7 +235,81 @@ let verify ?pool ?(tol = default_tol) chk tile =
                 "residual mismatch after correction (uncorrectable pattern)"
       end
 
+let blit_into ~src ~dst =
+  for r = 0 to Mat.rows src - 1 do
+    for c = 0 to Mat.cols src - 1 do
+      Mat.set dst r c (Mat.get src r c)
+    done
+  done
+
+let agrees_with ~tol reference fresh =
+  let thr = row_thresholds ~tol reference fresh in
+  bad_columns ~thr (Mat.sub_mat fresh reference) = []
+
+(* Self-protection cross-check: the primary and shadow replicas
+   received bitwise-identical updates, so any disagreement proves one
+   replica was corrupted in place. A fresh recalculation from the tile
+   arbitrates:
+
+   - the recalculation matches one replica -> the other replica is the
+     corrupted one; heal it by overwriting from the agreeing side (the
+     tile data is clean, nothing else to do);
+   - the recalculation matches neither -> the tile carries an error
+     too. Trust each replica in turn as the reference for ordinary
+     locate-and-patch; the first trial whose patch re-verifies wins.
+     Tile and primary are restored between trials so a failed trial
+     cannot leave a mis-patch behind.
+
+   Without this cross-check a corrupted checksum read against a clean
+   tile looks exactly like a tile error — and "correcting" it would
+   corrupt good data. *)
+let cross_check_and_heal ?pool ~tol chk tile =
+  let cells = Checksum.copies_differing chk in
+  let fresh = Checksum.recompute ?pool chk tile in
+  if agrees_with ~tol (Checksum.matrix chk) fresh then begin
+    Checksum.resync_shadow chk;
+    Checksum_repaired { cells; corrections = [] }
+  end
+  else if agrees_with ~tol (Checksum.shadow chk) fresh then begin
+    Checksum.promote_shadow chk;
+    Checksum_repaired { cells; corrections = [] }
+  end
+  else begin
+    let saved_primary = Mat.copy (Checksum.matrix chk) in
+    let saved_tile = Mat.copy tile in
+    let trial promote =
+      promote ();
+      match verify_core ?pool ~tol chk tile with
+      | Clean -> Some []
+      | Corrected fixes -> Some fixes
+      | Checksum_repaired _ -> assert false (* verify_core never heals *)
+      | Uncorrectable _ ->
+          (* roll the trial back so the next reference starts clean *)
+          blit_into ~src:saved_tile ~dst:tile;
+          blit_into ~src:saved_primary ~dst:(Checksum.matrix chk);
+          None
+    in
+    match trial (fun () -> Checksum.promote_shadow chk) with
+    | Some fixes -> Checksum_repaired { cells; corrections = fixes }
+    | None -> (
+        match trial (fun () -> Checksum.resync_shadow chk) with
+        | Some fixes -> Checksum_repaired { cells; corrections = fixes }
+        | None ->
+            Uncorrectable
+              "checksum replicas disagree and neither explains the tile")
+  end
+
+let verify ?pool ?(tol = default_tol) chk tile =
+  let stored = Checksum.matrix chk in
+  if Mat.cols stored <> Mat.cols tile || Checksum.rows chk <> Mat.rows tile
+  then invalid_arg "Verify.verify: checksum/tile shape mismatch";
+  if Checksum.copies_agree chk then verify_core ?pool ~tol chk tile
+  else cross_check_and_heal ?pool ~tol chk tile
+
 let check ?pool ?(tol = default_tol) chk tile =
+  (* Detect-only: replica disagreement is corruption by definition. *)
+  Checksum.copies_agree chk
+  &&
   let stored = Checksum.matrix chk in
   let fresh = Checksum.recompute ?pool chk tile in
   let delta = Mat.sub_mat fresh stored in
@@ -264,4 +348,15 @@ let pp_outcome fmt = function
         (fun f ->
           Format.fprintf fmt " (%d,%d) %.6g->%.6g" f.row f.col f.wrong f.fixed)
         fixes
+  | Checksum_repaired { cells; corrections } ->
+      Format.fprintf fmt "checksum repaired (%d cell(s))" cells;
+      if corrections <> [] then begin
+        Format.fprintf fmt ", then corrected %d error(s):"
+          (List.length corrections);
+        List.iter
+          (fun f ->
+            Format.fprintf fmt " (%d,%d) %.6g->%.6g" f.row f.col f.wrong
+              f.fixed)
+          corrections
+      end
   | Uncorrectable msg -> Format.fprintf fmt "uncorrectable: %s" msg

@@ -10,20 +10,30 @@
     reported uncorrectable and triggers the driver's
     recovery-by-recomputation.
 
-    The stored checksums themselves are assumed intact, as in the
-    paper (they are small and can be kept in protected memory); a
-    corrupted checksum over clean data is *detected* but the "fix"
-    would chase the checksum, so the final re-verification is what
-    keeps the contract honest: after [Corrected], tile and checksum are
-    consistent. *)
+    The stored checksums are {e not} assumed intact: each block keeps
+    two replicas (see {!Checksum}), and [verify] cross-checks them
+    bitwise before trusting either. A replica disagreement proves
+    in-place checksum corruption; the fresh recalculation arbitrates
+    which copy to trust, the corrupted copy is repaired by overwriting,
+    and only then does ordinary tile locate-and-patch proceed. A
+    corrupted checksum block therefore never patches clean tile data —
+    the repair is by recalculation, not by chasing the lying copy. *)
 
 open Matrix
+
+type source =
+  | Located  (** δ₂/δ₁ (or Prony) location plus delta subtraction *)
+  | Reconstructed
+      (** plain-sum reconstruction: the element was overwhelmed
+          (Inf/NaN or ≥ the anchor magnitude) so its true value was
+          rebuilt as [chk₁ − Σ other elements] of its column *)
 
 type correction = {
   row : int;
   col : int;
   wrong : float;  (** value found in the tile *)
   fixed : float;  (** value written back *)
+  source : source;  (** how the fixed value was obtained *)
 }
 
 type outcome =
@@ -31,6 +41,11 @@ type outcome =
   | Corrected of correction list
       (** mismatches found, all located and patched, re-verification
           passed *)
+  | Checksum_repaired of { cells : int; corrections : correction list }
+      (** the two checksum replicas disagreed in [cells] cells; the
+          corrupted replica was repaired by recalculation/overwrite.
+          [corrections] lists any tile fixes applied after the repair
+          (empty when the tile itself was clean — the common case). *)
   | Uncorrectable of string
       (** mismatch found that the scheme cannot repair; the payload
           explains why (for logs and tests) *)
@@ -52,6 +67,13 @@ val verify : ?pool:Parallel.Pool.t -> ?tol:float -> Checksum.t -> Mat.t -> outco
     from four consecutive power sums (classic Prony/BCH decoding), and
     the magnitudes follow by elimination. Non-integral or out-of-range
     roots fall through to [Uncorrectable].
+
+    When the checksum replicas disagree, the self-protection path runs
+    first (see the module preamble) and the result is reported as
+    {!Checksum_repaired}. A failed repair trial restores both the tile
+    and the primary replica before the next trial, so an
+    [Uncorrectable] outcome never leaves a speculative mis-patch
+    behind from the replica arbitration.
     @raise Invalid_argument on shape mismatch between [chk] and
     [tile]. *)
 
@@ -60,8 +82,9 @@ val max_correctable_per_column : d:int -> int
     {!verify} can repair in one column of a tile. *)
 
 val check : ?pool:Parallel.Pool.t -> ?tol:float -> Checksum.t -> Mat.t -> bool
-(** Detection only — true iff the checksums match within tolerance.
-    The tile is never modified. *)
+(** Detection only — true iff the checksum replicas agree {e and} they
+    match a fresh recalculation within tolerance. Neither the tile nor
+    the checksum is modified (no healing). *)
 
 val verify_batch :
   ?pool:Parallel.Pool.t ->

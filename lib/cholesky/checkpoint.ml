@@ -23,6 +23,50 @@ let plain_work (machine : Hetsim.Machine.t) ~n =
   let cfg = Config.make ~machine ~scheme:Abft.Scheme.No_ft () in
   (Schedule.run cfg ~n).Schedule.makespan
 
+(* ---- Real iteration-boundary snapshots (numeric mode) ---- *)
+
+type snapshot = {
+  iteration : int;
+  tiles : Matrix.Tile.t;
+  store : Abft.Checksum.store option;
+}
+
+let take ~iteration tiles store =
+  {
+    iteration;
+    tiles = Matrix.Tile.copy tiles;
+    store = Option.map Abft.Checksum.copy_store store;
+  }
+
+let restore snap ~tiles ~store =
+  (* Copy element-wise into the live storage: drivers hold aliases into
+     [tiles] and the checksum store, so replacing the containers would
+     silently detach them. *)
+  Matrix.Tile.iter_tiles
+    (fun i j _ -> Matrix.Tile.set_tile tiles i j (Matrix.Tile.tile snap.tiles i j))
+    tiles;
+  match (snap.store, store) with
+  | Some src, Some dst -> Abft.Checksum.restore_store ~src ~dst
+  | None, None -> ()
+  | _ -> invalid_arg "Checkpoint.restore: snapshot/store mismatch"
+
+let snapshot_interval_iters machine ~n ~grid ~expected_faults =
+  if grid < 1 then invalid_arg "Checkpoint.snapshot_interval_iters: grid < 1";
+  if expected_faults <= 0. then 0
+  else begin
+    let c = checkpoint_cost machine ~n in
+    let w = plain_work machine ~n in
+    let rate = expected_faults /. w in
+    let tau = young_daly_interval ~checkpoint_cost_s:c ~error_rate:rate in
+    (* An interval at least as long as the whole run means snapshots
+       cannot pay for themselves: fall back to restart-only. *)
+    if (not (Float.is_finite tau)) || tau >= w then 0
+    else
+      let per_iter = w /. float_of_int grid in
+      let iters = int_of_float (Float.round (tau /. per_iter)) in
+      Int.max 1 (Int.min grid iters)
+  end
+
 let expected_time machine ~n ~error_rate ?interval_s () =
   let c = checkpoint_cost machine ~n in
   let w = plain_work machine ~n in

@@ -46,3 +46,36 @@ val expected_time :
     checkpointing at the given Poisson [error_rate] (errors/second).
     [interval_s] defaults to the Young/Daly optimum. The fault-free
     work time comes from the simulator's no-FT schedule. *)
+
+(** {1 Real snapshots (numeric mode)}
+
+    The analytic model above sizes the interval; these functions
+    implement the checkpoints themselves for the numeric driver's
+    recovery ladder: a deep copy of the tile state and checksum store
+    at an iteration boundary, restorable in place. *)
+
+type snapshot = {
+  iteration : int;  (** outer iteration the state was captured before *)
+  tiles : Matrix.Tile.t;  (** deep copy of the tile state *)
+  store : Abft.Checksum.store option;  (** deep copy of the checksums *)
+}
+
+val take : iteration:int -> Matrix.Tile.t -> Abft.Checksum.store option -> snapshot
+(** Deep-copy the factorization state. The caller is responsible for
+    verifying the state first — rolling back to an unverified snapshot
+    would faithfully restore the corruption. *)
+
+val restore : snapshot -> tiles:Matrix.Tile.t -> store:Abft.Checksum.store option -> unit
+(** Copy the snapshot back into the live containers element-wise
+    (aliases held by drivers stay valid).
+    @raise Invalid_argument if snapshot and target disagree about
+    having a checksum store. *)
+
+val snapshot_interval_iters :
+  Hetsim.Machine.t -> n:int -> grid:int -> expected_faults:float -> int
+(** Map the Young/Daly interval to outer iterations: with [W] the
+    machine's fault-free makespan for order [n] and λ =
+    [expected_faults / W], the optimal [sqrt(2C/λ)] seconds convert to
+    [τ / (W/grid)] iterations, clamped to [1..grid]. Returns [0]
+    (snapshots off) when the interval is at least the whole run or
+    [expected_faults <= 0]. @raise Invalid_argument if [grid < 1]. *)

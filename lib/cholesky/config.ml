@@ -9,6 +9,8 @@ type t = {
   recalc_streams : int;
   tol : float;
   max_restarts : int;
+  max_rollbacks : int;
+  snapshot_interval : int;
 }
 
 let default =
@@ -21,12 +23,14 @@ let default =
     recalc_streams = 0;
     tol = Abft.Verify.default_tol;
     max_restarts = 3;
+    max_rollbacks = 2;
+    snapshot_interval = 0;
   }
 
 let make ?(machine = Hetsim.Machine.tardis) ?(block = 0)
     ?(scheme = Abft.Scheme.enhanced ()) ?(opt1 = true) ?(opt2 = Auto)
     ?(recalc_streams = 0) ?(tol = Abft.Verify.default_tol) ?(max_restarts = 3)
-    () =
+    ?(max_rollbacks = 2) ?(snapshot_interval = 0) () =
   {
     machine;
     block;
@@ -36,6 +40,8 @@ let make ?(machine = Hetsim.Machine.tardis) ?(block = 0)
     recalc_streams;
     tol;
     max_restarts;
+    max_rollbacks;
+    snapshot_interval;
   }
 
 let block_size t =
@@ -73,6 +79,8 @@ let validate t =
   else if t.recalc_streams < 0 then Error "recalc_streams must be >= 0"
   else if t.tol <= 0. then Error "tol must be positive"
   else if t.max_restarts < 0 then Error "max_restarts must be >= 0"
+  else if t.max_rollbacks < 0 then Error "max_rollbacks must be >= 0"
+  else if t.snapshot_interval < 0 then Error "snapshot_interval must be >= 0"
   else Ok ()
 
 let placement_name = function

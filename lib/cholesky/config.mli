@@ -24,13 +24,21 @@ type t = {
           GPU's [max_concurrent_kernels] *)
   tol : float;  (** verification rounding threshold *)
   max_restarts : int;
-      (** recovery-by-recomputation attempts before giving up *)
+      (** recovery-by-recomputation attempts before giving up — the
+          last rung of the recovery ladder *)
+  max_rollbacks : int;
+      (** snapshot rollbacks per attempt before escalating to a full
+          restart — the rung below restart *)
+  snapshot_interval : int;
+      (** outer iterations between verified state snapshots; [0]
+          (the default) disables snapshots entirely, so clean runs and
+          restart-only recovery behave exactly as without this rung *)
 }
 
 val default : t
 (** tardis, machine-default block, Enhanced (k = 1), both
     optimizations on, [Auto] placement, {!Abft.Verify.default_tol},
-    3 restarts. *)
+    3 restarts, 2 rollbacks, snapshots disabled. *)
 
 val make :
   ?machine:Hetsim.Machine.t ->
@@ -41,6 +49,8 @@ val make :
   ?recalc_streams:int ->
   ?tol:float ->
   ?max_restarts:int ->
+  ?max_rollbacks:int ->
+  ?snapshot_interval:int ->
   unit ->
   t
 

@@ -5,13 +5,17 @@ let src = Logs.Src.create "ftchol.cholesky" ~doc:"FT Cholesky driver events"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type outcome = Success | Silent_corruption | Gave_up of string
+type outcome = Success | Silent_corruption | Gave_up of Recovery.reason
 
 type stats = {
   verifications : int;
   corrections : int;
+  reconstructions : int;
+  checksum_repairs : int;
   uncorrectable_events : int;
   fail_stops : int;
+  rollbacks : int;
+  snapshots : int;
   restarts : int;
 }
 
@@ -26,10 +30,6 @@ type report = {
 
 let residual_threshold = 1e-6
 
-exception Recovery of string
-(* Raised inside an attempt when the scheme detects something it cannot
-   repair; caught by the restart loop. *)
-
 type attempt_state = {
   cfg : Config.t;
   grid : int;
@@ -40,6 +40,8 @@ type attempt_state = {
   mutable trace : Trace_op.t list;  (* reverse order *)
   mutable verifications : int;
   mutable corrections : int;
+  mutable reconstructions : int;
+  mutable checksum_repairs : int;
 }
 
 let emit st op = st.trace <- op :: st.trace
@@ -61,6 +63,17 @@ let lookup st (i, c) =
     Some (Tile.tile st.tiles i c)
   else None
 
+(* Checksum-store analogue of [lookup] for In_checksum injections: the
+   injector corrupts the primary replica of the block's stored
+   checksum. *)
+let chk_lookup st (i, c) =
+  match st.store with
+  | None -> None
+  | Some store ->
+      if i >= 0 && c >= 0 && i < st.grid && c < st.grid && i >= c then
+        Some (Abft.Checksum.matrix (Abft.Checksum.get store i c))
+      else None
+
 (* ABFT_RACECHECK instrumentation: claim the element rectangle of tile
    (i, c) — or its checksum block — before a parallel work item writes
    it. The fan-outs below are row-block disjoint by construction; the
@@ -78,9 +91,21 @@ let declare_chk st i c =
   if Pool.racecheck_enabled st.pool then
     Pool.declare_write st.pool ~tag:"chk" ~rows:(i, i) ~cols:(c, c)
 
-(* Verify the listed tiles, correcting in place; raise Recovery on the
-   first uncorrectable tile. The independent per-tile verifications fan
-   out across the pool (the paper's Optimization 1 on real cores);
+(* Ladder rung accounting: located-and-patched elements and plain-sum
+   reconstructions are different rungs of the inline recovery ladder,
+   so count them apart. *)
+let count_fixes st fixes =
+  List.iter
+    (fun (f : Abft.Verify.correction) ->
+      match f.Abft.Verify.source with
+      | Abft.Verify.Located -> st.corrections <- st.corrections + 1
+      | Abft.Verify.Reconstructed ->
+          st.reconstructions <- st.reconstructions + 1)
+    fixes
+
+(* Verify the listed tiles, correcting in place; raise Recovery.Error on
+   the first uncorrectable tile. The independent per-tile verifications
+   fan out across the pool (the paper's Optimization 1 on real cores);
    outcomes are then folded in block order, so counters and the choice
    of "first" uncorrectable block match a sequential sweep exactly. *)
 let verify_blocks st ~j ~point blocks =
@@ -106,17 +131,31 @@ let verify_blocks st ~j ~point blocks =
               Log.info (fun m ->
                   m "iteration %d: corrected %d element(s) in block (%d,%d)" j
                     (List.length fixes) i c);
-              st.corrections <- st.corrections + List.length fixes
+              count_fixes st fixes
+          | Abft.Verify.Checksum_repaired { cells; corrections } ->
+              Log.info (fun m ->
+                  m
+                    "iteration %d: repaired %d checksum cell(s) of block \
+                     (%d,%d) (+%d tile fix(es))"
+                    j cells i c
+                    (List.length corrections));
+              st.checksum_repairs <- st.checksum_repairs + 1;
+              count_fixes st corrections
           | Abft.Verify.Uncorrectable msg ->
               Log.warn (fun m ->
                   m "iteration %d: uncorrectable at block (%d,%d): %s" j i c
                     msg);
-              raise (Recovery (Printf.sprintf "block (%d,%d): %s" i c msg)))
+              raise
+                (Recovery.Error
+                   (Recovery.Uncorrectable_block { block = (i, c); detail = msg })))
         blocks_arr
 
-(* One attempt of the full factorization over fresh tiles. Returns unit;
-   errors surface as Recovery. *)
-let run_attempt st =
+(* One attempt of the full factorization over fresh tiles, starting at
+   outer iteration [from] (0 for a fresh attempt, the snapshot's
+   iteration after a rollback). Returns unit; errors surface as
+   Recovery.Error. [on_boundary j] runs at the top of every iteration,
+   before any fault of iteration [j] fires — the snapshot hook. *)
+let run_attempt st ~from ~on_boundary =
   let g = st.grid in
   let scheme = st.cfg.Config.scheme in
   let enhanced = match scheme with Abft.Scheme.Enhanced _ -> true | _ -> false in
@@ -127,10 +166,12 @@ let run_attempt st =
   let chk i c =
     match st.store with Some s -> Abft.Checksum.get s i c | None -> assert false
   in
-  if with_ft then emit st Trace_op.Encode;
-  for j = 0 to g - 1 do
+  if with_ft && from = 0 then emit st Trace_op.Encode;
+  for j = from to g - 1 do
     emit st (Trace_op.Iteration_start j);
+    on_boundary j;
     Injector.fire_storage st.injector ~iteration:j ~lookup:(lookup st);
+    Injector.fire_checksum st.injector ~iteration:j ~lookup:(chk_lookup st);
     let gate = Sets.k_gate ~k:kk ~j in
     (* ---- SYRK: diagonal block rank-k update ---- *)
     if Sets.syrk_exists ~j then begin
@@ -149,7 +190,10 @@ let run_attempt st =
         for c = 0 to j - 1 do
           Abft.Update.syrk ~chk_a:(chk j j) ~chk_lc:(chk j c) ~lc:(tile j c)
         done;
-        emit st (Trace_op.Chk_syrk j)
+        emit st (Trace_op.Chk_syrk j);
+        Injector.fire_update st.injector ~iteration:j ~op:Fault.Syrk
+          ~block:(j, j)
+          (Abft.Checksum.matrix (chk j j))
       end;
       if online then verify_blocks st ~j ~point:Trace_op.Post_syrk (Sets.post_syrk ~j)
     end;
@@ -182,7 +226,14 @@ let run_attempt st =
               Abft.Update.gemm ~chk_b:(chk i j) ~chk_ld:(chk i c)
                 ~lc:(tile j c)
             done);
-        emit st (Trace_op.Chk_gemm j)
+        emit st (Trace_op.Chk_gemm j);
+        (* sequential like fire_compute above: the injector is not
+           thread-safe and never needs to be *)
+        for i = j + 1 to g - 1 do
+          Injector.fire_update st.injector ~iteration:j ~op:Fault.Gemm
+            ~block:(i, j)
+            (Abft.Checksum.matrix (chk i j))
+        done
       end;
       if online then
         verify_blocks st ~j ~point:Trace_op.Post_gemm (Sets.post_gemm ~grid:g ~j)
@@ -191,15 +242,15 @@ let run_attempt st =
     let diag = tile j j in
     (try Lapack.potf2 Types.Lower diag
      with Lapack.Not_positive_definite k ->
-       raise
-         (Recovery
-            (Printf.sprintf "fail-stop: potf2 lost positive definiteness at \
-                             iteration %d, column %d" j k)));
+       raise (Recovery.Error (Recovery.Fail_stop { iteration = j; column = k })));
     emit st (Trace_op.Potf2 j);
     Injector.fire_compute st.injector ~iteration:j ~op:Fault.Potf2 ~block:(j, j) diag;
     if with_ft then begin
       Abft.Update.potf2 ~chk:(chk j j) ~la:diag;
-      emit st (Trace_op.Chk_potf2 j)
+      emit st (Trace_op.Chk_potf2 j);
+      Injector.fire_update st.injector ~iteration:j ~op:Fault.Potf2
+        ~block:(j, j)
+        (Abft.Checksum.matrix (chk j j))
     end;
     if online then verify_blocks st ~j ~point:Trace_op.Post_potf2 (Sets.post_potf2 ~j);
     (* ---- factored block back to device ---- *)
@@ -223,7 +274,12 @@ let run_attempt st =
         par_for st ~lo:(j + 1) ~hi:g (fun i ->
             declare_chk st i j;
             Abft.Update.trsm ~chk:(chk i j) ~la);
-        emit st (Trace_op.Chk_trsm j)
+        emit st (Trace_op.Chk_trsm j);
+        for i = j + 1 to g - 1 do
+          Injector.fire_update st.injector ~iteration:j ~op:Fault.Trsm
+            ~block:(i, j)
+            (Abft.Checksum.matrix (chk i j))
+        done
       end;
       if online then
         verify_blocks st ~j ~point:Trace_op.Post_trsm (Sets.post_trsm ~grid:g ~j)
@@ -271,9 +327,9 @@ let final_verification st ~sweep =
               st.verifications <- st.verifications + 1;
               if not ok.(k) then
                 raise
-                  (Recovery
-                     (Printf.sprintf
-                        "final verify (%d,%d): mismatch at end of run" i c)))
+                  (Recovery.Error
+                     (Recovery.Final_mismatch
+                        { block = (i, c); detail = "mismatch at end of run" })))
             blocks_arr
         end
         else begin
@@ -285,12 +341,15 @@ let final_verification st ~sweep =
               st.verifications <- st.verifications + 1;
               match outcomes.(k) with
               | Abft.Verify.Clean -> ()
-              | Abft.Verify.Corrected fixes ->
-                  st.corrections <- st.corrections + List.length fixes
+              | Abft.Verify.Corrected fixes -> count_fixes st fixes
+              | Abft.Verify.Checksum_repaired { cells = _; corrections } ->
+                  st.checksum_repairs <- st.checksum_repairs + 1;
+                  count_fixes st corrections
               | Abft.Verify.Uncorrectable msg ->
                   raise
-                    (Recovery
-                       (Printf.sprintf "final sweep (%d,%d): %s" i c msg)))
+                    (Recovery.Error
+                       (Recovery.Final_mismatch
+                          { block = (i, c); detail = msg })))
             blocks_arr
         end
   end
@@ -306,6 +365,22 @@ let residual_of ~input l =
   in
   Mat.norm_fro (Mat.sub_mat recon input) /. Float.max 1. (Mat.norm_fro input)
 
+(* The graduated recovery ladder, cheapest rung first:
+
+   1. inline correction — Verify locates and patches a tile element
+      (counted in [corrections]);
+   2. plain-sum reconstruction — an overwhelmed element is rebuilt from
+      the plain-sum checksum row (counted in [reconstructions]); both
+      of these happen inside the verification passes and never unwind
+      the attempt. Checksum-replica repairs ([checksum_repairs]) are
+      likewise inline.
+   3. snapshot rollback — an unrecoverable event (Recovery.Error)
+      restores the last verified iteration-boundary snapshot and reruns
+      only the trailing iterations, up to [max_rollbacks] times per
+      attempt;
+   4. full restart — no usable snapshot or budget exhausted: recompute
+      from the pristine input, up to [max_restarts] times;
+   5. give up, reporting the last structured reason. *)
 let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
   (match Config.validate cfg with
   | Ok () -> ()
@@ -321,6 +396,9 @@ let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
   let injector = Injector.create plan in
   let uncorrectable_events = ref 0 in
   let fail_stops = ref 0 in
+  let snapshots_total = ref 0 in
+  let rollbacks_total = ref 0 in
+  let snap_every = cfg.Config.snapshot_interval in
   let rec attempt k =
     let tiles = Tile.of_mat ~block:b a in
     let store =
@@ -339,31 +417,62 @@ let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
         trace = [];
         verifications = 0;
         corrections = 0;
+        reconstructions = 0;
+        checksum_repairs = 0;
       }
     in
-    match
-      run_attempt st;
-      final_verification st ~sweep:final_sweep;
-      ()
-    with
-    | () -> (k, st, None)
-    | exception Recovery msg ->
-        Log.warn (fun m -> m "attempt %d failed (%s); recovering by recomputation" k msg);
-        incr uncorrectable_events;
-        if
-          String.length msg >= 9 && String.sub msg 0 9 = "fail-stop"
-        then incr fail_stops;
-        (* Discard this attempt's state; retry on pristine data
-           (transient injections do not re-fire). *)
-        if k < cfg.Config.max_restarts then attempt (k + 1)
-        else (k, st, Some msg)
+    let snap = ref None in
+    let rollbacks_here = ref 0 in
+    let on_boundary j =
+      if snap_every > 0 && j > 0 && j mod snap_every = 0 then begin
+        (* Verified snapshot: sweep the whole triangle first so the
+           captured state is known-consistent — rolling back to an
+           unverified snapshot would faithfully restore corruption. A
+           failure here escalates through the ladder like any other. *)
+        verify_blocks st ~j ~point:Trace_op.Pre_snapshot
+          (Sets.all_lower ~grid:st.grid);
+        snap := Some (Checkpoint.take ~iteration:j st.tiles st.store);
+        incr snapshots_total;
+        emit st (Trace_op.Snapshot j)
+      end
+    in
+    let rec go from =
+      match
+        run_attempt st ~from ~on_boundary;
+        final_verification st ~sweep:final_sweep;
+        ()
+      with
+      | () -> (k, st, None)
+      | exception Recovery.Error reason -> (
+          incr uncorrectable_events;
+          if Recovery.is_fail_stop reason then incr fail_stops;
+          match !snap with
+          | Some s when !rollbacks_here < cfg.Config.max_rollbacks ->
+              incr rollbacks_here;
+              incr rollbacks_total;
+              Log.warn (fun m ->
+                  m "attempt %d failed (%s); rolling back to iteration %d"
+                    k (Recovery.describe reason) s.Checkpoint.iteration);
+              Checkpoint.restore s ~tiles:st.tiles ~store:st.store;
+              emit st (Trace_op.Rollback s.Checkpoint.iteration);
+              go s.Checkpoint.iteration
+          | _ ->
+              Log.warn (fun m ->
+                  m "attempt %d failed (%s); recovering by recomputation" k
+                    (Recovery.describe reason));
+              (* Discard this attempt's state; retry on pristine data
+                 (transient injections do not re-fire). *)
+              if k < cfg.Config.max_restarts then attempt (k + 1)
+              else (k, st, Some reason))
+    in
+    go 0
   in
   let restarts, st, failure = attempt 0 in
   let l = lower_of_tiles st.tiles in
   let residual = residual_of ~input:a l in
   let outcome =
     match failure with
-    | Some msg -> Gave_up msg
+    | Some reason -> Gave_up reason
     | None -> if residual <= residual_threshold then Success else Silent_corruption
   in
   {
@@ -374,8 +483,12 @@ let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
       {
         verifications = st.verifications;
         corrections = st.corrections;
+        reconstructions = st.reconstructions;
+        checksum_repairs = st.checksum_repairs;
         uncorrectable_events = !uncorrectable_events;
         fail_stops = !fail_stops;
+        rollbacks = !rollbacks_total;
+        snapshots = !snapshots_total;
         restarts;
       };
     injections_fired = Injector.fired injector;
@@ -385,12 +498,16 @@ let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
 let pp_outcome fmt = function
   | Success -> Format.pp_print_string fmt "success"
   | Silent_corruption -> Format.pp_print_string fmt "silent corruption"
-  | Gave_up msg -> Format.fprintf fmt "gave up: %s" msg
+  | Gave_up reason -> Format.fprintf fmt "gave up: %a" Recovery.pp reason
 
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>outcome: %a@,residual: %.3e@,verifications: %d, corrections: %d, \
-     restarts: %d, uncorrectable: %d, fail-stops: %d@,injections fired: %d@]"
+     reconstructions: %d, checksum repairs: %d@,rollbacks: %d (snapshots: \
+     %d), restarts: %d, uncorrectable: %d, fail-stops: %d@,injections fired: \
+     %d@]"
     pp_outcome r.outcome r.residual r.stats.verifications r.stats.corrections
-    r.stats.restarts r.stats.uncorrectable_events r.stats.fail_stops
+    r.stats.reconstructions r.stats.checksum_repairs r.stats.rollbacks
+    r.stats.snapshots r.stats.restarts r.stats.uncorrectable_events
+    r.stats.fail_stops
     (List.length r.injections_fired)

@@ -9,16 +9,33 @@
     Online, pre-read for Enhanced, end-of-run for Offline).
 
     Fault injection is physical: the plan's bit flips and wrong values
-    are written into the live tiles at their scheduled logical points,
-    and detection/correction runs the real checksum machinery. When an
-    uncorrectable situation arises — a verification that cannot locate
-    the error, or a fail-stop (positive-definiteness lost in POTF2) —
-    the driver restarts from the pristine input, exactly the paper's
-    recovery-by-recomputation (injections are transient and do not
-    re-fire).
+    are written into the live tiles — or the stored checksum blocks —
+    at their scheduled logical points, and detection/correction runs
+    the real checksum machinery.
+
+    {b Recovery ladder.} When something goes wrong the driver escalates
+    through graduated rungs, cheapest first:
+
+    + {e inline correction} — verification locates and patches the
+      element ([stats.corrections]);
+    + {e plain-sum reconstruction} — an overwhelmed element (Inf/NaN or
+      huge) is rebuilt from the plain-sum checksum row
+      ([stats.reconstructions]); checksum-replica repairs
+      ([stats.checksum_repairs]) are likewise inline;
+    + {e snapshot rollback} — an unrecoverable event restores the last
+      verified iteration-boundary snapshot (see {!Checkpoint}) and
+      recomputes only the trailing iterations, up to
+      [Config.max_rollbacks] times per attempt; snapshots are taken
+      every [Config.snapshot_interval] iterations (0 = rung disabled);
+    + {e full restart} — recompute from the pristine input
+      (the paper's recovery-by-recomputation), up to
+      [Config.max_restarts] times;
+    + give up, reporting the structured {!Recovery.reason}.
 
     The driver also emits the logical {!Trace_op} trace that the
-    timing-mode {!Schedule} generator must reproduce. *)
+    timing-mode {!Schedule} generator must reproduce (snapshots and
+    rollbacks are numeric-mode-only trace entries and are off by
+    default). *)
 
 open Matrix
 
@@ -28,15 +45,21 @@ type outcome =
       (** the run completed believing it succeeded, but the factor is
           wrong — e.g. Online-ABFT after a storage error (the paper's
           motivating failure) *)
-  | Gave_up of string
-      (** [max_restarts] exceeded; payload is the last failure *)
+  | Gave_up of Recovery.reason
+      (** every ladder rung exhausted; payload is the last failure *)
 
 type stats = {
   verifications : int;  (** tile verifications performed *)
-  corrections : int;  (** elements located and patched *)
+  corrections : int;  (** elements located and delta-patched (rung 1) *)
+  reconstructions : int;
+      (** elements rebuilt from the plain-sum row (rung 2) *)
+  checksum_repairs : int;
+      (** checksum blocks healed after replica disagreement *)
   uncorrectable_events : int;  (** verifications that triggered recovery *)
   fail_stops : int;  (** positive-definiteness losses in POTF2 *)
-  restarts : int;
+  rollbacks : int;  (** snapshot rollbacks taken (rung 3), all attempts *)
+  snapshots : int;  (** snapshots captured, all attempts *)
+  restarts : int;  (** full restarts (rung 4) *)
 }
 
 type report = {
@@ -44,6 +67,10 @@ type report = {
   outcome : outcome;
   residual : float;  (** ‖L·Lᵀ − A‖_F / ‖A‖_F against the pristine input *)
   stats : stats;
+      (** [verifications], [corrections], [reconstructions] and
+          [checksum_repairs] cover the final attempt; [rollbacks],
+          [snapshots], [uncorrectable_events] and [fail_stops] are
+          whole-run totals *)
   injections_fired : Injector.fired list;
   trace : Trace_op.t list;  (** logical trace of the {e last} attempt *)
 }

@@ -1,0 +1,23 @@
+type reason =
+  | Fail_stop of { iteration : int; column : int }
+  | Uncorrectable_block of { block : int * int; detail : string }
+  | Final_mismatch of { block : int * int; detail : string }
+
+exception Error of reason
+
+let is_fail_stop = function
+  | Fail_stop _ -> true
+  | Uncorrectable_block _ | Final_mismatch _ -> false
+
+let describe = function
+  | Fail_stop { iteration; column } ->
+      Printf.sprintf
+        "fail-stop: potf2 lost positive definiteness at iteration %d, column \
+         %d"
+        iteration column
+  | Uncorrectable_block { block = i, c; detail } ->
+      Printf.sprintf "block (%d,%d): %s" i c detail
+  | Final_mismatch { block = i, c; detail } ->
+      Printf.sprintf "final verify (%d,%d): %s" i c detail
+
+let pp fmt r = Format.pp_print_string fmt (describe r)

@@ -1,0 +1,29 @@
+(** Structured recovery reasons.
+
+    Every event that makes an attempt unrecoverable in place is one of
+    these constructors — the graduated recovery ladder in {!Ft.factor}
+    dispatches on the constructor, not on string prefixes, and the
+    reason survives intact into {!Ft.outcome} ([Gave_up]) for tests and
+    reports. *)
+
+type reason =
+  | Fail_stop of { iteration : int; column : int }
+      (** POTF2 lost positive definiteness — the classic fail-stop the
+          paper recovers from by recomputation *)
+  | Uncorrectable_block of { block : int * int; detail : string }
+      (** a verification detected an error pattern the scheme cannot
+          repair in the given tile *)
+  | Final_mismatch of { block : int * int; detail : string }
+      (** the end-of-run verification found a block inconsistent
+          (Offline-ABFT's detect-only check, or the final sweep) *)
+
+exception Error of reason
+(** Raised inside an attempt; caught by the recovery ladder. *)
+
+val is_fail_stop : reason -> bool
+
+val describe : reason -> string
+(** Human-readable one-liner; [Fail_stop] descriptions begin with
+    ["fail-stop:"] to keep log and report text stable. *)
+
+val pp : Format.formatter -> reason -> unit

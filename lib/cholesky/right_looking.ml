@@ -1,7 +1,5 @@
 open Matrix
 
-exception Recovery of string
-
 type state = {
   grid : int;
   pool : Parallel.Pool.t;
@@ -11,6 +9,8 @@ type state = {
   injector : Injector.t;
   mutable verifications : int;
   mutable corrections : int;
+  mutable reconstructions : int;
+  mutable checksum_repairs : int;
 }
 
 let lookup st (i, c) =
@@ -21,16 +21,29 @@ let lookup st (i, c) =
 let chk st i c =
   match st.store with Some s -> Abft.Checksum.get s i c | None -> assert false
 
+let count_fixes st fixes =
+  List.iter
+    (fun (f : Abft.Verify.correction) ->
+      match f.Abft.Verify.source with
+      | Abft.Verify.Located -> st.corrections <- st.corrections + 1
+      | Abft.Verify.Reconstructed ->
+          st.reconstructions <- st.reconstructions + 1)
+    fixes
+
 let verify st i c =
   st.verifications <- st.verifications + 1;
   match
     Abft.Verify.verify ~tol:st.tol (chk st i c) (Tile.tile st.tiles i c)
   with
   | Abft.Verify.Clean -> ()
-  | Abft.Verify.Corrected fixes ->
-      st.corrections <- st.corrections + List.length fixes
+  | Abft.Verify.Corrected fixes -> count_fixes st fixes
+  | Abft.Verify.Checksum_repaired { cells = _; corrections } ->
+      st.checksum_repairs <- st.checksum_repairs + 1;
+      count_fixes st corrections
   | Abft.Verify.Uncorrectable msg ->
-      raise (Recovery (Printf.sprintf "block (%d,%d): %s" i c msg))
+      raise
+        (Recovery.Error
+           (Recovery.Uncorrectable_block { block = (i, c); detail = msg }))
 
 let run_attempt st ~scheme =
   let g = st.grid in
@@ -47,10 +60,7 @@ let run_attempt st ~scheme =
     let diag = tile j j in
     (try Lapack.potf2 Types.Lower diag
      with Lapack.Not_positive_definite k ->
-       raise
-         (Recovery
-            (Printf.sprintf "fail-stop: potf2 lost positive definiteness at \
-                             iteration %d, column %d" j k)));
+       raise (Recovery.Error (Recovery.Fail_stop { iteration = j; column = k })));
     Injector.fire_compute st.injector ~iteration:j ~op:Fault.Potf2 ~block:(j, j)
       diag;
     if with_ft then Abft.Update.potf2 ~chk:(chk st j j) ~la:diag;
@@ -115,7 +125,10 @@ let final_verification st ~scheme =
         if
           not
             (Abft.Verify.check ~tol:st.tol (chk st i c) (Tile.tile st.tiles i c))
-        then raise (Recovery (Printf.sprintf "final verify (%d,%d): mismatch" i c)))
+        then
+          raise
+            (Recovery.Error
+               (Recovery.Final_mismatch { block = (i, c); detail = "mismatch" })))
       (Sets.all_lower ~grid:st.grid)
 
 let factor ?pool ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
@@ -148,6 +161,8 @@ let factor ?pool ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
         injector;
         verifications = 0;
         corrections = 0;
+        reconstructions = 0;
+        checksum_repairs = 0;
       }
     in
     match
@@ -155,11 +170,10 @@ let factor ?pool ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
       final_verification st ~scheme
     with
     | () -> (k, st, None)
-    | exception Recovery msg ->
+    | exception Recovery.Error reason ->
         incr uncorrectable_events;
-        if String.length msg >= 9 && String.sub msg 0 9 = "fail-stop" then
-          incr fail_stops;
-        if k < max_restarts then attempt (k + 1) else (k, st, Some msg)
+        if Recovery.is_fail_stop reason then incr fail_stops;
+        if k < max_restarts then attempt (k + 1) else (k, st, Some reason)
   in
   let restarts, st, failure = attempt 0 in
   let l = Mat.tril (Tile.to_mat st.tiles) in
@@ -169,7 +183,7 @@ let factor ?pool ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
   in
   let outcome =
     match failure with
-    | Some msg -> Ft.Gave_up msg
+    | Some reason -> Ft.Gave_up reason
     | None ->
         if residual <= Ft.residual_threshold then Ft.Success
         else Ft.Silent_corruption
@@ -182,8 +196,12 @@ let factor ?pool ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
       {
         Ft.verifications = st.verifications;
         corrections = st.corrections;
+        reconstructions = st.reconstructions;
+        checksum_repairs = st.checksum_repairs;
         uncorrectable_events = !uncorrectable_events;
         fail_stops = !fail_stops;
+        rollbacks = 0;
+        snapshots = 0;
         restarts;
       };
     injections_fired = Injector.fired injector;

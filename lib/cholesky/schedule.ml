@@ -19,6 +19,15 @@ let uncorrected scheme plan =
         false
     | Fault.In_computation _ -> Abft.Scheme.corrects_computing_errors scheme
     | Fault.In_storage -> Abft.Scheme.corrects_storage_errors scheme
+    | Fault.In_checksum | Fault.In_update _ -> (
+        (* Checksum-side corruption never touches the factor. The
+           replicated store repairs it at the next verification (or it
+           is simply never consulted again); only Offline's detect-only
+           end-of-run check still forces a rerun on the mismatch. *)
+        match scheme with
+        | Abft.Scheme.Offline -> false
+        | Abft.Scheme.No_ft | Abft.Scheme.Online | Abft.Scheme.Enhanced _ ->
+            true)
   in
   List.filter (fun inj -> not (correctable inj)) plan
 

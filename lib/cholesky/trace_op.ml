@@ -7,6 +7,7 @@ type verify_point =
   | Post_gemm
   | Post_potf2
   | Post_trsm
+  | Pre_snapshot
 
 type t =
   | Encode
@@ -23,6 +24,8 @@ type t =
   | Trsm of int
   | Chk_trsm of int
   | Final_verify of (int * int) list
+  | Snapshot of int
+  | Rollback of int
   | Restart
 
 let equal a b = a = b
@@ -46,6 +49,7 @@ let point_name = function
   | Post_gemm -> "post-gemm"
   | Post_potf2 -> "post-potf2"
   | Post_trsm -> "post-trsm"
+  | Pre_snapshot -> "pre-snapshot"
 
 let pp fmt = function
   | Encode -> Format.pp_print_string fmt "encode"
@@ -65,6 +69,8 @@ let pp fmt = function
   | Trsm j -> Format.fprintf fmt "trsm %d" j
   | Chk_trsm j -> Format.fprintf fmt "chk-trsm %d" j
   | Final_verify blocks -> Format.fprintf fmt "final-verify (%d blocks)" (List.length blocks)
+  | Snapshot j -> Format.fprintf fmt "snapshot %d" j
+  | Rollback j -> Format.fprintf fmt "rollback %d" j
   | Restart -> Format.pp_print_string fmt "restart"
 
 let pp_trace fmt ops =

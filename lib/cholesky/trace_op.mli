@@ -16,6 +16,10 @@ type verify_point =
   | Post_gemm
   | Post_potf2
   | Post_trsm
+  | Pre_snapshot
+      (** whole-triangle verification immediately before a snapshot is
+          captured — a snapshot is only worth rolling back to if it was
+          verified at capture time *)
 
 type t =
   | Encode  (** initial checksum encoding of every lower tile *)
@@ -33,6 +37,15 @@ type t =
   | Trsm of int  (** panel solve *)
   | Chk_trsm of int
   | Final_verify of (int * int) list  (** Offline-ABFT end-of-run check *)
+  | Snapshot of int
+      (** iteration-boundary snapshot captured before iteration [j].
+          Numeric-mode only: snapshots are off by default and the
+          timing schedule does not model them, so clean-run traces stay
+          comparable across modes. *)
+  | Rollback of int
+      (** state restored from the snapshot of iteration [j]; the
+          attempt resumes there instead of restarting. Numeric-mode
+          only, like {!Snapshot}. *)
   | Restart  (** recovery by recomputation begins *)
 
 val equal : t list -> t list -> bool

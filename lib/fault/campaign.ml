@@ -1,0 +1,312 @@
+(* Randomized multi-fault campaign generation and reporting for the
+   soak harness (bin/ftsoak). This module owns everything that does not
+   need the Cholesky driver: seeded plan families, case descriptors,
+   per-run result records, aggregation, and the JSON report (same
+   hand-rolled conventions as bench/bench_util.ml — the bench helpers
+   are not a library, so the escaping/formatting is re-implemented
+   here to keep the sink formats identical). *)
+
+type family =
+  | Mixed
+  | Burst
+  | Storage_heavy
+  | Compute_heavy
+  | Checksum_storm
+  | Anchor
+
+let all_families =
+  [ Mixed; Burst; Storage_heavy; Compute_heavy; Checksum_storm; Anchor ]
+
+let family_name = function
+  | Mixed -> "mixed"
+  | Burst -> "burst"
+  | Storage_heavy -> "storage-heavy"
+  | Compute_heavy -> "compute-heavy"
+  | Checksum_storm -> "checksum-storm"
+  | Anchor -> "anchor"
+
+let family_of_string s =
+  match String.lowercase_ascii s with
+  | "mixed" -> Ok Mixed
+  | "burst" -> Ok Burst
+  | "storage-heavy" | "storage" -> Ok Storage_heavy
+  | "compute-heavy" | "compute" -> Ok Compute_heavy
+  | "checksum-storm" | "checksum" -> Ok Checksum_storm
+  | "anchor" -> Ok Anchor
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown family %S (expected mixed|burst|storage-heavy|compute-heavy|checksum-storm|anchor)"
+           s)
+
+(* Families whose plans can contain In_storage flips must run under
+   Enhanced: Online-ABFT inherently misses storage errors consumed
+   before their next post-update verification (the paper's motivating
+   failure), so pairing those plans with Online would report "silent
+   corruption" that is a property of the scheme, not a bug in the
+   ladder. *)
+let needs_enhanced = function
+  | Mixed | Storage_heavy | Anchor -> true
+  | Burst | Compute_heavy | Checksum_storm -> false
+
+(* A burst: two wrong values in the SAME column of one freshly written
+   block. With the default d = 2 checksum rows a column can hide at
+   most one correctable error, so the pattern is uncorrectable by
+   construction and forces the ladder past the inline rungs (rollback
+   when snapshots are on, full restart otherwise). *)
+let burst_plan st ~grid ~block =
+  if grid < 4 then
+    invalid_arg "Campaign.plan: the burst family needs grid >= 4";
+  let int_in lo hi = lo + Random.State.int st (hi - lo + 1) in
+  (* iteration >= 2 so a snapshot boundary (interval 2) exists below it *)
+  let f = int_in 2 (grid - 1) in
+  let op, blk =
+    if f < grid - 1 then (Fault.Gemm, (int_in (f + 1) (grid - 1), f))
+    else (Fault.Syrk, (f, f))
+  in
+  let col = Random.State.int st block in
+  let r1 = Random.State.int st block in
+  let r2 = (r1 + 1 + Random.State.int st (block - 1)) mod block in
+  List.map
+    (fun row ->
+      Fault.computing_error
+        ~delta:(1. +. Random.State.float st 1e4)
+        ~iteration:f ~op ~block:blk ~element:(row, col) ())
+    [ r1; r2 ]
+
+(* Anchor: overwhelming resident corruption (the signature of an
+   exponent-field flip — ~1e35..1e55, far past Verify's anchor
+   magnitude) in off-diagonal blocks. Delta subtraction would destroy
+   every mantissa bit of the true value, so correction must go through
+   the plain-sum reconstruction rung. *)
+let anchor_plan st ~grid ~block ~count =
+  let int_in lo hi = lo + Random.State.int st (hi - lo + 1) in
+  List.init count (fun _ ->
+      let i = int_in 1 (grid - 1) in
+      let c = Random.State.int st i in
+      let sign = if Random.State.bool st then 1. else -1. in
+      let value = sign *. (10. ** float_of_int (int_in 35 55)) in
+      {
+        Fault.iteration = int_in c (max i c);
+        window = Fault.In_storage;
+        block = (i, c);
+        element = (Random.State.int st block, Random.State.int st block);
+        kind = Fault.Value_set { value };
+      })
+
+let plan family ~seed ~grid ~block ~count =
+  if count < 1 then invalid_arg "Campaign.plan: count must be >= 1";
+  let random ~storage ~checksum ~update =
+    Fault.random_plan ~covered_only:true ~seed ~grid ~block ~count
+      ~storage_fraction:storage ~checksum_fraction:checksum
+      ~update_fraction:update ()
+  in
+  match family with
+  | Mixed -> random ~storage:0.3 ~checksum:0.15 ~update:0.15
+  | Storage_heavy -> random ~storage:0.8 ~checksum:0.1 ~update:0.05
+  | Compute_heavy -> random ~storage:0. ~checksum:0.1 ~update:0.1
+  | Checksum_storm -> random ~storage:0. ~checksum:0.5 ~update:0.5
+  | Burst ->
+      let st = Random.State.make [| seed; grid; block; 0x6275 |] in
+      burst_plan st ~grid ~block
+  | Anchor ->
+      let st = Random.State.make [| seed; grid; block; 0x616e |] in
+      anchor_plan st ~grid ~block ~count
+
+type case = {
+  id : int;
+  family : family;
+  scheme : string;
+  grid : int;
+  block : int;
+  domains : int;
+  seed : int;
+  plan : Fault.t;
+}
+
+type outcome = Success | Silent_corruption | Gave_up of string
+
+let outcome_name = function
+  | Success -> "success"
+  | Silent_corruption -> "silent-corruption"
+  | Gave_up _ -> "gave-up"
+
+type run_result = {
+  case : case;
+  outcome : outcome;
+  residual : float;
+  verifications : int;
+  corrections : int;
+  reconstructions : int;
+  checksum_repairs : int;
+  rollbacks : int;
+  snapshots : int;
+  restarts : int;
+  fired : int;
+}
+
+type rung_counts = {
+  corrections_n : int;
+  reconstructions_n : int;
+  checksum_repairs_n : int;
+  rollbacks_n : int;
+  restarts_n : int;
+}
+
+let zero_rungs =
+  {
+    corrections_n = 0;
+    reconstructions_n = 0;
+    checksum_repairs_n = 0;
+    rollbacks_n = 0;
+    restarts_n = 0;
+  }
+
+type aggregate = {
+  campaigns : int;
+  successes : int;
+  silent_corruptions : int;
+  gave_ups : int;
+  faults_fired : int;
+  totals : rung_counts;  (** summed event counts across campaigns *)
+  rung_campaigns : rung_counts;
+      (** campaigns that exercised each rung at least once *)
+  worst_residual : float;
+  silent_rate : float;
+}
+
+let aggregate results =
+  let n = List.length results in
+  let add t r =
+    {
+      corrections_n = t.corrections_n + r.corrections;
+      reconstructions_n = t.reconstructions_n + r.reconstructions;
+      checksum_repairs_n = t.checksum_repairs_n + r.checksum_repairs;
+      rollbacks_n = t.rollbacks_n + r.rollbacks;
+      restarts_n = t.restarts_n + r.restarts;
+    }
+  in
+  let hit t r =
+    let b x = if x > 0 then 1 else 0 in
+    {
+      corrections_n = t.corrections_n + b r.corrections;
+      reconstructions_n = t.reconstructions_n + b r.reconstructions;
+      checksum_repairs_n = t.checksum_repairs_n + b r.checksum_repairs;
+      rollbacks_n = t.rollbacks_n + b r.rollbacks;
+      restarts_n = t.restarts_n + b r.restarts;
+    }
+  in
+  let count p = List.length (List.filter p results) in
+  let silent =
+    count (fun r -> match r.outcome with Silent_corruption -> true | Success | Gave_up _ -> false)
+  in
+  {
+    campaigns = n;
+    successes =
+      count (fun r -> match r.outcome with Success -> true | Silent_corruption | Gave_up _ -> false);
+    silent_corruptions = silent;
+    gave_ups =
+      count (fun r -> match r.outcome with Gave_up _ -> true | Success | Silent_corruption -> false);
+    faults_fired = List.fold_left (fun a r -> a + r.fired) 0 results;
+    totals = List.fold_left add zero_rungs results;
+    rung_campaigns = List.fold_left hit zero_rungs results;
+    worst_residual =
+      List.fold_left (fun a r -> Float.max a r.residual) 0. results;
+    silent_rate = (if n = 0 then 0. else float_of_int silent /. float_of_int n);
+  }
+
+(* ---- JSON report (bench_util sink conventions, schema_version 1) ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && abs_float f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let case_name c =
+  Printf.sprintf "%s/%s/g%d-b%d-p%d/seed%d" (family_name c.family) c.scheme
+    c.grid c.block c.domains c.seed
+
+let result_metrics r =
+  [
+    ("residual", r.residual);
+    ("verifications", float_of_int r.verifications);
+    ("corrections", float_of_int r.corrections);
+    ("reconstructions", float_of_int r.reconstructions);
+    ("checksum_repairs", float_of_int r.checksum_repairs);
+    ("rollbacks", float_of_int r.rollbacks);
+    ("snapshots", float_of_int r.snapshots);
+    ("restarts", float_of_int r.restarts);
+    ("faults_fired", float_of_int r.fired);
+    ( "silent",
+      match r.outcome with
+      | Silent_corruption -> 1.
+      | Success | Gave_up _ -> 0. );
+  ]
+
+let rung_fields prefix t =
+  Printf.sprintf
+    "\"%scorrections\": %d, \"%sreconstructions\": %d, \
+     \"%schecksum_repairs\": %d, \"%srollbacks\": %d, \"%srestarts\": %d"
+    prefix t.corrections_n prefix t.reconstructions_n prefix
+    t.checksum_repairs_n prefix t.rollbacks_n prefix t.restarts_n
+
+let to_json ~seed results =
+  let agg = aggregate results in
+  let b = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  out "{\n  \"schema_version\": 1,\n  \"results\": [";
+  List.iteri
+    (fun i r ->
+      out "%s\n    { \"experiment\": \"ftsoak\", \"name\": \"%s\", \
+           \"size\": %d, \"metrics\": {"
+        (if i = 0 then "" else ",")
+        (json_escape (case_name r.case))
+        (r.case.grid * r.case.block);
+      out " \"outcome\": \"%s\"," (outcome_name r.outcome);
+      List.iteri
+        (fun k (key, v) ->
+          out "%s\"%s\": %s"
+            (if k = 0 then " " else ", ")
+            (json_escape key) (json_float v))
+        (result_metrics r);
+      out " } }")
+    results;
+  out "\n  ],\n  \"aggregate\": {\n";
+  out "    \"seed\": %d,\n" seed;
+  out "    \"campaigns\": %d,\n" agg.campaigns;
+  out "    \"successes\": %d,\n" agg.successes;
+  out "    \"silent_corruptions\": %d,\n" agg.silent_corruptions;
+  out "    \"gave_ups\": %d,\n" agg.gave_ups;
+  out "    \"faults_fired\": %d,\n" agg.faults_fired;
+  out "    \"silent_rate\": %s,\n" (json_float agg.silent_rate);
+  out "    \"worst_residual\": %s,\n" (json_float agg.worst_residual);
+  out "    \"totals\": { %s },\n" (rung_fields "" agg.totals);
+  out "    \"rung_campaigns\": { %s }\n" (rung_fields "" agg.rung_campaigns);
+  out "  }\n}\n";
+  Buffer.contents b
+
+let pp_aggregate fmt agg =
+  Format.fprintf fmt
+    "@[<v>campaigns: %d (success %d, silent %d, gave-up %d)@,faults fired: \
+     %d@,rung events: corrections %d, reconstructions %d, checksum repairs \
+     %d, rollbacks %d, restarts %d@,campaigns touching each rung: %d / %d / \
+     %d / %d / %d@,worst residual: %.3e@]"
+    agg.campaigns agg.successes agg.silent_corruptions agg.gave_ups
+    agg.faults_fired agg.totals.corrections_n agg.totals.reconstructions_n
+    agg.totals.checksum_repairs_n agg.totals.rollbacks_n agg.totals.restarts_n
+    agg.rung_campaigns.corrections_n agg.rung_campaigns.reconstructions_n
+    agg.rung_campaigns.checksum_repairs_n agg.rung_campaigns.rollbacks_n
+    agg.rung_campaigns.restarts_n agg.worst_residual

@@ -1,0 +1,103 @@
+(** Seeded multi-fault soak campaigns.
+
+    A campaign is one factorization run under a randomized fault plan
+    drawn from a {!family}. This module generates the plans and owns
+    the result/aggregation/report types; the driver loop that actually
+    calls the factorization lives in [bin/ftsoak] (this library sits
+    below the Cholesky drivers and cannot call them). *)
+
+type family =
+  | Mixed  (** storage + checksum + update + computing mix *)
+  | Burst
+      (** two wrong values in one column of one freshly written block —
+          uncorrectable with d = 2 by construction, forcing the ladder
+          past the inline rungs (rollback/restart) *)
+  | Storage_heavy  (** mostly resident bit flips *)
+  | Compute_heavy  (** mostly wrong kernel outputs *)
+  | Checksum_storm  (** only checksum-store and checksum-update faults *)
+  | Anchor
+      (** overwhelming resident corruption (exponent-flip-sized values,
+          ~1e35..1e55) in off-diagonal blocks: the corrupted value
+          defeats delta correction, exercising the plain-sum
+          reconstruction rung *)
+
+val all_families : family list
+val family_name : family -> string
+val family_of_string : string -> (family, string) result
+
+val needs_enhanced : family -> bool
+(** True for families whose plans may contain [In_storage] flips:
+    Online-ABFT inherently misses those (the paper's motivating
+    failure), so the soak pairs these families only with Enhanced. *)
+
+val plan : family -> seed:int -> grid:int -> block:int -> count:int -> Fault.t
+(** Deterministic in all arguments. [count] is ignored by [Burst]
+    (always two injections). @raise Invalid_argument if [count < 1] or
+    ([Burst] with [grid < 4] — the burst needs an iteration ≥ 2 with a
+    snapshot boundary below it). *)
+
+type case = {
+  id : int;
+  family : family;
+  scheme : string;  (** display name, e.g. "enhanced-k1" *)
+  grid : int;
+  block : int;
+  domains : int;  (** pool size the case ran under *)
+  seed : int;  (** per-case derived seed *)
+  plan : Fault.t;
+}
+
+type outcome = Success | Silent_corruption | Gave_up of string
+
+val outcome_name : outcome -> string
+
+type run_result = {
+  case : case;
+  outcome : outcome;
+  residual : float;
+  verifications : int;
+  corrections : int;
+  reconstructions : int;
+  checksum_repairs : int;
+  rollbacks : int;
+  snapshots : int;
+  restarts : int;
+  fired : int;
+}
+
+type rung_counts = {
+  corrections_n : int;
+  reconstructions_n : int;
+  checksum_repairs_n : int;
+  rollbacks_n : int;
+  restarts_n : int;
+}
+
+type aggregate = {
+  campaigns : int;
+  successes : int;
+  silent_corruptions : int;
+  gave_ups : int;
+  faults_fired : int;
+  totals : rung_counts;  (** summed event counts across all campaigns *)
+  rung_campaigns : rung_counts;
+      (** number of campaigns that exercised each rung at least once —
+          the acceptance check "every rung below full restart was hit"
+          reads these *)
+  worst_residual : float;
+  silent_rate : float;
+}
+
+val aggregate : run_result list -> aggregate
+
+val case_name : case -> string
+(** ["family/scheme/g<grid>-b<block>-p<domains>/seed<seed>"]. *)
+
+val to_json : seed:int -> run_result list -> string
+(** Full report: bench-style [schema_version 1] sink with one result
+    row per campaign (experiment ["ftsoak"], size = matrix order) plus
+    an ["aggregate"] object carrying the outcome histogram, per-rung
+    totals, campaign-level rung coverage, silent-corruption rate and
+    worst residual. *)
+
+val pp_aggregate : Format.formatter -> aggregate -> unit

@@ -1,5 +1,10 @@
 type op = Syrk | Gemm | Trsm | Potf2
-type window = In_storage | In_computation of op
+
+type window =
+  | In_storage
+  | In_computation of op
+  | In_checksum
+  | In_update of op
 
 type kind =
   | Bit_flip of { bit : int }
@@ -16,6 +21,11 @@ type injection = {
 
 type t = injection list
 
+let equal_op a b =
+  match (a, b) with
+  | Syrk, Syrk | Gemm, Gemm | Trsm, Trsm | Potf2, Potf2 -> true
+  | (Syrk | Gemm | Trsm | Potf2), _ -> false
+
 let apply_kind kind v =
   match kind with
   | Bit_flip { bit } -> Bitflip.flip v bit
@@ -28,12 +38,22 @@ let computing_error ?(delta = 1e3) ~iteration ~op ~block ~element () =
 let storage_error ?(bit = 40) ~iteration ~block ~element () =
   { iteration; window = In_storage; block; element; kind = Bit_flip { bit } }
 
+let checksum_error ?(bit = 40) ~iteration ~block ~element () =
+  { iteration; window = In_checksum; block; element; kind = Bit_flip { bit } }
+
+let update_error ?(delta = 1e3) ~iteration ~op ~block ~element () =
+  { iteration; window = In_update op; block; element; kind = Value_offset { delta } }
+
 let random_plan ?(covered_only = false) ~seed ~grid ~block ~count
-    ~storage_fraction () =
+    ~storage_fraction ?(checksum_fraction = 0.) ?(update_fraction = 0.) () =
   if grid < 1 || block < 1 || count < 0 then
     invalid_arg "Fault.random_plan: bad dimensions";
   if storage_fraction < 0. || storage_fraction > 1. then
     invalid_arg "Fault.random_plan: storage_fraction out of [0,1]";
+  if checksum_fraction < 0. || update_fraction < 0. then
+    invalid_arg "Fault.random_plan: negative window fraction";
+  if storage_fraction +. checksum_fraction +. update_fraction > 1. then
+    invalid_arg "Fault.random_plan: window fractions exceed 1";
   let st = Random.State.make [| seed; grid; block; count |] in
   let int_in lo hi = lo + Random.State.int st (hi - lo + 1) in
   let element () = (Random.State.int st block, Random.State.int st block) in
@@ -53,6 +73,22 @@ let random_plan ?(covered_only = false) ~seed ~grid ~block ~count
       window = In_storage;
       block = blk;
       element = element ();
+      kind = Bit_flip { bit = int_in 30 52 };
+    }
+  in
+  let checksum () =
+    (* A flip inside the stored d x B checksum block itself. The element
+       row indexes the checksum row (the store's default d = 2); the
+       column indexes the tile column it protects. Covered means a later
+       verification still consults this block's checksum (same liveness
+       window as a storage flip on the tile). *)
+    let ((i, c) as blk) = lower_tri_block () in
+    let hi = if covered_only then max i c else grid - 1 in
+    {
+      iteration = int_in c hi;
+      window = In_checksum;
+      block = blk;
+      element = (Random.State.int st 2, Random.State.int st block);
       kind = Bit_flip { bit = int_in 30 52 };
     }
   in
@@ -87,8 +123,41 @@ let random_plan ?(covered_only = false) ~seed ~grid ~block ~count
           kind = Value_offset { delta = 1. +. Random.State.float st 1e4 };
         }
   in
+  let update () =
+    (* A wrong value written by an op's checksum-update kernel: the
+       corrupted output lands in the checksum block, never in the tile,
+       so every scheme's cross-check can repair it by recalculation —
+       the window is covered for any op (Potf2 included). *)
+    let j = Random.State.int st grid in
+    let candidates =
+      [ Potf2 ]
+      @ (if j >= 1 then [ Syrk ] else [])
+      @ (if j < grid - 1 then [ Trsm ] else [])
+      @ if j >= 1 && j < grid - 1 then [ Gemm ] else []
+    in
+    let op =
+      let candidates = Array.of_list candidates in
+      candidates.(Random.State.int st (Array.length candidates))
+    in
+    let blk =
+      match op with
+      | Syrk | Potf2 -> (j, j)
+      | Gemm | Trsm -> (int_in (j + 1) (grid - 1), j)
+    in
+    {
+      iteration = j;
+      window = In_update op;
+      block = blk;
+      element = (Random.State.int st 2, Random.State.int st block);
+      kind = Value_offset { delta = 1. +. Random.State.float st 1e4 };
+    }
+  in
   List.init count (fun _ ->
-      if Random.State.float st 1. < storage_fraction then storage ()
+      let r = Random.State.float st 1. in
+      if r < storage_fraction then storage ()
+      else if r < storage_fraction +. checksum_fraction then checksum ()
+      else if r < storage_fraction +. checksum_fraction +. update_fraction then
+        update ()
       else computing ())
 
 let op_name = function
@@ -102,6 +171,8 @@ let pp_injection fmt inj =
     match inj.window with
     | In_storage -> "storage"
     | In_computation op -> "compute:" ^ op_name op
+    | In_checksum -> "checksum"
+    | In_update op -> "chk-update:" ^ op_name op
   in
   let k =
     match inj.kind with

@@ -1,8 +1,8 @@
 (** Fault descriptions and injection plans.
 
     A plan is a list of {!injection}s, each firing at most once at a
-    well-defined logical point of the factorization. The two windows
-    mirror the paper's taxonomy:
+    well-defined logical point of the factorization. The windows extend
+    the paper's taxonomy:
 
     - {{!window}[In_computation op]} — a *computing error*: one element
       of [op]'s freshly written output block is wrong (the "1+1=3"
@@ -11,6 +11,14 @@
       flips while the block sits in memory between its last
       verification and its next access. Only pre-read verification
       (Enhanced Online-ABFT) catches these before they are consumed.
+    - {{!window}[In_checksum]} — a bit of the *stored checksum block*
+      flips while resident. The checksum store's duplicate encoding
+      (see {!Abft.Checksum}) detects the disagreement at the next
+      verification and repairs the corrupted copy by recalculation.
+    - {{!window}[In_update op]} — a computing error inside [op]'s
+      checksum-*update* kernel: the wrong value lands in the checksum
+      block, never in the tile, and is likewise repaired by
+      recalculation at the next verification.
 
     Plans are data: deterministic, serializable to a compact string
     form, and independent of the execution mode (the numeric driver
@@ -26,6 +34,14 @@ type window =
   | In_computation of op
       (** fired immediately after [op] writes the target block in the
           target iteration *)
+  | In_checksum
+      (** fired at the start of the target iteration on the stored
+          checksum block of the target tile; [element] is
+          [(checksum row, tile column)] within the d×B block *)
+  | In_update of op
+      (** fired immediately after [op]'s checksum update writes the
+          target block's checksum in the target iteration; [element]
+          as for [In_checksum] *)
 
 type kind =
   | Bit_flip of { bit : int }  (** storage-style corruption *)
@@ -36,11 +52,14 @@ type injection = {
   iteration : int;  (** outer iteration (block column) at which to fire *)
   window : window;
   block : int * int;  (** target tile, block coordinates (row, col) *)
-  element : int * int;  (** element within the tile *)
+  element : int * int;  (** element within the tile (or checksum block) *)
   kind : kind;
 }
 
 type t = injection list
+
+val equal_op : op -> op -> bool
+(** Structural equality on {!op} without polymorphic compare. *)
 
 val apply_kind : kind -> float -> float
 (** The corrupted value a [kind] produces from a stored value. *)
@@ -54,6 +73,15 @@ val storage_error :
 (** A single storage bit-flip (default [bit = 40], a mid-exponent
     mantissa bit large enough to matter). *)
 
+val checksum_error :
+  ?bit:int -> iteration:int -> block:int * int -> element:int * int -> unit -> injection
+(** A single bit-flip inside the stored checksum block; [element] is
+    [(checksum row, tile column)]. *)
+
+val update_error :
+  ?delta:float -> iteration:int -> op:op -> block:int * int -> element:int * int -> unit -> injection
+(** A single wrong value written by [op]'s checksum-update kernel. *)
+
 val random_plan :
   ?covered_only:bool ->
   seed:int ->
@@ -61,22 +89,34 @@ val random_plan :
   block:int ->
   count:int ->
   storage_fraction:float ->
+  ?checksum_fraction:float ->
+  ?update_fraction:float ->
   unit ->
   t
 (** [random_plan ~seed ~grid ~block ~count ~storage_fraction] draws
     [count] injections over a [grid × grid] tile matrix of [block]-size
     tiles: iteration uniform in the iterations during which the target
     block is still live, target block uniform over the lower triangle,
-    element uniform in the tile, window storage with probability
-    [storage_fraction] else computing (op chosen to match where the
-    block is written at that iteration). Deterministic in [seed].
+    element uniform in the tile. Each draw is a storage flip with
+    probability [storage_fraction], a checksum-store flip with
+    probability [checksum_fraction] (default 0), a checksum-update
+    error with probability [update_fraction] (default 0), else a
+    computing error (op chosen to match where the block is written at
+    that iteration). Deterministic in [seed]; with the default zero
+    checksum/update fractions the generated plans are identical to the
+    two-window generator of earlier revisions.
 
     [~covered_only:true] (default [false]) restricts draws to the
     windows the Enhanced scheme actually covers — the injections the
     paper's experiments use: no [Potf2]-output computing errors (the
     checksum update consumes the corrupted factor, detect-only) and no
-    storage flips after the target block's last read
-    ([iteration <= max row col], after which nothing re-reads it). *)
+    storage or checksum flips after the target block's last read
+    ([iteration <= max row col], after which nothing re-reads it).
+    Checksum-update errors are covered for every op — they never touch
+    tile data, so recalculation always repairs them.
+
+    @raise Invalid_argument if any fraction is out of range or the
+    three window fractions sum past 1. *)
 
 val pp_injection : Format.formatter -> injection -> unit
 val pp : Format.formatter -> t -> unit

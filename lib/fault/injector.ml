@@ -9,16 +9,18 @@ type fired = {
 type t = {
   mutable pending : Fault.t;
   mutable log : fired list;  (* reverse firing order *)
+  mutable fired_n : int;  (* length of [log], maintained incrementally *)
 }
 
-let create plan = { pending = plan; log = [] }
+let create plan = { pending = plan; log = []; fired_n = 0 }
 
 let corrupt t (inj : Fault.injection) tile =
   let ei, ej = inj.Fault.element in
   let old_value = Mat.get tile ei ej in
   let new_value = Fault.apply_kind inj.Fault.kind old_value in
   Mat.set tile ei ej new_value;
-  t.log <- { injection = inj; old_value; new_value } :: t.log
+  t.log <- { injection = inj; old_value; new_value } :: t.log;
+  t.fired_n <- t.fired_n + 1
 
 let partition_fire t select apply =
   let fire, keep = List.partition select t.pending in
@@ -26,10 +28,17 @@ let partition_fire t select apply =
   let unapplied = List.filter (fun inj -> not (apply inj)) fire in
   t.pending <- unapplied @ keep
 
+let block_matches (inj : Fault.injection) (bi, bc) =
+  let ii, ic = inj.Fault.block in
+  ii = bi && ic = bc
+
 let fire_storage t ~iteration ~lookup =
   partition_fire t
     (fun inj ->
-      inj.Fault.window = Fault.In_storage && inj.Fault.iteration = iteration)
+      match inj.Fault.window with
+      | Fault.In_storage -> inj.Fault.iteration = iteration
+      | Fault.In_computation _ | Fault.In_checksum | Fault.In_update _ ->
+          false)
     (fun inj ->
       match lookup inj.Fault.block with
       | None -> false
@@ -40,15 +49,46 @@ let fire_storage t ~iteration ~lookup =
 let fire_compute t ~iteration ~op ~block tile =
   partition_fire t
     (fun inj ->
-      inj.Fault.window = Fault.In_computation op
-      && inj.Fault.iteration = iteration
-      && inj.Fault.block = block)
+      match inj.Fault.window with
+      | Fault.In_computation o ->
+          Fault.equal_op o op
+          && inj.Fault.iteration = iteration
+          && block_matches inj block
+      | Fault.In_storage | Fault.In_checksum | Fault.In_update _ -> false)
     (fun inj ->
       corrupt t inj tile;
       true)
 
+let fire_checksum t ~iteration ~lookup =
+  partition_fire t
+    (fun inj ->
+      match inj.Fault.window with
+      | Fault.In_checksum -> inj.Fault.iteration = iteration
+      | Fault.In_storage | Fault.In_computation _ | Fault.In_update _ ->
+          false)
+    (fun inj ->
+      match lookup inj.Fault.block with
+      | None -> false
+      | Some chk ->
+          corrupt t inj chk;
+          true)
+
+let fire_update t ~iteration ~op ~block chk =
+  partition_fire t
+    (fun inj ->
+      match inj.Fault.window with
+      | Fault.In_update o ->
+          Fault.equal_op o op
+          && inj.Fault.iteration = iteration
+          && block_matches inj block
+      | Fault.In_storage | Fault.In_computation _ | Fault.In_checksum ->
+          false)
+    (fun inj ->
+      corrupt t inj chk;
+      true)
+
 let fired t = List.rev t.log
-let fired_count t = List.length t.log
+let fired_count t = t.fired_n
 let pending t = t.pending
 
 let pp_fired fmt f =

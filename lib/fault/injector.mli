@@ -2,7 +2,8 @@
 
     The numeric Cholesky drivers announce logical points of the
     factorization; the injector fires the plan's matching injections by
-    physically corrupting the tile data, and keeps an audit log of what
+    physically corrupting the tile data — or, for the checksum-side
+    windows, the stored checksum block — and keeps an audit log of what
     it changed (block, element, old and new value). Each injection
     fires at most once — faults in the paper's experiments are
     transient, so they do not re-fire during a recovery re-run. *)
@@ -31,10 +32,26 @@ val fire_compute :
     [In_computation op] injection matching this (iteration, op, block)
     to the freshly updated [tile]. *)
 
+val fire_checksum :
+  t -> iteration:int -> lookup:(int * int -> Matrix.Mat.t option) -> unit
+(** [fire_checksum t ~iteration ~lookup] applies every still-pending
+    [In_checksum] injection scheduled for [iteration]. [lookup] maps
+    block coordinates to the live (primary) d×B checksum matrix of
+    that block — only the primary copy is hit, mirroring a resident
+    memory fault on one replica. *)
+
+val fire_update :
+  t -> iteration:int -> op:Fault.op -> block:int * int -> Matrix.Mat.t -> unit
+(** [fire_update t ~iteration ~op ~block chk] applies every pending
+    [In_update op] injection matching this (iteration, op, block) to
+    the freshly updated (primary) checksum matrix [chk]. *)
+
 val fired : t -> fired list
 (** Audit log, in firing order. *)
 
 val fired_count : t -> int
+(** Number of fired injections; O(1) (an incremental counter, not a
+    walk of the log). *)
 
 val pending : t -> Fault.t
 (** Injections that have not fired (yet, or ever — e.g. scheduled past

@@ -52,6 +52,11 @@ let count_outcome st ~where = function
   | Abft.Verify.Corrected fixes ->
       Log.info (fun m -> m "corrected %d element(s) in %s" (List.length fixes) where);
       st.corrections <- st.corrections + List.length fixes
+  | Abft.Verify.Checksum_repaired { cells; corrections } ->
+      Log.info (fun m ->
+          m "repaired %d checksum cell(s) in %s (+%d tile fix(es))" cells where
+            (List.length corrections));
+      st.corrections <- st.corrections + List.length corrections
   | Abft.Verify.Uncorrectable msg ->
       Log.warn (fun m -> m "uncorrectable at %s: %s" where msg);
       raise (Recovery (Printf.sprintf "%s: %s" where msg))
@@ -88,7 +93,9 @@ let verify_diag_factored st j =
   let lpart = Mat.tril ~diag:Types.Unit_diag packed in
   (match Duochk.verify_col ~tol:st.tol dk lpart with
   | Abft.Verify.Clean -> ()
-  | Abft.Verify.Corrected fixes ->
+  | Abft.Verify.Checksum_repaired { corrections = []; _ } -> ()
+  | Abft.Verify.Corrected fixes
+  | Abft.Verify.Checksum_repaired { corrections = _ :: _ as fixes; _ } ->
       List.iter
         (fun (f : Abft.Verify.correction) ->
           if f.Abft.Verify.row > f.Abft.Verify.col then begin
@@ -106,7 +113,9 @@ let verify_diag_factored st j =
   let upart = Mat.triu packed in
   match Duochk.verify_row ~tol:st.tol dk upart with
   | Abft.Verify.Clean -> ()
-  | Abft.Verify.Corrected fixes ->
+  | Abft.Verify.Checksum_repaired { corrections = []; _ } -> ()
+  | Abft.Verify.Corrected fixes
+  | Abft.Verify.Checksum_repaired { corrections = _ :: _ as fixes; _ } ->
       List.iter
         (fun (f : Abft.Verify.correction) ->
           if f.Abft.Verify.row <= f.Abft.Verify.col then begin

@@ -54,6 +54,11 @@ let verify_panel st i =
       Log.info (fun f ->
           f "corrected %d element(s) in panel %d" (List.length fixes) i);
       st.corrections <- st.corrections + List.length fixes
+  | Abft.Verify.Checksum_repaired { cells; corrections } ->
+      Log.info (fun f ->
+          f "repaired %d checksum cell(s) for panel %d (+%d tile fix(es))"
+            cells i (List.length corrections));
+      st.corrections <- st.corrections + List.length corrections
   | Abft.Verify.Uncorrectable msg ->
       raise (Recovery (Printf.sprintf "panel %d: %s" i msg))
 
@@ -64,7 +69,13 @@ let mgs_panel st j ~with_ft =
   let p = st.panels.(j) in
   let b = st.block in
   let base = j * b in
-  let c = if with_ft then Some (Panelchk.matrix (chk st j)) else None in
+  (* both checksum replicas follow the panel through the same exact
+     update sequence *)
+  let cs =
+    if with_ft then
+      [ Panelchk.matrix (chk st j); Panelchk.shadow (chk st j) ]
+    else []
+  in
   for col = 0 to b - 1 do
     let v = Mat.col p col in
     let nrm = Vec.nrm2 v in
@@ -76,25 +87,25 @@ let mgs_panel st j ~with_ft =
     Mat.set st.r (base + col) (base + col) nrm;
     Vec.scal (1. /. nrm) v;
     Mat.set_col p col v;
-    (match c with
-    | Some cm ->
+    List.iter
+      (fun cm ->
         for row = 0 to Mat.rows cm - 1 do
           Mat.set cm row col (Mat.get cm row col /. nrm)
-        done
-    | None -> ());
+        done)
+      cs;
     for col' = col + 1 to b - 1 do
       let w = Mat.col p col' in
       let proj = Vec.dot v w in
       Mat.set st.r (base + col) (base + col') proj;
       Vec.axpy (-.proj) v w;
       Mat.set_col p col' w;
-      match c with
-      | Some cm ->
+      List.iter
+        (fun cm ->
           for row = 0 to Mat.rows cm - 1 do
             Mat.set cm row col'
               (Mat.get cm row col' -. (proj *. Mat.get cm row col))
-          done
-      | None -> ()
+          done)
+        cs
     done
   done
 
@@ -122,13 +133,19 @@ let run_attempt st ~scheme =
       (* R_kj = Qk^T Aj *)
       let rkj = Blas3.gemm_alloc ~transa:Types.Trans qk aj in
       Mat.blit ~src:rkj ~dst:st.r ~row:(k * b) ~col:(j * b);
-      (* Aj -= Qk Rkj, chk(Aj) -= chk(Qk) Rkj *)
+      (* Aj -= Qk Rkj, chk(Aj) -= chk(Qk) Rkj — on both replicas, each
+         reading its own copy of chk(Qk) so the chains stay independent *)
       Blas3.gemm ~alpha:(-1.) ~beta:1. qk rkj aj;
-      if with_ft then
+      if with_ft then begin
         Blas3.gemm ~alpha:(-1.) ~beta:1.
           (Panelchk.matrix (chk st k))
           rkj
           (Panelchk.matrix (chk st j));
+        Blas3.gemm ~alpha:(-1.) ~beta:1.
+          (Panelchk.shadow (chk st k))
+          rkj
+          (Panelchk.shadow (chk st j))
+      end;
       Injector.fire_compute st.injector ~iteration:j ~op:Fault.Gemm
         ~block:(j, k) aj;
       if online && with_ft then verify_panel st j

@@ -11,6 +11,7 @@ let encode ?(d = 2) p =
   Abft.Checksum.encode ~d p
 
 let matrix = Abft.Checksum.matrix
+let shadow = Abft.Checksum.shadow
 let copy = Abft.Checksum.copy
 let check ?tol t p = Abft.Verify.check ?tol t p
 let verify ?tol t p = Abft.Verify.verify ?tol t p

@@ -17,6 +17,11 @@ val encode : ?d:int -> Mat.t -> t
 val matrix : t -> Mat.t
 (** The live d×b checksum matrix (update rules mutate it). *)
 
+val shadow : t -> Mat.t
+(** The live shadow replica. Update rules mutating {!matrix} must
+    mirror the same operation here, or verification will flag the
+    store as corrupted (see {!Abft.Checksum}). *)
+
 val check : ?tol:float -> t -> Mat.t -> bool
 (** Detection only. @raise Invalid_argument on shape mismatch. *)
 

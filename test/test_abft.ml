@@ -72,8 +72,9 @@ let test_store_lower () =
        ignore (Checksum.get store 0 2);
        false
      with Invalid_argument _ -> true);
-  (* Space: 6 lower tiles x 2 x 4 doubles x 8 bytes. *)
-  Alcotest.(check int) "bytes" (6 * 2 * 4 * 8) (Checksum.total_bytes store)
+  (* Space: 6 lower tiles x 2 x 4 doubles x 8 bytes, twice over for the
+     self-protecting shadow replica. *)
+  Alcotest.(check int) "bytes" (2 * 6 * 2 * 4 * 8) (Checksum.total_bytes store)
 
 (* ------------------------------------------------------------------ *)
 (* Update rules preserve the invariant                                 *)
@@ -644,6 +645,10 @@ let prop_high_exponent_flip_handled =
       match Verify.verify chk a with
       | Verify.Corrected _ -> Mat.approx_equal ~tol:1e-5 pristine a
       | Verify.Uncorrectable _ -> true (* honest refusal, never silent lies *)
+      | Verify.Checksum_repaired _ ->
+          (* only the tile was corrupted; the replicas agree, so replica
+             healing must never trigger here *)
+          false
       | Verify.Clean ->
           (* acceptable only if the flip was below threshold *)
           abs_float (Mat.get a i j -. Mat.get pristine i j) < 1e-3)

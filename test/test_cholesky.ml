@@ -621,7 +621,9 @@ let prop_ft_random_fault_storms =
                    (* keep flips that strike blocks still to be read:
                       block (i, c) is last read at iteration i *)
                    let i, _ = inj.Fault.block in
-                   inj.Fault.iteration <= i)
+                   inj.Fault.iteration <= i
+               | Fault.In_checksum | Fault.In_update _ ->
+                   true (* the self-protecting store heals these *))
       in
       let a = Spd.random_spd ~seed:(seed + 77) n in
       let r = C.Ft.factor ~plan (cfg ~block ()) a in

@@ -96,7 +96,9 @@ let test_random_plan_valid () =
               Alcotest.(check bool) "diag target" true (bi = bj && bj = inj.Fault.iteration)
           | Fault.Gemm | Fault.Trsm ->
               Alcotest.(check bool) "panel target" true
-                (bj = inj.Fault.iteration && bi > bj)))
+                (bj = inj.Fault.iteration && bi > bj))
+      | Fault.In_checksum | Fault.In_update _ ->
+          Alcotest.fail "checksum windows must not appear at default fractions")
     plan
 
 let test_random_plan_deterministic () =
@@ -127,7 +129,9 @@ let test_random_plan_grid_one () =
       match inj.Fault.window with
       | Fault.In_computation op ->
           Alcotest.(check bool) "only potf2 possible" true (op = Fault.Potf2)
-      | Fault.In_storage -> ())
+      | Fault.In_storage -> ()
+      | Fault.In_checksum | Fault.In_update _ ->
+          Alcotest.fail "checksum windows must not appear at default fractions")
     plan
 
 let test_random_plan_bad_args () =
@@ -214,6 +218,98 @@ let test_injector_audit_log () =
       check_float "new" (-1.) f.Injector.new_value
   | _ -> Alcotest.fail "expected exactly one log entry"
 
+let test_injector_checksum_window () =
+  (* a d×B checksum store: 2 checksum rows per 4-wide block *)
+  let chks = tile_store 3 4 in
+  let inj =
+    Injector.create
+      [ Fault.checksum_error ~bit:40 ~iteration:1 ~block:(2, 1) ~element:(1, 2) () ]
+  in
+  Injector.fire_checksum inj ~iteration:0 ~lookup:(lookup chks);
+  Alcotest.(check int) "not yet" 0 (Injector.fired_count inj);
+  Injector.fire_checksum inj ~iteration:1 ~lookup:(lookup chks);
+  Alcotest.(check int) "fired" 1 (Injector.fired_count inj);
+  Alcotest.(check bool) "checksum corrupted" true
+    (Mat.get chks.(2).(1) 1 2 <> 0.);
+  (* storage firings must never consume a checksum injection *)
+  let inj2 =
+    Injector.create
+      [ Fault.checksum_error ~iteration:0 ~block:(1, 0) ~element:(0, 0) () ]
+  in
+  Injector.fire_storage inj2 ~iteration:0 ~lookup:(lookup chks);
+  Alcotest.(check int) "storage does not fire checksum" 0
+    (Injector.fired_count inj2)
+
+let test_injector_update_window () =
+  let chks = tile_store 3 4 in
+  let inj =
+    Injector.create
+      [
+        Fault.update_error ~delta:7. ~iteration:1 ~op:Fault.Trsm ~block:(2, 1)
+          ~element:(0, 3) ();
+      ]
+  in
+  (* wrong op, wrong block, wrong iteration: no fire *)
+  Injector.fire_update inj ~iteration:1 ~op:Fault.Gemm ~block:(2, 1) chks.(2).(1);
+  Injector.fire_update inj ~iteration:1 ~op:Fault.Trsm ~block:(1, 1) chks.(1).(1);
+  Injector.fire_update inj ~iteration:0 ~op:Fault.Trsm ~block:(2, 1) chks.(2).(1);
+  Alcotest.(check int) "no mismatch fires" 0 (Injector.fired_count inj);
+  Injector.fire_update inj ~iteration:1 ~op:Fault.Trsm ~block:(2, 1) chks.(2).(1);
+  Alcotest.(check int) "fired" 1 (Injector.fired_count inj);
+  check_float "delta applied" 7. (Mat.get chks.(2).(1) 0 3)
+
+let test_injector_fired_count_matches_log () =
+  let store = tile_store 3 4 in
+  let inj =
+    Injector.create
+      [
+        Fault.storage_error ~iteration:0 ~block:(1, 0) ~element:(0, 0) ();
+        Fault.checksum_error ~iteration:0 ~block:(2, 0) ~element:(1, 1) ();
+      ]
+  in
+  Injector.fire_storage inj ~iteration:0 ~lookup:(lookup store);
+  Injector.fire_checksum inj ~iteration:0 ~lookup:(lookup store);
+  Alcotest.(check int) "count = log length"
+    (List.length (Injector.fired inj))
+    (Injector.fired_count inj);
+  Alcotest.(check int) "both fired" 2 (Injector.fired_count inj)
+
+let test_random_plan_checksum_fractions () =
+  let all_checksum =
+    Fault.random_plan ~seed:4 ~grid:4 ~block:4 ~count:50 ~storage_fraction:0.
+      ~checksum_fraction:1. ()
+  in
+  Alcotest.(check bool) "all checksum" true
+    (List.for_all
+       (fun i -> i.Fault.window = Fault.In_checksum)
+       all_checksum);
+  List.iter
+    (fun i ->
+      let r, c = i.Fault.element in
+      Alcotest.(check bool) "element in d x B" true
+        (r >= 0 && r < 2 && c >= 0 && c < 4))
+    all_checksum;
+  let all_update =
+    Fault.random_plan ~seed:4 ~grid:4 ~block:4 ~count:50 ~storage_fraction:0.
+      ~update_fraction:1. ()
+  in
+  Alcotest.(check bool) "all update" true
+    (List.for_all
+       (fun i ->
+         match i.Fault.window with Fault.In_update _ -> true | _ -> false)
+       all_update);
+  (* the default fractions keep plans identical to the historic
+     two-window generator *)
+  let p_default =
+    Fault.random_plan ~seed:9 ~grid:5 ~block:6 ~count:30 ~storage_fraction:0.4 ()
+  in
+  let p_explicit =
+    Fault.random_plan ~seed:9 ~grid:5 ~block:6 ~count:30 ~storage_fraction:0.4
+      ~checksum_fraction:0. ~update_fraction:0. ()
+  in
+  Alcotest.(check string) "zero fractions are the default"
+    (Fault.to_string p_default) (Fault.to_string p_explicit)
+
 let test_injector_multiple_same_iteration () =
   let store = tile_store 3 4 in
   let inj =
@@ -279,6 +375,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick
             test_random_plan_deterministic;
           Alcotest.test_case "fractions" `Quick test_random_plan_fractions;
+          Alcotest.test_case "checksum fractions" `Quick
+            test_random_plan_checksum_fractions;
           Alcotest.test_case "grid=1" `Quick test_random_plan_grid_one;
           Alcotest.test_case "bad args" `Quick test_random_plan_bad_args;
         ] );
@@ -291,6 +389,11 @@ let () =
           Alcotest.test_case "missing block pending" `Quick
             test_injector_missing_block_stays_pending;
           Alcotest.test_case "audit log" `Quick test_injector_audit_log;
+          Alcotest.test_case "checksum window" `Quick
+            test_injector_checksum_window;
+          Alcotest.test_case "update window" `Quick test_injector_update_window;
+          Alcotest.test_case "fired_count matches log" `Quick
+            test_injector_fired_count_matches_log;
           Alcotest.test_case "multiple per iteration" `Quick
             test_injector_multiple_same_iteration;
         ] );

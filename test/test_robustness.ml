@@ -1,0 +1,514 @@
+(* PR-3 robustness suite: single-fault correction properties across
+   every injection window, checksum self-protection regressions, the
+   graduated recovery ladder, and the soak campaign machinery. *)
+
+open Matrix
+module C = Cholesky
+
+let grid = 4
+let block = 4
+let n = grid * block
+
+let cfg ?(scheme = Abft.Scheme.enhanced ()) ?(snapshot_interval = 0)
+    ?(max_rollbacks = 2) ?(max_restarts = 3) () =
+  C.Config.make ~machine:Hetsim.Machine.testbench ~block ~scheme ~max_restarts
+    ~max_rollbacks ~snapshot_interval ()
+
+let spd seed = Spd.random_spd ~seed n
+
+let factor_single ?scheme ?snapshot_interval inj =
+  C.Ft.factor ~plan:[ inj ] (cfg ?scheme ?snapshot_interval ()) (spd 11)
+
+let bitwise_equal a b =
+  Mat.rows a = Mat.rows b
+  && Mat.cols a = Mat.cols b
+  &&
+  let ok = ref true in
+  for i = 0 to Mat.rows a - 1 do
+    for j = 0 to Mat.cols a - 1 do
+      if
+        not
+          (Int64.equal
+             (Int64.bits_of_float (Mat.get a i j))
+             (Int64.bits_of_float (Mat.get b i j)))
+      then ok := false
+    done
+  done;
+  !ok
+
+let outcome_label (r : C.Ft.report) =
+  Format.asprintf "%a" C.Ft.pp_outcome r.C.Ft.outcome
+
+let op_name = function
+  | Fault.Potf2 -> "potf2"
+  | Fault.Syrk -> "syrk"
+  | Fault.Trsm -> "trsm"
+  | Fault.Gemm -> "gemm"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_success name (r : C.Ft.report) =
+  Alcotest.(check string) (name ^ " outcome") "success" (outcome_label r);
+  Alcotest.(check int) (name ^ " restarts") 0 r.C.Ft.stats.C.Ft.restarts
+
+(* ------------------------------------------------------------------ *)
+(* Property: every single fault, in every window, is absorbed inline   *)
+(* ------------------------------------------------------------------ *)
+
+(* All (iteration, op, block) combinations the 4x4-tile factorization
+   actually executes, excluding POTF2 computing errors (entangled: the
+   paper recovers those by recomputation, not inline). *)
+let compute_sites =
+  List.concat
+    [
+      List.init 3 (fun j -> (j + 1, Fault.Syrk, (j + 1, j + 1)));
+      [ (1, Fault.Gemm, (2, 1)); (1, Fault.Gemm, (3, 1)); (2, Fault.Gemm, (3, 2)) ];
+      List.concat_map
+        (fun j -> List.init (grid - 1 - j) (fun i -> (j, Fault.Trsm, (j + 1 + i, j))))
+        [ 0; 1; 2 ];
+    ]
+
+(* Flip deltas scale as v·2^(bit-52): from bit 38 up the perturbation
+   (≥ 6e-5 relative) always clears the 1e-8-scaled rounding threshold,
+   so inline correction with no restart is guaranteed. Below that a
+   flip on a small element can fall under the threshold at its own
+   block yet surface later as an entangled (uncorrectable) mismatch —
+   the ladder may then legitimately burn a restart; the contract is
+   only that the run still ends in Success. *)
+let bits = [ 30; 34; 38; 45; 52 ]
+let must_correct bit = bit >= 38
+
+let test_single_compute_faults () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun (iteration, op, blk) ->
+          List.iter
+            (fun bit ->
+              let inj =
+                {
+                  Fault.iteration;
+                  window = Fault.In_computation op;
+                  block = blk;
+                  element = (1, 2);
+                  kind = Fault.Bit_flip { bit };
+                }
+              in
+              let r = factor_single ~scheme inj in
+              let name =
+                Printf.sprintf "%s %s@%d bit%d" (Abft.Scheme.name scheme)
+                  (op_name op) iteration bit
+              in
+              Alcotest.(check string)
+                (name ^ " outcome") "success" (outcome_label r);
+              if must_correct bit then begin
+                Alcotest.(check int)
+                  (name ^ " restarts") 0 r.C.Ft.stats.C.Ft.restarts;
+                Alcotest.(check bool)
+                  (name ^ " corrected inline") true
+                  (r.C.Ft.stats.C.Ft.corrections
+                   + r.C.Ft.stats.C.Ft.reconstructions
+                   >= 1)
+              end)
+            bits)
+        compute_sites)
+    [ Abft.Scheme.Online; Abft.Scheme.enhanced () ]
+
+let test_single_storage_faults () =
+  (* storage flips need pre-read verification: Enhanced only; fire at
+     an iteration no later than the block's last read (row index) *)
+  List.iter
+    (fun (iteration, blk) ->
+      List.iter
+        (fun bit ->
+          let inj =
+            Fault.storage_error ~bit ~iteration ~block:blk ~element:(2, 1) ()
+          in
+          let r = factor_single ~scheme:(Abft.Scheme.enhanced ()) inj in
+          let name =
+            Printf.sprintf "storage (%d,%d)@%d bit%d" (fst blk) (snd blk)
+              iteration bit
+          in
+          Alcotest.(check string)
+            (name ^ " outcome") "success" (outcome_label r);
+          if must_correct bit then begin
+            Alcotest.(check int)
+              (name ^ " restarts") 0 r.C.Ft.stats.C.Ft.restarts;
+            Alcotest.(check bool)
+              (name ^ " corrected inline") true
+              (r.C.Ft.stats.C.Ft.corrections
+               + r.C.Ft.stats.C.Ft.reconstructions
+               >= 1)
+          end)
+        bits)
+    [ (0, (2, 0)); (1, (1, 1)); (2, (3, 2)); (3, (3, 3)); (1, (3, 0)) ]
+
+let test_single_checksum_faults () =
+  (* a primary-replica checksum flip: the factor must come out right
+     and the store must heal itself (the fault fires at the start of an
+     iteration in which the block is still verified) *)
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun (iteration, blk) ->
+          let inj =
+            Fault.checksum_error ~bit:40 ~iteration ~block:blk ~element:(0, 2)
+              ()
+          in
+          let r = factor_single ~scheme inj in
+          let name =
+            Printf.sprintf "%s chk (%d,%d)@%d" (Abft.Scheme.name scheme)
+              (fst blk) (snd blk) iteration
+          in
+          check_success name r;
+          Alcotest.(check bool)
+            (name ^ " store healed") true
+            (r.C.Ft.stats.C.Ft.checksum_repairs >= 1))
+        [ (1, (1, 1)); (2, (2, 2)); (3, (3, 3)); (1, (2, 1)); (0, (3, 0)) ])
+    [ Abft.Scheme.Online; Abft.Scheme.enhanced () ]
+
+let test_single_update_faults () =
+  (* a wrong value written by the checksum-update kernel itself: only
+     the primary replica is hit, so verification repairs the store and
+     never touches the (clean) tile *)
+  let sites =
+    [
+      (1, Fault.Syrk, (1, 1));
+      (2, Fault.Syrk, (2, 2));
+      (1, Fault.Gemm, (2, 1));
+      (2, Fault.Gemm, (3, 2));
+      (0, Fault.Trsm, (1, 0));
+      (2, Fault.Trsm, (3, 2));
+      (0, Fault.Potf2, (0, 0));
+      (2, Fault.Potf2, (2, 2));
+    ]
+  in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun (iteration, op, blk) ->
+          let inj =
+            Fault.update_error ~delta:42. ~iteration ~op ~block:blk
+              ~element:(1, 1) ()
+          in
+          let r = factor_single ~scheme inj in
+          let name =
+            Printf.sprintf "%s chk-update:%s (%d,%d)@%d"
+              (Abft.Scheme.name scheme) (op_name op) (fst blk) (snd blk)
+              iteration
+          in
+          check_success name r;
+          Alcotest.(check bool)
+            (name ^ " store healed") true
+            (r.C.Ft.stats.C.Ft.checksum_repairs >= 1))
+        sites)
+    [ Abft.Scheme.Online; Abft.Scheme.enhanced () ]
+
+(* ------------------------------------------------------------------ *)
+(* Regression: a corrupted checksum block never patches clean data     *)
+(* ------------------------------------------------------------------ *)
+
+let test_checksum_corruption_never_patches_tile () =
+  let a = Spd.random_spd ~seed:21 8 in
+  let pristine = Mat.copy a in
+  let chk = Abft.Checksum.encode a in
+  (* corrupt the primary replica only — the tile stays clean *)
+  Abft.Checksum.corrupt chk ~row:1 ~col:3 1e7;
+  (match Abft.Verify.verify chk a with
+  | Abft.Verify.Checksum_repaired { cells; corrections } ->
+      Alcotest.(check bool) "cells flagged" true (cells >= 1);
+      Alcotest.(check int) "no tile corrections" 0 (List.length corrections)
+  | o ->
+      Alcotest.failf "expected Checksum_repaired, got %a" Abft.Verify.pp_outcome
+        o);
+  Alcotest.(check bool) "tile bitwise untouched" true (bitwise_equal pristine a);
+  (match Abft.Verify.verify chk a with
+  | Abft.Verify.Clean -> ()
+  | o -> Alcotest.failf "expected Clean after repair, got %a" Abft.Verify.pp_outcome o);
+  Alcotest.(check bool) "replicas agree again" true
+    (Abft.Checksum.copies_agree chk)
+
+let test_checksum_fault_factor_identical () =
+  (* a checksum-store fault must not change a single bit of the factor
+     relative to the fault-free run *)
+  let a = spd 31 in
+  let clean = C.Ft.factor (cfg ()) a in
+  let plan =
+    [
+      Fault.checksum_error ~bit:45 ~iteration:1 ~block:(2, 1) ~element:(1, 0) ();
+      Fault.update_error ~delta:1e5 ~iteration:2 ~op:Fault.Gemm ~block:(3, 2)
+        ~element:(0, 3) ();
+    ]
+  in
+  let faulty = C.Ft.factor ~plan (cfg ()) a in
+  check_success "chk-fault run" faulty;
+  Alcotest.(check bool) "factor bitwise identical" true
+    (bitwise_equal clean.C.Ft.factor faulty.C.Ft.factor)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery ladder: rollback rung vs restart rung                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Two errors in one column of a freshly written block: uncorrectable
+   with d = 2, so the ladder must escalate past the inline rungs. The
+   deltas are distinct — equal deltas can alias the d = 2 locator onto
+   an integer (wrong) row, turning the burst into a mis-patch that
+   surfaces later as a fail-stop instead of an uncorrectable verify. *)
+let burst_plan =
+  List.map
+    (fun (row, delta) ->
+      Fault.computing_error ~delta ~iteration:2 ~op:Fault.Gemm ~block:(3, 2)
+        ~element:(row, 1) ())
+    [ (0, 5e3); (2, 1.7e3) ]
+
+let test_ladder_rollback () =
+  let r =
+    C.Ft.factor ~plan:burst_plan (cfg ~snapshot_interval:2 ()) (spd 41)
+  in
+  check_success "rollback run" r;
+  Alcotest.(check bool) "snapshots taken" true (r.C.Ft.stats.C.Ft.snapshots >= 1);
+  Alcotest.(check bool) "rolled back" true (r.C.Ft.stats.C.Ft.rollbacks >= 1)
+
+let test_ladder_restart_when_snapshots_off () =
+  let r =
+    C.Ft.factor ~plan:burst_plan (cfg ~snapshot_interval:0 ()) (spd 41)
+  in
+  Alcotest.(check string) "outcome" "success" (outcome_label r);
+  Alcotest.(check int) "no rollbacks" 0 r.C.Ft.stats.C.Ft.rollbacks;
+  Alcotest.(check int) "one restart" 1 r.C.Ft.stats.C.Ft.restarts
+
+let test_ladder_reconstruction_rung () =
+  (* an overwhelming resident value cannot be delta-patched; the
+     plain-sum rung rebuilds it *)
+  let inj =
+    {
+      Fault.iteration = 1;
+      window = Fault.In_storage;
+      block = (2, 1);
+      element = (3, 0);
+      kind = Fault.Value_set { value = 1e40 };
+    }
+  in
+  let r = factor_single ~scheme:(Abft.Scheme.enhanced ()) inj in
+  check_success "anchor run" r;
+  Alcotest.(check bool) "reconstructed" true
+    (r.C.Ft.stats.C.Ft.reconstructions >= 1)
+
+let test_ladder_gives_up_structured () =
+  (* exhaust every rung: uncorrectable burst, no snapshots, no restarts *)
+  let r =
+    C.Ft.factor ~plan:burst_plan
+      (cfg ~snapshot_interval:0 ~max_restarts:0 ()) (spd 41)
+  in
+  match r.C.Ft.outcome with
+  | C.Ft.Gave_up reason ->
+      Alcotest.(check bool) "not a fail-stop" false
+        (C.Recovery.is_fail_stop reason);
+      Alcotest.(check bool) "describe mentions block" true
+        (let s = C.Recovery.describe reason in
+         String.length s > 0)
+  | _ -> Alcotest.failf "expected Gave_up, got %s" (outcome_label r)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign machinery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_plans_deterministic () =
+  List.iter
+    (fun family ->
+      let p1 = Campaign.plan family ~seed:9 ~grid:6 ~block:8 ~count:4 in
+      let p2 = Campaign.plan family ~seed:9 ~grid:6 ~block:8 ~count:4 in
+      Alcotest.(check string)
+        (Campaign.family_name family ^ " deterministic")
+        (Fault.to_string p1) (Fault.to_string p2))
+    Campaign.all_families
+
+let test_campaign_family_windows () =
+  let windows family =
+    Campaign.plan family ~seed:5 ~grid:6 ~block:8 ~count:40
+    |> List.map (fun i -> i.Fault.window)
+  in
+  Alcotest.(check bool) "storm only checksum windows" true
+    (List.for_all
+       (function
+         | Fault.In_checksum | Fault.In_update _ -> true
+         | Fault.In_storage | Fault.In_computation _ -> false)
+       (windows Campaign.Checksum_storm));
+  Alcotest.(check bool) "compute-heavy has no storage" true
+    (List.for_all
+       (function Fault.In_storage -> false | _ -> true)
+       (windows Campaign.Compute_heavy));
+  Alcotest.(check bool) "anchor all storage" true
+    (List.for_all
+       (function Fault.In_storage -> true | _ -> false)
+       (windows Campaign.Anchor))
+
+let test_campaign_aggregate_and_json () =
+  let case id family =
+    {
+      Campaign.id;
+      family;
+      scheme = "enhanced-k1";
+      grid = 4;
+      block = 8;
+      domains = 1;
+      seed = id;
+      plan = [];
+    }
+  in
+  let base =
+    {
+      Campaign.case = case 0 Campaign.Mixed;
+      outcome = Campaign.Success;
+      residual = 1e-15;
+      verifications = 10;
+      corrections = 2;
+      reconstructions = 0;
+      checksum_repairs = 0;
+      rollbacks = 0;
+      snapshots = 1;
+      restarts = 0;
+      fired = 3;
+    }
+  in
+  let results =
+    [
+      base;
+      {
+        base with
+        Campaign.case = case 1 Campaign.Burst;
+        corrections = 0;
+        rollbacks = 2;
+        restarts = 1;
+      };
+      {
+        base with
+        Campaign.case = case 2 Campaign.Anchor;
+        outcome = Campaign.Silent_corruption;
+        residual = 0.5;
+        reconstructions = 3;
+      };
+    ]
+  in
+  let agg = Campaign.aggregate results in
+  Alcotest.(check int) "campaigns" 3 agg.Campaign.campaigns;
+  Alcotest.(check int) "successes" 2 agg.Campaign.successes;
+  Alcotest.(check int) "silent" 1 agg.Campaign.silent_corruptions;
+  Alcotest.(check int) "corrections total" 4
+    agg.Campaign.totals.Campaign.corrections_n;
+  Alcotest.(check int) "campaigns with corrections" 2
+    agg.Campaign.rung_campaigns.Campaign.corrections_n;
+  Alcotest.(check int) "campaigns with rollbacks" 1
+    agg.Campaign.rung_campaigns.Campaign.rollbacks_n;
+  Alcotest.(check bool) "worst residual" true
+    (abs_float (agg.Campaign.worst_residual -. 0.5) < 1e-12);
+  let json = Campaign.to_json ~seed:7 results in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json has " ^ needle) true (contains json needle))
+    [ "\"schema_version\": 1"; "\"aggregate\""; "\"rung_campaigns\""; "ftsoak" ]
+
+let test_campaign_mini_soak () =
+  (* a miniature end-to-end soak: every family against its weakest
+     compatible scheme; zero silent corruption and the sub-restart
+     rungs all exercised *)
+  let pool = Parallel.Pool.create ~domains:1 () in
+  let results =
+    List.concat_map
+      (fun family ->
+        let scheme =
+          if Campaign.needs_enhanced family then Abft.Scheme.enhanced ()
+          else Abft.Scheme.Online
+        in
+        List.map
+          (fun seed ->
+            let plan = Campaign.plan family ~seed ~grid ~block ~count:3 in
+            let r =
+              C.Ft.factor ~pool ~plan
+                (cfg ~scheme ~snapshot_interval:2 ())
+                (spd (seed + 100))
+            in
+            let st = r.C.Ft.stats in
+            {
+              Campaign.case =
+                {
+                  Campaign.id = seed;
+                  family;
+                  scheme = Abft.Scheme.name scheme;
+                  grid;
+                  block;
+                  domains = 1;
+                  seed;
+                  plan;
+                };
+              outcome =
+                (match r.C.Ft.outcome with
+                | C.Ft.Success -> Campaign.Success
+                | C.Ft.Silent_corruption -> Campaign.Silent_corruption
+                | C.Ft.Gave_up reason ->
+                    Campaign.Gave_up (C.Recovery.describe reason));
+              residual = r.C.Ft.residual;
+              verifications = st.C.Ft.verifications;
+              corrections = st.C.Ft.corrections;
+              reconstructions = st.C.Ft.reconstructions;
+              checksum_repairs = st.C.Ft.checksum_repairs;
+              rollbacks = st.C.Ft.rollbacks;
+              snapshots = st.C.Ft.snapshots;
+              restarts = st.C.Ft.restarts;
+              fired = List.length r.C.Ft.injections_fired;
+            })
+          [ 1; 2; 3; 4 ])
+      Campaign.all_families
+  in
+  Parallel.Pool.shutdown pool;
+  let agg = Campaign.aggregate results in
+  Alcotest.(check int) "zero silent corruption" 0
+    agg.Campaign.silent_corruptions;
+  let rc = agg.Campaign.rung_campaigns in
+  Alcotest.(check bool) "correction rung hit" true (rc.Campaign.corrections_n >= 1);
+  Alcotest.(check bool) "reconstruction rung hit" true
+    (rc.Campaign.reconstructions_n >= 1);
+  Alcotest.(check bool) "checksum-repair rung hit" true
+    (rc.Campaign.checksum_repairs_n >= 1);
+  Alcotest.(check bool) "rollback rung hit" true (rc.Campaign.rollbacks_n >= 1)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "single-fault",
+        [
+          Alcotest.test_case "compute windows" `Quick test_single_compute_faults;
+          Alcotest.test_case "storage windows" `Quick test_single_storage_faults;
+          Alcotest.test_case "checksum windows" `Quick test_single_checksum_faults;
+          Alcotest.test_case "update windows" `Quick test_single_update_faults;
+        ] );
+      ( "self-protection",
+        [
+          Alcotest.test_case "never patches clean tile" `Quick
+            test_checksum_corruption_never_patches_tile;
+          Alcotest.test_case "factor bitwise unaffected" `Quick
+            test_checksum_fault_factor_identical;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "rollback rung" `Quick test_ladder_rollback;
+          Alcotest.test_case "restart when snapshots off" `Quick
+            test_ladder_restart_when_snapshots_off;
+          Alcotest.test_case "reconstruction rung" `Quick
+            test_ladder_reconstruction_rung;
+          Alcotest.test_case "structured give-up" `Quick
+            test_ladder_gives_up_structured;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "plans deterministic" `Quick
+            test_campaign_plans_deterministic;
+          Alcotest.test_case "family windows" `Quick test_campaign_family_windows;
+          Alcotest.test_case "aggregate and json" `Quick
+            test_campaign_aggregate_and_json;
+          Alcotest.test_case "mini soak" `Quick test_campaign_mini_soak;
+        ] );
+    ]
