@@ -1,0 +1,83 @@
+(* Resilience — overhead of the failure-aware scheduling layer.
+
+   Sweeps the canonical GPU storm profile (Machine_cli.storm_reliability)
+   across intensities and measures what the retry/backoff/quarantine/
+   CPU-fallback machinery costs on top of the clean Enhanced schedule:
+   makespan inflation, retries, backoff time, and how often a run ends
+   degraded onto the CPU. Rate 0 doubles as a regression check that the
+   resilient driver is an exact pass-through on reliable machines. *)
+
+module C = Cholesky
+
+(* Overridden by `main.exe --device-faults RATE` to probe one rate. *)
+let rates = ref [ 0.0; 0.25; 0.5; 1.0 ]
+let seeds = [ 1; 2; 3 ]
+
+let run () =
+  let machine = Hetsim.Machine.tardis in
+  let n = 10240 in
+  let scheme = Abft.Scheme.enhanced () in
+  Bench_util.header
+    (Printf.sprintf "Resilience — device-fault overhead (%s, %s, %d^2)"
+       machine.Hetsim.Machine.name (Abft.Scheme.name scheme) n);
+  let clean = (Bench_util.run machine scheme n).C.Schedule.makespan in
+  Format.printf "%-12s%14s%10s%10s%12s%12s%10s@." "fault rate" "makespan"
+    "overhead" "retries" "backoff" "quarantine" "degraded";
+  List.iter
+    (fun rate ->
+      let m = Machine_cli.apply_device_faults ~rate machine in
+      let cfg = C.Config.make ~machine:m ~scheme () in
+      let runs =
+        List.map (fun seed -> C.Schedule.run ~fault_seed:seed cfg ~n) seeds
+      in
+      let k = float_of_int (List.length runs) in
+      let mean f = List.fold_left (fun a r -> a +. f r) 0. runs /. k in
+      let makespan = mean (fun r -> r.C.Schedule.makespan) in
+      let stat f =
+        mean (fun r -> float_of_int (f r.C.Schedule.resilience))
+      in
+      let retries =
+        stat (fun (s : Hetsim.Resilient.stats) ->
+            s.Hetsim.Resilient.cpu.Hetsim.Resilient.retries
+            + s.Hetsim.Resilient.gpu.Hetsim.Resilient.retries)
+      in
+      let backoff =
+        mean (fun r ->
+            let s = r.C.Schedule.resilience in
+            s.Hetsim.Resilient.cpu.Hetsim.Resilient.backoff_s
+            +. s.Hetsim.Resilient.gpu.Hetsim.Resilient.backoff_s)
+      in
+      let quarantined =
+        stat (fun (s : Hetsim.Resilient.stats) ->
+            match s.Hetsim.Resilient.gpu.Hetsim.Resilient.quarantined_at with
+            | Some _ -> 1
+            | None -> 0)
+      in
+      let degraded =
+        mean (fun r -> if r.C.Schedule.degraded then 1. else 0.)
+      in
+      let overhead_pct = (makespan -. clean) /. clean *. 100. in
+      Format.printf "%-12.2f%12.4f s%9.1f%%%10.1f%10.4f s%12.2f%10.2f@." rate
+        makespan overhead_pct retries backoff quarantined degraded;
+      if rate <= 0. then
+        Bench_util.note "pass-through exact: %b"
+          (List.for_all
+             (fun r -> Float.equal r.C.Schedule.makespan clean)
+             runs);
+      Bench_util.record
+        ~name:
+          (Printf.sprintf "%s/rate%.2f" machine.Hetsim.Machine.name rate)
+        ~size:n
+        [
+          ("makespan_s", makespan);
+          ("overhead_pct", overhead_pct);
+          ("retries", retries);
+          ("backoff_s", backoff);
+          ("quarantined", quarantined);
+          ("degraded", degraded);
+        ])
+    !rates;
+  Bench_util.note
+    "virtual time; each rate averaged over %d seeds. The backoff column is \
+     modelled delay, already inside the makespan."
+    (List.length seeds)

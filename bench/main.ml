@@ -31,6 +31,8 @@ let experiments =
      Bench_hardware.run);
     ("parallel", "Parallel kernels — domain-pool BLAS-3 + batched verification",
      Bench_parallel.run);
+    ("resilience", "Resilience — device-fault overhead of the failure-aware \
+                    scheduler", Bench_resilience.run);
     ("micro", "Bechamel microbenches (real kernels)", Bench_micro.run);
   ]
 
@@ -40,18 +42,31 @@ let run_experiment (id, _, f) =
   Bench_util.current_experiment := ""
 
 let usage () =
-  Format.eprintf "usage: main.exe [--json <path>] [--list | --only <id>...]@.";
+  Format.eprintf
+    "usage: main.exe [--json <path>] [--device-faults <rate>] [--list | \
+     --only <id>...]@.";
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* Peel off `--json <path>` wherever it appears. *)
+  (* Peel off `--json <path>` / `--device-faults <rate>` wherever they
+     appear. *)
   let json_path = ref None in
   let rec strip = function
     | "--json" :: path :: rest ->
         json_path := Some path;
         strip rest
     | [ "--json" ] -> usage ()
+    | "--device-faults" :: rate :: rest -> (
+        match float_of_string_opt rate with
+        | Some r when r >= 0. && r <= 1. ->
+            (* probe one storm intensity in the resilience experiment *)
+            Bench_resilience.rates := [ r ];
+            strip rest
+        | Some _ | None ->
+            Format.eprintf "--device-faults: rate must be a float in [0,1]@.";
+            exit 1)
+    | [ "--device-faults" ] -> usage ()
     | a :: rest -> a :: strip rest
     | [] -> []
   in

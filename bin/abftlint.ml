@@ -65,7 +65,7 @@ let quiet_arg =
 let cmd =
   let doc =
     "static analysis for the ABFT project invariants (R1 parallel-write \
-     discipline, R2 verify-before-read, R3 banned constructs)"
+     discipline, R2 verify-before-read, R3 banned constructs, R4 bounded retries)"
   in
   let exits =
     [

@@ -10,18 +10,6 @@ module C = Cholesky
 (* Shared argument converters                                          *)
 (* ------------------------------------------------------------------ *)
 
-let machine_conv =
-  let parse s =
-    match Hetsim.Machine.find s with
-    | Some m -> Ok m
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown machine %S (try: %s)" s
-               (String.concat ", " (List.map fst Hetsim.Machine.all_presets))))
-  in
-  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt m.Hetsim.Machine.name)
-
 let scheme_conv =
   let parse s =
     match Abft.Scheme.of_string s with Ok s -> Ok s | Error e -> Error (`Msg e)
@@ -46,12 +34,7 @@ let placement_conv =
   in
   Arg.conv (parse, print)
 
-let machine_arg =
-  Arg.(
-    value
-    & opt machine_conv Hetsim.Machine.tardis
-    & info [ "m"; "machine" ] ~docv:"MACHINE"
-        ~doc:"Machine preset: tardis, bulldozer64 or testbench.")
+let machine_arg = Machine_cli.machine_arg ~default:Hetsim.Machine.tardis ()
 
 let scheme_arg =
   Arg.(
@@ -183,8 +166,12 @@ let factor_cmd =
 (* ------------------------------------------------------------------ *)
 
 let simulate_cmd =
-  let run machine n block scheme opt1 opt2 seed faults storage_fraction trace_out
-      show_gantt =
+  let run machine n block scheme opt1 opt2 seed faults storage_fraction
+      device_faults device_seed trace_out show_gantt =
+    let machine =
+      try Machine_cli.apply_device_faults ~rate:device_faults machine
+      with Invalid_argument _ -> exit_err "--device-faults must be in [0,1]"
+    in
     let cfg = make_cfg machine block scheme opt1 opt2 in
     let b = C.Config.block_size cfg in
     if n <= 0 || n mod b <> 0 then
@@ -195,7 +182,16 @@ let simulate_cmd =
         Fault.random_plan ~covered_only:true ~seed ~grid:(n / b) ~block:b
           ~count:faults ~storage_fraction ()
     in
-    let r = C.Schedule.run ~plan cfg ~n in
+    let r =
+      try C.Schedule.run ~plan ~fault_seed:device_seed cfg ~n
+      with Hetsim.Resilient.Gave_up { resource; failure; attempts } ->
+        Format.eprintf
+          "ftchol: schedule gave up: %s on %s after %d attempts@."
+          (Hetsim.Engine.failure_name failure)
+          (Hetsim.Engine.resource_name resource)
+          attempts;
+        exit 2
+    in
     Format.printf "config: %a@." C.Config.pp cfg;
     Format.printf "simulated time: %.4f s (%.1f GFLOPS)@." r.C.Schedule.makespan
       r.C.Schedule.gflops;
@@ -224,6 +220,11 @@ let simulate_cmd =
           (Format.asprintf "%a" Hetsim.Engine.pp_binding b)
           count)
       (Hetsim.Engine.binding_summary r.C.Schedule.engine);
+    if device_faults > 0. then begin
+      Format.printf "device resilience%s:@."
+        (if r.C.Schedule.degraded then " (DEGRADED to CPU)" else "");
+      Format.printf "  %a@." Hetsim.Resilient.pp_stats r.C.Schedule.resilience
+    end;
     if show_gantt then
       Format.printf "@.%s@." (Hetsim.Engine.gantt r.C.Schedule.engine);
     (match trace_out with
@@ -239,6 +240,7 @@ let simulate_cmd =
     Term.(
       const run $ machine_arg $ n_arg ~default:20480 $ block_arg $ scheme_arg
       $ opt1_arg $ opt2_arg $ seed_arg $ faults_arg $ storage_frac_arg
+      $ Machine_cli.device_faults_arg $ Machine_cli.device_seed_arg
       $ Arg.(
           value
           & opt (some string) None

@@ -2,10 +2,20 @@
 
    Enumerates campaigns (family × scheme × grid × pool size), generates
    a deterministic per-case fault plan via Campaign.plan, runs each
-   through the numeric Ft.factor recovery ladder, and reports an
-   outcome histogram with per-rung statistics. Exit code is non-zero
-   iff any campaign ended in silent corruption — the property the CI
-   soak job enforces. *)
+   through the numeric Ft.factor recovery ladder (device-storm
+   campaigns additionally run a timing-mode leg against an unreliable
+   machine), and reports an outcome histogram with per-rung and
+   per-device statistics.
+
+   Exit-code contract (documented in EXPERIMENTS.md, relied on by CI):
+     0 — every campaign completed without silent corruption
+     1 — usage error (bad arguments / empty case matrix)
+     2 — infrastructure failure (unexpected exception while running)
+     3 — at least one campaign ended in SILENT CORRUPTION
+   A structured give-up (ladder exhausted, or the resilient scheduler's
+   CPU of last resort failed) is a *reported outcome*, not an exit
+   condition: the acceptance property is "correct factor or structured
+   give-up, never silence". *)
 
 open Cmdliner
 module C = Cholesky
@@ -17,18 +27,6 @@ let exit_err msg =
 (* ------------------------------------------------------------------ *)
 (* Argument converters                                                 *)
 (* ------------------------------------------------------------------ *)
-
-let machine_conv =
-  let parse s =
-    match Hetsim.Machine.find s with
-    | Some m -> Ok m
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown machine %S (try: %s)" s
-               (String.concat ", " (List.map fst Hetsim.Machine.all_presets))))
-  in
-  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt m.Hetsim.Machine.name)
 
 let scheme_conv =
   let parse s =
@@ -59,12 +57,11 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.")
 
 let machine_arg =
-  Arg.(
-    value
-    & opt machine_conv Hetsim.Machine.testbench
-    & info [ "m"; "machine" ] ~docv:"MACHINE"
-        ~doc:"Machine preset used for the driver config (and the Young/Daly \
-              snapshot interval when $(b,--snapshot-interval) is -1).")
+  Machine_cli.machine_arg
+    ~doc:
+      "Machine preset used for the driver config (and the Young/Daly \
+       snapshot interval when $(b,--snapshot-interval) is -1)."
+    ()
 
 let schemes_arg =
   Arg.(
@@ -106,7 +103,7 @@ let families_arg =
     & opt (list family_conv) Campaign.all_families
     & info [ "families" ] ~docv:"F,.."
         ~doc:"Fault families to soak: mixed, burst, storage-heavy, \
-              compute-heavy, checksum-storm, anchor.")
+              compute-heavy, checksum-storm, anchor, device-storm.")
 
 let snapshot_arg =
   Arg.(
@@ -192,6 +189,35 @@ let enumerate ~campaigns ~seed ~families ~schemes ~grids ~pools ~block ~faults =
       },
       scheme)
 
+(* Device-storm campaigns run a second, timing-mode leg: the same plan
+   and per-case seed against the full Cholesky schedule on a machine
+   whose GPU carries a seeded reliability profile. The numeric leg
+   certifies the ABFT ladder heals the corrupted-transfer bits; this
+   leg certifies the resilient scheduling layer (deadline hang
+   detection, backoff retry, quarantine, CPU-fallback degradation)
+   against the identical fault mix. Every 13th case makes the GPU drop
+   out permanently mid-schedule. *)
+let device_storm_leg ~machine ~scheme (case : Campaign.case) =
+  let dropout = case.Campaign.id mod 13 = 0 in
+  let profile =
+    Campaign.device_profile ~seed:case.Campaign.seed ~dropout
+  in
+  let m = Hetsim.Machine.with_reliability ~gpu:profile machine in
+  let cfg = C.Config.make ~machine:m ~block:case.Campaign.block ~scheme () in
+  let n = case.Campaign.grid * case.Campaign.block in
+  match
+    C.Schedule.run ~plan:case.Campaign.plan ~fault_seed:case.Campaign.seed cfg
+      ~n
+  with
+  | r -> (Campaign.device_counts_of_stats r.C.Schedule.resilience, None)
+  | exception Hetsim.Resilient.Gave_up { resource; failure; attempts } ->
+      ( Campaign.zero_device,
+        Some
+          (Printf.sprintf "device: %s on %s after %d attempts"
+             (Hetsim.Engine.failure_name failure)
+             (Hetsim.Engine.resource_name resource)
+             attempts) )
+
 let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
     (case, scheme) =
   let n = case.Campaign.grid * case.Campaign.block in
@@ -208,11 +234,19 @@ let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
   let a = Matrix.Spd.random_spd ~seed:(case.Campaign.seed + 1) n in
   let report = C.Ft.factor ~pool ~plan:case.Campaign.plan cfg a in
   let st = report.C.Ft.stats in
+  let device, device_gave_up =
+    match case.Campaign.family with
+    | Campaign.Device_storm -> device_storm_leg ~machine ~scheme case
+    | Campaign.Mixed | Campaign.Burst | Campaign.Storage_heavy
+    | Campaign.Compute_heavy | Campaign.Checksum_storm | Campaign.Anchor ->
+        (Campaign.zero_device, None)
+  in
   let outcome =
-    match report.C.Ft.outcome with
-    | C.Ft.Success -> Campaign.Success
-    | C.Ft.Silent_corruption -> Campaign.Silent_corruption
-    | C.Ft.Gave_up reason -> Campaign.Gave_up (C.Recovery.describe reason)
+    match (report.C.Ft.outcome, device_gave_up) with
+    | C.Ft.Silent_corruption, _ -> Campaign.Silent_corruption
+    | C.Ft.Gave_up reason, _ -> Campaign.Gave_up (C.Recovery.describe reason)
+    | C.Ft.Success, Some why -> Campaign.Gave_up why
+    | C.Ft.Success, None -> Campaign.Success
   in
   {
     Campaign.case;
@@ -226,6 +260,7 @@ let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
     snapshots = st.C.Ft.snapshots;
     restarts = st.C.Ft.restarts;
     fired = List.length report.C.Ft.injections_fired;
+    device;
   }
 
 let soak campaigns seed machine schemes grids block pools faults families
@@ -249,22 +284,33 @@ let soak campaigns seed machine schemes grids block pools faults families
     fun d -> List.assoc d pairs
   in
   let results =
-    List.map
-      (fun ((case, _) as c) ->
-        let r =
-          run_case ~machine
-            ~pool:(pool_for case.Campaign.domains)
-            ~snapshot_interval ~max_rollbacks ~max_restarts c
-        in
-        if verbose then
-          Format.printf "%4d %-40s %-17s resid %.2e@." case.Campaign.id
-            (Campaign.case_name case)
-            (match r.Campaign.outcome with
-            | Campaign.Gave_up why -> "gave-up: " ^ why
-            | o -> Campaign.outcome_name o)
-            r.Campaign.residual;
-        r)
-      cases
+    (try
+       List.map
+         (fun ((case, _) as c) ->
+           let r =
+             run_case ~machine
+               ~pool:(pool_for case.Campaign.domains)
+               ~snapshot_interval ~max_rollbacks ~max_restarts c
+           in
+           if verbose then
+             Format.printf "%4d %-40s %-17s resid %.2e@." case.Campaign.id
+               (Campaign.case_name case)
+               (match r.Campaign.outcome with
+               | Campaign.Gave_up why -> "gave-up: " ^ why
+               | o -> Campaign.outcome_name o)
+               r.Campaign.residual;
+           r)
+         cases
+     with e ->
+       (* harness boundary: anything unexpected is an infrastructure
+          failure, distinguished from silent corruption by exit code *)
+       List.iter (fun d -> Parallel.Pool.shutdown (pool_for d)) distinct_pools;
+       Format.eprintf "ftsoak: infrastructure failure: %s@."
+         (Printexc.to_string e);
+       exit 2)
+    [@abft.waive
+      "soak harness boundary: every unexpected exception must become exit \
+       code 2, never a crash the CI job can't classify"]
   in
   List.iter (fun d -> Parallel.Pool.shutdown (pool_for d)) distinct_pools;
   let agg = Campaign.aggregate results in

@@ -25,7 +25,8 @@ let () =
            match inj.Fault.window with
            | Fault.In_computation Fault.Potf2 -> false
            | Fault.In_computation _ -> true
-           | Fault.In_storage -> inj.Fault.iteration <= fst inj.Fault.block
+           | Fault.In_storage | Fault.In_device ->
+               inj.Fault.iteration <= fst inj.Fault.block
            | Fault.In_checksum | Fault.In_update _ ->
                true (* the self-protecting store heals these *))
     |> List.filteri (fun i _ -> i < count)

@@ -1,0 +1,132 @@
+(* R4 — retry loops must be bounded.
+
+   The resilient scheduling layer (and the numeric drivers' restart
+   ladders) lean on one discipline: every retry/restart recursion
+   carries an explicit cap. An uncapped retry loop turns a permanent
+   fault into a livelock — the failure mode is worse than giving up,
+   because nothing is ever reported.
+
+   Heuristic: a [let rec] binding is *retry-ish* when its name or one
+   of its parameters mentions retry/attempt/resubmit/restart; it is
+   flagged when its body (a) actually recurses into the binding group
+   and (b) never consults a cap-like quantity — an identifier or record
+   field mentioning max/cap/limit/budget/quota. References through a
+   record path ([t.policy.max_retries], [cfg.Config.max_restarts])
+   count, matching how the drivers thread their budgets.
+
+   Waive a deliberately unbounded loop (e.g. one bounded by an
+   exception from below) with [[@abft.waive "reason"]] on the
+   binding. *)
+
+open Ppxlib
+
+let rule_id = "R4"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1))
+  in
+  m = 0 || go 0
+
+let mentions_token tokens s =
+  let s = String.lowercase_ascii s in
+  List.exists (fun t -> contains s t) tokens
+
+let retryish = mentions_token [ "retry"; "retries"; "attempt"; "resubmit"; "restart" ]
+let capish = mentions_token [ "max"; "cap"; "limit"; "budget"; "quota" ]
+
+(* Does the expression consult a cap-like quantity anywhere — as a bare
+   identifier, a path component ([Config.max_restarts]) or a record
+   field ([t.policy.max_retries])? *)
+let consults_cap (e : expression) =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+            if List.exists capish (Ast_util.path_parts txt) then found := true
+        | Pexp_field (_, { txt; _ }) ->
+            if capish (Ast_util.path_last txt) then found := true
+        | _ -> ());
+        if not !found then super#expression e
+    end
+  in
+  it#expression e;
+  !found
+
+let check ~file:_ (str : structure) =
+  let findings = ref [] in
+  let add ~loc ?waived ?waiver_reason msg =
+    findings :=
+      Finding.make ~rule:rule_id ~loc ?waived ?waiver_reason msg :: !findings
+  in
+  let flag ~loc ~attrs msg =
+    match Ast_util.waiver_attr "abft.waive" attrs with
+    | None -> add ~loc msg
+    | Some reason -> add ~loc ~waived:true ?waiver_reason:reason msg
+  in
+  let examine_group (vbs : value_binding list) =
+    (* names bound by the whole group, so mutual recursion counts *)
+    let group_names =
+      List.filter_map
+        (fun vb ->
+          match vb.pvb_pat.ppat_desc with
+          | Ppat_var v -> Some v.txt
+          | _ -> None)
+        vbs
+    in
+    List.iter
+      (fun vb ->
+        match vb.pvb_pat.ppat_desc with
+        | Ppat_var v -> (
+            match vb.pvb_expr.pexp_desc with
+            | Pexp_function _ ->
+                let name = v.txt in
+                let params = Ast_util.param_names vb.pvb_expr in
+                let body = Ast_util.fun_body vb.pvb_expr in
+                let recurses =
+                  Ast_util.mentions_any
+                    (fun s -> List.exists (String.equal s) group_names)
+                    body
+                in
+                if
+                  (retryish name || List.exists retryish params)
+                  && recurses
+                  && not (consults_cap body)
+                then
+                  flag ~loc:vb.pvb_pat.ppat_loc
+                    ~attrs:
+                      (vb.pvb_attributes @ vb.pvb_expr.pexp_attributes
+                     @ body.pexp_attributes)
+                    (Printf.sprintf
+                       "recursive retry loop %S has no visible bound; thread \
+                        an explicit cap (max/limit/budget) through the \
+                        recursion or waive with [@abft.waive]"
+                       name)
+            | _ -> ())
+        | _ -> ())
+      vbs
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! structure_item si =
+        (match si.pstr_desc with
+        | Pstr_value (Recursive, vbs) -> examine_group vbs
+        | _ -> ());
+        super#structure_item si
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_let (Recursive, vbs, _) -> examine_group vbs
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#structure str;
+  List.rev !findings

@@ -36,6 +36,16 @@ let all =
          an ABFT implementation before. Waive with [@abft.waive \"reason\"].";
       check = R3_banned.check;
     };
+    {
+      id = "R4";
+      title = "retry loops must be bounded";
+      rationale =
+        "a recursive retry/restart loop with no visible cap turns a \
+         permanent fault into a livelock — worse than giving up, because \
+         nothing is ever reported. Thread an explicit max/limit/budget \
+         through the recursion, or waive with [@abft.waive \"reason\"].";
+      check = R4_unbounded_retry.check;
+    };
   ]
 
 let find id =

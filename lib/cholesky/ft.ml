@@ -171,6 +171,7 @@ let run_attempt st ~from ~on_boundary =
     emit st (Trace_op.Iteration_start j);
     on_boundary j;
     Injector.fire_storage st.injector ~iteration:j ~lookup:(lookup st);
+    Injector.fire_device st.injector ~iteration:j ~lookup:(lookup st);
     Injector.fire_checksum st.injector ~iteration:j ~lookup:(chk_lookup st);
     let gate = Sets.k_gate ~k:kk ~j in
     (* ---- SYRK: diagonal block rank-k update ---- *)

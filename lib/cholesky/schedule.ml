@@ -7,6 +7,8 @@ type result = {
   trace : Trace_op.t list;
   engine : Engine.t;
   placement : Config.placement;
+  resilience : Resilient.stats;
+  degraded : bool;
 }
 
 let uncorrected scheme plan =
@@ -18,7 +20,10 @@ let uncorrected scheme plan =
            not locatable. See Ft's documentation. *)
         false
     | Fault.In_computation _ -> Abft.Scheme.corrects_computing_errors scheme
-    | Fault.In_storage -> Abft.Scheme.corrects_storage_errors scheme
+    | Fault.In_storage | Fault.In_device ->
+        (* a corrupted transfer materializes as wrong bits in the tile:
+           storage-class, healed only by pre-read verification *)
+        Abft.Scheme.corrects_storage_errors scheme
     | Fault.In_checksum | Fault.In_update _ -> (
         (* Checksum-side corruption never touches the factor. The
            replicated store repairs it at the next verification (or it
@@ -35,6 +40,7 @@ let uncorrected scheme plan =
 type pass_state = {
   cfg : Config.t;
   eng : Engine.t;
+  res : Resilient.t;
   g : int;
   b : int;
   d : int;
@@ -53,6 +59,8 @@ type pass_state = {
          because the very next iteration's updates consume it *)
   mutable lc_last_bulk : Engine.event;
       (* the rest of TRSM(j-1)'s panel — needed from iteration j+1 on *)
+  mutable degraded_emitted : bool;
+      (* the Degraded trace op is recorded once per pass *)
 }
 
 let emit st op = st.trace <- op :: st.trace
@@ -73,14 +81,15 @@ let verify st ~j ~point ~deps blocks : Engine.event =
         match st.placement with
         | Config.Cpu_offload ->
             let bytes = nb * st.d * st.b * 8 in
-            [ Engine.transfer st.eng ~deps ~phase:"chk-transfer" ~dir:`H2d bytes ]
+            [ Resilient.transfer st.res ~deps ~phase:"chk-transfer" ~dir:`H2d bytes ]
         | _ -> deps
       in
       let batch =
-        Engine.submit_batch st.eng ~deps ~phase:"chk-recalc" ~streams:st.streams
+        Resilient.submit_batch st.res ~deps ~phase:"chk-recalc"
+          ~streams:st.streams
           (List.init nb (fun _ -> recalc_kernel st))
       in
-      Engine.submit st.eng ~deps:[ batch ] ~phase:"chk-compare" Engine.Gpu
+      Resilient.submit st.res ~deps:[ batch ] ~phase:"chk-compare" Engine.Gpu
         (Kernel.Checksum_compare { b = st.b * nb; nchk = st.d })
 
 (* Aggregated checksum-update work for one op class of one iteration:
@@ -93,11 +102,11 @@ let chk_update st ~deps ~count kernel_of_count : Engine.event =
     match st.placement with
     | Config.Auto -> assert false
     | Config.Gpu_inline ->
-        Engine.submit st.eng ~deps ~phase:"chk-update" Engine.Gpu kernel
+        Resilient.submit st.res ~deps ~phase:"chk-update" Engine.Gpu kernel
     | Config.Gpu_stream ->
-        Engine.submit_background st.eng ~deps ~phase:"chk-update" kernel
+        Resilient.submit_background st.res ~deps ~phase:"chk-update" kernel
     | Config.Cpu_offload ->
-        Engine.submit st.eng ~deps ~phase:"chk-update" Engine.Cpu kernel
+        Resilient.submit st.res ~deps ~phase:"chk-update" Engine.Cpu kernel
   end
 
 let gemm_update_kernel st count =
@@ -110,6 +119,7 @@ let trsm_update_kernel st count =
 let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
   let g = st.g and b = st.b in
   let eng = st.eng in
+  let res = st.res in
   let block_bytes = 8 * b * b in
   (* Initial encoding: one recalc-shaped pass over every lower tile. *)
   let encode_ev =
@@ -160,7 +170,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
           else Engine.ready
         in
         let ev =
-          Engine.submit eng ~deps:[ pre ] ~phase:"compute" Engine.Gpu
+          Resilient.submit res ~deps:[ pre ] ~phase:"compute" Engine.Gpu
             (Kernel.Syrk { n = b; k = j * b })
         in
         emit st (Trace_op.Syrk j);
@@ -194,7 +204,8 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
       else Engine.ready
     in
     let d2h_ev =
-      Engine.transfer eng ~deps:[ syrk_ev; pre_potf2_ev ] ~dir:`D2h block_bytes
+      Resilient.transfer res ~deps:[ syrk_ev; pre_potf2_ev ] ~dir:`D2h
+        block_bytes
     in
     emit st (Trace_op.D2h_diag j);
     (* ---- GEMM ---- *)
@@ -208,7 +219,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
         in
         let rows = (g - 1 - j) * b in
         let ev =
-          Engine.submit eng ~deps:[ pre ] ~phase:"compute" Engine.Gpu
+          Resilient.submit res ~deps:[ pre ] ~phase:"compute" Engine.Gpu
             (Kernel.Gemm { m = rows; n = b; k = j * b })
         in
         emit st (Trace_op.Gemm j);
@@ -237,7 +248,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
     let gemm_ev, gemm_chk_ev = gemm_ev in
     (* ---- POTF2 on the CPU, overlapping the GEMM ---- *)
     let potf2_ev =
-      Engine.submit eng ~deps:[ d2h_ev ] ~phase:"compute" Engine.Cpu
+      Resilient.submit res ~deps:[ d2h_ev ] ~phase:"compute" Engine.Cpu
         (Kernel.Potf2 { n = b })
     in
     emit st (Trace_op.Potf2 j);
@@ -261,7 +272,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
            (Sets.post_potf2 ~j));
     (* ---- factored block back to the device ---- *)
     let h2d_ev =
-      Engine.transfer eng ~deps:[ potf2_ev ] ~dir:`H2d block_bytes
+      Resilient.transfer res ~deps:[ potf2_ev ] ~dir:`H2d block_bytes
     in
     emit st (Trace_op.H2d_diag j);
     (* ---- TRSM ---- *)
@@ -274,7 +285,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
         else Engine.ready
       in
       let ev =
-        Engine.submit eng
+        Resilient.submit res
           ~deps:[ h2d_ev; gemm_ev; pre ]
           ~phase:"compute" Engine.Gpu
           (Kernel.Trsm { order = b; nrhs = (g - 1 - j) * b })
@@ -284,12 +295,12 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
         (* stream the freshly factored panel to the host (§VI 6b),
            next iteration's LC block first *)
         let priority =
-          Engine.transfer eng ~deps:[ ev ] ~phase:"chk-transfer" ~dir:`D2h
+          Resilient.transfer res ~deps:[ ev ] ~phase:"chk-transfer" ~dir:`D2h
             block_bytes
         in
         let bulk =
           if g - 2 - j > 0 then
-            Engine.transfer eng ~deps:[ ev ] ~phase:"chk-transfer" ~dir:`D2h
+            Resilient.transfer res ~deps:[ ev ] ~phase:"chk-transfer" ~dir:`D2h
               ((g - 2 - j) * block_bytes)
           else Engine.ready
         in
@@ -317,7 +328,11 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
              ~deps:[ ev; trsm_chk; prior_chk ]
              (Sets.post_trsm ~grid:g ~j))
     end;
-    st.prev_chk_ready <- Engine.join eng (prior_chk :: !chk_updates)
+    st.prev_chk_ready <- Engine.join eng (prior_chk :: !chk_updates);
+    if Resilient.degraded res && not st.degraded_emitted then begin
+      st.degraded_emitted <- true;
+      emit st (Trace_op.Degraded j)
+    end
   done;
   (* ---- Offline-ABFT's end-of-run verification ---- *)
   if offline then begin
@@ -331,7 +346,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
     | _ -> assert false)
   end
 
-let run ?pool:_ ?(plan = []) ?(d = 2) cfg ~n =
+let run ?pool:_ ?(plan = []) ?(d = 2) ?policy ?(fault_seed = 0) cfg ~n =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error e -> invalid_arg ("Schedule.run: " ^ e));
@@ -350,11 +365,13 @@ let run ?pool:_ ?(plan = []) ?(d = 2) cfg ~n =
   let placement =
     if with_ft then Config.resolve_placement cfg ~n else Config.Gpu_inline
   in
-  let eng = Engine.create cfg.Config.machine in
+  let eng = Engine.create ~seed:fault_seed cfg.Config.machine in
+  let res = Resilient.create ?policy ~seed:fault_seed eng in
   let st =
     {
       cfg;
       eng;
+      res;
       g = n / b;
       b;
       d;
@@ -365,12 +382,24 @@ let run ?pool:_ ?(plan = []) ?(d = 2) cfg ~n =
       lc_hist = Engine.ready;
       lc_last_priority = Engine.ready;
       lc_last_bulk = Engine.ready;
+      degraded_emitted = false;
     }
   in
-  let reruns = if uncorrected scheme plan = [] then 0 else 1 in
   run_pass st ~with_ft ~enhanced ~online ~offline ~kk;
+  (* A corrupted transfer landed wrong bits in device (or host) memory:
+     for the timeline that is exactly an In_storage fault, so it forces
+     a rerun on any scheme that cannot locate-and-correct storage
+     errors. The resilient driver deliberately does not retry it. *)
+  let transfer_faults =
+    (Resilient.stats res).Resilient.corrupted_transfers > 0
+    && not (Abft.Scheme.corrects_storage_errors scheme)
+  in
+  let reruns =
+    if uncorrected scheme plan <> [] || transfer_faults then 1 else 0
+  in
   if reruns > 0 then begin
     st.trace <- [];
+    st.degraded_emitted <- false;
     run_pass st ~with_ft ~enhanced ~online ~offline ~kk
   end;
   let makespan = Engine.makespan eng in
@@ -381,6 +410,8 @@ let run ?pool:_ ?(plan = []) ?(d = 2) cfg ~n =
     trace = List.rev st.trace;
     engine = eng;
     placement;
+    resilience = Resilient.stats res;
+    degraded = Resilient.degraded res;
   }
 
 (* A batch of independent simulations — a parameter sweep — fanned out

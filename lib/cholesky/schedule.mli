@@ -40,16 +40,41 @@ type result = {
   trace : Trace_op.t list;  (** logical trace of the last pass *)
   engine : Hetsim.Engine.t;  (** for phase decomposition and traces *)
   placement : Config.placement;  (** resolved, never [Auto] *)
+  resilience : Hetsim.Resilient.stats;
+      (** retry/quarantine/degradation accounting; all-zero on
+          reliable machines *)
+  degraded : bool;
+      (** true iff the GPU was quarantined or lost and the run
+          finished on the CPU *)
 }
 
 val run :
-  ?pool:Parallel.Pool.t -> ?plan:Fault.t -> ?d:int -> Config.t -> n:int -> result
+  ?pool:Parallel.Pool.t ->
+  ?plan:Fault.t ->
+  ?d:int ->
+  ?policy:Hetsim.Resilient.policy ->
+  ?fault_seed:int ->
+  Config.t ->
+  n:int ->
+  result
 (** [run ~plan cfg ~n] simulates the factorization of an n×n matrix.
     [~d] is the checksum row count (default 2). [pool] is accepted for
     call-site uniformity with {!Ft.factor} but unused: one simulation
     is a single sequential sweep of a virtual clock (the concurrency it
     models — streams, engines — is virtual). Use {!run_many} to spread
     a sweep of independent simulations across real cores.
+
+    Every operation is issued through a {!Hetsim.Resilient} driver
+    ([?policy], default {!Hetsim.Resilient.default_policy}) over an
+    engine seeded with [fault_seed] (default 0). On machines whose
+    devices are {!Hetsim.Device.reliable} — every preset — this is an
+    exact pass-through; with a non-trivial reliability profile
+    (see {!Hetsim.Machine.with_reliability}) kernels fault, hang, and
+    drop out, and the driver retries/quarantines/degrades, all
+    deterministically in [fault_seed]. A corrupted transfer counts as
+    an In_storage fault for the rerun accounting: it forces a rerun
+    unless the scheme corrects storage errors.
+    @raise Hetsim.Resilient.Gave_up if the CPU fallback is exhausted.
     @raise Invalid_argument if [n] is not a positive multiple of the
     block size. *)
 

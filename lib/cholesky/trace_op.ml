@@ -27,6 +27,7 @@ type t =
   | Snapshot of int
   | Rollback of int
   | Restart
+  | Degraded of int
 
 let equal a b = a = b
 
@@ -72,6 +73,7 @@ let pp fmt = function
   | Snapshot j -> Format.fprintf fmt "snapshot %d" j
   | Rollback j -> Format.fprintf fmt "rollback %d" j
   | Restart -> Format.pp_print_string fmt "restart"
+  | Degraded j -> Format.fprintf fmt "degraded %d" j
 
 let pp_trace fmt ops =
   Format.fprintf fmt "@[<v>%a@]"

@@ -47,6 +47,12 @@ type t =
           attempt resumes there instead of restarting. Numeric-mode
           only, like {!Snapshot}. *)
   | Restart  (** recovery by recomputation begins *)
+  | Degraded of int
+      (** the resilient driver quarantined or lost the GPU during
+          iteration [j] and re-planned the remaining work onto the
+          CPU. Timing-mode only, and only on machines with a
+          non-trivial {!Hetsim.Device.reliability} profile, so
+          clean-run traces stay comparable across modes. *)
 
 val equal : t list -> t list -> bool
 

@@ -13,9 +13,10 @@ type family =
   | Compute_heavy
   | Checksum_storm
   | Anchor
+  | Device_storm
 
 let all_families =
-  [ Mixed; Burst; Storage_heavy; Compute_heavy; Checksum_storm; Anchor ]
+  [ Mixed; Burst; Storage_heavy; Compute_heavy; Checksum_storm; Anchor; Device_storm ]
 
 let family_name = function
   | Mixed -> "mixed"
@@ -24,6 +25,7 @@ let family_name = function
   | Compute_heavy -> "compute-heavy"
   | Checksum_storm -> "checksum-storm"
   | Anchor -> "anchor"
+  | Device_storm -> "device-storm"
 
 let family_of_string s =
   match String.lowercase_ascii s with
@@ -33,10 +35,12 @@ let family_of_string s =
   | "compute-heavy" | "compute" -> Ok Compute_heavy
   | "checksum-storm" | "checksum" -> Ok Checksum_storm
   | "anchor" -> Ok Anchor
+  | "device-storm" | "device" -> Ok Device_storm
   | s ->
       Error
         (Printf.sprintf
-           "unknown family %S (expected mixed|burst|storage-heavy|compute-heavy|checksum-storm|anchor)"
+           "unknown family %S (expected \
+            mixed|burst|storage-heavy|compute-heavy|checksum-storm|anchor|device-storm)"
            s)
 
 (* Families whose plans can contain In_storage flips must run under
@@ -46,7 +50,7 @@ let family_of_string s =
    corruption" that is a property of the scheme, not a bug in the
    ladder. *)
 let needs_enhanced = function
-  | Mixed | Storage_heavy | Anchor -> true
+  | Mixed | Storage_heavy | Anchor | Device_storm -> true
   | Burst | Compute_heavy | Checksum_storm -> false
 
 (* A burst: two wrong values in the SAME column of one freshly written
@@ -96,22 +100,44 @@ let anchor_plan st ~grid ~block ~count =
 
 let plan family ~seed ~grid ~block ~count =
   if count < 1 then invalid_arg "Campaign.plan: count must be >= 1";
-  let random ~storage ~checksum ~update =
+  let random ?(device = 0.) ~storage ~checksum ~update () =
     Fault.random_plan ~covered_only:true ~seed ~grid ~block ~count
       ~storage_fraction:storage ~checksum_fraction:checksum
-      ~update_fraction:update ()
+      ~update_fraction:update ~device_fraction:device ()
   in
   match family with
-  | Mixed -> random ~storage:0.3 ~checksum:0.15 ~update:0.15
-  | Storage_heavy -> random ~storage:0.8 ~checksum:0.1 ~update:0.05
-  | Compute_heavy -> random ~storage:0. ~checksum:0.1 ~update:0.1
-  | Checksum_storm -> random ~storage:0. ~checksum:0.5 ~update:0.5
+  | Mixed -> random ~storage:0.3 ~checksum:0.15 ~update:0.15 ()
+  | Storage_heavy -> random ~storage:0.8 ~checksum:0.1 ~update:0.05 ()
+  | Compute_heavy -> random ~storage:0. ~checksum:0.1 ~update:0.1 ()
+  | Checksum_storm -> random ~storage:0. ~checksum:0.5 ~update:0.5 ()
+  | Device_storm -> random ~device:0.6 ~storage:0.1 ~checksum:0.1 ~update:0. ()
   | Burst ->
       let st = Random.State.make [| seed; grid; block; 0x6275 |] in
       burst_plan st ~grid ~block
   | Anchor ->
       let st = Random.State.make [| seed; grid; block; 0x616e |] in
       anchor_plan st ~grid ~block ~count
+
+(* Seeded device-reliability profile for device-storm campaigns: rates
+   hot enough that a ~10-iteration schedule sees several transients and
+   the occasional hang, yet cold enough that the retry budget usually
+   absorbs them — quarantine and degradation then come from the unlucky
+   tail and from dropout cases, which is exactly the mix the soak wants
+   to certify. *)
+let device_profile ~seed ~dropout =
+  let st = Random.State.make [| seed; 0xdef1 |] in
+  let range lo hi = lo +. Random.State.float st (hi -. lo) in
+  {
+    Hetsim.Device.transient_fault_rate = range 0.05 0.25;
+    hang_rate = range 0.02 0.10;
+    hang_timeout_s = range 0.02 0.08;
+    transfer_corruption_rate = range 0.05 0.20;
+    dropout_after_s =
+      (* draw unconditionally so the non-dropout profile stream is
+         unchanged by the flag *)
+      (let t = range 0.005 0.05 in
+       if dropout then t else infinity);
+  }
 
 type case = {
   id : int;
@@ -131,6 +157,50 @@ let outcome_name = function
   | Silent_corruption -> "silent-corruption"
   | Gave_up _ -> "gave-up"
 
+(* Device-side resilience counters for one campaign, distilled from
+   [Hetsim.Resilient.stats]: what the failure-aware scheduling layer
+   did while the ABFT ladder handled the numeric side. All zero for
+   families that run on reliable machines. *)
+type device_counts = {
+  retries_d : int;  (** kernel attempts beyond the first, both devices *)
+  transients_d : int;
+  hangs_d : int;
+  corrupted_d : int;  (** corrupted transfers (healed by ABFT, not retried) *)
+  quarantines_d : int;  (** 1 if the GPU was quarantined *)
+  fallbacks_d : int;  (** operations re-planned onto the CPU *)
+  losses_d : int;  (** 1 if a device dropped out permanently *)
+}
+
+let zero_device =
+  {
+    retries_d = 0;
+    transients_d = 0;
+    hangs_d = 0;
+    corrupted_d = 0;
+    quarantines_d = 0;
+    fallbacks_d = 0;
+    losses_d = 0;
+  }
+
+let device_counts_of_stats (s : Hetsim.Resilient.stats) =
+  let dev (d : Hetsim.Resilient.device_stats) =
+    (d.Hetsim.Resilient.retries, d.Hetsim.Resilient.transient_faults,
+     d.Hetsim.Resilient.hangs, d.Hetsim.Resilient.quarantined_at,
+     d.Hetsim.Resilient.lost_at)
+  in
+  let cr, ct, ch, cq, cl = dev s.Hetsim.Resilient.cpu in
+  let gr, gt, gh, gq, gl = dev s.Hetsim.Resilient.gpu in
+  let hit = function Some _ -> 1 | None -> 0 in
+  {
+    retries_d = cr + gr;
+    transients_d = ct + gt;
+    hangs_d = ch + gh;
+    corrupted_d = s.Hetsim.Resilient.corrupted_transfers;
+    quarantines_d = hit cq + hit gq;
+    fallbacks_d = s.Hetsim.Resilient.degraded_ops;
+    losses_d = hit cl + hit gl;
+  }
+
 type run_result = {
   case : case;
   outcome : outcome;
@@ -143,6 +213,7 @@ type run_result = {
   snapshots : int;
   restarts : int;
   fired : int;
+  device : device_counts;
 }
 
 type rung_counts = {
@@ -171,6 +242,9 @@ type aggregate = {
   totals : rung_counts;  (** summed event counts across campaigns *)
   rung_campaigns : rung_counts;
       (** campaigns that exercised each rung at least once *)
+  device_totals : device_counts;  (** summed device counters *)
+  device_campaigns : device_counts;
+      (** campaigns that exercised each device mechanism at least once *)
   worst_residual : float;
   silent_rate : float;
 }
@@ -196,6 +270,29 @@ let aggregate results =
       restarts_n = t.restarts_n + b r.restarts;
     }
   in
+  let add_dev t r =
+    {
+      retries_d = t.retries_d + r.device.retries_d;
+      transients_d = t.transients_d + r.device.transients_d;
+      hangs_d = t.hangs_d + r.device.hangs_d;
+      corrupted_d = t.corrupted_d + r.device.corrupted_d;
+      quarantines_d = t.quarantines_d + r.device.quarantines_d;
+      fallbacks_d = t.fallbacks_d + r.device.fallbacks_d;
+      losses_d = t.losses_d + r.device.losses_d;
+    }
+  in
+  let hit_dev t r =
+    let b x = if x > 0 then 1 else 0 in
+    {
+      retries_d = t.retries_d + b r.device.retries_d;
+      transients_d = t.transients_d + b r.device.transients_d;
+      hangs_d = t.hangs_d + b r.device.hangs_d;
+      corrupted_d = t.corrupted_d + b r.device.corrupted_d;
+      quarantines_d = t.quarantines_d + b r.device.quarantines_d;
+      fallbacks_d = t.fallbacks_d + b r.device.fallbacks_d;
+      losses_d = t.losses_d + b r.device.losses_d;
+    }
+  in
   let count p = List.length (List.filter p results) in
   let silent =
     count (fun r -> match r.outcome with Silent_corruption -> true | Success | Gave_up _ -> false)
@@ -210,12 +307,20 @@ let aggregate results =
     faults_fired = List.fold_left (fun a r -> a + r.fired) 0 results;
     totals = List.fold_left add zero_rungs results;
     rung_campaigns = List.fold_left hit zero_rungs results;
+    device_totals = List.fold_left add_dev zero_device results;
+    device_campaigns = List.fold_left hit_dev zero_device results;
     worst_residual =
       List.fold_left (fun a r -> Float.max a r.residual) 0. results;
     silent_rate = (if n = 0 then 0. else float_of_int silent /. float_of_int n);
   }
 
-(* ---- JSON report (bench_util sink conventions, schema_version 1) ---- *)
+(* ---- JSON report (bench_util sink conventions, schema_version 2) ----
+
+   Schema history:
+   - 1: per-campaign ladder metrics + aggregate rung totals/coverage.
+   - 2: adds per-campaign device-resilience metrics (retries, hangs,
+     transients, corrupted transfers, quarantine/degradation/loss) and
+     the aggregate "device_totals" / "device_campaigns" objects. *)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -250,6 +355,13 @@ let result_metrics r =
     ("snapshots", float_of_int r.snapshots);
     ("restarts", float_of_int r.restarts);
     ("faults_fired", float_of_int r.fired);
+    ("device_retries", float_of_int r.device.retries_d);
+    ("device_transients", float_of_int r.device.transients_d);
+    ("device_hangs", float_of_int r.device.hangs_d);
+    ("corrupted_transfers", float_of_int r.device.corrupted_d);
+    ("quarantines", float_of_int r.device.quarantines_d);
+    ("cpu_fallbacks", float_of_int r.device.fallbacks_d);
+    ("device_losses", float_of_int r.device.losses_d);
     ( "silent",
       match r.outcome with
       | Silent_corruption -> 1.
@@ -263,11 +375,19 @@ let rung_fields prefix t =
     prefix t.corrections_n prefix t.reconstructions_n prefix
     t.checksum_repairs_n prefix t.rollbacks_n prefix t.restarts_n
 
+let device_fields t =
+  Printf.sprintf
+    "\"retries\": %d, \"transients\": %d, \"hangs\": %d, \
+     \"corrupted_transfers\": %d, \"quarantines\": %d, \
+     \"cpu_fallbacks\": %d, \"device_losses\": %d"
+    t.retries_d t.transients_d t.hangs_d t.corrupted_d t.quarantines_d
+    t.fallbacks_d t.losses_d
+
 let to_json ~seed results =
   let agg = aggregate results in
   let b = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  out "{\n  \"schema_version\": 1,\n  \"results\": [";
+  out "{\n  \"schema_version\": 2,\n  \"results\": [";
   List.iteri
     (fun i r ->
       out "%s\n    { \"experiment\": \"ftsoak\", \"name\": \"%s\", \
@@ -294,7 +414,9 @@ let to_json ~seed results =
   out "    \"silent_rate\": %s,\n" (json_float agg.silent_rate);
   out "    \"worst_residual\": %s,\n" (json_float agg.worst_residual);
   out "    \"totals\": { %s },\n" (rung_fields "" agg.totals);
-  out "    \"rung_campaigns\": { %s }\n" (rung_fields "" agg.rung_campaigns);
+  out "    \"rung_campaigns\": { %s },\n" (rung_fields "" agg.rung_campaigns);
+  out "    \"device_totals\": { %s },\n" (device_fields agg.device_totals);
+  out "    \"device_campaigns\": { %s }\n" (device_fields agg.device_campaigns);
   out "  }\n}\n";
   Buffer.contents b
 
@@ -309,4 +431,16 @@ let pp_aggregate fmt agg =
     agg.totals.checksum_repairs_n agg.totals.rollbacks_n agg.totals.restarts_n
     agg.rung_campaigns.corrections_n agg.rung_campaigns.reconstructions_n
     agg.rung_campaigns.checksum_repairs_n agg.rung_campaigns.rollbacks_n
-    agg.rung_campaigns.restarts_n agg.worst_residual
+    agg.rung_campaigns.restarts_n agg.worst_residual;
+  if agg.device_totals <> zero_device then
+    Format.fprintf fmt
+      "@.@[<v>device events: retries %d, transients %d, hangs %d, corrupted \
+       transfers %d, quarantines %d, cpu fallbacks %d, losses %d@,campaigns \
+       touching each device mechanism: %d / %d / %d / %d / %d / %d / %d@]"
+      agg.device_totals.retries_d agg.device_totals.transients_d
+      agg.device_totals.hangs_d agg.device_totals.corrupted_d
+      agg.device_totals.quarantines_d agg.device_totals.fallbacks_d
+      agg.device_totals.losses_d agg.device_campaigns.retries_d
+      agg.device_campaigns.transients_d agg.device_campaigns.hangs_d
+      agg.device_campaigns.corrupted_d agg.device_campaigns.quarantines_d
+      agg.device_campaigns.fallbacks_d agg.device_campaigns.losses_d

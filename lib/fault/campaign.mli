@@ -20,6 +20,12 @@ type family =
           ~1e35..1e55) in off-diagonal blocks: the corrupted value
           defeats delta correction, exercising the plain-sum
           reconstruction rung *)
+  | Device_storm
+      (** corrupted host↔device transfers ([In_device]) dominating a
+          storage/checksum/computing mix; runs on a machine with a
+          seeded {!device_profile}, so the resilient scheduling layer
+          (retry, backoff, quarantine, CPU fallback) is exercised
+          alongside the ABFT ladder *)
 
 val all_families : family list
 val family_name : family -> string
@@ -36,6 +42,13 @@ val plan : family -> seed:int -> grid:int -> block:int -> count:int -> Fault.t
     ([Burst] with [grid < 4] — the burst needs an iteration ≥ 2 with a
     snapshot boundary below it). *)
 
+val device_profile : seed:int -> dropout:bool -> Hetsim.Device.reliability
+(** Seeded reliability profile for device-storm campaigns: transient
+    fault rate ~0.05..0.25, hang rate ~0.02..0.10 with a 20..80 ms
+    watchdog, transfer corruption ~0.05..0.20, and — iff [dropout] — a
+    finite permanent-dropout time early in the schedule. Deterministic
+    in [seed]; the non-dropout profile is unchanged by the flag. *)
+
 type case = {
   id : int;
   family : family;
@@ -51,6 +64,24 @@ type outcome = Success | Silent_corruption | Gave_up of string
 
 val outcome_name : outcome -> string
 
+type device_counts = {
+  retries_d : int;  (** kernel attempts beyond the first, both devices *)
+  transients_d : int;
+  hangs_d : int;
+  corrupted_d : int;
+      (** corrupted transfers — healed by ABFT, never retried *)
+  quarantines_d : int;  (** 1 if the GPU was quarantined *)
+  fallbacks_d : int;  (** operations re-planned onto the CPU *)
+  losses_d : int;  (** 1 if a device dropped out permanently *)
+}
+
+val zero_device : device_counts
+(** For families run on reliable machines. *)
+
+val device_counts_of_stats : Hetsim.Resilient.stats -> device_counts
+(** Distill one run's resilient-driver statistics into campaign
+    counters (quarantine/loss flattened to per-device 0/1 hits). *)
+
 type run_result = {
   case : case;
   outcome : outcome;
@@ -63,6 +94,7 @@ type run_result = {
   snapshots : int;
   restarts : int;
   fired : int;
+  device : device_counts;
 }
 
 type rung_counts = {
@@ -84,6 +116,11 @@ type aggregate = {
       (** number of campaigns that exercised each rung at least once —
           the acceptance check "every rung below full restart was hit"
           reads these *)
+  device_totals : device_counts;  (** summed device counters *)
+  device_campaigns : device_counts;
+      (** number of campaigns that exercised each device-resilience
+          mechanism at least once — the device-storm acceptance check
+          (quarantine / retry / degradation each ≥ 10) reads these *)
   worst_residual : float;
   silent_rate : float;
 }
@@ -94,10 +131,13 @@ val case_name : case -> string
 (** ["family/scheme/g<grid>-b<block>-p<domains>/seed<seed>"]. *)
 
 val to_json : seed:int -> run_result list -> string
-(** Full report: bench-style [schema_version 1] sink with one result
+(** Full report: bench-style [schema_version 2] sink with one result
     row per campaign (experiment ["ftsoak"], size = matrix order) plus
     an ["aggregate"] object carrying the outcome histogram, per-rung
-    totals, campaign-level rung coverage, silent-corruption rate and
-    worst residual. *)
+    totals, campaign-level rung coverage, device-resilience totals and
+    coverage ([device_totals] / [device_campaigns]), silent-corruption
+    rate and worst residual. Version 2 is a strict superset of 1: it
+    adds the per-campaign device metrics and the two aggregate device
+    objects. *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit

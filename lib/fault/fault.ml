@@ -5,6 +5,7 @@ type window =
   | In_computation of op
   | In_checksum
   | In_update of op
+  | In_device
 
 type kind =
   | Bit_flip of { bit : int }
@@ -44,16 +45,21 @@ let checksum_error ?(bit = 40) ~iteration ~block ~element () =
 let update_error ?(delta = 1e3) ~iteration ~op ~block ~element () =
   { iteration; window = In_update op; block; element; kind = Value_offset { delta } }
 
+let transfer_error ?(bit = 40) ~iteration ~block ~element () =
+  { iteration; window = In_device; block; element; kind = Bit_flip { bit } }
+
 let random_plan ?(covered_only = false) ~seed ~grid ~block ~count
-    ~storage_fraction ?(checksum_fraction = 0.) ?(update_fraction = 0.) () =
+    ~storage_fraction ?(checksum_fraction = 0.) ?(update_fraction = 0.)
+    ?(device_fraction = 0.) () =
   if grid < 1 || block < 1 || count < 0 then
     invalid_arg "Fault.random_plan: bad dimensions";
   if storage_fraction < 0. || storage_fraction > 1. then
     invalid_arg "Fault.random_plan: storage_fraction out of [0,1]";
-  if checksum_fraction < 0. || update_fraction < 0. then
+  if checksum_fraction < 0. || update_fraction < 0. || device_fraction < 0. then
     invalid_arg "Fault.random_plan: negative window fraction";
-  if storage_fraction +. checksum_fraction +. update_fraction > 1. then
-    invalid_arg "Fault.random_plan: window fractions exceed 1";
+  if storage_fraction +. checksum_fraction +. update_fraction +. device_fraction
+     > 1.
+  then invalid_arg "Fault.random_plan: window fractions exceed 1";
   let st = Random.State.make [| seed; grid; block; count |] in
   let int_in lo hi = lo + Random.State.int st (hi - lo + 1) in
   let element () = (Random.State.int st block, Random.State.int st block) in
@@ -71,6 +77,21 @@ let random_plan ?(covered_only = false) ~seed ~grid ~block ~count
     {
       iteration = int_in c hi;
       window = In_storage;
+      block = blk;
+      element = element ();
+      kind = Bit_flip { bit = int_in 30 52 };
+    }
+  in
+  let device () =
+    (* A corrupted PCIe transfer: wrong bits landed in the tile while
+       it crossed the bus. Same liveness window and same storage-class
+       correctability as a resident flip; only the physical cause (and
+       the resilient driver's accounting) differ. *)
+    let ((i, c) as blk) = lower_tri_block () in
+    let hi = if covered_only then max i c else grid - 1 in
+    {
+      iteration = int_in c hi;
+      window = In_device;
       block = blk;
       element = element ();
       kind = Bit_flip { bit = int_in 30 52 };
@@ -158,6 +179,11 @@ let random_plan ?(covered_only = false) ~seed ~grid ~block ~count
       else if r < storage_fraction +. checksum_fraction then checksum ()
       else if r < storage_fraction +. checksum_fraction +. update_fraction then
         update ()
+      else if
+        r
+        < storage_fraction +. checksum_fraction +. update_fraction
+          +. device_fraction
+      then device ()
       else computing ())
 
 let op_name = function
@@ -173,6 +199,7 @@ let pp_injection fmt inj =
     | In_computation op -> "compute:" ^ op_name op
     | In_checksum -> "checksum"
     | In_update op -> "chk-update:" ^ op_name op
+    | In_device -> "device"
   in
   let k =
     match inj.kind with

@@ -42,6 +42,14 @@ type window =
       (** fired immediately after [op]'s checksum update writes the
           target block's checksum in the target iteration; [element]
           as for [In_checksum] *)
+  | In_device
+      (** a corrupted host↔device transfer: wrong bits landed in the
+          target tile while it crossed the PCIe bus. Fired at the start
+          of the target iteration like [In_storage], and corrected
+          under exactly the same (pre-read verification) conditions —
+          the physical cause differs, the checksum math does not. The
+          resilient scheduling layer deliberately does not retry these:
+          they must be healed by the ABFT ladder. *)
 
 type kind =
   | Bit_flip of { bit : int }  (** storage-style corruption *)
@@ -82,6 +90,11 @@ val update_error :
   ?delta:float -> iteration:int -> op:op -> block:int * int -> element:int * int -> unit -> injection
 (** A single wrong value written by [op]'s checksum-update kernel. *)
 
+val transfer_error :
+  ?bit:int -> iteration:int -> block:int * int -> element:int * int -> unit -> injection
+(** A single corrupted-transfer bit-flip ([In_device], default
+    [bit = 40]). *)
+
 val random_plan :
   ?covered_only:bool ->
   seed:int ->
@@ -91,6 +104,7 @@ val random_plan :
   storage_fraction:float ->
   ?checksum_fraction:float ->
   ?update_fraction:float ->
+  ?device_fraction:float ->
   unit ->
   t
 (** [random_plan ~seed ~grid ~block ~count ~storage_fraction] draws
@@ -100,11 +114,13 @@ val random_plan :
     element uniform in the tile. Each draw is a storage flip with
     probability [storage_fraction], a checksum-store flip with
     probability [checksum_fraction] (default 0), a checksum-update
-    error with probability [update_fraction] (default 0), else a
-    computing error (op chosen to match where the block is written at
-    that iteration). Deterministic in [seed]; with the default zero
-    checksum/update fractions the generated plans are identical to the
-    two-window generator of earlier revisions.
+    error with probability [update_fraction] (default 0), a
+    corrupted-transfer flip with probability [device_fraction]
+    (default 0), else a computing error (op chosen to match where the
+    block is written at that iteration). Deterministic in [seed]; with
+    the default zero checksum/update/device fractions the generated
+    plans are identical to the two-window generator of earlier
+    revisions.
 
     [~covered_only:true] (default [false]) restricts draws to the
     windows the Enhanced scheme actually covers — the injections the

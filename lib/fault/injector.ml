@@ -37,7 +37,23 @@ let fire_storage t ~iteration ~lookup =
     (fun inj ->
       match inj.Fault.window with
       | Fault.In_storage -> inj.Fault.iteration = iteration
-      | Fault.In_computation _ | Fault.In_checksum | Fault.In_update _ ->
+      | Fault.In_computation _ | Fault.In_checksum | Fault.In_update _
+      | Fault.In_device ->
+          false)
+    (fun inj ->
+      match lookup inj.Fault.block with
+      | None -> false
+      | Some tile ->
+          corrupt t inj tile;
+          true)
+
+let fire_device t ~iteration ~lookup =
+  partition_fire t
+    (fun inj ->
+      match inj.Fault.window with
+      | Fault.In_device -> inj.Fault.iteration = iteration
+      | Fault.In_storage | Fault.In_computation _ | Fault.In_checksum
+      | Fault.In_update _ ->
           false)
     (fun inj ->
       match lookup inj.Fault.block with
@@ -54,7 +70,9 @@ let fire_compute t ~iteration ~op ~block tile =
           Fault.equal_op o op
           && inj.Fault.iteration = iteration
           && block_matches inj block
-      | Fault.In_storage | Fault.In_checksum | Fault.In_update _ -> false)
+      | Fault.In_storage | Fault.In_checksum | Fault.In_update _
+      | Fault.In_device ->
+          false)
     (fun inj ->
       corrupt t inj tile;
       true)
@@ -64,7 +82,8 @@ let fire_checksum t ~iteration ~lookup =
     (fun inj ->
       match inj.Fault.window with
       | Fault.In_checksum -> inj.Fault.iteration = iteration
-      | Fault.In_storage | Fault.In_computation _ | Fault.In_update _ ->
+      | Fault.In_storage | Fault.In_computation _ | Fault.In_update _
+      | Fault.In_device ->
           false)
     (fun inj ->
       match lookup inj.Fault.block with
@@ -81,7 +100,8 @@ let fire_update t ~iteration ~op ~block chk =
           Fault.equal_op o op
           && inj.Fault.iteration = iteration
           && block_matches inj block
-      | Fault.In_storage | Fault.In_computation _ | Fault.In_checksum ->
+      | Fault.In_storage | Fault.In_computation _ | Fault.In_checksum
+      | Fault.In_device ->
           false)
     (fun inj ->
       corrupt t inj chk;

@@ -26,6 +26,15 @@ val fire_storage :
     such block, in which case the injection stays pending and is
     reported by {!pending}). *)
 
+val fire_device :
+  t -> iteration:int -> lookup:(int * int -> Matrix.Mat.t option) -> unit
+(** [fire_device t ~iteration ~lookup] applies every still-pending
+    [In_device] injection scheduled for [iteration] — a corrupted
+    host↔device transfer materialized as wrong bits in the tile.
+    Mechanically identical to {!fire_storage} (the tile holds wrong
+    data before its next read); kept separate so campaigns and stats
+    can attribute the fault to the transfer path. *)
+
 val fire_compute :
   t -> iteration:int -> op:Fault.op -> block:int * int -> Matrix.Mat.t -> unit
 (** [fire_compute t ~iteration ~op ~block tile] applies every pending

@@ -1,5 +1,28 @@
 type kind = Cpu | Gpu
 
+type reliability = {
+  transient_fault_rate : float;
+  hang_rate : float;
+  hang_timeout_s : float;
+  transfer_corruption_rate : float;
+  dropout_after_s : float;
+}
+
+let reliable =
+  {
+    transient_fault_rate = 0.;
+    hang_rate = 0.;
+    hang_timeout_s = 1.0;
+    transfer_corruption_rate = 0.;
+    dropout_after_s = infinity;
+  }
+
+let is_reliable r =
+  r.transient_fault_rate <= 0.
+  && r.hang_rate <= 0.
+  && r.transfer_corruption_rate <= 0.
+  && not (Float.is_finite r.dropout_after_s)
+
 type t = {
   name : string;
   kind : kind;
@@ -13,6 +36,7 @@ type t = {
   kernel_launch_overhead_s : float;
   spare_stream_fraction : float;
   mem_bytes : int;
+  reliability : reliability;
 }
 
 let gflops_sustained d ~k =
@@ -48,8 +72,18 @@ let validate d =
       Error (d.name ^ ": max_concurrent_kernels must be >= 1")
     else Ok ()
   in
-  if d.kernel_launch_overhead_s < 0. then
-    Error (d.name ^ ": kernel_launch_overhead_s must be >= 0")
+  let* () =
+    if d.kernel_launch_overhead_s < 0. then
+      Error (d.name ^ ": kernel_launch_overhead_s must be >= 0")
+    else Ok ()
+  in
+  let r = d.reliability in
+  let* () = frac "transient_fault_rate" r.transient_fault_rate in
+  let* () = frac "hang_rate" r.hang_rate in
+  let* () = frac "transfer_corruption_rate" r.transfer_corruption_rate in
+  let* () = pos "hang_timeout_s" r.hang_timeout_s in
+  if r.dropout_after_s <= 0. then
+    Error (d.name ^ ": dropout_after_s must be positive (infinity = never)")
   else Ok ()
 
 let pp fmt d =

@@ -10,6 +10,37 @@
 
 type kind = Cpu | Gpu
 
+(** Per-device reliability profile, all rates per-operation: a device
+    can fault transiently (kernel completes but the result is garbage,
+    detected at completion), hang (a watchdog deadline of
+    [hang_timeout_s] is charged before the failure is observed),
+    corrupt a host↔device transfer (the copy "succeeds" but the payload
+    is wrong — an ABFT storage error, not a scheduling failure), or
+    drop out permanently at virtual time [dropout_after_s]. The default
+    {!reliable} profile has every rate at zero and never drops out, and
+    the engine draws no randomness for reliable devices, so existing
+    timing results are bit-identical. *)
+type reliability = {
+  transient_fault_rate : float;
+      (** per-kernel probability of a transient fault, in [0,1] *)
+  hang_rate : float;  (** per-kernel probability of a hang, in [0,1] *)
+  hang_timeout_s : float;
+      (** watchdog deadline charged when a kernel hangs *)
+  transfer_corruption_rate : float;
+      (** per-transfer probability of silent payload corruption *)
+  dropout_after_s : float;
+      (** virtual time after which the device is permanently lost;
+          [infinity] = never *)
+}
+
+val reliable : reliability
+(** All-zero rates, [dropout_after_s = infinity]: a device that never
+    fails. *)
+
+val is_reliable : reliability -> bool
+(** True iff no failure source is active (all rates [<= 0] and no
+    finite dropout time). *)
+
 type t = {
   name : string;
   kind : kind;
@@ -36,6 +67,8 @@ type t = {
       (** fraction of throughput available to a background stream while
           the main stream is busy (Optimization 2 on-GPU placement) *)
   mem_bytes : int;  (** device memory capacity *)
+  reliability : reliability;
+      (** failure behaviour; {!reliable} for ideal hardware *)
 }
 
 val gflops_sustained : t -> k:int -> float

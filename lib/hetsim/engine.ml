@@ -21,15 +21,29 @@ type record = {
   binding : binding;
 }
 
+type failure =
+  | Transient_fault
+  | Hang of { timeout_s : float }
+  | Corrupted_transfer
+  | Device_lost
+
+type outcome = Completed of event | Failed of failure * event
+
 type t = {
   machine : Machine.t;
   mutable free : (resource * float ref) list;
   mutable makespan : float;
   mutable ops : record list;  (* reverse issue order *)
   mutable count : int;
+  rng : Random.State.t;
+      (* consumed only by the [_result] submission paths, and only for
+         devices whose reliability profile is non-trivial, so clean
+         runs remain draw-free and bit-identical to the plain paths *)
+  mutable cpu_lost : bool;
+  mutable gpu_lost : bool;
 }
 
-let create machine =
+let create ?(seed = 0) machine =
   {
     machine;
     free =
@@ -43,6 +57,9 @@ let create machine =
     makespan = 0.;
     ops = [];
     count = 0;
+    rng = Random.State.make [| 0x5eed; seed |];
+    cpu_lost = false;
+    gpu_lost = false;
   }
 
 let machine t = t.machine
@@ -82,6 +99,64 @@ let device_of t = function
   | Link_h2d | Link_d2h ->
       invalid_arg "Engine: link carries only Memcpy operations"
 
+(* ------------------------------------------------------------------ *)
+(* Failure-aware submission                                            *)
+(* ------------------------------------------------------------------ *)
+
+let device_lost t = function
+  | Cpu -> t.cpu_lost
+  | Gpu | Gpu_spare -> t.gpu_lost
+  | Link_h2d | Link_d2h -> false
+
+let mark_lost t = function
+  | Cpu -> t.cpu_lost <- true
+  | Gpu | Gpu_spare -> t.gpu_lost <- true
+  | Link_h2d | Link_d2h -> ()
+
+let planned_start t ?stream ~deps resource =
+  let avail = List.assoc resource t.free in
+  let stream_last = match stream with None -> 0. | Some s -> s.last in
+  Float.max (deps_time deps) (Float.max !avail stream_last)
+
+(* One fault draw for an operation of duration [dur] on [resource].
+   Failure-time accounting: a permanent dropout is observed instantly
+   at the would-be start (zero duration); a hang charges the watchdog
+   deadline [hang_timeout_s]; a transient fault charges the full kernel
+   duration (the kernel ran, its output is garbage). Exactly two RNG
+   draws happen per faulty attempt regardless of the outcome, so the
+   draw sequence — and hence every downstream retry decision — is a
+   deterministic function of the engine seed and the call sequence. *)
+let faulty_run t ?stream ~deps ~phase ~label resource dur : outcome =
+  let rel = (device_of t resource).Device.reliability in
+  if Device.is_reliable rel && not (device_lost t resource) then
+    Completed (schedule t ?stream ~deps ~phase ~label resource dur)
+  else begin
+    let start = planned_start t ?stream ~deps resource in
+    if device_lost t resource || start >= rel.Device.dropout_after_s then begin
+      mark_lost t resource;
+      Failed
+        ( Device_lost,
+          schedule t ?stream ~deps ~phase ~label:("lost " ^ label) resource 0.
+        )
+    end
+    else begin
+      let u_hang = Random.State.float t.rng 1. in
+      let u_fault = Random.State.float t.rng 1. in
+      if u_hang < rel.Device.hang_rate then
+        let timeout_s = rel.Device.hang_timeout_s in
+        Failed
+          ( Hang { timeout_s },
+            schedule t ?stream ~deps ~phase ~label:("hang " ^ label) resource
+              timeout_s )
+      else if u_fault < rel.Device.transient_fault_rate then
+        Failed
+          ( Transient_fault,
+            schedule t ?stream ~deps ~phase ~label:("fault " ^ label) resource
+              dur )
+      else Completed (schedule t ?stream ~deps ~phase ~label resource dur)
+    end
+  end
+
 let submit t ?stream ?(deps = []) ?(phase = "compute") resource kernel : event =
   match (resource, Kernel.shape kernel) with
   | (Link_h2d | Link_d2h), _ ->
@@ -116,6 +191,67 @@ let transfer t ?(deps = []) ?(phase = "transfer") ~dir bytes : event =
     Printf.sprintf "%s %dB" (match dir with `H2d -> "h2d" | `D2h -> "d2h") bytes
   in
   schedule t ~deps ~phase ~label resource dur
+
+let submit_result t ?stream ?(deps = []) ?(phase = "compute") resource kernel :
+    outcome =
+  match (resource, Kernel.shape kernel) with
+  | (Link_h2d | Link_d2h), _ ->
+      invalid_arg
+        "Engine.submit_result: use Engine.transfer_result for link operations"
+  | _, Kernel.Copy ->
+      invalid_arg
+        "Engine.submit_result: Memcpy must go through Engine.transfer_result"
+  | (Cpu | Gpu), _ ->
+      let dur = Cost_model.duration (device_of t resource) kernel in
+      faulty_run t ?stream ~deps ~phase ~label:(Kernel.label kernel) resource
+        dur
+  | Gpu_spare, _ ->
+      let dur = Cost_model.background_duration (device_of t resource) kernel in
+      faulty_run t ?stream ~deps ~phase ~label:(Kernel.label kernel) resource
+        dur
+
+let submit_batch_result t ?(deps = []) ?(phase = "compute") ~streams kernels :
+    outcome =
+  match kernels with
+  | [] -> Completed (deps_time deps)
+  | ks ->
+      let dur = Cost_model.batch_duration t.machine.Machine.gpu ~streams ks in
+      let label =
+        Printf.sprintf "batch[%d kernels, %d streams]" (List.length ks) streams
+      in
+      (* one draw for the whole batch: the batch occupies the engine as
+         a single operation, so it faults as a single operation *)
+      faulty_run t ~deps ~phase ~label Gpu dur
+
+(* Transfer corruption is charged to the GPU endpoint's profile (every
+   modelled copy has the GPU on one side). A corrupted transfer takes
+   its full, normal time — the copy "succeeds" and only the payload is
+   wrong, which is exactly why it must flow into the ABFT verify path
+   rather than being retried here. *)
+let transfer_result t ?(deps = []) ?(phase = "transfer") ~dir bytes : outcome =
+  let resource = match dir with `H2d -> Link_h2d | `D2h -> Link_d2h in
+  let rel = t.machine.Machine.gpu.Device.reliability in
+  let dur = Machine.transfer_time t.machine ~bytes in
+  let label =
+    Printf.sprintf "%s %dB" (match dir with `H2d -> "h2d" | `D2h -> "d2h") bytes
+  in
+  if Device.is_reliable rel && not t.gpu_lost then
+    Completed (schedule t ~deps ~phase ~label resource dur)
+  else begin
+    let start = planned_start t ~deps resource in
+    if t.gpu_lost || start >= rel.Device.dropout_after_s then begin
+      t.gpu_lost <- true;
+      Failed
+        (Device_lost, schedule t ~deps ~phase ~label:("lost " ^ label) resource 0.)
+    end
+    else begin
+      let u = Random.State.float t.rng 1. in
+      let ev = schedule t ~deps ~phase ~label resource dur in
+      if u < rel.Device.transfer_corruption_rate then
+        Failed (Corrupted_transfer, ev)
+      else Completed ev
+    end
+  end
 
 let join _t events : event = deps_time events
 
@@ -161,6 +297,16 @@ let resource_name = function
   | Link_d2h -> "d2h"
 
 let pp_resource fmt r = Format.pp_print_string fmt (resource_name r)
+
+let failure_name = function
+  | Transient_fault -> "transient-fault"
+  | Hang _ -> "hang"
+  | Corrupted_transfer -> "corrupted-transfer"
+  | Device_lost -> "device-lost"
+
+let pp_failure fmt = function
+  | Hang { timeout_s } -> Format.fprintf fmt "hang (%.3fs timeout)" timeout_s
+  | f -> Format.pp_print_string fmt (failure_name f)
 
 let all_resources = [ Cpu; Gpu; Gpu_spare; Link_h2d; Link_d2h ]
 

@@ -33,7 +33,32 @@ type stream
 (** An in-order queue. Operations without an explicit stream serialize
     only through their resource and dependencies. *)
 
-val create : Machine.t -> t
+type failure =
+  | Transient_fault
+      (** the kernel ran to completion but produced garbage; full
+          duration is charged *)
+  | Hang of { timeout_s : float }
+      (** the kernel never completed; the watchdog deadline
+          [timeout_s] is charged before the failure is observed *)
+  | Corrupted_transfer
+      (** the copy took its normal time but the payload is wrong — an
+          ABFT storage error for the verify path, not a retry case *)
+  | Device_lost
+      (** permanent dropout: observed instantly at the would-be start,
+          and every later operation on the device fails the same way *)
+
+type outcome = Completed of event | Failed of failure * event
+(** Result of a failure-aware submission: either the completion event,
+    or a structured failure plus the event marking when the failure was
+    observed (retry decisions chain their timing off that event). *)
+
+val create : ?seed:int -> Machine.t -> t
+(** [create ?seed m] builds an engine over machine [m]. [seed]
+    (default 0) drives the failure draws of the [_result] submission
+    paths; engines over machines whose devices are all
+    {!Device.reliable} never consume randomness, so the seed is then
+    irrelevant. *)
+
 val machine : t -> Machine.t
 
 val ready : event
@@ -77,6 +102,46 @@ val submit_background : t -> ?deps:event list -> ?phase:string -> Kernel.t -> ev
 val transfer :
   t -> ?deps:event list -> ?phase:string -> dir:[ `H2d | `D2h ] -> int -> event
 (** [transfer t ~dir bytes] schedules a PCIe copy. *)
+
+(** {1 Failure-aware submission}
+
+    The [_result] variants behave exactly like their plain counterparts
+    on reliable devices (same timings, same records, zero RNG draws)
+    but consult the device's {!Device.reliability} profile and may
+    complete with a structured {!failure}. Drivers that want failures
+    surfaced must use these; the plain paths above always succeed. *)
+
+val submit_result :
+  t ->
+  ?stream:stream ->
+  ?deps:event list ->
+  ?phase:string ->
+  resource ->
+  Kernel.t ->
+  outcome
+(** Failure-aware {!submit}. Exactly two RNG draws are consumed per
+    attempt on a non-reliable device (hang, then transient), so the
+    outcome sequence is a deterministic function of the engine seed and
+    the call sequence. *)
+
+val submit_batch_result :
+  t -> ?deps:event list -> ?phase:string -> streams:int -> Kernel.t list -> outcome
+(** Failure-aware {!submit_batch}; the batch faults as a single
+    operation (one draw pair for the whole batch). *)
+
+val transfer_result :
+  t -> ?deps:event list -> ?phase:string -> dir:[ `H2d | `D2h ] -> int -> outcome
+(** Failure-aware {!transfer}. Corruption probability comes from the
+    GPU endpoint's [transfer_corruption_rate]; a corrupted transfer is
+    charged its full normal duration ([Failed (Corrupted_transfer, e)]
+    carries the copy's completion event). *)
+
+val device_lost : t -> resource -> bool
+(** Whether the device backing a resource has permanently dropped out
+    (links never drop; GPU and its spare channel share fate). *)
+
+val failure_name : failure -> string
+val pp_failure : Format.formatter -> failure -> unit
 
 val join : t -> event list -> event
 (** An event complete when all of the given events are (no resource,
@@ -149,4 +214,5 @@ val gantt : ?width:int -> ?max_ops:int -> t -> string
 
 val pp_binding : Format.formatter -> binding -> unit
 
+val resource_name : resource -> string
 val pp_resource : Format.formatter -> resource -> unit

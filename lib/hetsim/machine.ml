@@ -25,6 +25,7 @@ let opteron_6272 ~sockets =
     spare_stream_fraction = 1.0;
     (* the CPU is idle most of the MAGMA run *)
     mem_bytes = 64 * 1024 * 1024 * 1024;
+    reliability = Device.reliable;
   }
 
 let tesla_m2075 =
@@ -41,6 +42,7 @@ let tesla_m2075 =
     kernel_launch_overhead_s = 3e-6;
     spare_stream_fraction = 0.10;
     mem_bytes = 6 * 1024 * 1024 * 1024;
+    reliability = Device.reliable;
   }
 
 let tesla_k40c =
@@ -57,6 +59,7 @@ let tesla_k40c =
     kernel_launch_overhead_s = 5e-6;
     spare_stream_fraction = 0.30;
     mem_bytes = 12 * 1024 * 1024 * 1024;
+    reliability = Device.reliable;
   }
 
 let tardis =
@@ -96,6 +99,7 @@ let testbench =
         kernel_launch_overhead_s = 0.;
         spare_stream_fraction = 1.0;
         mem_bytes = 1 lsl 34;
+        reliability = Device.reliable;
       };
     gpu =
       {
@@ -111,6 +115,7 @@ let testbench =
         kernel_launch_overhead_s = 0.;
         spare_stream_fraction = 0.5;
         mem_bytes = 1 lsl 34;
+        reliability = Device.reliable;
       };
     link = { bandwidth_gbs = 10.; latency_s = 0. };
     default_block = 64;
@@ -136,6 +141,7 @@ let epyc_7543 =
     kernel_launch_overhead_s = 1e-6;
     spare_stream_fraction = 1.0;
     mem_bytes = 256 * 1024 * 1024 * 1024;
+    reliability = Device.reliable;
   }
 
 let a100_like =
@@ -152,6 +158,7 @@ let a100_like =
     kernel_launch_overhead_s = 3e-6;
     spare_stream_fraction = 0.50;
     mem_bytes = 40 * 1024 * 1024 * 1024;
+    reliability = Device.reliable;
   }
 
 let modern =
@@ -163,6 +170,14 @@ let modern =
     default_block = 512;
     measured_update_placement = Some `Gpu;
   }
+
+let with_reliability ?cpu ?gpu m =
+  let set dev profile =
+    match profile with
+    | None -> dev
+    | Some reliability -> { dev with Device.reliability }
+  in
+  { m with cpu = set m.cpu cpu; gpu = set m.gpu gpu }
 
 let transfer_time m ~bytes =
   m.link.latency_s +. (float_of_int bytes /. (m.link.bandwidth_gbs *. 1e9))

@@ -51,6 +51,12 @@ val testbench : t
     (1 TFLOP GPU at efficiency 1.0, 100 GFLOPS CPU, 10 GB/s link, zero
     launch overhead) so expected durations can be computed by hand. *)
 
+val with_reliability :
+  ?cpu:Device.reliability -> ?gpu:Device.reliability -> t -> t
+(** [with_reliability ?cpu ?gpu m] is [m] with the given reliability
+    profiles installed on its devices (omitted devices keep theirs).
+    Presets all ship with {!Device.reliable} devices. *)
+
 val transfer_time : t -> bytes:int -> float
 (** [transfer_time m ~bytes] is the link time for one transfer:
     [latency + bytes / bandwidth]. *)

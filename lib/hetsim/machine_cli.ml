@@ -1,0 +1,66 @@
+(* Shared cmdliner plumbing for binaries that pick a machine preset and
+   optionally storm its devices. ftchol and ftsoak used to each carry a
+   private copy of the converter (and they had begun to drift on the
+   error message); this module is the single home, plus the
+   --device-faults / --device-seed pair that scales a canonical
+   unreliable-GPU profile onto whatever preset was chosen. *)
+
+open Cmdliner
+
+let machine_conv =
+  let parse s =
+    match Hetsim.Machine.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine %S (try: %s)" s
+               (String.concat ", " (List.map fst Hetsim.Machine.all_presets))))
+  in
+  Arg.conv
+    (parse, fun fmt m -> Format.pp_print_string fmt m.Hetsim.Machine.name)
+
+let default_doc = "Machine preset: tardis, bulldozer64 or testbench."
+
+let machine_arg ?(default = Hetsim.Machine.testbench) ?(doc = default_doc) () =
+  Arg.(
+    value & opt machine_conv default
+    & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let device_faults_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "device-faults" ] ~docv:"RATE"
+        ~doc:
+          "Make the GPU unreliable: scale a canonical storm profile \
+           (transient kernel faults, watchdog hangs, corrupted transfers) \
+           by $(docv) in [0,1]. 0 (the default) keeps every device \
+           perfectly reliable — and the simulation bit-identical to runs \
+           without this flag.")
+
+let device_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "device-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for the device-failure draws and retry-backoff jitter \
+           (only meaningful with $(b,--device-faults)).")
+
+(* The canonical storm at rate 1.0: hot enough that a realistic schedule
+   sees retries and the occasional quarantine, cold enough that the CPU
+   fallback keeps every run completing. Rates scale linearly and are
+   clamped to valid fractions. *)
+let storm_reliability ~rate =
+  if rate < 0. || rate > 1. then
+    invalid_arg "Machine_cli.storm_reliability: rate must be in [0,1]";
+  {
+    Hetsim.Device.transient_fault_rate = 0.15 *. rate;
+    hang_rate = 0.05 *. rate;
+    hang_timeout_s = 0.05;
+    transfer_corruption_rate = 0.10 *. rate;
+    dropout_after_s = infinity;
+  }
+
+let apply_device_faults ~rate m =
+  if rate <= 0. then m
+  else Hetsim.Machine.with_reliability ~gpu:(storm_reliability ~rate) m

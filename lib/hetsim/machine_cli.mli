@@ -1,0 +1,28 @@
+(** Shared cmdliner arguments for machine selection and device-fault
+    injection — the single home of the converter that [ftchol] and
+    [ftsoak] previously each re-implemented. *)
+
+val machine_conv : Hetsim.Machine.t Cmdliner.Arg.conv
+(** Parses a preset name via {!Hetsim.Machine.find}; the error message
+    lists the available presets. *)
+
+val machine_arg :
+  ?default:Hetsim.Machine.t -> ?doc:string -> unit -> Hetsim.Machine.t Cmdliner.Term.t
+(** [--machine]/[-m] (default {!Hetsim.Machine.testbench}). *)
+
+val device_faults_arg : float Cmdliner.Term.t
+(** [--device-faults RATE] (default 0): intensity in [0,1] of the
+    canonical GPU storm profile applied by {!apply_device_faults}. *)
+
+val device_seed_arg : int Cmdliner.Term.t
+(** [--device-seed SEED] (default 0): seed for the engine's failure
+    draws and the resilient driver's backoff jitter. *)
+
+val storm_reliability : rate:float -> Hetsim.Device.reliability
+(** The canonical storm profile scaled by [rate]: at 1.0, 15% transient
+    kernel faults, 5% hangs (50 ms watchdog) and 10% corrupted
+    transfers. @raise Invalid_argument if [rate] is outside [0,1]. *)
+
+val apply_device_faults : rate:float -> Hetsim.Machine.t -> Hetsim.Machine.t
+(** Identity at [rate <= 0]; otherwise installs
+    [storm_reliability ~rate] on the machine's GPU. *)

@@ -1,0 +1,148 @@
+(** Failure-aware scheduling layer over {!Engine}.
+
+    Mirrors the Engine submission API but routes every operation
+    through the failure-aware [_result] paths and reacts to the
+    structured failures the engine reports:
+
+    - {b Hangs} are detected by deadline: the engine charges the
+      device's watchdog timeout, then this layer retries.
+    - {b Transient faults and hangs} are retried up to
+      [policy.max_retries] times with capped exponential backoff and
+      seeded jitter; backoff spans appear in the timeline as
+      resource-free delays under the ["backoff"] phase.
+    - {b Health scoring}: each device starts at health 1.0; a fault
+      multiplies by [fault_penalty], a completion adds
+      [success_credit] (capped at 1.0). When the GPU's health drops
+      below [quarantine_threshold] — or its retry budget for a single
+      operation is exhausted — it is quarantined.
+    - {b Degradation}: once the GPU is quarantined or lost, remaining
+      GPU work is re-planned onto the CPU (priced by the cost model on
+      the CPU device) and host<->device transfers are skipped. The CPU
+      is the fallback of last resort and is never quarantined; if it
+      exhausts its own retry budget the driver raises {!Gave_up}.
+    - {b Corrupted transfers} are never retried: the copy looked
+      successful, so retrying would mask the very error the ABFT
+      checksum layer exists to catch. They are counted in {!stats} and
+      the event is returned as if completed; callers account for them
+      as storage errors in the verify path.
+
+    All randomness (jitter) comes from a [Random.State] seeded at
+    {!create}, and the engine's own failure draws are seeded at
+    {!Engine.create}, so a given seed pair reproduces the exact same
+    failure/retry/quarantine/degradation trace. On a machine whose
+    devices are {!Device.reliable} the driver is an exact pass-through:
+    same events, same records, same makespan, zero RNG draws. *)
+
+type policy = {
+  max_retries : int;  (** retries per operation beyond the first try *)
+  base_backoff_s : float;  (** backoff before the first retry *)
+  backoff_factor : float;  (** multiplier per further retry *)
+  max_backoff_s : float;  (** backoff cap *)
+  jitter : float;
+      (** symmetric jitter fraction: each backoff is scaled by a factor
+          drawn from [1-jitter, 1+jitter] *)
+  quarantine_threshold : float;
+      (** GPU health below this → quarantine *)
+  fault_penalty : float;  (** multiplicative health hit per fault *)
+  success_credit : float;  (** additive health gain per completion *)
+}
+
+val default_policy : policy
+(** 3 retries, 1ms..100ms backoff doubling with 25% jitter, health
+    penalty 0.6 / credit 0.05 / quarantine below 0.2 (so roughly four
+    consecutive faults, or one fully failed operation, quarantine the
+    GPU). *)
+
+type device_stats = {
+  submitted : int;  (** attempts on this device, including retries *)
+  completed : int;
+  transient_faults : int;
+  hangs : int;
+  retries : int;
+  backoff_s : float;  (** total modelled backoff time *)
+  quarantined_at : float option;  (** virtual quarantine time *)
+  lost_at : float option;  (** virtual permanent-dropout time *)
+}
+
+type stats = {
+  cpu : device_stats;
+  gpu : device_stats;  (** GPU main engine + spare channel combined *)
+  corrupted_transfers : int;
+  skipped_transfers : int;  (** transfers dropped after degradation *)
+  degraded_ops : int;  (** operations re-planned onto the CPU *)
+  degraded_at : float option;
+      (** virtual time degradation began, [None] if never *)
+}
+
+exception
+  Gave_up of {
+    resource : Engine.resource;
+    failure : Engine.failure;
+    attempts : int;
+  }
+(** Raised when the fallback of last resort (the CPU) exhausts its
+    retry budget or is itself lost. *)
+
+type t
+
+val create : ?policy:policy -> ?seed:int -> Engine.t -> t
+(** [create ?policy ?seed engine] wraps [engine]. [seed] (default 0)
+    drives only the backoff jitter; pair it with the engine's own seed
+    for full reproducibility. *)
+
+val engine : t -> Engine.t
+val machine : t -> Machine.t
+
+(** {1 Issuing operations}
+
+    Drop-in counterparts of the Engine entry points; each returns the
+    completion event of the operation's final (successful or
+    degraded) attempt.
+    @raise Gave_up when the CPU fallback is exhausted. *)
+
+val submit :
+  t ->
+  ?stream:Engine.stream ->
+  ?deps:Engine.event list ->
+  ?phase:string ->
+  Engine.resource ->
+  Kernel.t ->
+  Engine.event
+
+val submit_batch :
+  t ->
+  ?deps:Engine.event list ->
+  ?phase:string ->
+  streams:int ->
+  Kernel.t list ->
+  Engine.event
+(** The batch faults as one operation. If it must degrade, the batch
+    is re-planned as individual kernels on the CPU (the concurrency
+    benefit is lost) completing at their join. *)
+
+val submit_background :
+  t -> ?deps:Engine.event list -> ?phase:string -> Kernel.t -> Engine.event
+(** Spare-channel submission; shares the GPU's fate and health. *)
+
+val transfer :
+  t ->
+  ?deps:Engine.event list ->
+  ?phase:string ->
+  dir:[ `H2d | `D2h ] ->
+  int ->
+  Engine.event
+(** Corrupted transfers complete normally (counted, healed by ABFT
+    downstream); once the GPU is gone transfers are skipped and their
+    dependencies' join is returned. *)
+
+(** {1 Interrogation} *)
+
+val degraded : t -> bool
+(** Whether any operation has been re-planned onto the CPU (or a
+    transfer dropped) because the GPU was quarantined or lost. *)
+
+val gpu_unavailable : t -> bool
+(** Whether the GPU is currently quarantined or lost. *)
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

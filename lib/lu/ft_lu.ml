@@ -145,6 +145,7 @@ let run_attempt st ~scheme =
      inner-product Cholesky. *)
   for j = 0 to g - 1 do
     Injector.fire_storage st.injector ~iteration:j ~lookup:(lookup st);
+    Injector.fire_device st.injector ~iteration:j ~lookup:(lookup st);
     let gate = j mod kk = 0 in
     (* ---- 1. lazy update of the diagonal tile:
             A_jj -= sum_{c<j} L(j,c) U(c,j). Inputs always verified

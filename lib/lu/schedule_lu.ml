@@ -6,11 +6,14 @@ type result = {
   gflops : float;
   reruns : int;
   engine : Engine.t;
+  resilience : Resilient.stats;
+  degraded : bool;
 }
 
 type pass_state = {
   cfg : Config.t;
   eng : Engine.t;
+  res : Resilient.t;
   g : int;
   b : int;
   d : int;
@@ -31,14 +34,15 @@ let verify st ~deps ~count : Engine.event =
       match st.placement with
       | Config.Cpu_offload ->
           let bytes = count * st.d * st.b * 8 in
-          [ Engine.transfer st.eng ~deps ~phase:"chk-transfer" ~dir:`H2d bytes ]
+          [ Resilient.transfer st.res ~deps ~phase:"chk-transfer" ~dir:`H2d bytes ]
       | _ -> deps
     in
     let batch =
-      Engine.submit_batch st.eng ~deps ~phase:"chk-recalc" ~streams:st.streams
+      Resilient.submit_batch st.res ~deps ~phase:"chk-recalc"
+        ~streams:st.streams
         (List.init count (fun _ -> recalc st))
     in
-    Engine.submit st.eng ~deps:[ batch ] ~phase:"chk-compare" Engine.Gpu
+    Resilient.submit st.res ~deps:[ batch ] ~phase:"chk-compare" Engine.Gpu
       (Kernel.Checksum_compare { b = st.b * count; nchk = st.d })
   end
 
@@ -49,27 +53,28 @@ let chk_update st ~deps ~skinny_rows : Engine.event =
     match st.placement with
     | Config.Auto -> assert false
     | Config.Gpu_inline ->
-        Engine.submit st.eng ~deps ~phase:"chk-update" Engine.Gpu kernel
+        Resilient.submit st.res ~deps ~phase:"chk-update" Engine.Gpu kernel
     | Config.Gpu_stream ->
-        Engine.submit_background st.eng ~deps ~phase:"chk-update" kernel
+        Resilient.submit_background st.res ~deps ~phase:"chk-update" kernel
     | Config.Cpu_offload ->
-        Engine.submit st.eng ~deps ~phase:"chk-update" Engine.Cpu kernel
+        Resilient.submit st.res ~deps ~phase:"chk-update" Engine.Cpu kernel
   end
 
 let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
   let g = st.g and b = st.b in
   let eng = st.eng in
+  let res = st.res in
   let block_bytes = 8 * b * b in
   let encode_ev =
     if with_ft then begin
       (* dual checksums: two single-side encodes per tile *)
       let ev =
-        Engine.submit_batch eng ~phase:"chk-encode" ~streams:st.streams
+        Resilient.submit_batch res ~phase:"chk-encode" ~streams:st.streams
           (List.init (2 * g * g) (fun _ -> recalc st))
       in
       match st.placement with
       | Config.Cpu_offload ->
-          Engine.transfer eng ~deps:[ ev ] ~phase:"chk-transfer" ~dir:`D2h
+          Resilient.transfer res ~deps:[ ev ] ~phase:"chk-transfer" ~dir:`D2h
             (2 * g * g * st.d * b * 8)
       | _ -> ev
     end
@@ -84,7 +89,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
     let lc_panel_ev =
       if with_ft && st.placement = Config.Cpu_offload && j > 0 then
         (* both panels of every previous iteration are update operands *)
-        Engine.transfer eng ~deps:[ st.prev_panels ] ~phase:"chk-transfer"
+        Resilient.transfer res ~deps:[ st.prev_panels ] ~phase:"chk-transfer"
           ~dir:`D2h
           (2 * j * block_bytes)
       else Engine.ready
@@ -97,7 +102,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
     in
     let diag_upd_ev =
       if j > 0 then
-        Engine.submit eng ~deps:[ pre_diag ] ~phase:"compute" Engine.Gpu
+        Resilient.submit res ~deps:[ pre_diag ] ~phase:"compute" Engine.Gpu
           (Kernel.Gemm { m = b; n = b; k = j * b })
       else Engine.join eng [ pre_diag ]
     in
@@ -112,10 +117,10 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
     in
     (* ---- GETF2 on the CPU between the two transfers ---- *)
     let d2h_ev =
-      Engine.transfer eng ~deps:[ post_diag_upd ] ~dir:`D2h block_bytes
+      Resilient.transfer res ~deps:[ post_diag_upd ] ~dir:`D2h block_bytes
     in
     let getf2_ev =
-      Engine.submit eng ~deps:[ d2h_ev ] ~phase:"compute" Engine.Cpu
+      Resilient.submit res ~deps:[ d2h_ev ] ~phase:"compute" Engine.Cpu
         (Kernel.Host_flops (2. /. 3. *. (float_of_int b ** 3.)))
     in
     if with_ft then begin
@@ -123,7 +128,9 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
       let u = chk_update st ~deps:[ getf2_ev ] ~skinny_rows:2 in
       chk_updates := u :: !chk_updates
     end;
-    let h2d_ev = Engine.transfer eng ~deps:[ getf2_ev ] ~dir:`H2d block_bytes in
+    let h2d_ev =
+      Resilient.transfer res ~deps:[ getf2_ev ] ~dir:`H2d block_bytes
+    in
     if online && with_ft then ignore (verify st ~deps:[ getf2_ev ] ~count:2);
     (* ---- panels ---- *)
     if j < g - 1 then begin
@@ -140,7 +147,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
           in
           let upd_ev =
             if j > 0 then
-              Engine.submit eng ~deps:[ pre ] ~phase:"compute" Engine.Gpu
+              Resilient.submit res ~deps:[ pre ] ~phase:"compute" Engine.Gpu
                 (Kernel.Gemm { m = rem * b; n = b; k = j * b })
             else Engine.join eng [ pre ]
           in
@@ -157,7 +164,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
             else Engine.ready
           in
           let solve_ev =
-            Engine.submit eng
+            Resilient.submit res
               ~deps:[ h2d_ev; upd_ev; pre_solve ]
               ~phase:"compute" Engine.Gpu
               (Kernel.Trsm { order = b; nrhs = rem * b })
@@ -177,7 +184,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
     (* end-of-run detect-only sweep over both sides of every tile *)
     ignore (verify st ~deps:[ st.prev_chk_ready ] ~count:(2 * g * g))
 
-let run ?(plan = []) ?(d = 2) cfg ~n =
+let run ?(plan = []) ?(d = 2) ?policy ?(fault_seed = 0) cfg ~n =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error e -> invalid_arg ("Schedule_lu.run: " ^ e));
@@ -195,11 +202,13 @@ let run ?(plan = []) ?(d = 2) cfg ~n =
   let placement =
     if with_ft then Config.resolve_placement cfg ~n else Config.Gpu_inline
   in
-  let eng = Engine.create cfg.Config.machine in
+  let eng = Engine.create ~seed:fault_seed cfg.Config.machine in
+  let res = Resilient.create ?policy ~seed:fault_seed eng in
   let st =
     {
       cfg;
       eng;
+      res;
       g = n / b;
       b;
       d;
@@ -209,8 +218,15 @@ let run ?(plan = []) ?(d = 2) cfg ~n =
       prev_panels = Engine.ready;
     }
   in
-  let reruns = if Cholesky.Schedule.uncorrected scheme plan = [] then 0 else 1 in
   run_pass st ~with_ft ~enhanced ~online ~offline ~kk;
+  let transfer_faults =
+    (Resilient.stats res).Resilient.corrupted_transfers > 0
+    && not (Abft.Scheme.corrects_storage_errors scheme)
+  in
+  let reruns =
+    if Cholesky.Schedule.uncorrected scheme plan <> [] || transfer_faults then 1
+    else 0
+  in
   if reruns > 0 then run_pass st ~with_ft ~enhanced ~online ~offline ~kk;
   let makespan = Engine.makespan eng in
   {
@@ -218,4 +234,6 @@ let run ?(plan = []) ?(d = 2) cfg ~n =
     gflops = 2. *. (float_of_int n ** 3.) /. 3. /. makespan /. 1e9;
     reruns;
     engine = eng;
+    resilience = Resilient.stats res;
+    degraded = Resilient.degraded res;
   }

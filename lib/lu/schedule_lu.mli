@@ -17,9 +17,19 @@ type result = {
   gflops : float;  (** (2n³/3) / makespan / 1e9 *)
   reruns : int;
   engine : Hetsim.Engine.t;
+  resilience : Hetsim.Resilient.stats;
+      (** device-failure accounting, as in {!Cholesky.Schedule} *)
+  degraded : bool;
 }
 
-val run : ?plan:Fault.t -> ?d:int -> Cholesky.Config.t -> n:int -> result
+val run :
+  ?plan:Fault.t ->
+  ?d:int ->
+  ?policy:Hetsim.Resilient.policy ->
+  ?fault_seed:int ->
+  Cholesky.Config.t ->
+  n:int ->
+  result
 (** [run cfg ~n] simulates FT-LU of an n×n matrix on the config's
     machine. The config's scheme/optimizations are honoured exactly as
     in {!Cholesky.Schedule.run}; fault classification reuses

@@ -117,6 +117,7 @@ let run_attempt st ~scheme =
   let b = st.block in
   for j = 0 to st.nb - 1 do
     Injector.fire_storage st.injector ~iteration:j ~lookup:(lookup st);
+    Injector.fire_device st.injector ~iteration:j ~lookup:(lookup st);
     let gate = j mod kk = 0 in
     (* ---- block projections against all previous Q panels.
        Each projection both READS and WRITES panel j, and its R entry

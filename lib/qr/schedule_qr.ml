@@ -6,6 +6,8 @@ type result = {
   gflops : float;
   reruns : int;
   engine : Engine.t;
+  resilience : Resilient.stats;
+  degraded : bool;
 }
 
 (* QR differs from Cholesky in one classification: the MGS (Potf2)
@@ -21,6 +23,7 @@ let uncorrected scheme plan =
 
 type pass_state = {
   eng : Engine.t;
+  res : Resilient.t;
   m : int;
   b : int;
   nb : int;
@@ -38,10 +41,11 @@ let verify st ~deps ~panels : Engine.event =
   if panels = 0 then Engine.join st.eng deps
   else begin
     let batch =
-      Engine.submit_batch st.eng ~deps ~phase:"chk-recalc" ~streams:st.streams
+      Resilient.submit_batch st.res ~deps ~phase:"chk-recalc"
+        ~streams:st.streams
         (List.init panels (fun _ -> panel_recalc st))
     in
-    Engine.submit st.eng ~deps:[ batch ] ~phase:"chk-compare" Engine.Gpu
+    Resilient.submit st.res ~deps:[ batch ] ~phase:"chk-compare" Engine.Gpu
       (Kernel.Checksum_compare { b = st.b * panels; nchk = st.d })
   end
 
@@ -52,19 +56,20 @@ let chk_update st ~deps ~flops : Engine.event =
     match st.placement with
     | Config.Auto -> assert false
     | Config.Gpu_inline ->
-        Engine.submit st.eng ~deps ~phase:"chk-update" Engine.Gpu kernel
+        Resilient.submit st.res ~deps ~phase:"chk-update" Engine.Gpu kernel
     | Config.Gpu_stream ->
-        Engine.submit_background st.eng ~deps ~phase:"chk-update" kernel
+        Resilient.submit_background st.res ~deps ~phase:"chk-update" kernel
     | Config.Cpu_offload ->
-        Engine.submit st.eng ~deps ~phase:"chk-update" Engine.Cpu kernel
+        Resilient.submit st.res ~deps ~phase:"chk-update" Engine.Cpu kernel
   end
 
 let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
   let eng = st.eng in
+  let res = st.res in
   let fb = float_of_int st.b in
   let encode_ev =
     if with_ft then
-      Engine.submit_batch eng ~phase:"chk-encode" ~streams:st.streams
+      Resilient.submit_batch res ~phase:"chk-encode" ~streams:st.streams
         (List.init st.nb (fun _ -> panel_recalc st))
     else Engine.ready
   in
@@ -85,11 +90,11 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
       in
       (* R_kj = Qk^T Aj (2 m b^2) then Aj -= Qk Rkj (2 m b^2) *)
       let ev =
-        Engine.submit eng ~deps:[ pre ] ~phase:"compute" Engine.Gpu
+        Resilient.submit res ~deps:[ pre ] ~phase:"compute" Engine.Gpu
           (Kernel.Gemm { m = st.b; n = st.b; k = st.m })
       in
       let ev =
-        Engine.submit eng ~deps:[ ev ] ~phase:"compute" Engine.Gpu
+        Resilient.submit res ~deps:[ ev ] ~phase:"compute" Engine.Gpu
           (Kernel.Gemm { m = st.m; n = st.b; k = st.b })
       in
       if with_ft then
@@ -105,7 +110,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
       else Engine.join eng [ !last ]
     in
     let mgs_ev =
-      Engine.submit eng ~deps:[ pre_mgs ] ~phase:"compute" Engine.Gpu
+      Resilient.submit res ~deps:[ pre_mgs ] ~phase:"compute" Engine.Gpu
         (Kernel.Gemv { m = st.m * st.b; n = st.b })
     in
     if with_ft then
@@ -118,7 +123,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
   done;
   if offline then ignore (verify st ~deps:[ st.prev_chk_ready ] ~panels:st.nb)
 
-let run ?(plan = []) ?(d = 2) cfg ~m ~n =
+let run ?(plan = []) ?(d = 2) ?policy ?(fault_seed = 0) cfg ~m ~n =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error e -> invalid_arg ("Schedule_qr.run: " ^ e));
@@ -136,10 +141,12 @@ let run ?(plan = []) ?(d = 2) cfg ~m ~n =
   let placement =
     if with_ft then Config.resolve_placement cfg ~n else Config.Gpu_inline
   in
-  let eng = Engine.create cfg.Config.machine in
+  let eng = Engine.create ~seed:fault_seed cfg.Config.machine in
+  let res = Resilient.create ?policy ~seed:fault_seed eng in
   let st =
     {
       eng;
+      res;
       m;
       b;
       nb = n / b;
@@ -149,8 +156,14 @@ let run ?(plan = []) ?(d = 2) cfg ~m ~n =
       prev_chk_ready = Engine.ready;
     }
   in
-  let reruns = if uncorrected scheme plan = [] then 0 else 1 in
   run_pass st ~with_ft ~enhanced ~online ~offline ~kk;
+  let transfer_faults =
+    (Resilient.stats res).Resilient.corrupted_transfers > 0
+    && not (Abft.Scheme.corrects_storage_errors scheme)
+  in
+  let reruns =
+    if uncorrected scheme plan <> [] || transfer_faults then 1 else 0
+  in
   if reruns > 0 then run_pass st ~with_ft ~enhanced ~online ~offline ~kk;
   let makespan = Engine.makespan eng in
   let fm = float_of_int m and fn = float_of_int n in
@@ -160,4 +173,6 @@ let run ?(plan = []) ?(d = 2) cfg ~m ~n =
       ((2. *. fm *. fn *. fn) -. (2. *. (fn ** 3.) /. 3.)) /. makespan /. 1e9;
     reruns;
     engine = eng;
+    resilience = Resilient.stats res;
+    degraded = Resilient.degraded res;
   }

@@ -14,10 +14,20 @@ type result = {
   gflops : float;  (** (2mn² − 2n³/3) / makespan / 1e9 *)
   reruns : int;
   engine : Hetsim.Engine.t;
+  resilience : Hetsim.Resilient.stats;
+      (** device-failure accounting, as in {!Cholesky.Schedule} *)
+  degraded : bool;
 }
 
 val run :
-  ?plan:Fault.t -> ?d:int -> Cholesky.Config.t -> m:int -> n:int -> result
+  ?plan:Fault.t ->
+  ?d:int ->
+  ?policy:Hetsim.Resilient.policy ->
+  ?fault_seed:int ->
+  Cholesky.Config.t ->
+  m:int ->
+  n:int ->
+  result
 (** [run cfg ~m ~n] simulates FT-QR of an m×n matrix (m ≥ n). Fault
     classification reuses {!Cholesky.Schedule.uncorrected}, except that
     the [Potf2] (MGS) window is correctable here — the MGS step

@@ -1,0 +1,40 @@
+(* R4 fixture: unbounded retry recursion — each should produce one
+   blocking finding. *)
+
+(* 1. retry-ish name, no cap anywhere *)
+let rec retry_submit dev op =
+  match dev op with Some r -> r | None -> retry_submit dev op
+
+(* 2. innocuous name but an [attempt] parameter, still uncapped *)
+let resubmit run =
+  let rec go ~attempt = match run () with Some r -> r | None -> go ~attempt:(attempt + 1) in
+  go ~attempt:0
+
+(* 3. mutual recursion through a helper, no cap in the retry-ish body *)
+let rec retry_transfer xfer x = try xfer x with Failure _ -> again xfer x
+and again xfer x = retry_transfer xfer x
+
+(* Bounded counterparts that must NOT fire: *)
+
+let max_retries = 3
+
+let rec retry_bounded dev op ~attempt =
+  match dev op with
+  | Some r -> Some r
+  | None -> if attempt >= max_retries then None else retry_bounded dev op ~attempt:(attempt + 1)
+
+(* cap consulted through a record path, the drivers' idiom *)
+type policy = { limit : int }
+
+let retry_policy (p : policy) run =
+  let rec go ~attempt =
+    match run () with
+    | Some r -> Some r
+    | None -> if attempt >= p.limit then None else go ~attempt:(attempt + 1)
+  in
+  go ~attempt:0
+
+(* waived: bounded by an exception from below *)
+let rec retry_waived run x =
+  (match run x with Some r -> r | None -> retry_waived run x)
+[@abft.waive "run raises after its internal budget; recursion cannot spin"]

@@ -195,6 +195,75 @@ let test_r3_waiver () =
   check_count "not blocking" 0 (blocking fs)
 
 (* ------------------------------------------------------------------ *)
+(* R4: retry loops must be bounded                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_r4_unbounded_flagged () =
+  let fs =
+    lint ~rules:[ rule "R4" ]
+      {|let rec retry_op dev op =
+  match dev op with Some r -> r | None -> retry_op dev op|}
+  in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r4_param_name_flagged () =
+  (* an innocuous function name with an [attempt] parameter still counts *)
+  let fs =
+    lint ~rules:[ rule "R4" ]
+      {|let submit run =
+  let rec go ~attempt =
+    match run () with Some r -> r | None -> go ~attempt:(attempt + 1)
+  in
+  go ~attempt:0|}
+  in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r4_bounded_ok () =
+  (* cap consulted as a bare identifier *)
+  let fs =
+    lint ~rules:[ rule "R4" ]
+      {|let rec retry_op dev op ~attempt ~max_retries =
+  match dev op with
+  | Some r -> Some r
+  | None ->
+      if attempt >= max_retries then None
+      else retry_op dev op ~attempt:(attempt + 1) ~max_retries|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r4_record_cap_ok () =
+  (* cap consulted through a record path, the drivers' idiom *)
+  let fs =
+    lint ~rules:[ rule "R4" ]
+      {|let retried t run =
+  let rec go ~attempt =
+    match run () with
+    | Some r -> r
+    | None -> if attempt >= t.policy.max_retries then fail () else go ~attempt:(attempt + 1)
+  in
+  go ~attempt:0|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r4_non_retry_recursion_ok () =
+  (* unrelated recursion is out of scope however unbounded it looks *)
+  let fs =
+    lint ~rules:[ rule "R4" ]
+      {|let rec walk = function [] -> 0 | _ :: tl -> 1 + walk tl|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r4_waiver () =
+  let fs =
+    lint ~rules:[ rule "R4" ]
+      {|let rec retry_forever run x =
+  (match run x with Some r -> r | None -> retry_forever run x)
+[@abft.waive "run raises after its internal budget"]|}
+  in
+  check_count "reported" 1 fs;
+  check_count "not blocking" 0 (blocking fs)
+
+(* ------------------------------------------------------------------ *)
 (* Driver: fixtures, exit codes, JSON                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -218,7 +287,8 @@ let test_fixtures_fire () =
   in
   expect "r1_bad.ml" "R1";
   expect "r2/ft.ml" "R2";
-  expect "r3_bad.ml" "R3"
+  expect "r3_bad.ml" "R3";
+  expect "r4_bad.ml" "R4"
 
 let test_fixture_counts () =
   let count file rule_id =
@@ -228,7 +298,8 @@ let test_fixture_counts () =
   in
   Alcotest.(check int) "r1_bad findings" 4 (count "r1_bad.ml" "R1");
   Alcotest.(check int) "r2 findings" 2 (count "r2/ft.ml" "R2");
-  Alcotest.(check int) "r3_bad findings" 6 (count "r3_bad.ml" "R3")
+  Alcotest.(check int) "r3_bad findings" 6 (count "r3_bad.ml" "R3");
+  Alcotest.(check int) "r4_bad findings" 3 (count "r4_bad.ml" "R4")
 
 let test_clean_fixture () =
   match A.Driver.lint_file (fixture "clean.ml") with
@@ -315,6 +386,18 @@ let () =
             test_r3_float_neq_fast_path_ok;
           Alcotest.test_case "typed compare ok" `Quick test_r3_typed_compare_ok;
           Alcotest.test_case "waiver downgrades" `Quick test_r3_waiver;
+        ] );
+      ( "r4",
+        [
+          Alcotest.test_case "unbounded retry flagged" `Quick
+            test_r4_unbounded_flagged;
+          Alcotest.test_case "attempt param flagged" `Quick
+            test_r4_param_name_flagged;
+          Alcotest.test_case "bounded ok" `Quick test_r4_bounded_ok;
+          Alcotest.test_case "record cap ok" `Quick test_r4_record_cap_ok;
+          Alcotest.test_case "non-retry recursion ok" `Quick
+            test_r4_non_retry_recursion_ok;
+          Alcotest.test_case "waiver downgrades" `Quick test_r4_waiver;
         ] );
       ( "driver",
         [

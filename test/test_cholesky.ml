@@ -617,7 +617,7 @@ let prop_ft_random_fault_storms =
                match inj.Fault.window with
                | Fault.In_computation Fault.Potf2 -> false
                | Fault.In_computation _ -> true
-               | Fault.In_storage ->
+               | Fault.In_storage | Fault.In_device ->
                    (* keep flips that strike blocks still to be read:
                       block (i, c) is last read at iteration i *)
                    let i, _ = inj.Fault.block in

@@ -413,6 +413,195 @@ let props =
       prop_deps_respected;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Failure-aware submission and the resilient driver                   *)
+(* ------------------------------------------------------------------ *)
+
+let rel ?(transient = 0.) ?(hang = 0.) ?(timeout = 0.05) ?(corrupt = 0.)
+    ?(dropout = infinity) () =
+  {
+    Device.transient_fault_rate = transient;
+    hang_rate = hang;
+    hang_timeout_s = timeout;
+    transfer_corruption_rate = corrupt;
+    dropout_after_s = dropout;
+  }
+
+let storm ?cpu ?gpu () = Machine.with_reliability ?cpu ?gpu Machine.testbench
+let gemm n = Kernel.Gemm { m = n; n; k = n }
+
+(* testbench GPU: 1 TFLOP at full efficiency, so Gemm 1000^3 = 2e9 flops
+   runs in exactly 2 ms — a transient fault must charge all of it *)
+let test_failure_transient_duration () =
+  let e = Engine.create (storm ~gpu:(rel ~transient:1.0 ()) ()) in
+  match Engine.submit_result e Engine.Gpu (gemm 1000) with
+  | Engine.Failed (Engine.Transient_fault, ev) ->
+      check_float "full duration charged" 0.002 (Engine.time_of e ev)
+  | Engine.Failed (_, _) | Engine.Completed _ ->
+      Alcotest.fail "expected a transient fault"
+
+let test_failure_hang_timeout () =
+  let e = Engine.create (storm ~gpu:(rel ~hang:1.0 ~timeout:0.5 ()) ()) in
+  match Engine.submit_result e Engine.Gpu (gemm 1000) with
+  | Engine.Failed (Engine.Hang { timeout_s }, ev) ->
+      check_float "watchdog deadline reported" 0.5 timeout_s;
+      check_float "timeout charged, not the kernel" 0.5 (Engine.time_of e ev)
+  | Engine.Failed (_, _) | Engine.Completed _ -> Alcotest.fail "expected a hang"
+
+let test_failure_dropout_latches () =
+  let e = Engine.create (storm ~gpu:(rel ~dropout:0.001 ()) ()) in
+  let first =
+    match Engine.submit_result e Engine.Gpu (gemm 1000) with
+    | Engine.Completed ev -> ev
+    | Engine.Failed (_, _) ->
+        Alcotest.fail "first op starts at 0, before the dropout"
+  in
+  (match Engine.submit_result e ~deps:[ first ] Engine.Gpu (gemm 1000) with
+  | Engine.Failed (Engine.Device_lost, ev) ->
+      check_float "observed instantly at the would-be start"
+        (Engine.time_of e first) (Engine.time_of e ev)
+  | Engine.Failed (_, _) | Engine.Completed _ ->
+      Alcotest.fail "expected the device to be lost");
+  Alcotest.(check bool) "latched" true (Engine.device_lost e Engine.Gpu);
+  Alcotest.(check bool) "spare channel shares fate" true
+    (Engine.device_lost e Engine.Gpu_spare)
+
+(* On a reliable machine the resilient driver must be an exact
+   pass-through: same op count, bit-identical makespan, zero stats. *)
+let test_resilient_passthrough_exact () =
+  let plain = Engine.create Machine.testbench in
+  let a = Engine.submit plain Engine.Gpu (gemm 1000) in
+  let b = Engine.transfer plain ~deps:[ a ] ~dir:`D2h 1_000_000 in
+  let _ = Engine.submit plain ~deps:[ b ] Engine.Cpu (Kernel.Host_flops 1e8) in
+  let e = Engine.create Machine.testbench in
+  let r = Resilient.create e in
+  let a' = Resilient.submit r Engine.Gpu (gemm 1000) in
+  let b' = Resilient.transfer r ~deps:[ a' ] ~dir:`D2h 1_000_000 in
+  let _ = Resilient.submit r ~deps:[ b' ] Engine.Cpu (Kernel.Host_flops 1e8) in
+  Alcotest.(check bool) "bit-identical makespan" true
+    (Float.equal (Engine.makespan plain) (Engine.makespan e));
+  Alcotest.(check int) "same op count" (Engine.op_count plain)
+    (Engine.op_count e);
+  let s = Resilient.stats r in
+  Alcotest.(check int) "no retries" 0
+    (s.Resilient.cpu.Resilient.retries + s.Resilient.gpu.Resilient.retries);
+  Alcotest.(check bool) "not degraded" false (Resilient.degraded r)
+
+let test_resilient_retry_recovers () =
+  let e = Engine.create ~seed:7 (storm ~gpu:(rel ~transient:0.3 ()) ()) in
+  let r = Resilient.create ~seed:7 e in
+  let prev = ref Engine.ready in
+  for _ = 1 to 12 do
+    prev := Resilient.submit r ~deps:[ !prev ] Engine.Gpu (gemm 400)
+  done;
+  let s = Resilient.stats r in
+  Alcotest.(check bool) "saw transient faults" true
+    (s.Resilient.gpu.Resilient.transient_faults > 0);
+  Alcotest.(check bool) "retried" true (s.Resilient.gpu.Resilient.retries > 0);
+  Alcotest.(check bool) "backoff charged" true
+    (s.Resilient.gpu.Resilient.backoff_s > 0.);
+  Alcotest.(check int) "every op completed somewhere" 12
+    (s.Resilient.cpu.Resilient.completed + s.Resilient.gpu.Resilient.completed)
+
+(* Zero-jitter policy makes the backoff schedule hand-computable:
+   base 0.04 with factor 10 capped at 0.1 gives 0.04 + 0.1 + 0.1 + 0.1,
+   and a zero quarantine threshold forces the full budget to be spent on
+   the GPU before the op degrades. *)
+let test_resilient_backoff_schedule () =
+  let policy =
+    {
+      Resilient.default_policy with
+      Resilient.max_retries = 4;
+      base_backoff_s = 0.04;
+      backoff_factor = 10.;
+      max_backoff_s = 0.1;
+      jitter = 0.;
+      quarantine_threshold = 0.;
+    }
+  in
+  let e = Engine.create (storm ~gpu:(rel ~transient:1.0 ()) ()) in
+  let r = Resilient.create ~policy e in
+  let _ = Resilient.submit r Engine.Gpu (gemm 1000) in
+  let s = Resilient.stats r in
+  check_float "capped exponential backoff" (0.04 +. 0.1 +. 0.1 +. 0.1)
+    s.Resilient.gpu.Resilient.backoff_s;
+  Alcotest.(check int) "full budget spent on the GPU" 5
+    s.Resilient.gpu.Resilient.submitted;
+  Alcotest.(check int) "then degraded onto the CPU" 1 s.Resilient.degraded_ops
+
+(* Default policy, certain faults: health 0.6^4 < 0.2 quarantines the
+   GPU after its 4th attempt; the op still completes on the CPU and no
+   later submission touches the GPU again. *)
+let test_resilient_quarantine_reroutes () =
+  let e = Engine.create (storm ~gpu:(rel ~transient:1.0 ()) ()) in
+  let r = Resilient.create e in
+  let ev = Resilient.submit r Engine.Gpu (gemm 1000) in
+  Alcotest.(check bool) "completed on the CPU fallback" true
+    (Engine.time_of e ev > 0.);
+  let s = Resilient.stats r in
+  Alcotest.(check bool) "gpu quarantined" true
+    (s.Resilient.gpu.Resilient.quarantined_at <> None);
+  Alcotest.(check int) "gpu attempts bounded" 4
+    s.Resilient.gpu.Resilient.submitted;
+  Alcotest.(check bool) "degraded" true (Resilient.degraded r);
+  let _ = Resilient.submit r Engine.Gpu (gemm 500) in
+  let s2 = Resilient.stats r in
+  Alcotest.(check int) "no further GPU attempts after quarantine" 4
+    s2.Resilient.gpu.Resilient.submitted;
+  Alcotest.(check int) "both ops replanned onto the cpu" 2
+    s2.Resilient.degraded_ops
+
+(* Corrupted transfers are an ABFT storage error, not a retry case: the
+   copy takes its normal time (testbench link 10 GB/s -> 1e9 B = 0.1 s),
+   is counted, and is issued exactly once. *)
+let test_resilient_corrupted_transfer () =
+  let e = Engine.create (storm ~gpu:(rel ~corrupt:1.0 ()) ()) in
+  let r = Resilient.create e in
+  let ev = Resilient.transfer r ~dir:`H2d 1_000_000_000 in
+  check_float "full normal duration charged" 0.1 (Engine.time_of e ev);
+  let s = Resilient.stats r in
+  Alcotest.(check int) "counted for the verify path" 1
+    s.Resilient.corrupted_transfers;
+  Alcotest.(check int) "never retried" 0
+    (s.Resilient.cpu.Resilient.retries + s.Resilient.gpu.Resilient.retries);
+  Alcotest.(check int) "exactly one copy issued" 1 (Engine.op_count e)
+
+let test_resilient_gave_up () =
+  let e = Engine.create (storm ~cpu:(rel ~transient:1.0 ()) ()) in
+  let r = Resilient.create e in
+  match Resilient.submit r Engine.Cpu (Kernel.Host_flops 1e8) with
+  | _ -> Alcotest.fail "expected Gave_up"
+  | exception Resilient.Gave_up { resource = Engine.Cpu; attempts; _ } ->
+      Alcotest.(check int) "budget spent before giving up"
+        (Resilient.default_policy.Resilient.max_retries + 1)
+        attempts
+  | exception Resilient.Gave_up _ ->
+      Alcotest.fail "gave up on the wrong resource"
+
+let run_storm_sequence seed =
+  let e =
+    Engine.create ~seed
+      (storm ~gpu:(rel ~transient:0.35 ~hang:0.1 ~corrupt:0.25 ()) ())
+  in
+  let r = Resilient.create ~seed e in
+  let prev = ref Engine.ready in
+  for i = 1 to 10 do
+    prev := Resilient.submit r ~deps:[ !prev ] Engine.Gpu (gemm (300 + (10 * i)));
+    if i mod 3 = 0 then
+      prev := Resilient.transfer r ~deps:[ !prev ] ~dir:`D2h 1_000_000
+  done;
+  (Engine.makespan e, Resilient.stats r)
+
+let test_resilient_deterministic () =
+  let m1, s1 = run_storm_sequence 11 in
+  let m2, s2 = run_storm_sequence 11 in
+  Alcotest.(check bool) "same seed, bit-identical makespan" true
+    (Float.equal m1 m2);
+  Alcotest.(check bool) "same seed, identical stats" true (s1 = s2);
+  let m3, _ = run_storm_sequence 12 in
+  Alcotest.(check bool) "different seed, different timeline" true
+    (not (Float.equal m1 m3))
+
 let () =
   Alcotest.run "hetsim"
     [
@@ -473,6 +662,27 @@ let () =
           Alcotest.test_case "binding stream" `Quick test_binding_stream;
           Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
           Alcotest.test_case "gantt empty" `Quick test_gantt_empty;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "transient charges full duration" `Quick
+            test_failure_transient_duration;
+          Alcotest.test_case "hang charges the watchdog timeout" `Quick
+            test_failure_hang_timeout;
+          Alcotest.test_case "dropout latches" `Quick test_failure_dropout_latches;
+          Alcotest.test_case "pass-through exact" `Quick
+            test_resilient_passthrough_exact;
+          Alcotest.test_case "retry recovers" `Quick test_resilient_retry_recovers;
+          Alcotest.test_case "backoff schedule" `Quick
+            test_resilient_backoff_schedule;
+          Alcotest.test_case "quarantine reroutes" `Quick
+            test_resilient_quarantine_reroutes;
+          Alcotest.test_case "corrupted transfer not retried" `Quick
+            test_resilient_corrupted_transfer;
+          Alcotest.test_case "cpu exhaustion gives up" `Quick
+            test_resilient_gave_up;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_resilient_deterministic;
         ] );
       ("properties", props);
     ]

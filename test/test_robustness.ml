@@ -335,7 +335,8 @@ let test_campaign_family_windows () =
     (List.for_all
        (function
          | Fault.In_checksum | Fault.In_update _ -> true
-         | Fault.In_storage | Fault.In_computation _ -> false)
+         | Fault.In_storage | Fault.In_computation _ | Fault.In_device ->
+             false)
        (windows Campaign.Checksum_storm));
   Alcotest.(check bool) "compute-heavy has no storage" true
     (List.for_all
@@ -372,6 +373,7 @@ let test_campaign_aggregate_and_json () =
       snapshots = 1;
       restarts = 0;
       fired = 3;
+      device = Campaign.zero_device;
     }
   in
   let results =
@@ -409,7 +411,14 @@ let test_campaign_aggregate_and_json () =
   List.iter
     (fun needle ->
       Alcotest.(check bool) ("json has " ^ needle) true (contains json needle))
-    [ "\"schema_version\": 1"; "\"aggregate\""; "\"rung_campaigns\""; "ftsoak" ]
+    [
+      "\"schema_version\": 2";
+      "\"aggregate\"";
+      "\"rung_campaigns\"";
+      "\"device_totals\"";
+      "\"device_campaigns\"";
+      "ftsoak";
+    ]
 
 let test_campaign_mini_soak () =
   (* a miniature end-to-end soak: every family against its weakest
@@ -459,6 +468,7 @@ let test_campaign_mini_soak () =
               snapshots = st.C.Ft.snapshots;
               restarts = st.C.Ft.restarts;
               fired = List.length r.C.Ft.injections_fired;
+              device = Campaign.zero_device;
             })
           [ 1; 2; 3; 4 ])
       Campaign.all_families
@@ -474,6 +484,94 @@ let test_campaign_mini_soak () =
   Alcotest.(check bool) "checksum-repair rung hit" true
     (rc.Campaign.checksum_repairs_n >= 1);
   Alcotest.(check bool) "rollback rung hit" true (rc.Campaign.rollbacks_n >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Device faults: healed by ABFT, deterministic across pool sizes      *)
+(* ------------------------------------------------------------------ *)
+
+let test_device_fault_healed_by_abft () =
+  (* regression for the resilient-driver contract: a corrupted transfer
+     is a storage error for the verify path — the Enhanced scheme heals
+     it inline (no restart), it is never "retried away" *)
+  List.iter
+    (fun (iteration, blk) ->
+      let inj =
+        Fault.transfer_error ~bit:45 ~iteration ~block:blk ~element:(2, 1) ()
+      in
+      let r = factor_single ~scheme:(Abft.Scheme.enhanced ()) inj in
+      let name =
+        Printf.sprintf "device (%d,%d)@%d" (fst blk) (snd blk) iteration
+      in
+      Alcotest.(check string) (name ^ " outcome") "success" (outcome_label r);
+      Alcotest.(check int) (name ^ " restarts") 0 r.C.Ft.stats.C.Ft.restarts;
+      Alcotest.(check bool)
+        (name ^ " corrected inline") true
+        (r.C.Ft.stats.C.Ft.corrections + r.C.Ft.stats.C.Ft.reconstructions >= 1);
+      Alcotest.(check int)
+        (name ^ " fired") 1
+        (List.length r.C.Ft.injections_fired))
+    [ (0, (2, 0)); (1, (1, 1)); (2, (3, 2)); (1, (3, 0)) ]
+
+let test_device_storm_pool_determinism () =
+  (* identical seeds must give identical outcome/stats/residual traces
+     no matter how many domains execute the numeric kernels *)
+  let run domains =
+    let pool = Parallel.Pool.create ~domains () in
+    let results =
+      List.map
+        (fun seed ->
+          let plan =
+            Campaign.plan Campaign.Device_storm ~seed ~grid ~block ~count:3
+          in
+          let r =
+            C.Ft.factor ~pool ~plan
+              (cfg ~scheme:(Abft.Scheme.enhanced ()) ~snapshot_interval:2 ())
+              (spd (seed + 200))
+          in
+          ( outcome_label r,
+            r.C.Ft.stats,
+            List.length r.C.Ft.injections_fired,
+            r.C.Ft.residual ))
+        [ 1; 2; 3 ]
+    in
+    Parallel.Pool.shutdown pool;
+    results
+  in
+  let a = run 1 and b = run 2 in
+  List.iter2
+    (fun (o1, s1, f1, r1) (o2, s2, f2, r2) ->
+      Alcotest.(check string) "same outcome" o1 o2;
+      Alcotest.(check bool) "same stats" true (s1 = s2);
+      Alcotest.(check int) "same fired count" f1 f2;
+      Alcotest.(check bool) "bit-identical residual" true
+        (Int64.equal (Int64.bits_of_float r1) (Int64.bits_of_float r2)))
+    a b
+
+let test_schedule_device_storm_deterministic () =
+  (* same (machine profile, fault seed) ⇒ identical retry/quarantine/
+     degradation trace from the timing schedule; the Degraded trace op
+     appears exactly when the run reports degradation *)
+  let profile = Campaign.device_profile ~seed:5 ~dropout:false in
+  let m = Hetsim.Machine.with_reliability ~gpu:profile Hetsim.Machine.testbench in
+  let run () =
+    C.Schedule.run ~fault_seed:5
+      (C.Config.make ~machine:m ~block ~scheme:(Abft.Scheme.enhanced ()) ())
+      ~n:(grid * block)
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "bit-identical makespan" true
+    (Float.equal r1.C.Schedule.makespan r2.C.Schedule.makespan);
+  Alcotest.(check bool) "identical resilience stats" true
+    (r1.C.Schedule.resilience = r2.C.Schedule.resilience);
+  Alcotest.(check bool) "identical trace" true
+    (r1.C.Schedule.trace = r2.C.Schedule.trace);
+  let has_degraded_op =
+    List.exists
+      (fun op -> match op with C.Trace_op.Degraded _ -> true | _ -> false)
+      r1.C.Schedule.trace
+  in
+  Alcotest.(check bool) "Degraded op iff degraded" r1.C.Schedule.degraded
+    has_degraded_op
 
 let () =
   Alcotest.run "robustness"
@@ -510,5 +608,14 @@ let () =
           Alcotest.test_case "aggregate and json" `Quick
             test_campaign_aggregate_and_json;
           Alcotest.test_case "mini soak" `Quick test_campaign_mini_soak;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "corrupted transfer healed by ABFT" `Quick
+            test_device_fault_healed_by_abft;
+          Alcotest.test_case "pool-size determinism" `Quick
+            test_device_storm_pool_determinism;
+          Alcotest.test_case "schedule storm determinism" `Quick
+            test_schedule_device_storm_deterministic;
         ] );
     ]
