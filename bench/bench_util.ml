@@ -43,45 +43,31 @@ let record ~name ~size metrics =
     Mutex.unlock rows_mutex
   end
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_float f =
-  if Float.is_integer f && abs_float f < 1e15 then
-    Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.17g" f
+(* Escaping/formatting and the sink document itself come from Obs —
+   the shared implementation also used by the soak report and the
+   engine's chrome-trace exporter. *)
+let json_escape = Obs.Json.escape
+let json_float = Obs.Json.number
 
 let write_json path =
   let oc = open_out path in
-  let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema_version\": 1,\n  \"results\": [";
-  List.iteri
-    (fun i r ->
-      out "%s\n    { \"experiment\": \"%s\", \"name\": \"%s\", \"size\": %d, \
-           \"metrics\": {"
-        (if i = 0 then "" else ",")
-        (json_escape r.experiment) (json_escape r.name) r.size;
-      List.iteri
-        (fun k (key, v) ->
-          out "%s\"%s\": %s"
-            (if k = 0 then " " else ", ")
-            (json_escape key) (json_float v))
-        r.metrics;
-      out " } }")
-    (List.rev !rows);
-  out "\n  ]\n}\n";
+  output_string oc
+    (Obs.metrics_json
+       (List.rev_map
+          (fun r ->
+            {
+              Obs.experiment = r.experiment;
+              name = r.name;
+              size = r.size;
+              metrics = r.metrics;
+            })
+          !rows));
   close_out oc
+
+(* The bench process's observability sink: Obs.null unless the user
+   passed --trace-out/--metrics-out, in which case main.ml swaps in a
+   live sink before dispatching experiments. *)
+let obs : Obs.t ref = ref Obs.null
 
 (* ------------------------------------------------------------------ *)
 (* Simulated runs                                                      *)

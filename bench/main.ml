@@ -38,13 +38,15 @@ let experiments =
 
 let run_experiment (id, _, f) =
   Bench_util.current_experiment := id;
-  f ();
+  (* One span per experiment: a trace of a full bench run shows which
+     tables/figures dominate wall time. *)
+  Obs.span !Bench_util.obs ~op:id ~phase:"experiment" f;
   Bench_util.current_experiment := ""
 
 let usage () =
   Format.eprintf
-    "usage: main.exe [--json <path>] [--device-faults <rate>] [--list | \
-     --only <id>...]@.";
+    "usage: main.exe [--json <path>] [--trace-out <path>] [--metrics-out \
+     <path>] [--device-faults <rate>] [--list | --only <id>...]@.";
   exit 1
 
 let () =
@@ -52,11 +54,21 @@ let () =
   (* Peel off `--json <path>` / `--device-faults <rate>` wherever they
      appear. *)
   let json_path = ref None in
+  let trace_path = ref None in
+  let metrics_path = ref None in
   let rec strip = function
     | "--json" :: path :: rest ->
         json_path := Some path;
         strip rest
     | [ "--json" ] -> usage ()
+    | "--trace-out" :: path :: rest ->
+        trace_path := Some path;
+        strip rest
+    | [ "--trace-out" ] -> usage ()
+    | "--metrics-out" :: path :: rest ->
+        metrics_path := Some path;
+        strip rest
+    | [ "--metrics-out" ] -> usage ()
     | "--device-faults" :: rate :: rest -> (
         match float_of_string_opt rate with
         | Some r when r >= 0. && r <= 1. ->
@@ -72,6 +84,8 @@ let () =
   in
   let args = strip args in
   Bench_util.json_requested := !json_path <> None;
+  if !trace_path <> None || !metrics_path <> None then
+    Bench_util.obs := Obs.create ();
   (match args with
   | [ "--list" ] ->
       List.iter (fun (id, desc, _) -> Format.printf "%-10s %s@." id desc) experiments
@@ -93,8 +107,31 @@ let () =
          sections.@.";
       List.iter run_experiment experiments
   | _ -> usage ());
-  match !json_path with
+  (match !json_path with
   | Some path ->
       Bench_util.write_json path;
       Format.printf "@.wrote %s@." path
+  | None -> ());
+  (match !trace_path with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.chrome_trace !Bench_util.obs);
+      close_out oc;
+      Format.printf "@.wrote %s@." path
+  | None -> ());
+  match !metrics_path with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Obs.metrics_json
+           [
+             {
+               Obs.experiment = "bench";
+               name = "all";
+               size = 0;
+               metrics = Obs.metric_list !Bench_util.obs;
+             };
+           ]);
+      close_out oc;
+      Format.printf "wrote %s@." path
   | None -> ()

@@ -102,7 +102,7 @@ let random_plan_or_exit ?covered_only ~seed ~grid ~block ~count ~storage_fractio
 
 let factor_cmd =
   let run machine n block scheme opt1 opt2 seed faults storage_fraction sweep
-      input =
+      input trace_out metrics_out =
     let a =
       match input with
       | None -> None
@@ -126,14 +126,42 @@ let factor_cmd =
     let a =
       match a with Some m -> m | None -> Matrix.Spd.random_spd ~seed:(seed + 1) n
     in
+    let traced = trace_out <> None || metrics_out <> None in
+    let obs = if traced then Obs.create () else Obs.null in
     let t0 = Unix.gettimeofday () in
-    let report = C.Ft.factor ~plan ~final_sweep:sweep cfg a in
+    let report = C.Ft.factor ~obs ~plan ~final_sweep:sweep cfg a in
     let dt = Unix.gettimeofday () -. t0 in
     Format.printf "%a@." C.Ft.pp_report report;
     List.iter
       (fun f -> Format.printf "  %a@." Injector.pp_fired f)
       report.C.Ft.injections_fired;
     Format.printf "wall time (real arithmetic on this host): %.3fs@." dt;
+    if traced then Format.printf "@.%s" (Obs.summary_table obs);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.chrome_trace obs);
+        close_out oc;
+        Format.printf "chrome trace written to %s@." path);
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Obs.metrics_json
+             [
+               {
+                 Obs.experiment = "ftchol";
+                 name =
+                   Printf.sprintf "%s/%s" machine.Hetsim.Machine.name
+                     (Abft.Scheme.name scheme);
+                 size = n;
+                 metrics = ("wall_s", dt) :: Obs.metric_list obs;
+               };
+             ]);
+        close_out oc;
+        Format.printf "metrics written to %s@." path);
     match report.C.Ft.outcome with C.Ft.Success -> 0 | _ -> 2
   in
   let term =
@@ -152,7 +180,22 @@ let factor_cmd =
           & info [ "input" ] ~docv:"FILE"
               ~doc:
                 "Factor the SPD matrix in this Matrix Market file instead of \
-                 a random one (its order must be a multiple of the block)."))
+                 a random one (its order must be a multiple of the block).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace-out" ] ~docv:"FILE"
+              ~doc:
+                "Trace the run and write a Chrome Trace-Event JSON (loadable \
+                 in Perfetto / about:tracing, one timeline row per domain) \
+                 to $(docv).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "metrics-out" ] ~docv:"FILE"
+              ~doc:
+                "Trace the run and write per-op time totals, counters and \
+                 histograms (bench-convention JSON) to $(docv)."))
   in
   Cmd.v
     (Cmd.info "factor"

@@ -131,6 +131,23 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Write the full per-campaign JSON report to $(docv).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Trace every campaign and write the merged Chrome Trace-Event \
+              JSON (loadable in Perfetto / about:tracing) to $(docv).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Trace every campaign and write per-campaign observability \
+              metrics (bench-convention JSON, one record per campaign) to \
+              $(docv).")
+
 let verbose_arg =
   Arg.(
     value & flag
@@ -197,7 +214,7 @@ let enumerate ~campaigns ~seed ~families ~schemes ~grids ~pools ~block ~faults =
    detection, backoff retry, quarantine, CPU-fallback degradation)
    against the identical fault mix. Every 13th case makes the GPU drop
    out permanently mid-schedule. *)
-let device_storm_leg ~machine ~scheme (case : Campaign.case) =
+let device_storm_leg ~machine ~scheme ~obs (case : Campaign.case) =
   let dropout = case.Campaign.id mod 13 = 0 in
   let profile =
     Campaign.device_profile ~seed:case.Campaign.seed ~dropout
@@ -206,8 +223,8 @@ let device_storm_leg ~machine ~scheme (case : Campaign.case) =
   let cfg = C.Config.make ~machine:m ~block:case.Campaign.block ~scheme () in
   let n = case.Campaign.grid * case.Campaign.block in
   match
-    C.Schedule.run ~plan:case.Campaign.plan ~fault_seed:case.Campaign.seed cfg
-      ~n
+    C.Schedule.run ~plan:case.Campaign.plan ~fault_seed:case.Campaign.seed ~obs
+      cfg ~n
   with
   | r -> (Campaign.device_counts_of_stats r.C.Schedule.resilience, None)
   | exception Hetsim.Resilient.Gave_up { resource; failure; attempts } ->
@@ -218,8 +235,12 @@ let device_storm_leg ~machine ~scheme (case : Campaign.case) =
              (Hetsim.Engine.resource_name resource)
              attempts) )
 
+(* Each traced campaign gets its own sink, so per-campaign totals are
+   exact; the spans (absolute monotonic timestamps) are returned for
+   the harness to merge into one whole-soak trace. *)
 let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
-    (case, scheme) =
+    ~traced (case, scheme) =
+  let obs = if traced then Obs.create () else Obs.null in
   let n = case.Campaign.grid * case.Campaign.block in
   let snap =
     if snapshot_interval >= 0 then snapshot_interval
@@ -232,11 +253,11 @@ let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
       ~max_rollbacks ~snapshot_interval:snap ()
   in
   let a = Matrix.Spd.random_spd ~seed:(case.Campaign.seed + 1) n in
-  let report = C.Ft.factor ~pool ~plan:case.Campaign.plan cfg a in
+  let report = C.Ft.factor ~pool ~obs ~plan:case.Campaign.plan cfg a in
   let st = report.C.Ft.stats in
   let device, device_gave_up =
     match case.Campaign.family with
-    | Campaign.Device_storm -> device_storm_leg ~machine ~scheme case
+    | Campaign.Device_storm -> device_storm_leg ~machine ~scheme ~obs case
     | Campaign.Mixed | Campaign.Burst | Campaign.Storage_heavy
     | Campaign.Compute_heavy | Campaign.Checksum_storm | Campaign.Anchor ->
         (Campaign.zero_device, None)
@@ -248,23 +269,27 @@ let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
     | C.Ft.Success, Some why -> Campaign.Gave_up why
     | C.Ft.Success, None -> Campaign.Success
   in
-  {
-    Campaign.case;
-    outcome;
-    residual = report.C.Ft.residual;
-    verifications = st.C.Ft.verifications;
-    corrections = st.C.Ft.corrections;
-    reconstructions = st.C.Ft.reconstructions;
-    checksum_repairs = st.C.Ft.checksum_repairs;
-    rollbacks = st.C.Ft.rollbacks;
-    snapshots = st.C.Ft.snapshots;
-    restarts = st.C.Ft.restarts;
-    fired = List.length report.C.Ft.injections_fired;
-    device;
-  }
+  ( {
+      Campaign.case;
+      outcome;
+      residual = report.C.Ft.residual;
+      verifications = st.C.Ft.verifications;
+      corrections = st.C.Ft.corrections;
+      reconstructions = st.C.Ft.reconstructions;
+      checksum_repairs = st.C.Ft.checksum_repairs;
+      rollbacks = st.C.Ft.rollbacks;
+      snapshots = st.C.Ft.snapshots;
+      restarts = st.C.Ft.restarts;
+      fired = List.length report.C.Ft.injections_fired;
+      device;
+      obs_metrics = (if traced then Obs.metric_list obs else []);
+    },
+    if traced then Obs.spans obs else [] )
 
 let soak campaigns seed machine schemes grids block pools faults families
-    snapshot_interval max_rollbacks max_restarts json verbose =
+    snapshot_interval max_rollbacks max_restarts json trace_out metrics_out
+    verbose =
+  let traced = trace_out <> None || metrics_out <> None in
   if campaigns < 1 then exit_err "--campaigns must be >= 1";
   if block < 2 then exit_err "--block must be >= 2";
   if List.exists (fun g -> g < 2) grids then exit_err "--grids must all be >= 2";
@@ -283,15 +308,17 @@ let soak campaigns seed machine schemes grids block pools faults families
     in
     fun d -> List.assoc d pairs
   in
+  let all_spans = ref [] in
   let results =
     (try
        List.map
          (fun ((case, _) as c) ->
-           let r =
+           let r, spans =
              run_case ~machine
                ~pool:(pool_for case.Campaign.domains)
-               ~snapshot_interval ~max_rollbacks ~max_restarts c
+               ~snapshot_interval ~max_rollbacks ~max_restarts ~traced c
            in
+           all_spans := spans :: !all_spans;
            if verbose then
              Format.printf "%4d %-40s %-17s resid %.2e@." case.Campaign.id
                (Campaign.case_name case)
@@ -322,6 +349,34 @@ let soak campaigns seed machine schemes grids block pools faults families
       output_string oc (Campaign.to_json ~seed results);
       close_out oc;
       Format.printf "json report written to %s@." path);
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      (* per-campaign sinks share the one monotonic clock, so the
+         concatenation (campaigns ran sequentially) is already a
+         globally ordered span stream *)
+      let oc = open_out path in
+      output_string oc
+        (Obs.chrome_trace_of_spans (List.concat (List.rev !all_spans)));
+      close_out oc;
+      Format.printf "chrome trace written to %s@." path);
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Obs.metrics_json
+           (List.map
+              (fun (r : Campaign.run_result) ->
+                {
+                  Obs.experiment = "ftsoak";
+                  name = Campaign.case_name r.Campaign.case;
+                  size = r.Campaign.case.Campaign.grid * r.Campaign.case.Campaign.block;
+                  metrics = r.Campaign.obs_metrics;
+                })
+              results));
+      close_out oc;
+      Format.printf "metrics written to %s@." path);
   if agg.Campaign.silent_corruptions > 0 then begin
     Format.eprintf "ftsoak: %d campaign(s) ended in SILENT CORRUPTION@."
       agg.Campaign.silent_corruptions;
@@ -335,7 +390,7 @@ let () =
       const soak $ campaigns_arg $ seed_arg $ machine_arg $ schemes_arg
       $ grids_arg $ block_arg $ pools_arg $ faults_arg $ families_arg
       $ snapshot_arg $ max_rollbacks_arg $ max_restarts_arg $ json_arg
-      $ verbose_arg)
+      $ trace_out_arg $ metrics_out_arg $ verbose_arg)
   in
   let doc =
     "seeded multi-fault soak campaigns through the Cholesky recovery ladder"

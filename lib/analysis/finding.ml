@@ -44,23 +44,10 @@ let to_human t =
   Printf.sprintf "%s:%d:%d: [%s] %s%s" t.file t.line t.col t.rule t.message
     waiver
 
-(* Minimal JSON string escaping: the messages we emit are ASCII, but
-   file paths and waiver reasons are arbitrary. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* The messages we emit are ASCII, but file paths and waiver reasons
+   are arbitrary; escaping comes from the repo's one shared JSON
+   escaper. *)
+let json_escape = Obs.Json.escape
 
 let to_json t =
   let reason =

@@ -37,6 +37,7 @@ type attempt_state = {
   store : Abft.Checksum.store option;  (* None for No_ft *)
   injector : Injector.t;
   pool : Pool.t;
+  obs : Obs.t;  (* span/counter sink; Obs.null when untraced *)
   mutable trace : Trace_op.t list;  (* reverse order *)
   mutable verifications : int;
   mutable corrections : int;
@@ -113,6 +114,10 @@ let verify_blocks st ~j ~point blocks =
   match st.store with
   | None -> ()
   | Some store ->
+      (* span wraps the whole batch (including the fold) so detection
+         cost is charged to "verify" even when the sweep aborts the
+         attempt with Recovery.Error *)
+      Obs.span st.obs ~op:"verify" ~phase:"abft" (fun () ->
       let blocks_arr = Array.of_list blocks in
       let jobs =
         Array.map
@@ -148,7 +153,7 @@ let verify_blocks st ~j ~point blocks =
               raise
                 (Recovery.Error
                    (Recovery.Uncorrectable_block { block = (i, c); detail = msg })))
-        blocks_arr
+        blocks_arr)
 
 (* One attempt of the full factorization over fresh tiles, starting at
    outer iteration [from] (0 for a fresh attempt, the snapshot's
@@ -180,17 +185,21 @@ let run_attempt st ~from ~on_boundary =
       let diag = tile j j in
       (* accumulates into one diagonal block: c order is load-bearing,
          parallelism lives inside the (pool-aware) kernel *)
+      let t0 = Obs.start st.obs in
       for c = 0 to j - 1 do
         let lc = tile j c in
         Blas3.gemm ~pool:st.pool ~transb:Types.Trans ~alpha:(-1.) ~beta:1. lc
           lc diag
       done;
+      Obs.stop st.obs ~tile:(j, j) ~op:"syrk" ~phase:"compute" t0;
       emit st (Trace_op.Syrk j);
       Injector.fire_compute st.injector ~iteration:j ~op:Fault.Syrk ~block:(j, j) diag;
       if with_ft then begin
+        let t0 = Obs.start st.obs in
         for c = 0 to j - 1 do
           Abft.Update.syrk ~chk_a:(chk j j) ~chk_lc:(chk j c) ~lc:(tile j c)
         done;
+        Obs.stop st.obs ~tile:(j, j) ~op:"chk-syrk" ~phase:"chk-update" t0;
         emit st (Trace_op.Chk_syrk j);
         Injector.fire_update st.injector ~iteration:j ~op:Fault.Syrk
           ~block:(j, j)
@@ -209,11 +218,13 @@ let run_attempt st ~from ~on_boundary =
       (* each row block i updates only tile (i, j): independent *)
       par_for st ~lo:(j + 1) ~hi:g (fun i ->
           declare_tile st i j;
+          let t0 = Obs.start st.obs in
           let b = tile i j in
           for c = 0 to j - 1 do
             Blas3.gemm ~pool:st.pool ~transb:Types.Trans ~alpha:(-1.) ~beta:1.
               (tile i c) (tile j c) b
-          done);
+          done;
+          Obs.stop st.obs ~tile:(i, j) ~op:"gemm" ~phase:"compute" t0);
       emit st (Trace_op.Gemm j);
       for i = j + 1 to g - 1 do
         Injector.fire_compute st.injector ~iteration:j ~op:Fault.Gemm
@@ -223,10 +234,12 @@ let run_attempt st ~from ~on_boundary =
         (* row block i touches only checksum (i, j): independent *)
         par_for st ~lo:(j + 1) ~hi:g (fun i ->
             declare_chk st i j;
+            let t0 = Obs.start st.obs in
             for c = 0 to j - 1 do
               Abft.Update.gemm ~chk_b:(chk i j) ~chk_ld:(chk i c)
                 ~lc:(tile j c)
-            done);
+            done;
+            Obs.stop st.obs ~tile:(i, j) ~op:"chk-gemm" ~phase:"chk-update" t0);
         emit st (Trace_op.Chk_gemm j);
         (* sequential like fire_compute above: the injector is not
            thread-safe and never needs to be *)
@@ -241,13 +254,17 @@ let run_attempt st ~from ~on_boundary =
     end;
     (* ---- POTF2 on the (host-side) diagonal block ---- *)
     let diag = tile j j in
+    let t0 = Obs.start st.obs in
     (try Lapack.potf2 Types.Lower diag
      with Lapack.Not_positive_definite k ->
        raise (Recovery.Error (Recovery.Fail_stop { iteration = j; column = k })));
+    Obs.stop st.obs ~tile:(j, j) ~op:"potf2" ~phase:"compute" t0;
     emit st (Trace_op.Potf2 j);
     Injector.fire_compute st.injector ~iteration:j ~op:Fault.Potf2 ~block:(j, j) diag;
     if with_ft then begin
+      let t0 = Obs.start st.obs in
       Abft.Update.potf2 ~chk:(chk j j) ~la:diag;
+      Obs.stop st.obs ~tile:(j, j) ~op:"chk-potf2" ~phase:"chk-update" t0;
       emit st (Trace_op.Chk_potf2 j);
       Injector.fire_update st.injector ~iteration:j ~op:Fault.Potf2
         ~block:(j, j)
@@ -264,8 +281,10 @@ let run_attempt st ~from ~on_boundary =
       (* independent panel solves against the shared factored diagonal *)
       par_for st ~lo:(j + 1) ~hi:g (fun i ->
           declare_tile st i j;
+          let t0 = Obs.start st.obs in
           Blas3.trsm ~pool:st.pool Types.Right Types.Lower Types.Trans
-            Types.Non_unit_diag la (tile i j));
+            Types.Non_unit_diag la (tile i j);
+          Obs.stop st.obs ~tile:(i, j) ~op:"trsm" ~phase:"compute" t0);
       emit st (Trace_op.Trsm j);
       for i = j + 1 to g - 1 do
         Injector.fire_compute st.injector ~iteration:j ~op:Fault.Trsm
@@ -274,7 +293,9 @@ let run_attempt st ~from ~on_boundary =
       if with_ft then begin
         par_for st ~lo:(j + 1) ~hi:g (fun i ->
             declare_chk st i j;
-            Abft.Update.trsm ~chk:(chk i j) ~la);
+            let t0 = Obs.start st.obs in
+            Abft.Update.trsm ~chk:(chk i j) ~la;
+            Obs.stop st.obs ~tile:(i, j) ~op:"chk-trsm" ~phase:"chk-update" t0);
         emit st (Trace_op.Chk_trsm j);
         for i = j + 1 to g - 1 do
           Injector.fire_update st.injector ~iteration:j ~op:Fault.Trsm
@@ -298,7 +319,9 @@ let run_attempt st ~from ~on_boundary =
    un-reread storage flip. *)
 let final_verification st ~sweep =
   let offline = st.cfg.Config.scheme = Abft.Scheme.Offline in
-  if st.store <> None && (offline || sweep) then begin
+  if st.store <> None && (offline || sweep) then
+    Obs.span st.obs ~op:"final-verify" ~phase:"abft" @@ fun () ->
+    begin
     let blocks = Sets.all_lower ~grid:st.grid in
     emit st (Trace_op.Final_verify blocks);
     match st.store with
@@ -382,7 +405,7 @@ let residual_of ~input l =
    4. full restart — no usable snapshot or budget exhausted: recompute
       from the pristine input, up to [max_restarts] times;
    5. give up, reporting the last structured reason. *)
-let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
+let factor ?pool ?(obs = Obs.null) ?(plan = []) ?(final_sweep = false) cfg a =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error e -> invalid_arg ("Ft.factor: " ^ e));
@@ -401,11 +424,16 @@ let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
   let rollbacks_total = ref 0 in
   let snap_every = cfg.Config.snapshot_interval in
   let rec attempt k =
-    let tiles = Tile.of_mat ~block:b a in
+    let tiles =
+      Obs.span obs ~op:"init" ~phase:"setup" (fun () -> Tile.of_mat ~block:b a)
+    in
     let store =
       match cfg.Config.scheme with
       | Abft.Scheme.No_ft -> None
-      | _ -> Some (Abft.Checksum.encode_lower ~pool tiles)
+      | _ ->
+          Some
+            (Obs.span obs ~op:"encode" ~phase:"abft" (fun () ->
+                 Abft.Checksum.encode_lower ~pool tiles))
     in
     let st =
       {
@@ -415,6 +443,7 @@ let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
         store;
         injector;
         pool;
+        obs;
         trace = [];
         verifications = 0;
         corrections = 0;
@@ -432,7 +461,12 @@ let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
            failure here escalates through the ladder like any other. *)
         verify_blocks st ~j ~point:Trace_op.Pre_snapshot
           (Sets.all_lower ~grid:st.grid);
-        snap := Some (Checkpoint.take ~iteration:j st.tiles st.store);
+        (* the span covers only the state capture; the verified sweep
+           above is already charged to "verify" *)
+        snap :=
+          Some
+            (Obs.span obs ~op:"snapshot" ~phase:"recovery" (fun () ->
+                 Checkpoint.take ~iteration:j st.tiles st.store));
         incr snapshots_total;
         emit st (Trace_op.Snapshot j)
       end
@@ -454,7 +488,8 @@ let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
               Log.warn (fun m ->
                   m "attempt %d failed (%s); rolling back to iteration %d"
                     k (Recovery.describe reason) s.Checkpoint.iteration);
-              Checkpoint.restore s ~tiles:st.tiles ~store:st.store;
+              Obs.span obs ~op:"rollback" ~phase:"recovery" (fun () ->
+                  Checkpoint.restore s ~tiles:st.tiles ~store:st.store);
               emit st (Trace_op.Rollback s.Checkpoint.iteration);
               go s.Checkpoint.iteration
           | _ ->
@@ -468,33 +503,60 @@ let factor ?pool ?(plan = []) ?(final_sweep = false) cfg a =
     in
     go 0
   in
-  let restarts, st, failure = attempt 0 in
-  let l = lower_of_tiles st.tiles in
-  let residual = residual_of ~input:a l in
-  let outcome =
-    match failure with
-    | Some reason -> Gave_up reason
-    | None -> if residual <= residual_threshold then Success else Silent_corruption
-  in
-  {
-    factor = l;
-    outcome;
-    residual;
-    stats =
+  (* The run's sink doubles as the pool's for the duration, so pool
+     batch counters land in the same place as the driver's spans; the
+     previous sink is restored even if the ladder gives up by raising. *)
+  let prev_obs = Pool.obs pool in
+  Pool.set_obs pool obs;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_obs pool prev_obs)
+    (fun () ->
+      let restarts, st, failure = attempt 0 in
+      let l, residual =
+        Obs.span obs ~op:"residual" ~phase:"check" (fun () ->
+            let l = lower_of_tiles st.tiles in
+            (l, residual_of ~input:a l))
+      in
+      let outcome =
+        match failure with
+        | Some reason -> Gave_up reason
+        | None ->
+            if residual <= residual_threshold then Success
+            else Silent_corruption
+      in
+      let stats =
+        {
+          verifications = st.verifications;
+          corrections = st.corrections;
+          reconstructions = st.reconstructions;
+          checksum_repairs = st.checksum_repairs;
+          uncorrectable_events = !uncorrectable_events;
+          fail_stops = !fail_stops;
+          rollbacks = !rollbacks_total;
+          snapshots = !snapshots_total;
+          restarts;
+        }
+      in
+      if Obs.enabled obs then begin
+        let c name v = Obs.incr obs ~by:(float_of_int v) ("ft." ^ name) in
+        c "verifications" stats.verifications;
+        c "corrections" stats.corrections;
+        c "reconstructions" stats.reconstructions;
+        c "checksum_repairs" stats.checksum_repairs;
+        c "uncorrectable_events" stats.uncorrectable_events;
+        c "fail_stops" stats.fail_stops;
+        c "rollbacks" stats.rollbacks;
+        c "snapshots" stats.snapshots;
+        c "restarts" stats.restarts
+      end;
       {
-        verifications = st.verifications;
-        corrections = st.corrections;
-        reconstructions = st.reconstructions;
-        checksum_repairs = st.checksum_repairs;
-        uncorrectable_events = !uncorrectable_events;
-        fail_stops = !fail_stops;
-        rollbacks = !rollbacks_total;
-        snapshots = !snapshots_total;
-        restarts;
-      };
-    injections_fired = Injector.fired injector;
-    trace = List.rev st.trace;
-  }
+        factor = l;
+        outcome;
+        residual;
+        stats;
+        injections_fired = Injector.fired injector;
+        trace = List.rev st.trace;
+      })
 
 let pp_outcome fmt = function
   | Success -> Format.pp_print_string fmt "success"

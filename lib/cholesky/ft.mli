@@ -77,6 +77,7 @@ type report = {
 
 val factor :
   ?pool:Parallel.Pool.t ->
+  ?obs:Obs.t ->
   ?plan:Fault.t ->
   ?final_sweep:bool ->
   Config.t ->
@@ -96,6 +97,20 @@ val factor :
     pool size (no work item is ever split, and per-element reduction
     order is fixed), so fault-detection thresholds behave the same
     under any [ABFT_DOMAINS].
+
+    [obs] (default [Obs.null]) receives the run's observability
+    stream: one non-nested span per driver-level operation — [init],
+    [encode], per-tile [gemm]/[trsm] and per-iteration [syrk]/[potf2]
+    (phase [compute]), their [chk-*] counterparts (phase
+    [chk-update]), [verify]/[final-verify] (phase [abft]),
+    [snapshot]/[rollback] (phase [recovery], state capture/restore
+    only), [residual] (phase [check]) — plus ["ft.*"] counters
+    mirroring {!stats} at the end. Spans never overlap on a domain, so
+    their durations sum to (almost all of) the run's busy time. The
+    sink is also attached to [pool] for the duration of the run (its
+    previous sink is restored on return). With the default null sink
+    every instrumentation point is a single branch and the factor is
+    bitwise identical to an uninstrumented run.
     @raise Invalid_argument if [a] is not square, its order is not a
     positive multiple of the block size, or the config is invalid. *)
 

@@ -346,7 +346,7 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
     | _ -> assert false)
   end
 
-let run ?pool:_ ?(plan = []) ?(d = 2) ?policy ?(fault_seed = 0) cfg ~n =
+let run ?pool:_ ?(plan = []) ?(d = 2) ?policy ?(fault_seed = 0) ?obs cfg ~n =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error e -> invalid_arg ("Schedule.run: " ^ e));
@@ -366,7 +366,7 @@ let run ?pool:_ ?(plan = []) ?(d = 2) ?policy ?(fault_seed = 0) cfg ~n =
     if with_ft then Config.resolve_placement cfg ~n else Config.Gpu_inline
   in
   let eng = Engine.create ~seed:fault_seed cfg.Config.machine in
-  let res = Resilient.create ?policy ~seed:fault_seed eng in
+  let res = Resilient.create ?policy ~seed:fault_seed ?obs eng in
   let st =
     {
       cfg;

@@ -54,6 +54,7 @@ val run :
   ?d:int ->
   ?policy:Hetsim.Resilient.policy ->
   ?fault_seed:int ->
+  ?obs:Obs.t ->
   Config.t ->
   n:int ->
   result
@@ -62,7 +63,10 @@ val run :
     call-site uniformity with {!Ft.factor} but unused: one simulation
     is a single sequential sweep of a virtual clock (the concurrency it
     models — streams, engines — is virtual). Use {!run_many} to spread
-    a sweep of independent simulations across real cores.
+    a sweep of independent simulations across real cores. [obs] is
+    handed to the {!Hetsim.Resilient} driver, which emits one
+    ["resilient.*"] counter per scheduling-level resilience event
+    (retries, hangs, quarantines, …) into it.
 
     Every operation is issued through a {!Hetsim.Resilient} driver
     ([?policy], default {!Hetsim.Resilient.default_policy}) over an

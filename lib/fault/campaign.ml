@@ -214,6 +214,9 @@ type run_result = {
   restarts : int;
   fired : int;
   device : device_counts;
+  obs_metrics : (string * float) list;
+      (* per-campaign observability totals (Obs.metric_list); empty
+         when the soak ran untraced *)
 }
 
 type rung_counts = {
@@ -314,31 +317,25 @@ let aggregate results =
     silent_rate = (if n = 0 then 0. else float_of_int silent /. float_of_int n);
   }
 
-(* ---- JSON report (bench_util sink conventions, schema_version 2) ----
+(* ---- JSON report (bench_util sink conventions, schema_version 3) ----
 
    Schema history:
    - 1: per-campaign ladder metrics + aggregate rung totals/coverage.
    - 2: adds per-campaign device-resilience metrics (retries, hangs,
      transients, corrupted transfers, quarantine/degradation/loss) and
-     the aggregate "device_totals" / "device_campaigns" objects. *)
+     the aggregate "device_totals" / "device_campaigns" objects.
+   - 3: adds per-campaign observability totals (the [obs_metrics]
+     key/value pairs — "op.<op>_s"/"op.<op>_n" time breakdowns,
+     "counter.*" and "hist.*" entries) when the soak runs traced.
+     Strictly additive: untraced reports differ from version 2 only in
+     the version number.
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+   String escaping and float formatting come from [Obs.Json] — the one
+   shared implementation (also used by bench_util and the engine's
+   chrome-trace exporter), so the sink formats cannot drift apart. *)
 
-let json_float f =
-  if Float.is_integer f && abs_float f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.17g" f
+let json_escape = Obs.Json.escape
+let json_float = Obs.Json.number
 
 let case_name c =
   Printf.sprintf "%s/%s/g%d-b%d-p%d/seed%d" (family_name c.family) c.scheme
@@ -367,6 +364,7 @@ let result_metrics r =
       | Silent_corruption -> 1.
       | Success | Gave_up _ -> 0. );
   ]
+  @ r.obs_metrics
 
 let rung_fields prefix t =
   Printf.sprintf
@@ -387,7 +385,7 @@ let to_json ~seed results =
   let agg = aggregate results in
   let b = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  out "{\n  \"schema_version\": 2,\n  \"results\": [";
+  out "{\n  \"schema_version\": 3,\n  \"results\": [";
   List.iteri
     (fun i r ->
       out "%s\n    { \"experiment\": \"ftsoak\", \"name\": \"%s\", \

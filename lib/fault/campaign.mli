@@ -95,6 +95,11 @@ type run_result = {
   restarts : int;
   fired : int;
   device : device_counts;
+  obs_metrics : (string * float) list;
+      (** per-campaign observability totals ([Obs.metric_list] of the
+          campaign's sink: "op.*_s"/"op.*_n" time breakdowns plus
+          "counter.*"/"hist.*" entries); [[]] when the soak ran
+          untraced *)
 }
 
 type rung_counts = {
@@ -131,13 +136,15 @@ val case_name : case -> string
 (** ["family/scheme/g<grid>-b<block>-p<domains>/seed<seed>"]. *)
 
 val to_json : seed:int -> run_result list -> string
-(** Full report: bench-style [schema_version 2] sink with one result
+(** Full report: bench-style [schema_version 3] sink with one result
     row per campaign (experiment ["ftsoak"], size = matrix order) plus
     an ["aggregate"] object carrying the outcome histogram, per-rung
     totals, campaign-level rung coverage, device-resilience totals and
     coverage ([device_totals] / [device_campaigns]), silent-corruption
-    rate and worst residual. Version 2 is a strict superset of 1: it
-    adds the per-campaign device metrics and the two aggregate device
-    objects. *)
+    rate and worst residual. Each version is a strict superset of the
+    one before: 2 added the per-campaign device metrics and the two
+    aggregate device objects; 3 adds each campaign's [obs_metrics]
+    pairs to its metrics object when the soak runs traced (untraced
+    reports differ from version 2 only in the version number). *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit

@@ -255,11 +255,11 @@ let transfer_result t ?(deps = []) ?(phase = "transfer") ~dir bytes : outcome =
 
 let join _t events : event = deps_time events
 
-let delay t ?(deps = []) ?(phase = "penalty") dur : event =
+let delay t ?(deps = []) ?(phase = "penalty") ?(label = "delay") dur : event =
   let start = deps_time deps in
   let finish = start +. dur in
   let binding = if start <= 0. then Started_free else Bound_by_deps in
-  record t ~label:"delay" ~phase ~resource:None ~start ~finish ~binding;
+  record t ~label ~phase ~resource:None ~start ~finish ~binding;
   finish
 
 let time_of _t (e : event) = e
@@ -333,6 +333,10 @@ let binding_summary t =
     [ Bound_by_deps; Bound_by_resource; Bound_by_stream; Started_free ]
 
 let gantt ?(width = 100) ?(max_ops = 2000) t =
+  (* Narrow terminals (or a caller passing 1) must degrade, not raise:
+     below 10 columns the lanes and the 0..makespan axis cannot be
+     drawn, so the width is clamped there. *)
+  let width = max 10 width in
   let buf = Buffer.create 1024 in
   let ms = t.makespan in
   if ms <= 0. then Buffer.add_string buf "(empty timeline)\n"
@@ -371,7 +375,7 @@ let gantt ?(width = 100) ?(max_ops = 2000) t =
         Buffer.add_char buf '\n')
       all_resources;
     Buffer.add_string buf
-      (Printf.sprintf "%-9s 0%s%.4fs\n" "" (String.make (width - 8) ' ') ms)
+      (Printf.sprintf "%-9s 0%s%.4fs\n" "" (String.make (max 0 (width - 8)) ' ') ms)
   end;
   Buffer.contents buf
 
@@ -390,10 +394,11 @@ let to_chrome_trace t =
       Buffer.add_string buf
         (Printf.sprintf
            {|{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":"%s"}|}
-           (String.map (function '"' -> '\'' | c -> c) r.label)
-           r.phase (r.start *. 1e6)
+           (Obs.Json.escape r.label)
+           (Obs.Json.escape r.phase)
+           (r.start *. 1e6)
            ((r.finish -. r.start) *. 1e6)
-           tid))
+           (Obs.Json.escape tid)))
     (records t);
   Buffer.add_string buf "]";
   Buffer.contents buf

@@ -147,9 +147,10 @@ val join : t -> event list -> event
 (** An event complete when all of the given events are (no resource,
     no duration). [join t []] is {!ready}. *)
 
-val delay : t -> ?deps:event list -> ?phase:string -> float -> event
+val delay : t -> ?deps:event list -> ?phase:string -> ?label:string -> float -> event
 (** A pure time cost attached to no resource — used for modelled
-    penalties such as a recovery restart. *)
+    penalties such as a recovery restart. [label] (default ["delay"])
+    names the operation in the timeline and exported traces. *)
 
 (** {1 Interrogation} *)
 
@@ -191,7 +192,8 @@ val records : t -> record list
 
 val to_chrome_trace : t -> string
 (** Serialize the timeline as a Chrome [chrome://tracing] /
-    Perfetto-compatible JSON array. *)
+    Perfetto-compatible JSON array. Labels and phases are JSON-escaped,
+    so any operation label round-trips exactly. *)
 
 (** {1 Analysis} *)
 
@@ -207,10 +209,11 @@ val binding_summary : t -> (binding * int) list
 
 val gantt : ?width:int -> ?max_ops:int -> t -> string
 (** An ASCII Gantt chart: one lane per resource, time left to right
-    over [width] columns (default 100), each operation drawn as a span
-    of its phase's initial. Intended for eyeballing small schedules in
-    a terminal; lanes with more than [max_ops] (default 2000)
-    operations are summarized instead of drawn. *)
+    over [width] columns (default 100, clamped to at least 10 so
+    degenerate widths degrade instead of raising), each operation
+    drawn as a span of its phase's initial. Intended for eyeballing
+    small schedules in a terminal; lanes with more than [max_ops]
+    (default 2000) operations are summarized instead of drawn. *)
 
 val pp_binding : Format.formatter -> binding -> unit
 

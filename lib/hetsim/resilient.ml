@@ -104,19 +104,21 @@ type t = {
   rng : Random.State.t;  (* jitter draws only; one per backoff *)
   cpu : dev;
   gpu : dev;  (* GPU main engine and spare channel share fate *)
+  obs : Obs.t;  (* event counters; Obs.null unless the caller traces *)
   mutable corrupted_transfers : int;
   mutable skipped_transfers : int;
   mutable degraded_ops : int;
   mutable degraded_at : float option;
 }
 
-let create ?(policy = default_policy) ?(seed = 0) engine =
+let create ?(policy = default_policy) ?(seed = 0) ?(obs = Obs.null) engine =
   {
     engine;
     policy;
     rng = Random.State.make [| 0xbac0ff; seed |];
     cpu = fresh_dev ();
     gpu = fresh_dev ();
+    obs;
     corrupted_transfers = 0;
     skipped_transfers = 0;
     degraded_ops = 0;
@@ -140,21 +142,27 @@ let degraded t = Option.is_some t.degraded_at
 
 let mark_degraded t ~now =
   t.degraded_ops <- t.degraded_ops + 1;
+  Obs.incr t.obs "resilient.cpu_fallbacks";
   if Option.is_none t.degraded_at then t.degraded_at <- Some now
 
 let note_lost t d ev =
-  ignore t;
-  if Option.is_none d.lost_at then d.lost_at <- Some ev
+  if Option.is_none d.lost_at then begin
+    d.lost_at <- Some ev;
+    Obs.incr t.obs "resilient.device_losses"
+  end
 
-let quarantine d ~now =
-  if Option.is_none d.quarantined_at then d.quarantined_at <- Some now
+let quarantine t d ~now =
+  if Option.is_none d.quarantined_at then begin
+    d.quarantined_at <- Some now;
+    Obs.incr t.obs "resilient.quarantines"
+  end
 
 (* health update after one fault; only the GPU can be quarantined — the
    CPU is the fallback of last resort, so a sick CPU keeps limping
    until its retry budget runs out and the driver gives up *)
 let penalize t d ~gpu ~now =
   d.health <- d.health *. t.policy.fault_penalty;
-  if gpu && d.health < t.policy.quarantine_threshold then quarantine d ~now
+  if gpu && d.health < t.policy.quarantine_threshold then quarantine t d ~now
 
 let credit t d =
   d.completed <- d.completed + 1;
@@ -200,7 +208,10 @@ let retried t ~resource ~run ~fallback =
   in
   let rec go ~attempt ~extra =
     d.submitted <- d.submitted + 1;
-    if attempt > 0 then d.retries <- d.retries + 1;
+    if attempt > 0 then begin
+      d.retries <- d.retries + 1;
+      Obs.incr t.obs "resilient.retries"
+    end;
     match run ~extra with
     | Engine.Completed ev ->
         credit t d;
@@ -215,17 +226,25 @@ let retried t ~resource ~run ~fallback =
     | Engine.Failed ((Engine.Transient_fault | Engine.Hang _) as f, ev) ->
         let now = Engine.time_of t.engine ev in
         note_fault d f;
+        Obs.incr t.obs
+          (match f with
+          | Engine.Hang _ -> "resilient.hangs"
+          | _ -> "resilient.transients");
         penalize t d ~gpu ~now;
         if unavailable d then fail_over ~failure:f ~attempt ~ev
         else if attempt >= t.policy.max_retries then begin
           (* retry budget exhausted: stop trusting this device *)
-          if gpu then quarantine d ~now;
+          if gpu then quarantine t d ~now;
           fail_over ~failure:f ~attempt ~ev
         end
         else begin
           let b = backoff_duration t ~attempt in
           d.backoff_s <- d.backoff_s +. b;
-          let delay_ev = Engine.delay t.engine ~deps:[ ev ] ~phase:"backoff" b in
+          Obs.observe t.obs "resilient.backoff_s" b;
+          let delay_ev =
+            Engine.delay t.engine ~deps:[ ev ] ~phase:"backoff" ~label:"backoff"
+              b
+          in
           go ~attempt:(attempt + 1) ~extra:[ delay_ev ]
         end
   in
@@ -290,6 +309,7 @@ let transfer t ?(deps = []) ?(phase = "transfer") ~dir bytes =
     (* nothing on the other side: the CPU-resident fallback works on
        host copies, so the transfer is dropped, not re-routed *)
     t.skipped_transfers <- t.skipped_transfers + 1;
+    Obs.incr t.obs "resilient.skipped_transfers";
     Engine.join t.engine deps
   end
   else
@@ -299,11 +319,13 @@ let transfer t ?(deps = []) ?(phase = "transfer") ~dir bytes =
         (* count it and let it through: the payload error is healed by
            the ABFT verify path, never by a blind scheduling retry *)
         t.corrupted_transfers <- t.corrupted_transfers + 1;
+        Obs.incr t.obs "resilient.corrupted_transfers";
         ev
     | Engine.Failed (Engine.Device_lost, ev) ->
         let now = Engine.time_of t.engine ev in
         note_lost t t.gpu now;
         t.skipped_transfers <- t.skipped_transfers + 1;
+        Obs.incr t.obs "resilient.skipped_transfers";
         if Option.is_none t.degraded_at then t.degraded_at <- Some now;
         ev
     | Engine.Failed ((Engine.Transient_fault | Engine.Hang _), _) ->

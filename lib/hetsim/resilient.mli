@@ -85,10 +85,20 @@ exception
 
 type t
 
-val create : ?policy:policy -> ?seed:int -> Engine.t -> t
+val create : ?policy:policy -> ?seed:int -> ?obs:Obs.t -> Engine.t -> t
 (** [create ?policy ?seed engine] wraps [engine]. [seed] (default 0)
     drives only the backoff jitter; pair it with the engine's own seed
-    for full reproducibility. *)
+    for full reproducibility.
+
+    [obs] (default [Obs.null]) receives one counter increment per
+    resilience event — ["resilient.retries"], ["resilient.transients"],
+    ["resilient.hangs"], ["resilient.corrupted_transfers"],
+    ["resilient.skipped_transfers"], ["resilient.quarantines"],
+    ["resilient.cpu_fallbacks"], ["resilient.device_losses"] — and a
+    ["resilient.backoff_s"] histogram observation per backoff. The
+    same information is available after the fact via {!stats}; the
+    sink exists so one trace carries both numeric-driver spans and
+    scheduling events. *)
 
 val engine : t -> Engine.t
 val machine : t -> Machine.t

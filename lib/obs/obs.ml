@@ -1,0 +1,310 @@
+(* Unified observability: a monotonic-clock span tracer plus a
+   counters/histograms registry, designed so a disabled (null) sink
+   costs one branch at every instrumentation point and a clean run
+   stays bit-identical to an uninstrumented one.
+
+   Concurrency model: every domain that emits owns a private cell
+   (spans list + counter/histogram tables) found through a lock-free
+   registry — an immutable list swapped by compare-and-set only when a
+   new domain first emits. Appends never synchronize; collection
+   happens after the instrumented work has joined (pool batches
+   complete before the driver reads the sink), so merge time is the
+   only reader. *)
+
+module Json = struct
+  (* The one JSON string escaper for the whole repo (Chrome traces,
+     bench sinks, soak reports). RFC 8259: double quote, backslash and
+     every control character must be escaped; everything else passes
+     through untouched (UTF-8 bytes survive as-is). *)
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let quote s = "\"" ^ escape s ^ "\""
+
+  (* JSON has no NaN/Infinity literals; %.17g would emit them and
+     corrupt the document, so non-finite values are serialized as the
+     quoted strings "nan" / "inf" / "-inf" — lossless and parseable. *)
+  let number f =
+    match Float.classify_float f with
+    | FP_nan -> quote "nan"
+    | FP_infinite -> quote (if f > 0. then "inf" else "-inf")
+    | FP_zero | FP_subnormal | FP_normal ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Printf.sprintf "%.1f" f
+        else Printf.sprintf "%.17g" f
+end
+
+type span = {
+  op : string;
+  phase : string;
+  tile : (int * int) option;
+  dom : int;  (* domain id at emit time: the trace tid *)
+  t0 : float;  (* absolute monotonic seconds *)
+  t1 : float;
+}
+
+type hist = {
+  mutable n : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+type cell = {
+  dom_id : int;
+  mutable spans : span list;  (* newest first; only the owner appends *)
+  counters : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+type t = { enabled : bool; cells : cell list Atomic.t }
+
+let null = { enabled = false; cells = Atomic.make [] }
+let create () = { enabled = true; cells = Atomic.make [] }
+let enabled t = t.enabled
+
+let clock () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let cell t =
+  let id = (Domain.self () :> int) in
+  let rec find = function
+    | [] -> None
+    | c :: rest -> if c.dom_id = id then Some c else find rest
+  in
+  let rec get () =
+    match find (Atomic.get t.cells) with
+    | Some c -> c
+    | None ->
+        let c =
+          {
+            dom_id = id;
+            spans = [];
+            counters = Hashtbl.create 16;
+            hists = Hashtbl.create 8;
+          }
+        in
+        let cur = Atomic.get t.cells in
+        if Atomic.compare_and_set t.cells cur (c :: cur) then c else get ()
+  in
+  get ()
+
+let start t = if t.enabled then clock () else 0.
+
+let stop t ?tile ~op ~phase t0 =
+  if t.enabled then begin
+    let t1 = clock () in
+    let c = cell t in
+    c.spans <- { op; phase; tile; dom = c.dom_id; t0; t1 } :: c.spans
+  end
+
+let span t ?tile ~op ~phase f =
+  if t.enabled then begin
+    let t0 = clock () in
+    match f () with
+    | v ->
+        stop t ?tile ~op ~phase t0;
+        v
+    | exception e ->
+        stop t ?tile ~op ~phase t0;
+        raise e
+  end
+  else f ()
+
+let incr t ?(by = 1.) name =
+  if t.enabled then begin
+    let c = cell t in
+    match Hashtbl.find_opt c.counters name with
+    | Some r -> r := !r +. by
+    | None -> Hashtbl.add c.counters name (ref by)
+  end
+
+let observe t name v =
+  if t.enabled then begin
+    let c = cell t in
+    match Hashtbl.find_opt c.hists name with
+    | Some h ->
+        h.n <- h.n + 1;
+        h.sum <- h.sum +. v;
+        if v < h.minv then h.minv <- v;
+        if v > h.maxv then h.maxv <- v
+    | None -> Hashtbl.add c.hists name { n = 1; sum = v; minv = v; maxv = v }
+  end
+
+(* ---- collection (call after instrumented work has joined) ---- *)
+
+let span_order a b =
+  let c = Float.compare a.t0 b.t0 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.dom b.dom in
+    if c <> 0 then c else Float.compare a.t1 b.t1
+
+let spans t =
+  Atomic.get t.cells
+  |> List.concat_map (fun c -> List.rev c.spans)
+  |> List.sort span_order
+
+let counters t =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      Hashtbl.iter
+        (fun k v ->
+          let prev = Option.value (Hashtbl.find_opt tbl k) ~default:0. in
+          Hashtbl.replace tbl k (prev +. !v))
+        c.counters)
+    (Atomic.get t.cells);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let hists t =
+  let tbl : (string, hist) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      Hashtbl.iter
+        (fun k (h : hist) ->
+          match Hashtbl.find_opt tbl k with
+          | Some m ->
+              m.n <- m.n + h.n;
+              m.sum <- m.sum +. h.sum;
+              if h.minv < m.minv then m.minv <- h.minv;
+              if h.maxv > m.maxv then m.maxv <- h.maxv
+          | None ->
+              Hashtbl.add tbl k
+                { n = h.n; sum = h.sum; minv = h.minv; maxv = h.maxv })
+        c.hists)
+    (Atomic.get t.cells);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let op_totals t =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let dur = s.t1 -. s.t0 in
+      match Hashtbl.find_opt tbl s.op with
+      | Some (sum, n) -> Hashtbl.replace tbl s.op (sum +. dur, n + 1)
+      | None -> Hashtbl.add tbl s.op (dur, 1))
+    (spans t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, (a, _)) (kb, (b, _)) ->
+         let c = Float.compare b a in
+         if c <> 0 then c else String.compare ka kb)
+
+let total_span_s t =
+  List.fold_left (fun acc s -> acc +. (s.t1 -. s.t0)) 0. (spans t)
+
+let metric_list t =
+  List.concat_map
+    (fun (op, (s, n)) ->
+      [ ("op." ^ op ^ "_s", s); ("op." ^ op ^ "_n", float_of_int n) ])
+    (op_totals t)
+  @ List.map (fun (k, v) -> ("counter." ^ k, v)) (counters t)
+  @ List.concat_map
+      (fun (k, (h : hist)) ->
+        [
+          ("hist." ^ k ^ "_n", float_of_int h.n);
+          ("hist." ^ k ^ "_sum", h.sum);
+          ("hist." ^ k ^ "_min", h.minv);
+          ("hist." ^ k ^ "_max", h.maxv);
+        ])
+      (hists t)
+
+(* ---- exporters ---- *)
+
+let chrome_trace_of_spans spans =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let base =
+    match spans with
+    | [] -> 0.
+    | s :: rest -> List.fold_left (fun acc x -> Float.min acc x.t0) s.t0 rest
+  in
+  let first = ref true in
+  let emit s =
+    if not !first then Buffer.add_string buf ",";
+    first := false;
+    Buffer.add_string buf s
+  in
+  let doms = List.sort_uniq Int.compare (List.map (fun s -> s.dom) spans) in
+  List.iter
+    (fun d ->
+      emit
+        (Printf.sprintf
+           {|{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"domain-%d"}}|}
+           d d))
+    doms;
+  List.iter
+    (fun s ->
+      let args =
+        match s.tile with
+        | None -> ""
+        | Some (i, c) -> Printf.sprintf {|,"args":{"tile":"(%d,%d)"}|} i c
+      in
+      emit
+        (Printf.sprintf
+           {|{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d%s}|}
+           (Json.escape s.op) (Json.escape s.phase)
+           ((s.t0 -. base) *. 1e6)
+           ((s.t1 -. s.t0) *. 1e6)
+           s.dom args))
+    spans;
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let chrome_trace t = chrome_trace_of_spans (spans t)
+
+type metrics_record = {
+  experiment : string;
+  name : string;
+  size : int;
+  metrics : (string * float) list;
+}
+
+let metrics_json records =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n  \"schema_version\": 1,\n  \"results\": [";
+  List.iteri
+    (fun i r ->
+      out
+        "%s\n    { \"experiment\": \"%s\", \"name\": \"%s\", \"size\": %d, \
+         \"metrics\": {"
+        (if i = 0 then "" else ",")
+        (Json.escape r.experiment) (Json.escape r.name) r.size;
+      List.iteri
+        (fun k (key, v) ->
+          out "%s\"%s\": %s"
+            (if k = 0 then " " else ", ")
+            (Json.escape key) (Json.number v))
+        r.metrics;
+      out " } }")
+    records;
+  out "\n  ]\n}\n";
+  Buffer.contents buf
+
+let summary_table t =
+  let ops = op_totals t in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-14s %10s %8s %10s\n" "op" "total_s" "spans" "mean_ms");
+  List.iter
+    (fun (op, (s, n)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s %10.4f %8d %10.4f\n" op s n
+           (s /. float_of_int n *. 1e3)))
+    ops;
+  Buffer.contents buf

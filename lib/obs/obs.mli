@@ -1,0 +1,134 @@
+(** Unified observability: monotonic-clock span tracing plus a
+    counters/histograms registry, with JSON exporters shared by every
+    sink in the repo.
+
+    {b Null-sink contract.} The default sink ({!null}) is disabled:
+    every instrumentation entry point ({!start}, {!stop}, {!span},
+    {!incr}, {!observe}) tests one boolean and returns. A traced run
+    therefore executes exactly the same numeric code as an untraced
+    one — factors are bitwise identical — and an untraced run pays a
+    branch per instrumentation point, nothing more.
+
+    {b Concurrency.} Each emitting domain owns a private buffer,
+    registered in a lock-free (compare-and-set) list the first time
+    that domain emits. Emission never takes a lock; collection
+    ({!spans}, {!counters}, …) merges the per-domain buffers and must
+    run after the instrumented work has joined (e.g. after the pool
+    batch that emitted from workers has completed — the pool's join
+    provides the needed synchronization). *)
+
+(** The shared JSON primitives (the only string escaper and float
+    serializer the repo's hand-rolled JSON sinks may use). *)
+module Json : sig
+  val escape : string -> string
+  (** RFC 8259 string-body escaping: double quote, backslash and all
+      control characters (as [\n]/[\r]/[\t] or [\u00XX]); everything
+      else is passed through byte-for-byte. *)
+
+  val quote : string -> string
+  (** [quote s] wraps [escape s] in double quotes. *)
+
+  val number : float -> string
+  (** Finite floats serialize as JSON numbers (integers as [x.0],
+      others at full [%.17g] precision). NaN and infinities — which
+      JSON cannot represent as numbers — serialize as the quoted
+      strings ["nan"], ["inf"], ["-inf"], keeping the document
+      parseable. *)
+end
+
+type span = {
+  op : string;  (** operation name, e.g. ["gemm"] *)
+  phase : string;  (** category, e.g. ["compute"], ["chk-update"] *)
+  tile : (int * int) option;  (** tile coordinates, when per-tile *)
+  dom : int;  (** emitting domain id — the per-domain trace [tid] *)
+  t0 : float;  (** absolute monotonic seconds *)
+  t1 : float;
+}
+
+type hist = {
+  mutable n : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+type t
+
+val null : t
+(** The disabled sink: all emission is a single branch. *)
+
+val create : unit -> t
+(** A fresh enabled sink. *)
+
+val enabled : t -> bool
+
+(** {1 Emission} *)
+
+val start : t -> float
+(** Begin a span: the current monotonic time ([0.] when disabled). *)
+
+val stop : t -> ?tile:int * int -> op:string -> phase:string -> float -> unit
+(** [stop t ~op ~phase t0] records a span from [t0] (a {!start}
+    result) to now, attributed to the calling domain. *)
+
+val span : t -> ?tile:int * int -> op:string -> phase:string -> (unit -> 'a) -> 'a
+(** [span t ~op ~phase f] runs [f ()] inside a span (recorded even if
+    [f] raises). When disabled, just [f ()]. *)
+
+val incr : t -> ?by:float -> string -> unit
+(** Add [by] (default 1) to a named counter. *)
+
+val observe : t -> string -> float -> unit
+(** Add one observation to a named histogram (count/sum/min/max). *)
+
+(** {1 Collection — after instrumented work has joined} *)
+
+val spans : t -> span list
+(** All spans, merged across domains, sorted by start time. *)
+
+val counters : t -> (string * float) list
+(** Counter totals summed across domains, sorted by name. *)
+
+val hists : t -> (string * hist) list
+(** Histograms merged across domains, sorted by name. *)
+
+val op_totals : t -> (string * (float * int)) list
+(** Per-op summed duration and span count, largest total first. *)
+
+val total_span_s : t -> float
+(** Sum of every span's duration (across all domains — under a pool
+    this is busy time, not wall time). *)
+
+val metric_list : t -> (string * float) list
+(** Everything as flat bench-convention metrics:
+    [op.<op>_s]/[op.<op>_n] per op, [counter.<name>] per counter,
+    [hist.<name>_{n,sum,min,max}] per histogram. *)
+
+(** {1 Exporters} *)
+
+val chrome_trace : t -> string
+(** The sink's spans as a Chrome Trace-Event JSON array (complete
+    events, [pid] 1, one [tid] per domain with [thread_name]
+    metadata, timestamps rebased to the earliest span). Loads in
+    Perfetto / [about:tracing]. *)
+
+val chrome_trace_of_spans : span list -> string
+(** Same, over an explicit span list — e.g. the concatenation of
+    several sinks' spans (all timestamps share the one monotonic
+    clock, so merged lists remain globally ordered). *)
+
+type metrics_record = {
+  experiment : string;
+  name : string;
+  size : int;
+  metrics : (string * float) list;
+}
+
+val metrics_json : metrics_record list -> string
+(** The bench-convention results document
+    ([{"schema_version": 1, "results": [...]}]) over the given
+    records — the same shape [bench --json] writes. *)
+
+val summary_table : t -> string
+(** A compact per-op table (total seconds, span count, mean ms), one
+    line per op, largest total first. *)

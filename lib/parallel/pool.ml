@@ -39,6 +39,7 @@ type t = {
   racecheck : bool;  (* ABFT_RACECHECK instrumentation on for this pool *)
   claims_m : Mutex.t;  (* guards [claims]; never held with [m] *)
   claims : (int, claim list) Hashtbl.t;  (* in-flight task id -> claims *)
+  mutable obs : Obs.t;  (* batch/task counters sink; Obs.null by default *)
 }
 
 exception Race of string
@@ -171,7 +172,7 @@ let env_racecheck () =
   | Some ("1" | "true" | "on" | "yes") -> true
   | Some _ | None -> false
 
-let create ?domains ?racecheck () =
+let create ?domains ?racecheck ?(obs = Obs.null) () =
   let lanes =
     match domains with
     | None -> Domain.recommended_domain_count ()
@@ -194,6 +195,7 @@ let create ?domains ?racecheck () =
       racecheck;
       claims_m = Mutex.create ();
       claims = Hashtbl.create 64;
+      obs;
     }
   in
   pool.workers <- Array.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
@@ -201,6 +203,8 @@ let create ?domains ?racecheck () =
 
 let size t = t.lanes
 let racecheck_enabled t = t.racecheck
+let obs t = t.obs
+let set_obs t obs = t.obs <- obs
 
 let shutdown t =
   Mutex.lock t.m;
@@ -217,10 +221,18 @@ let shutdown t =
 let run_tasks t ~ntasks run =
   if ntasks = 1 then run 0
   else if ntasks > 1 then begin
-    if t.lanes = 1 || Domain.DLS.get draining then
+    (* Batch accounting only — no per-task spans here: the pool must
+       not change what gets recorded between pool sizes (size-1 pools
+       and nested batches bypass the job machinery entirely), so
+       size-sensitive counters carry the "pool." prefix and span
+       emission stays with the caller's work items. *)
+    Obs.incr t.obs ~by:(float_of_int ntasks) "pool.tasks";
+    if t.lanes = 1 || Domain.DLS.get draining then begin
+      Obs.incr t.obs "pool.inline_batches";
       for i = 0 to ntasks - 1 do
         run i
       done
+    end
     else begin
       Mutex.lock t.m;
       if t.stopped then begin
@@ -232,6 +244,7 @@ let run_tasks t ~ntasks run =
           (* Another domain is already using this pool: degrade to
              inline rather than queueing (the pool has one job slot). *)
           Mutex.unlock t.m;
+          Obs.incr t.obs "pool.inline_batches";
           for i = 0 to ntasks - 1 do
             run i
           done
@@ -239,6 +252,7 @@ let run_tasks t ~ntasks run =
           let j =
             { run; ntasks; next = Atomic.make 0; completed = 0; err = None }
           in
+          Obs.incr t.obs "pool.jobs";
           t.job <- Some j;
           t.gen <- t.gen + 1;
           Condition.broadcast t.work;

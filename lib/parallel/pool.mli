@@ -24,7 +24,7 @@
 
 type t
 
-val create : ?domains:int -> ?racecheck:bool -> unit -> t
+val create : ?domains:int -> ?racecheck:bool -> ?obs:Obs.t -> unit -> t
 (** [create ~domains ()] starts a pool with [domains] total lanes of
     parallelism: [domains - 1] worker domains plus the calling domain,
     which participates in every batch it submits. Defaults to
@@ -33,6 +33,13 @@ val create : ?domains:int -> ?racecheck:bool -> unit -> t
     [racecheck] opts the pool into the dynamic tile-race detector (see
     {!declare_write}); it defaults to the [ABFT_RACECHECK] environment
     variable ([1]/[true]/[on]/[yes] enable it).
+
+    [obs] (default [Obs.null]) receives batch accounting counters —
+    ["pool.jobs"], ["pool.tasks"], ["pool.inline_batches"]. The pool
+    emits counters only, never spans: what the sink records per work
+    item is the caller's business, so traces stay identical across
+    pool sizes. The ["pool."]-prefixed counters themselves are
+    legitimately size-sensitive (a size-1 pool runs batches inline).
     @raise Invalid_argument if [domains < 1]. *)
 
 val size : t -> int
@@ -93,6 +100,17 @@ val declare_write :
 val racecheck_enabled : t -> bool
 (** Whether this pool was created with racecheck on — guard any
     non-trivial range computation at instrumentation sites. *)
+
+(** {1 Observability} *)
+
+val obs : t -> Obs.t
+(** The pool's current sink ([Obs.null] unless set). *)
+
+val set_obs : t -> Obs.t -> unit
+(** Swap the pool's sink. Drivers handed a long-lived pool attach
+    their run's sink for the duration of the run and restore the
+    previous one after; call only from the submitting domain, between
+    batches. *)
 
 val racecheck_env_var : string
 (** ["ABFT_RACECHECK"]. *)

@@ -342,6 +342,36 @@ let test_gantt_empty () =
   let e = Engine.create m in
   Alcotest.(check string) "empty" "(empty timeline)\n" (Engine.gantt e)
 
+(* Regression: ~width below 8 used to raise Invalid_argument
+   "String.make" from the axis line's [String.make (width - 8)]. The
+   renderer now clamps to a usable minimum instead of raising. *)
+let test_gantt_narrow () =
+  let e = Engine.create m in
+  let _ = Engine.submit e ~phase:"compute" Engine.Gpu gemm_1ms in
+  let g = Engine.gantt ~width:1 e in
+  Alcotest.(check bool) "width 1 renders" true (String.length g > 0);
+  Alcotest.(check bool) "still draws glyphs" true (String.contains g '#')
+
+(* Regression: to_chrome_trace embedded labels/phases raw — a double
+   quote was mangled to ''' and backslashes / control characters
+   corrupted the JSON document. All three must now round-trip through
+   proper JSON escaping. *)
+let test_chrome_trace_escaping () =
+  let e = Engine.create m in
+  let hostile = "quo\"te back\\slash ctrl\x01end" in
+  let _ = Engine.submit e ~phase:hostile Engine.Gpu gemm_1ms in
+  let s = Engine.to_chrome_trace e in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "quote escaped" true (contains s "quo\\\"te");
+  Alcotest.(check bool) "backslash escaped" true (contains s "back\\\\slash");
+  Alcotest.(check bool) "control char escaped" true (contains s "ctrl\\u0001end");
+  Alcotest.(check bool) "no raw control byte" false (String.contains s '\x01');
+  Alcotest.(check bool) "no apostrophe mangling" false (contains s "quo'te")
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -662,6 +692,9 @@ let () =
           Alcotest.test_case "binding stream" `Quick test_binding_stream;
           Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
           Alcotest.test_case "gantt empty" `Quick test_gantt_empty;
+          Alcotest.test_case "gantt narrow width" `Quick test_gantt_narrow;
+          Alcotest.test_case "chrome trace escaping" `Quick
+            test_chrome_trace_escaping;
         ] );
       ( "resilience",
         [

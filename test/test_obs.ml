@@ -1,0 +1,399 @@
+(* Tests for lib/obs: the shared JSON primitives, the span/counter
+   sink, exporter well-formedness, and the tracing determinism
+   contracts (traced = untraced bitwise; span/counter totals invariant
+   in the pool size). *)
+
+open Matrix
+module Pool = Parallel.Pool
+module C = Cholesky
+
+(* ------------------------------------------------------------------ *)
+(* A miniature JSON validator                                          *)
+(*                                                                     *)
+(* Enough of RFC 8259 to certify that the exporters emit parseable     *)
+(* documents: objects, arrays, strings (with escape and \uXXXX         *)
+(* handling, rejecting raw control bytes), numbers, literals. Raises   *)
+(* [Bad] with a position on the first violation.                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string * int
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    match peek () with
+    | Some c ->
+        incr pos;
+        c
+    | None -> fail "unexpected end of input"
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    let g = next () in
+    if g <> c then fail (Printf.sprintf "expected %C, got %C" c g)
+  in
+  let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false in
+  let string_body () =
+    (* opening quote already consumed *)
+    let rec go () =
+      match next () with
+      | '"' -> ()
+      | '\\' -> (
+          match next () with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> go ()
+          | 'u' ->
+              for _ = 1 to 4 do
+                if not (is_hex (next ())) then fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape character")
+      | c when Char.code c < 0x20 -> fail "raw control byte inside string"
+      | _ -> go ()
+    in
+    go ()
+  in
+  let number () =
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let d = ref 0 in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        incr pos;
+        incr d
+      done;
+      if !d = 0 then fail "digit expected"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' ->
+        incr pos;
+        string_body ()
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then incr pos
+        else
+          let rec members () =
+            skip_ws ();
+            expect '"';
+            string_body ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match next () with
+            | ',' -> members ()
+            | '}' -> ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ()
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then incr pos
+        else
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match next () with
+            | ',' -> elements ()
+            | ']' -> ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ()
+    | Some 't' -> List.iter expect [ 't'; 'r'; 'u'; 'e' ]
+    | Some 'f' -> List.iter expect [ 'f'; 'a'; 'l'; 's'; 'e' ]
+    | Some 'n' -> List.iter expect [ 'n'; 'u'; 'l'; 'l' ]
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "value expected"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage after document"
+
+let parses s =
+  try
+    validate_json s;
+    true
+  with Bad _ -> false
+
+let check_parses label s =
+  try validate_json s
+  with Bad (msg, p) ->
+    Alcotest.failf "%s: invalid JSON at byte %d: %s" label p msg
+
+(* the validator itself must reject garbage, or the parse-clean tests
+   above prove nothing *)
+let test_validator_rejects () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("rejects " ^ String.escaped s) false (parses s))
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "\"unterminated";
+      "\"raw\x01control\"";
+      "{\"a\":1} trailing";
+      "nul";
+      "1.";
+    ];
+  List.iter
+    (fun s -> Alcotest.(check bool) ("accepts " ^ String.escaped s) true (parses s))
+    [ "{}"; "[]"; "[1, -2.5e3, \"x\\u0041\", true, null]"; "{\"a\": [0.0]}" ]
+
+(* ------------------------------------------------------------------ *)
+(* Json primitives                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_escape () =
+  Alcotest.(check string) "quote" "a\\\"b" (Obs.Json.escape "a\"b");
+  Alcotest.(check string) "backslash" "a\\\\b" (Obs.Json.escape "a\\b");
+  Alcotest.(check string) "newline" "a\\nb" (Obs.Json.escape "a\nb");
+  Alcotest.(check string) "cr tab" "\\r\\t" (Obs.Json.escape "\r\t");
+  Alcotest.(check string) "control" "a\\u0001b\\u001fc"
+    (Obs.Json.escape "a\x01b\x1fc");
+  Alcotest.(check string) "passthrough" "plain élan/:.-_"
+    (Obs.Json.escape "plain élan/:.-_");
+  (* quoted hostile strings embed into a valid document *)
+  check_parses "hostile quoted string parses"
+    (Obs.Json.quote "q\"b\\s\x02\nend")
+
+let test_number () =
+  Alcotest.(check string) "nan" "\"nan\"" (Obs.Json.number Float.nan);
+  Alcotest.(check string) "inf" "\"inf\"" (Obs.Json.number Float.infinity);
+  Alcotest.(check string) "-inf" "\"-inf\"" (Obs.Json.number Float.neg_infinity);
+  Alcotest.(check string) "integer" "3.0" (Obs.Json.number 3.);
+  Alcotest.(check string) "zero" "0.0" (Obs.Json.number 0.);
+  (* full precision round-trip for a non-integer *)
+  let f = 0.1 +. 0.2 in
+  Alcotest.(check bool) "round-trips" true
+    (match float_of_string_opt (Obs.Json.number f) with
+    | Some g -> Int64.bits_of_float g = Int64.bits_of_float f
+    | None -> false);
+  List.iter
+    (fun f -> check_parses "number parses" ("[" ^ Obs.Json.number f ^ "]"))
+    [ 1.5; -0.0; 1e300; Float.nan; Float.infinity; 12345678901234567890. ]
+
+(* ------------------------------------------------------------------ *)
+(* Sink mechanics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_null_sink_inert () =
+  let o = Obs.null in
+  Alcotest.(check bool) "disabled" false (Obs.enabled o);
+  Obs.incr o "x";
+  Obs.observe o "h" 1.;
+  let v = Obs.span o ~op:"noop" ~phase:"p" (fun () -> 41 + 1) in
+  Alcotest.(check int) "span passes value through" 42 v;
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.spans o));
+  Alcotest.(check int) "no counters" 0 (List.length (Obs.counters o));
+  Alcotest.(check int) "no metrics" 0 (List.length (Obs.metric_list o))
+
+let test_registry () =
+  let o = Obs.create () in
+  Obs.incr o "c";
+  Obs.incr o ~by:2.5 "c";
+  Obs.observe o "h" 3.;
+  Obs.observe o "h" 1.;
+  Obs.span o ~op:"work" ~phase:"p" (fun () -> ());
+  Obs.span o ~tile:(1, 2) ~op:"work" ~phase:"p" (fun () -> ());
+  Alcotest.(check (list (pair string string)))
+    "counter total" [ ("c", "3.5") ]
+    (List.map (fun (k, v) -> (k, Printf.sprintf "%g" v)) (Obs.counters o));
+  let m = Obs.metric_list o in
+  let get k =
+    match List.assoc_opt k m with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing from %d entries" k (List.length m)
+  in
+  Alcotest.(check int) "hist n" 2 (int_of_float (get "hist.h_n"));
+  Alcotest.(check int) "hist sum" 4 (int_of_float (get "hist.h_sum"));
+  Alcotest.(check int) "hist min" 1 (int_of_float (get "hist.h_min"));
+  Alcotest.(check int) "hist max" 3 (int_of_float (get "hist.h_max"));
+  Alcotest.(check int) "op count" 2 (int_of_float (get "op.work_n"));
+  match Obs.op_totals o with
+  | [ ("work", (total, 2)) ] ->
+      Alcotest.(check bool) "op total sane" true
+        (total >= 0. && total < 1. && Obs.total_span_s o >= total)
+  | l -> Alcotest.failf "unexpected op_totals (%d entries)" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_exporters_parse () =
+  let o = Obs.create () in
+  (* hostile names: the exporters must escape whatever they are fed *)
+  Obs.span o ~op:"bad\"op\\\x02" ~phase:"ph\"ase" (fun () -> ());
+  Obs.span o ~tile:(0, 1) ~op:"gemm" ~phase:"compute" (fun () -> ());
+  Obs.incr o "weird\"counter";
+  Obs.observe o "h" Float.nan;
+  check_parses "chrome trace parses" (Obs.chrome_trace o);
+  check_parses "metrics json parses"
+    (Obs.metrics_json
+       [
+         {
+           Obs.experiment = "exp\"1";
+           name = "na\\me";
+           size = 7;
+           metrics = ("nan_metric", Float.nan) :: Obs.metric_list o;
+         };
+       ]);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let trace = Obs.chrome_trace o in
+  Alcotest.(check bool) "complete events" true (contains trace "\"ph\":\"X\"");
+  Alcotest.(check bool) "thread metadata" true (contains trace "thread_name");
+  Alcotest.(check bool)
+    "schema_version in metrics" true
+    (contains (Obs.metrics_json []) "\"schema_version\": 1");
+  Alcotest.(check string) "empty sink trace is valid" "[]"
+    (Obs.chrome_trace Obs.null);
+  Alcotest.(check bool) "summary table mentions ops" true
+    (contains (Obs.summary_table o) "gemm")
+
+(* ------------------------------------------------------------------ *)
+(* Determinism contracts on the numeric driver                         *)
+(* ------------------------------------------------------------------ *)
+
+let bitwise_equal x y =
+  Mat.rows x = Mat.rows y
+  && Mat.cols x = Mat.cols y
+  &&
+  let ok = ref true in
+  for j = 0 to Mat.cols x - 1 do
+    for i = 0 to Mat.rows x - 1 do
+      if
+        Int64.bits_of_float (Mat.get x i j)
+        <> Int64.bits_of_float (Mat.get y i j)
+      then ok := false
+    done
+  done;
+  !ok
+
+let cfg () =
+  C.Config.make ~machine:Hetsim.Machine.testbench ~block:16
+    ~scheme:(Abft.Scheme.enhanced ()) ()
+
+let plan =
+  [
+    Fault.computing_error ~delta:5e3 ~iteration:1 ~op:Fault.Gemm ~block:(3, 1)
+      ~element:(2, 4) ();
+  ]
+
+let test_traced_equals_untraced () =
+  let a = Spd.random_spd ~seed:42 96 in
+  let untraced = C.Ft.factor ~plan (cfg ()) a in
+  let obs = Obs.create () in
+  let traced = C.Ft.factor ~obs ~plan (cfg ()) a in
+  Alcotest.(check bool) "untraced succeeds" true
+    (untraced.C.Ft.outcome = C.Ft.Success);
+  Alcotest.(check bool) "traced succeeds" true
+    (traced.C.Ft.outcome = C.Ft.Success);
+  Alcotest.(check bool) "factors bitwise identical" true
+    (bitwise_equal untraced.C.Ft.factor traced.C.Ft.factor);
+  Alcotest.(check bool) "spans recorded" true (List.length (Obs.spans obs) > 0)
+
+(* span counts and every non-pool counter must not depend on how many
+   domains executed the work: spans are emitted per work item, and the
+   only size-sensitive counters are the pool's own (prefixed "pool."). *)
+let test_domain_invariance () =
+  let a = Spd.random_spd ~seed:42 96 in
+  let run domains =
+    let p = Pool.create ~domains () in
+    let obs = Obs.create () in
+    let r = C.Ft.factor ~pool:p ~obs ~plan (cfg ()) a in
+    Pool.shutdown p;
+    Alcotest.(check bool)
+      (Printf.sprintf "%d-domain run succeeds" domains)
+      true
+      (r.C.Ft.outcome = C.Ft.Success);
+    let span_counts =
+      List.map (fun (op, (_, cnt)) -> (op, cnt)) (Obs.op_totals obs)
+      |> List.sort compare
+    in
+    let non_pool_counters =
+      Obs.counters obs
+      |> List.filter (fun (k, _) ->
+             not (String.length k >= 5 && String.sub k 0 5 = "pool."))
+      |> List.map (fun (k, v) -> (k, Printf.sprintf "%.17g" v))
+    in
+    (span_counts, non_pool_counters)
+  in
+  let s1, c1 = run 1 in
+  let s2, c2 = run 2 in
+  Alcotest.(check (list (pair string int))) "span counts per op identical" s1 s2;
+  Alcotest.(check (list (pair string string))) "counter totals identical" c1 c2
+
+(* on one domain the driver's spans never nest, so their summed
+   duration is bounded by wall time — and the instrumentation points
+   blanket the factorization, so they also account for most of it.
+   Bounds are deliberately loose: this is a structural check, the tight
+   5%-of-wall criterion runs on a real ftchol trace in CI. *)
+let test_wall_coverage () =
+  let a = Spd.random_spd ~seed:11 192 in
+  let p = Pool.create ~domains:1 () in
+  let obs = Obs.create () in
+  let t0 = Unix.gettimeofday () in
+  let r = C.Ft.factor ~pool:p ~obs (cfg ()) a in
+  let wall = Unix.gettimeofday () -. t0 in
+  Pool.shutdown p;
+  Alcotest.(check bool) "run succeeds" true (r.C.Ft.outcome = C.Ft.Success);
+  let total = Obs.total_span_s obs in
+  Alcotest.(check bool)
+    (Printf.sprintf "span total %.6fs <= wall %.6fs" total wall)
+    true
+    (total <= (wall *. 1.10) +. 1e-3);
+  Alcotest.(check bool)
+    (Printf.sprintf "span total %.6fs covers most of wall %.6fs" total wall)
+    true
+    (total >= wall *. 0.5)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "validator sanity" `Quick test_validator_rejects;
+          Alcotest.test_case "escape" `Quick test_escape;
+          Alcotest.test_case "number" `Quick test_number;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "null sink inert" `Quick test_null_sink_inert;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "exporters parse" `Quick test_exporters_parse;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "traced = untraced" `Quick
+            test_traced_equals_untraced;
+          Alcotest.test_case "domain invariance" `Quick test_domain_invariance;
+          Alcotest.test_case "wall coverage" `Quick test_wall_coverage;
+        ] );
+    ]

@@ -374,6 +374,7 @@ let test_campaign_aggregate_and_json () =
       restarts = 0;
       fired = 3;
       device = Campaign.zero_device;
+      obs_metrics = [];
     }
   in
   let results =
@@ -412,7 +413,7 @@ let test_campaign_aggregate_and_json () =
     (fun needle ->
       Alcotest.(check bool) ("json has " ^ needle) true (contains json needle))
     [
-      "\"schema_version\": 2";
+      "\"schema_version\": 3";
       "\"aggregate\"";
       "\"rung_campaigns\"";
       "\"device_totals\"";
@@ -469,6 +470,7 @@ let test_campaign_mini_soak () =
               restarts = st.C.Ft.restarts;
               fired = List.length r.C.Ft.injections_fired;
               device = Campaign.zero_device;
+              obs_metrics = [];
             })
           [ 1; 2; 3; 4 ])
       Campaign.all_families
