@@ -69,7 +69,9 @@ let ablation_ktuner () =
       let b = machine.Hetsim.Machine.default_block in
       let streams = machine.Hetsim.Machine.gpu.Hetsim.Device.max_concurrent_kernels in
       let base = baseline machine n in
-      let verify_cost_s = Abft.Ktuner.verify_cost_model ~machine ~n ~b ~streams in
+      let verify_cost_s k =
+        Abft.Ktuner.verify_cost_model ~machine ~n ~b ~streams k
+      in
       List.iter
         (fun per_hour ->
           let e =

@@ -34,6 +34,8 @@ let experiments =
     ("resilience", "Resilience — device-fault overhead of the failure-aware \
                     scheduler", Bench_resilience.run);
     ("micro", "Bechamel microbenches (real kernels)", Bench_micro.run);
+    ("fused", "Fused vs separate ABFT pipelines (real kernels)",
+     Bench_micro.run_fused);
   ]
 
 let run_experiment (id, _, f) =
@@ -46,7 +48,8 @@ let run_experiment (id, _, f) =
 let usage () =
   Format.eprintf
     "usage: main.exe [--json <path>] [--trace-out <path>] [--metrics-out \
-     <path>] [--device-faults <rate>] [--list | --only <id>...]@.";
+     <path>] [--device-faults <rate>] [--fused-sizes <n,n,...>] [--list | \
+     --only <id>...]@.";
   exit 1
 
 let () =
@@ -79,6 +82,22 @@ let () =
             Format.eprintf "--device-faults: rate must be a float in [0,1]@.";
             exit 1)
     | [ "--device-faults" ] -> usage ()
+    | "--fused-sizes" :: spec :: rest -> (
+        match
+          String.split_on_char ',' spec
+          |> List.map (fun s -> int_of_string_opt (String.trim s))
+        with
+        | sizes when sizes <> [] && List.for_all (function
+            | Some n -> n > 0
+            | None -> false) sizes ->
+            Bench_micro.fused_sizes :=
+              List.filter_map (fun x -> x) sizes;
+            strip rest
+        | _ ->
+            Format.eprintf
+              "--fused-sizes: comma-separated positive ints, e.g. 256,1024@.";
+            exit 1)
+    | [ "--fused-sizes" ] -> usage ()
     | a :: rest -> a :: strip rest
     | [] -> []
   in

@@ -23,6 +23,26 @@ let recompute ?pool t a =
     invalid_arg "Checksum.recompute: tile shape mismatch";
   Blas3.gemm_alloc ?pool ~transa:Types.Trans t.weights a
 
+let recompute_into t a ~into =
+  if Mat.rows a <> Mat.rows t.weights || Mat.cols a <> Mat.cols t.chk then
+    invalid_arg "Checksum.recompute_into: tile shape mismatch";
+  Blas3.chk_reduce ~weights:t.weights a ~into
+
+(* Fused-kernel builders: hand the kernel both replica chains so the
+   carried update reaches primary and shadow in one pass, each chain
+   reading only its own operand copy — the same independence the
+   separate-pass Update rules maintain. *)
+let update_fused ?fresh ~chk_a chk_c =
+  {
+    Blas3.f_a = [| chk_a.chk; chk_a.shadow |];
+    f_c = [| chk_c.chk; chk_c.shadow |];
+    f_fresh = fresh;
+    f_weights = (match fresh with Some _ -> Some chk_c.weights | None -> None);
+  }
+
+let solve_fused t =
+  { Blas3.f_a = [||]; f_c = [| t.chk; t.shadow |]; f_fresh = None; f_weights = None }
+
 let matrix t = t.chk
 let shadow t = t.shadow
 let d t = Mat.rows t.chk

@@ -51,6 +51,30 @@ val recompute : ?pool:Parallel.Pool.t -> t -> Mat.t -> Mat.t
     Optimization 1 accelerates. Returns a new matrix; [t] is
     unchanged. *)
 
+val recompute_into : t -> Mat.t -> into:Mat.t -> unit
+(** Allocation-free {!recompute} through the {!Blas3.chk_reduce}
+    micro-kernel: one pass over the tile into the caller's d×n scratch.
+    Bitwise identical to [recompute] and to a fused kernel's in-cache
+    [f_fresh] epilogue. @raise Invalid_argument on shape mismatch. *)
+
+(** {1 Fused-kernel carry} *)
+
+val update_fused : ?fresh:Mat.t -> chk_a:t -> t -> Blas3.fuse
+(** [update_fused ~chk_a chk_c] builds the {!Blas3.fuse} that carries
+    [chk_c] through a BLAS-3 update whose [op(a)] operand is protected
+    by [chk_a]: both replica chains ride the kernel's own blocking
+    (primary reading primary, shadow reading shadow), replacing the
+    separate-pass {!Update} rule bit for bit. [?fresh], if given, is a
+    d×n scratch the kernel additionally fills with the weighted
+    reduction of the finished output — only sound when nothing can
+    corrupt the tile between the kernel and its verification; drivers
+    with post-kernel fault windows recompute at verify time instead. *)
+
+val solve_fused : t -> Blas3.fuse
+(** [solve_fused chk_b] carries both replica chains of [chk_b] through
+    a right-side [Blas3.trsm], co-solving them against the same
+    factor — the fused form of {!Update.trsm}. *)
+
 val matrix : t -> Mat.t
 (** The live {e primary} d×B checksum matrix (aliased, not copied):
     update rules in {!Update} mutate it (and its shadow, through

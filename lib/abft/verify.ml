@@ -306,6 +306,43 @@ let verify ?pool ?(tol = default_tol) chk tile =
   if Checksum.copies_agree chk then verify_core ?pool ~tol chk tile
   else cross_check_and_heal ?pool ~tol chk tile
 
+(* Fused-mode verification: the kernel already carried the checksum
+   chains, so all that is left is one cheap reduction of the tile —
+   either the kernel's own in-cache [?fresh] or a single
+   [recompute_into] pass — diffed against the carried primary. The
+   clean path (overwhelmingly the common one) allocates one d×n
+   scratch at most and never forms a delta matrix; any threshold
+   breach or replica disagreement escalates to the full [verify]
+   ladder, which re-runs its own recompute and keeps every locate /
+   patch / heal behavior unchanged. *)
+let compare ?pool ?(tol = default_tol) ?fresh chk tile =
+  let stored = Checksum.matrix chk in
+  if Mat.cols stored <> Mat.cols tile || Checksum.rows chk <> Mat.rows tile
+  then invalid_arg "Verify.compare: checksum/tile shape mismatch";
+  if not (Checksum.copies_agree chk) then
+    cross_check_and_heal ?pool ~tol chk tile
+  else begin
+    let fresh =
+      match fresh with
+      | Some f -> f
+      | None ->
+          let f = Mat.create (Checksum.d chk) (Checksum.b chk) in
+          Checksum.recompute_into chk tile ~into:f;
+          f
+    in
+    let thr = row_thresholds ~tol stored fresh in
+    let d = Mat.rows stored and bsz = Mat.cols stored in
+    let clean = ref true in
+    for i = 0 to bsz - 1 do
+      for r = 0 to d - 1 do
+        let v = Mat.get fresh r i -. Mat.get stored r i in
+        if (not (Float.is_finite v)) || abs_float v > thr.(r) then
+          clean := false
+      done
+    done;
+    if !clean then Clean else verify_core ?pool ~tol chk tile
+  end
+
 let check ?pool ?(tol = default_tol) chk tile =
   (* Detect-only: replica disagreement is corruption by definition. *)
   Checksum.copies_agree chk
@@ -323,12 +360,12 @@ let check ?pool ?(tol = default_tol) chk tile =
    (recompute, locate, patch in place), so outcomes and any in-place
    corrections are identical to running [verify] sequentially, in any
    pool configuration. *)
-let verify_batch ?pool ?(tol = default_tol) jobs =
+let run_batch ?pool one jobs =
   let n = Array.length jobs in
   let out = Array.make n Clean in
   let run_one k =
     let chk, tile = jobs.(k) in
-    out.(k) <- verify ~tol chk tile
+    out.(k) <- one chk tile
   in
   let module Pool = Parallel.Pool in
   let pool = match pool with Some p -> p | None -> Pool.default () in
@@ -339,6 +376,22 @@ let verify_batch ?pool ?(tol = default_tol) jobs =
       run_one k
     done;
   out
+
+let verify_batch ?pool ?(tol = default_tol) jobs =
+  run_batch ?pool (fun chk tile -> verify ~tol chk tile) jobs
+
+(* The fused counterpart of [verify_batch]: same fan-out, each task
+   running the cheap carried-vs-fresh [compare] instead of a full
+   re-reduce-and-locate pass. *)
+let compare_batch ?pool ?(tol = default_tol) jobs =
+  run_batch ?pool
+    (fun chk tile ->
+      (compare
+      [@abft.waive
+        "this module's carried-vs-fresh [compare] above, not the \
+         polymorphic compare R3 bans"])
+        ~tol chk tile)
+    jobs
 
 let pp_outcome fmt = function
   | Clean -> Format.pp_print_string fmt "clean"

@@ -81,6 +81,24 @@ val max_correctable_per_column : d:int -> int
 (** [1] for [d] of 2 or 3, [2] for [d >= 4], [0] for [d = 1] — what
     {!verify} can repair in one column of a tile. *)
 
+val compare :
+  ?pool:Parallel.Pool.t ->
+  ?tol:float ->
+  ?fresh:Mat.t ->
+  Checksum.t ->
+  Mat.t ->
+  outcome
+(** Fused-mode verification: diffs the {e carried} checksum (updated in
+    the kernel via {!Checksum.update_fused}) against a fresh reduction
+    of the tile — [?fresh] if the kernel computed it in-cache, else one
+    allocation-light {!Checksum.recompute_into} pass — instead of
+    re-deriving everything. The clean path does no locate/patch work at
+    all; any threshold breach or replica disagreement escalates to the
+    full {!verify} ladder, so outcomes, corrections and healing are
+    identical to [verify] whenever something is wrong. Only pass
+    [?fresh] when nothing can have corrupted the tile after the kernel
+    that produced it. *)
+
 val check : ?pool:Parallel.Pool.t -> ?tol:float -> Checksum.t -> Mat.t -> bool
 (** Detection only — true iff the checksum replicas agree {e and} they
     match a fresh recalculation within tolerance. Neither the tile nor
@@ -98,5 +116,14 @@ val verify_batch :
     (Optimization 1); corrections are applied in place per tile, and
     results are identical to a sequential sweep for every pool
     size. *)
+
+val compare_batch :
+  ?pool:Parallel.Pool.t ->
+  ?tol:float ->
+  (Checksum.t * Mat.t) array ->
+  outcome array
+(** {!compare} over a batch with the same pool fan-out as
+    {!verify_batch} — the verification step of a fully fused
+    iteration. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,81 @@
+(* R5 — unchecked array access stays in the micro-kernel layer.
+
+   [Array.unsafe_get]/[Array.unsafe_set] (and the [unsafe_*] accessors
+   of Mat, Bytes, String, ...) skip bounds checks. The repository's
+   bargain is that only the BLAS micro-kernels in lib/matrix use them:
+   those modules route every unchecked loop through a bounds-checked
+   twin under ABFT_BOUNDS_CHECK=1, so the debug build audits exactly
+   the code allowed to be unchecked. An unsafe access anywhere else
+   escapes that audit — an out-of-bounds write there is silent memory
+   corruption in the very layer whose job is catching silent
+   corruption.
+
+   Scope: module-qualified [M.unsafe_*] identifiers in any file outside
+   the allowlisted lib/matrix micro-kernel modules. Waive a deliberate
+   use (with the bounds argument in the comment) by attaching
+   [[@abft.waive "reason"]] to the call. *)
+
+open Ppxlib
+
+let rule_id = "R5"
+
+(* The audited micro-kernel modules: each pairs its unchecked loops
+   with an ABFT_BOUNDS_CHECK-selected checked twin. *)
+let kernel_basenames = [ "vec.ml"; "blas2.ml"; "mat.ml"; "blas3.ml"; "lapack.ml" ]
+
+let unsafe_path txt =
+  match Ast_util.path_parts txt with
+  | [ _; _ ] | [ _; _; _ ] -> (
+      let last = Ast_util.path_last txt in
+      if String.length last > 7 && String.sub last 0 7 = "unsafe_" then
+        Some (Ast_util.path_string txt)
+      else None)
+  | _ -> None
+
+let check ~file (str : structure) =
+  if List.mem (Filename.basename file) kernel_basenames then []
+  else begin
+    let findings = ref [] in
+    let add ~loc ~attrs path =
+      let msg =
+        Printf.sprintf
+          "unchecked access %s outside the lib/matrix micro-kernels: only \
+           those modules are covered by the ABFT_BOUNDS_CHECK debug build; \
+           use safe indexing here or push the loop into the kernel layer"
+          path
+      in
+      match Ast_util.waiver_attr "abft.waive" attrs with
+      | None -> findings := Finding.make ~rule:rule_id ~loc msg :: !findings
+      | Some reason ->
+          findings :=
+            Finding.make ~rule:rule_id ~loc ~waived:true ?waiver_reason:reason
+              msg
+            :: !findings
+    in
+    let it =
+      object (self)
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          match e.pexp_desc with
+          | Pexp_apply
+              ({ pexp_desc = Pexp_ident { txt; loc }; pexp_attributes; _ }, args)
+            when unsafe_path txt <> None ->
+              (match unsafe_path txt with
+              | Some path ->
+                  (* the waiver may sit on the application or on the
+                     identifier itself *)
+                  add ~loc ~attrs:(e.pexp_attributes @ pexp_attributes) path
+              | None -> ());
+              List.iter (fun (_, a) -> self#expression a) args
+          | Pexp_ident { txt; loc } -> (
+              (* bare reference, e.g. passed as a function value *)
+              match unsafe_path txt with
+              | Some path -> add ~loc ~attrs:e.pexp_attributes path
+              | None -> ())
+          | _ -> super#expression e
+      end
+    in
+    it#structure str;
+    List.rev !findings
+  end

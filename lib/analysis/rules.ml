@@ -46,6 +46,17 @@ let all =
          through the recursion, or waive with [@abft.waive \"reason\"].";
       check = R4_unbounded_retry.check;
     };
+    {
+      id = "R5";
+      title = "unchecked array access stays in the micro-kernel layer";
+      rationale =
+        "Array.unsafe_get/unsafe_set (and friends) are allowed only in the \
+         lib/matrix micro-kernel modules, whose unchecked loops have \
+         bounds-checked twins selected by ABFT_BOUNDS_CHECK=1; anywhere \
+         else they escape that audit and risk silent memory corruption. \
+         Waive with [@abft.waive \"reason\"].";
+      check = R5_unsafe_access.check;
+    };
   ]
 
 let find id =

@@ -1,7 +1,7 @@
 (** The rule registry: every project invariant `abftlint` enforces. *)
 
 type t = {
-  id : string;  (** "R1", "R2", "R3", "R4" *)
+  id : string;  (** "R1", "R2", "R3", "R4", "R5" *)
   title : string;
   rationale : string;
   check : file:string -> Ppxlib.Parsetree.structure -> Finding.t list;

@@ -11,6 +11,7 @@ type t = {
   max_restarts : int;
   max_rollbacks : int;
   snapshot_interval : int;
+  fused : bool;
 }
 
 let default =
@@ -25,12 +26,13 @@ let default =
     max_restarts = 3;
     max_rollbacks = 2;
     snapshot_interval = 0;
+    fused = true;
   }
 
 let make ?(machine = Hetsim.Machine.tardis) ?(block = 0)
     ?(scheme = Abft.Scheme.enhanced ()) ?(opt1 = true) ?(opt2 = Auto)
     ?(recalc_streams = 0) ?(tol = Abft.Verify.default_tol) ?(max_restarts = 3)
-    ?(max_rollbacks = 2) ?(snapshot_interval = 0) () =
+    ?(max_rollbacks = 2) ?(snapshot_interval = 0) ?(fused = true) () =
   {
     machine;
     block;
@@ -42,6 +44,7 @@ let make ?(machine = Hetsim.Machine.tardis) ?(block = 0)
     max_restarts;
     max_rollbacks;
     snapshot_interval;
+    fused;
   }
 
 let block_size t =
@@ -90,8 +93,9 @@ let placement_name = function
   | Cpu_offload -> "cpu"
 
 let pp fmt t =
-  Format.fprintf fmt "%s B=%d scheme=%a opt1=%b opt2=%s streams=%d"
+  Format.fprintf fmt "%s B=%d scheme=%a opt1=%b opt2=%s streams=%d fused=%b"
     t.machine.Hetsim.Machine.name (block_size t) Abft.Scheme.pp t.scheme
     t.opt1_concurrent_recalc
     (placement_name t.opt2_placement)
     (effective_recalc_streams t)
+    t.fused

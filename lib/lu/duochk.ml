@@ -17,9 +17,11 @@ let swap_correction tile (f : Abft.Verify.correction) =
   Mat.set tile f.Abft.Verify.col f.Abft.Verify.row f.Abft.Verify.fixed;
   { f with Abft.Verify.row = f.Abft.Verify.col; Abft.Verify.col = f.Abft.Verify.row }
 
-let verify_row ?tol t tile =
-  let tt = Mat.transpose tile in
-  match Abft.Verify.verify ?tol t.row tt with
+let compare_col ?tol t tile = Abft.Verify.compare ?tol t.col tile
+
+(* Map a row-side (transposed) outcome back to tile coordinates,
+   writing any fixes into the untransposed tile. *)
+let untranspose_outcome tile = function
   | Abft.Verify.Clean -> Abft.Verify.Clean
   | Abft.Verify.Uncorrectable _ as u -> u
   | Abft.Verify.Corrected fixes ->
@@ -28,14 +30,20 @@ let verify_row ?tol t tile =
       Abft.Verify.Checksum_repaired
         { cells; corrections = List.map (swap_correction tile) corrections }
 
+let verify_row ?tol t tile =
+  untranspose_outcome tile (Abft.Verify.verify ?tol t.row (Mat.transpose tile))
+
+let compare_row ?tol t tile =
+  untranspose_outcome tile (Abft.Verify.compare ?tol t.row (Mat.transpose tile))
+
 (* Combine the two verifications. Either side may additionally report a
    replica repair ([Checksum_repaired]); the combination stays a repair
    if either side healed a replica, accumulating all tile fixes. *)
-let verify_both ?tol t tile =
-  match verify_col ?tol t tile with
+let both ~vcol ~vrow t tile =
+  match vcol t tile with
   | Abft.Verify.Uncorrectable _ as u -> u
   | col_outcome -> (
-      match verify_row ?tol t tile with
+      match vrow t tile with
       | Abft.Verify.Uncorrectable _ as u -> u
       | row_outcome ->
           let fixes_of = function
@@ -57,12 +65,13 @@ let verify_both ?tol t tile =
           else if fixes <> [] then Abft.Verify.Corrected fixes
           else Abft.Verify.Clean)
 
-let gemm ~c ~l_chk ~u_chk ~l ~u =
-  (* colchk(C) -= colchk(L) . U *)
-  Blas3.gemm ~alpha:(-1.) ~beta:1. (Abft.Checksum.matrix l_chk.col) u
-    (Abft.Checksum.matrix c.col);
-  Blas3.gemm ~alpha:(-1.) ~beta:1. (Abft.Checksum.shadow l_chk.col) u
-    (Abft.Checksum.shadow c.col);
+let verify_both ?tol t tile =
+  both ~vcol:(verify_col ?tol) ~vrow:(verify_row ?tol) t tile
+
+let compare_both ?tol t tile =
+  both ~vcol:(compare_col ?tol) ~vrow:(compare_row ?tol) t tile
+
+let gemm_row ~c ~u_chk ~l =
   (* rowchk(C)_rep -= rowchk(U)_rep . L^T   (from C^T -= U^T L^T) *)
   Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1.
     (Abft.Checksum.matrix u_chk.row) l
@@ -70,6 +79,17 @@ let gemm ~c ~l_chk ~u_chk ~l ~u =
   Blas3.gemm ~transb:Types.Trans ~alpha:(-1.) ~beta:1.
     (Abft.Checksum.shadow u_chk.row) l
     (Abft.Checksum.shadow c.row)
+
+let fuse_col ~l_chk c = Abft.Checksum.update_fused ~chk_a:l_chk.col c.col
+let solve_col c = Abft.Checksum.solve_fused c.col
+
+let gemm ~c ~l_chk ~u_chk ~l ~u =
+  (* colchk(C) -= colchk(L) . U *)
+  Blas3.gemm ~alpha:(-1.) ~beta:1. (Abft.Checksum.matrix l_chk.col) u
+    (Abft.Checksum.matrix c.col);
+  Blas3.gemm ~alpha:(-1.) ~beta:1. (Abft.Checksum.shadow l_chk.col) u
+    (Abft.Checksum.shadow c.col);
+  gemm_row ~c ~u_chk ~l
 
 let getf2 t ~lu_packed =
   let u = Mat.triu lu_packed in

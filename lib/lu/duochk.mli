@@ -47,6 +47,19 @@ val verify_both : ?tol:float -> t -> Mat.t -> Abft.Verify.outcome
 (** Column verification, then row verification; the combined
     corrections (or the first uncorrectable outcome). *)
 
+val compare_col : ?tol:float -> t -> Mat.t -> Abft.Verify.outcome
+(** Fused-mode column verification ({!Abft.Verify.compare}): cheap
+    carried-vs-fresh diff, escalating to the full locate/patch ladder
+    only on a mismatch. *)
+
+val compare_row : ?tol:float -> t -> Mat.t -> Abft.Verify.outcome
+(** Fused-mode row verification — the transposed analogue of
+    {!compare_col}, with corrections reported in tile coordinates. *)
+
+val compare_both : ?tol:float -> t -> Mat.t -> Abft.Verify.outcome
+(** {!compare_col} then {!compare_row}, combined like
+    {!verify_both}. *)
+
 (** {1 Update rules} *)
 
 val gemm : c:t -> l_chk:t -> u_chk:t -> l:Mat.t -> u:Mat.t -> unit
@@ -61,5 +74,28 @@ val col_panel : t -> u_diag:Mat.t -> unit
 
 val row_panel : t -> l_diag:Mat.t -> unit
 (** Row-panel solve against the factored diagonal's [L]. *)
+
+(** {1 Fused-kernel carry}
+
+    The column side of the LU update rules has the same shape as the
+    tile operation itself (extra rows of [op(a)] riding a [No_trans]
+    GEMM, or a [Right]-side solve), so it can be carried through the
+    fused BLAS-3 kernels. The row side cannot: the trailing row rule
+    multiplies by [Lᵀ] while the tile GEMM multiplies by [U], and the
+    row-panel solve is [Left]-sided — both stay separate passes
+    ({!gemm_row}, {!row_panel}). *)
+
+val fuse_col : l_chk:t -> t -> Blas3.fuse
+(** [fuse_col ~l_chk c] carries [colchk(C) -= colchk(L)·U] through the
+    trailing tile GEMM — pass as its [?fused] argument. *)
+
+val solve_col : t -> Blas3.fuse
+(** Carry the column-panel solve [colchk(L) = colchk(A)·U₁₁⁻¹] through
+    the tile TRSM — pass as the [?fused] argument of the same
+    [Right Upper No_trans] solve. *)
+
+val gemm_row : c:t -> u_chk:t -> l:Mat.t -> unit
+(** Just the row half of {!gemm} — the separate pass that remains when
+    the column half is fused into the tile kernel. *)
 
 val copy : t -> t

@@ -31,6 +31,7 @@ type state = {
   grid : int;
   block : int;
   tol : float;
+  fused : bool;
   tiles : Mat.t array array;  (* full grid, all tiles live *)
   chks : Duochk.t array array option;  (* None for No_ft *)
   injector : Injector.t;
@@ -61,27 +62,42 @@ let count_outcome st ~where = function
       Log.warn (fun m -> m "uncorrectable at %s: %s" where msg);
       raise (Recovery (Printf.sprintf "%s: %s" where msg))
 
+(* Fused runs verify by carried-vs-fresh [compare]; the fresh sums are
+   recomputed here (never taken from the kernel) because injected
+   faults can land in the tile after the kernel returns. *)
+let vcol st =
+  if st.fused then Duochk.compare_col ~tol:st.tol
+  else Duochk.verify_col ~tol:st.tol
+
+let vrow st =
+  if st.fused then Duochk.compare_row ~tol:st.tol
+  else Duochk.verify_row ~tol:st.tol
+
+let vboth st =
+  if st.fused then Duochk.compare_both ~tol:st.tol
+  else Duochk.verify_both ~tol:st.tol
+
 (* Verify a still-unfactored (trailing) tile against both checksum
    sides. *)
 let verify_trailing st i c =
   st.verifications <- st.verifications + 1;
   count_outcome st
     ~where:(Printf.sprintf "trailing (%d,%d)" i c)
-    (Duochk.verify_both ~tol:st.tol (chk st i c) (tile st i c))
+    (vboth st (chk st i c) (tile st i c))
 
 (* Verify an L-panel tile (column checksums only). *)
 let verify_l st i c =
   st.verifications <- st.verifications + 1;
   count_outcome st
     ~where:(Printf.sprintf "L (%d,%d)" i c)
-    (Duochk.verify_col ~tol:st.tol (chk st i c) (tile st i c))
+    (vcol st (chk st i c) (tile st i c))
 
 (* Verify a U-panel tile (row checksums only). *)
 let verify_u st i c =
   st.verifications <- st.verifications + 1;
   count_outcome st
     ~where:(Printf.sprintf "U (%d,%d)" i c)
-    (Duochk.verify_row ~tol:st.tol (chk st i c) (tile st i c))
+    (vrow st (chk st i c) (tile st i c))
 
 (* Verify a factored diagonal tile: the packed L\U storage is checked
    as its two triangular reconstructions; corrections must land in the
@@ -91,7 +107,7 @@ let verify_diag_factored st j =
   let packed = tile st j j in
   let dk = chk st j j in
   let lpart = Mat.tril ~diag:Types.Unit_diag packed in
-  (match Duochk.verify_col ~tol:st.tol dk lpart with
+  (match vcol st dk lpart with
   | Abft.Verify.Clean -> ()
   | Abft.Verify.Checksum_repaired { corrections = []; _ } -> ()
   | Abft.Verify.Corrected fixes
@@ -111,7 +127,7 @@ let verify_diag_factored st j =
   | Abft.Verify.Uncorrectable msg ->
       raise (Recovery (Printf.sprintf "diag L (%d,%d): %s" j j msg)));
   let upart = Mat.triu packed in
-  match Duochk.verify_row ~tol:st.tol dk upart with
+  match vrow st dk upart with
   | Abft.Verify.Clean -> ()
   | Abft.Verify.Checksum_repaired { corrections = []; _ } -> ()
   | Abft.Verify.Corrected fixes
@@ -160,10 +176,21 @@ let run_attempt st ~scheme =
     end;
     let diag = tile st j j in
     for c = 0 to j - 1 do
-      Blas3.gemm ~alpha:(-1.) ~beta:1. (tile st j c) (tile st c j) diag;
-      if with_ft then
-        Duochk.gemm ~c:(chk st j j) ~l_chk:(chk st j c) ~u_chk:(chk st c j)
-          ~l:(tile st j c) ~u:(tile st c j)
+      if with_ft && st.fused then begin
+        (* column chains ride the tile GEMM; the row side multiplies by
+           Lᵀ where the tile multiplies by U, so it stays a separate
+           (d×B) pass *)
+        Blas3.gemm ~alpha:(-1.) ~beta:1.
+          ~fused:(Duochk.fuse_col ~l_chk:(chk st j c) (chk st j j))
+          (tile st j c) (tile st c j) diag;
+        Duochk.gemm_row ~c:(chk st j j) ~u_chk:(chk st c j) ~l:(tile st j c)
+      end
+      else begin
+        Blas3.gemm ~alpha:(-1.) ~beta:1. (tile st j c) (tile st c j) diag;
+        if with_ft then
+          Duochk.gemm ~c:(chk st j j) ~l_chk:(chk st j c) ~u_chk:(chk st c j)
+            ~l:(tile st j c) ~u:(tile st c j)
+      end
     done;
     if j > 0 then
       Injector.fire_compute st.injector ~iteration:j ~op:Fault.Syrk
@@ -198,10 +225,19 @@ let run_attempt st ~scheme =
       for i = j + 1 to g - 1 do
         let t = tile st i j in
         for c = 0 to j - 1 do
-          Blas3.gemm ~alpha:(-1.) ~beta:1. (tile st i c) (tile st c j) t;
-          if with_ft then
-            Duochk.gemm ~c:(chk st i j) ~l_chk:(chk st i c) ~u_chk:(chk st c j)
-              ~l:(tile st i c) ~u:(tile st c j)
+          if with_ft && st.fused then begin
+            Blas3.gemm ~alpha:(-1.) ~beta:1.
+              ~fused:(Duochk.fuse_col ~l_chk:(chk st i c) (chk st i j))
+              (tile st i c) (tile st c j) t;
+            Duochk.gemm_row ~c:(chk st i j) ~u_chk:(chk st c j)
+              ~l:(tile st i c)
+          end
+          else begin
+            Blas3.gemm ~alpha:(-1.) ~beta:1. (tile st i c) (tile st c j) t;
+            if with_ft then
+              Duochk.gemm ~c:(chk st i j) ~l_chk:(chk st i c)
+                ~u_chk:(chk st c j) ~l:(tile st i c) ~u:(tile st c j)
+          end
         done;
         if j > 0 then
           Injector.fire_compute st.injector ~iteration:j ~op:Fault.Gemm
@@ -211,11 +247,17 @@ let run_attempt st ~scheme =
       if enhanced && with_ft then verify_diag_factored st j;
       for i = j + 1 to g - 1 do
         let t = tile st i j in
-        Blas3.trsm Types.Right Types.Upper Types.No_trans Types.Non_unit_diag
-          u_diag t;
+        if with_ft && st.fused then
+          Blas3.trsm
+            ~fused:(Duochk.solve_col (chk st i j))
+            Types.Right Types.Upper Types.No_trans Types.Non_unit_diag u_diag
+            t
+        else
+          Blas3.trsm Types.Right Types.Upper Types.No_trans
+            Types.Non_unit_diag u_diag t;
         Injector.fire_compute st.injector ~iteration:j ~op:Fault.Trsm
           ~block:(i, j) t;
-        if with_ft then Duochk.col_panel (chk st i j) ~u_diag;
+        if with_ft && not st.fused then Duochk.col_panel (chk st i j) ~u_diag;
         if online && with_ft then verify_l st i j
       done;
       (* ---- 4. row panel: symmetric ---- *)
@@ -230,10 +272,19 @@ let run_attempt st ~scheme =
       for c = j + 1 to g - 1 do
         let t = tile st j c in
         for k = 0 to j - 1 do
-          Blas3.gemm ~alpha:(-1.) ~beta:1. (tile st j k) (tile st k c) t;
-          if with_ft then
-            Duochk.gemm ~c:(chk st j c) ~l_chk:(chk st j k) ~u_chk:(chk st k c)
-              ~l:(tile st j k) ~u:(tile st k c)
+          if with_ft && st.fused then begin
+            Blas3.gemm ~alpha:(-1.) ~beta:1.
+              ~fused:(Duochk.fuse_col ~l_chk:(chk st j k) (chk st j c))
+              (tile st j k) (tile st k c) t;
+            Duochk.gemm_row ~c:(chk st j c) ~u_chk:(chk st k c)
+              ~l:(tile st j k)
+          end
+          else begin
+            Blas3.gemm ~alpha:(-1.) ~beta:1. (tile st j k) (tile st k c) t;
+            if with_ft then
+              Duochk.gemm ~c:(chk st j c) ~l_chk:(chk st j k)
+                ~u_chk:(chk st k c) ~l:(tile st j k) ~u:(tile st k c)
+          end
         done;
         if j > 0 then
           Injector.fire_compute st.injector ~iteration:j ~op:Fault.Gemm
@@ -293,7 +344,7 @@ let assemble st =
   Lapack.lu_unpack packed
 
 let factor ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
-    ?(tol = Abft.Verify.default_tol) ?(max_restarts = 3) a =
+    ?(tol = Abft.Verify.default_tol) ?(max_restarts = 3) ?(fused = true) a =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Ft_lu.factor: input not square";
   let block = if n < block then n else block in
@@ -324,6 +375,7 @@ let factor ?(plan = []) ?(scheme = Abft.Scheme.enhanced ()) ?(block = 16)
         grid = g;
         block;
         tol;
+        fused;
         tiles;
         chks;
         injector;

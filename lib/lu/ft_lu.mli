@@ -43,11 +43,16 @@ val factor :
   ?block:int ->
   ?tol:float ->
   ?max_restarts:int ->
+  ?fused:bool ->
   Mat.t ->
   report
 (** [factor a] decomposes square [a] (unmodified) with per-tile dual
     checksums. Defaults: [Enhanced k=1], block 16 (or the order if
-    smaller), {!Abft.Verify.default_tol}, 3 restarts. Supported
+    smaller), {!Abft.Verify.default_tol}, 3 restarts, fused kernels
+    ([?fused], default [true]: column checksum chains ride the tile
+    GEMM/TRSM via {!Duochk.fuse_col}/{!Duochk.solve_col} and
+    verification uses the carried-vs-fresh compare; the row side and
+    GETF2 rules stay separate passes either way). Supported
     schemes: [No_ft], [Online] (post-update verification), [Enhanced]
     (pre-read, K-gated trailing verification; panel and diagonal inputs
     always verified, mirroring the SYRK rule of the paper's

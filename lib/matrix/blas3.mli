@@ -21,12 +21,63 @@
 
 open Types
 
+(** {1 Fused checksum carry}
+
+    ABFT checksum rows are algebraically just extra rows of a virtual
+    [op(a)] — so instead of re-walking operands in a separate
+    checksum-update pass, a kernel can carry them through its own cache
+    blocking, accumulating the d-row chains against the same packed
+    scalar panel while the data is hot. [fuse] describes what to carry:
+
+    - [f_a.(i)] / [f_c.(i)]: replica chain [i] — the weighted checksums
+      of [op(a)] (d×k) and of [c] (d×n). The kernel applies its exact
+      update to each [f_c.(i)] reading only [f_a.(i)], so the replica
+      chains stay bitwise independent (the self-protecting store's
+      invariant). For [trsm], [f_a] is [[||]]: the chain of [b] is
+      co-solved in place.
+    - [f_fresh] (with [f_weights], m×d): optionally receives the
+      weighted reduction of the {e finished} [c] (d×n), computed while
+      the output panel is still in cache. Only sound when nothing can
+      corrupt [c] between the kernel and its verification — drivers
+      with post-kernel fault windows must recompute at verify time
+      instead (see DESIGN).
+
+    Chain accumulation order is ascending-l per column — identical to
+    the naive separate-pass [Abft.Update] rules, so fused and separate
+    checksums agree bitwise, not just within tolerance.
+
+    Setting [ABFT_BOUNDS_CHECK=1] in the environment re-routes every
+    unsafe-access micro-kernel (packed saxpy, chain carry, reductions)
+    through bounds-checked accesses; [bounds_checked] reports the mode. *)
+
+type fuse = {
+  f_a : Mat.t array;
+  f_c : Mat.t array;
+  f_fresh : Mat.t option;
+  f_weights : Mat.t option;
+}
+
+val bounds_checked : bool
+(** True when [ABFT_BOUNDS_CHECK] selects the checked debug build. *)
+
+val chk_reduce : weights:Mat.t -> Mat.t -> into:Mat.t -> unit
+(** [chk_reduce ~weights c ~into] computes [into <- weightsᵀ · c]
+    (d×n from m×d weights and m×n [c]) without allocating — the
+    verification-side reduction, bitwise identical to the in-kernel
+    [f_fresh] epilogue and to [gemm_alloc ~transa:Trans weights c]. *)
+
+val chk_reduce_sym : uplo -> weights:Mat.t -> Mat.t -> into:Mat.t -> unit
+(** Same reduction over a symmetric matrix stored in one triangle
+    (mirror-reads the unstored half): the verify-side companion of a
+    fused [syrk]. *)
+
 val gemm :
   ?pool:Parallel.Pool.t ->
   ?transa:trans ->
   ?transb:trans ->
   ?alpha:float ->
   ?beta:float ->
+  ?fused:fuse ->
   Mat.t ->
   Mat.t ->
   Mat.t ->
@@ -34,9 +85,13 @@ val gemm :
 (** [gemm ~transa ~transb ~alpha ~beta a b c] computes
     [c <- alpha * op(a) * op(b) + beta * c] in place. Defaults:
     [No_trans], [alpha = 1.], [beta = 0.]. Large products are
-    cache-blocked and, when a pool with more than one lane is available,
-    parallelized over fixed-width column panels.
-    @raise Mat.Dimension_mismatch on incompatible shapes. *)
+    cache-blocked with the alpha·op(b) panel packed contiguous and, when
+    a pool with more than one lane is available, parallelized over
+    fixed-width column panels. With [~fused], checksum chains
+    [f_c.(i) <- alpha * f_a.(i) * op(b) + beta * f_c.(i)] ride the same
+    blocking (and [f_fresh], if set, the same panels).
+    @raise Mat.Dimension_mismatch on incompatible shapes (including
+    fused chain shapes). *)
 
 val gemm_alloc :
   ?pool:Parallel.Pool.t ->
@@ -53,6 +108,7 @@ val syrk :
   ?trans:trans ->
   ?alpha:float ->
   ?beta:float ->
+  ?fused:fuse ->
   uplo ->
   Mat.t ->
   Mat.t ->
@@ -61,11 +117,15 @@ val syrk :
     update [c <- alpha * a * aᵀ + beta * c] ([trans = No_trans]) or
     [c <- alpha * aᵀ * a + beta * c] ([trans = Trans]), writing only the
     [uplo] triangle of [c]. Defaults: [No_trans], [alpha = 1.],
-    [beta = 0.]. *)
+    [beta = 0.]. With [~fused], the carried chains track the full
+    symmetric product (every column), like the separate-pass
+    [Abft.Update.syrk] rule; [f_fresh] is rejected — reduce the
+    triangle afterwards with {!chk_reduce_sym}. *)
 
 val trsm :
   ?pool:Parallel.Pool.t ->
   ?alpha:float ->
+  ?fused:fuse ->
   side ->
   uplo ->
   trans ->
@@ -79,7 +139,9 @@ val trsm :
     overwriting [b] with the solution [X]. Default [alpha = 1.].
     Large solves run blocked ([Right]: a stride-1 column sweep
     parallelized over row blocks; [Left]: independent per-column solves
-    across the pool).
+    across the pool). With [~fused] (Right side only), each [f_c.(i)]
+    chain — the carried checksum of [b] — is co-solved against the same
+    factor ([f_a] must be empty).
     @raise Failure on a zero pivot with [Non_unit_diag]. *)
 
 val trmm :

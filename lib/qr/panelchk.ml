@@ -15,3 +15,5 @@ let shadow = Abft.Checksum.shadow
 let copy = Abft.Checksum.copy
 let check ?tol t p = Abft.Verify.check ?tol t p
 let verify ?tol t p = Abft.Verify.verify ?tol t p
+let compare ?tol t p = Abft.Verify.compare ?tol t p
+let fuse ~qk_chk aj_chk = Abft.Checksum.update_fused ~chk_a:qk_chk aj_chk

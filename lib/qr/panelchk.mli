@@ -30,4 +30,15 @@ val verify : ?tol:float -> t -> Mat.t -> Abft.Verify.outcome
     column, plus anchored reconstruction of a single overwhelming
     (Inf/NaN/huge) element per column. *)
 
+val compare : ?tol:float -> t -> Mat.t -> Abft.Verify.outcome
+(** Fused-mode verification ({!Abft.Verify.compare}): diff the carried
+    checksum against a fresh reduction, escalating to the full
+    {!verify} ladder only on a mismatch. *)
+
+val fuse : qk_chk:t -> t -> Blas3.fuse
+(** [fuse ~qk_chk aj_chk] carries [chk(Aj) -= chk(Qk)·Rkj] (both
+    replicas) through the projection GEMM [Aj -= Qk·Rkj] — pass as its
+    [?fused] argument instead of running the two separate checksum
+    GEMMs. *)
+
 val copy : t -> t

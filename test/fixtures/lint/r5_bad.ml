@@ -1,0 +1,18 @@
+(* R5 fixture: unchecked accesses outside lib/matrix — each unwaived
+   use should produce one blocking finding. *)
+
+(* 1. unsafe read in driver-layer code *)
+let sum_first3 a = Array.unsafe_get a 0 +. Array.unsafe_get a 1
+
+(* 2. unsafe write *)
+let clobber a = Array.unsafe_set a 7 0.
+
+(* 3. passed as a function value, not applied *)
+let reader : float array -> int -> float = Array.unsafe_get
+
+(* Waived use: reported but not blocking. *)
+let hot_path a i =
+  (Array.unsafe_get a i [@abft.waive "i < length a checked by caller"])
+
+(* Safe accesses must NOT fire. *)
+let fine a i = a.(i) <- a.(i) *. 2.

@@ -264,6 +264,56 @@ let test_r4_waiver () =
   check_count "not blocking" 0 (blocking fs)
 
 (* ------------------------------------------------------------------ *)
+(* R5: unchecked access stays in the micro-kernel layer                *)
+(* ------------------------------------------------------------------ *)
+
+let test_r5_outside_kernel_flagged () =
+  let fs =
+    lint ~rules:[ rule "R5" ] ~file:"lib/cholesky/ft.ml"
+      {|let f a i = Array.unsafe_get a i|}
+  in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r5_kernel_module_ok () =
+  (* the audited micro-kernels are the allowlist *)
+  let fs =
+    lint ~rules:[ rule "R5" ] ~file:"lib/matrix/blas3.ml"
+      {|let f a i = Array.unsafe_get a i|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r5_mat_accessor_flagged () =
+  (* any module's unsafe_* accessor counts, not just Array's *)
+  let fs =
+    lint ~rules:[ rule "R5" ] ~file:"lib/abft/checksum.ml"
+      {|let f m i j = Mat.unsafe_set m i j 0.|}
+  in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r5_bare_reference_flagged () =
+  (* passing the accessor as a value escapes the audit just the same *)
+  let fs =
+    lint ~rules:[ rule "R5" ]
+      {|let reader = Array.unsafe_get|}
+  in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r5_safe_access_ok () =
+  let fs =
+    lint ~rules:[ rule "R5" ]
+      {|let f a i = a.(i) <- a.(i) +. 1.|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r5_waiver () =
+  let fs =
+    lint ~rules:[ rule "R5" ]
+      {|let f a i = (Array.unsafe_get a i) [@abft.waive "caller checks i"]|}
+  in
+  check_count "reported" 1 fs;
+  check_count "not blocking" 0 (blocking fs)
+
+(* ------------------------------------------------------------------ *)
 (* Driver: fixtures, exit codes, JSON                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -288,7 +338,8 @@ let test_fixtures_fire () =
   expect "r1_bad.ml" "R1";
   expect "r2/ft.ml" "R2";
   expect "r3_bad.ml" "R3";
-  expect "r4_bad.ml" "R4"
+  expect "r4_bad.ml" "R4";
+  expect "r5_bad.ml" "R5"
 
 let test_fixture_counts () =
   let count file rule_id =
@@ -299,7 +350,8 @@ let test_fixture_counts () =
   Alcotest.(check int) "r1_bad findings" 4 (count "r1_bad.ml" "R1");
   Alcotest.(check int) "r2 findings" 2 (count "r2/ft.ml" "R2");
   Alcotest.(check int) "r3_bad findings" 6 (count "r3_bad.ml" "R3");
-  Alcotest.(check int) "r4_bad findings" 3 (count "r4_bad.ml" "R4")
+  Alcotest.(check int) "r4_bad findings" 3 (count "r4_bad.ml" "R4");
+  Alcotest.(check int) "r5_bad findings" 4 (count "r5_bad.ml" "R5")
 
 let test_clean_fixture () =
   match A.Driver.lint_file (fixture "clean.ml") with
@@ -398,6 +450,18 @@ let () =
           Alcotest.test_case "non-retry recursion ok" `Quick
             test_r4_non_retry_recursion_ok;
           Alcotest.test_case "waiver downgrades" `Quick test_r4_waiver;
+        ] );
+      ( "r5",
+        [
+          Alcotest.test_case "outside kernel flagged" `Quick
+            test_r5_outside_kernel_flagged;
+          Alcotest.test_case "kernel module ok" `Quick test_r5_kernel_module_ok;
+          Alcotest.test_case "Mat accessor flagged" `Quick
+            test_r5_mat_accessor_flagged;
+          Alcotest.test_case "bare reference flagged" `Quick
+            test_r5_bare_reference_flagged;
+          Alcotest.test_case "safe access ok" `Quick test_r5_safe_access_ok;
+          Alcotest.test_case "waiver downgrades" `Quick test_r5_waiver;
         ] );
       ( "driver",
         [

@@ -262,6 +262,69 @@ let test_enhanced_late_storage_needs_sweep_too () =
   let r = C.Ft.factor ~plan:late_storage_plan ~final_sweep:true (cfg ()) (spd 48) in
   expect_outcome "sweep closes the gap" "success" r
 
+(* ------------------------------------------------------------------ *)
+(* Fused vs separate pass structure                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fused_cfg ?(scheme = Abft.Scheme.enhanced ()) fused =
+  C.Config.make ~machine:tb ~block:8 ~scheme ~fused ()
+
+let bitwise_equal a b =
+  let m = Mat.rows a and n = Mat.cols a in
+  Mat.rows b = m && Mat.cols b = n
+  &&
+  try
+    for j = 0 to n - 1 do
+      for i = 0 to m - 1 do
+        if
+          Int64.bits_of_float (Mat.get a i j)
+          <> Int64.bits_of_float (Mat.get b i j)
+        then raise Exit
+      done
+    done;
+    true
+  with Exit -> false
+
+let test_fused_factor_bitwise () =
+  (* Fusion changes only the pass structure: the carried chains perform
+     the same FP additions in the same order as the separate update
+     passes, so clean-run factors must agree to the last bit — not just
+     to tol — and the verification schedule must be unchanged. *)
+  let a = spd 48 in
+  List.iter
+    (fun scheme ->
+      let name = Abft.Scheme.name scheme in
+      let sep = C.Ft.factor (fused_cfg ~scheme false) a in
+      let fus = C.Ft.factor (fused_cfg ~scheme true) a in
+      Alcotest.(check bool)
+        (name ^ " factors bitwise equal")
+        true
+        (bitwise_equal sep.C.Ft.factor fus.C.Ft.factor);
+      Alcotest.(check int)
+        (name ^ " same verification count")
+        sep.C.Ft.stats.C.Ft.verifications fus.C.Ft.stats.C.Ft.verifications)
+    [ Abft.Scheme.Online; Abft.Scheme.enhanced (); Abft.Scheme.Offline ]
+
+let test_fused_detection_parity () =
+  (* Detection coverage is part of the fusion contract: the same fault
+     plans must be caught and corrected whether the chains ride the
+     kernels or run as separate passes. *)
+  let check_plan name plan =
+    List.iter
+      (fun fused ->
+        let tag = name ^ if fused then " fused" else " separate" in
+        let r = C.Ft.factor ~plan (fused_cfg fused) (spd 48) in
+        expect_outcome tag "success" r;
+        Alcotest.(check int) (tag ^ " no restart") 0 r.C.Ft.stats.C.Ft.restarts;
+        Alcotest.(check bool)
+          (tag ^ " corrected")
+          true
+          (r.C.Ft.stats.C.Ft.corrections > 0))
+      [ false; true ]
+  in
+  check_plan "computing" computing_plan;
+  check_plan "storage" storage_plan
+
 let test_fail_stop_recovery () =
   (* A sign flip on a diagonal element destroys positive definiteness:
      Offline-ABFT hits the fail-stop in POTF2 and must recompute. *)
@@ -737,6 +800,13 @@ let () =
           Alcotest.test_case "enhanced k=3 storage" `Quick
             test_enhanced_k3_storage_still_corrected;
           Alcotest.test_case "gave up" `Quick test_gave_up;
+        ] );
+      ( "fused",
+        [
+          Alcotest.test_case "factors bitwise = separate" `Quick
+            test_fused_factor_bitwise;
+          Alcotest.test_case "detection parity" `Quick
+            test_fused_detection_parity;
         ] );
       ( "right_looking",
         [

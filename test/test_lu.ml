@@ -157,6 +157,50 @@ let test_ftlu_clean_all_schemes () =
         (Mat.approx_equal ~tol:1e-8 uref r.Ftlu.Ft_lu.u))
     Abft.Scheme.all
 
+let bitwise_equal a b =
+  let m = Mat.rows a and n = Mat.cols a in
+  Mat.rows b = m && Mat.cols b = n
+  &&
+  try
+    for j = 0 to n - 1 do
+      for i = 0 to m - 1 do
+        if
+          Int64.bits_of_float (Mat.get a i j)
+          <> Int64.bits_of_float (Mat.get b i j)
+        then raise Exit
+      done
+    done;
+    true
+  with Exit -> false
+
+let test_ftlu_fused_bitwise () =
+  (* The column chains ride the tile GEMM/TRSM when fused; the carried
+     sums replay the separate passes' FP additions in order, so both
+     factors must come out bit-for-bit identical. *)
+  let a = dd 48 in
+  let sep = Ftlu.Ft_lu.factor ~fused:false ~block:8 a in
+  let fus = Ftlu.Ft_lu.factor ~fused:true ~block:8 a in
+  Alcotest.(check bool) "L bitwise" true (bitwise_equal sep.Ftlu.Ft_lu.l fus.Ftlu.Ft_lu.l);
+  Alcotest.(check bool) "U bitwise" true (bitwise_equal sep.Ftlu.Ft_lu.u fus.Ftlu.Ft_lu.u)
+
+let test_ftlu_fused_detection_parity () =
+  (* A trailing-update computing error must be corrected whether or not
+     the column chains are fused into the kernels. *)
+  let plan =
+    [
+      Fault.computing_error ~delta:1e4 ~iteration:1 ~op:Fault.Gemm ~block:(5, 1)
+        ~element:(2, 2) ();
+    ]
+  in
+  List.iter
+    (fun fused ->
+      let tag = if fused then "fused" else "separate" in
+      let r = Ftlu.Ft_lu.factor ~plan ~fused ~block:8 (dd 48) in
+      expect tag "success" r;
+      Alcotest.(check int) (tag ^ " no restart") 0
+        r.Ftlu.Ft_lu.stats.Ftlu.Ft_lu.restarts)
+    [ false; true ]
+
 let test_ftlu_storage_error_in_l () =
   (* L(4,0) flips at iteration 2, read again by the lazy updates. *)
   let plan =
@@ -423,6 +467,10 @@ let () =
             test_ftlu_fail_stop_recovery;
           Alcotest.test_case "k gating" `Quick test_ftlu_k_gating;
           Alcotest.test_case "validation" `Quick test_ftlu_validation;
+          Alcotest.test_case "fused factors bitwise = separate" `Quick
+            test_ftlu_fused_bitwise;
+          Alcotest.test_case "fused detection parity" `Quick
+            test_ftlu_fused_detection_parity;
         ] );
       ( "schedule",
         [

@@ -313,6 +313,255 @@ let test_symm () =
   check_mat "symm" (ref_mm a b) c
 
 (* ------------------------------------------------------------------ *)
+(* Blas3 fused checksum carry                                          *)
+(*                                                                     *)
+(* The fused contract is BITWISE: carrying the chains through the      *)
+(* kernel must reproduce the separate-pass result exactly (same        *)
+(* ascending-l reduction order), because the drivers' rounding         *)
+(* thresholds and the cross-replica bitwise compare both rely on it.   *)
+(* ------------------------------------------------------------------ *)
+
+let bits_equal name x y =
+  Alcotest.(check bool)
+    (name ^ " dims")
+    true
+    (Mat.rows x = Mat.rows y && Mat.cols x = Mat.cols y);
+  let same = ref true in
+  for j = 0 to Mat.cols x - 1 do
+    for i = 0 to Mat.rows x - 1 do
+      if
+        Int64.bits_of_float (Mat.get x i j)
+        <> Int64.bits_of_float (Mat.get y i j)
+      then same := false
+    done
+  done;
+  Alcotest.(check bool) name true !same
+
+let rmat seed m n =
+  let st = Random.State.make [| seed; m; n |] in
+  Mat.init m n (fun _ _ -> Random.State.float st 2. -. 1.)
+
+(* The d-row Vandermonde weights (w_r(i) = (i+1)^r), m×d as
+   [chk_reduce] expects. *)
+let vander m d =
+  Mat.init m d (fun i r ->
+      let rec pow acc e = if e = 0 then acc else pow (acc * (i + 1)) (e - 1) in
+      float_of_int (pow 1 r))
+
+(* One fused-vs-separate gemm comparison: the fused call must leave
+   tile, both chains and the fresh reduction bitwise identical to the
+   pre-fusion pipeline (plain gemm + per-replica chain gemms +
+   chk_reduce). *)
+let check_fused_gemm ?pool ~transa ~transb ~m ~k ~n ~alpha ~beta seed =
+  let d = 2 in
+  let am, ak = if transa = Types.No_trans then (m, k) else (k, m) in
+  let bk, bn = if transb = Types.No_trans then (k, n) else (n, k) in
+  let a = rmat seed am ak and b = rmat (seed + 1) bk bn in
+  let c0 = rmat (seed + 2) m n in
+  let fa = [| rmat (seed + 3) d k; rmat (seed + 4) d k |] in
+  let fc0 = [| rmat (seed + 5) d n; rmat (seed + 6) d n |] in
+  let c_ref = Mat.copy c0 in
+  Blas3.gemm ?pool ~transa ~transb ~alpha ~beta a b c_ref;
+  let fc_ref = Array.map Mat.copy fc0 in
+  Array.iteri (fun i fc -> Blas3.gemm ~transb ~alpha ~beta fa.(i) b fc) fc_ref;
+  let weights = vander m d in
+  let fresh_ref = Mat.create d n in
+  Blas3.chk_reduce ~weights c_ref ~into:fresh_ref;
+  let c = Mat.copy c0 in
+  let fc = Array.map Mat.copy fc0 in
+  let fresh = Mat.create d n in
+  Blas3.gemm ?pool ~transa ~transb ~alpha ~beta
+    ~fused:
+      {
+        Blas3.f_a = fa;
+        f_c = fc;
+        f_fresh = Some fresh;
+        f_weights = Some weights;
+      }
+    a b c;
+  let tag = Printf.sprintf "%dx%dx%d" m k n in
+  bits_equal (tag ^ " tile") c_ref c;
+  Array.iteri
+    (fun i r -> bits_equal (Printf.sprintf "%s chain %d" tag i) r fc.(i))
+    fc_ref;
+  bits_equal (tag ^ " fresh") fresh_ref fresh
+
+let test_fused_gemm_matches_separate () =
+  (* naive fallback, sequential tiled, transposed-a panel, transposed-b
+     packing — every dispatch path *)
+  check_fused_gemm ~transa:Types.No_trans ~transb:Types.No_trans ~m:12 ~k:12
+    ~n:12 ~alpha:(-1.) ~beta:1. 40;
+  check_fused_gemm ~transa:Types.No_trans ~transb:Types.No_trans ~m:96 ~k:96
+    ~n:160 ~alpha:(-1.) ~beta:1. 41;
+  check_fused_gemm ~transa:Types.Trans ~transb:Types.No_trans ~m:96 ~k:96
+    ~n:160 ~alpha:1. ~beta:1. 42;
+  check_fused_gemm ~transa:Types.No_trans ~transb:Types.Trans ~m:64 ~k:48
+    ~n:80 ~alpha:0.5 ~beta:1. 43;
+  check_fused_gemm ~transa:Types.Trans ~transb:Types.Trans ~m:48 ~k:48 ~n:48
+    ~alpha:(-1.) ~beta:1. 44;
+  (* beta = 0 must also reset the chains exactly once *)
+  check_fused_gemm ~transa:Types.No_trans ~transb:Types.No_trans ~m:96 ~k:64
+    ~n:96 ~alpha:1. ~beta:0. 45
+
+let test_fused_gemm_pool_invariance () =
+  (* above par_cutoff: explicit 1-lane and 2-lane pools must agree
+     bitwise with each other and with the separate-pass reference *)
+  let p1 = Parallel.Pool.create ~domains:1 () in
+  let p2 = Parallel.Pool.create ~domains:2 () in
+  check_fused_gemm ~pool:p1 ~transa:Types.No_trans ~transb:Types.No_trans
+    ~m:144 ~k:144 ~n:144 ~alpha:(-1.) ~beta:1. 46;
+  check_fused_gemm ~pool:p2 ~transa:Types.No_trans ~transb:Types.No_trans
+    ~m:144 ~k:144 ~n:144 ~alpha:(-1.) ~beta:1. 46;
+  Parallel.Pool.shutdown p1;
+  Parallel.Pool.shutdown p2
+
+let check_fused_syrk ~trans ~uplo ~n ~k ~alpha ~beta seed =
+  let d = 2 in
+  let am, ak = if trans = Types.No_trans then (n, k) else (k, n) in
+  let a = rmat seed am ak in
+  let c0 = rmat (seed + 1) n n in
+  let fa = [| rmat (seed + 2) d k; rmat (seed + 3) d k |] in
+  let fc0 = [| rmat (seed + 4) d n; rmat (seed + 5) d n |] in
+  let c_ref = Mat.copy c0 in
+  Blas3.syrk ~trans ~alpha ~beta uplo a c_ref;
+  (* separate chain rule: f_c = beta·f_c + alpha·f_a·op(a)ᵀ *)
+  let chain_transb =
+    if trans = Types.No_trans then Types.Trans else Types.No_trans
+  in
+  let fc_ref = Array.map Mat.copy fc0 in
+  Array.iteri
+    (fun i fc -> Blas3.gemm ~transb:chain_transb ~alpha ~beta fa.(i) a fc)
+    fc_ref;
+  let c = Mat.copy c0 in
+  let fc = Array.map Mat.copy fc0 in
+  Blas3.syrk ~trans ~alpha ~beta
+    ~fused:{ Blas3.f_a = fa; f_c = fc; f_fresh = None; f_weights = None }
+    uplo a c;
+  let tag = Printf.sprintf "syrk %d k=%d" n k in
+  bits_equal (tag ^ " tile") c_ref c;
+  Array.iteri
+    (fun i r -> bits_equal (Printf.sprintf "%s chain %d" tag i) r fc.(i))
+    fc_ref
+
+let test_fused_syrk_matches_separate () =
+  check_fused_syrk ~trans:Types.No_trans ~uplo:Types.Lower ~n:12 ~k:12
+    ~alpha:(-1.) ~beta:1. 50;
+  check_fused_syrk ~trans:Types.No_trans ~uplo:Types.Lower ~n:96 ~k:96
+    ~alpha:(-1.) ~beta:1. 51;
+  check_fused_syrk ~trans:Types.Trans ~uplo:Types.Lower ~n:96 ~k:64 ~alpha:1.
+    ~beta:1. 52;
+  check_fused_syrk ~trans:Types.No_trans ~uplo:Types.Upper ~n:80 ~k:80
+    ~alpha:(-1.) ~beta:1. 53
+
+let check_fused_trsm ~uplo ~trans ~diag ~bsize ~alpha seed =
+  let d = 2 in
+  let a =
+    let spd = Spd.random_spd ~seed bsize in
+    match uplo with Types.Lower -> Mat.tril spd | Types.Upper -> Mat.triu spd
+  in
+  let b0 = rmat (seed + 1) bsize bsize in
+  let fc0 = [| rmat (seed + 2) d bsize; rmat (seed + 3) d bsize |] in
+  let b_ref = Mat.copy b0 in
+  Blas3.trsm ~alpha Types.Right uplo trans diag a b_ref;
+  let fc_ref = Array.map Mat.copy fc0 in
+  Array.iter (fun fc -> Blas3.trsm ~alpha Types.Right uplo trans diag a fc) fc_ref;
+  let b = Mat.copy b0 in
+  let fc = Array.map Mat.copy fc0 in
+  Blas3.trsm ~alpha
+    ~fused:{ Blas3.f_a = [||]; f_c = fc; f_fresh = None; f_weights = None }
+    Types.Right uplo trans diag a b;
+  let tag = Printf.sprintf "trsm %d" bsize in
+  bits_equal (tag ^ " tile") b_ref b;
+  Array.iteri
+    (fun i r -> bits_equal (Printf.sprintf "%s chain %d" tag i) r fc.(i))
+    fc_ref
+
+let test_fused_trsm_matches_separate () =
+  check_fused_trsm ~uplo:Types.Lower ~trans:Types.Trans
+    ~diag:Types.Non_unit_diag ~bsize:24 ~alpha:1. 60;
+  check_fused_trsm ~uplo:Types.Upper ~trans:Types.No_trans
+    ~diag:Types.Non_unit_diag ~bsize:96 ~alpha:1. 61;
+  check_fused_trsm ~uplo:Types.Lower ~trans:Types.Trans ~diag:Types.Unit_diag
+    ~bsize:48 ~alpha:0.5 62
+
+let test_fused_validation () =
+  let a = rmat 70 8 8 and b = rmat 71 8 8 in
+  let c = Mat.create 8 8 in
+  let bad_chain = rmat 72 2 5 in
+  let good = rmat 73 2 8 in
+  Alcotest.check_raises "chain shape"
+    (Mat.Dimension_mismatch
+       "gemm: fused chain 0: chk_a=2x8 chk_c=2x5 for op(a)=8x8 c=8x8")
+    (fun () ->
+      Blas3.gemm
+        ~fused:
+          {
+            Blas3.f_a = [| good |];
+            f_c = [| bad_chain |];
+            f_fresh = None;
+            f_weights = None;
+          }
+        a b c);
+  Alcotest.(check bool)
+    "syrk rejects fresh" true
+    (try
+       Blas3.syrk
+         ~fused:
+           {
+             Blas3.f_a = [| good |];
+             f_c = [| Mat.copy good |];
+             f_fresh = Some (Mat.create 2 8);
+             f_weights = Some (vander 8 2);
+           }
+         Types.Lower a c;
+       false
+     with Invalid_argument _ -> true);
+  let l = Mat.tril (Spd.random_spd ~seed:74 8) in
+  Alcotest.(check bool)
+    "trsm rejects left side" true
+    (try
+       Blas3.trsm
+         ~fused:
+           {
+             Blas3.f_a = [||];
+             f_c = [| Mat.copy good |];
+             f_fresh = None;
+             f_weights = None;
+           }
+         Types.Left Types.Lower Types.No_trans Types.Non_unit_diag l
+         (Mat.copy c);
+       false
+     with Invalid_argument _ -> true)
+
+let test_chk_reduce_sym_mirrors () =
+  (* reducing the one stored triangle with mirrored reads must be
+     bitwise the same as reducing the fully materialized symmetric
+     matrix *)
+  let n = 33 in
+  let full =
+    let m = rmat 80 n n in
+    Mat.init n n (fun i j -> if i >= j then Mat.get m i j else Mat.get m j i)
+  in
+  let weights = vander n 2 in
+  let want = Mat.create 2 n in
+  Blas3.chk_reduce ~weights full ~into:want;
+  List.iter
+    (fun (uplo, keep) ->
+      let half =
+        Mat.init n n (fun i j ->
+            if keep i j then Mat.get full i j else Float.nan)
+      in
+      let got = Mat.create 2 n in
+      Blas3.chk_reduce_sym uplo ~weights half ~into:got;
+      bits_equal
+        (match uplo with Types.Lower -> "lower" | Types.Upper -> "upper")
+        want got)
+    [
+      (Types.Lower, fun i j -> i >= j);
+      (Types.Upper, fun i j -> i <= j);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Lapack                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -793,6 +1042,20 @@ let () =
           Alcotest.test_case "trsm alpha" `Quick test_trsm_alpha;
           Alcotest.test_case "trmm inverts trsm" `Quick test_trmm_inverts_trsm;
           Alcotest.test_case "symm" `Quick test_symm;
+        ] );
+      ( "blas3-fused",
+        [
+          Alcotest.test_case "gemm = separate (bitwise)" `Quick
+            test_fused_gemm_matches_separate;
+          Alcotest.test_case "gemm pool invariance" `Quick
+            test_fused_gemm_pool_invariance;
+          Alcotest.test_case "syrk = separate (bitwise)" `Quick
+            test_fused_syrk_matches_separate;
+          Alcotest.test_case "trsm = separate (bitwise)" `Quick
+            test_fused_trsm_matches_separate;
+          Alcotest.test_case "validation" `Quick test_fused_validation;
+          Alcotest.test_case "chk_reduce_sym mirrors" `Quick
+            test_chk_reduce_sym_mirrors;
         ] );
       ( "lapack",
         [

@@ -86,6 +86,52 @@ let test_qr_storage_error_in_q_panel () =
   Alcotest.(check bool) "corrected" true
     (r.Ftqr.Ft_qr.stats.Ftqr.Ft_qr.corrections > 0)
 
+let bitwise_equal a b =
+  let m = Mat.rows a and n = Mat.cols a in
+  Mat.rows b = m && Mat.cols b = n
+  &&
+  try
+    for j = 0 to n - 1 do
+      for i = 0 to m - 1 do
+        if
+          Int64.bits_of_float (Mat.get a i j)
+          <> Int64.bits_of_float (Mat.get b i j)
+        then raise Exit
+      done
+    done;
+    true
+  with Exit -> false
+
+let test_qr_fused_bitwise () =
+  (* Fused mode carries both replicas' chains through the
+     block-projection GEMM; the carried sums replay the separate
+     passes' additions in order, so Q and R must match to the bit. *)
+  let a = tall 14 in
+  let sep = Ftqr.Ft_qr.factor ~fused:false ~block:8 a in
+  let fus = Ftqr.Ft_qr.factor ~fused:true ~block:8 a in
+  Alcotest.(check bool) "Q bitwise" true
+    (bitwise_equal sep.Ftqr.Ft_qr.q fus.Ftqr.Ft_qr.q);
+  Alcotest.(check bool) "R bitwise" true
+    (bitwise_equal sep.Ftqr.Ft_qr.r fus.Ftqr.Ft_qr.r)
+
+let test_qr_fused_detection_parity () =
+  (* The projection computing error must be caught whether or not the
+     chains are fused into the projection kernel. *)
+  let plan =
+    [
+      Fault.computing_error ~delta:50. ~iteration:4 ~op:Fault.Gemm ~block:(4, 2)
+        ~element:(11, 2) ();
+    ]
+  in
+  List.iter
+    (fun fused ->
+      let tag = if fused then "fused" else "separate" in
+      let r = Ftqr.Ft_qr.factor ~plan ~fused ~block:8 (tall 7) in
+      expect tag "success" r;
+      Alcotest.(check int) (tag ^ " no restart") 0
+        r.Ftqr.Ft_qr.stats.Ftqr.Ft_qr.restarts)
+    [ false; true ]
+
 let test_qr_computing_error_between_projections () =
   (* The case that forced per-projection verification: a wrong value
      written by projection k must be caught before projection k+1. *)
@@ -307,6 +353,10 @@ let () =
           Alcotest.test_case "validation" `Quick test_qr_validation;
           Alcotest.test_case "matches reference MGS" `Quick
             test_qr_matches_reference_mgs;
+          Alcotest.test_case "fused factors bitwise = separate" `Quick
+            test_qr_fused_bitwise;
+          Alcotest.test_case "fused detection parity" `Quick
+            test_qr_fused_detection_parity;
         ] );
       ( "schedule",
         [
