@@ -327,7 +327,7 @@ let run () =
         in
         (name, ns) :: acc)
       results []
-    |> List.sort (fun (_, a) (_, b) -> compare a b)
+    |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
   in
   List.iter
     (fun (name, ns) ->

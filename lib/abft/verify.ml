@@ -384,14 +384,7 @@ let verify_batch ?pool ?(tol = default_tol) jobs =
    running the cheap carried-vs-fresh [compare] instead of a full
    re-reduce-and-locate pass. *)
 let compare_batch ?pool ?(tol = default_tol) jobs =
-  run_batch ?pool
-    (fun chk tile ->
-      (compare
-      [@abft.waive
-        "this module's carried-vs-fresh [compare] above, not the \
-         polymorphic compare R3 bans"])
-        ~tol chk tile)
-    jobs
+  run_batch ?pool (fun chk tile -> compare ~tol chk tile) jobs
 
 let pp_outcome fmt = function
   | Clean -> Format.pp_print_string fmt "clean"

@@ -153,3 +153,56 @@ let fun_body (e : expression) =
   match e.pexp_desc with
   | Pexp_function (_, _, Pfunction_body b) -> b
   | _ -> e
+
+(* ------------------------------------------------------------------ *)
+(* Qualified-ident resolution                                          *)
+(* ------------------------------------------------------------------ *)
+
+let module_aliases (str : structure) =
+  let tbl = Hashtbl.create 8 in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! module_binding mb =
+        (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+        | Some name, Pmod_ident { txt; _ } ->
+            Hashtbl.replace tbl name (path_parts txt)
+        | _ -> ());
+        super#module_binding mb
+    end
+  in
+  it#structure str;
+  tbl
+
+let resolve_parts aliases parts =
+  (* Expand a leading module alias, chasing at most a few hops so an
+     alias-of-an-alias still lands on the canonical path. *)
+  let rec expand fuel parts =
+    match parts with
+    | head :: rest when fuel > 0 -> (
+        match Hashtbl.find_opt aliases head with
+        | Some expansion when expansion <> parts ->
+            expand (fuel - 1) (expansion @ rest)
+        | _ -> parts)
+    | _ -> parts
+  in
+  expand 3 parts
+
+let resolve_path aliases (li : Longident.t) =
+  resolve_parts aliases (path_parts li)
+
+let top_level_value_names (str : structure) =
+  let tbl = Hashtbl.create 16 in
+  let rec item (si : structure_item) =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb -> List.iter (fun n -> Hashtbl.replace tbl n ()) (pattern_names vb.pvb_pat))
+          vbs
+    | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure items; _ }; _ } ->
+        List.iter item items
+    | _ -> ()
+  in
+  List.iter item str;
+  tbl

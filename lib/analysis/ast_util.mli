@@ -50,3 +50,19 @@ val param_names : expression -> string list
 val fun_body : expression -> expression
 (** The body after stripping the leading [fun] chain (the expression
     itself if it is not a function). *)
+
+val module_aliases : structure -> (string, string list) Hashtbl.t
+(** Every [module M = Path] alias in the file (top level, nested and
+    [let module]): alias name to canonical path parts. *)
+
+val resolve_parts : (string, string list) Hashtbl.t -> string list -> string list
+
+val resolve_path : (string, string list) Hashtbl.t -> Longident.t -> string list
+(** Path parts with a leading module alias expanded to its canonical
+    path ([module Pool = Parallel.Pool] makes [Pool.parallel_for]
+    resolve to [["Parallel"; "Pool"; "parallel_for"]]). *)
+
+val top_level_value_names : structure -> (string, unit) Hashtbl.t
+(** Names bound by top-level [let]s of the file (including inside
+    nested [module ... struct] items) — the shadowing check for bans
+    on stdlib names like [compare]. *)

@@ -1,0 +1,97 @@
+(* The committed baseline: accepted pre-existing findings, so CI gates
+   differentially — only findings *not* in the baseline block.
+
+   A deliberately line-oriented text format (one finding per line,
+   tab-separated, '#' comments), not JSON: it diffs cleanly in review,
+   merges without tooling, and needs no parser dependency. The
+   fingerprint is (rule, file, message) — no line/column — so an
+   unrelated edit that shifts a finding a few lines does not churn the
+   baseline; the message carries enough identity (binding names,
+   producer paths) to keep collisions rare. *)
+
+type entry = { rule : string; file : string; message : string }
+
+let fingerprint_of_finding (f : Finding.t) =
+  { rule = f.rule; file = f.file; message = f.message }
+
+(* The format reserves tabs and newlines as separators; our messages
+   are single-line ASCII, but sanitize so a hostile message cannot
+   smuggle extra entries. *)
+let clean s =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let to_line e =
+  Printf.sprintf "%s\t%s\t%s" (clean e.rule) (clean e.file) (clean e.message)
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | [ rule; file; message ] -> Some { rule; file; message }
+  | _ -> None
+
+let header =
+  "# abftlint baseline: accepted pre-existing findings (differential CI \
+   gate).\n\
+   # One finding per line: rule<TAB>file<TAB>message. Line numbers are\n\
+   # deliberately not part of the fingerprint. Regenerate with\n\
+   #   abftlint --baseline <this file> --update-baseline [paths]\n"
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let entries = ref [] in
+          (try
+             while true do
+               let line = String.trim (input_line ic) in
+               if line <> "" && line.[0] <> '#' then
+                 match of_line line with
+                 | Some e -> entries := e :: !entries
+                 | None -> ()
+             done
+           with End_of_file -> ());
+          Ok (List.rev !entries))
+
+let save path findings =
+  let entries =
+    findings
+    |> List.filter Finding.is_blocking
+    |> List.map fingerprint_of_finding
+    |> List.map to_line
+    |> List.sort_uniq String.compare
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc header;
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        entries)
+
+let apply entries findings =
+  let used = Hashtbl.create 16 in
+  let matches (f : Finding.t) e =
+    e.rule = f.Finding.rule && e.file = f.Finding.file
+    && e.message = f.Finding.message
+  in
+  let findings =
+    List.map
+      (fun (f : Finding.t) ->
+        if not (Finding.is_blocking f) then f
+        else
+          match List.find_opt (matches f) entries with
+          | Some e ->
+              Hashtbl.replace used (to_line e) ();
+              { f with Finding.baselined = true }
+          | None -> f)
+      findings
+  in
+  let stale =
+    List.filter (fun e -> not (Hashtbl.mem used (to_line e))) entries
+  in
+  (findings, stale)

@@ -1,0 +1,21 @@
+(** The committed baseline/suppression file: accepted pre-existing
+    findings, for differential CI gating. Line-oriented text
+    ([rule<TAB>file<TAB>message], ['#'] comments); the fingerprint
+    deliberately omits line/column so unrelated edits don't churn it. *)
+
+type entry = { rule : string; file : string; message : string }
+
+val fingerprint_of_finding : Finding.t -> entry
+
+val load : string -> (entry list, string) result
+(** [Error] carries the IO failure message. Unparsable lines are
+    skipped. *)
+
+val save : string -> Finding.t list -> unit
+(** Write the blocking findings' fingerprints (sorted, deduplicated)
+    with an explanatory header — the [--update-baseline] path. *)
+
+val apply : entry list -> Finding.t list -> Finding.t list * entry list
+(** Demote blocking findings matching an entry to [baselined]; also
+    return the stale entries (those that matched nothing — debt that
+    has since been paid and should be pruned). *)

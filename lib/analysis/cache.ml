@@ -1,0 +1,66 @@
+(* The incremental cache: per-file analysis results keyed by a content
+   digest, so a warm run re-parses nothing that did not change.
+
+   The key digests the cache format version, the selected rule ids,
+   the file path and the file contents — any of those changing misses
+   the cache and recomputes. Entries are [Marshal]ed behind a magic
+   header; a corrupt, truncated or stale-format entry simply reads as
+   a miss (the cache is an accelerator, never a source of truth). *)
+
+(* Bump when Ir/Index extraction or the per-file rules change shape:
+   stale summaries must never be deserialized into new code. *)
+let version = "1"
+
+let magic = "abftlint-cache-" ^ version ^ "\n"
+
+type entry =
+  | Parsed of Ir.file_summary * Finding.t list
+      (* summary + the per-file (syntactic) rules' findings, with
+         waiver spans already applied *)
+  | Failed of string  (* parse error, cached so broken files are stable *)
+
+let key ~rules_sig ~file source =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ magic; rules_sig; file; source ]))
+
+let entry_path dir key = Filename.concat dir (key ^ ".bin")
+
+let load ~dir key =
+  let path = entry_path dir key in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          (try
+             let header = really_input_string ic (String.length magic) in
+             if header <> magic then None
+             else Some (Marshal.from_channel ic : entry)
+           with _ -> None)
+          [@abft.waive
+            "the cache is an accelerator, never a source of truth: any \
+             corrupt, truncated or stale entry must read as a miss"])
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let store ~dir key entry =
+  try
+    mkdir_p dir;
+    let path = entry_path dir key in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        Marshal.to_channel oc entry []);
+    (* atomic publish so a concurrent reader never sees a torn entry *)
+    Sys.rename tmp path
+  with Sys_error _ -> ()

@@ -1,0 +1,22 @@
+(** Content-digest incremental cache for per-file analysis results: a
+    warm run re-parses only files whose contents (or the rule
+    selection, or the cache format) changed. *)
+
+val version : string
+(** Cache format version; part of every key, so bumping it invalidates
+    all stored entries. *)
+
+type entry =
+  | Parsed of Ir.file_summary * Finding.t list
+      (** phase-1 summary + the syntactic (per-file) rules' findings *)
+  | Failed of string  (** parse error message *)
+
+val key : rules_sig:string -> file:string -> string -> string
+(** Digest of format version, selected rule ids, path and contents. *)
+
+val load : dir:string -> string -> entry option
+(** A corrupt/missing/stale entry reads as a miss, never an error. *)
+
+val store : dir:string -> string -> entry -> unit
+(** Creates [dir] if needed; writes atomically; IO failures are
+    swallowed (the cache is best-effort). *)

@@ -1,16 +1,24 @@
-(** File discovery, parsing and rule execution for `abftlint`. *)
+(** The two-phase analysis driver: file discovery, phase-1 per-file
+    parsing/extraction (behind the incremental cache), phase-2
+    whole-program dataflow, and the report/exit-code contracts. *)
 
 type report = {
   findings : Finding.t list;  (** sorted by file/line/col/rule *)
   errors : (string * string) list;  (** file, message — unreadable/unparsable *)
   files_checked : int;
+  files_parsed : int;
+      (** files actually parsed this run; a warm-cache run reports 0 *)
+  stale_baseline : Baseline.entry list;
+      (** baseline entries that matched no finding (paid-off debt) *)
 }
 
 val version : string
 
 val lint_string :
   ?rules:Rules.t list -> file:string -> string -> Finding.t list
-(** Lint source text directly (the unit tests' entry point).
+(** Lint source text directly (the unit tests' entry point). Project
+    rules see a one-file program. The stale-waiver check (rule [W0])
+    runs only with the full default rule set.
     @raise Failure on a syntax error. *)
 
 val lint_file : ?rules:Rules.t list -> string -> (Finding.t list, string) result
@@ -20,13 +28,24 @@ val collect_ml_files : string list -> string list * (string * string) list
     recursively for [.ml] files, skipping [_build]-style and hidden
     directories. Returns (files, errors-for-missing-paths). *)
 
-val run : ?rules:Rules.t list -> string list -> report
-(** Lint all [.ml] files reachable from the given paths. *)
+val run :
+  ?rules:Rules.t list ->
+  ?cache_dir:string ->
+  ?baseline:Baseline.entry list ->
+  string list ->
+  report
+(** Lint all [.ml] files reachable from the given paths. With
+    [cache_dir], phase-1 results are reused for files whose contents
+    did not change (phase 2 always runs). With [baseline], matching
+    blocking findings are demoted to [baselined]. *)
 
 val human_report : report -> string
 
 val json_report : report -> string
 
+val sarif_report : ?rules:Rules.t list -> report -> string
+(** SARIF 2.1.0; [rules] populates the tool's rule metadata. *)
+
 val exit_code : report -> int
-(** 0 clean (waived-only findings are clean), 1 blocking findings,
-    2 file/parse errors. *)
+(** 0 clean (waived/baselined-only findings are clean), 1 blocking
+    findings, 2 file/parse errors. *)

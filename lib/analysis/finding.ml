@@ -6,6 +6,7 @@ type t = {
   message : string;
   waived : bool;
   waiver_reason : string option;
+  baselined : bool;
 }
 
 let make ~rule ~(loc : Ppxlib.Location.t) ?(waived = false) ?waiver_reason
@@ -19,6 +20,7 @@ let make ~rule ~(loc : Ppxlib.Location.t) ?(waived = false) ?waiver_reason
     message;
     waived;
     waiver_reason;
+    baselined = false;
   }
 
 let order a b =
@@ -31,18 +33,19 @@ let order a b =
       let c = Int.compare a.col b.col in
       if c <> 0 then c else String.compare a.rule b.rule
 
-let is_blocking t = not t.waived
+let is_blocking t = not (t.waived || t.baselined)
 
 let to_human t =
-  let waiver =
-    if not t.waived then ""
-    else
+  let note =
+    if t.waived then
       match t.waiver_reason with
       | Some r -> Printf.sprintf " (waived: %s)" r
       | None -> " (waived)"
+    else if t.baselined then " (baselined)"
+    else ""
   in
   Printf.sprintf "%s:%d:%d: [%s] %s%s" t.file t.line t.col t.rule t.message
-    waiver
+    note
 
 (* The messages we emit are ASCII, but file paths and waiver reasons
    are arbitrary; escaping comes from the repo's one shared JSON
@@ -56,19 +59,22 @@ let to_json t =
     | None -> ""
   in
   Printf.sprintf
-    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\",\"waived\":%b%s}"
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\",\"waived\":%b,\"baselined\":%b%s}"
     (json_escape t.rule) (json_escape t.file) t.line t.col
-    (json_escape t.message) t.waived reason
+    (json_escape t.message) t.waived t.baselined reason
 
 let report_json ~tool_version findings =
   let blocking = List.filter is_blocking findings in
-  let waived = List.length findings - List.length blocking in
+  let nbaselined = List.length (List.filter (fun f -> f.baselined) findings) in
+  let waived =
+    List.length findings - List.length blocking - nbaselined
+  in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"tool\":\"abftlint\",\"version\":\"%s\",\"blocking\":%d,\"waived\":%d,\"findings\":["
+       "{\"tool\":\"abftlint\",\"version\":\"%s\",\"blocking\":%d,\"waived\":%d,\"baselined\":%d,\"findings\":["
        (json_escape tool_version)
-       (List.length blocking) waived);
+       (List.length blocking) waived nbaselined);
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char buf ',';

@@ -1,5 +1,5 @@
-(** A single linter finding: one rule violation (or waived violation)
-    anchored to a source location. *)
+(** A single linter finding: one rule violation (or waived/baselined
+    violation) anchored to a source location. *)
 
 type t = {
   rule : string;  (** rule id, e.g. ["R1"] *)
@@ -9,6 +9,9 @@ type t = {
   message : string;
   waived : bool;  (** carried an [@abft.*] waiver attribute *)
   waiver_reason : string option;  (** payload of the waiver, if any *)
+  baselined : bool;
+      (** matched an entry of the committed baseline file: accepted
+          pre-existing debt, reported but not blocking *)
 }
 
 val make :
@@ -18,16 +21,18 @@ val make :
   ?waiver_reason:string ->
   string ->
   t
-(** [make ~rule ~loc msg] anchors [msg] at the start of [loc]. *)
+(** [make ~rule ~loc msg] anchors [msg] at the start of [loc].
+    Findings are never born baselined; [Baseline.apply] demotes them. *)
 
 val order : t -> t -> int
 (** Sort key: file, line, column, rule. *)
 
 val is_blocking : t -> bool
-(** A finding blocks (non-zero exit) unless it is waived. *)
+(** A finding blocks (non-zero exit) unless it is waived or baselined. *)
 
 val to_human : t -> string
-(** One [file:line:col: [rule] message] line (plus waiver note). *)
+(** One [file:line:col: [rule] message] line (plus waiver/baseline
+    note). *)
 
 val to_json : t -> string
 (** The finding as one JSON object (no trailing newline). *)

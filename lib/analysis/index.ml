@@ -1,0 +1,492 @@
+(* Phase 1 of the whole-program analysis: lower each parsed file into
+   the event IR ([summarize]) and assemble the project index ([build]).
+
+   The index resolves cross-module calls through a per-module
+   definition table (a file's module is its capitalized basename, plus
+   any nested [module ... struct] blocks) and computes three function
+   summaries by fixpoint over the call graph:
+
+   - [sources]       — defs whose result is a taint source (their body's
+                       tail call is [Blas3.*_alloc], a [Checksum]-family
+                       [encode*], or another source def);
+   - [sanitizers]    — defs that verify something (call into [Verify],
+                       a [verify*] function, a checksum [check*]/
+                       [compare*], or a recovery rung);
+   - [stat_updaters] — defs that visibly account (mutate a field, bump
+                       a ref/counter, or call another updater).
+
+   The dataflow rules R6–R8 consult these summaries, which is what
+   makes them interprocedural: a driver helper that wraps
+   [Blas3.gemm_alloc] taints its callers' bindings, and a local
+   [mark_degraded] counts as accounting at its call sites. *)
+
+open Ppxlib
+
+let module_name_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let attr_waiver attrs : Ir.waiver =
+  match Ast_util.waiver_attr "abft.waive" attrs with
+  | Some r -> Waive r
+  | None -> (
+      match Ast_util.waiver_attr "abft.unverified" attrs with
+      | Some r -> Unverified r
+      | None -> No_waiver)
+
+(* Bare identifiers mentioned anywhere in an expression, deduplicated
+   in first-seen order. *)
+let idents_of (e : expression) =
+  let acc = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_ident { txt = Lident s; _ } ->
+            if not (List.mem s !acc) then acc := s :: !acc
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression e;
+  List.rev !acc
+
+let is_stat_op = function "incr" | "decr" | ":=" -> true | _ -> false
+
+let has_stat_update (e : expression) =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_setfield _ -> found := true
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+          when is_stat_op (Ast_util.path_last txt) ->
+            found := true
+        | _ -> ());
+        if not !found then super#expression e
+    end
+  in
+  it#expression e;
+  !found
+
+(* A handler body that re-raises — or terminates the process visibly
+   ([exit], [failwith], [invalid_arg]) — does not swallow the failure;
+   R8 treats either as sound. *)
+let has_raise (e : expression) =
+  Ast_util.mentions_any
+    (function
+      | "raise" | "raise_notrace" | "failwith" | "invalid_arg" | "exit" ->
+          true
+      | _ -> false)
+    e
+
+let calls_of aliases (e : expression) =
+  let acc = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+            acc := Ast_util.resolve_path aliases txt :: !acc
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression e;
+  List.rev !acc
+
+let exn_path_of aliases (arg : expression) =
+  match arg.pexp_desc with
+  | Pexp_construct ({ txt; _ }, _) -> Ast_util.resolve_path aliases txt
+  | Pexp_ident { txt; _ } -> Ast_util.resolve_path aliases txt
+  | _ -> []
+
+let rec handler_catches aliases (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, _) -> [ Ast_util.resolve_path aliases txt ]
+  | Ppat_exception inner | Ppat_alias (inner, _) ->
+      handler_catches aliases inner
+  | Ppat_or (a, b) -> handler_catches aliases a @ handler_catches aliases b
+  | _ -> []
+
+(* The event extractor. One instance walks one top-level binding; the
+   events of nested closures and local functions flatten into the
+   enclosing def's list in pre-order (source order for the
+   straight-line code the rules patrol). *)
+class extractor ~aliases ~(emit : Ir.event -> unit) =
+  object (self)
+    inherit Ast_traverse.iter as super
+    val mutable in_finally = false
+
+    method private eloc (e : expression) = Ir.of_location e.pexp_loc
+
+    method private handler_case (pat : pattern) (c : case) =
+      match handler_catches aliases pat with
+      | [] -> ()
+      | catches ->
+          emit
+            (Ir.Handler
+               {
+                 catches;
+                 accounted = has_stat_update c.pc_rhs;
+                 reraises = has_raise c.pc_rhs;
+                 handler_calls = calls_of aliases c.pc_rhs;
+                 handler_loc = Ir.of_location pat.ppat_loc;
+               })
+
+    method private rhs ?bound (e : expression) =
+      match e.pexp_desc with
+      | Pexp_apply _ -> self#apply ?bound e
+      | Pexp_constraint (inner, _) -> self#rhs ?bound inner
+      | _ -> self#expression e
+
+    method private apply ?bound (e : expression) =
+      match e.pexp_desc with
+      | Pexp_apply
+          (({ pexp_desc = Pexp_ident { txt; _ }; _ } as f), args) -> (
+          let path = Ast_util.resolve_path aliases txt in
+          let walk_args () =
+            List.iter (fun (_, a) -> self#expression a) args
+          in
+          match List.rev path with
+          | "start" :: "Obs" :: _ ->
+              emit (Ir.Obs_start { bound; start_loc = self#eloc e });
+              walk_args ()
+          | "stop" :: "Obs" :: _ ->
+              emit
+                (Ir.Obs_stop
+                   {
+                     stop_args =
+                       List.concat_map (fun (_, a) -> idents_of a) args;
+                     stop_loc = self#eloc e;
+                   });
+              walk_args ()
+          | "set_obs" :: _ ->
+              emit
+                (Ir.Set_obs
+                   { set_in_finally = in_finally; set_loc = self#eloc e });
+              walk_args ()
+          | ("raise" | "raise_notrace") :: [] ->
+              (match args with
+              | (_, arg) :: _ ->
+                  emit
+                    (Ir.Raise
+                       {
+                         exn_path = exn_path_of aliases arg;
+                         raise_loc = self#eloc e;
+                       })
+              | [] -> ());
+              walk_args ()
+          | op :: [] when is_stat_op op ->
+              emit (Ir.Stat_update { stat_loc = self#eloc e });
+              walk_args ()
+          | ("incr" | "decr") :: _ ->
+              (* counter bumps through a module, e.g. Obs.incr *)
+              emit (Ir.Stat_update { stat_loc = self#eloc e });
+              walk_args ()
+          | "protect" :: "Fun" :: _ ->
+              List.iter
+                (fun ((lbl : arg_label), a) ->
+                  match lbl with
+                  | Labelled "finally" ->
+                      let saved = in_finally in
+                      in_finally <- true;
+                      self#expression a;
+                      in_finally <- saved
+                  | _ -> self#expression a)
+                args
+          | [] -> walk_args ()
+          | _ ->
+              let arg_calls =
+                List.filter_map
+                  (fun (_, (a : expression)) ->
+                    match a.pexp_desc with
+                    | Pexp_apply
+                        ( {
+                            pexp_desc = Pexp_ident { txt; _ };
+                            pexp_attributes = fattrs;
+                            _;
+                          },
+                          _ ) ->
+                        Some
+                          ( Ast_util.resolve_path aliases txt,
+                            attr_waiver (a.pexp_attributes @ fattrs) )
+                    | _ -> None)
+                  args
+              in
+              emit
+                (Ir.Call
+                   {
+                     path;
+                     args = List.concat_map (fun (_, a) -> idents_of a) args;
+                     arg_calls;
+                     bound;
+                     waiver =
+                       attr_waiver (e.pexp_attributes @ f.pexp_attributes);
+                     in_finally;
+                     call_loc = self#eloc e;
+                   });
+              walk_args ())
+      | Pexp_apply (f, args) ->
+          self#expression f;
+          List.iter (fun (_, a) -> self#expression a) args
+      | _ -> self#expression e
+
+    method! expression e =
+      match e.pexp_desc with
+      | Pexp_let (_, vbs, body) ->
+          List.iter
+            (fun vb ->
+              let bound =
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var v -> Some v.txt
+                | _ -> None
+              in
+              self#rhs ?bound vb.pvb_expr)
+            vbs;
+          self#expression body
+      | Pexp_apply _ -> self#apply e
+      | Pexp_setfield (lhs, _, rhs) ->
+          emit (Ir.Stat_update { stat_loc = self#eloc e });
+          self#expression lhs;
+          self#expression rhs
+      | Pexp_try (body, cases) ->
+          self#expression body;
+          List.iter
+            (fun c ->
+              self#handler_case c.pc_lhs c;
+              Option.iter self#expression c.pc_guard;
+              self#expression c.pc_rhs)
+            cases
+      | Pexp_match (scrut, cases) ->
+          self#expression scrut;
+          List.iter
+            (fun c ->
+              (match c.pc_lhs.ppat_desc with
+              | Ppat_exception _ -> self#handler_case c.pc_lhs c
+              | _ -> ());
+              Option.iter self#expression c.pc_guard;
+              self#expression c.pc_rhs)
+            cases
+      | _ -> super#expression e
+  end
+
+let rec tail_call aliases (e : expression) =
+  match e.pexp_desc with
+  | Pexp_let (_, _, body)
+  | Pexp_sequence (_, body)
+  | Pexp_constraint (body, _) ->
+      tail_call aliases body
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      Some (Ast_util.resolve_path aliases txt)
+  | _ -> None
+
+let whole_file_span file =
+  {
+    Ir.file;
+    start = { Ir.line = 1; col = 0 };
+    stop = { Ir.line = max_int; col = max_int };
+  }
+
+let collect_waiver_spans ~file (str : structure) =
+  let spans = ref [] in
+  let add loc w = spans := (loc, w) :: !spans in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match attr_waiver e.pexp_attributes with
+        | No_waiver -> ()
+        | w -> add (Ir.of_location e.pexp_loc) w);
+        super#expression e
+
+      method! value_binding vb =
+        (match attr_waiver vb.pvb_attributes with
+        | No_waiver -> ()
+        | w -> add (Ir.of_location vb.pvb_loc) w);
+        super#value_binding vb
+    end
+  in
+  it#structure str;
+  (* floating [@@@abft.waive "reason"] covers the whole file *)
+  List.iter
+    (fun (si : structure_item) ->
+      match si.pstr_desc with
+      | Pstr_attribute a -> (
+          match attr_waiver [ a ] with
+          | No_waiver -> ()
+          | w -> add (whole_file_span file) w)
+      | _ -> ())
+    str;
+  List.rev !spans
+
+let summarize ~file (str : structure) : Ir.file_summary =
+  let aliases = Ast_util.module_aliases str in
+  let defs = ref [] in
+  let rec items ~module_name l = List.iter (item ~module_name) l
+  and item ~module_name (si : structure_item) =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let name =
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var v -> v.txt
+              | _ -> "_"
+            in
+            let events = ref [] in
+            let emit ev = events := ev :: !events in
+            let ex = new extractor ~aliases ~emit in
+            ex#expression vb.pvb_expr;
+            defs :=
+              {
+                Ir.def_module = module_name;
+                def_name = name;
+                def_loc = Ir.of_location vb.pvb_loc;
+                events = List.rev !events;
+                result_call =
+                  tail_call aliases (Ast_util.fun_body vb.pvb_expr);
+              }
+              :: !defs)
+          vbs
+    | Pstr_module
+        {
+          pmb_name = { txt = Some m; _ };
+          pmb_expr = { pmod_desc = Pmod_structure sub; _ };
+          _;
+        } ->
+        items ~module_name:m sub
+    | _ -> ()
+  in
+  let module_name = module_name_of_file file in
+  items ~module_name str;
+  {
+    Ir.file;
+    module_name;
+    defs = List.rev !defs;
+    waiver_spans = collect_waiver_spans ~file str;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The whole-program index                                             *)
+(* ------------------------------------------------------------------ *)
+
+type key = string * string (* module, value name *)
+
+type t = {
+  files : Ir.file_summary list;
+  def_tbl : (key, Ir.def) Hashtbl.t;
+  sources : (key, unit) Hashtbl.t;
+  sanitizers : (key, unit) Hashtbl.t;
+  stat_updaters : (key, unit) Hashtbl.t;
+}
+
+let files t = t.files
+
+let prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+let suffix p s =
+  String.length s >= String.length p
+  && String.sub s (String.length s - String.length p) (String.length p) = p
+
+let builtin_source path =
+  match List.rev path with
+  | name :: md :: _ ->
+      (md = "Blas3" && suffix "_alloc" name)
+      || ((md = "Checksum" || md = "Duochk" || md = "Panelchk")
+         && prefix "encode" name)
+  | _ -> false
+
+let builtin_sanitizer path =
+  match List.rev path with
+  | [] -> false
+  | name :: rest -> (
+      prefix "verify" name
+      ||
+      match rest with
+      | md :: _ ->
+          md = "Verify" || md = "Recovery" || md = "Checkpoint"
+          || ((md = "Duochk" || md = "Panelchk" || md = "Checksum")
+             && (prefix "check" name || prefix "compare" name))
+      | [] -> false)
+
+let resolve_def_key t ~current path =
+  match List.rev path with
+  | [] -> None
+  | [ name ] ->
+      if Hashtbl.mem t.def_tbl (current, name) then Some (current, name)
+      else None
+  | name :: md :: _ ->
+      if Hashtbl.mem t.def_tbl (md, name) then Some (md, name) else None
+
+let find_def t ~current path =
+  Option.map (Hashtbl.find t.def_tbl) (resolve_def_key t ~current path)
+
+let in_set t set ~current path =
+  match resolve_def_key t ~current path with
+  | Some key -> Hashtbl.mem set key
+  | None -> false
+
+let is_source t ~current path =
+  builtin_source path || in_set t t.sources ~current path
+
+let is_sanitizer t ~current path =
+  builtin_sanitizer path || in_set t t.sanitizers ~current path
+
+let is_stat_updater t ~current path = in_set t t.stat_updaters ~current path
+
+let build files =
+  let def_tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (fs : Ir.file_summary) ->
+      List.iter
+        (fun (d : Ir.def) ->
+          if d.def_name <> "_" then
+            Hashtbl.replace def_tbl (d.def_module, d.def_name) d)
+        fs.defs)
+    files;
+  let t =
+    {
+      files;
+      def_tbl;
+      sources = Hashtbl.create 16;
+      sanitizers = Hashtbl.create 32;
+      stat_updaters = Hashtbl.create 32;
+    }
+  in
+  (* Seed + fixpoint. The three summary sets only grow, and each pass
+     is linear in the event count, so this terminates quickly. *)
+  let changed = ref true in
+  let mark set key = if not (Hashtbl.mem set key) then (Hashtbl.replace set key (); changed := true) in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fs : Ir.file_summary) ->
+        List.iter
+          (fun (d : Ir.def) ->
+            let key = (d.Ir.def_module, d.Ir.def_name) in
+            let current = d.Ir.def_module in
+            (match d.Ir.result_call with
+            | Some p when is_source t ~current p -> mark t.sources key
+            | _ -> ());
+            List.iter
+              (fun (ev : Ir.event) ->
+                match ev with
+                | Ir.Stat_update _ -> mark t.stat_updaters key
+                | Ir.Call c ->
+                    if is_sanitizer t ~current c.Ir.path then
+                      mark t.sanitizers key;
+                    if is_stat_updater t ~current c.Ir.path then
+                      mark t.stat_updaters key
+                | _ -> ())
+              d.Ir.events)
+          fs.defs)
+      files
+  done;
+  t

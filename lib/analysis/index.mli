@@ -1,0 +1,41 @@
+(** Phase 1 of the whole-program analysis: IR extraction per file and
+    the project index (definition table, resolved cross-module call
+    graph, fixpoint function summaries) the dataflow rules run over. *)
+
+type t
+
+val module_name_of_file : string -> string
+(** [ft.ml] (any directory) -> [Ft]. *)
+
+val summarize : file:string -> Ppxlib.Parsetree.structure -> Ir.file_summary
+(** Lower one parsed file into the cacheable IR. *)
+
+val build : Ir.file_summary list -> t
+(** Assemble the index: per-module definition table plus the
+    source/sanitizer/stat-updater summaries computed by fixpoint over
+    the resolved call graph. *)
+
+val files : t -> Ir.file_summary list
+
+val find_def : t -> current:string -> string list -> Ir.def option
+(** Resolve a call path to a project definition: a bare ident looks in
+    [current] (the calling def's module), a qualified path in its
+    second-to-last component's module. *)
+
+val is_source : t -> current:string -> string list -> bool
+(** Does a call to this path produce tainted (not-yet-verified) data?
+    Builtin: [Blas3.*_alloc] and the checksum [encode*] family; plus
+    any project def whose result is a source call. *)
+
+val is_sanitizer : t -> current:string -> string list -> bool
+(** Does a call to this path verify its data (clear taint)? Builtin:
+    anything under [Verify]/[Recovery]/[Checkpoint], [verify*]
+    functions, checksum [check*]/[compare*]; plus any project def that
+    calls a sanitizer. *)
+
+val is_stat_updater : t -> current:string -> string list -> bool
+(** Does this path resolve to a project def that visibly updates
+    stats (field mutation, counter bump, or transitively)? *)
+
+val builtin_source : string list -> bool
+val builtin_sanitizer : string list -> bool

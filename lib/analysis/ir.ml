@@ -1,0 +1,126 @@
+(* The analyzer's intermediate representation.
+
+   Phase 1 of the whole-program analysis lowers each parsed file into
+   this IR: a per-definition event list (calls with resolved paths,
+   observability span starts/stops, raises, stat updates, exception
+   handlers) plus the file's waiver spans. The IR is deliberately
+   self-contained — no [Ppxlib.Location.t], no lazy values — so a
+   [file_summary] can be marshalled into the incremental cache and a
+   warm run can skip the parser entirely.
+
+   Event lists are in pre-order traversal order, which for the
+   straight-line driver code the dataflow rules patrol coincides with
+   source order. The rules are therefore *lexical* dataflow: "a verify
+   call appears before the read", "a stat update appears before the
+   raise". That coarseness is the same bargain R2 already makes, and
+   it keeps the fixpoint in [Index] trivial. *)
+
+type pos = { line : int; col : int }
+(* [line] is 1-based, [col] 0-based, as the compiler reports. *)
+
+type loc = { file : string; start : pos; stop : pos }
+
+type waiver =
+  | No_waiver
+  | Waive of string option  (* [@abft.waive "reason"] *)
+  | Unverified of string option  (* [@abft.unverified "reason"] *)
+
+type call = {
+  path : string list;  (* alias-resolved, e.g. ["Blas3"; "gemm_alloc"] *)
+  args : string list;  (* bare idents mentioned anywhere in the arguments *)
+  arg_calls : (string list * waiver) list;
+      (* head paths of arguments that are themselves applications:
+         direct value flow from a producer into this call *)
+  bound : string option;  (* [let x = f ...] binds the result to [x] *)
+  waiver : waiver;
+  in_finally : bool;  (* inside a [Fun.protect ~finally:...] thunk *)
+  call_loc : loc;
+}
+
+type handler = {
+  catches : string list list;  (* constructor paths of caught exceptions *)
+  accounted : bool;  (* body updates state: setfield / incr / decr / := *)
+  reraises : bool;  (* body re-raises *)
+  handler_calls : string list list;  (* resolved paths called in the body *)
+  handler_loc : loc;
+}
+
+type event =
+  | Call of call
+  | Obs_start of { bound : string option; start_loc : loc }
+  | Obs_stop of { stop_args : string list; stop_loc : loc }
+  | Set_obs of { set_in_finally : bool; set_loc : loc }
+  | Raise of { exn_path : string list; raise_loc : loc }
+  | Stat_update of { stat_loc : loc }
+  | Handler of handler
+
+type def = {
+  def_module : string;  (* enclosing module: file module or nested *)
+  def_name : string;  (* "_" for bindings with no single name *)
+  def_loc : loc;
+  events : event list;  (* pre-order, closures flattened in *)
+  result_call : string list option;
+      (* resolved head path of the body's tail application, if any:
+         a def whose result is a taint source is itself a source *)
+}
+
+type file_summary = {
+  file : string;
+  module_name : string;  (* capitalized basename: ft.ml -> Ft *)
+  defs : def list;
+  waiver_spans : (loc * waiver) list;
+      (* every [@abft.waive]/[@abft.unverified] attribute's carrier span,
+         for the generic suppression post-pass and stale-waiver check *)
+}
+
+let no_pos = { line = 0; col = 0 }
+
+let of_position (p : Lexing.position) =
+  { line = p.pos_lnum; col = p.pos_cnum - p.pos_bol }
+
+let of_location (l : Ppxlib.Location.t) =
+  {
+    file = l.loc_start.pos_fname;
+    start = of_position l.loc_start;
+    stop = of_position l.loc_end;
+  }
+
+let to_location (l : loc) : Ppxlib.Location.t =
+  let mk (p : pos) =
+    {
+      Lexing.pos_fname = l.file;
+      pos_lnum = p.line;
+      pos_bol = 0;
+      pos_cnum = p.col;
+    }
+  in
+  { loc_start = mk l.start; loc_end = mk l.stop; loc_ghost = false }
+
+let pos_leq a b = a.line < b.line || (a.line = b.line && a.col <= b.col)
+
+let contains (span : loc) (inner : loc) =
+  span.file = inner.file
+  && pos_leq span.start inner.start
+  && pos_leq inner.stop span.stop
+
+let contains_finding (span : loc) ~file ~line ~col =
+  span.file = file
+  && pos_leq span.start { line; col }
+  && pos_leq { line; col } span.stop
+
+let before (a : loc) (b : loc) = pos_leq a.start b.start && a.start <> b.start
+
+let event_loc = function
+  | Call c -> c.call_loc
+  | Obs_start { start_loc; _ } -> start_loc
+  | Obs_stop { stop_loc; _ } -> stop_loc
+  | Set_obs { set_loc; _ } -> set_loc
+  | Raise { raise_loc; _ } -> raise_loc
+  | Stat_update { stat_loc } -> stat_loc
+  | Handler h -> h.handler_loc
+
+let waiver_reason = function
+  | No_waiver -> None
+  | Waive r | Unverified r -> r
+
+let is_waived = function No_waiver -> false | Waive _ | Unverified _ -> true

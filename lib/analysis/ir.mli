@@ -1,0 +1,81 @@
+(** The whole-program analyzer's intermediate representation: what
+    phase 1 extracts per file and the incremental cache marshals.
+    Self-contained (no parsetree types inside), so a cached summary is
+    usable without re-parsing the source. *)
+
+type pos = { line : int; col : int }  (** 1-based line, 0-based col *)
+
+type loc = { file : string; start : pos; stop : pos }
+
+type waiver =
+  | No_waiver
+  | Waive of string option  (** [[@abft.waive "reason"]] *)
+  | Unverified of string option  (** [[@abft.unverified "reason"]] *)
+
+type call = {
+  path : string list;  (** alias-resolved, e.g. [["Blas3"; "gemm_alloc"]] *)
+  args : string list;  (** bare idents mentioned anywhere in the arguments *)
+  arg_calls : (string list * waiver) list;
+      (** head paths of arguments that are themselves applications *)
+  bound : string option;  (** [let x = f ...] binds the result to [x] *)
+  waiver : waiver;
+  in_finally : bool;  (** inside a [Fun.protect ~finally] thunk *)
+  call_loc : loc;
+}
+
+type handler = {
+  catches : string list list;  (** constructor paths of caught exceptions *)
+  accounted : bool;  (** body updates state: setfield / incr / decr / [:=] *)
+  reraises : bool;
+  handler_calls : string list list;
+  handler_loc : loc;
+}
+
+type event =
+  | Call of call
+  | Obs_start of { bound : string option; start_loc : loc }
+  | Obs_stop of { stop_args : string list; stop_loc : loc }
+  | Set_obs of { set_in_finally : bool; set_loc : loc }
+  | Raise of { exn_path : string list; raise_loc : loc }
+  | Stat_update of { stat_loc : loc }
+  | Handler of handler
+
+type def = {
+  def_module : string;
+  def_name : string;
+  def_loc : loc;
+  events : event list;  (** pre-order; closure bodies flattened in *)
+  result_call : string list option;
+      (** resolved head path of the body's tail application, if any *)
+}
+
+type file_summary = {
+  file : string;
+  module_name : string;  (** capitalized basename: [ft.ml] -> [Ft] *)
+  defs : def list;
+  waiver_spans : (loc * waiver) list;
+}
+
+val no_pos : pos
+
+val of_location : Ppxlib.Location.t -> loc
+
+val to_location : loc -> Ppxlib.Location.t
+(** Lossy inverse (no [pos_bol]); good enough for [Finding.make]. *)
+
+val pos_leq : pos -> pos -> bool
+
+val contains : loc -> loc -> bool
+(** [contains span inner]: same file and [inner] within [span]. *)
+
+val contains_finding : loc -> file:string -> line:int -> col:int -> bool
+
+val before : loc -> loc -> bool
+(** Strictly earlier start position (same-file comparison is the
+    caller's concern). *)
+
+val event_loc : event -> loc
+
+val waiver_reason : waiver -> string option
+
+val is_waived : waiver -> bool

@@ -40,6 +40,11 @@ let banned_idents =
   ]
 
 let check ~file:_ (str : structure) =
+  (* A file that defines its own top-level [compare] (e.g. the
+     carried-vs-fresh [Verify.compare]) shadows the polymorphic one, so
+     bare references to it are that function, not Stdlib's. Qualified
+     bans ([Stdlib.compare], [List.hd], ...) are unaffected. *)
+  let locals = Ast_util.top_level_value_names str in
   let findings = ref [] in
   let add ~loc ?waived ?waiver_reason msg =
     findings :=
@@ -72,9 +77,14 @@ let check ~file:_ (str : structure) =
               cases
         | Pexp_ident { txt; loc } ->
             let path = Ast_util.path_string txt in
+            let shadowed =
+              match txt with
+              | Lident name -> Hashtbl.mem locals name
+              | _ -> false
+            in
             List.iter
               (fun (banned, why) ->
-                if path = banned then
+                if path = banned && not shadowed then
                   flag ~loc ~attrs:e.pexp_attributes
                     (Printf.sprintf "banned construct %s: %s" banned why))
               banned_idents

@@ -23,18 +23,23 @@ let rule_id = "R5"
    with an ABFT_BOUNDS_CHECK-selected checked twin. *)
 let kernel_basenames = [ "vec.ml"; "blas2.ml"; "mat.ml"; "blas3.ml"; "lapack.ml" ]
 
-let unsafe_path txt =
-  match Ast_util.path_parts txt with
-  | [ _; _ ] | [ _; _; _ ] -> (
-      let last = Ast_util.path_last txt in
-      if String.length last > 7 && String.sub last 0 7 = "unsafe_" then
-        Some (Ast_util.path_string txt)
-      else None)
+(* Module-qualified (two or more components after alias expansion)
+   [M.unsafe_*]. Bare [unsafe_foo] locals are someone's own function
+   and stay out of scope. *)
+let unsafe_parts parts =
+  match (parts, List.rev parts) with
+  | (_ :: _ :: _), last :: _
+    when String.length last > 7 && String.sub last 0 7 = "unsafe_" ->
+      Some (String.concat "." parts)
   | _ -> None
 
 let check ~file (str : structure) =
   if List.mem (Filename.basename file) kernel_basenames then []
   else begin
+    (* resolve [module A = Array] style aliases so a finding names the
+       real module and an alias cannot hide an unchecked access *)
+    let aliases = Ast_util.module_aliases str in
+    let unsafe_path txt = unsafe_parts (Ast_util.resolve_path aliases txt) in
     let findings = ref [] in
     let add ~loc ~attrs path =
       let msg =

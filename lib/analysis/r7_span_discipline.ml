@@ -1,0 +1,93 @@
+(* R7 — span/resource discipline for the observability layer.
+
+   Two paired-resource protocols underpin the tracing story:
+
+   - a span opened with [let t0 = Obs.start obs] must reach a matching
+     [Obs.stop obs ... t0] on every path out of the function. A raise
+     between the start and its stop skips the stop and the span
+     silently vanishes from the trace — exactly when a trace is most
+     needed. [Obs.span] records the span even if the body raises, so
+     the fix is mechanical;
+   - attaching an observability sink to a shared pool
+     ([Pool.set_obs pool (Some obs)]) mutates state that outlives the
+     call, so the restoring [set_obs] must sit in a
+     [Fun.protect ~finally] in the same function.
+
+   The checks are lexical over the extracted event stream (pre-order =
+   source order for this code), the same bargain R2 makes. Waive with
+   [[@abft.waive "reason"]] on an enclosing expression. *)
+
+let rule_id = "R7"
+
+let check (idx : Index.t) =
+  let findings = ref [] in
+  let add ~loc msg =
+    findings := Finding.make ~rule:rule_id ~loc:(Ir.to_location loc) msg :: !findings
+  in
+  List.iter
+    (fun (fs : Ir.file_summary) ->
+      List.iter
+        (fun (d : Ir.def) ->
+          let events = Array.of_list d.Ir.events in
+          let n = Array.length events in
+          let stop_used = Array.make n false in
+          for i = 0 to n - 1 do
+            match events.(i) with
+            | Ir.Obs_start { bound = None; start_loc } ->
+                add ~loc:start_loc
+                  "Obs.start result is not bound, so this span can never \
+                   be stopped; bind it or use Obs.span"
+            | Ir.Obs_start { bound = Some tok; start_loc } -> (
+                let stop = ref None in
+                (try
+                   for j = i + 1 to n - 1 do
+                     match events.(j) with
+                     | Ir.Obs_stop { stop_args; _ }
+                       when (not stop_used.(j)) && List.mem tok stop_args ->
+                         stop := Some j;
+                         raise Exit
+                     | _ -> ()
+                   done
+                 with Exit -> ());
+                match !stop with
+                | None ->
+                    add ~loc:start_loc
+                      (Printf.sprintf
+                         "span [%s] started here is never stopped in this \
+                          function; add the matching Obs.stop or use \
+                          Obs.span"
+                         tok)
+                | Some j ->
+                    stop_used.(j) <- true;
+                    for k = i + 1 to j - 1 do
+                      match events.(k) with
+                      | Ir.Raise { raise_loc; _ } ->
+                          add ~loc:start_loc
+                            (Printf.sprintf
+                               "span [%s] is not closed on the exception \
+                                path of the raise at line %d; use Obs.span \
+                                (recorded even if the body raises) or \
+                                Fun.protect"
+                               tok raise_loc.Ir.start.Ir.line)
+                      | _ -> ()
+                    done)
+            | _ -> ()
+          done;
+          let sets =
+            List.filter_map
+              (function
+                | Ir.Set_obs { set_in_finally; set_loc } ->
+                    Some (set_in_finally, set_loc)
+                | _ -> None)
+              d.Ir.events
+          in
+          match sets with
+          | [] -> ()
+          | (_, first_loc) :: _ ->
+              if not (List.exists fst sets) then
+                add ~loc:first_loc
+                  "observability sink attached to a shared pool without a \
+                   Fun.protect ~finally restore in the same function")
+        fs.defs)
+    (Index.files idx);
+  List.rev !findings

@@ -1,9 +1,10 @@
-type t = {
-  id : string;
-  title : string;
-  rationale : string;
-  check : file:string -> Ppxlib.Parsetree.structure -> Finding.t list;
-}
+type kind =
+  | File of (file:string -> Ppxlib.Parsetree.structure -> Finding.t list)
+      (* syntactic, one file at a time — cacheable per file *)
+  | Project of (Index.t -> Finding.t list)
+      (* dataflow over the whole-program index *)
+
+type t = { id : string; title : string; rationale : string; kind : kind }
 
 let all =
   [
@@ -15,7 +16,7 @@ let all =
          the drivers' par_for) run concurrently; writes to captured state \
          race unless each item writes a slice indexed by an item-local \
          binding (the disjoint-write idiom). Waive with [@abft.waive].";
-      check = R1_parallel_writes.check;
+      kind = File R1_parallel_writes.check;
     };
     {
       id = "R2";
@@ -25,7 +26,7 @@ let all =
          lib/qr/ft_qr.ml must be preceded, in the same top-level function, \
          by a verification call — the Enhanced Online-ABFT invariant. Waive \
          a deliberately unverified read with [@abft.unverified \"reason\"].";
-      check = R2_verify_before_read.check;
+      kind = File R2_verify_before_read.check;
     };
     {
       id = "R3";
@@ -34,7 +35,7 @@ let all =
         "catch-all exception handlers, Obj.magic, List.hd/List.nth, \
          polymorphic =/compare on float literals: each has silently broken \
          an ABFT implementation before. Waive with [@abft.waive \"reason\"].";
-      check = R3_banned.check;
+      kind = File R3_banned.check;
     };
     {
       id = "R4";
@@ -44,7 +45,7 @@ let all =
          permanent fault into a livelock — worse than giving up, because \
          nothing is ever reported. Thread an explicit max/limit/budget \
          through the recursion, or waive with [@abft.waive \"reason\"].";
-      check = R4_unbounded_retry.check;
+      kind = File R4_unbounded_retry.check;
     };
     {
       id = "R5";
@@ -55,7 +56,42 @@ let all =
          bounds-checked twins selected by ABFT_BOUNDS_CHECK=1; anywhere \
          else they escape that audit and risk silent memory corruption. \
          Waive with [@abft.waive \"reason\"].";
-      check = R5_unsafe_access.check;
+      kind = File R5_unsafe_access.check;
+    };
+    {
+      id = "R6";
+      title = "unverified-data taint in the FT drivers (whole-program)";
+      rationale =
+        "values produced by Blas3.*_alloc or the checksum encoders are \
+         tainted until a Verify.compare/compare_batch, verify* helper or \
+         recovery rung mentions them; any other call that reads a tainted \
+         binding in ft.ml/ft_lu.ml/ft_qr.ml/resilient.ml consumes data the \
+         ABFT layer never checked. Interprocedural through the project \
+         index: helpers wrapping a source taint their callers. Waive with \
+         [@abft.unverified \"reason\"].";
+      kind = Project R6_taint.check;
+    };
+    {
+      id = "R7";
+      title = "observability spans and pool sinks close on all paths";
+      rationale =
+        "a span opened with Obs.start must reach its Obs.stop on every \
+         path — a raise in between loses the span exactly when the trace \
+         matters; Pool.set_obs mutates shared state and needs its restore \
+         inside Fun.protect ~finally. Use Obs.span for raise-safe regions. \
+         Waive with [@abft.waive \"reason\"].";
+      kind = Project R7_span_discipline.check;
+    };
+    {
+      id = "R8";
+      title = "recovery raises and handlers always account";
+      rationale =
+        "a recovery-ladder raise (Recovery.*, Gave_up) must happen after a \
+         visible stats update, or be caught by a handler in the same file \
+         that accounts or re-raises; a handler that swallows a recovery \
+         exception without accounting turns a detected fault into silent \
+         corruption. Waive with [@abft.waive \"reason\"].";
+      kind = Project R8_exception_paths.check;
     };
   ]
 

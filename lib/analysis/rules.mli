@@ -1,10 +1,16 @@
 (** The rule registry: every project invariant `abftlint` enforces. *)
 
+type kind =
+  | File of (file:string -> Ppxlib.Parsetree.structure -> Finding.t list)
+      (** syntactic, one file at a time — cacheable per file *)
+  | Project of (Index.t -> Finding.t list)
+      (** dataflow over the whole-program index (R6/R7/R8) *)
+
 type t = {
-  id : string;  (** "R1", "R2", "R3", "R4", "R5" *)
+  id : string;  (** "R1" … "R8" *)
   title : string;
   rationale : string;
-  check : file:string -> Ppxlib.Parsetree.structure -> Finding.t list;
+  kind : kind;
 }
 
 val all : t list

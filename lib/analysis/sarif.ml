@@ -1,0 +1,85 @@
+(* SARIF 2.1.0 export, for code-scanning UIs and CI annotation.
+
+   Hand-rolled against the published schema with the repo's one JSON
+   escaper, like every other exporter here (Chrome traces, bench
+   reports). The mapping:
+
+   - blocking finding  -> level "error"
+   - waived finding    -> level "note" + suppression kind "inSource"
+                          (the [@abft.*] attribute is the in-source
+                          suppression, justification = its reason)
+   - baselined finding -> level "note" + suppression kind "external"
+                          (the committed baseline file)
+   - file/parse error  -> tool execution notification, and
+                          executionSuccessful false
+
+   Columns: SARIF regions are 1-based; [Finding.col] is 0-based. *)
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let esc = Finding.json_escape
+
+let rule_json (r : Rules.t) =
+  Printf.sprintf
+    "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"},\"fullDescription\":{\"text\":\"%s\"}}"
+    (esc r.Rules.id) (esc r.Rules.title) (esc r.Rules.rationale)
+
+let result_json (f : Finding.t) =
+  let level = if Finding.is_blocking f then "error" else "note" in
+  let suppressions =
+    if f.Finding.waived then
+      let justification =
+        match f.Finding.waiver_reason with
+        | Some r -> Printf.sprintf ",\"justification\":\"%s\"" (esc r)
+        | None -> ""
+      in
+      Printf.sprintf ",\"suppressions\":[{\"kind\":\"inSource\"%s}]"
+        justification
+    else if f.Finding.baselined then
+      ",\"suppressions\":[{\"kind\":\"external\",\"justification\":\"committed \
+       baseline\"}]"
+    else ""
+  in
+  Printf.sprintf
+    "{\"ruleId\":\"%s\",\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]%s}"
+    (esc f.Finding.rule) level
+    (esc f.Finding.message)
+    (esc f.Finding.file)
+    (max 1 f.Finding.line)
+    (f.Finding.col + 1)
+    suppressions
+
+let report ~tool_version ~rules ~findings ~errors =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"$schema\":\"%s\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"abftlint\",\"version\":\"%s\",\"informationUri\":\"https://github.com/abft-repro\",\"rules\":["
+       schema_uri (esc tool_version));
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (rule_json r))
+    rules;
+  Buffer.add_string buf "]}},\"results\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (result_json f))
+    findings;
+  Buffer.add_string buf "],\"invocations\":[{\"executionSuccessful\":";
+  Buffer.add_string buf (if errors = [] then "true" else "false");
+  (match errors with
+  | [] -> ()
+  | errors ->
+      Buffer.add_string buf ",\"toolExecutionNotifications\":[";
+      List.iteri
+        (fun i (file, msg) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"level\":\"error\",\"message\":{\"text\":\"%s: %s\"}}"
+               (esc file) (esc msg)))
+        errors;
+      Buffer.add_string buf "]");
+  Buffer.add_string buf "}]}]}";
+  Buffer.contents buf

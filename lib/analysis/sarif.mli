@@ -1,0 +1,13 @@
+(** SARIF 2.1.0 export: blocking findings as ["error"] results, waived
+    and baselined findings as ["note"]s with the matching suppression
+    kind ([inSource] / [external]), file errors as tool execution
+    notifications. Regions use SARIF's 1-based columns. *)
+
+val schema_uri : string
+
+val report :
+  tool_version:string ->
+  rules:Rules.t list ->
+  findings:Finding.t list ->
+  errors:(string * string) list ->
+  string

@@ -294,11 +294,10 @@ let run_attempt st ~from ~on_boundary =
     end;
     (* ---- POTF2 on the (host-side) diagonal block ---- *)
     let diag = tile j j in
-    let t0 = Obs.start st.obs in
-    (try Lapack.potf2 Types.Lower diag
-     with Lapack.Not_positive_definite k ->
-       raise (Recovery.Error (Recovery.Fail_stop { iteration = j; column = k })));
-    Obs.stop st.obs ~tile:(j, j) ~op:"potf2" ~phase:"compute" t0;
+    Obs.span st.obs ~tile:(j, j) ~op:"potf2" ~phase:"compute" (fun () ->
+        try Lapack.potf2 Types.Lower diag
+        with Lapack.Not_positive_definite k ->
+          raise (Recovery.Error (Recovery.Fail_stop { iteration = j; column = k })));
     emit st (Trace_op.Potf2 j);
     Injector.fire_compute st.injector ~iteration:j ~op:Fault.Potf2 ~block:(j, j) diag;
     if with_ft then begin

@@ -140,7 +140,14 @@ let run_attempt st ~scheme =
       end;
       let qk = st.panels.(k) and aj = st.panels.(j) in
       (* R_kj = Qk^T Aj *)
-      let rkj = Blas3.gemm_alloc ~transa:Types.Trans qk aj in
+      let rkj =
+        Blas3.gemm_alloc ~transa:Types.Trans qk aj
+        [@abft.unverified
+          "both operands were verified by the K-gated pre-read pass above; \
+           the R entry is consumed immediately and the panel update that \
+           follows carries its own checksum chains, which the next gated \
+           pass checks"]
+      in
       Mat.blit ~src:rkj ~dst:st.r ~row:(k * b) ~col:(j * b);
       (* Aj -= Qk Rkj, chk(Aj) -= chk(Qk) Rkj — on both replicas, each
          reading its own copy of chk(Qk) so the chains stay

@@ -1,0 +1,13 @@
+(* R6 fixture: named ft.ml so the taint rule is in scope. Every read
+   below consumes checksummed-kernel output with no verify or recovery
+   rung in between — each must be flagged. *)
+
+let direct_flow st a b = Mat.blit ~src:(Blas3.gemm_alloc a b) ~dst:st
+
+let bound_then_read st a b =
+  let c = Blas3.gemm_alloc a b in
+  Mat.axpy c st
+
+let cross_module st a b =
+  let c = Helpers.recompute a b in
+  Mat.axpy c st

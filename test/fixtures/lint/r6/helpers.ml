@@ -1,0 +1,4 @@
+(* Cross-module producer: the index fixpoint makes its result a taint
+   source at every call site (its tail call lands in Blas3). *)
+
+let recompute a b = Blas3.gemm_alloc a b

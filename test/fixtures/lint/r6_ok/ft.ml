@@ -1,0 +1,22 @@
+(* Passing twin of r6/ft.ml: every kernel read is verified, recovered
+   or explicitly waived before use. *)
+
+let verified_flow st chk a b =
+  verify_block st (0, 0);
+  let c = Blas3.gemm_alloc a b in
+  Verify.compare chk c;
+  Mat.axpy c st
+
+let helper_verified st a b =
+  verify_block st (0, 0);
+  let c = Helpers.recompute a b in
+  verify_block st c;
+  Mat.axpy c st
+
+let waived st a b =
+  verify_block st (0, 0);
+  let c =
+    Blas3.gemm_alloc a b
+    [@abft.unverified "fixture: deliberately unchecked read"]
+  in
+  Mat.axpy c st

@@ -1,0 +1,3 @@
+(* Cross-module producer, as in the failing twin. *)
+
+let recompute a b = Blas3.gemm_alloc a b

@@ -1,0 +1,20 @@
+(* R7 fixture: observability spans must close on every path and pool
+   attachments must restore under Fun.protect — each function below
+   violates one of those. *)
+
+let unbound_start st f =
+  Obs.start st.obs;
+  f ()
+
+let never_stopped st f =
+  let t0 = Obs.start st.obs in
+  f t0
+
+let open_across_raise st f =
+  let t0 = Obs.start st.obs in
+  if f () then raise (Failure "boom");
+  Obs.stop st.obs t0
+
+let bare_attach pool sink work =
+  Pool.set_obs pool sink;
+  work pool

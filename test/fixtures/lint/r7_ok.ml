@@ -1,0 +1,18 @@
+(* Passing twin of r7_bad.ml: every span closes on all paths and the
+   pool attachment restores the saved sink under Fun.protect. *)
+
+let stopped st f =
+  let t0 = Obs.start st.obs in
+  let r = f () in
+  Obs.stop st.obs t0;
+  r
+
+let spanned st f = Obs.span st.obs ~op:"work" ~phase:"compute" f
+
+let protected_attach pool sink work =
+  let saved = Pool.obs pool in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_obs pool saved)
+    (fun () ->
+      Pool.set_obs pool sink;
+      work pool)

@@ -1,0 +1,9 @@
+(* R8 fixture: recovery-ladder raises must be accounted before they
+   escalate, and recovery exceptions must never be swallowed. *)
+
+let escalate st j =
+  if j < 0 then raise (Recovery.Error (Recovery.Fail_stop j));
+  st
+
+let swallow run st =
+  try run st with Recovery.Error _ -> st

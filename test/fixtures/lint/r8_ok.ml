@@ -1,0 +1,17 @@
+(* Passing twin of r8_bad.ml: every escalation is accounted and every
+   recovery handler either updates stats or re-raises. The accounting
+   in [escalate] flows through a local helper, exercising the index's
+   stat-updater fixpoint. *)
+
+let bump st = st.retries <- st.retries + 1
+
+let escalate st j =
+  bump st;
+  if j < 0 then raise (Recovery.Error (Recovery.Fail_stop j));
+  st
+
+let retry run st =
+  try run st
+  with Recovery.Error e ->
+    bump st;
+    raise (Recovery.Error e)

@@ -403,6 +403,256 @@ let test_syntax_error_reported () =
   Alcotest.(check int) "parse error exits 2" 2 (A.Driver.exit_code r);
   Alcotest.(check int) "error recorded" 1 (List.length r.A.Driver.errors)
 
+(* ------------------------------------------------------------------ *)
+(* R6/R7/R8: whole-program dataflow over the fixture programs          *)
+(* ------------------------------------------------------------------ *)
+
+let run_fixture p = A.Driver.run [ fixture p ]
+
+let locs rule_id (r : A.Driver.report) =
+  List.map
+    (fun f -> (f.A.Finding.line, f.A.Finding.col))
+    (blocking (with_rule rule_id r.A.Driver.findings))
+
+let test_r6_fixture_locations () =
+  (* direct flow, tainted binding, and the cross-module helper (the
+     source resolves through helpers.ml via the index) *)
+  let r = run_fixture "r6" in
+  Alcotest.(check (list (pair int int)))
+    "R6 finding locations"
+    [ (5, 25); (9, 2); (13, 2) ]
+    (locs "R6" r)
+
+let test_r6_twin_clean () =
+  let r = run_fixture "r6_ok" in
+  check_count "no blocking R6" 0
+    (blocking (with_rule "R6" r.A.Driver.findings));
+  check_count "the waived read is still reported" 1
+    (with_rule "R6" r.A.Driver.findings);
+  check_count "its waiver is not stale" 0
+    (with_rule "W0" r.A.Driver.findings)
+
+let test_r7_fixture_locations () =
+  (* unbound start, never-stopped span, raise across an open span, and
+     a pool attachment without a Fun.protect restore *)
+  let r = run_fixture "r7_bad.ml" in
+  Alcotest.(check (list (pair int int)))
+    "R7 finding locations"
+    [ (6, 2); (10, 11); (14, 11); (19, 2) ]
+    (locs "R7" r)
+
+let test_r7_twin_clean () =
+  let r = run_fixture "r7_ok.ml" in
+  check_count "no R7 findings" 0 (with_rule "R7" r.A.Driver.findings)
+
+let test_r8_fixture_locations () =
+  (* unaccounted recovery raise; swallowed recovery exception *)
+  let r = run_fixture "r8_bad.ml" in
+  Alcotest.(check (list (pair int int)))
+    "R8 finding locations"
+    [ (5, 16); (9, 18) ]
+    (locs "R8" r)
+
+let test_r8_twin_clean () =
+  (* the twin routes its accounting through a local helper, so a pass
+     requires the index's stat-updater fixpoint *)
+  let r = run_fixture "r8_ok.ml" in
+  check_count "no R8 findings" 0 (with_rule "R8" r.A.Driver.findings)
+
+(* ------------------------------------------------------------------ *)
+(* Waiver scoping and the stale-waiver check                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_waiver_nested_let () =
+  let fs =
+    lint
+      {|let f x =
+  let g = (List.hd x) [@abft.waive "fixture"] in
+  g|}
+  in
+  check_count "no blocking findings" 0 (blocking fs);
+  check_count "waived R3 still reported" 1 (with_rule "R3" fs);
+  check_count "used waiver is not stale" 0 (with_rule "W0" fs)
+
+let test_waiver_module_level () =
+  let fs =
+    lint {|[@@@abft.waive "fixture: whole-file"]
+
+let f x = List.hd x|}
+  in
+  check_count "no blocking findings" 0 (blocking fs);
+  check_count "waived R3 still reported" 1 (with_rule "R3" fs)
+
+let test_stale_waiver_flagged () =
+  let fs =
+    lint {|let f x = (List.length x) [@abft.waive "nothing here"]|}
+  in
+  match with_rule "W0" fs with
+  | [ f ] ->
+      Alcotest.(check bool) "stale waiver blocks" true (A.Finding.is_blocking f);
+      Alcotest.(check int) "line" 1 f.A.Finding.line
+  | w0 -> Alcotest.failf "expected one W0 finding, got %d" (List.length w0)
+
+let test_stale_waiver_gated_off () =
+  (* under --rules a waiver's rule may simply be off, so W0 must not run *)
+  let fs =
+    lint
+      ~rules:[ rule "R3" ]
+      {|let f x = (List.length x) [@abft.waive "nothing here"]|}
+  in
+  check_count "no W0 under a rule subset" 0 (with_rule "W0" fs)
+
+let test_unverified_answers_only_r2_r6 () =
+  (* [@abft.unverified] must not suppress a banned-construct finding *)
+  let fs =
+    lint {|let f x = (List.hd x) [@abft.unverified "wrong attribute"]|}
+  in
+  check_count "R3 finding still blocking" 1 (blocking (with_rule "R3" fs))
+
+(* ------------------------------------------------------------------ *)
+(* R3 shadowing: a file's own [compare] is not the polymorphic one     *)
+(* ------------------------------------------------------------------ *)
+
+let test_r3_shadowed_compare_ok () =
+  let fs =
+    lint ~rules:[ rule "R3" ]
+      {|let compare a b = Float.compare a.x b.x
+
+let sort l = List.sort compare l|}
+  in
+  check_count "shadowed compare not flagged" 0 fs
+
+let test_r3_stdlib_compare_still_banned () =
+  let fs =
+    lint ~rules:[ rule "R3" ]
+      {|let compare a b = Float.compare a.x b.x
+
+let sort l = List.sort Stdlib.compare l|}
+  in
+  check_count "qualified Stdlib.compare still flagged" 1 (blocking fs)
+
+(* ------------------------------------------------------------------ *)
+(* R5 alias resolution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_r5_alias_resolved () =
+  let fs =
+    lint ~rules:[ rule "R5" ]
+      {|module A = Array
+
+let f a i = A.unsafe_get a i|}
+  in
+  match blocking fs with
+  | [ f ] ->
+      Alcotest.(check bool) "finding names the real module" true
+        (let msg = f.A.Finding.message in
+         let n = String.length "Array.unsafe_get" and h = String.length msg in
+         let rec go i =
+           i + n <= h
+           && (String.sub msg i n = "Array.unsafe_get" || go (i + 1))
+         in
+         go 0)
+  | fs -> Alcotest.failf "expected one R5 finding, got %d" (List.length fs)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: round-trip, demotion, stale entries                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_baseline_roundtrip () =
+  let r = A.Driver.run [ fixture "r3_bad.ml" ] in
+  let path = Filename.temp_file "abftlint-baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      A.Baseline.save path r.A.Driver.findings;
+      match A.Baseline.load path with
+      | Error e -> Alcotest.fail e
+      | Ok entries ->
+          let demoted =
+            A.Driver.run ~baseline:entries [ fixture "r3_bad.ml" ]
+          in
+          Alcotest.(check int) "baselined run exits 0" 0
+            (A.Driver.exit_code demoted);
+          check_count "no blocking left" 0
+            (blocking demoted.A.Driver.findings);
+          Alcotest.(check int) "all six demoted" 6
+            (List.length
+               (List.filter
+                  (fun f -> f.A.Finding.baselined)
+                  demoted.A.Driver.findings));
+          check_count "no stale entries" 0 demoted.A.Driver.stale_baseline)
+
+let test_baseline_stale_entry () =
+  let entries =
+    [ { A.Baseline.rule = "R3"; file = "ghost.ml"; message = "gone" } ]
+  in
+  let r = A.Driver.run ~baseline:entries [ fixture "clean.ml" ] in
+  check_count "stale entry reported" 1 r.A.Driver.stale_baseline;
+  Alcotest.(check int) "stale baseline is not an error" 0 (A.Driver.exit_code r)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental cache                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_warm_run () =
+  let dir = Filename.temp_file "abftlint-cache" "" in
+  Sys.remove dir;
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ()
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let cold = A.Driver.run ~cache_dir:dir [ fixture "r3_bad.ml" ] in
+      Alcotest.(check int) "cold run parses the file" 1
+        cold.A.Driver.files_parsed;
+      let warm = A.Driver.run ~cache_dir:dir [ fixture "r3_bad.ml" ] in
+      Alcotest.(check int) "warm run re-parses nothing" 0
+        warm.A.Driver.files_parsed;
+      Alcotest.(check int) "same findings either way"
+        (List.length cold.A.Driver.findings)
+        (List.length warm.A.Driver.findings);
+      let subset =
+        A.Driver.run ~rules:[ rule "R3" ] ~cache_dir:dir
+          [ fixture "r3_bad.ml" ]
+      in
+      Alcotest.(check int) "rule-set change misses the cache" 1
+        subset.A.Driver.files_parsed)
+
+(* ------------------------------------------------------------------ *)
+(* SARIF export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_sarif_report () =
+  let r = A.Driver.run [ fixture "r3_bad.ml" ] in
+  let s = A.Driver.sarif_report r in
+  let has needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true (go 0)
+  in
+  has {|"$schema":"https://json.schemastore.org/sarif-2.1.0.json"|};
+  has {|"version":"2.1.0"|};
+  has {|"name":"abftlint"|};
+  has {|"ruleId":"R3"|};
+  has {|"level":"error"|};
+  has {|"executionSuccessful":true|}
+
+let test_sarif_suppressions () =
+  (* a waived finding exports as a note with an in-source suppression *)
+  let r = run_fixture "r6_ok" in
+  let s = A.Driver.sarif_report r in
+  let has needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true (go 0)
+  in
+  has {|"level":"note"|};
+  has {|"kind":"inSource"|}
+
 let () =
   Alcotest.run "analysis"
     [
@@ -438,6 +688,10 @@ let () =
             test_r3_float_neq_fast_path_ok;
           Alcotest.test_case "typed compare ok" `Quick test_r3_typed_compare_ok;
           Alcotest.test_case "waiver downgrades" `Quick test_r3_waiver;
+          Alcotest.test_case "shadowed compare ok" `Quick
+            test_r3_shadowed_compare_ok;
+          Alcotest.test_case "Stdlib.compare still banned" `Quick
+            test_r3_stdlib_compare_still_banned;
         ] );
       ( "r4",
         [
@@ -462,6 +716,36 @@ let () =
             test_r5_bare_reference_flagged;
           Alcotest.test_case "safe access ok" `Quick test_r5_safe_access_ok;
           Alcotest.test_case "waiver downgrades" `Quick test_r5_waiver;
+          Alcotest.test_case "alias resolved" `Quick test_r5_alias_resolved;
+        ] );
+      ( "r6",
+        [
+          Alcotest.test_case "fixture locations" `Quick
+            test_r6_fixture_locations;
+          Alcotest.test_case "twin clean" `Quick test_r6_twin_clean;
+        ] );
+      ( "r7",
+        [
+          Alcotest.test_case "fixture locations" `Quick
+            test_r7_fixture_locations;
+          Alcotest.test_case "twin clean" `Quick test_r7_twin_clean;
+        ] );
+      ( "r8",
+        [
+          Alcotest.test_case "fixture locations" `Quick
+            test_r8_fixture_locations;
+          Alcotest.test_case "twin clean" `Quick test_r8_twin_clean;
+        ] );
+      ( "waivers",
+        [
+          Alcotest.test_case "nested let" `Quick test_waiver_nested_let;
+          Alcotest.test_case "module level" `Quick test_waiver_module_level;
+          Alcotest.test_case "stale waiver flagged" `Quick
+            test_stale_waiver_flagged;
+          Alcotest.test_case "stale check gated off" `Quick
+            test_stale_waiver_gated_off;
+          Alcotest.test_case "unverified answers only R2/R6" `Quick
+            test_unverified_answers_only_r2_r6;
         ] );
       ( "driver",
         [
@@ -473,5 +757,13 @@ let () =
           Alcotest.test_case "json report" `Quick test_json_report;
           Alcotest.test_case "json escape" `Quick test_json_escape;
           Alcotest.test_case "syntax error" `Quick test_syntax_error_reported;
+          Alcotest.test_case "baseline roundtrip" `Quick
+            test_baseline_roundtrip;
+          Alcotest.test_case "baseline stale entry" `Quick
+            test_baseline_stale_entry;
+          Alcotest.test_case "cache warm run" `Quick test_cache_warm_run;
+          Alcotest.test_case "sarif report" `Quick test_sarif_report;
+          Alcotest.test_case "sarif suppressions" `Quick
+            test_sarif_suppressions;
         ] );
     ]
