@@ -1,0 +1,250 @@
+(* Throughput — the serving layer under offered load (real kernels).
+
+   Open-loop sweep against a live Serving.Server: deterministic arrival
+   schedules at multiples of the calibrated sustainable rate, reporting
+   achieved req/s, p50/p99 latency, and how much load the bounded queue
+   shed with Overloaded. A final fault-storm leg runs a storming tenant
+   (persistent injected faults, tight deadline, low quota weight) next
+   to a clean tenant and reports the clean tenant's p99 inflation — the
+   isolation number the serving layer exists to bound.
+
+   Times are wall-clock (Unix.gettimeofday): latency here is queueing +
+   service across domains, which CPU-time clocks would misreport. *)
+
+open Matrix
+module Server = Serving.Server
+module C = Cholesky
+
+let now = Unix.gettimeofday
+
+(* Small enough that the full sweep stays in bench-suite time; large
+   enough that service time dominates scheduling noise. *)
+let n = 96
+let block = 16
+let requests = 30
+let loads = [ 0.5; 1.0; 2.0 ]
+let storm_faults = 3
+
+let cfg =
+  {
+    Server.workers = 2;
+    pool_domains = 2;
+    queue_capacity = 8;
+    chol = C.Config.default;
+    seed = 0;
+  }
+
+let percentile p xs =
+  match xs with
+  | [] -> 0.
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      let k = p *. float_of_int (Array.length a - 1) in
+      a.(int_of_float (Float.round k))
+
+type arrival = { at : float; tenant : string; deadline : float }
+
+let schedule ?(deadline = 0.) ~rate ~count ~tenant () =
+  List.init count (fun i ->
+      { at = float_of_int i /. rate; tenant; deadline })
+
+let merge a b =
+  List.stable_sort (fun x y -> Float.compare x.at y.at) (a @ b)
+
+type leg = {
+  name : string;
+  offered_rps : float;
+  achieved_rps : float;
+  accepted : int;
+  overloaded : int;
+  completed : int;
+  p50_s : float;
+  p99_s : float;
+  clean_p99_s : float;
+}
+
+(* One leg: fresh server, submit along the schedule, await everything,
+   drain. Latency is submit-to-settle per ticket. *)
+let run_leg ~name ~offered_rps ~tenants arrivals =
+  let srv = Server.create cfg tenants in
+  let mats =
+    List.mapi
+      (fun i (t, _) -> (t, Spd.random_spd ~seed:(1000 * (i + 1)) n))
+      tenants
+  in
+  let t0 = now () in
+  let settled = ref [] in
+  List.iter
+    (fun a ->
+      let target = t0 +. a.at in
+      let dt = target -. now () in
+      if dt > 0. then Unix.sleepf dt;
+      let deadline_s = if a.deadline > 0. then Some a.deadline else None in
+      match
+        Server.submit srv ~tenant:a.tenant ?deadline_s
+          (Server.Factor (List.assoc a.tenant mats))
+      with
+      | Ok tk -> settled := (a.tenant, tk) :: !settled
+      | Error _ -> ())
+    arrivals;
+  (* latency comes from the outcome's own clocks (queue wait + slot
+     service, or elapsed-at-settlement) — measuring around await would
+     fold the harness's sequential await order into the numbers *)
+  let lats =
+    List.rev_map
+      (fun (tenant, tk) ->
+        let l =
+          match Server.await srv tk with
+          | Server.Completed { wait_s; service_s; _ } -> wait_s +. service_s
+          | Server.Deadline_exceeded { elapsed_s; _ }
+          | Server.Cancelled { elapsed_s; _ }
+          | Server.Failed { elapsed_s; _ } ->
+              elapsed_s
+        in
+        (tenant, l))
+      !settled
+  in
+  Server.shutdown srv ~drain:true;
+  let wall = Float.max 1e-9 (now () -. t0) in
+  let c = Server.counters srv in
+  let all = List.map snd lats in
+  let clean =
+    List.filter_map
+      (fun (t, l) -> if String.equal t "clean" then Some l else None)
+      lats
+  in
+  let leg =
+    {
+      name;
+      offered_rps;
+      achieved_rps = float_of_int c.Server.completed /. wall;
+      accepted = c.Server.accepted;
+      overloaded = c.Server.rejected_overloaded;
+      completed = c.Server.completed;
+      p50_s = percentile 0.5 all;
+      p99_s = percentile 0.99 all;
+      clean_p99_s = percentile 0.99 clean;
+    }
+  in
+  Bench_util.record ~name ~size:n
+    [
+      ("offered_rps", leg.offered_rps);
+      ("achieved_rps", leg.achieved_rps);
+      ("accepted", float_of_int leg.accepted);
+      ("rejected_overloaded", float_of_int leg.overloaded);
+      ("completed", float_of_int leg.completed);
+      ("p50_s", leg.p50_s);
+      ("p99_s", leg.p99_s);
+      ("clean_p99_s", leg.clean_p99_s);
+    ];
+  leg
+
+let print_leg l =
+  Format.printf "  %-12s %8.1f %8.1f %6d %6d %6d %9.2f %9.2f@." l.name
+    l.offered_rps l.achieved_rps l.accepted l.overloaded l.completed
+    (1000. *. l.p50_s) (1000. *. l.p99_s)
+
+(* Same calibration discipline as bin/ftserve: measure through the
+   server with every slot busy, warmup batch discarded, median of the
+   second batch. *)
+let calibrate () =
+  let srv =
+    Server.create
+      { cfg with Server.queue_capacity = 4 * cfg.Server.workers }
+      [ ("clean", Server.clean_tenant) ]
+  in
+  let a = Spd.random_spd ~seed:0 n in
+  let batch () =
+    List.init (4 * cfg.Server.workers) (fun i -> i)
+    |> List.filter_map (fun _ ->
+           Result.to_option (Server.submit srv ~tenant:"clean" (Server.Factor a)))
+    |> List.filter_map (fun tk ->
+           match Server.await srv tk with
+           | Server.Completed { service_s; _ } -> Some service_s
+           | _ -> None)
+  in
+  ignore (batch () : float list);
+  let samples = Array.of_list (batch ()) in
+  Array.sort Float.compare samples;
+  Server.shutdown srv ~drain:true;
+  if Array.length samples = 0 then 1e-3
+  else Float.max 1e-6 samples.(Array.length samples / 2)
+
+let storm_policy =
+  {
+    Server.clean_tenant with
+    Server.weight = 1;
+    plan =
+      (fun ~n ~block ~seed ->
+        Campaign.plan Campaign.Mixed ~seed ~grid:(n / block)
+          ~block ~count:storm_faults);
+    chol = Some (C.Config.make ~block ~snapshot_interval:2 ~max_rollbacks:4 ());
+  }
+
+let run () =
+  Bench_util.header
+    (Printf.sprintf
+       "Throughput — serving layer under offered load (%d^2, block %d, %d \
+        workers)"
+       n block cfg.Server.workers);
+  let service_s = calibrate () in
+  let sustainable = float_of_int cfg.Server.workers /. service_s in
+  Bench_util.note "calibrated service %.2f ms => sustainable %.1f req/s"
+    (1000. *. service_s) sustainable;
+  Format.printf "  %-12s %8s %8s %6s %6s %6s %9s %9s@." "leg" "offer" "ach"
+    "acc" "ovl" "done" "p50ms" "p99ms";
+  List.iter
+    (fun m ->
+      let rate = m *. sustainable in
+      let l =
+        run_leg
+          ~name:(Printf.sprintf "load-%.2gx" m)
+          ~offered_rps:rate
+          ~tenants:[ ("clean", Server.clean_tenant) ]
+          (schedule ~rate ~count:requests ~tenant:"clean" ())
+      in
+      print_leg l)
+    loads;
+  (* fault-storm isolation: clean tenant alone, then the same clean
+     traffic next to a storming tenant held to one slot by 7:1 quota
+     weights, a tight per-request deadline, and rollback recovery. *)
+  let clean_rate = 0.25 *. sustainable in
+  let clean_count = 2 * requests in
+  let clean_sched =
+    schedule ~rate:clean_rate ~count:clean_count ~tenant:"clean" ()
+  in
+  let base =
+    run_leg ~name:"storm-base" ~offered_rps:clean_rate
+      ~tenants:[ ("clean", Server.clean_tenant) ]
+      clean_sched
+  in
+  print_leg base;
+  let storm_sched =
+    schedule ~deadline:(1.5 *. service_s) ~rate:(0.35 *. sustainable)
+      ~count:clean_count ~tenant:"storm" ()
+  in
+  let mixed =
+    run_leg ~name:"storm"
+      ~offered_rps:(clean_rate +. (0.35 *. sustainable))
+      ~tenants:
+        [
+          ("clean", { Server.clean_tenant with Server.weight = 7 });
+          ("storm", storm_policy);
+        ]
+      (merge clean_sched storm_sched)
+  in
+  print_leg mixed;
+  let floor_s = Float.max base.clean_p99_s service_s in
+  Bench_util.note
+    "isolation: clean p99 %.2f ms under storm vs %.2f ms alone (x%.2f over \
+     max(baseline, one service time))"
+    (1000. *. mixed.clean_p99_s)
+    (1000. *. base.clean_p99_s)
+    (mixed.clean_p99_s /. floor_s);
+  Bench_util.record ~name:"isolation" ~size:n
+    [
+      ("baseline_clean_p99_s", base.clean_p99_s);
+      ("storm_clean_p99_s", mixed.clean_p99_s);
+      ("inflation", mixed.clean_p99_s /. floor_s);
+    ]

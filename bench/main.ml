@@ -33,6 +33,8 @@ let experiments =
      Bench_parallel.run);
     ("resilience", "Resilience — device-fault overhead of the failure-aware \
                     scheduler", Bench_resilience.run);
+    ("throughput", "Throughput — serving layer offered-load sweep + fault \
+                    storm", Bench_throughput.run);
     ("micro", "Bechamel microbenches (real kernels)", Bench_micro.run);
     ("fused", "Fused vs separate ABFT pipelines (real kernels)",
      Bench_micro.run_fused);

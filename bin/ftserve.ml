@@ -1,0 +1,491 @@
+(* ftserve: bounded load test for the factorization-as-a-service layer.
+
+   Calibrates the sustainable request rate from measured service time,
+   then drives open-loop offered-load legs through Serving.Server,
+   reporting accepted/rejected/completed counts, achieved req/s and
+   p50/p99 latency per leg. The storm part runs a clean-tenant
+   baseline leg and then the same clean load mixed with a
+   fault-storming tenant, asserting the isolation contract: clean p99
+   within --p99-factor of its baseline and zero silent corruption.
+
+   Exit codes (the CI contract):
+     0  load test ran and every assertion held
+     1  usage error
+     2  infrastructure failure, silent corruption, or a violated
+        backpressure/isolation assertion *)
+
+open Cmdliner
+open Matrix
+module C = Cholesky
+module Server = Serving.Server
+
+let exit_err msg =
+  Format.eprintf "ftserve: %s@." msg;
+  exit 1
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let n_arg =
+  Arg.(value & opt int 96 & info [ "n" ] ~docv:"N" ~doc:"Matrix order.")
+
+let block_arg =
+  Arg.(value & opt int 16 & info [ "block" ] ~docv:"B" ~doc:"Tile size.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "workers" ] ~docv:"W"
+        ~doc:"Worker slots (each a domain with a private pool).")
+
+let pool_domains_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "pool-domains" ] ~docv:"D"
+        ~doc:"Parallelism lanes per worker's pool.")
+
+let queue_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "queue" ] ~docv:"Q" ~doc:"Bounded submission queue capacity.")
+
+let requests_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "requests" ] ~docv:"R" ~doc:"Requests offered per leg.")
+
+let loads_arg =
+  Arg.(
+    value
+    & opt (list float) [ 0.5; 1.0; 2.0 ]
+    & info [ "loads" ] ~docv:"M,..."
+        ~doc:
+          "Offered-load legs as multiples of the calibrated sustainable \
+           rate.")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:"Per-request deadline; 0 disables deadlines.")
+
+let no_storm_arg =
+  Arg.(
+    value & flag
+    & info [ "no-storm" ] ~doc:"Skip the fault-storm isolation legs.")
+
+let storm_faults_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "storm-faults" ] ~docv:"K"
+        ~doc:"Faults per storming request (Campaign Mixed plans).")
+
+let p99_factor_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "p99-factor" ] ~docv:"F"
+        ~doc:
+          "Isolation bound: clean-tenant p99 under storm must stay within \
+           F times its no-storm baseline.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write per-leg metrics (bench-convention JSON, one record per \
+           leg) to $(docv).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-request outcomes.")
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop legs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type arrival = { at : float; tenant : string; deadline : float (* 0 = none *) }
+
+let schedule ?(deadline = 0.) ~rate ~count ~tenant () =
+  List.init count (fun i ->
+      { at = float_of_int i /. rate; tenant; deadline })
+
+let merge_arrivals a b =
+  List.stable_sort (fun x y -> Float.compare x.at y.at) (a @ b)
+
+type leg_result = {
+  leg : string;
+  offered_rps : float;
+  achieved_rps : float;
+  accepted : int;
+  rejected_overloaded : int;
+  rejected_quota : int;
+  rejected_breaker : int;
+  completed : int;
+  deadline_exceeded : int;
+  cancelled : int;
+  failed : int;
+  corruptions : int;
+  p50_s : float;
+  p99_s : float;
+  clean_p99_s : float;  (* p99 over the "clean" tenant only *)
+  obs_metrics : (string * float) list;
+}
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.
+  | len ->
+      let i = int_of_float (q *. float_of_int len) in
+      sorted.(min (len - 1) i)
+
+let sorted_of_list l =
+  let a = Array.of_list l in
+  Array.sort Float.compare a;
+  a
+
+(* one open-loop leg: submit along the arrival schedule (sleeping to
+   the next arrival, never blocking on results), then await every
+   accepted ticket and drain the leg's server *)
+let run_leg ~leg ~offered_rps ~cfg ~tenants ~matrix_order ~traced ~verbose
+    arrivals =
+  let obs = if traced then Obs.create () else Obs.null in
+  let srv = Server.create ~obs cfg tenants in
+  let mats =
+    List.mapi
+      (fun i (name, _) ->
+        ( name,
+          Spd.random_spd
+            ~seed:(cfg.Server.seed + (1000 * (i + 1)))
+            matrix_order ))
+      tenants
+  in
+  let t_start = now () in
+  let tickets = ref [] in
+  List.iter
+    (fun { at; tenant; deadline } ->
+      let lag = t_start +. at -. now () in
+      if lag > 0. then Unix.sleepf lag;
+      let work = Server.Factor (List.assoc tenant mats) in
+      let verdict =
+        if deadline > 0. then
+          Server.submit srv ~tenant ~deadline_s:deadline work
+        else Server.submit srv ~tenant work
+      in
+      match verdict with
+      | Ok tk -> tickets := (tenant, tk) :: !tickets
+      | Error r ->
+          if verbose then
+            Format.printf "  [%s] %s rejected: %a@." leg tenant
+              Server.pp_rejection r)
+    arrivals;
+  let lats = ref [] and clean_lats = ref [] in
+  List.iter
+    (fun (tenant, tk) ->
+      match Server.await srv tk with
+      | Server.Completed { wait_s; service_s; _ } ->
+          let l = wait_s +. service_s in
+          lats := l :: !lats;
+          if String.equal tenant "clean" then clean_lats := l :: !clean_lats
+      | o ->
+          if verbose then
+            Format.printf "  [%s] %s #%d: %a@." leg tenant
+              (Server.ticket_id tk) Server.pp_outcome o)
+    (List.rev !tickets);
+  Server.shutdown srv ~drain:true;
+  let wall = Float.max 1e-9 (now () -. t_start) in
+  let c = Server.counters srv in
+  let all = sorted_of_list !lats and clean = sorted_of_list !clean_lats in
+  {
+    leg;
+    offered_rps;
+    achieved_rps = float_of_int c.Server.completed /. wall;
+    accepted = c.Server.accepted;
+    rejected_overloaded = c.Server.rejected_overloaded;
+    rejected_quota = c.Server.rejected_quota;
+    rejected_breaker = c.Server.rejected_breaker;
+    completed = c.Server.completed;
+    deadline_exceeded = c.Server.deadline_exceeded;
+    cancelled = c.Server.cancelled;
+    failed = c.Server.failed;
+    corruptions = c.Server.corruptions;
+    p50_s = percentile all 0.5;
+    p99_s = percentile all 0.99;
+    clean_p99_s = percentile clean 0.99;
+    obs_metrics = (if traced then Obs.metric_list obs else []);
+  }
+
+let pp_leg fmt r =
+  Format.fprintf fmt
+    "%-14s %8.1f %8.1f %5d %5d %5d %5d %5d %5d %5d %5d %8.2f %8.2f" r.leg
+    r.offered_rps r.achieved_rps r.accepted r.rejected_overloaded
+    r.rejected_quota r.rejected_breaker r.completed r.deadline_exceeded
+    r.cancelled r.failed (1000. *. r.p50_s) (1000. *. r.p99_s)
+
+let leg_metrics r =
+  [
+    ("offered_rps", r.offered_rps);
+    ("achieved_rps", r.achieved_rps);
+    ("accepted", float_of_int r.accepted);
+    ("rejected_overloaded", float_of_int r.rejected_overloaded);
+    ("rejected_quota", float_of_int r.rejected_quota);
+    ("rejected_breaker", float_of_int r.rejected_breaker);
+    ("completed", float_of_int r.completed);
+    ("deadline_exceeded", float_of_int r.deadline_exceeded);
+    ("cancelled", float_of_int r.cancelled);
+    ("failed", float_of_int r.failed);
+    ("corruptions", float_of_int r.corruptions);
+    ("p50_s", r.p50_s);
+    ("p99_s", r.p99_s);
+    ("clean_p99_s", r.clean_p99_s);
+  ]
+  @ r.obs_metrics
+
+(* ------------------------------------------------------------------ *)
+(* The harness                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let storm_policy ~storm_faults ~block =
+  {
+    Server.clean_tenant with
+    Server.weight = 1;
+    plan =
+      (fun ~n ~block ~seed ->
+        Campaign.plan Campaign.Mixed ~seed ~grid:(n / block) ~block
+          ~count:storm_faults);
+    (* per-tenant resilience override: frequent verified snapshots let
+       the storming tenant recover by cheap rollback instead of full
+       restarts, so one storm request cannot occupy its slot for a
+       multiple of the clean service time *)
+    chol = Some (C.Config.make ~block ~snapshot_interval:2 ~max_rollbacks:4 ());
+  }
+
+let serve n block workers pool_domains queue requests loads deadline no_storm
+    storm_faults p99_factor seed metrics_out verbose =
+  if n < 4 then exit_err "--n must be >= 4";
+  if block < 2 then exit_err "--block must be >= 2";
+  if n mod block <> 0 then exit_err "--n must be a multiple of --block";
+  if workers < 1 then exit_err "--workers must be >= 1";
+  if pool_domains < 1 then exit_err "--pool-domains must be >= 1";
+  if queue < 1 then exit_err "--queue must be >= 1";
+  if requests < 1 then exit_err "--requests must be >= 1";
+  if loads = [] || List.exists (fun m -> m <= 0.) loads then
+    exit_err "--loads must be positive";
+  if p99_factor < 1. then exit_err "--p99-factor must be >= 1";
+  let cfg =
+    {
+      Server.workers;
+      pool_domains;
+      queue_capacity = queue;
+      chol = C.Config.make ~block ();
+      seed;
+    }
+  in
+  let traced = Option.is_some metrics_out in
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
+  let results =
+    (try
+       (* calibration: clean service time measured through the server
+          itself with all worker slots busy, so pool contention is
+          priced into the sustainable-rate estimate.  The first batch is
+          warmup only (allocator/domain spin-up inflates it); the
+          estimate is the median of the second batch, which is robust to
+          the odd GC-stalled sample in either direction.  An optimistic
+          estimate here is what turns the storm leg into a pileup. *)
+       let service_s =
+         let srv =
+           Server.create
+             { cfg with Server.queue_capacity = 4 * workers }
+             [ ("clean", Server.clean_tenant) ]
+         in
+         let a = Spd.random_spd ~seed n in
+         let run_batch () =
+           let tickets =
+             List.filter_map
+               (fun _ ->
+                 Result.to_option
+                   (Server.submit srv ~tenant:"clean" (Server.Factor a)))
+               (List.init (4 * workers) (fun i -> i))
+           in
+           List.filter_map
+             (fun tk ->
+               match Server.await srv tk with
+               | Server.Completed { service_s; _ } -> Some service_s
+               | _ -> None)
+             tickets
+         in
+         ignore (run_batch () : float list);
+         let samples = Array.of_list (run_batch ()) in
+         Array.sort Float.compare samples;
+         Server.shutdown srv ~drain:true;
+         if Array.length samples = 0 then
+           exit_err "calibration produced no completed requests";
+         Float.max 1e-6 samples.(Array.length samples / 2)
+       in
+       let sustainable = float_of_int workers /. service_s in
+       Format.printf
+         "calibration: service %.2f ms => sustainable %.1f req/s (%d \
+          worker(s))@."
+         (1000. *. service_s) sustainable workers;
+       let sweep =
+         List.map
+           (fun m ->
+             let rate = m *. sustainable in
+             let r =
+               run_leg
+                 ~leg:(Printf.sprintf "load-%.2gx" m)
+                 ~offered_rps:rate ~cfg
+                 ~tenants:[ ("clean", Server.clean_tenant) ]
+                 ~matrix_order:n ~traced ~verbose
+                 (schedule ~deadline ~rate ~count:requests ~tenant:"clean" ())
+             in
+             (Some m, r))
+           loads
+       in
+       let storm_legs =
+         if no_storm then []
+         else begin
+           (* clean traffic well under the sustainable rate, with and
+              without a storming tenant competing for the slots.  Double
+              the sample count here: with few samples the p99 collapses
+              to the single worst wait, which makes the isolation ratio
+              a coin flip on scheduler/GC noise. *)
+           let clean_rate = 0.25 *. sustainable in
+           let clean_count = 2 * requests in
+           let clean_sched =
+             schedule ~deadline ~rate:clean_rate ~count:clean_count
+               ~tenant:"clean" ()
+           in
+           let baseline =
+             run_leg ~leg:"storm-base" ~offered_rps:clean_rate ~cfg
+               ~tenants:[ ("clean", Server.clean_tenant) ]
+               ~matrix_order:n ~traced ~verbose clean_sched
+           in
+           (* storm requests carry a deadline bounding how long one can
+              occupy a slot; a storm run that blows it is cancelled at
+              the next iteration boundary (and repeated blowups trip
+              the tenant's breaker) *)
+           let storm_deadline =
+             let cap = 1.5 *. service_s in
+             if deadline > 0. then Float.min deadline cap else cap
+           in
+           let storm_sched =
+             schedule ~deadline:storm_deadline ~rate:(0.35 *. sustainable)
+               ~count:clean_count ~tenant:"storm" ()
+           in
+           let mixed =
+             run_leg ~leg:"storm"
+               ~offered_rps:(clean_rate +. (0.35 *. sustainable))
+               ~cfg
+               ~tenants:
+                 (* 7:1 weights: with the default queue the storm
+                    tenant's quota is a single outstanding request, so
+                    it can never hold more than one worker slot *)
+                 [
+                   ("clean", { Server.clean_tenant with Server.weight = 7 });
+                   ("storm", storm_policy ~storm_faults ~block);
+                 ]
+               ~matrix_order:n ~traced ~verbose
+               (merge_arrivals clean_sched storm_sched)
+           in
+           (* isolation: the storming tenant must not blow up clean
+              tail latency.  The denominator is floored at one
+              contended service time: with the clean tenant far below
+              saturation its baseline p99 can land under a single
+              service time out of scheduling luck, and the guarantee
+              is about queueing inflation, not about beating a lucky
+              baseline sample. *)
+           if baseline.clean_p99_s > 0. && mixed.clean_p99_s > 0. then begin
+             let floor_s = Float.max baseline.clean_p99_s service_s in
+             let ratio = mixed.clean_p99_s /. floor_s in
+             Format.printf
+               "isolation: clean p99 %.2f ms under storm vs %.2f ms \
+                baseline (floor %.2f ms; x%.2f, bound x%.2f)@."
+               (1000. *. mixed.clean_p99_s)
+               (1000. *. baseline.clean_p99_s)
+               (1000. *. floor_s) ratio p99_factor;
+             if ratio > p99_factor then
+               fail
+                 "clean-tenant p99 degraded x%.2f under storm (bound x%.2f)"
+                 ratio p99_factor
+           end
+           else fail "storm legs completed too few clean requests for a p99";
+           [ (None, baseline); (None, mixed) ]
+         end
+       in
+       sweep @ storm_legs
+     with e ->
+       Format.eprintf "ftserve: infrastructure failure: %s@."
+         (Printexc.to_string e);
+       exit 2)
+    [@abft.waive
+      "load-test harness boundary: every unexpected exception must become \
+       exit code 2, never a crash the CI job can't classify"]
+  in
+  Format.printf
+    "%-14s %8s %8s %5s %5s %5s %5s %5s %5s %5s %5s %8s %8s@." "leg" "offer"
+    "ach" "acc" "ovl" "quo" "brk" "done" "ddl" "cxl" "fail" "p50ms" "p99ms";
+  List.iter (fun (_, r) -> Format.printf "%a@." pp_leg r) results;
+  (* contract checks over the sweep *)
+  List.iter
+    (fun (mult, r) ->
+      if r.corruptions > 0 then
+        fail "%s: %d silent corruption(s)" r.leg r.corruptions;
+      match mult with
+      | Some m when m >= 1.5 ->
+          (* past saturation the server must shed load explicitly: with
+             a bounded queue, either every request fit (it genuinely
+             kept up — calibration was pessimistic) or some were turned
+             away with Overloaded; anything else means silent loss *)
+          if r.rejected_overloaded = 0 && r.accepted < requests then
+            fail
+              "%s: %d of %d requests neither accepted nor rejected with \
+               Overloaded at %.2gx offered load"
+              r.leg (requests - r.accepted) requests m
+      | _ -> ())
+    results;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Obs.metrics_json
+           (List.map
+              (fun (_, r) ->
+                {
+                  Obs.experiment = "ftserve";
+                  name = r.leg;
+                  size = n;
+                  metrics = leg_metrics r;
+                })
+              results));
+      close_out oc;
+      Format.printf "metrics written to %s@." path);
+  match !failures with
+  | [] ->
+      Format.printf "ftserve: all assertions held@.";
+      0
+  | fs ->
+      List.iter (fun f -> Format.eprintf "ftserve: ASSERTION FAILED: %s@." f)
+        (List.rev fs);
+      2
+
+let () =
+  let term =
+    Term.(
+      const serve $ n_arg $ block_arg $ workers_arg $ pool_domains_arg
+      $ queue_arg $ requests_arg $ loads_arg $ deadline_arg $ no_storm_arg
+      $ storm_faults_arg $ p99_factor_arg $ seed_arg $ metrics_out_arg
+      $ verbose_arg)
+  in
+  let doc =
+    "offered-load and fault-storm load tests for the Cholesky serving layer"
+  in
+  exit (Cmd.eval' (Cmd.v (Cmd.info "ftserve" ~doc) term))

@@ -183,6 +183,21 @@ class extractor ~aliases ~(emit : Ir.event -> unit) =
                        })
               | [] -> ());
               walk_args ()
+          | (("failwith" | "invalid_arg") as fn) :: [] ->
+              (* failwith-style exits are raises for span/handler
+                 purposes: they cross an open Obs.start span exactly
+                 like an explicit [raise] does *)
+              emit
+                (Ir.Raise
+                   {
+                     exn_path =
+                       [
+                         (if String.equal fn "failwith" then "Failure"
+                          else "Invalid_argument");
+                       ];
+                     raise_loc = self#eloc e;
+                   });
+              walk_args ()
           | op :: [] when is_stat_op op ->
               emit (Ir.Stat_update { stat_loc = self#eloc e });
               walk_args ()

@@ -14,9 +14,14 @@
    record path ([t.policy.max_retries], [cfg.Config.max_restarts])
    count, matching how the drivers thread their budgets.
 
+   [while] loops get the same bargain: a loop whose condition or body
+   mentions a retry-ish identifier must consult a cap somewhere in the
+   condition or body, because the serving layer's imperative drain/
+   resubmit loops are retry loops in everything but shape.
+
    Waive a deliberately unbounded loop (e.g. one bounded by an
    exception from below) with [[@abft.waive "reason"]] on the
-   binding. *)
+   binding (or, for a while loop, on the loop expression). *)
 
 open Ppxlib
 
@@ -124,6 +129,16 @@ let check ~file:_ (str : structure) =
       method! expression e =
         (match e.pexp_desc with
         | Pexp_let (Recursive, vbs, _) -> examine_group vbs
+        | Pexp_while (cond, body) ->
+            let retry_shaped = Ast_util.mentions_any retryish in
+            if
+              (retry_shaped cond || retry_shaped body)
+              && not (consults_cap cond || consults_cap body)
+            then
+              flag ~loc:e.pexp_loc ~attrs:e.pexp_attributes
+                "while-shaped retry loop has no visible bound; consult an \
+                 explicit cap (max/limit/budget) in the condition or body, \
+                 or waive with [@abft.waive]"
         | _ -> ());
         super#expression e
     end

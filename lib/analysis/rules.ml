@@ -41,10 +41,11 @@ let all =
       id = "R4";
       title = "retry loops must be bounded";
       rationale =
-        "a recursive retry/restart loop with no visible cap turns a \
-         permanent fault into a livelock — worse than giving up, because \
-         nothing is ever reported. Thread an explicit max/limit/budget \
-         through the recursion, or waive with [@abft.waive \"reason\"].";
+        "a recursive or while-shaped retry/restart loop with no visible cap \
+         turns a permanent fault into a livelock — worse than giving up, \
+         because nothing is ever reported. Thread an explicit \
+         max/limit/budget through the recursion (or the loop condition), or \
+         waive with [@abft.waive \"reason\"].";
       kind = File R4_unbounded_retry.check;
     };
     {
@@ -76,10 +77,11 @@ let all =
       title = "observability spans and pool sinks close on all paths";
       rationale =
         "a span opened with Obs.start must reach its Obs.stop on every \
-         path — a raise in between loses the span exactly when the trace \
-         matters; Pool.set_obs mutates shared state and needs its restore \
-         inside Fun.protect ~finally. Use Obs.span for raise-safe regions. \
-         Waive with [@abft.waive \"reason\"].";
+         path — a raise (including failwith/invalid_arg, the serving \
+         layer's cancellation bail-outs) in between loses the span exactly \
+         when the trace matters; Pool.set_obs mutates shared state and \
+         needs its restore inside Fun.protect ~finally. Use Obs.span for \
+         raise-safe regions. Waive with [@abft.waive \"reason\"].";
       kind = Project R7_span_discipline.check;
     };
     {

@@ -30,6 +30,17 @@ type report = {
 
 let residual_threshold = 1e-6
 
+exception Cancelled of { iteration : int; stats : stats }
+
+(* Per-run racecheck tag namespace. The serving layer runs many factor
+   requests concurrently (each on its own pool slot); write claims are
+   per pool, but a shared or nested pool must never confuse two runs'
+   identically named "tile"/"chk" rectangles — tile (2,1) of request A
+   is not tile (2,1) of request B. The counter is Atomic because it is
+   the one piece of driver state genuinely shared across concurrent
+   requests. *)
+let run_ids = Atomic.make 0
+
 type attempt_state = {
   cfg : Config.t;
   grid : int;
@@ -38,6 +49,8 @@ type attempt_state = {
   injector : Injector.t;
   pool : Pool.t;
   obs : Obs.t;  (* span/counter sink; Obs.null when untraced *)
+  tag_tile : string;  (* racecheck tag for tile writes, unique per run *)
+  tag_chk : string;  (* racecheck tag for checksum-block writes *)
   mutable trace : Trace_op.t list;  (* reverse order *)
   mutable verifications : int;
   mutable corrections : int;
@@ -83,14 +96,14 @@ let chk_lookup st (i, c) =
 let declare_tile st i c =
   if Pool.racecheck_enabled st.pool then begin
     let b = Config.block_size st.cfg in
-    Pool.declare_write st.pool ~tag:"tile"
+    Pool.declare_write st.pool ~tag:st.tag_tile
       ~rows:(i * b, ((i + 1) * b) - 1)
       ~cols:(c * b, ((c + 1) * b) - 1)
   end
 
 let declare_chk st i c =
   if Pool.racecheck_enabled st.pool then
-    Pool.declare_write st.pool ~tag:"chk" ~rows:(i, i) ~cols:(c, c)
+    Pool.declare_write st.pool ~tag:st.tag_chk ~rows:(i, i) ~cols:(c, c)
 
 (* Ladder rung accounting: located-and-patched elements and plain-sum
    reconstructions are different rungs of the inline recovery ladder,
@@ -460,7 +473,8 @@ let residual_of ~input l =
    4. full restart — no usable snapshot or budget exhausted: recompute
       from the pristine input, up to [max_restarts] times;
    5. give up, reporting the last structured reason. *)
-let factor ?pool ?(obs = Obs.null) ?(plan = []) ?(final_sweep = false) cfg a =
+let factor ?pool ?(obs = Obs.null) ?(plan = []) ?(final_sweep = false)
+    ?(cancel = fun () -> false) cfg a =
   (match Config.validate cfg with
   | Ok () -> ()
   | Error e -> invalid_arg ("Ft.factor: " ^ e));
@@ -472,6 +486,7 @@ let factor ?pool ?(obs = Obs.null) ?(plan = []) ?(final_sweep = false) cfg a =
     invalid_arg
       (Printf.sprintf "Ft.factor: order %d must be a positive multiple of the \
                        block size %d" n b);
+  let run_id = Atomic.fetch_and_add run_ids 1 in
   let injector = Injector.create plan in
   let uncorrectable_events = ref 0 in
   let fail_stops = ref 0 in
@@ -499,6 +514,8 @@ let factor ?pool ?(obs = Obs.null) ?(plan = []) ?(final_sweep = false) cfg a =
         injector;
         pool;
         obs;
+        tag_tile = Printf.sprintf "tile#%d" run_id;
+        tag_chk = Printf.sprintf "chk#%d" run_id;
         trace = [];
         verifications = 0;
         corrections = 0;
@@ -509,6 +526,28 @@ let factor ?pool ?(obs = Obs.null) ?(plan = []) ?(final_sweep = false) cfg a =
     let snap = ref None in
     let rollbacks_here = ref 0 in
     let on_boundary j =
+      (* Cooperative cancellation: iteration boundaries are the only
+         points where no tile is half-written and no span is open, so
+         bailing here can never publish a torn result. The partial
+         stats let the caller report how far the run got. *)
+      if cancel () then
+        raise
+          (Cancelled
+             {
+               iteration = j;
+               stats =
+                 {
+                   verifications = st.verifications;
+                   corrections = st.corrections;
+                   reconstructions = st.reconstructions;
+                   checksum_repairs = st.checksum_repairs;
+                   uncorrectable_events = !uncorrectable_events;
+                   fail_stops = !fail_stops;
+                   rollbacks = !rollbacks_total;
+                   snapshots = !snapshots_total;
+                   restarts = k;
+                 };
+             });
       if snap_every > 0 && j > 0 && j mod snap_every = 0 then begin
         (* Verified snapshot: sweep the whole triangle first so the
            captured state is known-consistent — rolling back to an

@@ -75,11 +75,19 @@ type report = {
   trace : Trace_op.t list;  (** logical trace of the {e last} attempt *)
 }
 
+exception Cancelled of { iteration : int; stats : stats }
+(** Raised out of {!factor} when its [cancel] hook returns [true] at an
+    iteration boundary. [iteration] is the outer iteration the run was
+    about to start; [stats] are the partial whole-run totals at that
+    point. The input matrix is untouched and no partial factor is
+    returned — cancellation can never publish a half-written result. *)
+
 val factor :
   ?pool:Parallel.Pool.t ->
   ?obs:Obs.t ->
   ?plan:Fault.t ->
   ?final_sweep:bool ->
+  ?cancel:(unit -> bool) ->
   Config.t ->
   Mat.t ->
   report
@@ -88,6 +96,15 @@ val factor :
     FT scheme — an extension beyond the paper that lets even
     Online-ABFT catch (and often repair) residual storage errors;
     off by default to stay faithful.
+
+    [cancel] (default [fun () -> false]) is polled cooperatively at the
+    top of every outer iteration — including after rollbacks and
+    restarts — where no tile write is in flight. When it returns
+    [true] the driver raises {!Cancelled} with partial stats, the pool
+    slot is freed (the pool's previous obs sink is restored on the way
+    out), and the caller sees no torn state. Serving layers use this
+    for deadlines and client cancellation; the hook must be cheap and
+    thread-safe (typically an [Atomic.get]).
 
     [pool] (default {!Parallel.Pool.default}, sized by [ABFT_DOMAINS])
     carries the real-core parallelism: row blocks of the trailing GEMM,

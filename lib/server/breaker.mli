@@ -1,0 +1,64 @@
+(** Per-tenant circuit breaker.
+
+    Sheds a tenant's load after repeated terminal failures (gave-up
+    factorizations, deadline expiries) instead of letting the tenant
+    keep burning pool slots on work that keeps dying. Classic
+    three-state machine:
+
+    - {e Closed} — traffic flows; consecutive terminal failures are
+      counted and [trip_after] of them open the breaker;
+    - {e Open} — everything is rejected until the cooldown elapses;
+      cooldowns escalate capped-exponentially with seeded jitter
+      (the backoff idiom of [Hetsim.Resilient]), so a tenant that
+      keeps failing its half-open probes backs off further each trip;
+    - {e Half-open} — after the cooldown, [half_open_probes] trial
+      requests are admitted; one success closes the breaker (and
+      resets the escalation), one failure re-opens it at the next
+      escalation level.
+
+    The breaker is driven with an explicit [now] so tests are
+    deterministic; it performs no locking — the serving layer calls it
+    under its own admission lock. *)
+
+type policy = {
+  trip_after : int;  (** consecutive failures that open the breaker *)
+  cooldown_base_s : float;  (** first open-state cooldown *)
+  cooldown_factor : float;  (** escalation multiplier per re-trip *)
+  cooldown_max_s : float;  (** cooldown cap *)
+  jitter : float;
+      (** symmetric jitter fraction on each cooldown, drawn from the
+          seeded per-breaker RNG *)
+  half_open_probes : int;  (** trial admissions per half-open episode *)
+}
+
+val default_policy : policy
+(** 3 failures to trip; cooldowns 50 ms · 2ᵏ capped at 2 s with 25%
+    jitter; a single half-open probe. *)
+
+val validate_policy : policy -> (unit, string) result
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : ?policy:policy -> ?seed:int -> unit -> t
+(** @raise Invalid_argument if the policy fails {!validate_policy}. *)
+
+val state : t -> state
+val trips : t -> int
+(** Total times the breaker has opened. *)
+
+val admit : t -> now:float -> [ `Admit | `Reject of float ]
+(** Admission decision at time [now]. [`Reject retry_after_s] carries
+    the seconds until the breaker is worth retrying. An [`Admit] from
+    the open state transitions to half-open and consumes a probe. *)
+
+val on_success : t -> unit
+(** Report a request completing cleanly: closes the breaker and resets
+    both the failure count and the cooldown escalation. *)
+
+val on_failure : t -> now:float -> unit
+(** Report a terminal failure (gave-up, deadline). In the closed state
+    counts toward [trip_after]; in the half-open state re-opens at the
+    next escalation level. Cancellation by the client must {e not} be
+    reported — it says nothing about the tenant's workload health. *)

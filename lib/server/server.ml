@@ -1,0 +1,595 @@
+(* The serving layer: bounded queue, worker slots with private pools,
+   per-tenant quotas/plans/breakers, deadlines and cooperative
+   cancellation, graceful drain.
+
+   Locking: one mutex guards the queue, ticket states, per-tenant
+   outstanding counts, breakers, the phase and the service-time ewma.
+   The request-accounting counters shared across worker domains are
+   Atomic so introspection never has to take the lock. Workers never
+   hold the lock while factorizing. *)
+
+open Matrix
+module C = Cholesky
+
+let now () = Unix.gettimeofday ()
+
+type work = Factor of Mat.t | Solve of { a : Mat.t; rhs : Vec.t }
+
+type tenant_policy = {
+  weight : int;
+  plan : n:int -> block:int -> seed:int -> Fault.t;
+  chol : C.Config.t option;
+  final_sweep : bool;
+  breaker : Breaker.policy;
+}
+
+let clean_tenant =
+  {
+    weight = 1;
+    plan = (fun ~n:_ ~block:_ ~seed:_ -> []);
+    chol = None;
+    final_sweep = false;
+    breaker = Breaker.default_policy;
+  }
+
+type config = {
+  workers : int;
+  pool_domains : int;
+  queue_capacity : int;
+  chol : C.Config.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    workers = 2;
+    pool_domains = 2;
+    queue_capacity = 8;
+    chol = C.Config.default;
+    seed = 0;
+  }
+
+type rejection =
+  | Overloaded of { retry_after_s : float }
+  | Quota_exceeded of { tenant : string; outstanding : int; quota : int }
+  | Breaker_open of { tenant : string; retry_after_s : float }
+  | Unknown_tenant of string
+  | Shutting_down
+
+let pp_rejection fmt = function
+  | Overloaded { retry_after_s } ->
+      Format.fprintf fmt "overloaded (retry after %.3fs)" retry_after_s
+  | Quota_exceeded { tenant; outstanding; quota } ->
+      Format.fprintf fmt "quota exceeded for %s (%d outstanding, quota %d)"
+        tenant outstanding quota
+  | Breaker_open { tenant; retry_after_s } ->
+      Format.fprintf fmt "breaker open for %s (retry after %.3fs)" tenant
+        retry_after_s
+  | Unknown_tenant tenant -> Format.fprintf fmt "unknown tenant %s" tenant
+  | Shutting_down -> Format.pp_print_string fmt "shutting down"
+
+type outcome =
+  | Completed of {
+      report : C.Ft.report;
+      solution : Vec.t option;
+      wait_s : float;
+      service_s : float;
+    }
+  | Deadline_exceeded of {
+      elapsed_s : float;
+      iteration : int;
+      stats : C.Ft.stats option;
+    }
+  | Cancelled of { elapsed_s : float; ran : bool }
+  | Failed of { reason : string; elapsed_s : float }
+
+let pp_outcome fmt = function
+  | Completed { wait_s; service_s; _ } ->
+      Format.fprintf fmt "completed (wait %.4fs, service %.4fs)" wait_s
+        service_s
+  | Deadline_exceeded { elapsed_s; iteration; _ } ->
+      Format.fprintf fmt "deadline exceeded after %.4fs at iteration %d"
+        elapsed_s iteration
+  | Cancelled { elapsed_s; ran } ->
+      Format.fprintf fmt "cancelled after %.4fs (%s)" elapsed_s
+        (if ran then "while running" else "while queued")
+  | Failed { reason; elapsed_s } ->
+      Format.fprintf fmt "failed after %.4fs: %s" elapsed_s reason
+
+type ticket_state = Queued | Running | Done of outcome
+
+type ticket = {
+  id : int;
+  tenant : string;
+  work : work;
+  submitted_at : float;
+  deadline_at : float option;
+  cancel_flag : bool Atomic.t;
+  mutable state : ticket_state;
+}
+
+let ticket_id tk = tk.id
+let ticket_tenant tk = tk.tenant
+
+type tenant_state = {
+  policy : tenant_policy;
+  breaker : Breaker.t;
+  mutable outstanding : int;  (* queued + running, guarded by mu *)
+}
+
+type phase = Serving | Draining | Stopping | Stopped
+
+type t = {
+  cfg : config;
+  obs : Obs.t;
+  mu : Mutex.t;
+  work_c : Condition.t;  (* workers wait for queued work *)
+  done_c : Condition.t;  (* awaiters and drain wait for completions *)
+  queue : ticket Queue.t;
+  tenants : (string * tenant_state) list;
+  total_weight : int;
+  pools : Parallel.Pool.t array;  (* one private pool per worker slot *)
+  current : ticket option array;  (* what each slot is running *)
+  mutable phase : phase;
+  mutable inflight : int;
+  mutable ewma_service_s : float;  (* 0 until the first completion *)
+  mutable handles : unit Domain.t list;
+  mutable workers_joined : bool;
+  (* request accounting, shared across submitter and worker domains *)
+  ids : int Atomic.t;
+  accepted : int Atomic.t;
+  rejected_overloaded : int Atomic.t;
+  rejected_quota : int Atomic.t;
+  rejected_breaker : int Atomic.t;
+  rejected_other : int Atomic.t;
+  completed_n : int Atomic.t;
+  deadline_n : int Atomic.t;
+  cancelled_n : int Atomic.t;
+  failed_n : int Atomic.t;
+  corruptions : int Atomic.t;
+}
+
+let tenant_state t name =
+  match List.assoc_opt name t.tenants with
+  | Some ts -> ts
+  | None -> invalid_arg ("Server: unknown tenant " ^ name)
+
+let quota_of t (ts : tenant_state) =
+  max 1
+    (ts.policy.weight
+     * (t.cfg.queue_capacity + t.cfg.workers)
+     / t.total_weight)
+
+let quota t name = quota_of t (tenant_state t name)
+
+(* under mu: how long until a queue slot plausibly frees up *)
+let retry_hint t =
+  let svc = if t.ewma_service_s > 0. then t.ewma_service_s else 0.01 in
+  Float.max 0.001
+    (float_of_int (Queue.length t.queue + 1)
+     *. svc
+     /. float_of_int t.cfg.workers)
+
+(* Terminal accounting shared by every exit path: ticket state, tenant
+   outstanding count, breaker feedback, ewma, counters, obs. Callers
+   must NOT hold mu. *)
+let complete t tk outcome =
+  let ts = tenant_state t tk.tenant in
+  let tnow = now () in
+  Mutex.lock t.mu;
+  tk.state <- Done outcome;
+  ts.outstanding <- ts.outstanding - 1;
+  let trips_before = Breaker.trips ts.breaker in
+  (match outcome with
+  | Completed { service_s; _ } ->
+      Breaker.on_success ts.breaker;
+      t.ewma_service_s <-
+        (if t.ewma_service_s <= 0. then service_s
+         else (0.8 *. t.ewma_service_s) +. (0.2 *. service_s))
+  | Deadline_exceeded _ | Failed _ -> Breaker.on_failure ts.breaker ~now:tnow
+  | Cancelled _ -> ());
+  let tripped = Breaker.trips ts.breaker > trips_before in
+  Condition.broadcast t.done_c;
+  Mutex.unlock t.mu;
+  if tripped then Obs.incr t.obs "server.breaker_trips";
+  match outcome with
+  | Completed { wait_s; service_s; _ } ->
+      Atomic.incr t.completed_n;
+      Obs.incr t.obs "server.completed";
+      Obs.observe t.obs "server.wait_s" wait_s;
+      Obs.observe t.obs "server.service_s" service_s
+  | Deadline_exceeded _ ->
+      Atomic.incr t.deadline_n;
+      Obs.incr t.obs "server.deadline_exceeded"
+  | Cancelled _ ->
+      Atomic.incr t.cancelled_n;
+      Obs.incr t.obs "server.cancelled"
+  | Failed _ ->
+      Atomic.incr t.failed_n;
+      Obs.incr t.obs "server.failed"
+
+let run_request t pool tk =
+  let ts = tenant_state t tk.tenant in
+  let elapsed () = now () -. tk.submitted_at in
+  let deadline_hit () =
+    match tk.deadline_at with Some d -> now () > d | None -> false
+  in
+  if Atomic.get tk.cancel_flag then
+    complete t tk (Cancelled { elapsed_s = elapsed (); ran = false })
+  else if deadline_hit () then
+    complete t tk
+      (Deadline_exceeded { elapsed_s = elapsed (); iteration = 0; stats = None })
+  else begin
+    let t0 = now () in
+    let wait_s = t0 -. tk.submitted_at in
+    let cancel () = Atomic.get tk.cancel_flag || deadline_hit () in
+    let outcome =
+      (try
+         let report, solution =
+           (* the per-request span: one obs record per accepted request
+              that actually ran, stopped on every exit (Obs.span
+              records even when the body raises) *)
+           Obs.span t.obs ~op:"request" ~phase:"serve" (fun () ->
+               let a = match tk.work with Factor a | Solve { a; _ } -> a in
+               let n = Mat.rows a in
+               let base =
+                 match ts.policy.chol with Some c -> c | None -> t.cfg.chol
+               in
+               let cfg =
+                 let b = C.Config.block_size base in
+                 if n > 0 && n mod b = 0 then base
+                 else { base with C.Config.block = C.Config.divisor_block n }
+               in
+               let plan =
+                 ts.policy.plan ~n
+                   ~block:(C.Config.block_size cfg)
+                   ~seed:(t.cfg.seed + tk.id)
+               in
+               let report =
+                 C.Ft.factor ~pool ~obs:t.obs ~plan
+                   ~final_sweep:ts.policy.final_sweep ~cancel cfg a
+               in
+               let solution =
+                 match (tk.work, report.C.Ft.outcome) with
+                 | Factor _, _ -> None
+                 | Solve _, (C.Ft.Silent_corruption | C.Ft.Gave_up _) -> None
+                 | Solve { rhs; _ }, C.Ft.Success ->
+                     let x = Vec.copy rhs in
+                     Blas2.trsv Types.Lower Types.No_trans Types.Non_unit_diag
+                       report.C.Ft.factor x;
+                     Blas2.trsv Types.Lower Types.Trans Types.Non_unit_diag
+                       report.C.Ft.factor x;
+                     Some x
+               in
+               (report, solution))
+         in
+         let el = elapsed () in
+         match report.C.Ft.outcome with
+         | C.Ft.Success ->
+             Completed { report; solution; wait_s; service_s = el -. wait_s }
+         | C.Ft.Silent_corruption ->
+             Atomic.incr t.corruptions;
+             Obs.incr t.obs "server.corruptions";
+             Failed
+               {
+                 reason =
+                   Printf.sprintf "silent corruption (residual %.3e)"
+                     report.C.Ft.residual;
+                 elapsed_s = el;
+               }
+         | C.Ft.Gave_up reason ->
+             Failed
+               {
+                 reason = "gave up: " ^ C.Recovery.describe reason;
+                 elapsed_s = el;
+               }
+       with
+      | C.Ft.Cancelled { iteration; stats } ->
+          let el = elapsed () in
+          if Atomic.get tk.cancel_flag then
+            Cancelled { elapsed_s = el; ran = true }
+          else Deadline_exceeded { elapsed_s = el; iteration; stats = Some stats }
+      | e ->
+          Failed { reason = Printexc.to_string e; elapsed_s = elapsed () })
+      [@abft.waive
+        "serving boundary: any exception escaping one request (bad \
+         dimensions, solve pivot failure) must become that request's \
+         structured Failed outcome, not kill the worker slot"]
+    in
+    complete t tk outcome
+  end
+
+let rec worker t slot =
+  let pool = t.pools.(slot) in
+  Mutex.lock t.mu;
+  let rec take () =
+    if not (Queue.is_empty t.queue) then begin
+      let tk = Queue.pop t.queue in
+      tk.state <- Running;
+      t.current.(slot) <- Some tk;
+      t.inflight <- t.inflight + 1;
+      Obs.observe t.obs "server.inflight" (float_of_int t.inflight);
+      Some tk
+    end
+    else
+      match t.phase with
+      | Serving ->
+          Condition.wait t.work_c t.mu;
+          take ()
+      | Draining | Stopping | Stopped -> None
+  in
+  let tk = take () in
+  Mutex.unlock t.mu;
+  match tk with
+  | None -> ()
+  | Some tk ->
+      run_request t pool tk;
+      Mutex.lock t.mu;
+      t.current.(slot) <- None;
+      t.inflight <- t.inflight - 1;
+      Condition.broadcast t.done_c;
+      Mutex.unlock t.mu;
+      worker t slot
+
+let create ?(obs = Obs.null) cfg tenants =
+  if cfg.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  if cfg.pool_domains < 1 then
+    invalid_arg "Server.create: pool_domains must be >= 1";
+  if cfg.queue_capacity < 1 then
+    invalid_arg "Server.create: queue_capacity must be >= 1";
+  (match tenants with [] -> invalid_arg "Server.create: no tenants" | _ -> ());
+  let names = List.map fst tenants in
+  if
+    List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Server.create: duplicate tenant names";
+  List.iter
+    (fun (name, (p : tenant_policy)) ->
+      if p.weight < 1 then
+        invalid_arg
+          (Printf.sprintf "Server.create: tenant %s has weight %d" name
+             p.weight);
+      match Breaker.validate_policy p.breaker with
+      | Ok () -> ()
+      | Error e ->
+          invalid_arg
+            (Printf.sprintf "Server.create: tenant %s breaker policy: %s" name
+               e))
+    tenants;
+  let tstates =
+    List.mapi
+      (fun i (name, policy) ->
+        ( name,
+          {
+            policy;
+            breaker =
+              Breaker.create ~policy:policy.breaker ~seed:(cfg.seed + i) ();
+            outstanding = 0;
+          } ))
+      tenants
+  in
+  let total_weight =
+    List.fold_left (fun acc (_, p) -> acc + p.weight) 0 tenants
+  in
+  let pools =
+    Array.init cfg.workers (fun _ ->
+        Parallel.Pool.create ~domains:cfg.pool_domains ())
+  in
+  let t =
+    {
+      cfg;
+      obs;
+      mu = Mutex.create ();
+      work_c = Condition.create ();
+      done_c = Condition.create ();
+      queue = Queue.create ();
+      tenants = tstates;
+      total_weight;
+      pools;
+      current = Array.make cfg.workers None;
+      phase = Serving;
+      inflight = 0;
+      ewma_service_s = 0.;
+      handles = [];
+      workers_joined = false;
+      ids = Atomic.make 0;
+      accepted = Atomic.make 0;
+      rejected_overloaded = Atomic.make 0;
+      rejected_quota = Atomic.make 0;
+      rejected_breaker = Atomic.make 0;
+      rejected_other = Atomic.make 0;
+      completed_n = Atomic.make 0;
+      deadline_n = Atomic.make 0;
+      cancelled_n = Atomic.make 0;
+      failed_n = Atomic.make 0;
+      corruptions = Atomic.make 0;
+    }
+  in
+  t.handles <-
+    List.init cfg.workers (fun slot -> Domain.spawn (fun () -> worker t slot));
+  t
+
+let reject t rej =
+  (match rej with
+  | Overloaded _ ->
+      Atomic.incr t.rejected_overloaded;
+      Obs.incr t.obs "server.rejected.overloaded"
+  | Quota_exceeded _ ->
+      Atomic.incr t.rejected_quota;
+      Obs.incr t.obs "server.rejected.quota"
+  | Breaker_open _ ->
+      Atomic.incr t.rejected_breaker;
+      Obs.incr t.obs "server.rejected.breaker"
+  | Unknown_tenant _ | Shutting_down ->
+      Atomic.incr t.rejected_other;
+      Obs.incr t.obs "server.rejected.other");
+  Error rej
+
+let submit t ~tenant ?deadline_s work =
+  match List.assoc_opt tenant t.tenants with
+  | None -> reject t (Unknown_tenant tenant)
+  | Some ts ->
+      let tnow = now () in
+      Mutex.lock t.mu;
+      let verdict =
+        match t.phase with
+        | Draining | Stopping | Stopped -> Error Shutting_down
+        | Serving ->
+            if Queue.length t.queue >= t.cfg.queue_capacity then
+              Error (Overloaded { retry_after_s = retry_hint t })
+            else begin
+              let q = quota_of t ts in
+              if ts.outstanding >= q then
+                Error
+                  (Quota_exceeded
+                     { tenant; outstanding = ts.outstanding; quota = q })
+              else
+                (* the breaker check is last so a half-open probe is
+                   only consumed by a request that is actually
+                   admitted *)
+                match Breaker.admit ts.breaker ~now:tnow with
+                | `Reject retry_after_s ->
+                    Error (Breaker_open { tenant; retry_after_s })
+                | `Admit ->
+                    let tk =
+                      {
+                        id = Atomic.fetch_and_add t.ids 1;
+                        tenant;
+                        work;
+                        submitted_at = tnow;
+                        deadline_at = Option.map (fun d -> tnow +. d) deadline_s;
+                        cancel_flag = Atomic.make false;
+                        state = Queued;
+                      }
+                    in
+                    Queue.push tk t.queue;
+                    ts.outstanding <- ts.outstanding + 1;
+                    Condition.signal t.work_c;
+                    Ok tk
+            end
+      in
+      let depth = Queue.length t.queue in
+      Mutex.unlock t.mu;
+      (match verdict with
+      | Ok _ ->
+          Atomic.incr t.accepted;
+          Obs.incr t.obs "server.accepted";
+          Obs.observe t.obs "server.queue_depth" (float_of_int depth);
+          verdict
+      | Error rej -> reject t rej)
+
+let cancel t tk =
+  Mutex.lock t.mu;
+  (match tk.state with
+  | Done _ -> ()
+  | Queued | Running -> Atomic.set tk.cancel_flag true);
+  Mutex.unlock t.mu
+
+let await t tk =
+  Mutex.lock t.mu;
+  let rec wait () =
+    match tk.state with
+    | Done o -> o
+    | Queued | Running ->
+        Condition.wait t.done_c t.mu;
+        wait ()
+  in
+  let o = wait () in
+  Mutex.unlock t.mu;
+  o
+
+let poll t tk =
+  Mutex.lock t.mu;
+  let o = match tk.state with Done o -> Some o | Queued | Running -> None in
+  Mutex.unlock t.mu;
+  o
+
+let shutdown t ~drain =
+  Mutex.lock t.mu;
+  (match t.phase with
+  | Stopped -> ()
+  | Serving | Draining | Stopping ->
+      t.phase <- (if drain then Draining else Stopping);
+      if not drain then begin
+        (* settle queued tickets as cancelled-before-running, and flag
+           in-flight ones to stop at their next iteration boundary *)
+        let queued = Queue.fold (fun acc tk -> tk :: acc) [] t.queue in
+        Queue.clear t.queue;
+        List.iter
+          (fun tk ->
+            Atomic.set tk.cancel_flag true;
+            tk.state <-
+              Done (Cancelled { elapsed_s = now () -. tk.submitted_at; ran = false });
+            (tenant_state t tk.tenant).outstanding <-
+              (tenant_state t tk.tenant).outstanding - 1;
+            Atomic.incr t.cancelled_n;
+            Obs.incr t.obs "server.cancelled")
+          queued;
+        Array.iter
+          (function Some tk -> Atomic.set tk.cancel_flag true | None -> ())
+          t.current
+      end;
+      Condition.broadcast t.work_c;
+      Condition.broadcast t.done_c;
+      while t.inflight > 0 || not (Queue.is_empty t.queue) do
+        Condition.wait t.done_c t.mu
+      done;
+      t.phase <- Stopped;
+      Condition.broadcast t.work_c);
+  let join_needed = not t.workers_joined in
+  t.workers_joined <- true;
+  Mutex.unlock t.mu;
+  if join_needed then begin
+    List.iter Domain.join t.handles;
+    Array.iter Parallel.Pool.shutdown t.pools;
+    Obs.observe t.obs "server.queue_depth" 0.
+  end
+
+type counters = {
+  accepted : int;
+  rejected_overloaded : int;
+  rejected_quota : int;
+  rejected_breaker : int;
+  rejected_other : int;
+  completed : int;
+  deadline_exceeded : int;
+  cancelled : int;
+  failed : int;
+  corruptions : int;
+  breaker_trips : int;
+}
+
+let counters t =
+  let trips =
+    Mutex.lock t.mu;
+    let n =
+      List.fold_left (fun acc (_, ts) -> acc + Breaker.trips ts.breaker) 0
+        t.tenants
+    in
+    Mutex.unlock t.mu;
+    n
+  in
+  {
+    accepted = Atomic.get t.accepted;
+    rejected_overloaded = Atomic.get t.rejected_overloaded;
+    rejected_quota = Atomic.get t.rejected_quota;
+    rejected_breaker = Atomic.get t.rejected_breaker;
+    rejected_other = Atomic.get t.rejected_other;
+    completed = Atomic.get t.completed_n;
+    deadline_exceeded = Atomic.get t.deadline_n;
+    cancelled = Atomic.get t.cancelled_n;
+    failed = Atomic.get t.failed_n;
+    corruptions = Atomic.get t.corruptions;
+    breaker_trips = trips;
+  }
+
+let queue_depth t =
+  Mutex.lock t.mu;
+  let d = Queue.length t.queue in
+  Mutex.unlock t.mu;
+  d
+
+let inflight t =
+  Mutex.lock t.mu;
+  let n = t.inflight in
+  Mutex.unlock t.mu;
+  n

@@ -1,0 +1,182 @@
+(** Factorization-as-a-service: a concurrent multi-tenant front-end
+    over the fault-tolerant Cholesky driver.
+
+    The server owns a fixed set of worker slots (each a domain with its
+    own private {!Parallel.Pool}, so concurrent requests never share a
+    pool or its obs sink) fed from one bounded submission queue:
+
+    - {b Backpressure.} When the queue is full, {!submit} returns a
+      structured [Overloaded] rejection carrying a retry hint derived
+      from the observed service time — the queue never grows without
+      bound.
+    - {b Deadlines and cancellation.} Each request may carry a
+      deadline; the deadline and {!cancel} both flip a per-ticket
+      atomic flag that the Cholesky driver polls at iteration
+      boundaries ({!Cholesky.Ft.factor}'s [cancel] hook). An expired
+      or cancelled request frees its worker slot and reports partial
+      stats; it never publishes a half-written factor.
+    - {b Tenant isolation.} Tenants carry admission weights (turned
+      into outstanding-request quotas), their own fault-injection
+      plans and driver-config overrides, and a per-tenant
+      {!Breaker} — a storming tenant is clipped by its quota and then
+      by its breaker instead of starving clean tenants.
+    - {b Graceful shutdown.} [shutdown ~drain:true] stops admitting
+      and finishes the queue; [~drain:false] cancels queued work and
+      flags in-flight runs, which stop at their next iteration
+      boundary. Either way every accepted ticket reaches a terminal
+      outcome: accepted = completed + deadline + cancelled + failed,
+      with no silent drops.
+
+    All cross-request shared counters are [Atomic.t]; queue and
+    per-tenant state are guarded by one server mutex. The obs sink
+    receives per-request [request] spans (always stopped, on every
+    exit path), wait/service histograms, queue-depth/inflight
+    observations, and rejection/breaker counters. *)
+
+open Matrix
+
+(** {1 Work and tenants} *)
+
+type work =
+  | Factor of Mat.t  (** factor an SPD matrix *)
+  | Solve of { a : Mat.t; rhs : Vec.t }
+      (** factor then solve [a x = rhs] by two triangular solves
+          against the ABFT-protected factor *)
+
+type tenant_policy = {
+  weight : int;  (** admission share; quotas are weight-proportional *)
+  plan : n:int -> block:int -> seed:int -> Fault.t;
+      (** per-request fault plan (the tenant's injection/storm
+          profile); [seed] is derived deterministically from the
+          server seed and the request id *)
+  chol : Cholesky.Config.t option;
+      (** per-tenant driver-config override (resilience knobs:
+          restarts, rollbacks, snapshot cadence, scheme); [None] uses
+          the server's base config *)
+  final_sweep : bool;  (** pass [final_sweep] to the driver *)
+  breaker : Breaker.policy;
+}
+
+val clean_tenant : tenant_policy
+(** weight 1, empty fault plan, no config override, no final sweep,
+    {!Breaker.default_policy}. *)
+
+type config = {
+  workers : int;  (** worker slots (each one domain + private pool) *)
+  pool_domains : int;  (** parallelism lanes per worker's pool *)
+  queue_capacity : int;  (** bounded submission queue length *)
+  chol : Cholesky.Config.t;  (** base driver config *)
+  seed : int;  (** seeds breakers and per-request fault plans *)
+}
+
+val default_config : config
+(** 2 workers × 2 lanes, queue of 8, {!Cholesky.Config.default},
+    seed 0. *)
+
+(** {1 Admission} *)
+
+type rejection =
+  | Overloaded of { retry_after_s : float }
+      (** queue full; retry hint from observed service time *)
+  | Quota_exceeded of { tenant : string; outstanding : int; quota : int }
+  | Breaker_open of { tenant : string; retry_after_s : float }
+  | Unknown_tenant of string
+  | Shutting_down
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+(** {1 Outcomes} *)
+
+type outcome =
+  | Completed of {
+      report : Cholesky.Ft.report;
+      solution : Vec.t option;  (** [Some] for [Solve] work *)
+      wait_s : float;  (** submission → start *)
+      service_s : float;  (** start → completion *)
+    }
+  | Deadline_exceeded of {
+      elapsed_s : float;
+      iteration : int;  (** outer iteration reached; 0 if never ran *)
+      stats : Cholesky.Ft.stats option;
+          (** partial driver stats; [None] if it never ran *)
+    }
+  | Cancelled of { elapsed_s : float; ran : bool }
+      (** [ran] is false when cancelled while still queued *)
+  | Failed of { reason : string; elapsed_s : float }
+      (** gave-up factorizations, silent corruption (counted
+          separately in {!counters}), solve failures *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type ticket
+(** Handle to one accepted request. *)
+
+val ticket_id : ticket -> int
+val ticket_tenant : ticket -> string
+
+(** {1 Lifecycle} *)
+
+type t
+
+val create : ?obs:Obs.t -> config -> (string * tenant_policy) list -> t
+(** Start the worker slots and their pools. Tenant names must be
+    distinct and weights positive.
+    @raise Invalid_argument on an empty or invalid tenant table or
+    config. *)
+
+val submit :
+  t -> tenant:string -> ?deadline_s:float -> work -> (ticket, rejection) result
+(** Admission-check and enqueue. [deadline_s] is a relative budget
+    from submission time; it covers queue wait. Never blocks. *)
+
+val cancel : t -> ticket -> unit
+(** Request cooperative cancellation: queued tickets terminate as
+    [Cancelled {ran = false}] without running; running tickets stop at
+    the driver's next iteration boundary. Idempotent; a no-op on
+    already-terminal tickets. *)
+
+val await : t -> ticket -> outcome
+(** Block until the ticket is terminal. *)
+
+val poll : t -> ticket -> outcome option
+(** [Some] once terminal; never blocks. *)
+
+val shutdown : t -> drain:bool -> unit
+(** Stop admitting, settle every accepted ticket ([~drain:true] runs
+    the queue to completion; [~drain:false] cancels queued tickets and
+    flags in-flight ones), join the worker domains and shut their
+    pools down. Idempotent; blocks until fully stopped. *)
+
+(** {1 Introspection} *)
+
+type counters = {
+  accepted : int;
+  rejected_overloaded : int;
+  rejected_quota : int;
+  rejected_breaker : int;
+  rejected_other : int;  (** unknown tenant, shutting down *)
+  completed : int;
+  deadline_exceeded : int;
+  cancelled : int;
+  failed : int;
+  corruptions : int;
+      (** completed-but-wrong factors (also classified [Failed]) —
+          must be 0 under any plan the scheme covers *)
+  breaker_trips : int;
+}
+
+val counters : t -> counters
+(** Snapshot of the atomic request-accounting counters. Once the
+    server is shut down,
+    [accepted = completed + deadline_exceeded + cancelled + failed]. *)
+
+val queue_depth : t -> int
+(** Live queued-request count (0 after drain). *)
+
+val inflight : t -> int
+(** Requests currently on a worker slot. *)
+
+val quota : t -> string -> int
+(** The outstanding-request quota admission enforces for a tenant:
+    [max 1 (weight * (queue_capacity + workers) / total_weight)].
+    @raise Invalid_argument for an unknown tenant. *)

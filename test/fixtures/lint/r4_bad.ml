@@ -38,3 +38,26 @@ let retry_policy (p : policy) run =
 let rec retry_waived run x =
   (match run x with Some r -> r | None -> retry_waived run x)
 [@abft.waive "run raises after its internal budget; recursion cannot spin"]
+
+(* 4. while-shaped retry: the serving layer's imperative drain loops
+   are retry loops in everything but shape — same bargain applies *)
+let drain_retries q =
+  while retry_pending q do
+    resubmit_head q
+  done
+
+(* bounded while counterpart that must NOT fire: the cap is consulted
+   in the loop condition *)
+let drain_bounded q ~max_attempts =
+  let attempts = ref 0 in
+  while retry_pending q && !attempts < max_attempts do
+    resubmit_head q;
+    incr attempts
+  done
+
+(* waived while: bounded from below by the queue it drains *)
+let drain_waived q =
+  (while retry_pending q do
+     resubmit_head q
+   done)
+  [@abft.waive "resubmit_head pops the item on its final failure"]

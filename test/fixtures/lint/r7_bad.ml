@@ -18,3 +18,12 @@ let open_across_raise st f =
 let bare_attach pool sink work =
   Pool.set_obs pool sink;
   work pool
+
+(* a cancellation probe that bails with [failwith] mid-span: a
+   failwith is a raise for span purposes, and it loses the span *)
+let cancel_mid_span st cancel f =
+  let t0 = Obs.start st.obs in
+  if cancel () then failwith "request cancelled";
+  let r = f () in
+  Obs.stop st.obs t0;
+  r

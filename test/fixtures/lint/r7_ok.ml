@@ -16,3 +16,9 @@ let protected_attach pool sink work =
     (fun () ->
       Pool.set_obs pool sink;
       work pool)
+
+(* the serving layer's cancellation idiom: poll the flag *before*
+   opening the span, then let Obs.span close it on every path *)
+let cancel_before_span st cancel f =
+  if cancel () then None
+  else Some (Obs.span st.obs ~op:"request" ~phase:"serve" f)

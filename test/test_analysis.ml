@@ -253,6 +253,45 @@ let test_r4_non_retry_recursion_ok () =
   in
   check_count "no findings" 0 fs
 
+let test_r4_while_flagged () =
+  (* the serving layer's imperative drain/resubmit loops are retry
+     loops in everything but shape *)
+  let fs =
+    lint ~rules:[ rule "R4" ]
+      {|let drain q = while retry_pending q do resubmit_head q done|}
+  in
+  check_count "one finding" 1 (blocking fs)
+
+let test_r4_while_bounded_ok () =
+  (* cap consulted in the loop condition *)
+  let fs =
+    lint ~rules:[ rule "R4" ]
+      {|let drain q ~max_attempts =
+  let attempts = ref 0 in
+  while retry_pending q && !attempts < max_attempts do
+    resubmit_head q;
+    incr attempts
+  done|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r4_non_retry_while_ok () =
+  (* an ordinary event loop is out of scope however unbounded it looks *)
+  let fs =
+    lint ~rules:[ rule "R4" ] {|let serve running = while !running do step () done|}
+  in
+  check_count "no findings" 0 fs
+
+let test_r4_while_waiver () =
+  let fs =
+    lint ~rules:[ rule "R4" ]
+      {|let drain q =
+  (while retry_pending q do resubmit_head q done)
+  [@abft.waive "resubmit_head pops the item on its final failure"]|}
+  in
+  check_count "reported" 1 fs;
+  check_count "not blocking" 0 (blocking fs)
+
 let test_r4_waiver () =
   let fs =
     lint ~rules:[ rule "R4" ]
@@ -350,7 +389,7 @@ let test_fixture_counts () =
   Alcotest.(check int) "r1_bad findings" 4 (count "r1_bad.ml" "R1");
   Alcotest.(check int) "r2 findings" 2 (count "r2/ft.ml" "R2");
   Alcotest.(check int) "r3_bad findings" 6 (count "r3_bad.ml" "R3");
-  Alcotest.(check int) "r4_bad findings" 3 (count "r4_bad.ml" "R4");
+  Alcotest.(check int) "r4_bad findings" 4 (count "r4_bad.ml" "R4");
   Alcotest.(check int) "r5_bad findings" 4 (count "r5_bad.ml" "R5")
 
 let test_clean_fixture () =
@@ -433,12 +472,13 @@ let test_r6_twin_clean () =
     (with_rule "W0" r.A.Driver.findings)
 
 let test_r7_fixture_locations () =
-  (* unbound start, never-stopped span, raise across an open span, and
-     a pool attachment without a Fun.protect restore *)
+  (* unbound start, never-stopped span, raise across an open span, a
+     pool attachment without a Fun.protect restore, and a failwith-style
+     cancellation bail-out crossing an open span *)
   let r = run_fixture "r7_bad.ml" in
   Alcotest.(check (list (pair int int)))
     "R7 finding locations"
-    [ (6, 2); (10, 11); (14, 11); (19, 2) ]
+    [ (6, 2); (10, 11); (14, 11); (19, 2); (25, 11) ]
     (locs "R7" r)
 
 let test_r7_twin_clean () =
@@ -703,6 +743,14 @@ let () =
           Alcotest.test_case "record cap ok" `Quick test_r4_record_cap_ok;
           Alcotest.test_case "non-retry recursion ok" `Quick
             test_r4_non_retry_recursion_ok;
+          Alcotest.test_case "while retry flagged" `Quick
+            test_r4_while_flagged;
+          Alcotest.test_case "while bounded ok" `Quick
+            test_r4_while_bounded_ok;
+          Alcotest.test_case "non-retry while ok" `Quick
+            test_r4_non_retry_while_ok;
+          Alcotest.test_case "while waiver downgrades" `Quick
+            test_r4_while_waiver;
           Alcotest.test_case "waiver downgrades" `Quick test_r4_waiver;
         ] );
       ( "r5",

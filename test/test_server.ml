@@ -1,0 +1,565 @@
+(* Tests for the serving layer (lib/server): the breaker state machine
+   (deterministic, driven with explicit clocks), admission control
+   (backpressure, quotas, breakers), deadlines and cancellation,
+   graceful shutdown, the queue-accounting identity, and the
+   racecheck regression that runs two concurrent storming requests
+   through the pool. *)
+
+open Matrix
+module C = Cholesky
+module Server = Serving.Server
+module Breaker = Serving.Breaker
+
+let ones n = Array.make n 1.0
+
+(* small, fast base config for most server tests *)
+let small_cfg =
+  {
+    Server.default_config with
+    Server.chol = C.Config.make ~block:8 ();
+    seed = 42;
+  }
+
+(* one tenant named "t" with the clean policy *)
+let one_tenant = [ ("t", Server.clean_tenant) ]
+
+(* ------------------------------------------------------------------ *)
+(* Breaker                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_breaker_trips_after_failures () =
+  let b = Breaker.create () in
+  Alcotest.(check bool) "closed admits" true (Breaker.admit b ~now:0. = `Admit);
+  Breaker.on_failure b ~now:0.;
+  Breaker.on_failure b ~now:0.;
+  Alcotest.(check bool) "still closed" true (Breaker.state b = Breaker.Closed);
+  Breaker.on_failure b ~now:0.;
+  Alcotest.(check bool) "open after 3" true (Breaker.state b = Breaker.Open);
+  Alcotest.(check int) "one trip" 1 (Breaker.trips b);
+  (match Breaker.admit b ~now:0. with
+  | `Reject retry ->
+      (* first cooldown: 50 ms with 25% jitter *)
+      Alcotest.(check bool) "retry hint in jitter band" true
+        (retry >= 0.05 *. 0.75 && retry <= 0.05 *. 1.25)
+  | `Admit -> Alcotest.fail "open breaker admitted")
+
+let test_breaker_success_resets () =
+  let b = Breaker.create () in
+  Breaker.on_failure b ~now:0.;
+  Breaker.on_failure b ~now:0.;
+  Breaker.on_success b;
+  Breaker.on_failure b ~now:0.;
+  Breaker.on_failure b ~now:0.;
+  Alcotest.(check bool) "success reset the streak" true
+    (Breaker.state b = Breaker.Closed)
+
+let test_breaker_half_open_probe () =
+  let b = Breaker.create () in
+  for _ = 1 to 3 do
+    Breaker.on_failure b ~now:0.
+  done;
+  (* well past any jittered first cooldown (max 50ms * 1.25) *)
+  Alcotest.(check bool) "post-cooldown probe admitted" true
+    (Breaker.admit b ~now:1.0 = `Admit);
+  Alcotest.(check bool) "half-open" true (Breaker.state b = Breaker.Half_open);
+  (* single-probe policy: a second concurrent admit is rejected *)
+  (match Breaker.admit b ~now:1.0 with
+  | `Reject _ -> ()
+  | `Admit -> Alcotest.fail "second probe admitted");
+  Breaker.on_success b;
+  Alcotest.(check bool) "probe success closes" true
+    (Breaker.state b = Breaker.Closed);
+  Alcotest.(check bool) "closed admits again" true
+    (Breaker.admit b ~now:1.0 = `Admit)
+
+let test_breaker_escalation () =
+  let b = Breaker.create () in
+  for _ = 1 to 3 do
+    Breaker.on_failure b ~now:0.
+  done;
+  Alcotest.(check bool) "probe" true (Breaker.admit b ~now:1.0 = `Admit);
+  Breaker.on_failure b ~now:1.0;
+  Alcotest.(check bool) "probe failure re-opens" true
+    (Breaker.state b = Breaker.Open);
+  Alcotest.(check int) "second trip" 2 (Breaker.trips b);
+  (match Breaker.admit b ~now:1.0 with
+  | `Reject retry ->
+      (* second cooldown escalates: 100 ms with 25% jitter *)
+      Alcotest.(check bool) "escalated cooldown" true
+        (retry >= 0.1 *. 0.75 && retry <= 0.1 *. 1.25)
+  | `Admit -> Alcotest.fail "re-opened breaker admitted");
+  (* a successful probe later resets the escalation *)
+  Alcotest.(check bool) "probe 2" true (Breaker.admit b ~now:2.0 = `Admit);
+  Breaker.on_success b;
+  for _ = 1 to 3 do
+    Breaker.on_failure b ~now:3.0
+  done;
+  match Breaker.admit b ~now:3.0 with
+  | `Reject retry ->
+      Alcotest.(check bool) "escalation reset after close" true
+        (retry >= 0.05 *. 0.75 && retry <= 0.05 *. 1.25)
+  | `Admit -> Alcotest.fail "freshly re-opened breaker admitted"
+
+let test_breaker_policy_validation () =
+  let bad = { Breaker.default_policy with Breaker.trip_after = 0 } in
+  Alcotest.(check bool) "trip_after 0 invalid" true
+    (Result.is_error (Breaker.validate_policy bad));
+  let bad = { Breaker.default_policy with Breaker.jitter = 1.5 } in
+  Alcotest.(check bool) "jitter 1.5 invalid" true
+    (Result.is_error (Breaker.validate_policy bad))
+
+(* ------------------------------------------------------------------ *)
+(* Basic serving                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_factor_and_solve () =
+  let srv = Server.create small_cfg one_tenant in
+  let n = 32 in
+  let a = Spd.random_spd ~seed:7 n in
+  let rhs = Blas2.gemv_alloc a (ones n) in
+  let t1 =
+    match Server.submit srv ~tenant:"t" (Server.Factor a) with
+    | Ok tk -> tk
+    | Error r -> Alcotest.failf "factor rejected: %a" Server.pp_rejection r
+  in
+  let t2 =
+    match Server.submit srv ~tenant:"t" (Server.Solve { a; rhs }) with
+    | Ok tk -> tk
+    | Error r -> Alcotest.failf "solve rejected: %a" Server.pp_rejection r
+  in
+  (match Server.await srv t1 with
+  | Server.Completed { report; solution = None; _ } ->
+      Alcotest.(check bool) "factor success" true
+        (report.C.Ft.outcome = C.Ft.Success)
+  | o -> Alcotest.failf "factor: %a" Server.pp_outcome o);
+  (match Server.await srv t2 with
+  | Server.Completed { solution = Some x; _ } ->
+      Array.iter
+        (fun xi ->
+          Alcotest.(check bool) "solution element near 1" true
+            (Float.abs (xi -. 1.0) < 1e-5))
+        x
+  | o -> Alcotest.failf "solve: %a" Server.pp_outcome o);
+  Server.shutdown srv ~drain:true;
+  let c = Server.counters srv in
+  Alcotest.(check int) "accepted" 2 c.Server.accepted;
+  Alcotest.(check int) "completed" 2 c.Server.completed;
+  Alcotest.(check int) "corruptions" 0 c.Server.corruptions
+
+let test_unknown_tenant_and_shutdown_reject () =
+  let srv = Server.create small_cfg one_tenant in
+  (match Server.submit srv ~tenant:"nobody" (Server.Factor (Spd.random_spd 8)) with
+  | Error (Server.Unknown_tenant _) -> ()
+  | _ -> Alcotest.fail "unknown tenant accepted");
+  Server.shutdown srv ~drain:true;
+  (match Server.submit srv ~tenant:"t" (Server.Factor (Spd.random_spd 8)) with
+  | Error Server.Shutting_down -> ()
+  | _ -> Alcotest.fail "post-shutdown submit accepted");
+  let c = Server.counters srv in
+  Alcotest.(check int) "both rejections counted" 2 c.Server.rejected_other
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure and quotas                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_backpressure_overload () =
+  (* one slow worker, tiny queue: a burst must produce Overloaded
+     rejections and the queue must never exceed its capacity *)
+  let cfg =
+    {
+      small_cfg with
+      Server.workers = 1;
+      pool_domains = 1;
+      queue_capacity = 2;
+    }
+  in
+  let srv = Server.create cfg one_tenant in
+  let a = Spd.random_spd ~seed:11 256 in
+  let overloaded = ref 0 and tickets = ref [] in
+  for _ = 1 to 8 do
+    (match Server.submit srv ~tenant:"t" (Server.Factor a) with
+    | Ok tk -> tickets := tk :: !tickets
+    | Error (Server.Overloaded { retry_after_s }) ->
+        Alcotest.(check bool) "retry hint positive" true (retry_after_s > 0.);
+        incr overloaded
+    | Error r -> Alcotest.failf "unexpected rejection: %a" Server.pp_rejection r);
+    Alcotest.(check bool) "queue bounded" true
+      (Server.queue_depth srv <= cfg.Server.queue_capacity)
+  done;
+  Alcotest.(check bool) "burst rejected some" true (!overloaded > 0);
+  List.iter (fun tk -> ignore (Server.await srv tk)) !tickets;
+  Server.shutdown srv ~drain:true;
+  let c = Server.counters srv in
+  Alcotest.(check int) "overloaded counter" !overloaded
+    c.Server.rejected_overloaded;
+  Alcotest.(check int) "accounting identity"
+    c.Server.accepted
+    (c.Server.completed + c.Server.deadline_exceeded + c.Server.cancelled
+   + c.Server.failed)
+
+let test_quota_clips_tenant () =
+  (* quota = weight * (capacity + workers) / total = 1 * (7+1) / 2 = 4 *)
+  let cfg =
+    {
+      small_cfg with
+      Server.workers = 1;
+      pool_domains = 1;
+      queue_capacity = 7;
+    }
+  in
+  let srv =
+    Server.create cfg
+      [ ("a", Server.clean_tenant); ("b", Server.clean_tenant) ]
+  in
+  Alcotest.(check int) "quota" 4 (Server.quota srv "a");
+  let big = Spd.random_spd ~seed:13 256 in
+  let tickets = ref [] in
+  let last = ref (Ok ()) in
+  for i = 1 to 5 do
+    match Server.submit srv ~tenant:"a" (Server.Factor big) with
+    | Ok tk ->
+        tickets := tk :: !tickets;
+        Alcotest.(check bool) "first four admitted" true (i <= 4)
+    | Error r -> last := Error (i, r)
+  done;
+  (match !last with
+  | Error (5, Server.Quota_exceeded { outstanding = 4; quota = 4; _ }) -> ()
+  | Error (i, r) ->
+      Alcotest.failf "submit %d: unexpected rejection %a" i Server.pp_rejection r
+  | Ok () -> Alcotest.fail "5th submission exceeded quota but was admitted");
+  (* the other tenant still gets in: quota isolation, not global *)
+  (match Server.submit srv ~tenant:"b" (Server.Factor big) with
+  | Ok tk -> tickets := tk :: !tickets
+  | Error r -> Alcotest.failf "tenant b rejected: %a" Server.pp_rejection r);
+  List.iter (fun tk -> ignore (Server.await srv tk)) !tickets;
+  Server.shutdown srv ~drain:true
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines and cancellation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_exceeded () =
+  let cfg = { small_cfg with Server.workers = 1; pool_domains = 1 } in
+  let srv = Server.create cfg one_tenant in
+  let a = Spd.random_spd ~seed:17 256 in
+  (* a deadline far below the service time of a 256/8 blocked factor:
+     the driver must stop at an iteration boundary with partial stats *)
+  let tk =
+    match
+      Server.submit srv ~tenant:"t" ~deadline_s:0.001 (Server.Factor a)
+    with
+    | Ok tk -> tk
+    | Error r -> Alcotest.failf "rejected: %a" Server.pp_rejection r
+  in
+  (match Server.await srv tk with
+  | Server.Deadline_exceeded { elapsed_s; _ } ->
+      Alcotest.(check bool) "elapsed covers the deadline" true
+        (elapsed_s >= 0.001)
+  | o -> Alcotest.failf "expected deadline, got %a" Server.pp_outcome o);
+  (* the slot is free again: a clean request completes *)
+  (match Server.submit srv ~tenant:"t" (Server.Factor (Spd.random_spd 32)) with
+  | Ok tk2 -> (
+      match Server.await srv tk2 with
+      | Server.Completed _ -> ()
+      | o -> Alcotest.failf "post-deadline request: %a" Server.pp_outcome o)
+  | Error r -> Alcotest.failf "post-deadline submit: %a" Server.pp_rejection r);
+  Server.shutdown srv ~drain:true;
+  let c = Server.counters srv in
+  Alcotest.(check int) "deadline counted" 1 c.Server.deadline_exceeded
+
+let test_cancel_queued () =
+  let cfg = { small_cfg with Server.workers = 1; pool_domains = 1 } in
+  let srv = Server.create cfg one_tenant in
+  let big = Spd.random_spd ~seed:19 256 in
+  let t1 =
+    match Server.submit srv ~tenant:"t" (Server.Factor big) with
+    | Ok tk -> tk
+    | Error r -> Alcotest.failf "t1 rejected: %a" Server.pp_rejection r
+  in
+  let t2 =
+    match Server.submit srv ~tenant:"t" (Server.Factor big) with
+    | Ok tk -> tk
+    | Error r -> Alcotest.failf "t2 rejected: %a" Server.pp_rejection r
+  in
+  Server.cancel srv t2;
+  (match Server.await srv t2 with
+  | Server.Cancelled _ -> ()
+  | o -> Alcotest.failf "expected cancelled, got %a" Server.pp_outcome o);
+  ignore (Server.await srv t1);
+  Server.shutdown srv ~drain:true;
+  let c = Server.counters srv in
+  Alcotest.(check int) "cancel counted" 1 c.Server.cancelled;
+  Alcotest.(check int) "identity" c.Server.accepted
+    (c.Server.completed + c.Server.deadline_exceeded + c.Server.cancelled
+   + c.Server.failed)
+
+let test_shutdown_no_drain_cancels_queue () =
+  let cfg =
+    {
+      small_cfg with
+      Server.workers = 1;
+      pool_domains = 1;
+      queue_capacity = 4;
+    }
+  in
+  let srv = Server.create cfg one_tenant in
+  let big = Spd.random_spd ~seed:23 256 in
+  let tickets =
+    List.filter_map
+      (fun _ ->
+        match Server.submit srv ~tenant:"t" (Server.Factor big) with
+        | Ok tk -> Some tk
+        | Error _ -> None)
+      [ (); (); (); () ]
+  in
+  Server.shutdown srv ~drain:false;
+  Alcotest.(check int) "queue drained" 0 (Server.queue_depth srv);
+  Alcotest.(check int) "nothing inflight" 0 (Server.inflight srv);
+  (* every ticket reached a terminal state *)
+  List.iter
+    (fun tk ->
+      match Server.poll srv tk with
+      | Some _ -> ()
+      | None ->
+          Alcotest.failf "ticket %d not settled" (Server.ticket_id tk))
+    tickets;
+  let c = Server.counters srv in
+  Alcotest.(check int) "identity after abort" c.Server.accepted
+    (c.Server.completed + c.Server.deadline_exceeded + c.Server.cancelled
+   + c.Server.failed)
+
+(* ------------------------------------------------------------------ *)
+(* Breaker at the server level                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_breaker_sheds_failing_tenant () =
+  (* non-square inputs fail structurally: three consecutive failures
+     trip the tenant's breaker (long cooldown keeps it open for the
+     assertion); the clean tenant keeps being admitted *)
+  let policy =
+    {
+      Server.clean_tenant with
+      Server.breaker =
+        {
+          Breaker.default_policy with
+          Breaker.trip_after = 3;
+          cooldown_base_s = 30.;
+          cooldown_max_s = 60.;
+        };
+    }
+  in
+  let srv =
+    Server.create small_cfg
+      [ ("flaky", policy); ("clean", Server.clean_tenant) ]
+  in
+  let bad = Spd.random ~seed:29 8 16 in
+  for i = 1 to 3 do
+    match Server.submit srv ~tenant:"flaky" (Server.Factor bad) with
+    | Ok tk -> (
+        match Server.await srv tk with
+        | Server.Failed _ -> ()
+        | o -> Alcotest.failf "bad input %d: %a" i Server.pp_outcome o)
+    | Error r -> Alcotest.failf "submit %d rejected: %a" i Server.pp_rejection r
+  done;
+  (match Server.submit srv ~tenant:"flaky" (Server.Factor bad) with
+  | Error (Server.Breaker_open { retry_after_s; _ }) ->
+      Alcotest.(check bool) "retry hint positive" true (retry_after_s > 0.)
+  | Ok _ -> Alcotest.fail "tripped breaker admitted"
+  | Error r -> Alcotest.failf "unexpected rejection: %a" Server.pp_rejection r);
+  (match Server.submit srv ~tenant:"clean" (Server.Factor (Spd.random_spd 32)) with
+  | Ok tk -> (
+      match Server.await srv tk with
+      | Server.Completed _ -> ()
+      | o -> Alcotest.failf "clean tenant: %a" Server.pp_outcome o)
+  | Error r -> Alcotest.failf "clean tenant rejected: %a" Server.pp_rejection r);
+  Server.shutdown srv ~drain:true;
+  let c = Server.counters srv in
+  Alcotest.(check int) "one trip" 1 c.Server.breaker_trips;
+  Alcotest.(check int) "breaker rejection counted" 1 c.Server.rejected_breaker;
+  Alcotest.(check int) "failures counted" 3 c.Server.failed
+
+(* ------------------------------------------------------------------ *)
+(* Racecheck regression: concurrent storming requests                  *)
+(* ------------------------------------------------------------------ *)
+
+let storm_tenant family =
+  {
+    Server.clean_tenant with
+    Server.plan =
+      (fun ~n ~block ~seed ->
+        Campaign.plan family ~seed ~grid:(n / block) ~block ~count:4);
+  }
+
+let test_racecheck_concurrent_storms () =
+  (* two storming requests running concurrently on separate worker
+     slots under the dynamic race detector: per-run tag namespaces in
+     Ft must keep their write claims disjoint, and no completed factor
+     may be silently corrupt *)
+  let prev = Sys.getenv_opt Parallel.Pool.racecheck_env_var in
+  Unix.putenv Parallel.Pool.racecheck_env_var "1";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv Parallel.Pool.racecheck_env_var
+        (Option.value prev ~default:"0"))
+    (fun () ->
+      let cfg = { small_cfg with Server.workers = 2; pool_domains = 2 } in
+      let srv =
+        Server.create cfg
+          [
+            ("storm-a", storm_tenant Campaign.Storage_heavy);
+            ("storm-b", storm_tenant Campaign.Mixed);
+          ]
+      in
+      let a = Spd.random_spd ~seed:31 128 in
+      let submit tenant =
+        match Server.submit srv ~tenant (Server.Factor a) with
+        | Ok tk -> tk
+        | Error r ->
+            Alcotest.failf "%s rejected: %a" tenant Server.pp_rejection r
+      in
+      let t1 = submit "storm-a" and t2 = submit "storm-b" in
+      List.iter
+        (fun tk ->
+          match Server.await srv tk with
+          | Server.Completed _ -> ()
+          | Server.Failed { reason; _ } ->
+              (* a Gave_up under a heavy storm is legitimate; a race
+                 or silent corruption is the regression *)
+              Alcotest.(check bool)
+                ("no race/corruption in: " ^ reason)
+                false
+                (let has needle =
+                   let ln = String.length needle and lr = String.length reason in
+                   let rec at i =
+                     i + ln <= lr && (String.sub reason i ln = needle || at (i + 1))
+                   in
+                   at 0
+                 in
+                 has "Race" || has "corruption")
+          | o -> Alcotest.failf "storm request: %a" Server.pp_outcome o)
+        [ t1; t2 ];
+      Server.shutdown srv ~drain:true;
+      let c = Server.counters srv in
+      Alcotest.(check int) "zero silent corruption" 0 c.Server.corruptions)
+
+(* ------------------------------------------------------------------ *)
+(* Queue-accounting property                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* random admit/reject/cancel/complete interleavings: whatever the
+   sequence, every accepted ticket lands in exactly one terminal
+   bucket and the queue is empty after drain *)
+let accounting_property =
+  QCheck.Test.make ~name:"accepted = completed + deadline + cancelled + failed"
+    ~count:12
+    QCheck.(pair (list (int_bound 5)) bool)
+    (fun (ops, drain) ->
+      let cfg =
+        {
+          Server.workers = 2;
+          pool_domains = 1;
+          queue_capacity = 3;
+          chol = C.Config.make ~block:8 ();
+          seed = 5;
+        }
+      in
+      let srv =
+        Server.create cfg
+          [ ("a", Server.clean_tenant); ("b", Server.clean_tenant) ]
+      in
+      let a16 = Spd.random_spd ~seed:37 16 in
+      let a64 = Spd.random_spd ~seed:41 64 in
+      let tickets = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 | 1 -> (
+              (* submit small/large work, alternating tenants *)
+              let tenant = if op = 0 then "a" else "b" in
+              let m = if op = 0 then a16 else a64 in
+              match Server.submit srv ~tenant (Server.Factor m) with
+              | Ok tk -> tickets := tk :: !tickets
+              | Error _ -> ())
+          | 2 -> (
+              (* submit with an instantly-expired deadline *)
+              match
+                Server.submit srv ~tenant:"a" ~deadline_s:0.
+                  (Server.Factor a64)
+              with
+              | Ok tk -> tickets := tk :: !tickets
+              | Error _ -> ())
+          | 3 -> (
+              (* cancel the most recent ticket *)
+              match !tickets with tk :: _ -> Server.cancel srv tk | [] -> ())
+          | 4 -> (
+              (* await the most recent ticket *)
+              match !tickets with
+              | tk :: _ -> ignore (Server.await srv tk)
+              | [] -> ())
+          | _ ->
+              (* let the workers catch up a little *)
+              ignore (Spd.random_spd ~seed:op 8))
+        ops;
+      Server.shutdown srv ~drain;
+      let c = Server.counters srv in
+      let settled =
+        c.Server.completed + c.Server.deadline_exceeded + c.Server.cancelled
+        + c.Server.failed
+      in
+      Server.queue_depth srv = 0
+      && Server.inflight srv = 0
+      && c.Server.accepted = settled
+      && c.Server.accepted = List.length !tickets
+      && List.for_all (fun tk -> Option.is_some (Server.poll srv tk)) !tickets)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "breaker",
+        [
+          Alcotest.test_case "trips after consecutive failures" `Quick
+            test_breaker_trips_after_failures;
+          Alcotest.test_case "success resets the streak" `Quick
+            test_breaker_success_resets;
+          Alcotest.test_case "half-open probe" `Quick
+            test_breaker_half_open_probe;
+          Alcotest.test_case "cooldown escalation and reset" `Quick
+            test_breaker_escalation;
+          Alcotest.test_case "policy validation" `Quick
+            test_breaker_policy_validation;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "factor and solve complete" `Quick
+            test_factor_and_solve;
+          Alcotest.test_case "unknown tenant / shutdown rejections" `Quick
+            test_unknown_tenant_and_shutdown_reject;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "overload backpressure" `Quick
+            test_backpressure_overload;
+          Alcotest.test_case "quota clips a tenant" `Quick
+            test_quota_clips_tenant;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "deadline exceeded frees the slot" `Quick
+            test_deadline_exceeded;
+          Alcotest.test_case "cancel a queued request" `Quick
+            test_cancel_queued;
+          Alcotest.test_case "shutdown without drain cancels the queue" `Quick
+            test_shutdown_no_drain_cancels_queue;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "breaker sheds a failing tenant" `Quick
+            test_server_breaker_sheds_failing_tenant;
+          Alcotest.test_case "concurrent storms under racecheck" `Quick
+            test_racecheck_concurrent_storms;
+        ] );
+      ( "accounting",
+        List.map QCheck_alcotest.to_alcotest [ accounting_property ] );
+    ]
