@@ -35,6 +35,8 @@ let experiments =
                     scheduler", Bench_resilience.run);
     ("throughput", "Throughput — serving layer offered-load sweep + fault \
                     storm", Bench_throughput.run);
+    ("solver", "Solver — protected PCG overhead vs unprotected CG",
+     Bench_solver.run);
     ("micro", "Bechamel microbenches (real kernels)", Bench_micro.run);
     ("fused", "Fused vs separate ABFT pipelines (real kernels)",
      Bench_micro.run_fused);

@@ -4,8 +4,9 @@
    a deterministic per-case fault plan via Campaign.plan, runs each
    through the numeric Ft.factor recovery ladder (device-storm
    campaigns additionally run a timing-mode leg against an unreliable
-   machine), and reports an outcome histogram with per-rung and
-   per-device statistics.
+   machine; solver-storm campaigns run the fault-tolerant PCG harness
+   instead of a factorization), and reports an outcome histogram with
+   per-rung, per-device and per-solver-rung statistics.
 
    Exit-code contract (documented in EXPERIMENTS.md, relied on by CI):
      0 — every campaign completed without silent corruption
@@ -103,7 +104,8 @@ let families_arg =
     & opt (list family_conv) Campaign.all_families
     & info [ "families" ] ~docv:"F,.."
         ~doc:"Fault families to soak: mixed, burst, storage-heavy, \
-              compute-heavy, checksum-storm, anchor, device-storm.")
+              compute-heavy, checksum-storm, anchor, device-storm, \
+              solver-storm.")
 
 let snapshot_arg =
   Arg.(
@@ -239,12 +241,83 @@ let device_storm_leg ~machine ~scheme ~obs (case : Campaign.case) =
      failure line is returned to the harness, which records it in the \
      campaign report"]
 
-(* Each traced campaign gets its own sink, so per-campaign totals are
-   exact; the spans (absolute monotonic timestamps) are returned for
-   the harness to merge into one whole-soak trace. *)
-let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
-    ~traced (case, scheme) =
-  let obs = if traced then Obs.create () else Obs.null in
+(* Solver-storm campaigns run the fault-tolerant PCG harness instead
+   of a factorization: a block-Jacobi incomplete-Cholesky preconditioner
+   (inexact, so the solver actually iterates) over a pristine SPD
+   system, with the case's In_solver plan firing against the live
+   x/r/p vectors and the preconditioner factor.
+
+   The verification/checkpoint cadence is varied by case id so every
+   recovery rung stays reachable across the soak: a third of the cases
+   run without checkpoints, forcing detections past the backward rung
+   into a full restart; the rest keep checkpoints so rollback wins
+   when the iterate is implausible while forward reconstruction wins
+   when it is still good.
+
+   Classification never trusts the solver's own verdict: the true
+   residual is recomputed here against the pristine inputs, so a
+   "converged" report whose iterate does not actually solve the system
+   is recorded as SILENT CORRUPTION. *)
+let solver_leg ~obs (case : Campaign.case) =
+  let n = case.Campaign.grid * case.Campaign.block in
+  let a = Matrix.Spd.random_spd ~seed:(case.Campaign.seed + 1) n in
+  let b = Array.init n (fun i -> 1. +. (float_of_int (i mod 7) /. 7.)) in
+  let precond = Solvers.Cg.block_jacobi ~block:case.Campaign.block a in
+  let verify_interval, checkpoint_interval =
+    match case.Campaign.id mod 3 with
+    | 0 -> (2, 0) (* no checkpoints: the backward rung escalates *)
+    | 1 -> (2, 2)
+    | _ -> (4, 4)
+  in
+  let cfg =
+    Solvers.Cg.config ~rtol:1e-9 ~verify_interval ~checkpoint_interval
+      ~max_rollbacks:2 ~max_restarts:3 ()
+  in
+  let r = Solvers.Cg.solve ~obs ~plan:case.Campaign.plan ~precond cfg a b in
+  let true_resid =
+    let rt = Array.copy b in
+    Matrix.Blas2.gemv ~alpha:(-1.) ~beta:1. a r.Solvers.Cg.x rt;
+    Matrix.Vec.nrm2 rt /. Matrix.Vec.nrm2 b
+  in
+  let outcome =
+    match r.Solvers.Cg.outcome with
+    | Solvers.Cg.Converged ->
+        if Float.is_finite true_resid && true_resid <= 1e-6 then
+          Campaign.Success
+        else Campaign.Silent_corruption
+    | Solvers.Cg.Gave_up reason ->
+        Campaign.Gave_up
+          (Format.asprintf "solver: %a" Solvers.Cg.pp_reason reason)
+  in
+  let st = r.Solvers.Cg.stats in
+  {
+    Campaign.case;
+    outcome;
+    residual = true_resid;
+    verifications = 0;
+    corrections = 0;
+    reconstructions = 0;
+    checksum_repairs = 0;
+    rollbacks = 0;
+    snapshots = 0;
+    restarts = 0;
+    fired = List.length r.Solvers.Cg.injections_fired;
+    device = Campaign.zero_device;
+    solver =
+      {
+        Campaign.iterations_s = st.Solvers.Cg.iterations;
+        verifications_s = st.Solvers.Cg.verifications;
+        detections_s = st.Solvers.Cg.detections;
+        reconstructions_s = st.Solvers.Cg.reconstructions;
+        rollbacks_s = st.Solvers.Cg.rollbacks;
+        restarts_s = st.Solvers.Cg.restarts;
+        precond_repairs_s = st.Solvers.Cg.precond_repairs;
+      };
+    obs_metrics = [];
+  }
+
+let factor_leg ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
+    ~obs (case, scheme) =
   let n = case.Campaign.grid * case.Campaign.block in
   let snap =
     if snapshot_interval >= 0 then snapshot_interval
@@ -263,7 +336,9 @@ let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
     match case.Campaign.family with
     | Campaign.Device_storm -> device_storm_leg ~machine ~scheme ~obs case
     | Campaign.Mixed | Campaign.Burst | Campaign.Storage_heavy
-    | Campaign.Compute_heavy | Campaign.Checksum_storm | Campaign.Anchor ->
+    | Campaign.Compute_heavy | Campaign.Checksum_storm | Campaign.Anchor
+    | Campaign.Solver_storm ->
+        (* solver-storm cases never reach this leg *)
         (Campaign.zero_device, None)
   in
   let outcome =
@@ -273,20 +348,41 @@ let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
     | C.Ft.Success, Some why -> Campaign.Gave_up why
     | C.Ft.Success, None -> Campaign.Success
   in
+  {
+    Campaign.case;
+    outcome;
+    residual = report.C.Ft.residual;
+    verifications = st.C.Ft.verifications;
+    corrections = st.C.Ft.corrections;
+    reconstructions = st.C.Ft.reconstructions;
+    checksum_repairs = st.C.Ft.checksum_repairs;
+    rollbacks = st.C.Ft.rollbacks;
+    snapshots = st.C.Ft.snapshots;
+    restarts = st.C.Ft.restarts;
+    fired = List.length report.C.Ft.injections_fired;
+    device;
+    solver = Campaign.zero_solver;
+    obs_metrics = [];
+  }
+
+(* Each traced campaign gets its own sink, so per-campaign totals are
+   exact; the spans (absolute monotonic timestamps) are returned for
+   the harness to merge into one whole-soak trace. *)
+let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
+    ~traced ((case, _) as c) =
+  let obs = if traced then Obs.create () else Obs.null in
+  let result =
+    match case.Campaign.family with
+    | Campaign.Solver_storm -> solver_leg ~obs case
+    | Campaign.Mixed | Campaign.Burst | Campaign.Storage_heavy
+    | Campaign.Compute_heavy | Campaign.Checksum_storm | Campaign.Anchor
+    | Campaign.Device_storm ->
+        factor_leg ~machine ~pool ~snapshot_interval ~max_rollbacks
+          ~max_restarts ~obs c
+  in
   ( {
-      Campaign.case;
-      outcome;
-      residual = report.C.Ft.residual;
-      verifications = st.C.Ft.verifications;
-      corrections = st.C.Ft.corrections;
-      reconstructions = st.C.Ft.reconstructions;
-      checksum_repairs = st.C.Ft.checksum_repairs;
-      rollbacks = st.C.Ft.rollbacks;
-      snapshots = st.C.Ft.snapshots;
-      restarts = st.C.Ft.restarts;
-      fired = List.length report.C.Ft.injections_fired;
-      device;
-      obs_metrics = (if traced then Obs.metric_list obs else []);
+      result with
+      Campaign.obs_metrics = (if traced then Obs.metric_list obs else []);
     },
     if traced then Obs.spans obs else [] )
 

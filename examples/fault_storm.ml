@@ -28,7 +28,8 @@ let () =
            | Fault.In_storage | Fault.In_device ->
                inj.Fault.iteration <= fst inj.Fault.block
            | Fault.In_checksum | Fault.In_update _ ->
-               true (* the self-protecting store heals these *))
+               true (* the self-protecting store heals these *)
+           | Fault.In_solver _ -> false)
     |> List.filteri (fun i _ -> i < count)
   in
   Format.printf "plan:@.%a@.@." Fault.pp plan;

@@ -413,7 +413,7 @@ let suffix p s =
 let builtin_source path =
   match List.rev path with
   | name :: md :: _ ->
-      (md = "Blas3" && suffix "_alloc" name)
+      ((md = "Blas3" || md = "Blas2") && suffix "_alloc" name)
       || ((md = "Checksum" || md = "Duochk" || md = "Panelchk")
          && prefix "encode" name)
   | _ -> false
@@ -423,6 +423,9 @@ let builtin_sanitizer path =
   | [] -> false
   | name :: rest -> (
       prefix "verify" name
+      (* the solver layer's verification point: a true-residual
+         recomputation cross-checked against the recurrence residual *)
+      || prefix "residual_check" name
       ||
       match rest with
       | md :: _ ->

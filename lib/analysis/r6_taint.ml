@@ -16,12 +16,15 @@
    helper that verifies is itself a sanitizer.
 
    Scope: the resilience drivers — ft.ml, ft_lu.ml, ft_qr.ml,
-   resilient.ml. Waive a deliberately unverified read with
+   resilient.ml — and the fault-tolerant solver harness, cg.ml, whose
+   verification points are the [residual_check] true-residual
+   recomputations. Waive a deliberately unverified read with
    [[@abft.unverified "reason"]] on the producing or consuming call. *)
 
 let rule_id = "R6"
 
-let scope_basenames = [ "ft.ml"; "ft_lu.ml"; "ft_qr.ml"; "resilient.ml" ]
+let scope_basenames =
+  [ "ft.ml"; "ft_lu.ml"; "ft_qr.ml"; "resilient.ml"; "cg.ml" ]
 
 let path_str p = String.concat "." p
 

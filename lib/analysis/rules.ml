@@ -63,10 +63,11 @@ let all =
       id = "R6";
       title = "unverified-data taint in the FT drivers (whole-program)";
       rationale =
-        "values produced by Blas3.*_alloc or the checksum encoders are \
-         tainted until a Verify.compare/compare_batch, verify* helper or \
-         recovery rung mentions them; any other call that reads a tainted \
-         binding in ft.ml/ft_lu.ml/ft_qr.ml/resilient.ml consumes data the \
+        "values produced by Blas3.*_alloc/Blas2.*_alloc or the checksum \
+         encoders are tainted until a Verify.compare/compare_batch, \
+         verify* or residual_check* helper or recovery rung mentions \
+         them; any other call that reads a tainted binding in \
+         ft.ml/ft_lu.ml/ft_qr.ml/resilient.ml/cg.ml consumes data the \
          ABFT layer never checked. Interprocedural through the project \
          index: helpers wrapping a source taint their callers. Waive with \
          [@abft.unverified \"reason\"].";

@@ -33,6 +33,12 @@ let make ?(machine = Hetsim.Machine.tardis) ?(block = 0)
     ?(scheme = Abft.Scheme.enhanced ()) ?(opt1 = true) ?(opt2 = Auto)
     ?(recalc_streams = 0) ?(tol = Abft.Verify.default_tol) ?(max_restarts = 3)
     ?(max_rollbacks = 2) ?(snapshot_interval = 0) ?(fused = true) () =
+  if snapshot_interval < 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Config.make: snapshot_interval must be >= 0 (0 disables periodic \
+          snapshots), got %d"
+         snapshot_interval);
   {
     machine;
     block;

@@ -62,6 +62,10 @@ val make :
   ?fused:bool ->
   unit ->
   t
+(** @raise Invalid_argument if [snapshot_interval] is negative (0 is
+    the legitimate "snapshots disabled" value); a misconfigured
+    checkpoint cadence must fail at construction, not deep inside a
+    recovery. The remaining fields are range-checked by {!validate}. *)
 
 val block_size : t -> int
 (** The effective tile size (resolving [0] to the machine default). *)

@@ -33,6 +33,10 @@ let uncorrected scheme plan =
         | Abft.Scheme.Offline -> false
         | Abft.Scheme.No_ft | Abft.Scheme.Online | Abft.Scheme.Enhanced _ ->
             true)
+    | Fault.In_solver _ ->
+        (* Solver windows never fire during a factorization pass; the
+           timing simulation has nothing to rerun for them. *)
+        true
   in
   List.filter (fun inj -> not (correctable inj)) plan
 

@@ -4,7 +4,7 @@ type t = { a : Mat.t; l : Mat.t; ft_report : Ft.report }
 
 type refine_stats = { iterations : int; final_residual : float }
 
-let factorize ?plan ?cfg a =
+let factorize ?pool ?obs ?plan ?cfg a =
   let cfg =
     match cfg with
     | Some c -> c
@@ -13,7 +13,7 @@ let factorize ?plan ?cfg a =
           ~block:(Config.divisor_block (Mat.rows a))
           ()
   in
-  let ft_report = Ft.factor ?plan cfg a in
+  let ft_report = Ft.factor ?pool ?obs ?plan cfg a in
   (match ft_report.Ft.outcome with
   | Ft.Success -> ()
   | o ->
@@ -23,6 +23,15 @@ let factorize ?plan ?cfg a =
   { a = Mat.copy a; l = ft_report.Ft.factor; ft_report }
 
 let report t = t.ft_report
+let factor_matrix t = t.l
+
+let triangular_solve_vec l x =
+  if Mat.rows l <> Mat.cols l then
+    invalid_arg "Solve.triangular_solve_vec: factor is not square";
+  if Mat.rows l <> Array.length x then
+    invalid_arg "Solve.triangular_solve_vec: vector has wrong length";
+  Blas2.trsv Types.Lower Types.No_trans Types.Non_unit_diag l x;
+  Blas2.trsv Types.Lower Types.Trans Types.Non_unit_diag l x
 
 let relative_residual t ~x ~b =
   let r = Mat.sub_mat (Blas3.gemm_alloc t.a x) b in

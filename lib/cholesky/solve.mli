@@ -21,15 +21,33 @@ type refine_stats = {
   final_residual : float;  (** ‖A·x − b‖_∞ / (‖A‖_∞·‖x‖_∞) after the last *)
 }
 
-val factorize : ?plan:Fault.t -> ?cfg:Config.t -> Mat.t -> t
+val factorize :
+  ?pool:Parallel.Pool.t -> ?obs:Obs.t -> ?plan:Fault.t -> ?cfg:Config.t ->
+  Mat.t -> t
 (** [factorize a] factors SPD [a] with {!Ft.factor} (default config:
     Enhanced on the testbench machine with a block dividing the order).
+    [pool] and [obs] are passed through to {!Ft.factor}; the factor is
+    bitwise identical for every pool size.
     The input matrix is retained (unmodified) for refinement residuals.
     @raise Failure if the factorization outcome is not [Success].
     @raise Invalid_argument as {!Ft.factor}. *)
 
 val report : t -> Ft.report
 (** The underlying factorization report (corrections, restarts, …). *)
+
+val factor_matrix : t -> Mat.t
+(** The lower-triangular Cholesky factor (live, not a copy) — what the
+    iterative-solver layer feeds to {!triangular_solve_vec} as a
+    preconditioner, and what a solver fault campaign corrupts through
+    [Fault.In_solver Sol_precond]. *)
+
+val triangular_solve_vec : Mat.t -> Vec.t -> unit
+(** [triangular_solve_vec l x] overwrites [x] with [L⁻ᵀ(L⁻¹x)] — the
+    forward/backward triangular-solve pair against a lower Cholesky (or
+    incomplete-Cholesky) factor. This is the preconditioner application
+    of the PCG layer.
+    @raise Invalid_argument on shape mismatch.
+    @raise Failure on a zero pivot (as {!Matrix.Blas2.trsv}). *)
 
 val solve : ?refine:int -> t -> Mat.t -> Mat.t * refine_stats
 (** [solve ~refine t b] returns the solution of [A·X = b] (fresh) after

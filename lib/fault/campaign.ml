@@ -14,9 +14,13 @@ type family =
   | Checksum_storm
   | Anchor
   | Device_storm
+  | Solver_storm
 
 let all_families =
-  [ Mixed; Burst; Storage_heavy; Compute_heavy; Checksum_storm; Anchor; Device_storm ]
+  [
+    Mixed; Burst; Storage_heavy; Compute_heavy; Checksum_storm; Anchor;
+    Device_storm; Solver_storm;
+  ]
 
 let family_name = function
   | Mixed -> "mixed"
@@ -26,6 +30,7 @@ let family_name = function
   | Checksum_storm -> "checksum-storm"
   | Anchor -> "anchor"
   | Device_storm -> "device-storm"
+  | Solver_storm -> "solver-storm"
 
 let family_of_string s =
   match String.lowercase_ascii s with
@@ -36,11 +41,13 @@ let family_of_string s =
   | "checksum-storm" | "checksum" -> Ok Checksum_storm
   | "anchor" -> Ok Anchor
   | "device-storm" | "device" -> Ok Device_storm
+  | "solver-storm" | "solver" -> Ok Solver_storm
   | s ->
       Error
         (Printf.sprintf
            "unknown family %S (expected \
-            mixed|burst|storage-heavy|compute-heavy|checksum-storm|anchor|device-storm)"
+            mixed|burst|storage-heavy|compute-heavy|checksum-storm|anchor|\
+            device-storm|solver-storm)"
            s)
 
 (* Families whose plans can contain In_storage flips must run under
@@ -52,6 +59,10 @@ let family_of_string s =
 let needs_enhanced = function
   | Mixed | Storage_heavy | Anchor | Device_storm -> true
   | Burst | Compute_heavy | Checksum_storm -> false
+  (* Solver campaigns run the PCG harness, not the factorization
+     drivers; pinning them to the Enhanced cell avoids duplicating
+     every solver case across schemes the solve never consults. *)
+  | Solver_storm -> true
 
 (* A burst: two wrong values in the SAME column of one freshly written
    block. With the default d = 2 checksum rows a column can hide at
@@ -117,6 +128,11 @@ let plan family ~seed ~grid ~block ~count =
   | Anchor ->
       let st = Random.State.make [| seed; grid; block; 0x616e |] in
       anchor_plan st ~grid ~block ~count
+  | Solver_storm ->
+      (* In_solver windows against an (grid*block)-dimensional PCG run:
+         bitflips on x/r/p and the preconditioner's factor, scheduled
+         inside the early iterations so they land before convergence. *)
+      Fault.random_solver_plan ~seed ~n:(grid * block) ~iters:12 ~count ()
 
 (* Seeded device-reliability profile for device-storm campaigns: rates
    hot enough that a ~10-iteration schedule sees several transients and
@@ -182,6 +198,31 @@ let zero_device =
     losses_d = 0;
   }
 
+(* Solver-side ladder counters for one campaign, distilled from the
+   PCG harness's stats (the solvers library sits above this one, so
+   ftsoak maps [Solvers.Cg.stats] into this record). All zero for the
+   factorization families. *)
+type solver_counts = {
+  iterations_s : int;  (** PCG updates performed, all attempts *)
+  verifications_s : int;  (** true-residual verification points *)
+  detections_s : int;  (** verification failures entering the ladder *)
+  reconstructions_s : int;  (** forward reconstructions (rung 1) *)
+  rollbacks_s : int;  (** checkpoint rollbacks (rung 2) *)
+  restarts_s : int;  (** full solver restarts (rung 3) *)
+  precond_repairs_s : int;  (** preconditioner columns healed *)
+}
+
+let zero_solver =
+  {
+    iterations_s = 0;
+    verifications_s = 0;
+    detections_s = 0;
+    reconstructions_s = 0;
+    rollbacks_s = 0;
+    restarts_s = 0;
+    precond_repairs_s = 0;
+  }
+
 let device_counts_of_stats (s : Hetsim.Resilient.stats) =
   let dev (d : Hetsim.Resilient.device_stats) =
     (d.Hetsim.Resilient.retries, d.Hetsim.Resilient.transient_faults,
@@ -214,6 +255,7 @@ type run_result = {
   restarts : int;
   fired : int;
   device : device_counts;
+  solver : solver_counts;
   obs_metrics : (string * float) list;
       (* per-campaign observability totals (Obs.metric_list); empty
          when the soak ran untraced *)
@@ -248,6 +290,9 @@ type aggregate = {
   device_totals : device_counts;  (** summed device counters *)
   device_campaigns : device_counts;
       (** campaigns that exercised each device mechanism at least once *)
+  solver_totals : solver_counts;  (** summed solver-ladder counters *)
+  solver_campaigns : solver_counts;
+      (** campaigns that exercised each solver rung at least once *)
   worst_residual : float;
   silent_rate : float;
 }
@@ -296,6 +341,29 @@ let aggregate results =
       losses_d = t.losses_d + b r.device.losses_d;
     }
   in
+  let add_sol t r =
+    {
+      iterations_s = t.iterations_s + r.solver.iterations_s;
+      verifications_s = t.verifications_s + r.solver.verifications_s;
+      detections_s = t.detections_s + r.solver.detections_s;
+      reconstructions_s = t.reconstructions_s + r.solver.reconstructions_s;
+      rollbacks_s = t.rollbacks_s + r.solver.rollbacks_s;
+      restarts_s = t.restarts_s + r.solver.restarts_s;
+      precond_repairs_s = t.precond_repairs_s + r.solver.precond_repairs_s;
+    }
+  in
+  let hit_sol t r =
+    let b x = if x > 0 then 1 else 0 in
+    {
+      iterations_s = t.iterations_s + b r.solver.iterations_s;
+      verifications_s = t.verifications_s + b r.solver.verifications_s;
+      detections_s = t.detections_s + b r.solver.detections_s;
+      reconstructions_s = t.reconstructions_s + b r.solver.reconstructions_s;
+      rollbacks_s = t.rollbacks_s + b r.solver.rollbacks_s;
+      restarts_s = t.restarts_s + b r.solver.restarts_s;
+      precond_repairs_s = t.precond_repairs_s + b r.solver.precond_repairs_s;
+    }
+  in
   let count p = List.length (List.filter p results) in
   let silent =
     count (fun r -> match r.outcome with Silent_corruption -> true | Success | Gave_up _ -> false)
@@ -312,6 +380,8 @@ let aggregate results =
     rung_campaigns = List.fold_left hit zero_rungs results;
     device_totals = List.fold_left add_dev zero_device results;
     device_campaigns = List.fold_left hit_dev zero_device results;
+    solver_totals = List.fold_left add_sol zero_solver results;
+    solver_campaigns = List.fold_left hit_sol zero_solver results;
     worst_residual =
       List.fold_left (fun a r -> Float.max a r.residual) 0. results;
     silent_rate = (if n = 0 then 0. else float_of_int silent /. float_of_int n);
@@ -329,6 +399,12 @@ let aggregate results =
      "counter.*" and "hist.*" entries) when the soak runs traced.
      Strictly additive: untraced reports differ from version 2 only in
      the version number.
+   - 4: adds per-campaign solver-ladder metrics (solver_iterations,
+     solver_verifications, solver_detections, solver_reconstructions,
+     solver_rollbacks, solver_restarts, solver_precond_repairs) and
+     the aggregate "solver_totals" / "solver_campaigns" objects for
+     the solver-storm family. Strictly additive: factorization-only
+     reports carry zeros in the new fields.
 
    String escaping and float formatting come from [Obs.Json] — the one
    shared implementation (also used by bench_util and the engine's
@@ -359,6 +435,13 @@ let result_metrics r =
     ("quarantines", float_of_int r.device.quarantines_d);
     ("cpu_fallbacks", float_of_int r.device.fallbacks_d);
     ("device_losses", float_of_int r.device.losses_d);
+    ("solver_iterations", float_of_int r.solver.iterations_s);
+    ("solver_verifications", float_of_int r.solver.verifications_s);
+    ("solver_detections", float_of_int r.solver.detections_s);
+    ("solver_reconstructions", float_of_int r.solver.reconstructions_s);
+    ("solver_rollbacks", float_of_int r.solver.rollbacks_s);
+    ("solver_restarts", float_of_int r.solver.restarts_s);
+    ("solver_precond_repairs", float_of_int r.solver.precond_repairs_s);
     ( "silent",
       match r.outcome with
       | Silent_corruption -> 1.
@@ -373,6 +456,14 @@ let rung_fields prefix t =
     prefix t.corrections_n prefix t.reconstructions_n prefix
     t.checksum_repairs_n prefix t.rollbacks_n prefix t.restarts_n
 
+let solver_fields t =
+  Printf.sprintf
+    "\"iterations\": %d, \"verifications\": %d, \"detections\": %d, \
+     \"reconstructions\": %d, \"rollbacks\": %d, \"restarts\": %d, \
+     \"precond_repairs\": %d"
+    t.iterations_s t.verifications_s t.detections_s t.reconstructions_s
+    t.rollbacks_s t.restarts_s t.precond_repairs_s
+
 let device_fields t =
   Printf.sprintf
     "\"retries\": %d, \"transients\": %d, \"hangs\": %d, \
@@ -385,7 +476,7 @@ let to_json ~seed results =
   let agg = aggregate results in
   let b = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  out "{\n  \"schema_version\": 3,\n  \"results\": [";
+  out "{\n  \"schema_version\": 4,\n  \"results\": [";
   List.iteri
     (fun i r ->
       out "%s\n    { \"experiment\": \"ftsoak\", \"name\": \"%s\", \
@@ -414,7 +505,9 @@ let to_json ~seed results =
   out "    \"totals\": { %s },\n" (rung_fields "" agg.totals);
   out "    \"rung_campaigns\": { %s },\n" (rung_fields "" agg.rung_campaigns);
   out "    \"device_totals\": { %s },\n" (device_fields agg.device_totals);
-  out "    \"device_campaigns\": { %s }\n" (device_fields agg.device_campaigns);
+  out "    \"device_campaigns\": { %s },\n" (device_fields agg.device_campaigns);
+  out "    \"solver_totals\": { %s },\n" (solver_fields agg.solver_totals);
+  out "    \"solver_campaigns\": { %s }\n" (solver_fields agg.solver_campaigns);
   out "  }\n}\n";
   Buffer.contents b
 
@@ -441,4 +534,16 @@ let pp_aggregate fmt agg =
       agg.device_totals.losses_d agg.device_campaigns.retries_d
       agg.device_campaigns.transients_d agg.device_campaigns.hangs_d
       agg.device_campaigns.corrupted_d agg.device_campaigns.quarantines_d
-      agg.device_campaigns.fallbacks_d agg.device_campaigns.losses_d
+      agg.device_campaigns.fallbacks_d agg.device_campaigns.losses_d;
+  if agg.solver_totals <> zero_solver then
+    Format.fprintf fmt
+      "@.@[<v>solver events: iterations %d, verifications %d, detections %d, \
+       forward reconstructions %d, rollbacks %d, restarts %d, precond \
+       repairs %d@,campaigns touching forward/rollback/restart: %d / %d / \
+       %d@]"
+      agg.solver_totals.iterations_s agg.solver_totals.verifications_s
+      agg.solver_totals.detections_s agg.solver_totals.reconstructions_s
+      agg.solver_totals.rollbacks_s agg.solver_totals.restarts_s
+      agg.solver_totals.precond_repairs_s
+      agg.solver_campaigns.reconstructions_s agg.solver_campaigns.rollbacks_s
+      agg.solver_campaigns.restarts_s

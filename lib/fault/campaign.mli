@@ -26,6 +26,13 @@ type family =
           seeded {!device_profile}, so the resilient scheduling layer
           (retry, backoff, quarantine, CPU fallback) is exercised
           alongside the ABFT ladder *)
+  | Solver_storm
+      (** [In_solver] bit flips against a PCG run's live [x]/[r]/[p]
+          vectors and its preconditioner factor. The campaign driver
+          runs the fault-tolerant solver harness instead of a
+          factorization; classification recomputes the true residual
+          against pristine inputs, so a corrupted "converged" state is
+          reported as {!Silent_corruption}. *)
 
 val all_families : family list
 val family_name : family -> string
@@ -34,7 +41,10 @@ val family_of_string : string -> (family, string) result
 val needs_enhanced : family -> bool
 (** True for families whose plans may contain [In_storage] flips:
     Online-ABFT inherently misses those (the paper's motivating
-    failure), so the soak pairs these families only with Enhanced. *)
+    failure), so the soak pairs these families only with Enhanced.
+    Also true for [Solver_storm], which runs the solver harness rather
+    than a factorization driver and is pinned to the Enhanced cell to
+    avoid duplicating every solver case across schemes. *)
 
 val plan : family -> seed:int -> grid:int -> block:int -> count:int -> Fault.t
 (** Deterministic in all arguments. [count] is ignored by [Burst]
@@ -82,6 +92,19 @@ val device_counts_of_stats : Hetsim.Resilient.stats -> device_counts
 (** Distill one run's resilient-driver statistics into campaign
     counters (quarantine/loss flattened to per-device 0/1 hits). *)
 
+type solver_counts = {
+  iterations_s : int;  (** PCG updates performed, all attempts *)
+  verifications_s : int;  (** true-residual verification points *)
+  detections_s : int;  (** verification failures entering the ladder *)
+  reconstructions_s : int;  (** forward reconstructions (rung 1) *)
+  rollbacks_s : int;  (** checkpoint rollbacks (rung 2) *)
+  restarts_s : int;  (** full solver restarts (rung 3) *)
+  precond_repairs_s : int;  (** preconditioner columns healed *)
+}
+
+val zero_solver : solver_counts
+(** For the factorization families. *)
+
 type run_result = {
   case : case;
   outcome : outcome;
@@ -95,6 +118,9 @@ type run_result = {
   restarts : int;
   fired : int;
   device : device_counts;
+  solver : solver_counts;
+      (** solver-ladder counters ({!zero_solver} for factorization
+          families) *)
   obs_metrics : (string * float) list;
       (** per-campaign observability totals ([Obs.metric_list] of the
           campaign's sink: "op.*_s"/"op.*_n" time breakdowns plus
@@ -126,6 +152,11 @@ type aggregate = {
       (** number of campaigns that exercised each device-resilience
           mechanism at least once — the device-storm acceptance check
           (quarantine / retry / degradation each ≥ 10) reads these *)
+  solver_totals : solver_counts;  (** summed solver-ladder counters *)
+  solver_campaigns : solver_counts;
+      (** number of campaigns that exercised each solver rung at least
+          once — the solver-storm acceptance check (forward
+          reconstruction / rollback / restart each ≥ 1) reads these *)
   worst_residual : float;
   silent_rate : float;
 }
@@ -136,15 +167,17 @@ val case_name : case -> string
 (** ["family/scheme/g<grid>-b<block>-p<domains>/seed<seed>"]. *)
 
 val to_json : seed:int -> run_result list -> string
-(** Full report: bench-style [schema_version 3] sink with one result
+(** Full report: bench-style [schema_version 4] sink with one result
     row per campaign (experiment ["ftsoak"], size = matrix order) plus
     an ["aggregate"] object carrying the outcome histogram, per-rung
     totals, campaign-level rung coverage, device-resilience totals and
-    coverage ([device_totals] / [device_campaigns]), silent-corruption
-    rate and worst residual. Each version is a strict superset of the
-    one before: 2 added the per-campaign device metrics and the two
-    aggregate device objects; 3 adds each campaign's [obs_metrics]
-    pairs to its metrics object when the soak runs traced (untraced
-    reports differ from version 2 only in the version number). *)
+    coverage ([device_totals] / [device_campaigns]), solver-ladder
+    totals and coverage ([solver_totals] / [solver_campaigns]),
+    silent-corruption rate and worst residual. Each version is a
+    strict superset of the one before: 2 added the per-campaign device
+    metrics and the two aggregate device objects; 3 added each
+    campaign's [obs_metrics] pairs to its metrics object when the soak
+    runs traced; 4 adds the per-campaign solver metrics and the two
+    aggregate solver objects (all-zero outside solver-storm). *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit

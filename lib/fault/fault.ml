@@ -1,4 +1,5 @@
 type op = Syrk | Gemm | Trsm | Potf2
+type solver_target = Sol_x | Sol_r | Sol_p | Sol_precond
 
 type window =
   | In_storage
@@ -6,6 +7,7 @@ type window =
   | In_checksum
   | In_update of op
   | In_device
+  | In_solver of solver_target
 
 type kind =
   | Bit_flip of { bit : int }
@@ -27,6 +29,12 @@ let equal_op a b =
   | Syrk, Syrk | Gemm, Gemm | Trsm, Trsm | Potf2, Potf2 -> true
   | (Syrk | Gemm | Trsm | Potf2), _ -> false
 
+let equal_solver_target a b =
+  match (a, b) with
+  | Sol_x, Sol_x | Sol_r, Sol_r | Sol_p, Sol_p | Sol_precond, Sol_precond ->
+      true
+  | (Sol_x | Sol_r | Sol_p | Sol_precond), _ -> false
+
 let apply_kind kind v =
   match kind with
   | Bit_flip { bit } -> Bitflip.flip v bit
@@ -47,6 +55,15 @@ let update_error ?(delta = 1e3) ~iteration ~op ~block ~element () =
 
 let transfer_error ?(bit = 40) ~iteration ~block ~element () =
   { iteration; window = In_device; block; element; kind = Bit_flip { bit } }
+
+let solver_error ?(bit = 40) ~iteration ~target ~element () =
+  {
+    iteration;
+    window = In_solver target;
+    block = (0, 0);
+    element;
+    kind = Bit_flip { bit };
+  }
 
 let random_plan ?(covered_only = false) ~seed ~grid ~block ~count
     ~storage_fraction ?(checksum_fraction = 0.) ?(update_fraction = 0.)
@@ -186,11 +203,60 @@ let random_plan ?(covered_only = false) ~seed ~grid ~block ~count
       then device ()
       else computing ())
 
+let random_solver_plan ~seed ~n ~iters ~count ?(x_fraction = 0.3)
+    ?(r_fraction = 0.25) ?(p_fraction = 0.25) ?(precond_fraction = 0.2) () =
+  if n < 1 || iters < 1 || count < 0 then
+    invalid_arg "Fault.random_solver_plan: bad dimensions";
+  List.iter
+    (fun f ->
+      if f < 0. || f > 1. then
+        invalid_arg "Fault.random_solver_plan: window fraction out of [0,1]")
+    [ x_fraction; r_fraction; p_fraction; precond_fraction ];
+  if x_fraction +. r_fraction +. p_fraction +. precond_fraction > 1. +. 1e-9
+  then invalid_arg "Fault.random_solver_plan: window fractions exceed 1";
+  let st = Random.State.make [| seed; n; iters; count; 0x50CC |] in
+  let int_in lo hi = lo + Random.State.int st (hi - lo + 1) in
+  let draw target element =
+    {
+      iteration = int_in 1 iters;
+      window = In_solver target;
+      block = (0, 0);
+      element;
+      kind = Bit_flip { bit = int_in 30 62 };
+    }
+  in
+  let vec_elem () = (Random.State.int st n, 0) in
+  let factor_elem () =
+    (* Uniform over the lower triangle, where the Cholesky/IC factor
+       actually stores data. *)
+    let rec go () =
+      let i = Random.State.int st n and j = Random.State.int st n in
+      if i >= j then (i, j) else go ()
+    in
+    go ()
+  in
+  List.init count (fun _ ->
+      let r = Random.State.float st 1. in
+      if r < x_fraction then draw Sol_x (vec_elem ())
+      else if r < x_fraction +. r_fraction then draw Sol_r (vec_elem ())
+      else if r < x_fraction +. r_fraction +. p_fraction then
+        draw Sol_p (vec_elem ())
+      else if
+        r < x_fraction +. r_fraction +. p_fraction +. precond_fraction
+      then draw Sol_precond (factor_elem ())
+      else draw Sol_r (vec_elem ()))
+
 let op_name = function
   | Syrk -> "syrk"
   | Gemm -> "gemm"
   | Trsm -> "trsm"
   | Potf2 -> "potf2"
+
+let solver_target_name = function
+  | Sol_x -> "x"
+  | Sol_r -> "r"
+  | Sol_p -> "p"
+  | Sol_precond -> "precond"
 
 let pp_injection fmt inj =
   let w =
@@ -200,6 +266,7 @@ let pp_injection fmt inj =
     | In_checksum -> "checksum"
     | In_update op -> "chk-update:" ^ op_name op
     | In_device -> "device"
+    | In_solver t -> "solver:" ^ solver_target_name t
   in
   let k =
     match inj.kind with

@@ -27,6 +27,12 @@
 
 type op = Syrk | Gemm | Trsm | Potf2
 
+type solver_target =
+  | Sol_x  (** the iterate [x] *)
+  | Sol_r  (** the recurrence residual [r] *)
+  | Sol_p  (** the search direction [p] *)
+  | Sol_precond  (** the preconditioner's triangular factor *)
+
 type window =
   | In_storage
       (** fired at the start of the target iteration, before any
@@ -50,6 +56,15 @@ type window =
           the physical cause differs, the checksum math does not. The
           resilient scheduling layer deliberately does not retry these:
           they must be healed by the ABFT ladder. *)
+  | In_solver of solver_target
+      (** a bit-flip inside a running iterative solve: fired at the
+          start of solver iteration [iteration], before that iteration's
+          verification or convergence check, on the target vector (for
+          {!Sol_x}/{!Sol_r}/{!Sol_p}, [element] is [(index, 0)]) or the
+          preconditioner's live triangular factor (for {!Sol_precond},
+          [element] is a lower-triangle [(row, col)]). These windows are
+          ignored by the factorization drivers and fired only by
+          {!Injector.fire_solver}. *)
 
 type kind =
   | Bit_flip of { bit : int }  (** storage-style corruption *)
@@ -68,6 +83,10 @@ type t = injection list
 
 val equal_op : op -> op -> bool
 (** Structural equality on {!op} without polymorphic compare. *)
+
+val equal_solver_target : solver_target -> solver_target -> bool
+(** Structural equality on {!solver_target} without polymorphic
+    compare. *)
 
 val apply_kind : kind -> float -> float
 (** The corrupted value a [kind] produces from a stored value. *)
@@ -94,6 +113,17 @@ val transfer_error :
   ?bit:int -> iteration:int -> block:int * int -> element:int * int -> unit -> injection
 (** A single corrupted-transfer bit-flip ([In_device], default
     [bit = 40]). *)
+
+val solver_error :
+  ?bit:int ->
+  iteration:int ->
+  target:solver_target ->
+  element:int * int ->
+  unit ->
+  injection
+(** A single bit-flip in a running solve ([In_solver], default
+    [bit = 40]); [iteration] is the solver iteration, [element] as
+    described on {!In_solver}. *)
 
 val random_plan :
   ?covered_only:bool ->
@@ -132,7 +162,33 @@ val random_plan :
     tile data, so recalculation always repairs them.
 
     @raise Invalid_argument if any fraction is out of range or the
-    three window fractions sum past 1. *)
+    window fractions sum past 1. *)
+
+val random_solver_plan :
+  seed:int ->
+  n:int ->
+  iters:int ->
+  count:int ->
+  ?x_fraction:float ->
+  ?r_fraction:float ->
+  ?p_fraction:float ->
+  ?precond_fraction:float ->
+  unit ->
+  t
+(** [random_solver_plan ~seed ~n ~iters ~count ()] draws [count]
+    {!In_solver} injections against an [n]-dimensional solve: the
+    firing iteration is uniform in [\[1, iters\]], the target is
+    {!Sol_x} / {!Sol_r} / {!Sol_p} / {!Sol_precond} with probability
+    [x_fraction] (default 0.3) / [r_fraction] (0.25) / [p_fraction]
+    (0.25) / [precond_fraction] (0.2); any remainder falls to
+    {!Sol_r}. Vector targets flip element [(index, 0)] with the index
+    uniform in [\[0, n)]; factor targets flip a uniform lower-triangle
+    element. Bits are drawn in [\[30, 62\]], so both mantissa noise and
+    exponent blow-ups occur. Deterministic in [seed].
+
+    @raise Invalid_argument if a fraction is outside [\[0, 1\]] or the
+    four fractions sum past 1 — solver-storm plans must not silently
+    over-allocate their windows. *)
 
 val pp_injection : Format.formatter -> injection -> unit
 val pp : Format.formatter -> t -> unit

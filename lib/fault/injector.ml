@@ -38,7 +38,7 @@ let fire_storage t ~iteration ~lookup =
       match inj.Fault.window with
       | Fault.In_storage -> inj.Fault.iteration = iteration
       | Fault.In_computation _ | Fault.In_checksum | Fault.In_update _
-      | Fault.In_device ->
+      | Fault.In_device | Fault.In_solver _ ->
           false)
     (fun inj ->
       match lookup inj.Fault.block with
@@ -53,7 +53,7 @@ let fire_device t ~iteration ~lookup =
       match inj.Fault.window with
       | Fault.In_device -> inj.Fault.iteration = iteration
       | Fault.In_storage | Fault.In_computation _ | Fault.In_checksum
-      | Fault.In_update _ ->
+      | Fault.In_update _ | Fault.In_solver _ ->
           false)
     (fun inj ->
       match lookup inj.Fault.block with
@@ -71,7 +71,7 @@ let fire_compute t ~iteration ~op ~block tile =
           && inj.Fault.iteration = iteration
           && block_matches inj block
       | Fault.In_storage | Fault.In_checksum | Fault.In_update _
-      | Fault.In_device ->
+      | Fault.In_device | Fault.In_solver _ ->
           false)
     (fun inj ->
       corrupt t inj tile;
@@ -83,7 +83,7 @@ let fire_checksum t ~iteration ~lookup =
       match inj.Fault.window with
       | Fault.In_checksum -> inj.Fault.iteration = iteration
       | Fault.In_storage | Fault.In_computation _ | Fault.In_update _
-      | Fault.In_device ->
+      | Fault.In_device | Fault.In_solver _ ->
           false)
     (fun inj ->
       match lookup inj.Fault.block with
@@ -101,11 +101,51 @@ let fire_update t ~iteration ~op ~block chk =
           && inj.Fault.iteration = iteration
           && block_matches inj block
       | Fault.In_storage | Fault.In_computation _ | Fault.In_checksum
-      | Fault.In_device ->
+      | Fault.In_device | Fault.In_solver _ ->
           false)
     (fun inj ->
       corrupt t inj chk;
       true)
+
+let corrupt_vec t (inj : Fault.injection) (v : Vec.t) =
+  let ei, _ = inj.Fault.element in
+  if ei < 0 || ei >= Array.length v then false
+  else begin
+    let old_value = v.(ei) in
+    let new_value = Fault.apply_kind inj.Fault.kind old_value in
+    v.(ei) <- new_value;
+    t.log <- { injection = inj; old_value; new_value } :: t.log;
+    t.fired_n <- t.fired_n + 1;
+    true
+  end
+
+let fire_solver t ~iteration ~lookup =
+  partition_fire t
+    (fun inj ->
+      match inj.Fault.window with
+      | Fault.In_solver _ -> inj.Fault.iteration = iteration
+      | Fault.In_storage | Fault.In_computation _ | Fault.In_checksum
+      | Fault.In_update _ | Fault.In_device ->
+          false)
+    (fun inj ->
+      let target =
+        match inj.Fault.window with
+        | Fault.In_solver tgt -> tgt
+        | Fault.In_storage | Fault.In_computation _ | Fault.In_checksum
+        | Fault.In_update _ | Fault.In_device ->
+            assert false (* unreachable: the selector above filters *)
+      in
+      match lookup target with
+      | None -> false
+      | Some (`Vec v) -> corrupt_vec t inj v
+      | Some (`Mat m) ->
+          let ei, ej = inj.Fault.element in
+          if ei < 0 || ej < 0 || ei >= Mat.rows m || ej >= Mat.cols m then
+            false
+          else begin
+            corrupt t inj m;
+            true
+          end)
 
 let fired t = List.rev t.log
 let fired_count t = t.fired_n

@@ -55,6 +55,21 @@ val fire_update :
     [In_update op] injection matching this (iteration, op, block) to
     the freshly updated (primary) checksum matrix [chk]. *)
 
+val fire_solver :
+  t ->
+  iteration:int ->
+  lookup:
+    (Fault.solver_target ->
+    [ `Vec of Matrix.Vec.t | `Mat of Matrix.Mat.t ] option) ->
+  unit
+(** [fire_solver t ~iteration ~lookup] applies every still-pending
+    [In_solver] injection scheduled for solver iteration [iteration].
+    [lookup] maps the target to the live state: a solver vector
+    ([`Vec], corrupted at [element]'s row index) or the
+    preconditioner's live factor ([`Mat], corrupted at [element]).
+    [None] — or an element outside the live target's bounds — leaves
+    the injection pending, mirroring {!fire_storage}'s contract. *)
+
 val fired : t -> fired list
 (** Audit log, in firing order. *)
 

@@ -13,7 +13,10 @@ module C = Cholesky
 
 let now () = Unix.gettimeofday ()
 
-type work = Factor of Mat.t | Solve of { a : Mat.t; rhs : Vec.t }
+type work =
+  | Factor of Mat.t
+  | Solve of { a : Mat.t; rhs : Vec.t }
+  | Solve_cg of { a : Mat.t; rhs : Vec.t }
 
 type tenant_policy = {
   weight : int;
@@ -72,6 +75,7 @@ type outcome =
   | Completed of {
       report : C.Ft.report;
       solution : Vec.t option;
+      solver : Solvers.Cg.report option;
       wait_s : float;
       service_s : float;
     }
@@ -225,12 +229,15 @@ let run_request t pool tk =
     let cancel () = Atomic.get tk.cancel_flag || deadline_hit () in
     let outcome =
       (try
-         let report, solution =
+         let report, solution, solver =
            (* the per-request span: one obs record per accepted request
               that actually ran, stopped on every exit (Obs.span
               records even when the body raises) *)
            Obs.span t.obs ~op:"request" ~phase:"serve" (fun () ->
-               let a = match tk.work with Factor a | Solve { a; _ } -> a in
+               let a =
+                 match tk.work with
+                 | Factor a | Solve { a; _ } | Solve_cg { a; _ } -> a
+               in
                let n = Mat.rows a in
                let base =
                  match ts.policy.chol with Some c -> c | None -> t.cfg.chol
@@ -246,27 +253,58 @@ let run_request t pool tk =
                    ~seed:(t.cfg.seed + tk.id)
                in
                let report =
+                 (* for Solve_cg the factorization is the solver's
+                    preconditioner, run under the same cancel hook so
+                    deadlines cover both halves of the request *)
                  C.Ft.factor ~pool ~obs:t.obs ~plan
                    ~final_sweep:ts.policy.final_sweep ~cancel cfg a
                in
-               let solution =
+               let solution, solver =
                  match (tk.work, report.C.Ft.outcome) with
-                 | Factor _, _ -> None
-                 | Solve _, (C.Ft.Silent_corruption | C.Ft.Gave_up _) -> None
+                 | Factor _, _ -> (None, None)
+                 | ( (Solve _ | Solve_cg _),
+                     (C.Ft.Silent_corruption | C.Ft.Gave_up _) ) ->
+                     (None, None)
                  | Solve { rhs; _ }, C.Ft.Success ->
                      let x = Vec.copy rhs in
                      Blas2.trsv Types.Lower Types.No_trans Types.Non_unit_diag
                        report.C.Ft.factor x;
                      Blas2.trsv Types.Lower Types.Trans Types.Non_unit_diag
                        report.C.Ft.factor x;
-                     Some x
+                     (Some x, None)
+                 | Solve_cg { rhs; _ }, C.Ft.Success ->
+                     (* the tenant's plan keeps flowing: Ft.factor fired
+                        its factorization windows above, the solver now
+                        fires the In_solver ones; each leaves the
+                        other's injections pending *)
+                     let precond = Solvers.Cg.ic report.C.Ft.factor in
+                     let r =
+                       Solvers.Cg.solve ~obs:t.obs ~plan ~precond ~cancel
+                         Solvers.Cg.default a rhs
+                     in
+                     ( (match r.Solvers.Cg.outcome with
+                       | Solvers.Cg.Converged -> Some r.Solvers.Cg.x
+                       | Solvers.Cg.Gave_up _ -> None),
+                       Some r )
                in
-               (report, solution))
+               (report, solution, solver))
          in
          let el = elapsed () in
          match report.C.Ft.outcome with
-         | C.Ft.Success ->
-             Completed { report; solution; wait_s; service_s = el -. wait_s }
+         | C.Ft.Success -> (
+             match solver with
+             | Some { Solvers.Cg.outcome = Solvers.Cg.Gave_up reason; _ } ->
+                 Failed
+                   {
+                     reason =
+                       Format.asprintf "solver gave up: %a"
+                         Solvers.Cg.pp_reason reason;
+                     elapsed_s = el;
+                   }
+             | Some { Solvers.Cg.outcome = Solvers.Cg.Converged; _ } | None ->
+                 Completed
+                   { report; solution; solver; wait_s; service_s = el -. wait_s }
+             )
          | C.Ft.Silent_corruption ->
              Atomic.incr t.corruptions;
              Obs.incr t.obs "server.corruptions";
@@ -289,6 +327,13 @@ let run_request t pool tk =
           if Atomic.get tk.cancel_flag then
             Cancelled { elapsed_s = el; ran = true }
           else Deadline_exceeded { elapsed_s = el; iteration; stats = Some stats }
+      | Solvers.Cg.Cancelled { iteration; _ } ->
+          (* cancelled in the iterative half: the factorization already
+             completed, so no partial driver stats apply *)
+          let el = elapsed () in
+          if Atomic.get tk.cancel_flag then
+            Cancelled { elapsed_s = el; ran = true }
+          else Deadline_exceeded { elapsed_s = el; iteration; stats = None }
       | e ->
           Failed { reason = Printexc.to_string e; elapsed_s = elapsed () })
       [@abft.waive

@@ -42,6 +42,16 @@ type work =
   | Solve of { a : Mat.t; rhs : Vec.t }
       (** factor then solve [a x = rhs] by two triangular solves
           against the ABFT-protected factor *)
+  | Solve_cg of { a : Mat.t; rhs : Vec.t }
+      (** factor, then solve [a x = rhs] with the fault-tolerant PCG
+          harness ({!Solvers.Cg.solve}) preconditioned by the
+          ABFT-protected factor. Both halves run under the request's
+          cancel hook, so deadlines and {!cancel} take effect at the
+          next factorization or solver iteration boundary; the tenant's
+          fault plan flows to both (factorization windows fire in the
+          factor, [In_solver] windows in the solver). A solver give-up
+          is a [Failed] outcome; [Completed] carries the verified
+          iterate and the solver report *)
 
 type tenant_policy = {
   weight : int;  (** admission share; quotas are weight-proportional *)
@@ -90,15 +100,21 @@ val pp_rejection : Format.formatter -> rejection -> unit
 type outcome =
   | Completed of {
       report : Cholesky.Ft.report;
-      solution : Vec.t option;  (** [Some] for [Solve] work *)
+      solution : Vec.t option;  (** [Some] for [Solve]/[Solve_cg] work *)
+      solver : Solvers.Cg.report option;
+          (** [Some] for [Solve_cg] work: the PCG report (iterations,
+              detections, recovery-rung counts, audit log) *)
       wait_s : float;  (** submission → start *)
       service_s : float;  (** start → completion *)
     }
   | Deadline_exceeded of {
       elapsed_s : float;
-      iteration : int;  (** outer iteration reached; 0 if never ran *)
+      iteration : int;
+          (** outer (or, for [Solve_cg] expiring mid-solve, solver)
+              iteration reached; 0 if never ran *)
       stats : Cholesky.Ft.stats option;
-          (** partial driver stats; [None] if it never ran *)
+          (** partial driver stats; [None] if it never ran or expired
+              in the iterative half of a [Solve_cg] *)
     }
   | Cancelled of { elapsed_s : float; ran : bool }
       (** [ran] is false when cancelled while still queued *)

@@ -1,0 +1,521 @@
+(* Fault-tolerant CG/PCG with online residual verification and a
+   backward/forward recovery ladder, after Fasi, Langou, Robert &
+   Ucar's backward/forward recovery approach for the preconditioned
+   conjugate gradient method, on top of the repo's fault-injection and
+   observability stack.
+
+   The protection scheme mirrors the Cholesky driver's structure one
+   level up the stack:
+
+   - every [verify_interval] iterations the true residual [b - A·x] is
+     recomputed and cross-checked against the recurrence residual [r]
+     with a scaled tolerance (the recurrence and the truth drift apart
+     only through rounding — a fault makes them diverge violently);
+   - a verified state is checkpointed every [checkpoint_interval]
+     verifications' worth of iterations, reusing the Checkpoint
+     snapshot idiom (capture copies, restore by blitting into the live
+     vectors so aliases stay attached);
+   - on detection the ladder runs: forward reconstruction (rebuild
+     [r := b - A·x], [z := M⁻¹r], [p := z] from a still-plausible [x])
+     when the iterate survived, backward rollback to the last verified
+     checkpoint otherwise, then full restart, then a structured
+     [Gave_up] — every rung counted in {!stats}.
+
+   The preconditioner's triangular factor is itself protected: column
+   sums are recorded at setup and re-derived at every verification
+   point; a disagreeing column is healed from a pristine replica
+   (single-replica variant of the checksum store's primary/shadow
+   arbitration — the replica and the sums live outside the injector's
+   reach, exactly like the shadow copy).
+
+   A protected solve can never report a silent wrong answer: the
+   convergence test on the cheap recurrence residual is only trusted
+   after a final true-residual verification passes. *)
+
+open Matrix
+
+type precond =
+  | Identity
+  | Jacobi of Vec.t
+  | Ic of Mat.t
+
+type reason =
+  | Breakdown of { iteration : int; detail : string }
+  | Not_converged of { iterations : int; residual : float }
+  | Corrupted_state of { iteration : int; detail : string }
+
+type outcome = Converged | Gave_up of reason
+
+type stats = {
+  iterations : int;
+  verifications : int;
+  detections : int;
+  reconstructions : int;
+  rollbacks : int;
+  checkpoints : int;
+  restarts : int;
+  precond_repairs : int;
+}
+
+type report = {
+  x : Vec.t;
+  outcome : outcome;
+  residual : float;
+  stats : stats;
+  injections_fired : Injector.fired list;
+}
+
+exception Cancelled of { iteration : int; stats : stats }
+
+type config = {
+  max_iters : int;
+  rtol : float;
+  verify_interval : int;
+  verify_slack : float;
+  checkpoint_interval : int;
+  max_rollbacks : int;
+  max_restarts : int;
+}
+
+let config ?(max_iters = 0) ?(rtol = 1e-10) ?(verify_interval = 4)
+    ?(verify_slack = 1e-6) ?(checkpoint_interval = 8) ?(max_rollbacks = 2)
+    ?(max_restarts = 2) () =
+  let nonneg name v =
+    if v < 0 then
+      invalid_arg
+        (Printf.sprintf "Cg.config: %s must be >= 0 (0 disables it), got %d"
+           name v)
+  in
+  nonneg "max_iters" max_iters;
+  nonneg "verify_interval" verify_interval;
+  nonneg "checkpoint_interval" checkpoint_interval;
+  nonneg "max_rollbacks" max_rollbacks;
+  nonneg "max_restarts" max_restarts;
+  if rtol <= 0. then invalid_arg "Cg.config: rtol must be positive";
+  if verify_slack <= 0. then
+    invalid_arg "Cg.config: verify_slack must be positive";
+  {
+    max_iters;
+    rtol;
+    verify_interval;
+    verify_slack;
+    checkpoint_interval;
+    max_rollbacks;
+    max_restarts;
+  }
+
+let default = config ()
+
+(* ------------------------------------------------------------------ *)
+(* Preconditioners                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let jacobi a =
+  let n = Mat.rows a in
+  Jacobi
+    (Vec.init n (fun i ->
+         let d = Mat.get a i i in
+         if d <= 0. then
+           invalid_arg "Cg.jacobi: non-positive diagonal entry";
+         1. /. d))
+
+let block_jacobi ?(block = 8) a =
+  if block < 1 then invalid_arg "Cg.block_jacobi: block must be >= 1";
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Cg.block_jacobi: matrix not square";
+  let l = Mat.create n n in
+  let rec factor_from j0 =
+    if j0 < n then begin
+      let bs = min block (n - j0) in
+      let blk = Mat.init bs bs (fun i j -> Mat.get a (j0 + i) (j0 + j)) in
+      Lapack.potf2 Types.Lower blk;
+      for j = 0 to bs - 1 do
+        for i = j to bs - 1 do
+          Mat.set l (j0 + i) (j0 + j) (Mat.get blk i j)
+        done
+      done;
+      factor_from (j0 + bs)
+    end
+  in
+  factor_from 0;
+  Ic l
+
+let cholesky ?pool ?obs ?plan ?cfg a =
+  Ic (Cholesky.Solve.factor_matrix (Cholesky.Solve.factorize ?pool ?obs ?plan ?cfg a))
+
+let ic l =
+  if Mat.rows l <> Mat.cols l then
+    invalid_arg "Cg.ic: factor is not square";
+  Ic l
+
+(* z <- M^-1 r *)
+let apply_precond m r z =
+  let n = Array.length r in
+  match m with
+  | Identity -> Array.blit r 0 z 0 n
+  | Jacobi d ->
+      for i = 0 to n - 1 do
+        z.(i) <- d.(i) *. r.(i)
+      done
+  | Ic l ->
+      Array.blit r 0 z 0 n;
+      Cholesky.Solve.triangular_solve_vec l z
+
+(* Lower-triangle column sums of the live factor, the quantity the
+   precondition guard compares against its setup-time reference. The
+   recomputation is deterministic and order-identical, so any resident
+   flip — however low the bit — makes the sums bitwise unequal. *)
+let factor_colsums l =
+  let n = Mat.rows l in
+  Vec.init n (fun j ->
+      let s = ref 0. in
+      for i = j to n - 1 do
+        s := !s +. Mat.get l i j
+      done;
+      !s)
+
+(* ------------------------------------------------------------------ *)
+(* The verified-snapshot idiom, specialized to the PCG state           *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_it : int;
+  sx : Vec.t;
+  sr : Vec.t;
+  sp : Vec.t;
+  sz : Vec.t;
+  srz : float;
+}
+
+let take_snapshot ~it ~x ~r ~p ~z ~rz =
+  { snap_it = it; sx = Vec.copy x; sr = Vec.copy r; sp = Vec.copy p;
+    sz = Vec.copy z; srz = rz }
+
+(* Restore element-wise into the live vectors (never swap the arrays:
+   the injector's lookup and the caller's aliases stay attached). *)
+let restore_snapshot s ~x ~r ~p ~z =
+  let n = Array.length x in
+  Array.blit s.sx 0 x 0 n;
+  Array.blit s.sr 0 r 0 n;
+  Array.blit s.sp 0 p 0 n;
+  Array.blit s.sz 0 z 0 n
+
+(* ------------------------------------------------------------------ *)
+(* The driver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  mutable c_iterations : int;
+  mutable c_verifications : int;
+  mutable c_detections : int;
+  mutable c_reconstructions : int;
+  mutable c_rollbacks : int;
+  mutable c_checkpoints : int;
+  mutable c_restarts : int;
+  mutable c_precond_repairs : int;
+}
+
+let freeze c =
+  {
+    iterations = c.c_iterations;
+    verifications = c.c_verifications;
+    detections = c.c_detections;
+    reconstructions = c.c_reconstructions;
+    rollbacks = c.c_rollbacks;
+    checkpoints = c.c_checkpoints;
+    restarts = c.c_restarts;
+    precond_repairs = c.c_precond_repairs;
+  }
+
+(* rt <- b - A·x and its norm: the solver's verification point. Every
+   detection decision reads the truth through this helper. *)
+let residual_check ~obs a b x rt =
+  Obs.span obs ~op:"solver-verify" ~phase:"abft" (fun () ->
+      Array.blit b 0 rt 0 (Array.length b);
+      Blas2.gemv ~alpha:(-1.) ~beta:1. a x rt;
+      Vec.nrm2 rt)
+
+let all_finite v = Array.for_all Float.is_finite v
+
+let solve ?(obs = Obs.null) ?(plan = []) ?(precond = Identity)
+    ?(cancel = fun () -> false) cfg a b =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Cg.solve: matrix not square";
+  if Array.length b <> n then
+    invalid_arg "Cg.solve: right-hand side has wrong length";
+  let inj = Injector.create plan in
+  let bnorm = Vec.nrm2 b in
+  let norm_a = Mat.norm_inf a in
+  let max_iters = if cfg.max_iters > 0 then cfg.max_iters else 2 * n in
+  let protected = cfg.verify_interval > 0 in
+  (* Live state; the injector's lookup aliases these arrays (and the
+     preconditioner's live factor) for the whole run. *)
+  let x = Vec.create n in
+  let r = Vec.create n in
+  let z = Vec.create n in
+  let p = Vec.create n in
+  let q = Vec.create n in
+  let rt = Vec.create n in
+  let rz = ref 0. in
+  let live_factor =
+    match precond with Ic l -> Some l | Identity | Jacobi _ -> None
+  in
+  (* The guard's replica and reference sums are captured before the
+     first injection window opens and never exposed to the injector:
+     the live factor is the only corruptible copy. *)
+  let precond_guard =
+    match live_factor with
+    | None -> None
+    | Some l -> Some (l, Mat.copy l, factor_colsums l)
+  in
+  let c =
+    {
+      c_iterations = 0;
+      c_verifications = 0;
+      c_detections = 0;
+      c_reconstructions = 0;
+      c_rollbacks = 0;
+      c_checkpoints = 0;
+      c_restarts = 0;
+      c_precond_repairs = 0;
+    }
+  in
+  let verify_precond () =
+    match precond_guard with
+    | None -> ()
+    | Some (l, replica, sums) ->
+        let live = factor_colsums l in
+        for j = 0 to n - 1 do
+          if not (Float.equal live.(j) sums.(j)) then begin
+            for i = j to n - 1 do
+              Mat.set l i j (Mat.get replica i j)
+            done;
+            c.c_precond_repairs <- c.c_precond_repairs + 1;
+            Obs.incr obs "solver.precond_repairs"
+          end
+        done
+  in
+  let lookup target =
+    match (target : Fault.solver_target) with
+    | Fault.Sol_x -> Some (`Vec x)
+    | Fault.Sol_r -> Some (`Vec r)
+    | Fault.Sol_p -> Some (`Vec p)
+    | Fault.Sol_precond ->
+        Option.map (fun l -> `Mat l) live_factor
+  in
+  let finish outcome residual =
+    {
+      x = Vec.copy x;
+      outcome;
+      residual;
+      stats = freeze c;
+      injections_fired = Injector.fired inj;
+    }
+  in
+  (* One restart attempt. [restart_no] threads the ladder's outermost
+     cap; inner recursion is bounded by [max_iters] plus the (finite,
+     fire-once) injection plan. *)
+  let rec attempt restart_no =
+    Vec.fill x 0.;
+    Array.blit b 0 r 0 n;
+    apply_precond precond r z;
+    Array.blit z 0 p 0 n;
+    rz := Vec.dot r z;
+    let snap = ref None in
+    let rollbacks_here = ref 0 in
+    (* Residual level of the last state that passed verification: the
+       yardstick for the forward/backward choice. A detection whose
+       true residual is still near this level means the iterate
+       survived (corruption hit r/p/z, or x only slightly) — rebuild
+       forward. A residual far above it means x itself took the hit —
+       roll back. *)
+    let last_good = ref bnorm in
+    (* Forward reconstructions are capped by the plan: each transient
+       fault can force at most one, so anything beyond that means the
+       reconstruction itself is not converging — fall through to the
+       backward rungs instead of livelocking. *)
+    let forwards_left = ref (List.length plan + 2) in
+    if protected && cfg.checkpoint_interval > 0 then begin
+      snap := Some (take_snapshot ~it:0 ~x ~r ~p ~z ~rz:!rz);
+      c.c_checkpoints <- c.c_checkpoints + 1
+    end;
+    let rec iterate it =
+      if cancel () then
+        raise (Cancelled { iteration = it; stats = freeze c });
+      Injector.fire_solver inj ~iteration:it ~lookup;
+      let rn = Vec.nrm2 r in
+      if rn <= cfg.rtol *. bnorm then begin
+        if not protected then finish Converged (rn /. Float.max 1e-300 bnorm)
+        else begin
+          (* Never trust the recurrence alone: a converged report is
+             only issued after the true residual agrees. *)
+          let tn = residual_check ~obs a b x rt in
+          c.c_verifications <- c.c_verifications + 1;
+          if Float.is_finite tn && tn <= 10. *. cfg.rtol *. bnorm then
+            finish Converged (tn /. Float.max 1e-300 bnorm)
+          else recover it "converged-state verification failed"
+        end
+      end
+      else if it >= max_iters then
+        if restart_no < cfg.max_restarts then begin
+          c.c_restarts <- c.c_restarts + 1;
+          Obs.incr obs "solver.restarts";
+          attempt (restart_no + 1)
+        end
+        else
+          finish
+            (Gave_up
+               (Not_converged
+                  { iterations = it; residual = rn /. Float.max 1e-300 bnorm }))
+            (rn /. Float.max 1e-300 bnorm)
+      else begin
+        let verifying =
+          protected && it > 0 && it mod cfg.verify_interval = 0
+        in
+        if verifying then begin
+          verify_precond ();
+          let tn = residual_check ~obs a b x rt in
+          c.c_verifications <- c.c_verifications + 1;
+          let dev = ref 0. in
+          for i = 0 to n - 1 do
+            let d = rt.(i) -. r.(i) in
+            dev := !dev +. (d *. d)
+          done;
+          let dev = sqrt !dev in
+          let scale =
+            cfg.verify_slack
+            *. ((norm_a *. Vec.nrm2 x) +. bnorm +. tn +. 1.)
+          in
+          if not (Float.is_finite dev) || dev > scale then
+            recover it "recurrence residual diverged from b - A*x"
+          else begin
+            last_good := tn;
+            if
+              cfg.checkpoint_interval > 0
+              && it mod cfg.checkpoint_interval = 0
+            then begin
+              snap := Some (take_snapshot ~it ~x ~r ~p ~z ~rz:!rz);
+              c.c_checkpoints <- c.c_checkpoints + 1;
+              Obs.incr obs "solver.checkpoints"
+            end;
+            step it
+          end
+        end
+        else step it
+      end
+    and step it =
+      c.c_iterations <- c.c_iterations + 1;
+      Obs.incr obs "solver.iterations";
+      Blas2.gemv a p q;
+      let pq = Vec.dot p q in
+      if not (Float.is_finite pq) || pq <= 0. then
+        if protected then recover it "direction breakdown (p'Ap <= 0)"
+        else
+          finish
+            (Gave_up
+               (Breakdown
+                  { iteration = it; detail = "direction breakdown (p'Ap <= 0)" }))
+            Float.nan
+      else begin
+        let alpha = !rz /. pq in
+        Vec.axpy alpha p x;
+        Vec.axpy (-.alpha) q r;
+        apply_precond precond r z;
+        let rz' = Vec.dot r z in
+        if not (Float.is_finite rz') then
+          if protected then recover it "non-finite preconditioned product"
+          else
+            finish
+              (Gave_up
+                 (Breakdown
+                    {
+                      iteration = it;
+                      detail = "non-finite preconditioned product";
+                    }))
+              Float.nan
+        else begin
+          let beta = rz' /. !rz in
+          rz := rz';
+          Vec.scal beta p;
+          Vec.axpy 1. z p;
+          iterate (it + 1)
+        end
+      end
+    and recover it detail =
+      c.c_detections <- c.c_detections + 1;
+      Obs.incr obs "solver.detections";
+      (* Heal the preconditioner first: the forward rung is about to
+         rebuild z and p through it. *)
+      verify_precond ();
+      let tn = residual_check ~obs a b x rt in
+      c.c_verifications <- c.c_verifications + 1;
+      let forward_ok =
+        !forwards_left > 0 && all_finite x && Float.is_finite tn
+        && tn <= 1e3 *. (!last_good +. (cfg.rtol *. bnorm))
+      in
+      if forward_ok then begin
+        (* Forward reconstruction: the iterate is plausible, so rebuild
+           the recurrence state from its invariant r = b - A*x and
+           reset the search direction. CG restarted from x converges
+           from wherever x stands. *)
+        decr forwards_left;
+        last_good := tn;
+        c.c_reconstructions <- c.c_reconstructions + 1;
+        Obs.incr obs "solver.reconstructions";
+        Array.blit rt 0 r 0 n;
+        apply_precond precond r z;
+        Array.blit z 0 p 0 n;
+        rz := Vec.dot r z;
+        if Float.is_finite !rz && !rz > 0. then iterate (it + 1)
+        else backward it detail
+      end
+      else backward it detail
+    and backward it detail =
+      match !snap with
+      | Some s when !rollbacks_here < cfg.max_rollbacks ->
+          incr rollbacks_here;
+          c.c_rollbacks <- c.c_rollbacks + 1;
+          Obs.incr obs "solver.rollbacks";
+          Obs.span obs ~op:"solver-rollback" ~phase:"recovery" (fun () ->
+              restore_snapshot s ~x ~r ~p ~z;
+              rz := s.srz);
+          iterate s.snap_it
+      | Some _ | None ->
+          if restart_no < cfg.max_restarts then begin
+            c.c_restarts <- c.c_restarts + 1;
+            Obs.incr obs "solver.restarts";
+            attempt (restart_no + 1)
+          end
+          else
+            finish
+              (Gave_up (Corrupted_state { iteration = it; detail }))
+              Float.nan
+    in
+    iterate 0
+  in
+  if bnorm <= 0. then finish Converged 0. else attempt 0
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_reason fmt = function
+  | Breakdown { iteration; detail } ->
+      Format.fprintf fmt "breakdown at iteration %d: %s" iteration detail
+  | Not_converged { iterations; residual } ->
+      Format.fprintf fmt "no convergence after %d iterations (residual %.3e)"
+        iterations residual
+  | Corrupted_state { iteration; detail } ->
+      Format.fprintf fmt "corrupted state at iteration %d: %s" iteration
+        detail
+
+let pp_outcome fmt = function
+  | Converged -> Format.fprintf fmt "converged"
+  | Gave_up reason -> Format.fprintf fmt "gave up: %a" pp_reason reason
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "iters=%d verifs=%d detects=%d forward=%d rollbacks=%d checkpoints=%d \
+     restarts=%d precond-repairs=%d"
+    s.iterations s.verifications s.detections s.reconstructions s.rollbacks
+    s.checkpoints s.restarts s.precond_repairs

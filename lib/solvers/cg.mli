@@ -1,0 +1,177 @@
+(** Fault-tolerant conjugate gradient with online residual
+    verification, verified checkpoints, and a backward/forward
+    recovery ladder.
+
+    The solver follows Fasi, Langou, Robert & Ucar's backward/forward
+    recovery approach for PCG (see PAPERS.md): the cheap recurrence
+    residual drives the iteration, the true residual [b − A·x] is
+    recomputed every {!config.verify_interval} iterations and
+    cross-checked against it with a scaled tolerance, and each
+    detection picks the cheapest sufficient rung:
+
+    + {b forward reconstruction} — when the iterate [x] is still
+      plausible, rebuild [r := b − A·x], [z := M⁻¹r], [p := z] from the
+      recurrence invariant and continue (CG restarted from [x]);
+    + {b backward rollback} — restore the last verified checkpoint of
+      [(x, r, p, z)] (at most {!config.max_rollbacks} per attempt);
+    + {b restart} — from scratch (at most {!config.max_restarts});
+    + structured {!Gave_up}.
+
+    Every rung is counted in {!stats}. A protected solve never reports
+    a silent wrong answer: {!Converged} is only issued after a final
+    true-residual verification passes. With
+    [verify_interval = 0] the harness is disabled and the solver is a
+    plain (unprotected) CG — the baseline the bench harness compares
+    against.
+
+    Fault windows: {!Injector.fire_solver} fires the plan's
+    [In_solver] injections at the start of every iteration, against
+    the live [x]/[r]/[p] vectors and (for [Sol_precond]) the
+    preconditioner's live triangular factor. The factor is additionally
+    guarded by setup-time column sums and a pristine replica, checked
+    and healed at every verification point. *)
+
+open Matrix
+
+(** How [z = M⁻¹ r] is computed. [Ic] holds a lower-triangular
+    (full or incomplete) Cholesky factor applied via
+    {!Cholesky.Solve.triangular_solve_vec}. *)
+type precond =
+  | Identity  (** plain CG *)
+  | Jacobi of Vec.t  (** inverse-diagonal scaling *)
+  | Ic of Mat.t  (** triangular factor, full or incomplete *)
+
+type reason =
+  | Breakdown of { iteration : int; detail : string }
+      (** an unprotected run hit a non-finite or non-positive inner
+          product (protected runs recover instead) *)
+  | Not_converged of { iterations : int; residual : float }
+      (** iteration budget exhausted on every attempt *)
+  | Corrupted_state of { iteration : int; detail : string }
+      (** the ladder ran dry with the state still failing
+          verification *)
+
+type outcome = Converged | Gave_up of reason
+
+type stats = {
+  iterations : int;  (** PCG updates performed, all attempts *)
+  verifications : int;  (** true-residual recomputations *)
+  detections : int;  (** verification failures that entered the ladder *)
+  reconstructions : int;  (** forward recoveries (rung 1) *)
+  rollbacks : int;  (** checkpoint restores (rung 2), all attempts *)
+  checkpoints : int;  (** verified snapshots captured, all attempts *)
+  restarts : int;  (** full restarts (rung 3) *)
+  precond_repairs : int;
+      (** preconditioner-factor columns healed from the replica *)
+}
+
+type report = {
+  x : Vec.t;  (** the solution iterate (last attempt's, fresh copy) *)
+  outcome : outcome;
+  residual : float;
+      (** verified relative true residual ‖b − A·x‖₂/‖b‖₂ on
+          {!Converged}; the recurrence estimate (or [nan]) on
+          {!Gave_up} *)
+  stats : stats;
+  injections_fired : Injector.fired list;  (** audit log of the plan *)
+}
+
+exception Cancelled of { iteration : int; stats : stats }
+(** Raised when [cancel] returns [true] at an iteration boundary —
+    same cooperative-cancellation contract as {!Cholesky.Ft.Cancelled}:
+    no torn state, partial stats attached. *)
+
+type config = {
+  max_iters : int;  (** iteration budget per attempt; 0 means [2n] *)
+  rtol : float;  (** convergence target on ‖r‖₂/‖b‖₂ *)
+  verify_interval : int;
+      (** verify every k iterations; 0 disables the whole harness *)
+  verify_slack : float;
+      (** scaled-tolerance multiplier for the recurrence/true residual
+          cross-check *)
+  checkpoint_interval : int;
+      (** checkpoint at verified iterations divisible by this;
+          0 disables checkpoints (the backward rung falls through to
+          restart) *)
+  max_rollbacks : int;  (** backward rollbacks per attempt *)
+  max_restarts : int;  (** full restarts per solve *)
+}
+
+val config :
+  ?max_iters:int ->
+  ?rtol:float ->
+  ?verify_interval:int ->
+  ?verify_slack:float ->
+  ?checkpoint_interval:int ->
+  ?max_rollbacks:int ->
+  ?max_restarts:int ->
+  unit ->
+  config
+(** Defaults: [max_iters = 0] (meaning 2n), [rtol = 1e-10],
+    [verify_interval = 4], [verify_slack = 1e-6],
+    [checkpoint_interval = 8], [max_rollbacks = 2], [max_restarts = 2].
+    @raise Invalid_argument if a count or interval is negative (0 is
+    the legitimate "disabled" value, exactly as
+    {!Cholesky.Config.make}'s snapshot cadence) or a tolerance is not
+    positive. *)
+
+val default : config
+
+val jacobi : Mat.t -> precond
+(** Inverse-diagonal preconditioner.
+    @raise Invalid_argument on a non-positive diagonal entry. *)
+
+val block_jacobi : ?block:int -> Mat.t -> precond
+(** Incomplete Cholesky-style preconditioner: each diagonal
+    [block × block] (default 8) sub-block is factored independently and
+    assembled into one block-diagonal lower factor — inexact enough to
+    keep PCG iterating, cheap enough for storm campaigns.
+    @raise Failure if a diagonal block is not positive definite. *)
+
+val cholesky :
+  ?pool:Parallel.Pool.t ->
+  ?obs:Obs.t ->
+  ?plan:Fault.t ->
+  ?cfg:Cholesky.Config.t ->
+  Mat.t ->
+  precond
+(** Full ABFT-protected Cholesky preconditioner via
+    {!Cholesky.Solve.factorize} — exact, so PCG doubles as iterative
+    refinement. @raise Failure as {!Cholesky.Solve.factorize}. *)
+
+val ic : Mat.t -> precond
+(** Wrap an existing lower-triangular factor (e.g.
+    {!Cholesky.Ft.report}[.factor]).
+    @raise Invalid_argument if not square. *)
+
+val solve :
+  ?obs:Obs.t ->
+  ?plan:Fault.t ->
+  ?precond:precond ->
+  ?cancel:(unit -> bool) ->
+  config ->
+  Mat.t ->
+  Vec.t ->
+  report
+(** [solve cfg a b] solves SPD [a · x = b] (neither input modified;
+    [precond] defaults to {!Identity}).
+
+    [cancel] is polled at the top of every iteration — including after
+    rollbacks and restarts — and raises {!Cancelled} with partial
+    stats; serving layers use it for deadlines and client
+    cancellation.
+
+    [obs] receives "solver-verify"/"solver-rollback" spans and the
+    [solver.iterations], [solver.verifications], [solver.detections],
+    [solver.reconstructions], [solver.rollbacks], [solver.checkpoints],
+    [solver.restarts] and [solver.precond_repairs] counters.
+
+    [plan]'s [In_solver] injections fire once each, at the start of
+    their target iteration; all other windows stay pending (and are
+    reported untouched in the audit log's complement).
+
+    @raise Invalid_argument on shape mismatch. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_stats : Format.formatter -> stats -> unit

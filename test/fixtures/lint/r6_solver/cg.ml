@@ -1,0 +1,10 @@
+(* R6 fixture: named cg.ml so the solver harness is in the taint
+   rule's scope. Blas2 _alloc products consumed without a
+   residual_check or verify point in between — each must be
+   flagged. *)
+
+let direct_flow x a p = Vec.axpy (Blas2.gemv_alloc a p) x
+
+let bound_then_read x a p =
+  let q = Blas2.gemv_alloc a p in
+  Vec.dot q x

@@ -1,0 +1,15 @@
+(* Passing twin of r6_solver/cg.ml: every matrix-vector product is
+   cross-checked by a residual_check verification point (the solver
+   layer's sanitizer spelling) before anything reads it. *)
+
+let verified_flow x a p =
+  let q = Blas2.gemv_alloc a p in
+  residual_check a x q;
+  Vec.axpy q x
+
+let waived x a p =
+  let q =
+    Blas2.gemv_alloc a p
+    [@abft.unverified "fixture: deliberately unchecked read"]
+  in
+  Vec.dot q x

@@ -471,6 +471,26 @@ let test_r6_twin_clean () =
   check_count "its waiver is not stale" 0
     (with_rule "W0" r.A.Driver.findings)
 
+let test_r6_solver_fixture_locations () =
+  (* the solver-scope extension: Blas2.*_alloc is a source and cg.ml is
+     in scope, so both unverified matrix-vector-product reads flag *)
+  let r = run_fixture "r6_solver" in
+  Alcotest.(check (list (pair int int)))
+    "R6 solver finding locations"
+    [ (6, 24); (10, 2) ]
+    (locs "R6" r)
+
+let test_r6_solver_twin_clean () =
+  (* residual_check is a sanitizer: mentioning the product clears its
+     taint, and the deliberate read is waived without going stale *)
+  let r = run_fixture "r6_solver_ok" in
+  check_count "no blocking R6" 0
+    (blocking (with_rule "R6" r.A.Driver.findings));
+  check_count "the waived read is still reported" 1
+    (with_rule "R6" r.A.Driver.findings);
+  check_count "its waiver is not stale" 0
+    (with_rule "W0" r.A.Driver.findings)
+
 let test_r7_fixture_locations () =
   (* unbound start, never-stopped span, raise across an open span, a
      pool attachment without a Fun.protect restore, and a failwith-style
@@ -771,6 +791,10 @@ let () =
           Alcotest.test_case "fixture locations" `Quick
             test_r6_fixture_locations;
           Alcotest.test_case "twin clean" `Quick test_r6_twin_clean;
+          Alcotest.test_case "solver fixture locations" `Quick
+            test_r6_solver_fixture_locations;
+          Alcotest.test_case "solver twin clean" `Quick
+            test_r6_solver_twin_clean;
         ] );
       ( "r7",
         [

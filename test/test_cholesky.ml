@@ -686,7 +686,8 @@ let prop_ft_random_fault_storms =
                    let i, _ = inj.Fault.block in
                    inj.Fault.iteration <= i
                | Fault.In_checksum | Fault.In_update _ ->
-                   true (* the self-protecting store heals these *))
+                   true (* the self-protecting store heals these *)
+               | Fault.In_solver _ -> false)
       in
       let a = Spd.random_spd ~seed:(seed + 77) n in
       let r = C.Ft.factor ~plan (cfg ~block ()) a in

@@ -97,7 +97,8 @@ let test_random_plan_valid () =
           | Fault.Gemm | Fault.Trsm ->
               Alcotest.(check bool) "panel target" true
                 (bj = inj.Fault.iteration && bi > bj))
-      | Fault.In_checksum | Fault.In_update _ | Fault.In_device ->
+      | Fault.In_checksum | Fault.In_update _ | Fault.In_device
+      | Fault.In_solver _ ->
           Alcotest.fail
             "checksum/device windows must not appear at default fractions")
     plan
@@ -131,7 +132,8 @@ let test_random_plan_grid_one () =
       | Fault.In_computation op ->
           Alcotest.(check bool) "only potf2 possible" true (op = Fault.Potf2)
       | Fault.In_storage -> ()
-      | Fault.In_checksum | Fault.In_update _ | Fault.In_device ->
+      | Fault.In_checksum | Fault.In_update _ | Fault.In_device
+      | Fault.In_solver _ ->
           Alcotest.fail
             "checksum/device windows must not appear at default fractions")
     plan

@@ -335,7 +335,8 @@ let test_campaign_family_windows () =
     (List.for_all
        (function
          | Fault.In_checksum | Fault.In_update _ -> true
-         | Fault.In_storage | Fault.In_computation _ | Fault.In_device ->
+         | Fault.In_storage | Fault.In_computation _ | Fault.In_device
+         | Fault.In_solver _ ->
              false)
        (windows Campaign.Checksum_storm));
   Alcotest.(check bool) "compute-heavy has no storage" true
@@ -374,6 +375,7 @@ let test_campaign_aggregate_and_json () =
       restarts = 0;
       fired = 3;
       device = Campaign.zero_device;
+      solver = Campaign.zero_solver;
       obs_metrics = [];
     }
   in
@@ -413,19 +415,112 @@ let test_campaign_aggregate_and_json () =
     (fun needle ->
       Alcotest.(check bool) ("json has " ^ needle) true (contains json needle))
     [
-      "\"schema_version\": 3";
+      "\"schema_version\": 4";
       "\"aggregate\"";
       "\"rung_campaigns\"";
       "\"device_totals\"";
       "\"device_campaigns\"";
+      "\"solver_totals\"";
+      "\"solver_campaigns\"";
+      "solver_iterations";
       "ftsoak";
     ]
 
 let test_campaign_mini_soak () =
   (* a miniature end-to-end soak: every family against its weakest
      compatible scheme; zero silent corruption and the sub-restart
-     rungs all exercised *)
+     rungs all exercised. Solver-storm campaigns run the PCG harness
+     (as in bin/ftsoak) instead of a factorization. *)
   let pool = Parallel.Pool.create ~domains:1 () in
+  let mk_case family scheme seed plan =
+    {
+      Campaign.id = seed;
+      family;
+      scheme = Abft.Scheme.name scheme;
+      grid;
+      block;
+      domains = 1;
+      seed;
+      plan;
+    }
+  in
+  let solver_case family scheme seed plan =
+    let a = spd (seed + 100) in
+    let b = Array.init n (fun i -> 1. +. float_of_int (i mod 3)) in
+    let scfg =
+      Solvers.Cg.config ~rtol:1e-9 ~verify_interval:2 ~checkpoint_interval:2
+        ~max_restarts:3 ()
+    in
+    let precond = Solvers.Cg.block_jacobi ~block a in
+    let r = Solvers.Cg.solve ~plan ~precond scfg a b in
+    let true_resid =
+      let rt = Array.copy b in
+      Blas2.gemv ~alpha:(-1.) ~beta:1. a r.Solvers.Cg.x rt;
+      Vec.nrm2 rt /. Vec.nrm2 b
+    in
+    let st = r.Solvers.Cg.stats in
+    {
+      Campaign.case = mk_case family scheme seed plan;
+      outcome =
+        (match r.Solvers.Cg.outcome with
+        | Solvers.Cg.Converged ->
+            if Float.is_finite true_resid && true_resid <= 1e-6 then
+              Campaign.Success
+            else Campaign.Silent_corruption
+        | Solvers.Cg.Gave_up reason ->
+            Campaign.Gave_up
+              (Format.asprintf "solver: %a" Solvers.Cg.pp_reason reason));
+      residual = true_resid;
+      verifications = 0;
+      corrections = 0;
+      reconstructions = 0;
+      checksum_repairs = 0;
+      rollbacks = 0;
+      snapshots = 0;
+      restarts = 0;
+      fired = List.length r.Solvers.Cg.injections_fired;
+      device = Campaign.zero_device;
+      solver =
+        {
+          Campaign.iterations_s = st.Solvers.Cg.iterations;
+          verifications_s = st.Solvers.Cg.verifications;
+          detections_s = st.Solvers.Cg.detections;
+          reconstructions_s = st.Solvers.Cg.reconstructions;
+          rollbacks_s = st.Solvers.Cg.rollbacks;
+          restarts_s = st.Solvers.Cg.restarts;
+          precond_repairs_s = st.Solvers.Cg.precond_repairs;
+        };
+      obs_metrics = [];
+    }
+  in
+  let factor_case family scheme seed plan =
+    let r =
+      C.Ft.factor ~pool ~plan
+        (cfg ~scheme ~snapshot_interval:2 ())
+        (spd (seed + 100))
+    in
+    let st = r.C.Ft.stats in
+    {
+      Campaign.case = mk_case family scheme seed plan;
+      outcome =
+        (match r.C.Ft.outcome with
+        | C.Ft.Success -> Campaign.Success
+        | C.Ft.Silent_corruption -> Campaign.Silent_corruption
+        | C.Ft.Gave_up reason -> Campaign.Gave_up (C.Recovery.describe reason));
+      residual = r.C.Ft.residual;
+      verifications = st.C.Ft.verifications;
+      corrections = st.C.Ft.corrections;
+      reconstructions = st.C.Ft.reconstructions;
+      checksum_repairs = st.C.Ft.checksum_repairs;
+      rollbacks = st.C.Ft.rollbacks;
+      snapshots = st.C.Ft.snapshots;
+      restarts = st.C.Ft.restarts;
+      fired = List.length r.C.Ft.injections_fired;
+      device = Campaign.zero_device;
+      solver = Campaign.zero_solver;
+      obs_metrics = [];
+    }
+  in
   let results =
     List.concat_map
       (fun family ->
@@ -436,42 +531,12 @@ let test_campaign_mini_soak () =
         List.map
           (fun seed ->
             let plan = Campaign.plan family ~seed ~grid ~block ~count:3 in
-            let r =
-              C.Ft.factor ~pool ~plan
-                (cfg ~scheme ~snapshot_interval:2 ())
-                (spd (seed + 100))
-            in
-            let st = r.C.Ft.stats in
-            {
-              Campaign.case =
-                {
-                  Campaign.id = seed;
-                  family;
-                  scheme = Abft.Scheme.name scheme;
-                  grid;
-                  block;
-                  domains = 1;
-                  seed;
-                  plan;
-                };
-              outcome =
-                (match r.C.Ft.outcome with
-                | C.Ft.Success -> Campaign.Success
-                | C.Ft.Silent_corruption -> Campaign.Silent_corruption
-                | C.Ft.Gave_up reason ->
-                    Campaign.Gave_up (C.Recovery.describe reason));
-              residual = r.C.Ft.residual;
-              verifications = st.C.Ft.verifications;
-              corrections = st.C.Ft.corrections;
-              reconstructions = st.C.Ft.reconstructions;
-              checksum_repairs = st.C.Ft.checksum_repairs;
-              rollbacks = st.C.Ft.rollbacks;
-              snapshots = st.C.Ft.snapshots;
-              restarts = st.C.Ft.restarts;
-              fired = List.length r.C.Ft.injections_fired;
-              device = Campaign.zero_device;
-              obs_metrics = [];
-            })
+            match family with
+            | Campaign.Solver_storm -> solver_case family scheme seed plan
+            | Campaign.Mixed | Campaign.Burst | Campaign.Storage_heavy
+            | Campaign.Compute_heavy | Campaign.Checksum_storm
+            | Campaign.Anchor | Campaign.Device_storm ->
+                factor_case family scheme seed plan)
           [ 1; 2; 3; 4 ])
       Campaign.all_families
   in
@@ -485,7 +550,9 @@ let test_campaign_mini_soak () =
     (rc.Campaign.reconstructions_n >= 1);
   Alcotest.(check bool) "checksum-repair rung hit" true
     (rc.Campaign.checksum_repairs_n >= 1);
-  Alcotest.(check bool) "rollback rung hit" true (rc.Campaign.rollbacks_n >= 1)
+  Alcotest.(check bool) "rollback rung hit" true (rc.Campaign.rollbacks_n >= 1);
+  Alcotest.(check bool) "solver verification points ran" true
+    (agg.Campaign.solver_totals.Campaign.verifications_s >= 1)
 
 (* ------------------------------------------------------------------ *)
 (* Device faults: healed by ABFT, deterministic across pool sizes      *)

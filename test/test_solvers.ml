@@ -1,0 +1,406 @@
+(* PR-9 solver suite: the fault-tolerant PCG harness — convergence
+   across preconditioners, the forward/backward/restart recovery
+   ladder under targeted In_solver flips, preconditioner-factor
+   healing, cooperative cancellation, config validation, and the
+   Cholesky.Solve property tests (satellite: A · solve A b ≈ b across
+   pool sizes). *)
+
+open Matrix
+module Cg = Solvers.Cg
+module C = Cholesky
+
+let n = 32
+let block = 8
+
+let spd seed = Spd.random_spd ~seed n
+let rhs () = Array.init n (fun i -> 1. +. (float_of_int (i mod 5) /. 5.))
+
+(* The acceptance yardstick never trusts the solver: recompute the
+   relative true residual against the pristine inputs. *)
+let true_residual a b (x : Vec.t) =
+  let rt = Array.copy b in
+  Blas2.gemv ~alpha:(-1.) ~beta:1. a x rt;
+  Vec.nrm2 rt /. Vec.nrm2 b
+
+let check_solved ?(tol = 1e-6) msg a b (r : Cg.report) =
+  (match r.Cg.outcome with
+  | Cg.Converged -> ()
+  | Cg.Gave_up reason ->
+      Alcotest.failf "%s: gave up: %a" msg Cg.pp_reason reason);
+  let res = true_residual a b r.Cg.x in
+  if not (Float.is_finite res && res <= tol) then
+    Alcotest.failf "%s: residual %.3e exceeds %.0e" msg res tol
+
+(* ------------------------------------------------------------------ *)
+(* Clean convergence                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_cg_identity () =
+  let a = spd 3 and b = rhs () in
+  let r = Cg.solve Cg.default a b in
+  check_solved "identity" a b r;
+  Alcotest.(check int) "no detections on a clean run" 0 r.Cg.stats.Cg.detections
+
+let test_pcg_preconditioners () =
+  let a = spd 5 and b = rhs () in
+  List.iter
+    (fun (name, p) ->
+      let r = Cg.solve ~precond:p Cg.default a b in
+      check_solved name a b r)
+    [
+      ("jacobi", Cg.jacobi a);
+      ("block-jacobi", Cg.block_jacobi ~block a);
+      ("full cholesky", Cg.cholesky a);
+    ]
+
+let test_pcg_cholesky_is_direct () =
+  (* an exact factor preconditioner makes PCG iterative refinement:
+     convergence in a handful of iterations, far below plain CG *)
+  let a = Spd.random_spd_cond ~seed:9 ~cond:1e5 n and b = rhs () in
+  let r = Cg.solve ~precond:(Cg.cholesky a) Cg.default a b in
+  check_solved "exact precond" a b r;
+  Alcotest.(check bool) "converges like a direct solve" true
+    (r.Cg.stats.Cg.iterations <= 5)
+
+let test_unprotected_matches_protected_clean () =
+  let a = spd 7 and b = rhs () in
+  let unprotected = Cg.solve (Cg.config ~verify_interval:0 ()) a b in
+  let protected_ = Cg.solve Cg.default a b in
+  check_solved "unprotected clean" a b unprotected;
+  check_solved "protected clean" a b protected_;
+  Alcotest.(check int) "same iteration count on clean runs"
+    unprotected.Cg.stats.Cg.iterations protected_.Cg.stats.Cg.iterations
+
+(* ------------------------------------------------------------------ *)
+(* The recovery ladder, rung by rung                                   *)
+(* ------------------------------------------------------------------ *)
+
+let flip ~iteration ~target ?(element = (n / 2, 0)) ?(bit = 55) () =
+  Fault.solver_error ~bit ~iteration ~target ~element ()
+
+let solve_with ?(cfg = Cg.config ~verify_interval:2 ~checkpoint_interval:2 ())
+    ~plan seed =
+  let a = spd seed and b = rhs () in
+  let r = Cg.solve ~plan ~precond:(Cg.block_jacobi ~block a) cfg a b in
+  (a, b, r)
+
+let test_r_flip_forward_reconstruction () =
+  (* corrupting r breaks the recurrence/true-residual cross-check while
+     x stays plausible: the cheapest rung — rebuild r from x — wins *)
+  let a, b, r =
+    solve_with ~plan:[ flip ~iteration:3 ~target:Fault.Sol_r () ] 21
+  in
+  check_solved "r flip" a b r;
+  Alcotest.(check int) "fired" 1 (List.length r.Cg.injections_fired);
+  Alcotest.(check bool) "detected" true (r.Cg.stats.Cg.detections >= 1);
+  Alcotest.(check bool) "forward reconstruction rung" true
+    (r.Cg.stats.Cg.reconstructions >= 1);
+  Alcotest.(check int) "no rollback needed" 0 r.Cg.stats.Cg.rollbacks
+
+let test_x_flip_rollback () =
+  (* a high-bit flip in x destroys the iterate itself: forward
+     reconstruction would rebuild r from garbage, so the ladder falls
+     back to the last verified checkpoint *)
+  let a, b, r =
+    solve_with ~plan:[ flip ~iteration:3 ~target:Fault.Sol_x ~bit:62 () ] 23
+  in
+  check_solved "x flip" a b r;
+  Alcotest.(check bool) "detected" true (r.Cg.stats.Cg.detections >= 1);
+  Alcotest.(check bool) "rollback rung" true (r.Cg.stats.Cg.rollbacks >= 1)
+
+let test_x_flip_restart_without_checkpoints () =
+  (* same corruption with checkpointing disabled: the backward rung has
+     nothing to restore, so the ladder escalates to a full restart *)
+  let a, b, r =
+    solve_with
+      ~cfg:(Cg.config ~verify_interval:2 ~checkpoint_interval:0 ())
+      ~plan:[ flip ~iteration:3 ~target:Fault.Sol_x ~bit:62 () ]
+      23
+  in
+  check_solved "x flip, no checkpoints" a b r;
+  Alcotest.(check int) "no rollbacks possible" 0 r.Cg.stats.Cg.rollbacks;
+  Alcotest.(check bool) "restart rung" true (r.Cg.stats.Cg.restarts >= 1)
+
+let test_p_flip_stalls_then_restarts () =
+  (* p-corruption is the invariant-preserving case: x and r keep being
+     updated consistently with the corrupted direction, so the residual
+     cross-check cannot see it — the harness still converges to a
+     verified answer (possibly via the iteration-budget restart),
+     and must never report a corrupted one *)
+  let a, b, r =
+    solve_with ~plan:[ flip ~iteration:3 ~target:Fault.Sol_p ~bit:58 () ] 27
+  in
+  check_solved "p flip" a b r
+
+let test_precond_flip_healed () =
+  (* the factor guard: column sums disagree bitwise at the next
+     verification point, the column heals from the pristine replica *)
+  let a, b, r =
+    solve_with
+      ~plan:
+        [ flip ~iteration:3 ~target:Fault.Sol_precond ~element:(2, 1) () ]
+      29
+  in
+  check_solved "precond flip" a b r;
+  Alcotest.(check bool) "factor healed" true
+    (r.Cg.stats.Cg.precond_repairs >= 1)
+
+let test_unprotected_is_silently_wrong () =
+  (* the motivating contrast: the same x flip that the protected solver
+     detects and recovers from sails through the unprotected recurrence
+     (r never sees the corruption), producing a "converged" iterate
+     whose true residual is garbage *)
+  let plan = [ flip ~iteration:3 ~target:Fault.Sol_x ~bit:62 () ] in
+  let a = spd 23 and b = rhs () in
+  let u =
+    Cg.solve ~plan ~precond:(Cg.block_jacobi ~block a)
+      (Cg.config ~verify_interval:0 ())
+      a b
+  in
+  (match u.Cg.outcome with
+  | Cg.Converged ->
+      (* the huge iterate overflows A·x, so "garbage" shows up as
+         either a big residual or a non-finite one *)
+      let res = true_residual a b u.Cg.x in
+      Alcotest.(check bool) "unprotected residual is garbage" true
+        ((not (Float.is_finite res)) || res > 1e-3)
+  | Cg.Gave_up _ -> ());
+  let a', b', p =
+    solve_with ~plan:[ flip ~iteration:3 ~target:Fault.Sol_x ~bit:62 () ] 23
+  in
+  check_solved "protected twin recovers" a' b' p
+
+let test_storm_survives () =
+  (* a randomized multi-window storm per seed; every run must end in a
+     verified answer or a structured give-up, never silence *)
+  for seed = 1 to 20 do
+    let plan = Fault.random_solver_plan ~seed ~n ~iters:10 ~count:4 () in
+    let a, b, r = solve_with ~plan seed in
+    match r.Cg.outcome with
+    | Cg.Converged ->
+        let res = true_residual a b r.Cg.x in
+        if not (Float.is_finite res && res <= 1e-6) then
+          Alcotest.failf "seed %d: silent corruption (residual %.3e)" seed res
+    | Cg.Gave_up _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation and config validation                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cancel_raises () =
+  let a = spd 31 and b = rhs () in
+  (match Cg.solve ~cancel:(fun () -> true) Cg.default a b with
+  | _ -> Alcotest.fail "expected Cancelled"
+  | exception Cg.Cancelled { iteration; stats } ->
+      Alcotest.(check int) "cancelled before the first update" 0 iteration;
+      Alcotest.(check int) "no iterations ran" 0 stats.Cg.iterations);
+  let calls = ref 0 in
+  let cancel () =
+    incr calls;
+    !calls > 4
+  in
+  match Cg.solve ~cancel Cg.default a b with
+  | _ -> Alcotest.fail "expected mid-solve Cancelled"
+  | exception Cg.Cancelled { iteration; _ } ->
+      Alcotest.(check bool) "stopped at an iteration boundary" true
+        (iteration > 0)
+
+let test_config_validation () =
+  let raises msg f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+    | exception Invalid_argument _ -> ()
+  in
+  raises "negative verify_interval" (fun () ->
+      Cg.config ~verify_interval:(-1) ());
+  raises "negative checkpoint_interval" (fun () ->
+      Cg.config ~checkpoint_interval:(-2) ());
+  raises "negative max_rollbacks" (fun () -> Cg.config ~max_rollbacks:(-1) ());
+  raises "zero rtol" (fun () -> Cg.config ~rtol:0. ());
+  raises "negative slack" (fun () -> Cg.config ~verify_slack:(-1e-6) ());
+  (* 0 is the documented "disabled" value, not an error *)
+  ignore (Cg.config ~verify_interval:0 ~checkpoint_interval:0 ());
+  raises "shape mismatch" (fun () ->
+      Cg.solve Cg.default (spd 1) (Array.make (n + 1) 1.))
+
+(* Satellite regression: Cholesky.Config.make must reject a negative
+   snapshot cadence loudly instead of silently never snapshotting. *)
+let test_cholesky_config_rejects_negative_snapshot_interval () =
+  (match
+     C.Config.make ~machine:Hetsim.Machine.testbench ~block
+       ~snapshot_interval:(-1) ()
+   with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "message names the field" true
+        (contains "snapshot_interval" msg));
+  (* 0 stays the documented "disabled" value *)
+  ignore (C.Config.make ~machine:Hetsim.Machine.testbench ~block ())
+
+(* Satellite regression: solver plans cannot silently over-allocate
+   their window fractions. *)
+let test_solver_plan_fraction_validation () =
+  let raises msg f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+    | exception Invalid_argument _ -> ()
+  in
+  raises "sum > 1" (fun () ->
+      Fault.random_solver_plan ~seed:1 ~n ~iters:8 ~count:3 ~x_fraction:0.5
+        ~r_fraction:0.4 ~p_fraction:0.3 ());
+  raises "negative fraction" (fun () ->
+      Fault.random_solver_plan ~seed:1 ~n ~iters:8 ~count:3
+        ~x_fraction:(-0.1) ());
+  raises "fraction > 1" (fun () ->
+      Fault.random_solver_plan ~seed:1 ~n ~iters:8 ~count:3 ~p_fraction:1.5 ());
+  (* a plan summing exactly to 1 is legal and lands every injection *)
+  let plan =
+    Fault.random_solver_plan ~seed:2 ~n ~iters:8 ~count:6 ~x_fraction:0.5
+      ~r_fraction:0.5 ~p_fraction:0. ~precond_fraction:0. ()
+  in
+  Alcotest.(check int) "full allocation" 6 (List.length plan);
+  List.iter
+    (fun (inj : Fault.injection) ->
+      match inj.Fault.window with
+      | Fault.In_solver (Fault.Sol_x | Fault.Sol_r) -> ()
+      | _ ->
+          Alcotest.failf "unexpected window %s"
+            (Format.asprintf "%a" Fault.pp_injection inj))
+    plan;
+  (* the factorization-plan generator enforces the same invariant *)
+  raises "random_plan over-allocated" (fun () ->
+      Fault.random_plan ~seed:1 ~grid:4 ~block:8 ~count:3
+        ~storage_fraction:0.8 ~checksum_fraction:0.4 ())
+
+(* ------------------------------------------------------------------ *)
+(* Injector fire_solver unit behaviour                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fire_solver_targets_and_pending () =
+  let x = Array.make 4 1. and r = Array.make 4 1. in
+  let plan =
+    [
+      Fault.solver_error ~iteration:2 ~target:Fault.Sol_x ~element:(1, 0) ();
+      Fault.solver_error ~iteration:5 ~target:Fault.Sol_r ~element:(2, 0) ();
+      (* out of range: must stay unapplied, not crash *)
+      Fault.solver_error ~iteration:2 ~target:Fault.Sol_r ~element:(9, 0) ();
+    ]
+  in
+  let inj = Injector.create plan in
+  let lookup = function
+    | Fault.Sol_x -> Some (`Vec x)
+    | Fault.Sol_r -> Some (`Vec r)
+    | Fault.Sol_p | Fault.Sol_precond -> None
+  in
+  Injector.fire_solver inj ~iteration:1 ~lookup;
+  Alcotest.(check int) "nothing due at iteration 1" 0
+    (Injector.fired_count inj);
+  Injector.fire_solver inj ~iteration:2 ~lookup;
+  Alcotest.(check int) "only the in-range x flip fired" 1
+    (Injector.fired_count inj);
+  Alcotest.(check bool) "x mutated" true (not (Float.equal x.(1) 1.));
+  Alcotest.(check bool) "r untouched" true (Float.equal r.(2) 1.);
+  Injector.fire_solver inj ~iteration:5 ~lookup;
+  Alcotest.(check int) "r flip fired at its iteration" 2
+    (Injector.fired_count inj);
+  Alcotest.(check bool) "r mutated" true (not (Float.equal r.(2) 1.))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: Cholesky.Solve property tests across pool sizes          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_solve_roundtrip =
+  QCheck.Test.make ~name:"A * (Solve.solve_vec A b) ~ b across pool sizes"
+    ~count:20
+    QCheck.(pair (int_range 0 1000) (int_range 2 6))
+    (fun (seed, grid) ->
+      let n = grid * 4 in
+      let a = Spd.random_spd ~seed n in
+      let b = Array.init n (fun i -> float_of_int (1 + (i mod 7))) in
+      List.for_all
+        (fun domains ->
+          let pool = Parallel.Pool.create ~domains () in
+          let t =
+            C.Solve.factorize ~pool
+              ~cfg:
+                (C.Config.make ~machine:Hetsim.Machine.testbench ~block:4 ())
+              a
+          in
+          Parallel.Pool.shutdown pool;
+          let x, _ = C.Solve.solve_vec t b in
+          let ax = Array.make n 0. in
+          Blas2.gemv a x ax;
+          let err = ref 0. and scale = ref 0. in
+          for i = 0 to n - 1 do
+            err := Float.max !err (Float.abs (ax.(i) -. b.(i)));
+            scale := Float.max !scale (Float.abs b.(i))
+          done;
+          !err <= 1e-8 *. !scale)
+        [ 1; 2; 4 ])
+
+let prop_pcg_agrees_with_direct =
+  QCheck.Test.make ~name:"PCG and the direct solve agree" ~count:15
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let a = Spd.random_spd ~seed n in
+      let b = rhs () in
+      let t =
+        C.Solve.factorize
+          ~cfg:(C.Config.make ~machine:Hetsim.Machine.testbench ~block ())
+          a
+      in
+      let xd, _ = C.Solve.solve_vec t b in
+      let r = Cg.solve ~precond:(Cg.ic (C.Solve.factor_matrix t)) Cg.default a b in
+      r.Cg.outcome = Cg.Converged
+      && Vec.nrm2 (Array.init n (fun i -> r.Cg.x.(i) -. xd.(i)))
+         <= 1e-6 *. Float.max 1. (Vec.nrm2 xd))
+
+let () =
+  Alcotest.run "solvers"
+    [
+      ( "convergence",
+        [
+          Alcotest.test_case "plain CG" `Quick test_cg_identity;
+          Alcotest.test_case "preconditioners" `Quick test_pcg_preconditioners;
+          Alcotest.test_case "exact precond is direct" `Quick
+            test_pcg_cholesky_is_direct;
+          Alcotest.test_case "protection is free when clean" `Quick
+            test_unprotected_matches_protected_clean;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "r flip: forward reconstruction" `Quick
+            test_r_flip_forward_reconstruction;
+          Alcotest.test_case "x flip: rollback" `Quick test_x_flip_rollback;
+          Alcotest.test_case "x flip, no checkpoints: restart" `Quick
+            test_x_flip_restart_without_checkpoints;
+          Alcotest.test_case "p flip: verified despite invariance" `Quick
+            test_p_flip_stalls_then_restarts;
+          Alcotest.test_case "precond flip: healed" `Quick
+            test_precond_flip_healed;
+          Alcotest.test_case "unprotected silently wrong, protected not"
+            `Quick test_unprotected_is_silently_wrong;
+          Alcotest.test_case "random storms never silent" `Quick
+            test_storm_survives;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "cancellation" `Quick test_cancel_raises;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "Cholesky.Config snapshot_interval" `Quick
+            test_cholesky_config_rejects_negative_snapshot_interval;
+          Alcotest.test_case "solver plan fractions" `Quick
+            test_solver_plan_fraction_validation;
+          Alcotest.test_case "fire_solver targeting" `Quick
+            test_fire_solver_targets_and_pending;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_solve_roundtrip; prop_pcg_agrees_with_direct ] );
+    ]
