@@ -1,0 +1,114 @@
+(* Balance — static vs adaptive CPU/GPU splitting of the trailing
+   update.
+
+   Part 1 (clean machines) is a regression gate: with no faults the
+   adaptive balancer's efficiency estimates sit at their 1.0 fixpoint,
+   so the adaptive schedule must be bitwise identical to the static
+   one, and both must stay within a small band of the historical
+   GPU-only schedule (the split only pays off when the CPU has real
+   spare throughput).
+
+   Part 2 runs the canonical GPU storm (Machine_cli.storm_reliability)
+   and compares the three policies seed-by-seed: the adaptive policy
+   should shift rows off the misbehaving GPU and beat the frozen
+   split, and it reports how many re-splits and rejoins it took. *)
+
+module C = Cholesky
+
+let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+(* Quarantined GPUs get the half-open re-probe in the storm runs so
+   the rejoin path is part of what the comparison measures; the same
+   policy serves every mode, so balancing is the only variable. *)
+let storm_policy =
+  {
+    Hetsim.Resilient.default_policy with
+    Hetsim.Resilient.reprobe_after_s = 0.05;
+  }
+
+let run_mode ?balance ?policy ~machine ~seed n =
+  let cfg = C.Config.make ~machine ~scheme:(Abft.Scheme.enhanced ()) ?balance () in
+  C.Schedule.run ?policy ~fault_seed:seed cfg ~n
+
+let clean_part () =
+  Bench_util.header "Balance — clean machines (adaptive must match static)";
+  Format.printf "%-14s%14s%14s%14s%12s@." "machine" "off" "static" "adaptive"
+    "adapt=stat";
+  List.iter
+    (fun (machine, n) ->
+      let ms balance =
+        (run_mode ?balance ~machine ~seed:1 n).C.Schedule.makespan
+      in
+      let off = ms None in
+      let stat = ms (Some Hetsim.Load_balancer.Static) in
+      let adapt = ms (Some Hetsim.Load_balancer.Adaptive) in
+      let exact = Float.equal adapt stat in
+      Format.printf "%-14s%12.4f s%12.4f s%12.4f s%12b@."
+        machine.Hetsim.Machine.name off stat adapt exact;
+      Bench_util.record
+        ~name:(Printf.sprintf "clean/%s" machine.Hetsim.Machine.name)
+        ~size:n
+        [
+          ("makespan_off_s", off);
+          ("makespan_static_s", stat);
+          ("makespan_adaptive_s", adapt);
+          ("adaptive_equals_static", if exact then 1. else 0.);
+          ("static_vs_off_pct", (stat -. off) /. off *. 100.);
+        ])
+    Bench_util.machines
+
+let storm_part () =
+  Bench_util.header
+    "Balance — canonical GPU storm (rate 1.0), mean over seeds";
+  Format.printf "%-14s%14s%14s%14s%11s%10s%9s@." "machine" "off" "static"
+    "adaptive" "vs static" "resplits" "rejoins";
+  List.iter
+    (fun (machine, _) ->
+      let n = 10240 in
+      let m = Machine_cli.apply_device_faults ~rate:1.0 machine in
+      let runs balance =
+        List.map
+          (fun seed ->
+            run_mode ?balance ~policy:storm_policy ~machine:m ~seed n)
+          seeds
+      in
+      let mean f rs =
+        List.fold_left (fun a r -> a +. f r) 0. rs
+        /. float_of_int (List.length rs)
+      in
+      let ms = mean (fun r -> r.C.Schedule.makespan) in
+      let off = ms (runs None) in
+      let static_runs = runs (Some Hetsim.Load_balancer.Static) in
+      let stat = ms static_runs in
+      let adaptive_runs = runs (Some Hetsim.Load_balancer.Adaptive) in
+      let adapt = ms adaptive_runs in
+      let stat_of f =
+        mean (fun r -> float_of_int (f r.C.Schedule.resilience)) adaptive_runs
+      in
+      let resplits = stat_of (fun s -> s.Hetsim.Resilient.resplits) in
+      let rejoins = stat_of (fun s -> s.Hetsim.Resilient.rejoins) in
+      let speedup_pct = (stat -. adapt) /. stat *. 100. in
+      Format.printf "%-14s%12.4f s%12.4f s%12.4f s%+10.1f%%%10.1f%9.1f@."
+        machine.Hetsim.Machine.name off stat adapt speedup_pct resplits
+        rejoins;
+      Bench_util.record
+        ~name:(Printf.sprintf "storm/%s" machine.Hetsim.Machine.name)
+        ~size:n
+        [
+          ("makespan_off_s", off);
+          ("makespan_static_s", stat);
+          ("makespan_adaptive_s", adapt);
+          ("speedup_vs_static_pct", speedup_pct);
+          ("resplits", resplits);
+          ("rejoins", rejoins);
+        ])
+    Bench_util.machines;
+  Bench_util.note
+    "virtual time; storm rows averaged over %d seeds with half-open \
+     re-probing on for every mode. speedup > 0 means the adaptive split \
+     finished the storm faster than the frozen one."
+    (List.length seeds)
+
+let run () =
+  clean_part ();
+  storm_part ()

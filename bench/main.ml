@@ -33,6 +33,8 @@ let experiments =
      Bench_parallel.run);
     ("resilience", "Resilience — device-fault overhead of the failure-aware \
                     scheduler", Bench_resilience.run);
+    ("balance", "Balance — static vs adaptive CPU/GPU split under the GPU \
+                 storm", Bench_balance.run);
     ("throughput", "Throughput — serving layer offered-load sweep + fault \
                     storm", Bench_throughput.run);
     ("solver", "Solver — protected PCG overhead vs unprotected CG",

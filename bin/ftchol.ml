@@ -210,12 +210,15 @@ let factor_cmd =
 
 let simulate_cmd =
   let run machine n block scheme opt1 opt2 seed faults storage_fraction
-      device_faults device_seed trace_out show_gantt =
+      device_faults device_seed balance balance_interval trace_out show_gantt
+      =
     let machine =
       try Machine_cli.apply_device_faults ~rate:device_faults machine
       with Invalid_argument _ -> exit_err "--device-faults must be in [0,1]"
     in
+    if balance_interval < 1 then exit_err "--balance-interval must be >= 1";
     let cfg = make_cfg machine block scheme opt1 opt2 in
+    let cfg = { cfg with C.Config.balance; balance_interval } in
     let b = C.Config.block_size cfg in
     if n <= 0 || n mod b <> 0 then
       exit_err (Printf.sprintf "n=%d must be a positive multiple of B=%d" n b);
@@ -227,7 +230,7 @@ let simulate_cmd =
     in
     let r =
       try C.Schedule.run ~plan ~fault_seed:device_seed cfg ~n
-      with Hetsim.Resilient.Gave_up { resource; failure; attempts } ->
+      with Hetsim.Resilient.Gave_up { resource; failure; attempts; _ } ->
         Format.eprintf
           "ftchol: schedule gave up: %s on %s after %d attempts@."
           (Hetsim.Engine.failure_name failure)
@@ -268,6 +271,12 @@ let simulate_cmd =
         (if r.C.Schedule.degraded then " (DEGRADED to CPU)" else "");
       Format.printf "  %a@." Hetsim.Resilient.pp_stats r.C.Schedule.resilience
     end;
+    (match balance with
+    | None -> ()
+    | Some mode ->
+        Format.printf "trailing-update balance: %s, %d applied resplit(s)@."
+          (Hetsim.Load_balancer.mode_name mode)
+          r.C.Schedule.resilience.Hetsim.Resilient.resplits);
     if show_gantt then
       Format.printf "@.%s@." (Hetsim.Engine.gantt r.C.Schedule.engine);
     (match trace_out with
@@ -284,6 +293,7 @@ let simulate_cmd =
       const run $ machine_arg $ n_arg ~default:20480 $ block_arg $ scheme_arg
       $ opt1_arg $ opt2_arg $ seed_arg $ faults_arg $ storage_frac_arg
       $ Machine_cli.device_faults_arg $ Machine_cli.device_seed_arg
+      $ Machine_cli.balance_arg $ Machine_cli.balance_interval_arg
       $ Arg.(
           value
           & opt (some string) None

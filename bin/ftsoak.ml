@@ -11,7 +11,10 @@
    Exit-code contract (documented in EXPERIMENTS.md, relied on by CI):
      0 — every campaign completed without silent corruption
      1 — usage error (bad arguments / empty case matrix)
-     2 — infrastructure failure (unexpected exception while running)
+     2 — infrastructure failure (unexpected exception while running), or
+         — with --balance adaptive — the adaptive policy's summed
+         device-storm makespan exceeded the static split's by more than
+         the tolerance band
      3 — at least one campaign ended in SILENT CORRUPTION
    A structured give-up (ladder exhausted, or the resilient scheduler's
    CPU of last resort failed) is a *reported outcome*, not an exit
@@ -155,6 +158,15 @@ let verbose_arg =
     value & flag
     & info [ "verbose" ] ~doc:"Print a line per campaign as it runs.")
 
+let balance_arg = Machine_cli.balance_arg
+
+(* The adaptive-vs-static acceptance band for the balanced device-storm
+   leg. Fault draws diverge between the two schedules once the splits
+   differ, so individual campaigns are noisy; the band is judged on the
+   summed makespans over the whole soak, where the storm statistics
+   have averaged out. *)
+let balance_tolerance = 0.10
+
 (* ------------------------------------------------------------------ *)
 (* Case enumeration and execution                                      *)
 (* ------------------------------------------------------------------ *)
@@ -216,26 +228,69 @@ let enumerate ~campaigns ~seed ~families ~schemes ~grids ~pools ~block ~faults =
    detection, backoff retry, quarantine, CPU-fallback degradation)
    against the identical fault mix. Every 13th case makes the GPU drop
    out permanently mid-schedule. *)
-let device_storm_leg ~machine ~scheme ~obs (case : Campaign.case) =
+let device_storm_leg ~machine ~scheme ~balance ~obs (case : Campaign.case) =
   let dropout = case.Campaign.id mod 13 = 0 in
   let profile =
     Campaign.device_profile ~seed:case.Campaign.seed ~dropout
   in
   let m = Hetsim.Machine.with_reliability ~gpu:profile machine in
-  let cfg = C.Config.make ~machine:m ~block:case.Campaign.block ~scheme () in
   let n = case.Campaign.grid * case.Campaign.block in
-  (match
-     C.Schedule.run ~plan:case.Campaign.plan ~fault_seed:case.Campaign.seed
-       ~obs cfg ~n
-   with
-  | r -> (Campaign.device_counts_of_stats r.C.Schedule.resilience, None)
-  | exception Hetsim.Resilient.Gave_up { resource; failure; attempts } ->
-      ( Campaign.zero_device,
-        Some
-          (Printf.sprintf "device: %s on %s after %d attempts"
-             (Hetsim.Engine.failure_name failure)
-             (Hetsim.Engine.resource_name resource)
-             attempts) ))
+  (* when balancing is on, quarantined GPUs also get the half-open
+     re-probe so rejoin/re-split paths are exercised under the storm *)
+  let policy =
+    match balance with
+    | None -> Hetsim.Resilient.default_policy
+    | Some _ ->
+        { Hetsim.Resilient.default_policy with
+          Hetsim.Resilient.reprobe_after_s = 0.05 }
+  in
+  let attempt ?balance () =
+    let cfg =
+      C.Config.make ~machine:m ~block:case.Campaign.block ~scheme ?balance ()
+    in
+    match
+      C.Schedule.run ~plan:case.Campaign.plan ~policy
+        ~fault_seed:case.Campaign.seed ~obs cfg ~n
+    with
+    | r ->
+        ( Campaign.device_counts_of_stats r.C.Schedule.resilience,
+          None,
+          Some r.C.Schedule.makespan )
+    | exception
+        Hetsim.Resilient.Gave_up { resource; failure; attempts; stats } ->
+        (* the run died, but everything the driver counted up to that
+           point still happened — dropping it to zero_device made the
+           aggregate drift away from the sum of its campaigns *)
+        ( Campaign.device_counts_of_stats stats,
+          Some
+            (Printf.sprintf "device: %s on %s after %d attempts"
+               (Hetsim.Engine.failure_name failure)
+               (Hetsim.Engine.resource_name resource)
+               attempts),
+          None )
+  in
+  match balance with
+  | None ->
+      let counts, gave_up, _ = attempt () in
+      (counts, gave_up, None)
+  | Some Hetsim.Load_balancer.Static ->
+      let counts, gave_up, _ =
+        attempt ~balance:Hetsim.Load_balancer.Static ()
+      in
+      (counts, gave_up, None)
+  | Some Hetsim.Load_balancer.Adaptive ->
+      (* the acceptance comparison: the same storm scheduled with the
+         frozen split vs. the adaptive one *)
+      let counts, gave_up, adaptive_ms =
+        attempt ~balance:Hetsim.Load_balancer.Adaptive ()
+      in
+      let _, _, static_ms = attempt ~balance:Hetsim.Load_balancer.Static () in
+      let cmp =
+        match (adaptive_ms, static_ms) with
+        | Some a, Some s -> Some (a, s)
+        | _ -> None (* a leg gave up: nothing comparable this campaign *)
+      in
+      (counts, gave_up, cmp)
   [@abft.waive
     "the abandonment is accounted by value, not by a counter: the Some \
      failure line is returned to the harness, which records it in the \
@@ -317,7 +372,7 @@ let solver_leg ~obs (case : Campaign.case) =
   }
 
 let factor_leg ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
-    ~obs (case, scheme) =
+    ~balance ~obs (case, scheme) =
   let n = case.Campaign.grid * case.Campaign.block in
   let snap =
     if snapshot_interval >= 0 then snapshot_interval
@@ -332,14 +387,15 @@ let factor_leg ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
   let a = Matrix.Spd.random_spd ~seed:(case.Campaign.seed + 1) n in
   let report = C.Ft.factor ~pool ~obs ~plan:case.Campaign.plan cfg a in
   let st = report.C.Ft.stats in
-  let device, device_gave_up =
+  let device, device_gave_up, balance_cmp =
     match case.Campaign.family with
-    | Campaign.Device_storm -> device_storm_leg ~machine ~scheme ~obs case
+    | Campaign.Device_storm ->
+        device_storm_leg ~machine ~scheme ~balance ~obs case
     | Campaign.Mixed | Campaign.Burst | Campaign.Storage_heavy
     | Campaign.Compute_heavy | Campaign.Checksum_storm | Campaign.Anchor
     | Campaign.Solver_storm ->
         (* solver-storm cases never reach this leg *)
-        (Campaign.zero_device, None)
+        (Campaign.zero_device, None, None)
   in
   let outcome =
     match (report.C.Ft.outcome, device_gave_up) with
@@ -348,47 +404,49 @@ let factor_leg ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
     | C.Ft.Success, Some why -> Campaign.Gave_up why
     | C.Ft.Success, None -> Campaign.Success
   in
-  {
-    Campaign.case;
-    outcome;
-    residual = report.C.Ft.residual;
-    verifications = st.C.Ft.verifications;
-    corrections = st.C.Ft.corrections;
-    reconstructions = st.C.Ft.reconstructions;
-    checksum_repairs = st.C.Ft.checksum_repairs;
-    rollbacks = st.C.Ft.rollbacks;
-    snapshots = st.C.Ft.snapshots;
-    restarts = st.C.Ft.restarts;
-    fired = List.length report.C.Ft.injections_fired;
-    device;
-    solver = Campaign.zero_solver;
-    obs_metrics = [];
-  }
+  ( {
+      Campaign.case;
+      outcome;
+      residual = report.C.Ft.residual;
+      verifications = st.C.Ft.verifications;
+      corrections = st.C.Ft.corrections;
+      reconstructions = st.C.Ft.reconstructions;
+      checksum_repairs = st.C.Ft.checksum_repairs;
+      rollbacks = st.C.Ft.rollbacks;
+      snapshots = st.C.Ft.snapshots;
+      restarts = st.C.Ft.restarts;
+      fired = List.length report.C.Ft.injections_fired;
+      device;
+      solver = Campaign.zero_solver;
+      obs_metrics = [];
+    },
+    balance_cmp )
 
 (* Each traced campaign gets its own sink, so per-campaign totals are
    exact; the spans (absolute monotonic timestamps) are returned for
    the harness to merge into one whole-soak trace. *)
 let run_case ~machine ~pool ~snapshot_interval ~max_rollbacks ~max_restarts
-    ~traced ((case, _) as c) =
+    ~balance ~traced ((case, _) as c) =
   let obs = if traced then Obs.create () else Obs.null in
-  let result =
+  let result, balance_cmp =
     match case.Campaign.family with
-    | Campaign.Solver_storm -> solver_leg ~obs case
+    | Campaign.Solver_storm -> (solver_leg ~obs case, None)
     | Campaign.Mixed | Campaign.Burst | Campaign.Storage_heavy
     | Campaign.Compute_heavy | Campaign.Checksum_storm | Campaign.Anchor
     | Campaign.Device_storm ->
         factor_leg ~machine ~pool ~snapshot_interval ~max_rollbacks
-          ~max_restarts ~obs c
+          ~max_restarts ~balance ~obs c
   in
   ( {
       result with
       Campaign.obs_metrics = (if traced then Obs.metric_list obs else []);
     },
+    balance_cmp,
     if traced then Obs.spans obs else [] )
 
 let soak campaigns seed machine schemes grids block pools faults families
-    snapshot_interval max_rollbacks max_restarts json trace_out metrics_out
-    verbose =
+    snapshot_interval max_rollbacks max_restarts balance json trace_out
+    metrics_out verbose =
   let traced = trace_out <> None || metrics_out <> None in
   if campaigns < 1 then exit_err "--campaigns must be >= 1";
   if block < 2 then exit_err "--block must be >= 2";
@@ -409,15 +467,22 @@ let soak campaigns seed machine schemes grids block pools faults families
     fun d -> List.assoc d pairs
   in
   let all_spans = ref [] in
+  let balance_sums = ref (0., 0., 0) in
   let results =
     (try
        List.map
          (fun ((case, _) as c) ->
-           let r, spans =
+           let r, balance_cmp, spans =
              run_case ~machine
                ~pool:(pool_for case.Campaign.domains)
-               ~snapshot_interval ~max_rollbacks ~max_restarts ~traced c
+               ~snapshot_interval ~max_rollbacks ~max_restarts ~balance
+               ~traced c
            in
+           (match balance_cmp with
+           | None -> ()
+           | Some (adaptive_ms, static_ms) ->
+               let a, s, k = !balance_sums in
+               balance_sums := (a +. adaptive_ms, s +. static_ms, k + 1));
            all_spans := spans :: !all_spans;
            if verbose then
              Format.printf "%4d %-40s %-17s resid %.2e@." case.Campaign.id
@@ -477,20 +542,44 @@ let soak campaigns seed machine schemes grids block pools faults families
               results));
       close_out oc;
       Format.printf "metrics written to %s@." path);
+  let balance_violation =
+    let a, s, k = !balance_sums in
+    if k = 0 then None
+    else begin
+      Format.printf
+        "balanced device-storm: %d compared campaign(s), adaptive %.4fs vs \
+         static %.4fs (%+.1f%%)@."
+        k a s
+        (100. *. ((a /. s) -. 1.));
+      if a > s *. (1. +. balance_tolerance) then Some (a, s) else None
+    end
+  in
   if agg.Campaign.silent_corruptions > 0 then begin
     Format.eprintf "ftsoak: %d campaign(s) ended in SILENT CORRUPTION@."
       agg.Campaign.silent_corruptions;
     3
   end
-  else 0
+  else
+    match balance_violation with
+    | Some (a, s) ->
+        (* a harness-level acceptance failure, not a numeric one: the
+           adaptive policy made the storm slower than the frozen split
+           beyond the tolerance band *)
+        Format.eprintf
+          "ftsoak: adaptive balancing exceeded the static makespan band: \
+           %.4fs > %.4fs * %.2f@."
+          a s
+          (1. +. balance_tolerance);
+        2
+    | None -> 0
 
 let () =
   let term =
     Term.(
       const soak $ campaigns_arg $ seed_arg $ machine_arg $ schemes_arg
       $ grids_arg $ block_arg $ pools_arg $ faults_arg $ families_arg
-      $ snapshot_arg $ max_rollbacks_arg $ max_restarts_arg $ json_arg
-      $ trace_out_arg $ metrics_out_arg $ verbose_arg)
+      $ snapshot_arg $ max_rollbacks_arg $ max_restarts_arg $ balance_arg
+      $ json_arg $ trace_out_arg $ metrics_out_arg $ verbose_arg)
   in
   let doc =
     "seeded multi-fault soak campaigns through the Cholesky recovery ladder"

@@ -12,6 +12,8 @@ type t = {
   max_rollbacks : int;
   snapshot_interval : int;
   fused : bool;
+  balance : Hetsim.Load_balancer.mode option;
+  balance_interval : int;
 }
 
 let default =
@@ -27,12 +29,18 @@ let default =
     max_rollbacks = 2;
     snapshot_interval = 0;
     fused = true;
+    balance = None;
+    balance_interval =
+      Hetsim.Load_balancer.default_config.Hetsim.Load_balancer.update_interval;
   }
 
 let make ?(machine = Hetsim.Machine.tardis) ?(block = 0)
     ?(scheme = Abft.Scheme.enhanced ()) ?(opt1 = true) ?(opt2 = Auto)
     ?(recalc_streams = 0) ?(tol = Abft.Verify.default_tol) ?(max_restarts = 3)
-    ?(max_rollbacks = 2) ?(snapshot_interval = 0) ?(fused = true) () =
+    ?(max_rollbacks = 2) ?(snapshot_interval = 0) ?(fused = true) ?balance
+    ?(balance_interval =
+      Hetsim.Load_balancer.default_config.Hetsim.Load_balancer.update_interval)
+    () =
   if snapshot_interval < 0 then
     invalid_arg
       (Printf.sprintf
@@ -51,6 +59,8 @@ let make ?(machine = Hetsim.Machine.tardis) ?(block = 0)
     max_rollbacks;
     snapshot_interval;
     fused;
+    balance;
+    balance_interval;
   }
 
 let block_size t =
@@ -90,6 +100,7 @@ let validate t =
   else if t.max_restarts < 0 then Error "max_restarts must be >= 0"
   else if t.max_rollbacks < 0 then Error "max_rollbacks must be >= 0"
   else if t.snapshot_interval < 0 then Error "snapshot_interval must be >= 0"
+  else if t.balance_interval < 1 then Error "balance_interval must be >= 1"
   else Ok ()
 
 let placement_name = function
@@ -98,10 +109,30 @@ let placement_name = function
   | Gpu_stream -> "gpu-stream"
   | Cpu_offload -> "cpu"
 
+let balancer t =
+  match t.balance with
+  | None -> None
+  | Some mode ->
+      Some
+        (Hetsim.Load_balancer.create
+           ~config:
+             {
+               Hetsim.Load_balancer.default_config with
+               Hetsim.Load_balancer.mode;
+               update_interval = t.balance_interval;
+             }
+           t.machine)
+
+let balance_name t =
+  match t.balance with
+  | None -> "off"
+  | Some m -> Hetsim.Load_balancer.mode_name m
+
 let pp fmt t =
-  Format.fprintf fmt "%s B=%d scheme=%a opt1=%b opt2=%s streams=%d fused=%b"
+  Format.fprintf fmt
+    "%s B=%d scheme=%a opt1=%b opt2=%s streams=%d fused=%b balance=%s"
     t.machine.Hetsim.Machine.name (block_size t) Abft.Scheme.pp t.scheme
     t.opt1_concurrent_recalc
     (placement_name t.opt2_placement)
     (effective_recalc_streams t)
-    t.fused
+    t.fused (balance_name t)

@@ -41,12 +41,24 @@ type t = {
           results and detection coverage are identical (the chains are
           bitwise the same); only the pass structure changes. Default
           [true]; set [false] to measure the separate-pass baseline. *)
+  balance : Hetsim.Load_balancer.mode option;
+      (** CPU/GPU split of the trailing update (timing mode only):
+          [None] (default) keeps the historical GPU-only trailing
+          update, byte-identical to earlier versions; [Some Static]
+          splits once from {!Hetsim.Cost_model.gpu_share} and never
+          moves; [Some Adaptive] re-splits from observed per-device
+          efficiency, shifting work away from a faulting or
+          quarantined GPU. *)
+  balance_interval : int;
+      (** outer iterations between applied adaptive re-splits (>= 1);
+          forced events (quarantine, rejoin, dropout) bypass it *)
 }
 
 val default : t
 (** tardis, machine-default block, Enhanced (k = 1), both
     optimizations on, [Auto] placement, {!Abft.Verify.default_tol},
-    3 restarts, 2 rollbacks, snapshots disabled, fused kernels. *)
+    3 restarts, 2 rollbacks, snapshots disabled, fused kernels,
+    balancing off. *)
 
 val make :
   ?machine:Hetsim.Machine.t ->
@@ -60,6 +72,8 @@ val make :
   ?max_rollbacks:int ->
   ?snapshot_interval:int ->
   ?fused:bool ->
+  ?balance:Hetsim.Load_balancer.mode ->
+  ?balance_interval:int ->
   unit ->
   t
 (** @raise Invalid_argument if [snapshot_interval] is negative (0 is
@@ -83,6 +97,11 @@ val divisor_block : ?target:int -> int -> int
     (default 64) — the convenient tile size for numeric-mode runs on
     workload-determined matrix orders. @raise Invalid_argument if
     [n <= 0]. *)
+
+val balancer : t -> Hetsim.Load_balancer.t option
+(** A fresh balancer per {!balance}/{!t.balance_interval} over the
+    configured machine, [None] when balancing is off. Each schedule
+    run must create its own — balancer state is per-run. *)
 
 val validate : t -> (unit, string) result
 

@@ -45,6 +45,10 @@ type pass_state = {
   cfg : Config.t;
   eng : Engine.t;
   res : Resilient.t;
+  bal : Load_balancer.t option;
+      (* trailing-update split policy; None = historical GPU-only
+         trailing update, byte-identical schedule *)
+  obs : Obs.t;
   g : int;
   b : int;
   d : int;
@@ -65,6 +69,13 @@ type pass_state = {
       (* the rest of TRSM(j-1)'s panel — needed from iteration j+1 on *)
   mutable degraded_emitted : bool;
       (* the Degraded trace op is recorded once per pass *)
+  mutable prev_trsm : Engine.event;
+      (* completion of the previous iteration's whole panel solve —
+         the producer of the pivot row the CPU slice reads *)
+  mutable cpu_owned : int;
+      (* bottom block-rows of the trailing set currently host-resident
+         under a balanced split; ownership changes are charged as
+         migration transfers *)
 }
 
 let emit st op = st.trace <- op :: st.trace
@@ -147,8 +158,68 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
   st.lc_hist <- Engine.ready;
   st.lc_last_priority <- Engine.ready;
   st.lc_last_bulk <- Engine.ready;
+  st.prev_trsm <- Engine.ready;
+  st.cpu_owned <- 0;
   for j = 0 to g - 1 do
     emit st (Trace_op.Iteration_start j);
+    (* ---- trailing-update split (load balancer) ---- *)
+    let trail = g - 1 - j in
+    let split =
+      match st.bal with
+      | None -> None
+      | Some bal ->
+          let kernel =
+            if Sets.gemm_exists ~grid:g ~j then
+              Kernel.Gemm { m = trail * b; n = b; k = j * b }
+            else Kernel.Trsm { order = b; nrhs = trail * b }
+          in
+          let s = Load_balancer.tick bal ~kernel ~rows:trail in
+          Obs.observe st.obs "balance.gpu_share" s.Load_balancer.share;
+          if s.Load_balancer.resplit then begin
+            Obs.incr st.obs "balance.resplits";
+            emit st
+              (Trace_op.Rebalance
+                 {
+                   j;
+                   gpu_rows = s.Load_balancer.gpu_rows;
+                   cpu_rows = s.Load_balancer.cpu_rows;
+                 })
+          end;
+          Some s
+    in
+    let cpu_rows =
+      match split with None -> 0 | Some s -> s.Load_balancer.cpu_rows
+    in
+    (* Ownership migration: a block-row changing sides carries its
+       current row state — the j factored panel blocks plus the live
+       trailing tile — over the link once, after the solve that last
+       touched it. Rows that stay put pay nothing. *)
+    let migrate_ev =
+      match split with
+      | None -> Engine.ready
+      | Some _ ->
+          let owned = min st.cpu_owned trail in
+          let delta = cpu_rows - owned in
+          st.cpu_owned <- cpu_rows;
+          if delta = 0 then Engine.ready
+          else begin
+            Obs.incr st.obs
+              ~by:(float_of_int (abs delta))
+              "balance.migrated_rows";
+            let bytes = abs delta * (j + 1) * block_bytes in
+            let dir = if delta > 0 then `D2h else `H2d in
+            Resilient.transfer res ~deps:[ st.prev_trsm ] ~phase:"balance" ~dir
+              bytes
+          end
+    in
+    (* The CPU slice multiplies against the pivot row L(j, 0..j-1),
+       produced device-side by the previous iteration's panel solve. *)
+    let pivot_ev =
+      if cpu_rows > 0 && j > 0 then
+        Resilient.transfer res ~deps:[ st.prev_trsm ] ~phase:"balance"
+          ~dir:`D2h (j * block_bytes)
+      else Engine.ready
+    in
     let gate = Sets.k_gate ~k:kk ~j in
     let chk_updates = ref [] in
     (* Verification compares against stored checksums, so each verify
@@ -221,10 +292,24 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
               (Sets.pre_gemm ~grid:g ~j)
           else Engine.ready
         in
-        let rows = (g - 1 - j) * b in
+        let gpu_rows = trail - cpu_rows in
+        let gemm_gpu =
+          if gpu_rows > 0 then
+            Resilient.submit res ~deps:[ pre ] ~phase:"compute" Engine.Gpu
+              (Kernel.Gemm { m = gpu_rows * b; n = b; k = j * b })
+          else Engine.ready
+        in
+        let gemm_cpu =
+          if cpu_rows > 0 then
+            Resilient.submit res
+              ~deps:[ pre; pivot_ev; migrate_ev ]
+              ~phase:"compute" Engine.Cpu
+              (Kernel.Gemm { m = cpu_rows * b; n = b; k = j * b })
+          else Engine.ready
+        in
         let ev =
-          Resilient.submit res ~deps:[ pre ] ~phase:"compute" Engine.Gpu
-            (Kernel.Gemm { m = rows; n = b; k = j * b })
+          if cpu_rows = 0 then gemm_gpu
+          else Engine.join eng [ gemm_gpu; gemm_cpu ]
         in
         emit st (Trace_op.Gemm j);
         let gemm_chk =
@@ -245,11 +330,11 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
             (verify st ~j ~point:Trace_op.Post_gemm
                ~deps:[ ev; gemm_chk; prior_chk ]
                (Sets.post_gemm ~grid:g ~j));
-        (ev, gemm_chk)
+        (ev, gemm_chk, gemm_gpu, gemm_cpu)
       end
-      else (Engine.ready, Engine.ready)
+      else (Engine.ready, Engine.ready, Engine.ready, Engine.ready)
     in
-    let gemm_ev, gemm_chk_ev = gemm_ev in
+    let gemm_ev, gemm_chk_ev, gemm_gpu_ev, gemm_cpu_ev = gemm_ev in
     (* ---- POTF2 on the CPU, overlapping the GEMM ---- *)
     let potf2_ev =
       Resilient.submit res ~deps:[ d2h_ev ] ~phase:"compute" Engine.Cpu
@@ -289,11 +374,33 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
         else Engine.ready
       in
       let ev =
-        Resilient.submit res
-          ~deps:[ h2d_ev; gemm_ev; pre ]
-          ~phase:"compute" Engine.Gpu
-          (Kernel.Trsm { order = b; nrhs = (g - 1 - j) * b })
+        if cpu_rows = 0 then
+          Resilient.submit res
+            ~deps:[ h2d_ev; gemm_ev; pre ]
+            ~phase:"compute" Engine.Gpu
+            (Kernel.Trsm { order = b; nrhs = (g - 1 - j) * b })
+        else begin
+          (* each side solves exactly the rows whose update it owns;
+             the CPU side reads the factored diagonal straight from
+             POTF2's host-resident output, no h2d round-trip *)
+          let gpu_part =
+            if trail - cpu_rows > 0 then
+              Resilient.submit res
+                ~deps:[ h2d_ev; gemm_gpu_ev; pre ]
+                ~phase:"compute" Engine.Gpu
+                (Kernel.Trsm { order = b; nrhs = (trail - cpu_rows) * b })
+            else Engine.ready
+          in
+          let cpu_part =
+            Resilient.submit res
+              ~deps:[ potf2_ev; gemm_cpu_ev; pre; migrate_ev ]
+              ~phase:"compute" Engine.Cpu
+              (Kernel.Trsm { order = b; nrhs = cpu_rows * b })
+          in
+          Engine.join eng [ gpu_part; cpu_part ]
+        end
       in
+      st.prev_trsm <- ev;
       emit st (Trace_op.Trsm j);
       if with_ft && st.placement = Config.Cpu_offload then begin
         (* stream the freshly factored panel to the host (§VI 6b),
@@ -370,12 +477,15 @@ let run ?pool:_ ?(plan = []) ?(d = 2) ?policy ?(fault_seed = 0) ?obs cfg ~n =
     if with_ft then Config.resolve_placement cfg ~n else Config.Gpu_inline
   in
   let eng = Engine.create ~seed:fault_seed cfg.Config.machine in
-  let res = Resilient.create ?policy ~seed:fault_seed ?obs eng in
+  let bal = Config.balancer cfg in
+  let res = Resilient.create ?policy ?balancer:bal ~seed:fault_seed ?obs eng in
   let st =
     {
       cfg;
       eng;
       res;
+      bal;
+      obs = Option.value obs ~default:Obs.null;
       g = n / b;
       b;
       d;
@@ -387,6 +497,8 @@ let run ?pool:_ ?(plan = []) ?(d = 2) ?policy ?(fault_seed = 0) ?obs cfg ~n =
       lc_last_priority = Engine.ready;
       lc_last_bulk = Engine.ready;
       degraded_emitted = false;
+      prev_trsm = Engine.ready;
+      cpu_owned = 0;
     }
   in
   run_pass st ~with_ft ~enhanced ~online ~offline ~kk;

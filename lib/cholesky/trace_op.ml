@@ -28,6 +28,7 @@ type t =
   | Rollback of int
   | Restart
   | Degraded of int
+  | Rebalance of { j : int; gpu_rows : int; cpu_rows : int }
 
 let equal a b = a = b
 
@@ -74,6 +75,8 @@ let pp fmt = function
   | Rollback j -> Format.fprintf fmt "rollback %d" j
   | Restart -> Format.pp_print_string fmt "restart"
   | Degraded j -> Format.fprintf fmt "degraded %d" j
+  | Rebalance { j; gpu_rows; cpu_rows } ->
+      Format.fprintf fmt "rebalance %d gpu=%d cpu=%d" j gpu_rows cpu_rows
 
 let pp_trace fmt ops =
   Format.fprintf fmt "@[<v>%a@]"

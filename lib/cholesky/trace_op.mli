@@ -53,6 +53,12 @@ type t =
           CPU. Timing-mode only, and only on machines with a
           non-trivial {!Hetsim.Device.reliability} profile, so
           clean-run traces stay comparable across modes. *)
+  | Rebalance of { j : int; gpu_rows : int; cpu_rows : int }
+      (** the load balancer applied a changed CPU/GPU split of the
+          trailing update at iteration [j]: the [gpu_rows]/[cpu_rows]
+          block-row cut it moved to. Timing-mode only, and only with
+          [Config.balance] set; a clean adaptive run applies no change
+          and emits none, so clean traces stay comparable. *)
 
 val equal : t list -> t list -> bool
 

@@ -153,6 +153,7 @@ let device_profile ~seed ~dropout =
          unchanged by the flag *)
       (let t = range 0.005 0.05 in
        if dropout then t else infinity);
+    faults_until_s = infinity;
   }
 
 type case = {
@@ -185,6 +186,9 @@ type device_counts = {
   quarantines_d : int;  (** 1 if the GPU was quarantined *)
   fallbacks_d : int;  (** operations re-planned onto the CPU *)
   losses_d : int;  (** 1 if a device dropped out permanently *)
+  reprobes_d : int;  (** half-open probes of a quarantined GPU *)
+  rejoins_d : int;  (** quarantines lifted after successful probes *)
+  resplits_d : int;  (** applied load-balancer split changes *)
 }
 
 let zero_device =
@@ -196,6 +200,9 @@ let zero_device =
     quarantines_d = 0;
     fallbacks_d = 0;
     losses_d = 0;
+    reprobes_d = 0;
+    rejoins_d = 0;
+    resplits_d = 0;
   }
 
 (* Solver-side ladder counters for one campaign, distilled from the
@@ -240,6 +247,9 @@ let device_counts_of_stats (s : Hetsim.Resilient.stats) =
     quarantines_d = hit cq + hit gq;
     fallbacks_d = s.Hetsim.Resilient.degraded_ops;
     losses_d = hit cl + hit gl;
+    reprobes_d = s.Hetsim.Resilient.reprobes;
+    rejoins_d = s.Hetsim.Resilient.rejoins;
+    resplits_d = s.Hetsim.Resilient.resplits;
   }
 
 type run_result = {
@@ -327,6 +337,9 @@ let aggregate results =
       quarantines_d = t.quarantines_d + r.device.quarantines_d;
       fallbacks_d = t.fallbacks_d + r.device.fallbacks_d;
       losses_d = t.losses_d + r.device.losses_d;
+      reprobes_d = t.reprobes_d + r.device.reprobes_d;
+      rejoins_d = t.rejoins_d + r.device.rejoins_d;
+      resplits_d = t.resplits_d + r.device.resplits_d;
     }
   in
   let hit_dev t r =
@@ -339,6 +352,9 @@ let aggregate results =
       quarantines_d = t.quarantines_d + b r.device.quarantines_d;
       fallbacks_d = t.fallbacks_d + b r.device.fallbacks_d;
       losses_d = t.losses_d + b r.device.losses_d;
+      reprobes_d = t.reprobes_d + b r.device.reprobes_d;
+      rejoins_d = t.rejoins_d + b r.device.rejoins_d;
+      resplits_d = t.resplits_d + b r.device.resplits_d;
     }
   in
   let add_sol t r =
@@ -405,6 +421,11 @@ let aggregate results =
      the aggregate "solver_totals" / "solver_campaigns" objects for
      the solver-storm family. Strictly additive: factorization-only
      reports carry zeros in the new fields.
+   - 5: adds the half-open re-probe / adaptive-balance counters
+     (device_reprobes, device_rejoins, resplits) to the per-campaign
+     metrics and "reprobes"/"rejoins"/"resplits" to the device_totals
+     and device_campaigns objects. Strictly additive: balance-off
+     runs with re-probing disabled carry zeros in the new fields.
 
    String escaping and float formatting come from [Obs.Json] — the one
    shared implementation (also used by bench_util and the engine's
@@ -435,6 +456,9 @@ let result_metrics r =
     ("quarantines", float_of_int r.device.quarantines_d);
     ("cpu_fallbacks", float_of_int r.device.fallbacks_d);
     ("device_losses", float_of_int r.device.losses_d);
+    ("device_reprobes", float_of_int r.device.reprobes_d);
+    ("device_rejoins", float_of_int r.device.rejoins_d);
+    ("resplits", float_of_int r.device.resplits_d);
     ("solver_iterations", float_of_int r.solver.iterations_s);
     ("solver_verifications", float_of_int r.solver.verifications_s);
     ("solver_detections", float_of_int r.solver.detections_s);
@@ -468,15 +492,16 @@ let device_fields t =
   Printf.sprintf
     "\"retries\": %d, \"transients\": %d, \"hangs\": %d, \
      \"corrupted_transfers\": %d, \"quarantines\": %d, \
-     \"cpu_fallbacks\": %d, \"device_losses\": %d"
+     \"cpu_fallbacks\": %d, \"device_losses\": %d, \"reprobes\": %d, \
+     \"rejoins\": %d, \"resplits\": %d"
     t.retries_d t.transients_d t.hangs_d t.corrupted_d t.quarantines_d
-    t.fallbacks_d t.losses_d
+    t.fallbacks_d t.losses_d t.reprobes_d t.rejoins_d t.resplits_d
 
 let to_json ~seed results =
   let agg = aggregate results in
   let b = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  out "{\n  \"schema_version\": 4,\n  \"results\": [";
+  out "{\n  \"schema_version\": 5,\n  \"results\": [";
   List.iteri
     (fun i r ->
       out "%s\n    { \"experiment\": \"ftsoak\", \"name\": \"%s\", \
@@ -526,15 +551,19 @@ let pp_aggregate fmt agg =
   if agg.device_totals <> zero_device then
     Format.fprintf fmt
       "@.@[<v>device events: retries %d, transients %d, hangs %d, corrupted \
-       transfers %d, quarantines %d, cpu fallbacks %d, losses %d@,campaigns \
-       touching each device mechanism: %d / %d / %d / %d / %d / %d / %d@]"
+       transfers %d, quarantines %d, cpu fallbacks %d, losses %d, reprobes \
+       %d, rejoins %d, resplits %d@,campaigns touching each device \
+       mechanism: %d / %d / %d / %d / %d / %d / %d / %d / %d / %d@]"
       agg.device_totals.retries_d agg.device_totals.transients_d
       agg.device_totals.hangs_d agg.device_totals.corrupted_d
       agg.device_totals.quarantines_d agg.device_totals.fallbacks_d
-      agg.device_totals.losses_d agg.device_campaigns.retries_d
-      agg.device_campaigns.transients_d agg.device_campaigns.hangs_d
-      agg.device_campaigns.corrupted_d agg.device_campaigns.quarantines_d
-      agg.device_campaigns.fallbacks_d agg.device_campaigns.losses_d;
+      agg.device_totals.losses_d agg.device_totals.reprobes_d
+      agg.device_totals.rejoins_d agg.device_totals.resplits_d
+      agg.device_campaigns.retries_d agg.device_campaigns.transients_d
+      agg.device_campaigns.hangs_d agg.device_campaigns.corrupted_d
+      agg.device_campaigns.quarantines_d agg.device_campaigns.fallbacks_d
+      agg.device_campaigns.losses_d agg.device_campaigns.reprobes_d
+      agg.device_campaigns.rejoins_d agg.device_campaigns.resplits_d;
   if agg.solver_totals <> zero_solver then
     Format.fprintf fmt
       "@.@[<v>solver events: iterations %d, verifications %d, detections %d, \

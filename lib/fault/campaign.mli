@@ -83,6 +83,9 @@ type device_counts = {
   quarantines_d : int;  (** 1 if the GPU was quarantined *)
   fallbacks_d : int;  (** operations re-planned onto the CPU *)
   losses_d : int;  (** 1 if a device dropped out permanently *)
+  reprobes_d : int;  (** half-open probes of a quarantined GPU *)
+  rejoins_d : int;  (** quarantines lifted after successful probes *)
+  resplits_d : int;  (** applied load-balancer split changes *)
 }
 
 val zero_device : device_counts
@@ -167,7 +170,7 @@ val case_name : case -> string
 (** ["family/scheme/g<grid>-b<block>-p<domains>/seed<seed>"]. *)
 
 val to_json : seed:int -> run_result list -> string
-(** Full report: bench-style [schema_version 4] sink with one result
+(** Full report: bench-style [schema_version 5] sink with one result
     row per campaign (experiment ["ftsoak"], size = matrix order) plus
     an ["aggregate"] object carrying the outcome histogram, per-rung
     totals, campaign-level rung coverage, device-resilience totals and
@@ -177,7 +180,10 @@ val to_json : seed:int -> run_result list -> string
     strict superset of the one before: 2 added the per-campaign device
     metrics and the two aggregate device objects; 3 added each
     campaign's [obs_metrics] pairs to its metrics object when the soak
-    runs traced; 4 adds the per-campaign solver metrics and the two
-    aggregate solver objects (all-zero outside solver-storm). *)
+    runs traced; 4 added the per-campaign solver metrics and the two
+    aggregate solver objects (all-zero outside solver-storm); 5 adds
+    the half-open re-probe / rejoin / load-balancer resplit device
+    counters to both the per-campaign metrics and the aggregate
+    device objects. *)
 
 val pp_aggregate : Format.formatter -> aggregate -> unit

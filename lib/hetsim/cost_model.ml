@@ -42,6 +42,15 @@ let batch_duration (d : Device.t) ~streams kernels =
     +. (float_of_int m *. d.kernel_launch_overhead_s /. float_of_int width)
   end
 
+(* Model-predicted GPU share of a row-splittable kernel: the fraction
+   of rows the GPU should own so both devices finish together when each
+   processes its rows at the full-kernel rate. With per-row times
+   proportional to total durations, share = t_cpu / (t_cpu + t_gpu). *)
+let gpu_share (m : Machine.t) kernel =
+  let tc = duration m.Machine.cpu kernel in
+  let tg = duration m.Machine.gpu kernel in
+  if tc +. tg <= 0. then 0.5 else tc /. (tc +. tg)
+
 let background_duration (d : Device.t) kernel =
   let frac = Float.max 1e-3 d.spare_stream_fraction in
   match Kernel.shape kernel with

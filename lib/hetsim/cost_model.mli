@@ -29,6 +29,14 @@ val batch_duration : Device.t -> streams:int -> Kernel.t list -> float
     [Invalid_argument] — only checksum recalculation is batched in this
     system. *)
 
+val gpu_share : Machine.t -> Kernel.t -> float
+(** [gpu_share m k] is the model-predicted fraction of [k]'s rows the
+    GPU should own so CPU and GPU finish their row slices together,
+    assuming per-row time proportional to the whole-kernel
+    {!duration} on each device: [tc / (tc + tg)]. In (0,1) for any
+    machine with both devices; [0.5] for a degenerate zero-cost
+    kernel. The static seed of the adaptive load balancer. *)
+
 val background_duration : Device.t -> Kernel.t -> float
 (** Duration of a kernel running on a spare/background stream while the
     main stream is busy: the kernel sees only

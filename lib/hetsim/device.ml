@@ -6,6 +6,7 @@ type reliability = {
   hang_timeout_s : float;
   transfer_corruption_rate : float;
   dropout_after_s : float;
+  faults_until_s : float;
 }
 
 let reliable =
@@ -15,12 +16,14 @@ let reliable =
     hang_timeout_s = 1.0;
     transfer_corruption_rate = 0.;
     dropout_after_s = infinity;
+    faults_until_s = infinity;
   }
 
 let is_reliable r =
-  r.transient_fault_rate <= 0.
-  && r.hang_rate <= 0.
-  && r.transfer_corruption_rate <= 0.
+  (r.transient_fault_rate <= 0.
+   && r.hang_rate <= 0.
+   && r.transfer_corruption_rate <= 0.
+  || r.faults_until_s <= 0.)
   && not (Float.is_finite r.dropout_after_s)
 
 type t = {
@@ -82,8 +85,13 @@ let validate d =
   let* () = frac "hang_rate" r.hang_rate in
   let* () = frac "transfer_corruption_rate" r.transfer_corruption_rate in
   let* () = pos "hang_timeout_s" r.hang_timeout_s in
-  if r.dropout_after_s <= 0. then
-    Error (d.name ^ ": dropout_after_s must be positive (infinity = never)")
+  let* () =
+    if r.dropout_after_s <= 0. then
+      Error (d.name ^ ": dropout_after_s must be positive (infinity = never)")
+    else Ok ()
+  in
+  if r.faults_until_s < 0. || Float.is_nan r.faults_until_s then
+    Error (d.name ^ ": faults_until_s must be >= 0 (infinity = never heals)")
   else Ok ()
 
 let pp fmt d =

@@ -31,6 +31,12 @@ type reliability = {
   dropout_after_s : float;
       (** virtual time after which the device is permanently lost;
           [infinity] = never *)
+  faults_until_s : float;
+      (** virtual time after which the fault window closes: kernels
+          and transfers starting at or after this time behave reliably
+          and draw no randomness. Models a transiently-unhealthy device
+          (thermal excursion, flaky driver) that heals mid-run;
+          [infinity] = faults persist for the whole run *)
 }
 
 val reliable : reliability

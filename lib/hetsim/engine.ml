@@ -139,6 +139,11 @@ let faulty_run t ?stream ~deps ~phase ~label resource dur : outcome =
           schedule t ?stream ~deps ~phase ~label:("lost " ^ label) resource 0.
         )
     end
+    else if start >= rel.Device.faults_until_s then
+      (* the fault window has closed: the device has healed, so this
+         attempt runs clean and draws no randomness — later operations
+         stay on the same draw sequence as if the device were reliable *)
+      Completed (schedule t ?stream ~deps ~phase ~label resource dur)
     else begin
       let u_hang = Random.State.float t.rng 1. in
       let u_fault = Random.State.float t.rng 1. in
@@ -184,12 +189,18 @@ let submit_background t ?(deps = []) ?(phase = "compute") kernel : event =
   let dur = Cost_model.background_duration t.machine.Machine.gpu kernel in
   schedule t ~deps ~phase ~label:("bg " ^ Kernel.label kernel) Gpu_spare dur
 
-let transfer t ?(deps = []) ?(phase = "transfer") ~dir bytes : event =
+let transfer_label ?label ~dir bytes =
+  match label with
+  | Some l -> l
+  | None ->
+      Printf.sprintf "%s %dB"
+        (match dir with `H2d -> "h2d" | `D2h -> "d2h")
+        bytes
+
+let transfer t ?(deps = []) ?(phase = "transfer") ?label ~dir bytes : event =
   let resource = match dir with `H2d -> Link_h2d | `D2h -> Link_d2h in
   let dur = Machine.transfer_time t.machine ~bytes in
-  let label =
-    Printf.sprintf "%s %dB" (match dir with `H2d -> "h2d" | `D2h -> "d2h") bytes
-  in
+  let label = transfer_label ?label ~dir bytes in
   schedule t ~deps ~phase ~label resource dur
 
 let submit_result t ?stream ?(deps = []) ?(phase = "compute") resource kernel :
@@ -228,13 +239,12 @@ let submit_batch_result t ?(deps = []) ?(phase = "compute") ~streams kernels :
    its full, normal time — the copy "succeeds" and only the payload is
    wrong, which is exactly why it must flow into the ABFT verify path
    rather than being retried here. *)
-let transfer_result t ?(deps = []) ?(phase = "transfer") ~dir bytes : outcome =
+let transfer_result t ?(deps = []) ?(phase = "transfer") ?label ~dir bytes :
+    outcome =
   let resource = match dir with `H2d -> Link_h2d | `D2h -> Link_d2h in
   let rel = t.machine.Machine.gpu.Device.reliability in
   let dur = Machine.transfer_time t.machine ~bytes in
-  let label =
-    Printf.sprintf "%s %dB" (match dir with `H2d -> "h2d" | `D2h -> "d2h") bytes
-  in
+  let label = transfer_label ?label ~dir bytes in
   if Device.is_reliable rel && not t.gpu_lost then
     Completed (schedule t ~deps ~phase ~label resource dur)
   else begin
@@ -244,6 +254,8 @@ let transfer_result t ?(deps = []) ?(phase = "transfer") ~dir bytes : outcome =
       Failed
         (Device_lost, schedule t ~deps ~phase ~label:("lost " ^ label) resource 0.)
     end
+    else if start >= rel.Device.faults_until_s then
+      Completed (schedule t ~deps ~phase ~label resource dur)
     else begin
       let u = Random.State.float t.rng 1. in
       let ev = schedule t ~deps ~phase ~label resource dur in
@@ -288,6 +300,9 @@ let phases t =
 
 let op_count t = t.count
 let records t = List.rev t.ops
+
+let last_duration t =
+  match t.ops with [] -> 0. | r :: _ -> r.finish -. r.start
 
 let resource_name = function
   | Cpu -> "cpu"

@@ -100,8 +100,18 @@ val submit_background : t -> ?deps:event list -> ?phase:string -> Kernel.t -> ev
     {!Cost_model.background_duration} (Optimization 2, GPU placement). *)
 
 val transfer :
-  t -> ?deps:event list -> ?phase:string -> dir:[ `H2d | `D2h ] -> int -> event
-(** [transfer t ~dir bytes] schedules a PCIe copy. *)
+  t ->
+  ?deps:event list ->
+  ?phase:string ->
+  ?label:string ->
+  dir:[ `H2d | `D2h ] ->
+  int ->
+  event
+(** [transfer t ~dir bytes] schedules a PCIe copy. [label] overrides
+    the default ["h2d <bytes>B"]-style record label — drivers use it to
+    tag which logical payload (e.g. which LC panel row) a copy carries,
+    so tests can enumerate shipped data sets from {!records}. Labels
+    never affect timing. *)
 
 (** {1 Failure-aware submission}
 
@@ -130,7 +140,13 @@ val submit_batch_result :
     operation (one draw pair for the whole batch). *)
 
 val transfer_result :
-  t -> ?deps:event list -> ?phase:string -> dir:[ `H2d | `D2h ] -> int -> outcome
+  t ->
+  ?deps:event list ->
+  ?phase:string ->
+  ?label:string ->
+  dir:[ `H2d | `D2h ] ->
+  int ->
+  outcome
 (** Failure-aware {!transfer}. Corruption probability comes from the
     GPU endpoint's [transfer_corruption_rate]; a corrupted transfer is
     charged its full normal duration ([Failed (Corrupted_transfer, e)]
@@ -168,6 +184,13 @@ val phases : t -> (string * float) list
 (** All phases with their summed durations, largest first. *)
 
 val op_count : t -> int
+
+val last_duration : t -> float
+(** Duration (seconds) of the most recently issued operation, 0 before
+    any operation. The load balancer samples this right after a
+    failure-aware submission to learn what an attempt actually charged
+    (full kernel time for a transient fault, the watchdog deadline for
+    a hang, zero for an instant dropout). *)
 
 type binding =
   | Bound_by_deps  (** waited on its dependencies *)

@@ -1,0 +1,203 @@
+type mode = Static | Adaptive
+
+type config = {
+  mode : mode;
+  update_interval : int;
+  ewma_alpha : float;
+  hysteresis : float;
+  probe_share : float;
+  min_gpu_share : float;
+  max_gpu_share : float;
+}
+
+let default_config =
+  {
+    mode = Adaptive;
+    update_interval = 4;
+    ewma_alpha = 0.25;
+    hysteresis = 0.05;
+    probe_share = 1.0;
+    min_gpu_share = 0.;
+    max_gpu_share = 1.;
+  }
+
+let static_config = { default_config with mode = Static }
+
+type t = {
+  cfg : config;
+  machine : Machine.t;
+  mutable e_cpu : float;  (* observed efficiency, EWMA over tick windows *)
+  mutable e_gpu : float;
+  mutable a_cpu : float;  (* applied efficiency, lags by hysteresis *)
+  mutable a_gpu : float;
+  (* per-device useful/wasted seconds accumulated since the last tick.
+     Folding a whole window into one EWMA sample weights the estimate
+     by *time*, not by kernel count: a storm of tiny checksum kernels,
+     each losing a fixed backoff, would otherwise drown out the big
+     trailing GEMMs whose throughput is what the split is actually
+     balancing. *)
+  mutable pend_useful_cpu : float;
+  mutable pend_wasted_cpu : float;
+  mutable pend_useful_gpu : float;
+  mutable pend_wasted_gpu : float;
+  mutable gpu_ok : bool;
+  mutable iter : int;
+  mutable forced : bool;
+  mutable resplits : int;
+}
+
+let validate_config c =
+  let frac name v =
+    if v < 0. || v > 1. || Float.is_nan v then
+      invalid_arg (Printf.sprintf "Load_balancer: %s out of [0,1]" name)
+  in
+  if c.update_interval < 1 then
+    invalid_arg "Load_balancer: update_interval must be >= 1";
+  if c.ewma_alpha <= 0. || c.ewma_alpha > 1. then
+    invalid_arg "Load_balancer: ewma_alpha out of (0,1]";
+  frac "hysteresis" c.hysteresis;
+  frac "probe_share" c.probe_share;
+  frac "min_gpu_share" c.min_gpu_share;
+  frac "max_gpu_share" c.max_gpu_share;
+  if c.min_gpu_share > c.max_gpu_share then
+    invalid_arg "Load_balancer: min_gpu_share > max_gpu_share"
+
+let create ?(config = default_config) machine =
+  validate_config config;
+  {
+    cfg = config;
+    machine;
+    e_cpu = 1.0;
+    e_gpu = 1.0;
+    a_cpu = 1.0;
+    a_gpu = 1.0;
+    pend_useful_cpu = 0.;
+    pend_wasted_cpu = 0.;
+    pend_useful_gpu = 0.;
+    pend_wasted_gpu = 0.;
+    gpu_ok = true;
+    iter = 0;
+    forced = false;
+    resplits = 0;
+  }
+
+let config t = t.cfg
+
+let observe t resource ~useful_s ~wasted_s =
+  match t.cfg.mode with
+  | Static -> ()
+  | Adaptive -> (
+      match resource with
+      | Engine.Cpu ->
+          t.pend_useful_cpu <- t.pend_useful_cpu +. useful_s;
+          t.pend_wasted_cpu <- t.pend_wasted_cpu +. wasted_s
+      | Engine.Gpu | Engine.Gpu_spare ->
+          t.pend_useful_gpu <- t.pend_useful_gpu +. useful_s;
+          t.pend_wasted_gpu <- t.pend_wasted_gpu +. wasted_s
+      | Engine.Link_h2d | Engine.Link_d2h -> ())
+
+(* Fold the pending window into the EWMA (once per tick). A window with
+   no wasted time yields the exact sample 1.0, so a clean run keeps the
+   estimates at their 1.0 fixpoint bit-for-bit. *)
+let drain_window t =
+  let blend old sample =
+    ((1. -. t.cfg.ewma_alpha) *. old) +. (t.cfg.ewma_alpha *. sample)
+  in
+  let cpu_total = t.pend_useful_cpu +. t.pend_wasted_cpu in
+  if cpu_total > 0. then
+    t.e_cpu <- blend t.e_cpu (t.pend_useful_cpu /. cpu_total);
+  let gpu_total = t.pend_useful_gpu +. t.pend_wasted_gpu in
+  if gpu_total > 0. then
+    t.e_gpu <- blend t.e_gpu (t.pend_useful_gpu /. gpu_total);
+  t.pend_useful_cpu <- 0.;
+  t.pend_wasted_cpu <- 0.;
+  t.pend_useful_gpu <- 0.;
+  t.pend_wasted_gpu <- 0.
+
+let gpu_down t =
+  match t.cfg.mode with
+  | Static -> ()
+  | Adaptive ->
+      t.gpu_ok <- false;
+      t.a_gpu <- 0.;
+      t.forced <- true
+
+let gpu_up t =
+  match t.cfg.mode with
+  | Static -> ()
+  | Adaptive ->
+      t.gpu_ok <- true;
+      t.e_gpu <- t.cfg.probe_share;
+      t.a_gpu <- t.cfg.probe_share;
+      (* samples from before the quarantine describe the sick device,
+         not the one that just passed its probes — start fresh *)
+      t.pend_useful_gpu <- 0.;
+      t.pend_wasted_gpu <- 0.;
+      t.forced <- true
+
+let gpu_available t = t.gpu_ok
+
+type split = { gpu_rows : int; cpu_rows : int; share : float; resplit : bool }
+
+let clamp lo hi v = Float.min hi (Float.max lo v)
+
+let applied_share t kernel =
+  let s0 = Cost_model.gpu_share t.machine kernel in
+  (* damped response: weight by sqrt of the applied efficiency rather
+     than the efficiency itself. The clean-rate share s0 ignores the
+     CPU's serial duties outside the split (POTF2, host-side checksum
+     work), so following the raw efficiency ratio overshoots toward an
+     already-busy CPU; half-strength shifts recover most of the win on
+     a misbehaving GPU without starving it. sqrt leaves the 0 and 1
+     fixpoints exactly in place, so clean runs and a downed GPU are
+     unaffected. *)
+  let wg = s0 *. Float.sqrt t.a_gpu
+  and wc = (1. -. s0) *. Float.sqrt t.a_cpu in
+  let s = if wg +. wc <= 0. then 0. else wg /. (wg +. wc) in
+  if not t.gpu_ok then 0.
+  else clamp t.cfg.min_gpu_share t.cfg.max_gpu_share s
+
+let tick t ~kernel ~rows =
+  (match t.cfg.mode with Static -> () | Adaptive -> drain_window t);
+  let due =
+    match t.cfg.mode with
+    | Static -> false
+    | Adaptive ->
+        t.forced
+        || t.iter mod t.cfg.update_interval = 0
+           && (Float.abs (t.e_cpu -. t.a_cpu) > t.cfg.hysteresis
+              || Float.abs (t.e_gpu -. t.a_gpu) > t.cfg.hysteresis)
+  in
+  t.iter <- t.iter + 1;
+  let resplit =
+    due
+    && begin
+         (* a forced event (quarantine, rejoin) already moved the
+            applied GPU efficiency outside this function, so it always
+            counts as a change even if the EWMA happens to agree *)
+         let changed =
+           t.forced || t.a_cpu <> t.e_cpu || (t.gpu_ok && t.a_gpu <> t.e_gpu)
+         in
+         t.a_cpu <- t.e_cpu;
+         if t.gpu_ok then t.a_gpu <- t.e_gpu;
+         t.forced <- false;
+         changed
+       end
+  in
+  if resplit then t.resplits <- t.resplits + 1;
+  let share = applied_share t kernel in
+  let rows = max rows 0 in
+  let gpu_rows =
+    min rows (max 0 (int_of_float (Float.round (share *. float_of_int rows))))
+  in
+  { gpu_rows; cpu_rows = rows - gpu_rows; share; resplit }
+
+let resplits t = t.resplits
+let efficiencies t = ((t.e_cpu, t.e_gpu), (t.a_cpu, t.a_gpu))
+let mode_name = function Static -> "static" | Adaptive -> "adaptive"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s balancer: eff obs cpu=%.3f gpu=%.3f applied cpu=%.3f gpu=%.3f \
+     gpu_ok=%b resplits=%d"
+    (mode_name t.cfg.mode) t.e_cpu t.e_gpu t.a_cpu t.a_gpu t.gpu_ok t.resplits

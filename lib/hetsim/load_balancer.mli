@@ -1,0 +1,129 @@
+(** Adaptive CPU/GPU split for row-splittable trailing-update kernels.
+
+    The MAGMA-style schedules seed the CPU/GPU proportions from the
+    cost model ({!Cost_model.gpu_share}) and, without this module,
+    never revisit them — after a quarantine or dropout the schedule
+    keeps the original proportions and limps (ROADMAP open item 3).
+    Following the heterogeneous-solvers idiom
+    ([LoadBalancer::getNewProportionGPU]), this balancer tracks each
+    device's *observed efficiency*: completed attempts accumulate
+    useful and wasted seconds (wasted is what retries, hang timeouts
+    and backoffs charged), each {!tick} folds the window's
+    [useful / (useful + wasted)] into an EWMA — one time-weighted
+    sample per tick, so a swarm of tiny checksum kernels cannot
+    outvote the big trailing GEMMs — and the trailing update is
+    re-split every [update_interval] iterations when the observation
+    has drifted beyond a hysteresis band from the applied value.
+
+    Determinism: the balancer consumes no randomness; its trajectory is
+    a pure function of the observation sequence, which is itself a
+    deterministic function of the engine seed. On a clean run every
+    sample is exactly [1.0], the EWMA fixpoint keeps both efficiencies
+    at their initial [1.0] bit-exactly, the hysteresis band never
+    trips, and [Adaptive] produces the same splits as [Static] —
+    bitwise. *)
+
+type mode =
+  | Static
+      (** split once from the cost model, never move — the baseline the
+          bench and ftsoak legs compare against *)
+  | Adaptive  (** EWMA-driven re-splitting as described above *)
+
+type config = {
+  mode : mode;
+  update_interval : int;
+      (** outer iterations between applied re-splits (>= 1); forced
+          events (quarantine, rejoin, dropout) bypass the interval *)
+  ewma_alpha : float;
+      (** smoothing weight of the newest efficiency sample, in (0,1] *)
+  hysteresis : float;
+      (** minimum |observed - applied| efficiency drift before a
+          re-split is applied; keeps a near-clean run pinned to the
+          static split *)
+  probe_share : float;
+      (** efficiency estimate granted to a GPU re-admitted after
+          quarantine. The default [1.0] is an optimistic reset — the
+          device just passed its probes, so it restarts at the static
+          split and the EWMA re-learns any residual sickness; lower it
+          to make rejoined GPUs earn their slice back gradually *)
+  min_gpu_share : float;  (** clamp on the applied GPU share *)
+  max_gpu_share : float;  (** clamp on the applied GPU share *)
+}
+
+val default_config : config
+(** [Adaptive], interval 4, alpha 0.25, hysteresis 0.05, probe share
+    1.0, shares clamped to [0, 1]. *)
+
+val static_config : config
+(** [default_config] with [mode = Static]. *)
+
+type t
+
+val create : ?config:config -> Machine.t -> t
+(** Both efficiencies start at exactly [1.0] (the cost model's own
+    assumption), so the first split is the static one.
+    @raise Invalid_argument on out-of-range config fields. *)
+
+val config : t -> config
+
+val observe :
+  t -> Engine.resource -> useful_s:float -> wasted_s:float -> unit
+(** Feed one completed (or abandoned) operation's accounting into the
+    pending window for the device backing the resource. [useful_s] is
+    the time the successful attempt took (0 when the operation was
+    abandoned to the other device); [wasted_s] is everything charged
+    on top — failed-attempt durations, hang timeouts, backoffs. The
+    window is folded into the EWMA at the next {!tick}; windows with
+    no accumulated time and link resources are ignored. No-op in
+    [Static] mode. *)
+
+val gpu_down : t -> unit
+(** The GPU was quarantined or lost: drop its applied efficiency to 0
+    immediately and force a re-split on the next {!tick}, bypassing
+    both the update interval and the hysteresis band. *)
+
+val gpu_up : t -> unit
+(** The GPU passed its half-open re-probe and rejoined: restart both
+    its observed and applied efficiency at [probe_share] and force a
+    re-split on the next {!tick}. *)
+
+val gpu_available : t -> bool
+(** False between {!gpu_down} and {!gpu_up}. *)
+
+type split = {
+  gpu_rows : int;  (** block-rows assigned to the GPU *)
+  cpu_rows : int;  (** block-rows assigned to the CPU *)
+  share : float;  (** applied GPU share the rows were cut from *)
+  resplit : bool;
+      (** true iff this tick changed the applied efficiencies — the
+          event the trace op, Obs counter and ftsoak assertion count *)
+}
+
+val tick : t -> kernel:Kernel.t -> rows:int -> split
+(** [tick t ~kernel ~rows] is called once per outer iteration with the
+    iteration's dominant trailing-update kernel and the number of
+    block-rows to distribute. It advances the iteration counter,
+    folds the pending observation window into the EWMA, applies the
+    observed efficiencies when due (interval elapsed and drift beyond
+    hysteresis, or a forced event pending), and cuts [rows] by the
+    applied share:
+    [share = (s0 * sqrt a_gpu) / (s0 * sqrt a_gpu + (1 - s0) * sqrt a_cpu)]
+    with [s0 = Cost_model.gpu_share], clamped to the configured
+    bounds. The square root damps the response to half strength: [s0]
+    ignores the CPU's serial duties outside the split (POTF2,
+    host-side checksum work), so following the raw efficiency ratio
+    overshoots toward an already-busy CPU. The 0 and 1 fixpoints are
+    unaffected, so clean runs still reproduce the static split
+    exactly.
+    [rows = 0] is legal (degenerate last iterations) and returns an
+    empty split. *)
+
+val resplits : t -> int
+(** Number of ticks that applied a changed split so far. *)
+
+val efficiencies : t -> (float * float) * (float * float)
+(** [((observed_cpu, observed_gpu), (applied_cpu, applied_gpu))] —
+    exposed for tests and {!pp}. *)
+
+val mode_name : mode -> string
+val pp : Format.formatter -> t -> unit

@@ -59,8 +59,49 @@ let storm_reliability ~rate =
     hang_timeout_s = 0.05;
     transfer_corruption_rate = 0.10 *. rate;
     dropout_after_s = infinity;
+    faults_until_s = infinity;
   }
 
 let apply_device_faults ~rate m =
   if rate <= 0. then m
   else Hetsim.Machine.with_reliability ~gpu:(storm_reliability ~rate) m
+
+let balance_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "off" -> Ok None
+    | "static" -> Ok (Some Hetsim.Load_balancer.Static)
+    | "adaptive" -> Ok (Some Hetsim.Load_balancer.Adaptive)
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown balance mode %S (off, static, adaptive)" s))
+  in
+  let print fmt = function
+    | None -> Format.pp_print_string fmt "off"
+    | Some m -> Format.pp_print_string fmt (Hetsim.Load_balancer.mode_name m)
+  in
+  Arg.conv (parse, print)
+
+let balance_arg =
+  Arg.(
+    value & opt balance_conv None
+    & info [ "balance" ] ~docv:"MODE"
+        ~doc:
+          "CPU/GPU split of the trailing update: $(b,off) (the default) \
+           keeps the schedule's historical GPU-only trailing update and is \
+           bit-identical to runs without this flag; $(b,static) splits once \
+           from the cost model and never moves; $(b,adaptive) re-splits \
+           from observed per-device efficiency (EWMA-smoothed, \
+           hysteresis-banded) and shifts work away from a faulting or \
+           quarantined GPU.")
+
+let balance_interval_arg =
+  Arg.(
+    value
+    & opt int Hetsim.Load_balancer.default_config.update_interval
+    & info [ "balance-interval" ] ~docv:"ITERS"
+        ~doc:
+          "Outer iterations between applied re-splits in \
+           $(b,--balance adaptive) (>= 1); quarantine, rejoin and dropout \
+           force an immediate re-split regardless.")

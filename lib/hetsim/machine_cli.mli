@@ -26,3 +26,15 @@ val storm_reliability : rate:float -> Hetsim.Device.reliability
 val apply_device_faults : rate:float -> Hetsim.Machine.t -> Hetsim.Machine.t
 (** Identity at [rate <= 0]; otherwise installs
     [storm_reliability ~rate] on the machine's GPU. *)
+
+val balance_conv : Hetsim.Load_balancer.mode option Cmdliner.Arg.conv
+(** Parses [off] / [static] / [adaptive]; [off] maps to [None]. *)
+
+val balance_arg : Hetsim.Load_balancer.mode option Cmdliner.Term.t
+(** [--balance MODE] (default off = [None]): the trailing-update
+    CPU/GPU split policy. *)
+
+val balance_interval_arg : int Cmdliner.Term.t
+(** [--balance-interval ITERS] (default
+    {!Hetsim.Load_balancer.default_config}[.update_interval]): outer
+    iterations between applied adaptive re-splits. *)

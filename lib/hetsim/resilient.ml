@@ -29,6 +29,8 @@ type policy = {
   quarantine_threshold : float;
   fault_penalty : float;
   success_credit : float;
+  reprobe_after_s : float;
+  reprobe_successes : int;
 }
 
 let default_policy =
@@ -41,6 +43,11 @@ let default_policy =
     quarantine_threshold = 0.2;
     fault_penalty = 0.6;
     success_credit = 0.05;
+    (* re-probing is opt-in: with an infinite cooldown a quarantine is
+       final, which is the historical behaviour existing traces and
+       tests pin down *)
+    reprobe_after_s = infinity;
+    reprobe_successes = 2;
   }
 
 type device_stats = {
@@ -61,6 +68,9 @@ type stats = {
   skipped_transfers : int;
   degraded_ops : int;
   degraded_at : float option;
+  reprobes : int;
+  rejoins : int;
+  resplits : int;
 }
 
 exception
@@ -68,6 +78,7 @@ exception
     resource : Engine.resource;
     failure : Engine.failure;
     attempts : int;
+    stats : stats;
   }
 
 (* mutable per-device counters; [health] starts at 1.0, multiplies by
@@ -83,6 +94,8 @@ type dev = {
   mutable health : float;
   mutable quarantined_at : float option;
   mutable lost_at : float option;
+  mutable quarantine_episodes : int;
+  mutable probe_successes : int;
 }
 
 let fresh_dev () =
@@ -96,6 +109,8 @@ let fresh_dev () =
     health = 1.0;
     quarantined_at = None;
     lost_at = None;
+    quarantine_episodes = 0;
+    probe_successes = 0;
   }
 
 type t = {
@@ -105,13 +120,19 @@ type t = {
   cpu : dev;
   gpu : dev;  (* GPU main engine and spare channel share fate *)
   obs : Obs.t;  (* event counters; Obs.null unless the caller traces *)
+  balancer : Load_balancer.t option;
+      (* fed per-operation useful/wasted accounting and the
+         quarantine/rejoin edges; None = static split, no feedback *)
   mutable corrupted_transfers : int;
   mutable skipped_transfers : int;
   mutable degraded_ops : int;
   mutable degraded_at : float option;
+  mutable reprobes : int;
+  mutable rejoins : int;
 }
 
-let create ?(policy = default_policy) ?(seed = 0) ?(obs = Obs.null) engine =
+let create ?(policy = default_policy) ?balancer ?(seed = 0) ?(obs = Obs.null)
+    engine =
   {
     engine;
     policy;
@@ -119,14 +140,21 @@ let create ?(policy = default_policy) ?(seed = 0) ?(obs = Obs.null) engine =
     cpu = fresh_dev ();
     gpu = fresh_dev ();
     obs;
+    balancer;
     corrupted_transfers = 0;
     skipped_transfers = 0;
     degraded_ops = 0;
     degraded_at = None;
+    reprobes = 0;
+    rejoins = 0;
   }
 
 let engine t = t.engine
 let machine t = Engine.machine t.engine
+let balancer t = t.balancer
+
+let balancer_iter t f =
+  match t.balancer with None -> () | Some b -> f b
 
 let dev_of t = function
   | Engine.Cpu -> t.cpu
@@ -148,14 +176,35 @@ let mark_degraded t ~now =
 let note_lost t d ev =
   if Option.is_none d.lost_at then begin
     d.lost_at <- Some ev;
-    Obs.incr t.obs "resilient.device_losses"
+    Obs.incr t.obs "resilient.device_losses";
+    if d == t.gpu then balancer_iter t Load_balancer.gpu_down
   end
 
 let quarantine t d ~now =
   if Option.is_none d.quarantined_at then begin
     d.quarantined_at <- Some now;
+    d.quarantine_episodes <- d.quarantine_episodes + 1;
+    d.probe_successes <- 0;
     Obs.incr t.obs "resilient.quarantines"
+    (* deliberately NOT [Load_balancer.gpu_down]: quarantine is
+       transient and the reroute already moves the work, so the split
+       must keep nominating GPU rows — those rerouted submissions are
+       the probe traffic that ends the quarantine. Zeroing the split
+       here starves the probes and leaves the healed GPU idle for
+       iterations longer than the static split would. Only a permanent
+       loss ({!note_lost}) collapses the split. *)
   end
+
+(* A failed half-open probe: the device was already quarantined, so
+   {!quarantine}'s first-time guard does not fire — restart the
+   cooldown clock from the probe's failure time and escalate the
+   episode count so the next eligibility window is further out. *)
+let requarantine t d ~now =
+  d.quarantined_at <- Some now;
+  d.quarantine_episodes <- d.quarantine_episodes + 1;
+  d.probe_successes <- 0;
+  Obs.incr t.obs "resilient.quarantines"
+(* like {!quarantine}, the balancer split is left alone — see above *)
 
 (* health update after one fault; only the GPU can be quarantined — the
    CPU is the fallback of last resort, so a sick CPU keeps limping
@@ -185,6 +234,34 @@ let backoff_duration t ~attempt =
 
 let deps_now t deps = Engine.time_of t.engine (Engine.join t.engine deps)
 
+let snapshot (d : dev) : device_stats =
+  {
+    submitted = d.submitted;
+    completed = d.completed;
+    transient_faults = d.transient_faults;
+    hangs = d.hangs;
+    retries = d.retries;
+    backoff_s = d.backoff_s;
+    quarantined_at = d.quarantined_at;
+    lost_at = d.lost_at;
+  }
+
+let stats t =
+  {
+    cpu = snapshot t.cpu;
+    gpu = snapshot t.gpu;
+    corrupted_transfers = t.corrupted_transfers;
+    skipped_transfers = t.skipped_transfers;
+    degraded_ops = t.degraded_ops;
+    degraded_at = t.degraded_at;
+    reprobes = t.reprobes;
+    rejoins = t.rejoins;
+    resplits =
+      (match t.balancer with
+      | None -> 0
+      | Some b -> Load_balancer.resplits b);
+  }
+
 (* The retry driver. [run ~extra] performs one attempt with [extra]
    prepended to the dependency list (used to chain a retry after its
    backoff delay, or a fallback after the failure it reacts to).
@@ -199,12 +276,25 @@ let retried t ~resource ~run ~fallback =
     | Engine.Gpu | Engine.Gpu_spare -> true
     | Engine.Cpu | Engine.Link_h2d | Engine.Link_d2h -> false
   in
+  (* everything this operation charged beyond its one successful
+     attempt: failed-attempt durations, hang timeouts, backoffs — the
+     balancer's efficiency signal *)
+  let wasted = ref 0. in
+  let observe ~useful_s =
+    balancer_iter t (fun b ->
+        Load_balancer.observe b resource ~useful_s ~wasted_s:!wasted)
+  in
   let fail_over ~failure ~attempt ~ev =
     match fallback with
     | Some fb ->
+        (* the operation is abandoned to the other device: this one got
+           zero useful seconds out of everything it charged *)
+        observe ~useful_s:0.;
         mark_degraded t ~now:(Engine.time_of t.engine ev);
         fb ev
-    | None -> raise (Gave_up { resource; failure; attempts = attempt + 1 })
+    | None ->
+        raise
+          (Gave_up { resource; failure; attempts = attempt + 1; stats = stats t })
   in
   let rec go ~attempt ~extra =
     d.submitted <- d.submitted + 1;
@@ -215,6 +305,7 @@ let retried t ~resource ~run ~fallback =
     match run ~extra with
     | Engine.Completed ev ->
         credit t d;
+        observe ~useful_s:(Engine.last_duration t.engine);
         ev
     | Engine.Failed (Engine.Corrupted_transfer, _) ->
         (* kernels cannot corrupt transfers; only Resilient.transfer
@@ -225,6 +316,7 @@ let retried t ~resource ~run ~fallback =
         fail_over ~failure:Engine.Device_lost ~attempt ~ev
     | Engine.Failed ((Engine.Transient_fault | Engine.Hang _) as f, ev) ->
         let now = Engine.time_of t.engine ev in
+        wasted := !wasted +. Engine.last_duration t.engine;
         note_fault d f;
         Obs.incr t.obs
           (match f with
@@ -240,6 +332,7 @@ let retried t ~resource ~run ~fallback =
         else begin
           let b = backoff_duration t ~attempt in
           d.backoff_s <- d.backoff_s +. b;
+          wasted := !wasted +. b;
           Obs.observe t.obs "resilient.backoff_s" b;
           let delay_ev =
             Engine.delay t.engine ~deps:[ ev ] ~phase:"backoff" ~label:"backoff"
@@ -249,6 +342,33 @@ let retried t ~resource ~run ~fallback =
         end
   in
   go ~attempt:0 ~extra:[]
+
+(* Half-open re-probe eligibility (breaker idiom, cf. lib/server):
+   a quarantined — not lost — GPU may receive one single-attempt probe
+   once [reprobe_after_s] of virtual time has elapsed since (re-)entry
+   into quarantine, with the cooldown doubling per quarantine episode
+   (capped at 2^6) so a genuinely sick device is probed ever more
+   rarely. Disabled entirely at the default infinite cooldown. *)
+let probe_cooldown t d =
+  let ep = max 1 d.quarantine_episodes in
+  t.policy.reprobe_after_s *. (2. ** float_of_int (min 6 (ep - 1)))
+
+let probe_due t d ~now =
+  match (d.quarantined_at, d.lost_at) with
+  | Some q, None ->
+      Float.is_finite t.policy.reprobe_after_s && now >= q +. probe_cooldown t d
+  | _ -> false
+
+let rejoin t d ~now:_ =
+  d.quarantined_at <- None;
+  d.probe_successes <- 0;
+  (* restored health starts exactly at the quarantine threshold: the
+     device is trusted again but one fresh fault sends it straight
+     back, with a longer cooldown *)
+  d.health <- Float.max d.health t.policy.quarantine_threshold;
+  t.rejoins <- t.rejoins + 1;
+  Obs.incr t.obs "resilient.rejoins";
+  if d == t.gpu then balancer_iter t Load_balancer.gpu_up
 
 let submit t ?stream ?(deps = []) ?(phase = "compute") resource kernel =
   match resource with
@@ -263,20 +383,65 @@ let submit t ?stream ?(deps = []) ?(phase = "compute") resource kernel =
         Engine.submit_result t.engine ?stream ~deps:(deps @ extra) ~phase
           Engine.Cpu kernel
       in
+      let cpu_retried ~after =
+        retried t ~resource:Engine.Cpu ~fallback:None ~run:(fun ~extra ->
+            cpu_run ~extra:(after @ extra))
+      in
       if gpu_unavailable t then begin
-        mark_degraded t ~now:(deps_now t deps);
-        retried t ~resource:Engine.Cpu ~fallback:None ~run:cpu_run
+        let now = deps_now t deps in
+        let d = t.gpu in
+        if probe_due t d ~now then begin
+          (* one bounded attempt, no retry loop: a probe either earns
+             trust or re-quarantines with an escalated cooldown *)
+          d.submitted <- d.submitted + 1;
+          t.reprobes <- t.reprobes + 1;
+          Obs.incr t.obs "resilient.reprobes";
+          match Engine.submit_result t.engine ?stream ~deps ~phase r kernel with
+          | Engine.Failed (Engine.Corrupted_transfer, _) ->
+              (* kernels cannot corrupt transfers *)
+              assert false
+          | Engine.Completed ev ->
+              credit t d;
+              d.probe_successes <- d.probe_successes + 1;
+              balancer_iter t (fun b ->
+                  Load_balancer.observe b r
+                    ~useful_s:(Engine.last_duration t.engine)
+                    ~wasted_s:0.);
+              if d.probe_successes >= t.policy.reprobe_successes then
+                rejoin t d ~now:(Engine.time_of t.engine ev);
+              ev
+          | Engine.Failed (Engine.Device_lost, ev) ->
+              let now = Engine.time_of t.engine ev in
+              note_lost t d now;
+              mark_degraded t ~now;
+              cpu_retried ~after:[ ev ]
+          | Engine.Failed ((Engine.Transient_fault | Engine.Hang _) as f, ev)
+            ->
+              let now = Engine.time_of t.engine ev in
+              note_fault d f;
+              Obs.incr t.obs
+                (match f with
+                | Engine.Hang _ -> "resilient.hangs"
+                | _ -> "resilient.transients");
+              d.health <- d.health *. t.policy.fault_penalty;
+              balancer_iter t (fun b ->
+                  Load_balancer.observe b r ~useful_s:0.
+                    ~wasted_s:(Engine.last_duration t.engine));
+              requarantine t d ~now;
+              mark_degraded t ~now;
+              cpu_retried ~after:[ ev ]
+        end
+        else begin
+          mark_degraded t ~now;
+          retried t ~resource:Engine.Cpu ~fallback:None ~run:cpu_run
+        end
       end
       else
         retried t ~resource:r
           ~run:(fun ~extra ->
             Engine.submit_result t.engine ?stream ~deps:(deps @ extra) ~phase r
               kernel)
-          ~fallback:
-            (Some
-               (fun ev ->
-                 retried t ~resource:Engine.Cpu ~fallback:None
-                   ~run:(fun ~extra -> cpu_run ~extra:(ev :: extra))))
+          ~fallback:(Some (fun ev -> cpu_retried ~after:[ ev ]))
 
 let submit_background t ?(deps = []) ?(phase = "compute") kernel =
   submit t ~deps ~phase Engine.Gpu_spare kernel
@@ -332,28 +497,6 @@ let transfer t ?(deps = []) ?(phase = "transfer") ~dir bytes =
         (* transfer_result only fails with corruption or device loss *)
         assert false
 
-let snapshot (d : dev) : device_stats =
-  {
-    submitted = d.submitted;
-    completed = d.completed;
-    transient_faults = d.transient_faults;
-    hangs = d.hangs;
-    retries = d.retries;
-    backoff_s = d.backoff_s;
-    quarantined_at = d.quarantined_at;
-    lost_at = d.lost_at;
-  }
-
-let stats t =
-  {
-    cpu = snapshot t.cpu;
-    gpu = snapshot t.gpu;
-    corrupted_transfers = t.corrupted_transfers;
-    skipped_transfers = t.skipped_transfers;
-    degraded_ops = t.degraded_ops;
-    degraded_at = t.degraded_at;
-  }
-
 let pp_stats fmt (s : stats) =
   let dev name (d : device_stats) =
     Format.fprintf fmt
@@ -372,8 +515,10 @@ let pp_stats fmt (s : stats) =
   dev "cpu" s.cpu;
   dev "gpu" s.gpu;
   Format.fprintf fmt
-    "  %d corrupted transfer(s), %d skipped transfer(s), %d degraded op(s)%s@]"
+    "  %d corrupted transfer(s), %d skipped transfer(s), %d degraded op(s)%s@,"
     s.corrupted_transfers s.skipped_transfers s.degraded_ops
     (match s.degraded_at with
     | None -> ""
-    | Some x -> Printf.sprintf ", degraded@%.4fs" x)
+    | Some x -> Printf.sprintf ", degraded@%.4fs" x);
+  Format.fprintf fmt "  %d reprobe(s), %d rejoin(s), %d resplit(s)@]"
+    s.reprobes s.rejoins s.resplits

@@ -20,6 +20,14 @@
       the CPU device) and host<->device transfers are skipped. The CPU
       is the fallback of last resort and is never quarantined; if it
       exhausts its own retry budget the driver raises {!Gave_up}.
+    - {b Half-open re-probe}: with a finite [policy.reprobe_after_s], a
+      quarantined (not lost) GPU periodically receives one
+      single-attempt probe kernel through {!submit}; after
+      [policy.reprobe_successes] consecutive successes the quarantine
+      is lifted and the device rejoins (the attached load balancer is
+      told via [gpu_up]). A failed probe re-quarantines with a doubled
+      cooldown. At the default infinite cooldown this path is inert and
+      quarantine remains final.
     - {b Corrupted transfers} are never retried: the copy looked
       successful, so retrying would mask the very error the ABFT
       checksum layer exists to catch. They are counted in {!stats} and
@@ -45,13 +53,25 @@ type policy = {
       (** GPU health below this → quarantine *)
   fault_penalty : float;  (** multiplicative health hit per fault *)
   success_credit : float;  (** additive health gain per completion *)
+  reprobe_after_s : float;
+      (** half-open re-probe cooldown: virtual seconds after
+          (re-)entering quarantine before the GPU may receive one
+          single-attempt probe kernel. The cooldown doubles per
+          quarantine episode (capped at [2^6×]). [infinity] (the
+          default) disables re-probing — a quarantine is then final,
+          the historical behaviour. *)
+  reprobe_successes : int;
+      (** consecutive successful probes required before the GPU rejoins
+          (its quarantine is lifted and health restored to the
+          quarantine threshold) *)
 }
 
 val default_policy : policy
 (** 3 retries, 1ms..100ms backoff doubling with 25% jitter, health
     penalty 0.6 / credit 0.05 / quarantine below 0.2 (so roughly four
     consecutive faults, or one fully failed operation, quarantine the
-    GPU). *)
+    GPU); re-probing disabled ([reprobe_after_s = infinity], 2
+    successes to rejoin once enabled). *)
 
 type device_stats = {
   submitted : int;  (** attempts on this device, including retries *)
@@ -72,6 +92,11 @@ type stats = {
   degraded_ops : int;  (** operations re-planned onto the CPU *)
   degraded_at : float option;
       (** virtual time degradation began, [None] if never *)
+  reprobes : int;  (** half-open probe kernels sent to a quarantined GPU *)
+  rejoins : int;  (** quarantines lifted after enough probe successes *)
+  resplits : int;
+      (** applied split changes reported by the attached load balancer;
+          0 when no balancer is attached *)
 }
 
 exception
@@ -79,22 +104,43 @@ exception
     resource : Engine.resource;
     failure : Engine.failure;
     attempts : int;
+    stats : stats;
   }
 (** Raised when the fallback of last resort (the CPU) exhausts its
-    retry budget or is itself lost. *)
+    retry budget or is itself lost. [stats] is the driver's counter
+    snapshot at the moment of giving up, so callers can aggregate what
+    the run cost even though it did not complete — discarding these
+    partial counters was how campaign totals silently drifted. *)
 
 type t
 
-val create : ?policy:policy -> ?seed:int -> ?obs:Obs.t -> Engine.t -> t
+val create :
+  ?policy:policy ->
+  ?balancer:Load_balancer.t ->
+  ?seed:int ->
+  ?obs:Obs.t ->
+  Engine.t ->
+  t
 (** [create ?policy ?seed engine] wraps [engine]. [seed] (default 0)
     drives only the backoff jitter; pair it with the engine's own seed
     for full reproducibility.
+
+    [balancer] (default none) receives per-operation useful/wasted
+    accounting via {!Load_balancer.observe}, plus
+    {!Load_balancer.gpu_down} on permanent device loss and
+    {!Load_balancer.gpu_up} on rejoin after quarantine. A (transient)
+    quarantine deliberately does NOT collapse the split: the reroute
+    already moves the work, and the still-nominated GPU submissions
+    are the probe traffic that ends the quarantine. The driver never
+    calls {!Load_balancer.tick} — cutting rows is the schedule's
+    decision.
 
     [obs] (default [Obs.null]) receives one counter increment per
     resilience event — ["resilient.retries"], ["resilient.transients"],
     ["resilient.hangs"], ["resilient.corrupted_transfers"],
     ["resilient.skipped_transfers"], ["resilient.quarantines"],
-    ["resilient.cpu_fallbacks"], ["resilient.device_losses"] — and a
+    ["resilient.cpu_fallbacks"], ["resilient.device_losses"],
+    ["resilient.reprobes"], ["resilient.rejoins"] — and a
     ["resilient.backoff_s"] histogram observation per backoff. The
     same information is available after the fact via {!stats}; the
     sink exists so one trace carries both numeric-driver spans and
@@ -102,6 +148,9 @@ val create : ?policy:policy -> ?seed:int -> ?obs:Obs.t -> Engine.t -> t
 
 val engine : t -> Engine.t
 val machine : t -> Machine.t
+
+val balancer : t -> Load_balancer.t option
+(** The balancer passed at {!create}, if any. *)
 
 (** {1 Issuing operations}
 

@@ -14,6 +14,8 @@ type pass_state = {
   cfg : Config.t;
   eng : Engine.t;
   res : Resilient.t;
+  bal : Load_balancer.t option;
+      (* trailing-panel split; None keeps the GPU-only panels *)
   g : int;
   b : int;
   d : int;
@@ -84,6 +86,31 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
   st.prev_panels <- Engine.ready;
   for j = 0 to g - 1 do
     let gate = j mod kk = 0 in
+    (* ---- panel split (load balancer): one decision per iteration,
+       shared by both panel sides ---- *)
+    let rem0 = g - 1 - j in
+    let split =
+      match st.bal with
+      | None -> None
+      | Some bal ->
+          let kernel =
+            if j > 0 then Kernel.Gemm { m = rem0 * b; n = b; k = j * b }
+            else Kernel.Trsm { order = b; nrhs = rem0 * b }
+          in
+          Some (Load_balancer.tick bal ~kernel ~rows:rem0)
+    in
+    let cpu_rows =
+      match split with None -> 0 | Some s -> s.Load_balancer.cpu_rows
+    in
+    (* operand staging for the CPU slice: its panel rows' current state
+       (j factored blocks + live tile per row), once per iteration *)
+    let stage_ev =
+      if cpu_rows > 0 then
+        Resilient.transfer res ~deps:[ st.prev_panels ] ~phase:"balance"
+          ~dir:`D2h
+          (cpu_rows * (j + 1) * block_bytes)
+      else Engine.ready
+    in
     let chk_updates = ref [] in
     let verify_deps = [ st.prev_chk_ready ] in
     let lc_panel_ev =
@@ -146,9 +173,26 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
             else Engine.ready
           in
           let upd_ev =
-            if j > 0 then
-              Resilient.submit res ~deps:[ pre ] ~phase:"compute" Engine.Gpu
-                (Kernel.Gemm { m = rem * b; n = b; k = j * b })
+            if j > 0 then begin
+              if cpu_rows = 0 then
+                Resilient.submit res ~deps:[ pre ] ~phase:"compute" Engine.Gpu
+                  (Kernel.Gemm { m = rem * b; n = b; k = j * b })
+              else begin
+                let gpu_part =
+                  if rem - cpu_rows > 0 then
+                    Resilient.submit res ~deps:[ pre ] ~phase:"compute"
+                      Engine.Gpu
+                      (Kernel.Gemm { m = (rem - cpu_rows) * b; n = b; k = j * b })
+                  else Engine.ready
+                in
+                let cpu_part =
+                  Resilient.submit res ~deps:[ pre; stage_ev ] ~phase:"compute"
+                    Engine.Cpu
+                    (Kernel.Gemm { m = cpu_rows * b; n = b; k = j * b })
+                in
+                Engine.join eng [ gpu_part; cpu_part ]
+              end
+            end
             else Engine.join eng [ pre ]
           in
           if with_ft && j > 0 then
@@ -164,10 +208,30 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
             else Engine.ready
           in
           let solve_ev =
-            Resilient.submit res
-              ~deps:[ h2d_ev; upd_ev; pre_solve ]
-              ~phase:"compute" Engine.Gpu
-              (Kernel.Trsm { order = b; nrhs = rem * b })
+            if cpu_rows = 0 then
+              Resilient.submit res
+                ~deps:[ h2d_ev; upd_ev; pre_solve ]
+                ~phase:"compute" Engine.Gpu
+                (Kernel.Trsm { order = b; nrhs = rem * b })
+            else begin
+              let gpu_part =
+                if rem - cpu_rows > 0 then
+                  Resilient.submit res
+                    ~deps:[ h2d_ev; upd_ev; pre_solve ]
+                    ~phase:"compute" Engine.Gpu
+                    (Kernel.Trsm { order = b; nrhs = (rem - cpu_rows) * b })
+                else Engine.ready
+              in
+              (* the CPU slice reads the factored diagonal straight
+                 from GETF2's host-resident output *)
+              let cpu_part =
+                Resilient.submit res
+                  ~deps:[ getf2_ev; upd_ev; pre_solve; stage_ev ]
+                  ~phase:"compute" Engine.Cpu
+                  (Kernel.Trsm { order = b; nrhs = cpu_rows * b })
+              in
+              Engine.join eng [ gpu_part; cpu_part ]
+            end
           in
           panel_evs := solve_ev :: !panel_evs;
           if with_ft then
@@ -203,12 +267,14 @@ let run ?(plan = []) ?(d = 2) ?policy ?(fault_seed = 0) cfg ~n =
     if with_ft then Config.resolve_placement cfg ~n else Config.Gpu_inline
   in
   let eng = Engine.create ~seed:fault_seed cfg.Config.machine in
-  let res = Resilient.create ?policy ~seed:fault_seed eng in
+  let bal = Config.balancer cfg in
+  let res = Resilient.create ?policy ?balancer:bal ~seed:fault_seed eng in
   let st =
     {
       cfg;
       eng;
       res;
+      bal;
       g = n / b;
       b;
       d;

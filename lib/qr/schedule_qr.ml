@@ -24,6 +24,8 @@ let uncorrected scheme plan =
 type pass_state = {
   eng : Engine.t;
   res : Resilient.t;
+  bal : Load_balancer.t option;
+      (* trailing-projection split; None keeps the GPU-only projections *)
   m : int;
   b : int;
   nb : int;
@@ -74,10 +76,33 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
     else Engine.ready
   in
   st.prev_chk_ready <- encode_ev;
+  (* panel rows in block-row units, the balancer's splitting grain *)
+  let rblocks = max 1 (st.m / st.b) in
   for j = 0 to st.nb - 1 do
     let gate = j mod kk = 0 in
     let chk_updates = ref [] in
     let prior_chk = st.prev_chk_ready in
+    (* ---- projection split (load balancer): one decision per
+       iteration, shared by all j projections of this panel ---- *)
+    let cpu_m =
+      match st.bal with
+      | None -> 0
+      | Some bal ->
+          let s =
+            Load_balancer.tick bal
+              ~kernel:(Kernel.Gemm { m = st.m; n = st.b; k = st.b })
+              ~rows:rblocks
+          in
+          if j = 0 then 0 else min st.m (s.Load_balancer.cpu_rows * st.b)
+    in
+    (* stage the CPU-owned slice of the live panel to the host once;
+       it stays there across this iteration's projections *)
+    let stage_ev =
+      if cpu_m > 0 then
+        Resilient.transfer res ~deps:[ prior_chk ] ~phase:"balance" ~dir:`D2h
+          (cpu_m * st.b * 8)
+      else Engine.ready
+    in
     (* block projections: per previous panel k, a pre-read verify of
        both operands (K-gated), one projection GEMM pair, a checksum
        update, and (Online) a post verify. *)
@@ -94,8 +119,29 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
           (Kernel.Gemm { m = st.b; n = st.b; k = st.m })
       in
       let ev =
-        Resilient.submit res ~deps:[ ev ] ~phase:"compute" Engine.Gpu
-          (Kernel.Gemm { m = st.m; n = st.b; k = st.b })
+        if cpu_m = 0 then
+          Resilient.submit res ~deps:[ ev ] ~phase:"compute" Engine.Gpu
+            (Kernel.Gemm { m = st.m; n = st.b; k = st.b })
+        else begin
+          (* the CPU slice applies Rkj to its host-resident rows; Rkj
+             itself is tiny and rides a small h2d hop *)
+          let r_ev =
+            Resilient.transfer res ~deps:[ ev ] ~phase:"balance" ~dir:`D2h
+              (st.b * st.b * 8)
+          in
+          let gpu_part =
+            if st.m - cpu_m > 0 then
+              Resilient.submit res ~deps:[ ev ] ~phase:"compute" Engine.Gpu
+                (Kernel.Gemm { m = st.m - cpu_m; n = st.b; k = st.b })
+            else Engine.ready
+          in
+          let cpu_part =
+            Resilient.submit res ~deps:[ r_ev; stage_ev ] ~phase:"compute"
+              Engine.Cpu
+              (Kernel.Gemm { m = cpu_m; n = st.b; k = st.b })
+          in
+          Engine.join eng [ gpu_part; cpu_part ]
+        end
       in
       if with_ft then
         chk_updates :=
@@ -104,10 +150,18 @@ let run_pass st ~with_ft ~enhanced ~online ~offline ~kk =
       if online && with_ft then last := verify st ~deps:[ ev ] ~panels:1
       else last := ev
     done;
+    (* the CPU-owned slice migrates back before the (GPU) in-panel MGS *)
+    let back_ev =
+      if cpu_m > 0 then
+        Resilient.transfer res ~deps:[ !last ] ~phase:"balance" ~dir:`H2d
+          (cpu_m * st.b * 8)
+      else Engine.ready
+    in
     (* in-panel MGS: ~2 m b^2 flops of BLAS-1/2, bandwidth-bound *)
     let pre_mgs =
-      if enhanced && with_ft then verify st ~deps:[ prior_chk; !last ] ~panels:1
-      else Engine.join eng [ !last ]
+      if enhanced && with_ft then
+        verify st ~deps:[ prior_chk; !last; back_ev ] ~panels:1
+      else Engine.join eng [ !last; back_ev ]
     in
     let mgs_ev =
       Resilient.submit res ~deps:[ pre_mgs ] ~phase:"compute" Engine.Gpu
@@ -142,11 +196,13 @@ let run ?(plan = []) ?(d = 2) ?policy ?(fault_seed = 0) cfg ~m ~n =
     if with_ft then Config.resolve_placement cfg ~n else Config.Gpu_inline
   in
   let eng = Engine.create ~seed:fault_seed cfg.Config.machine in
-  let res = Resilient.create ?policy ~seed:fault_seed eng in
+  let bal = Config.balancer cfg in
+  let res = Resilient.create ?policy ?balancer:bal ~seed:fault_seed eng in
   let st =
     {
       eng;
       res;
+      bal;
       m;
       b;
       nb = n / b;

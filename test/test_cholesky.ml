@@ -566,6 +566,211 @@ let test_schedule_input_validation () =
      with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* LC-panel prefetch accounting (§VI 6b, CPU placement)                *)
+(* ------------------------------------------------------------------ *)
+
+(* A link slow enough that one block copy dwarfs every kernel, so the
+   prefetch pipelining (and any accounting slip) is decisively visible
+   in the record timeline rather than hidden inside compute time. *)
+let slow_link_tb =
+  {
+    tb with
+    Hetsim.Machine.name = "testbench-slowlink";
+    link = { Hetsim.Machine.bandwidth_gbs = 1e-3; latency_s = 0. };
+  }
+
+let lc_b = 8
+
+let lc_run g =
+  let c =
+    C.Config.make ~machine:slow_link_tb ~block:lc_b
+      ~scheme:(Abft.Scheme.enhanced ()) ~opt2:C.Config.Cpu_offload ()
+  in
+  C.Schedule.run c ~n:(g * lc_b)
+
+let lc_d2h_records g =
+  List.filter
+    (fun r ->
+      r.Hetsim.Engine.phase = "chk-transfer"
+      && r.Hetsim.Engine.resource = Some Hetsim.Engine.Link_d2h)
+    (Hetsim.Engine.records (lc_run g).C.Schedule.engine)
+
+(* Brute-force enumeration: block L(i,k), i > k, becomes host-resident
+   exactly once — in iteration k's priority copy when i = k+1 (it is
+   the next iteration's LC row) or in its bulk copy when i >= k+2. The
+   full d2h sequence is therefore the initial checksum download
+   followed, per panel iteration k = 0..g-2, by one one-block priority
+   copy and one (g-2-k)-block bulk copy when that set is non-empty. *)
+let lc_oracle g =
+  let block_bytes = 8 * lc_b * lc_b in
+  let init = g * (g + 1) / 2 * 2 * lc_b * 8 in
+  let per_iter k =
+    if g - 1 - k > 0 then
+      block_bytes
+      :: (if g - 2 - k > 0 then [ (g - 2 - k) * block_bytes ] else [])
+    else []
+  in
+  init :: List.concat (List.init g per_iter)
+
+let test_lc_prefetch_movement_sets () =
+  List.iter
+    (fun g ->
+      let got =
+        List.map
+          (fun r ->
+            Scanf.sscanf r.Hetsim.Engine.label "d2h %dB" (fun b -> b))
+          (lc_d2h_records g)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "g=%d ships exactly the enumerated blocks" g)
+        (lc_oracle g) got)
+    [ 1; 2; 3 ]
+
+(* The iteration accounting itself: at iteration j the checksum updates
+   gate on the panel history through j-2 plus the j-1 *priority* block
+   only. On the g=3 grid that means an update must run after P0 has
+   landed but while B0 (the L(2,0) block, first needed at iteration 2)
+   is still in flight — and the iteration-2 updates must wait for the
+   complete history {P0, B0, P1}. *)
+let test_lc_prefetch_iteration_windows () =
+  let r = lc_run 3 in
+  let records = Hetsim.Engine.records r.C.Schedule.engine in
+  let d2h =
+    List.filter
+      (fun r ->
+        r.Hetsim.Engine.phase = "chk-transfer"
+        && r.Hetsim.Engine.resource = Some Hetsim.Engine.Link_d2h)
+      records
+  in
+  match d2h with
+  | [ _init; p0; b0; p1 ] ->
+      Alcotest.(check bool) "priority block ships before the bulk" true
+        (p0.Hetsim.Engine.start <= b0.Hetsim.Engine.start);
+      let updates =
+        List.filter (fun r -> r.Hetsim.Engine.phase = "chk-update") records
+      in
+      Alcotest.(check bool) "updates exist" true (updates <> []);
+      let exists p = List.exists p updates in
+      Alcotest.(check bool)
+        "an update runs after P0 but while B0 is still in flight" true
+        (exists (fun u ->
+             u.Hetsim.Engine.start >= p0.Hetsim.Engine.finish
+             && u.Hetsim.Engine.start < b0.Hetsim.Engine.finish));
+      Alcotest.(check bool)
+        "the final iteration's update waited for the whole history" true
+        (exists (fun u -> u.Hetsim.Engine.start >= p1.Hetsim.Engine.finish))
+  | rs ->
+      Alcotest.failf "expected 4 d2h chk-transfers on g=3, got %d"
+        (List.length rs)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive trailing-update balancing                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gpu_storm_tb =
+  Hetsim.Machine.with_reliability
+    ~gpu:
+      {
+        Hetsim.Device.transient_fault_rate = 0.4;
+        hang_rate = 0.05;
+        hang_timeout_s = 0.005;
+        transfer_corruption_rate = 0.;
+        dropout_after_s = infinity;
+        faults_until_s = infinity;
+      }
+    tb
+
+let balance_run ?(machine = tb) ?policy ?(seed = 5) ?balance n =
+  let c =
+    match balance with
+    | None -> C.Config.make ~machine ~block:8 ~scheme:(Abft.Scheme.enhanced ()) ()
+    | Some balance ->
+        C.Config.make ~machine ~block:8
+          ~scheme:(Abft.Scheme.enhanced ())
+          ~balance ()
+  in
+  C.Schedule.run ?policy ~fault_seed:seed c ~n
+
+(* On a clean machine the balancer's efficiency estimates never leave
+   their 1.0 fixpoint, so the adaptive schedule must be the static one
+   bitwise — same makespan, same trace, zero resplits. *)
+let test_balance_clean_adaptive_equals_static () =
+  let stat = balance_run ~balance:Hetsim.Load_balancer.Static 128 in
+  let adapt = balance_run ~balance:Hetsim.Load_balancer.Adaptive 128 in
+  Alcotest.(check bool) "clean adaptive = static makespan, bitwise" true
+    (Float.equal adapt.C.Schedule.makespan stat.C.Schedule.makespan);
+  Alcotest.(check bool) "identical trace" true
+    (adapt.C.Schedule.trace = stat.C.Schedule.trace);
+  Alcotest.(check int) "zero resplits" 0
+    adapt.C.Schedule.resilience.Hetsim.Resilient.resplits
+
+(* Seeded determinism of the adaptive split (satellite): the balancer
+   draws no randomness of its own, so a (machine, seed) pair pins the
+   whole trajectory — makespan, resilience accounting and the traced
+   Rebalance ops — bit-for-bit across repeated runs. *)
+let test_balance_adaptive_deterministic () =
+  let run () =
+    balance_run ~machine:gpu_storm_tb ~balance:Hetsim.Load_balancer.Adaptive
+      256
+  in
+  let r1 = run () in
+  let r2 = run () in
+  Alcotest.(check bool) "same seed, bit-identical makespan" true
+    (Float.equal r1.C.Schedule.makespan r2.C.Schedule.makespan);
+  Alcotest.(check bool) "same seed, identical resilience stats" true
+    (r1.C.Schedule.resilience = r2.C.Schedule.resilience);
+  Alcotest.(check bool) "same seed, identical split trajectory" true
+    (r1.C.Schedule.trace = r2.C.Schedule.trace);
+  let r3 =
+    balance_run ~machine:gpu_storm_tb ~seed:6
+      ~balance:Hetsim.Load_balancer.Adaptive 256
+  in
+  Alcotest.(check bool) "different seed, different timeline" true
+    (not (Float.equal r1.C.Schedule.makespan r3.C.Schedule.makespan))
+
+(* Under a sustained GPU storm the adaptive split must actually move
+   (>= 1 applied resplit) and never lose to the frozen static split by
+   more than the soak band. *)
+let test_balance_storm_band () =
+  let policy =
+    {
+      Hetsim.Resilient.default_policy with
+      Hetsim.Resilient.reprobe_after_s = 0.05;
+    }
+  in
+  let run balance =
+    balance_run ~machine:gpu_storm_tb ~policy ~seed:3 ~balance 256
+  in
+  let stat = run Hetsim.Load_balancer.Static in
+  let adapt = run Hetsim.Load_balancer.Adaptive in
+  Alcotest.(check bool) "adaptive within 10% of static under the storm" true
+    (adapt.C.Schedule.makespan <= stat.C.Schedule.makespan *. 1.1);
+  Alcotest.(check bool) "at least one resplit applied" true
+    (adapt.C.Schedule.resilience.Hetsim.Resilient.resplits >= 1)
+
+(* Balancing is a timing-mode policy: carrying it in the config must
+   not perturb the numeric driver, whose factors stay bitwise identical
+   across domain counts (the ABFT_DOMAINS=1/2 contract). *)
+let test_balance_numeric_domain_invariant () =
+  let a = spd 32 in
+  let c =
+    {
+      (cfg ()) with
+      C.Config.balance = Some Hetsim.Load_balancer.Adaptive;
+    }
+  in
+  let factor_with domains =
+    let pool = Parallel.Pool.create ~domains () in
+    let r = C.Ft.factor ~pool c a in
+    Parallel.Pool.shutdown pool;
+    r.C.Ft.factor
+  in
+  let f1 = factor_with 1 in
+  let f2 = factor_with 2 in
+  Alcotest.(check bool) "factors bitwise identical across domain counts" true
+    (bitwise_equal f1 f2)
+
+(* ------------------------------------------------------------------ *)
 (* High-level solver with iterative refinement                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -840,6 +1045,24 @@ let () =
             test_schedule_phases_accounted;
           Alcotest.test_case "input validation" `Quick
             test_schedule_input_validation;
+        ] );
+      ( "lc-prefetch",
+        [
+          Alcotest.test_case "movement sets = brute-force enumeration" `Quick
+            test_lc_prefetch_movement_sets;
+          Alcotest.test_case "j-2/j-1 iteration windows" `Quick
+            test_lc_prefetch_iteration_windows;
+        ] );
+      ( "balance",
+        [
+          Alcotest.test_case "clean adaptive = static" `Quick
+            test_balance_clean_adaptive_equals_static;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_balance_adaptive_deterministic;
+          Alcotest.test_case "storm band and resplits" `Quick
+            test_balance_storm_band;
+          Alcotest.test_case "numeric factors domain-invariant" `Quick
+            test_balance_numeric_domain_invariant;
         ] );
       ( "solve",
         [

@@ -448,13 +448,14 @@ let props =
 (* ------------------------------------------------------------------ *)
 
 let rel ?(transient = 0.) ?(hang = 0.) ?(timeout = 0.05) ?(corrupt = 0.)
-    ?(dropout = infinity) () =
+    ?(dropout = infinity) ?(heals = infinity) () =
   {
     Device.transient_fault_rate = transient;
     hang_rate = hang;
     hang_timeout_s = timeout;
     transfer_corruption_rate = corrupt;
     dropout_after_s = dropout;
+    faults_until_s = heals;
   }
 
 let storm ?cpu ?gpu () = Machine.with_reliability ?cpu ?gpu Machine.testbench
@@ -632,6 +633,184 @@ let test_resilient_deterministic () =
   Alcotest.(check bool) "different seed, different timeline" true
     (not (Float.equal m1 m3))
 
+(* Satellite: a transiently-unhealthy GPU ([faults_until_s] = 0.05) is
+   quarantined, the half-open re-probe wins its trust back once the
+   fault window heals, and the attached balancer re-balances rows back
+   onto the rejoined device. Timing is hand-checkable on testbench:
+   gemm 1000 is 2 ms on the GPU and 20 ms degraded onto the CPU, so the
+   0.02 s cooldown (doubling after the first failed probe) lands the
+   winning probes safely past the heal time. *)
+let test_resilient_reprobe_rejoins () =
+  let machine = storm ~gpu:(rel ~transient:1.0 ~heals:0.05 ()) () in
+  let e = Engine.create machine in
+  let policy =
+    {
+      Resilient.default_policy with
+      Resilient.reprobe_after_s = 0.02;
+      jitter = 0.;
+    }
+  in
+  let b = Load_balancer.create machine in
+  let r = Resilient.create ~policy ~balancer:b e in
+  let prev = ref Engine.ready in
+  for _ = 1 to 30 do
+    prev := Resilient.submit r ~deps:[ !prev ] Engine.Gpu (gemm 1000)
+  done;
+  let s = Resilient.stats r in
+  Alcotest.(check bool) "gpu was quarantined" true
+    (s.Resilient.degraded_at <> None);
+  Alcotest.(check bool) "probes were sent" true (s.Resilient.reprobes >= 2);
+  Alcotest.(check int) "device rejoined once" 1 s.Resilient.rejoins;
+  Alcotest.(check bool) "post-rejoin work runs on the GPU again" true
+    (s.Resilient.gpu.Resilient.completed > 0);
+  Alcotest.(check bool) "no longer degrading new work" false
+    (Resilient.gpu_unavailable r);
+  (* the transient quarantine never collapsed the split — those
+     still-nominated GPU submissions were the probe traffic *)
+  Alcotest.(check bool) "balancer kept nominating the GPU" true
+    (Load_balancer.gpu_available b);
+  let sp = Load_balancer.tick b ~kernel:(gemm 1000) ~rows:10 in
+  Alcotest.(check bool) "rejoin forces a resplit" true sp.Load_balancer.resplit;
+  Alcotest.(check bool) "rows re-balanced onto the rejoined GPU" true
+    (sp.Load_balancer.gpu_rows > 0)
+
+(* The same storm under the default policy: the infinite re-probe
+   cooldown keeps the historical behaviour — quarantine is final. *)
+let test_resilient_reprobe_default_off () =
+  let e = Engine.create (storm ~gpu:(rel ~transient:1.0 ~heals:0.05 ()) ()) in
+  let r = Resilient.create e in
+  let prev = ref Engine.ready in
+  for _ = 1 to 30 do
+    prev := Resilient.submit r ~deps:[ !prev ] Engine.Gpu (gemm 1000)
+  done;
+  let s = Resilient.stats r in
+  Alcotest.(check int) "no probes at the default infinite cooldown" 0
+    s.Resilient.reprobes;
+  Alcotest.(check int) "no rejoins" 0 s.Resilient.rejoins;
+  Alcotest.(check int) "quarantine stays final" 0
+    s.Resilient.gpu.Resilient.completed;
+  Alcotest.(check bool) "still degraded" true (Resilient.gpu_unavailable r)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive load balancer                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lb_gemm = gemm 2048
+
+(* Clean observations are the EWMA fixpoint: every window sample is
+   exactly 1.0, so the share never moves off the cost model's static
+   split and no resplit is ever applied — the bitwise Adaptive=Static
+   guarantee the schedules rely on. *)
+let test_balancer_clean_fixpoint () =
+  let b = Load_balancer.create m in
+  let s0 = Cost_model.gpu_share m lb_gemm in
+  for i = 1 to 20 do
+    Load_balancer.observe b Engine.Gpu ~useful_s:0.002 ~wasted_s:0.;
+    Load_balancer.observe b Engine.Cpu ~useful_s:0.02 ~wasted_s:0.;
+    let sp = Load_balancer.tick b ~kernel:lb_gemm ~rows:10 in
+    Alcotest.(check bool)
+      (Printf.sprintf "tick %d keeps the static share" i)
+      true
+      (Float.equal sp.Load_balancer.share s0);
+    Alcotest.(check bool) "no resplit" false sp.Load_balancer.resplit
+  done;
+  let (e_cpu, e_gpu), (a_cpu, a_gpu) = Load_balancer.efficiencies b in
+  Alcotest.(check bool) "efficiencies pinned at the 1.0 fixpoint" true
+    (e_cpu = 1.0 && e_gpu = 1.0 && a_cpu = 1.0 && a_gpu = 1.0);
+  Alcotest.(check int) "no resplits" 0 (Load_balancer.resplits b)
+
+let test_balancer_static_inert () =
+  let b = Load_balancer.create ~config:Load_balancer.static_config m in
+  Load_balancer.observe b Engine.Gpu ~useful_s:0. ~wasted_s:5.0;
+  let sp = Load_balancer.tick b ~kernel:lb_gemm ~rows:8 in
+  Alcotest.(check bool) "share stays static" true
+    (Float.equal sp.Load_balancer.share (Cost_model.gpu_share m lb_gemm));
+  Alcotest.(check bool) "never resplits" false sp.Load_balancer.resplit;
+  Load_balancer.gpu_down b;
+  let sp2 = Load_balancer.tick b ~kernel:lb_gemm ~rows:8 in
+  Alcotest.(check bool) "gpu_down is a no-op in static mode" true
+    (sp2.Load_balancer.gpu_rows > 0)
+
+(* The window estimator weights by time, not by kernel count: 100 tiny
+   mostly-wasted ops plus one big clean GEMM fold into a single sample
+   of total_useful / total_time, so the swarm cannot outvote the GEMM. *)
+let test_balancer_time_weighted_window () =
+  let b = Load_balancer.create m in
+  for _ = 1 to 100 do
+    Load_balancer.observe b Engine.Gpu ~useful_s:1e-4 ~wasted_s:1e-3
+  done;
+  Load_balancer.observe b Engine.Gpu ~useful_s:1.0 ~wasted_s:0.;
+  let (_ : Load_balancer.split) =
+    Load_balancer.tick b ~kernel:lb_gemm ~rows:10
+  in
+  let (_, e_gpu), _ = Load_balancer.efficiencies b in
+  let sample = 1.01 /. 1.11 in
+  let alpha = Load_balancer.default_config.Load_balancer.ewma_alpha in
+  Alcotest.check
+    (Alcotest.float 1e-9)
+    "one time-weighted sample per window"
+    ((1. -. alpha) +. (alpha *. sample))
+    e_gpu
+
+(* A misbehaving GPU sheds rows, and the applied share follows the
+   documented sqrt-damped formula exactly. *)
+let test_balancer_sqrt_damped_shift () =
+  let b = Load_balancer.create m in
+  for _ = 1 to 5 do
+    Load_balancer.observe b Engine.Gpu ~useful_s:0.1 ~wasted_s:0.9;
+    Load_balancer.observe b Engine.Cpu ~useful_s:0.5 ~wasted_s:0.;
+    ignore (Load_balancer.tick b ~kernel:lb_gemm ~rows:100)
+  done;
+  Alcotest.(check bool) "resplit applied" true (Load_balancer.resplits b > 0);
+  let _, (a_cpu, a_gpu) = Load_balancer.efficiencies b in
+  Alcotest.(check bool) "gpu efficiency dropped" true (a_gpu < 1.0);
+  let s0 = Cost_model.gpu_share m lb_gemm in
+  let wg = s0 *. Float.sqrt a_gpu and wc = (1. -. s0) *. Float.sqrt a_cpu in
+  let expected = wg /. (wg +. wc) in
+  let sp = Load_balancer.tick b ~kernel:lb_gemm ~rows:100 in
+  Alcotest.check (Alcotest.float 1e-9) "sqrt-damped applied share" expected
+    sp.Load_balancer.share;
+  Alcotest.(check bool) "rows shifted off the sick GPU" true
+    (sp.Load_balancer.share < s0);
+  Alcotest.(check int) "rows partition exactly" 100
+    (sp.Load_balancer.gpu_rows + sp.Load_balancer.cpu_rows)
+
+let test_balancer_down_up () =
+  let b = Load_balancer.create m in
+  Load_balancer.gpu_down b;
+  Alcotest.(check bool) "unavailable" false (Load_balancer.gpu_available b);
+  let sp = Load_balancer.tick b ~kernel:lb_gemm ~rows:12 in
+  Alcotest.(check int) "all rows on the CPU" 0 sp.Load_balancer.gpu_rows;
+  Alcotest.(check int) "cpu takes everything" 12 sp.Load_balancer.cpu_rows;
+  Alcotest.(check bool) "forced resplit bypasses the interval" true
+    sp.Load_balancer.resplit;
+  Load_balancer.gpu_up b;
+  Alcotest.(check bool) "available again" true (Load_balancer.gpu_available b);
+  let sp2 = Load_balancer.tick b ~kernel:lb_gemm ~rows:12 in
+  Alcotest.(check bool) "rejoin forces a resplit" true
+    sp2.Load_balancer.resplit;
+  (* probe share 1.0: the rejoined device restarts at the static split *)
+  Alcotest.(check bool) "restarts at the static share" true
+    (Float.equal sp2.Load_balancer.share (Cost_model.gpu_share m lb_gemm))
+
+let test_balancer_config_validation () =
+  let bad cfg =
+    match Load_balancer.create ~config:cfg m with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  bad { Load_balancer.default_config with Load_balancer.update_interval = 0 };
+  bad { Load_balancer.default_config with Load_balancer.ewma_alpha = 0. };
+  bad { Load_balancer.default_config with Load_balancer.ewma_alpha = 1.5 };
+  bad { Load_balancer.default_config with Load_balancer.hysteresis = -0.1 };
+  bad { Load_balancer.default_config with Load_balancer.probe_share = 2. };
+  bad
+    {
+      Load_balancer.default_config with
+      Load_balancer.min_gpu_share = 0.9;
+      max_gpu_share = 0.5;
+    }
+
 let () =
   Alcotest.run "hetsim"
     [
@@ -716,6 +895,25 @@ let () =
             test_resilient_gave_up;
           Alcotest.test_case "seeded determinism" `Quick
             test_resilient_deterministic;
+          Alcotest.test_case "re-probe rejoins a healed GPU" `Quick
+            test_resilient_reprobe_rejoins;
+          Alcotest.test_case "re-probe default-off keeps quarantine final"
+            `Quick test_resilient_reprobe_default_off;
+        ] );
+      ( "balancer",
+        [
+          Alcotest.test_case "clean fixpoint matches static" `Quick
+            test_balancer_clean_fixpoint;
+          Alcotest.test_case "static mode is inert" `Quick
+            test_balancer_static_inert;
+          Alcotest.test_case "time-weighted window" `Quick
+            test_balancer_time_weighted_window;
+          Alcotest.test_case "sqrt-damped shift" `Quick
+            test_balancer_sqrt_damped_shift;
+          Alcotest.test_case "gpu down/up forcing" `Quick
+            test_balancer_down_up;
+          Alcotest.test_case "config validation" `Quick
+            test_balancer_config_validation;
         ] );
       ("properties", props);
     ]

@@ -415,7 +415,8 @@ let test_campaign_aggregate_and_json () =
     (fun needle ->
       Alcotest.(check bool) ("json has " ^ needle) true (contains json needle))
     [
-      "\"schema_version\": 4";
+      "\"schema_version\": 5";
+      "\"resplits\"";
       "\"aggregate\"";
       "\"rung_campaigns\"";
       "\"device_totals\"";
@@ -425,6 +426,182 @@ let test_campaign_aggregate_and_json () =
       "solver_iterations";
       "ftsoak";
     ]
+
+(* The aggregate is an exact fold: over 50 synthetic campaigns covering
+   every outcome — including [Gave_up], whose partial counters once
+   silently drifted out of the totals — every counter family sums to
+   its aggregate field, and every [*_campaigns] field counts exactly
+   the campaigns that hit the mechanism at least once. The new
+   reprobe/rejoin/resplit counters ride the same invariant. *)
+let test_campaign_aggregate_invariant_50 () =
+  let mk i =
+    let case =
+      {
+        Campaign.id = i;
+        family =
+          (if i mod 2 = 0 then Campaign.Device_storm else Campaign.Mixed);
+        scheme = "enhanced-k1";
+        grid = 8;
+        block = 8;
+        domains = 1;
+        seed = i;
+        plan = [];
+      }
+    in
+    let outcome =
+      match i mod 7 with
+      | 0 -> Campaign.Silent_corruption
+      | 1 | 5 -> Campaign.Gave_up "cpu retry budget exhausted"
+      | _ -> Campaign.Success
+    in
+    let device =
+      if i mod 3 = 0 then
+        {
+          Campaign.retries_d = i mod 5;
+          transients_d = (i + 1) mod 4;
+          hangs_d = i mod 2;
+          corrupted_d = (i + 2) mod 3;
+          quarantines_d = (if i mod 6 = 0 then 1 else 0);
+          fallbacks_d = i mod 4;
+          losses_d = (if i mod 15 = 0 then 1 else 0);
+          reprobes_d = i mod 3;
+          rejoins_d = i mod 2;
+          resplits_d = (i + 1) mod 5;
+        }
+      else Campaign.zero_device
+    in
+    let solver =
+      if i mod 4 = 0 then
+        {
+          Campaign.iterations_s = 10 + i;
+          verifications_s = i mod 6;
+          detections_s = i mod 3;
+          reconstructions_s = i mod 2;
+          rollbacks_s = (i + 1) mod 2;
+          restarts_s = i mod 5;
+          precond_repairs_s = i mod 4;
+        }
+      else Campaign.zero_solver
+    in
+    {
+      Campaign.case;
+      outcome;
+      residual = float_of_int (i mod 9) *. 1e-14;
+      verifications = i;
+      corrections = i mod 3;
+      reconstructions = i mod 4;
+      checksum_repairs = i mod 2;
+      rollbacks = (i + 1) mod 3;
+      snapshots = i mod 5;
+      restarts = i mod 2;
+      fired = i mod 6;
+      device;
+      solver;
+      obs_metrics = [];
+    }
+  in
+  let results = List.init 50 mk in
+  let agg = Campaign.aggregate results in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+  let hits f =
+    List.fold_left (fun a r -> a + if f r > 0 then 1 else 0) 0 results
+  in
+  Alcotest.(check int) "campaigns" 50 agg.Campaign.campaigns;
+  Alcotest.(check int) "outcomes partition the campaigns" 50
+    (agg.Campaign.successes + agg.Campaign.silent_corruptions
+   + agg.Campaign.gave_ups);
+  Alcotest.(check int) "gave_ups counted"
+    (sum (fun r ->
+         match r.Campaign.outcome with Campaign.Gave_up _ -> 1 | _ -> 0))
+    agg.Campaign.gave_ups;
+  Alcotest.(check int) "silent corruptions counted"
+    (sum (fun r ->
+         match r.Campaign.outcome with
+         | Campaign.Silent_corruption -> 1
+         | _ -> 0))
+    agg.Campaign.silent_corruptions;
+  Alcotest.(check int) "faults fired"
+    (sum (fun r -> r.Campaign.fired))
+    agg.Campaign.faults_fired;
+  let rung_fields =
+    [
+      ("corrections", (fun (r : Campaign.run_result) -> r.Campaign.corrections),
+       fun (c : Campaign.rung_counts) -> c.Campaign.corrections_n);
+      ( "reconstructions",
+        (fun r -> r.Campaign.reconstructions),
+        fun c -> c.Campaign.reconstructions_n );
+      ( "checksum_repairs",
+        (fun r -> r.Campaign.checksum_repairs),
+        fun c -> c.Campaign.checksum_repairs_n );
+      ( "rollbacks",
+        (fun r -> r.Campaign.rollbacks),
+        fun c -> c.Campaign.rollbacks_n );
+      ("restarts", (fun r -> r.Campaign.restarts), fun c -> c.Campaign.restarts_n);
+    ]
+  in
+  List.iter
+    (fun (name, per, of_rungs) ->
+      Alcotest.(check int) (name ^ " total") (sum per)
+        (of_rungs agg.Campaign.totals);
+      Alcotest.(check int)
+        (name ^ " campaigns")
+        (hits per)
+        (of_rungs agg.Campaign.rung_campaigns))
+    rung_fields;
+  let dev_fields =
+    [
+      ("retries", fun (d : Campaign.device_counts) -> d.Campaign.retries_d);
+      ("transients", fun d -> d.Campaign.transients_d);
+      ("hangs", fun d -> d.Campaign.hangs_d);
+      ("corrupted", fun d -> d.Campaign.corrupted_d);
+      ("quarantines", fun d -> d.Campaign.quarantines_d);
+      ("fallbacks", fun d -> d.Campaign.fallbacks_d);
+      ("losses", fun d -> d.Campaign.losses_d);
+      ("reprobes", fun d -> d.Campaign.reprobes_d);
+      ("rejoins", fun d -> d.Campaign.rejoins_d);
+      ("resplits", fun d -> d.Campaign.resplits_d);
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check int) ("device " ^ name ^ " total")
+        (sum (fun r -> f r.Campaign.device))
+        (f agg.Campaign.device_totals);
+      Alcotest.(check int)
+        ("device " ^ name ^ " campaigns")
+        (hits (fun r -> f r.Campaign.device))
+        (f agg.Campaign.device_campaigns))
+    dev_fields;
+  let sol_fields =
+    [
+      ("iterations", fun (s : Campaign.solver_counts) -> s.Campaign.iterations_s);
+      ("verifications", fun s -> s.Campaign.verifications_s);
+      ("detections", fun s -> s.Campaign.detections_s);
+      ("reconstructions", fun s -> s.Campaign.reconstructions_s);
+      ("rollbacks", fun s -> s.Campaign.rollbacks_s);
+      ("restarts", fun s -> s.Campaign.restarts_s);
+      ("precond_repairs", fun s -> s.Campaign.precond_repairs_s);
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check int) ("solver " ^ name ^ " total")
+        (sum (fun r -> f r.Campaign.solver))
+        (f agg.Campaign.solver_totals);
+      Alcotest.(check int)
+        ("solver " ^ name ^ " campaigns")
+        (hits (fun r -> f r.Campaign.solver))
+        (f agg.Campaign.solver_campaigns))
+    sol_fields;
+  let worst =
+    List.fold_left (fun a r -> Float.max a r.Campaign.residual) 0. results
+  in
+  Alcotest.(check bool) "worst residual is the max over every outcome" true
+    (Float.equal worst agg.Campaign.worst_residual);
+  Alcotest.(check bool) "silent rate" true
+    (Float.equal
+       (float_of_int agg.Campaign.silent_corruptions /. 50.)
+       agg.Campaign.silent_rate)
 
 let test_campaign_mini_soak () =
   (* a miniature end-to-end soak: every family against its weakest
@@ -676,6 +853,8 @@ let () =
           Alcotest.test_case "family windows" `Quick test_campaign_family_windows;
           Alcotest.test_case "aggregate and json" `Quick
             test_campaign_aggregate_and_json;
+          Alcotest.test_case "50-campaign aggregate invariant" `Quick
+            test_campaign_aggregate_invariant_50;
           Alcotest.test_case "mini soak" `Quick test_campaign_mini_soak;
         ] );
       ( "device",
